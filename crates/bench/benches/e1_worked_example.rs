@@ -1,0 +1,33 @@
+//! E1 bench: end-to-end citation of the paper's worked example.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use citesys_core::paper;
+use citesys_core::{CitationEngine, CitationMode, EngineOptions};
+
+fn bench(c: &mut Criterion) {
+    let db = paper::paper_database();
+    let registry = paper::paper_registry();
+    let q = paper::paper_query();
+
+    let mut group = c.benchmark_group("e1_worked_example");
+    group.sample_size(30);
+    for (label, mode) in [
+        ("formal", CitationMode::Formal),
+        ("cost_pruned", CitationMode::CostPruned),
+    ] {
+        let engine =
+            CitationEngine::new(&db, &registry, EngineOptions { mode, ..Default::default() });
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let cited = engine.cite(std::hint::black_box(&q)).expect("coverable");
+                assert_eq!(cited.tuples[0].atoms.len(), 2);
+                cited
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E2 bench: bucket vs MiniCon rewriting on chain queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use citesys_gtopdb::synthetic::{chain_query, segment_view};
+use citesys_rewrite::{rewrite, Algorithm, RewriteOptions, ViewSet};
+
+fn bench(c: &mut Criterion) {
+    let q = chain_query(6);
+    let mut group = c.benchmark_group("e2_rewriting_scale");
+    group.sample_size(10);
+    for k in [1usize, 2, 3] {
+        let views: Vec<_> =
+            (0..k).map(|i| segment_view(&format!("Seg{i}"), 2)).collect();
+        let set = ViewSet::new(views).expect("distinct names");
+        for (label, alg) in [("bucket", Algorithm::Bucket), ("minicon", Algorithm::MiniCon)] {
+            let opts = RewriteOptions {
+                algorithm: alg,
+                max_candidates: 1_000_000,
+                ..Default::default()
+            };
+            group.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
+                b.iter(|| {
+                    rewrite(std::hint::black_box(&q), &set, &opts).expect("within budget")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

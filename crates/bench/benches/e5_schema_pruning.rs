@@ -1,0 +1,33 @@
+//! E5 bench: schema-level pruning vs full enumeration with trap views.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use citesys_cq::parse_query;
+use citesys_gtopdb::synthetic::trap_views;
+use citesys_rewrite::{rewrite, RewriteOptions, ViewSet};
+
+fn bench(c: &mut Criterion) {
+    let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+        .expect("well-formed");
+    let mut group = c.benchmark_group("e5_schema_pruning");
+    group.sample_size(20);
+    for m in [0usize, 16, 64] {
+        let mut views = vec![
+            parse_query("λ FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)").unwrap(),
+            parse_query("V2(FID, FName, Desc) :- Family(FID, FName, Desc)").unwrap(),
+            parse_query("V3(FID, Text) :- FamilyIntro(FID, Text)").unwrap(),
+        ];
+        views.extend(trap_views(m));
+        let set = ViewSet::new(views).expect("distinct names");
+        for (label, prune) in [("pruned", true), ("no_prune", false)] {
+            let opts = RewriteOptions { prune, ..Default::default() };
+            group.bench_with_input(BenchmarkId::new(label, m), &m, |b, _| {
+                b.iter(|| rewrite(std::hint::black_box(&q), &set, &opts).expect("ok"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

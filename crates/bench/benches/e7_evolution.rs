@@ -1,0 +1,58 @@
+//! E7 bench: incremental citation maintenance vs recompute-all.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use citesys_bench::e7::workload;
+use citesys_core::{CitationEngine, EngineOptions, IncrementalEngine};
+use citesys_cq::Value;
+use citesys_gtopdb::{full_registry, generate, GtopdbConfig};
+use citesys_storage::Tuple;
+
+fn delta(i: i64) -> Tuple {
+    Tuple::new(vec![
+        Value::Int(5_000_000 + i),
+        Value::from(format!("bench-ligand-{i}")),
+        Value::from("peptide"),
+    ])
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = GtopdbConfig { scale: 2, ..Default::default() };
+    let registry = full_registry();
+    let queries = workload();
+    let mut group = c.benchmark_group("e7_evolution");
+    group.sample_size(10);
+
+    group.bench_function("incremental", |b| {
+        let mut i = 0i64;
+        let mut inc =
+            IncrementalEngine::new(generate(&cfg), registry.clone(), EngineOptions::default());
+        for q in &queries {
+            inc.cite(q).expect("coverable");
+        }
+        b.iter(|| {
+            inc.insert("Ligand", delta(i)).expect("valid");
+            i += 1;
+            for q in &queries {
+                inc.cite(q).expect("coverable");
+            }
+        })
+    });
+
+    group.bench_function("recompute_all", |b| {
+        let mut i = 0i64;
+        let mut db = generate(&cfg);
+        b.iter(|| {
+            db.insert("Ligand", delta(i)).expect("valid");
+            i += 1;
+            let engine = CitationEngine::new(&db, &registry, EngineOptions::default());
+            for q in &queries {
+                engine.cite(q).expect("coverable");
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E8 bench: greedy vs exhaustive view selection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use citesys_core::{exhaustive_select, greedy_select};
+use citesys_gtopdb::workload::{candidate_views, standard_workload};
+use citesys_rewrite::RewriteOptions;
+
+fn bench(c: &mut Criterion) {
+    let workload = standard_workload();
+    let candidates = candidate_views();
+    let opts = RewriteOptions::default();
+    let mut group = c.benchmark_group("e8_view_selection");
+    group.sample_size(10);
+    group.bench_function("greedy", |b| {
+        b.iter(|| {
+            let sel = greedy_select(
+                std::hint::black_box(&workload),
+                std::hint::black_box(&candidates),
+                &opts,
+            );
+            assert!(sel.covers_all());
+            sel
+        })
+    });
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| {
+            exhaustive_select(
+                std::hint::black_box(&workload),
+                std::hint::black_box(&candidates),
+                &opts,
+            )
+            .expect("coverable")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E9 bench: citation-algebra normalization and polynomial operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use citesys_bench::e9::{binding_sum, poly};
+use citesys_provenance::Semiring;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_semiring_ops");
+    group.sample_size(20);
+    for n in [100usize, 1_000, 5_000] {
+        let raw = binding_sum(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("normalize", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(&raw).normalize())
+        });
+        let normalized = raw.normalize();
+        group.bench_with_input(BenchmarkId::new("estimated_size", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(&normalized).estimated_size())
+        });
+    }
+    for n in [32usize, 128] {
+        let p = poly(n);
+        let q = poly(n / 2 + 1);
+        group.bench_with_input(BenchmarkId::new("poly_mul", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(&p).mul(std::hint::black_box(&q)))
+        });
+        let prod = p.mul(&q);
+        group.bench_with_input(BenchmarkId::new("poly_eval_counting", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(&prod).eval_in::<u64>(&|_| 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

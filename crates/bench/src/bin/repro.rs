@@ -1,0 +1,60 @@
+//! `repro` — regenerates every experiment table (E1–E10).
+//!
+//! Usage:
+//! ```text
+//! cargo run -p citesys-bench --release --bin repro            # all, full sizes
+//! cargo run -p citesys-bench --release --bin repro -- --quick # smaller sweeps
+//! cargo run -p citesys-bench --release --bin repro -- e4 e5   # selected ids
+//! ```
+
+use citesys_bench::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+
+    let run_one = |id: &str| -> Option<Table> {
+        match id {
+            "e1" => Some(citesys_bench::e1::table()),
+            "e2" => Some(citesys_bench::e2::table(quick)),
+            "e3" => Some(citesys_bench::e3::table(quick)),
+            "e4" => Some(citesys_bench::e4::table(quick)),
+            "e5" => Some(citesys_bench::e5::table(quick)),
+            "e6" => Some(citesys_bench::e6::table(quick)),
+            "e7" => Some(citesys_bench::e7::table(quick)),
+            "e8" => Some(citesys_bench::e8::table()),
+            "e9" => Some(citesys_bench::e9::table(quick)),
+            "e10" => Some(citesys_bench::e10::table(quick)),
+            "e11" => Some(citesys_bench::e11::table(quick)),
+            "e12" => Some(citesys_bench::e12::table(quick)),
+            other => {
+                eprintln!("unknown experiment id: {other}");
+                None
+            }
+        }
+    };
+
+    println!("# citesys experiment reproduction\n");
+    println!(
+        "mode: {} | ids: {}\n",
+        if quick { "quick" } else { "full" },
+        if selected.is_empty() { "all".to_string() } else { selected.join(", ") }
+    );
+
+    if selected.is_empty() {
+        for t in citesys_bench::run_all(quick) {
+            println!("{t}");
+        }
+    } else {
+        for id in &selected {
+            if let Some(t) = run_one(id) {
+                println!("{t}");
+            }
+        }
+    }
+}

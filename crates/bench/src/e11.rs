@@ -1,0 +1,104 @@
+//! E11 — ablation: per-rewriting minimization on/off.
+//!
+//! DESIGN.md calls out minimization ("the paper asks for *minimal*
+//! rewritings") as a design choice worth ablating: redundant view atoms in
+//! a rewriting inject spurious citation atoms and slow evaluation, but
+//! minimization costs extra equivalence checks. The instance makes the
+//! difference visible: the query `Q(X) :- R(X,Y1), …, R(X,Yk)` is
+//! semantically a single atom, and the identity view rewriting carries
+//! `k` copies until minimization collapses them.
+
+use citesys_cq::{parse_query, ConjunctiveQuery};
+use citesys_rewrite::{rewrite, RewriteOptions, ViewSet};
+
+use crate::table::{ms, timed, Table};
+
+/// Builds `Q(X) :- R(X, Y1), …, R(X, Yk)` — k−1 redundant atoms.
+pub fn redundant_query(k: usize) -> ConjunctiveQuery {
+    let body: Vec<String> = (0..k).map(|i| format!("R(X, Y{i})")).collect();
+    parse_query(&format!("Q(X) :- {}", body.join(", "))).expect("well-formed")
+}
+
+/// One `(minimize?)` measurement.
+pub struct Cell {
+    /// Rewritings found.
+    pub rewritings: usize,
+    /// Largest rewriting body (view atoms) — the citation pollution proxy.
+    pub max_body: usize,
+    /// Equivalence checks spent.
+    pub eq_checks: usize,
+    /// Wall time.
+    pub time: std::time::Duration,
+}
+
+/// Runs with minimization toggled.
+pub fn run(k: usize, minimize: bool) -> Cell {
+    let q = redundant_query(k);
+    let views = ViewSet::new(vec![parse_query("V(A, B) :- R(A, B)").expect("ok")])
+        .expect("distinct names");
+    let opts = RewriteOptions { minimize, ..Default::default() };
+    let (out, time) = timed(|| rewrite(&q, &views, &opts).expect("within budget"));
+    Cell {
+        rewritings: out.rewritings.len(),
+        max_body: out
+            .rewritings
+            .iter()
+            .map(|r| r.query.body.len())
+            .max()
+            .unwrap_or(0),
+        eq_checks: out.stats.equivalence_checks,
+        time,
+    }
+}
+
+/// Builds the E11 table.
+pub fn table(quick: bool) -> Table {
+    let ks: &[usize] = if quick { &[2, 3] } else { &[2, 3, 4, 5] };
+    let mut rows = Vec::new();
+    for &k in ks {
+        let on = run(k, true);
+        let off = run(k, false);
+        rows.push(vec![
+            k.to_string(),
+            on.rewritings.to_string(),
+            off.rewritings.to_string(),
+            on.max_body.to_string(),
+            off.max_body.to_string(),
+            on.eq_checks.to_string(),
+            off.eq_checks.to_string(),
+            ms(on.time),
+            ms(off.time),
+        ]);
+    }
+    Table {
+        id: "E11",
+        title: "Ablation: rewriting minimization on/off (Q with k redundant R-atoms, identity view)",
+        expectation: "without minimization the rewriting keeps k view atoms (spurious citations); with it, one atom at the cost of extra equivalence checks",
+        headers: vec![
+            "redundant k".into(),
+            "rewritings (min on)".into(),
+            "rewritings (min off)".into(),
+            "max body (on)".into(),
+            "max body (off)".into(),
+            "eq-checks (on)".into(),
+            "eq-checks (off)".into(),
+            "ms (on)".into(),
+            "ms (off)".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimization_collapses_redundant_atoms() {
+        let on = run(3, true);
+        let off = run(3, false);
+        assert_eq!(on.max_body, 1, "minimized to a single view atom");
+        assert!(off.max_body >= 2, "unminimized keeps redundant atoms");
+        assert!(on.eq_checks > off.eq_checks, "minimization costs checks");
+    }
+}

@@ -1,0 +1,84 @@
+//! E12 — the Reactome-style pathway domain: citation behaviour on a second
+//! realistic schema (§1 names Reactome as a motivating system).
+//!
+//! Sweep the number of pathway roots; cite the participants query (per-
+//! pathway parameterized citations with curators) and the pathway scan
+//! (min-size collapses to the database-wide citation).
+
+use citesys_core::{
+    CitationEngine, CitationMode, EngineOptions, PolicySet, RewritePolicy,
+};
+use citesys_gtopdb::reactome::{generate, pathway_registry, q_participants, ReactomeConfig};
+
+use crate::table::{ms, timed, Table};
+
+/// One row of the roots sweep.
+pub fn run(roots: usize) -> Vec<String> {
+    let cfg = ReactomeConfig { roots, ..Default::default() };
+    let db = generate(&cfg);
+    let registry = pathway_registry();
+    let engine = CitationEngine::new(
+        &db,
+        &registry,
+        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+    );
+    let (cited, time) = timed(|| engine.cite(&q_participants()).expect("coverable"));
+    let min_atoms = cited.aggregate.as_ref().map_or(0, |a| a.atoms.len());
+
+    let union_engine = CitationEngine::new(
+        &db,
+        &registry,
+        EngineOptions {
+            mode: CitationMode::Formal,
+            policies: PolicySet { rewritings: RewritePolicy::Union, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    let union_atoms = union_engine
+        .cite(&q_participants())
+        .expect("coverable")
+        .aggregate
+        .map_or(0, |a| a.atoms.len());
+
+    vec![
+        roots.to_string(),
+        cfg.pathways().to_string(),
+        cited.answer.len().to_string(),
+        min_atoms.to_string(),
+        union_atoms.to_string(),
+        ms(time),
+    ]
+}
+
+/// Builds the E12 table.
+pub fn table(quick: bool) -> Table {
+    let sweeps: &[usize] = if quick { &[4, 8] } else { &[4, 8, 16, 32] };
+    let rows = sweeps.iter().map(|&r| run(r)).collect();
+    Table {
+        id: "E12",
+        title: "Reactome pathways: per-pathway citations for the participants query",
+        expectation: "citation atoms grow with pathway count (parameterized views are the only cover); min-size = union here",
+        headers: vec![
+            "roots".into(),
+            "pathways".into(),
+            "answers".into(),
+            "atoms (min-size)".into(),
+            "atoms (union)".into(),
+            "ms".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoms_scale_with_pathways() {
+        let small = run(2);
+        let big = run(8);
+        let atoms = |r: &[String]| r[3].parse::<usize>().unwrap();
+        assert!(atoms(&big) > atoms(&small));
+    }
+}

@@ -1,0 +1,104 @@
+//! E3 — citation computation cost vs database size (Definitions 2.1/2.2:
+//! the engine walks every binding of every output tuple).
+//!
+//! GtoPdb scale sweep on the paper's query, formal mode (all rewritings)
+//! vs cost-pruned mode (one rewriting). Expected: time grows linearly in
+//! the number of bindings; pruned mode is cheaper by roughly the number of
+//! rewritings evaluated.
+
+use citesys_core::{CitationEngine, CitationMode, EngineOptions};
+use citesys_gtopdb::workload::q_family_intro;
+use citesys_gtopdb::{full_registry, generate, GtopdbConfig};
+
+use crate::table::{ms, timed, Table};
+
+/// One row of the scale sweep.
+pub struct Row {
+    /// Scale factor.
+    pub scale: usize,
+    /// Total base tuples.
+    pub tuples: usize,
+    /// Answer tuples.
+    pub answers: usize,
+    /// Total bindings (β_t summed).
+    pub bindings: usize,
+    /// Formal-mode wall time.
+    pub formal: std::time::Duration,
+    /// Cost-pruned wall time.
+    pub pruned: std::time::Duration,
+}
+
+/// Measures one scale factor.
+pub fn run(scale: usize) -> Row {
+    let cfg = GtopdbConfig { scale, dup_name_rate: 0.25, ..Default::default() };
+    let db = generate(&cfg);
+    let registry = full_registry();
+    let q = q_family_intro();
+    let formal_engine = CitationEngine::new(
+        &db,
+        &registry,
+        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+    );
+    let (formal_out, formal) = timed(|| formal_engine.cite(&q).expect("coverable"));
+    let pruned_engine = CitationEngine::new(
+        &db,
+        &registry,
+        EngineOptions { mode: CitationMode::CostPruned, ..Default::default() },
+    );
+    let (_, pruned) = timed(|| pruned_engine.cite(&q).expect("coverable"));
+    Row {
+        scale,
+        tuples: db.total_tuples(),
+        answers: formal_out.answer.len(),
+        bindings: formal_out.answer.total_bindings(),
+        formal,
+        pruned,
+    }
+}
+
+/// Builds the E3 table.
+pub fn table(quick: bool) -> Table {
+    let scales: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8, 16, 32] };
+    let rows = scales
+        .iter()
+        .map(|&s| {
+            let r = run(s);
+            vec![
+                r.scale.to_string(),
+                r.tuples.to_string(),
+                r.answers.to_string(),
+                r.bindings.to_string(),
+                ms(r.formal),
+                ms(r.pruned),
+            ]
+        })
+        .collect();
+    Table {
+        id: "E3",
+        title: "Citation cost vs database size (paper query, GtoPdb scale sweep)",
+        expectation: "time grows ~linearly with bindings; cost-pruned ≤ formal",
+        headers: vec![
+            "scale".into(),
+            "base tuples".into(),
+            "answers".into(),
+            "bindings".into(),
+            "formal ms".into(),
+            "pruned ms".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bindings_scale_with_data() {
+        let small = run(1);
+        let big = run(4);
+        assert!(big.tuples > small.tuples);
+        assert!(big.bindings >= small.bindings);
+        assert!(big.answers >= small.answers);
+    }
+}

@@ -1,0 +1,84 @@
+//! E4 — citation size vs policy (§3 *Size of citations*: "since views may
+//! be parameterized, the size of a citation may be proportional to the size
+//! of the query result").
+//!
+//! The paper's closing example, measured: with `+R = union` the citation
+//! collects one `CV1(fid)` per family (size ∝ |Family|); `+R = min-size`
+//! collapses to the two constant citations `CV2·CV3` regardless of scale.
+
+use citesys_core::{
+    CitationEngine, CitationMode, EngineOptions, PolicySet, RewritePolicy,
+};
+use citesys_gtopdb::workload::q_family_intro;
+use citesys_gtopdb::{full_registry, generate, GtopdbConfig};
+
+use crate::table::Table;
+
+/// Aggregate citation size (distinct atoms) for one scale and policy.
+pub fn citation_size(scale: usize, policy: RewritePolicy) -> usize {
+    let db = generate(&GtopdbConfig { scale, dup_name_rate: 0.2, ..Default::default() });
+    let registry = full_registry();
+    let engine = CitationEngine::new(
+        &db,
+        &registry,
+        EngineOptions {
+            mode: CitationMode::Formal,
+            policies: PolicySet { rewritings: policy, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    engine
+        .cite(&q_family_intro())
+        .expect("coverable")
+        .aggregate
+        .expect("Agg = union")
+        .atoms
+        .len()
+}
+
+/// Builds the E4 table.
+pub fn table(quick: bool) -> Table {
+    let scales: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8, 16] };
+    let rows = scales
+        .iter()
+        .map(|&s| {
+            let families = GtopdbConfig { scale: s, ..Default::default() }.families();
+            vec![
+                s.to_string(),
+                families.to_string(),
+                citation_size(s, RewritePolicy::Union).to_string(),
+                citation_size(s, RewritePolicy::First).to_string(),
+                citation_size(s, RewritePolicy::MinSize).to_string(),
+            ]
+        })
+        .collect();
+    Table {
+        id: "E4",
+        title: "Aggregate citation size vs +R policy (paper query, scale sweep)",
+        expectation: "union grows ~|Family|; min-size stays constant at 2 (CV2·CV3)",
+        headers: vec![
+            "scale".into(),
+            "families".into(),
+            "+R union atoms".into(),
+            "+R first atoms".into(),
+            "+R min-size atoms".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_size_constant_union_grows() {
+        let m1 = citation_size(1, RewritePolicy::MinSize);
+        let m4 = citation_size(4, RewritePolicy::MinSize);
+        assert_eq!(m1, 2);
+        assert_eq!(m4, 2);
+        let u1 = citation_size(1, RewritePolicy::Union);
+        let u4 = citation_size(4, RewritePolicy::Union);
+        assert!(u4 > u1, "union must scale: {u1} vs {u4}");
+    }
+}

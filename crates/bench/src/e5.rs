@@ -1,0 +1,95 @@
+//! E5 — schema-level pruning of the rewriting search (§3: "It may also be
+//! possible to do some of the reasoning at the schema level").
+//!
+//! The paper's query plus `m` *trap* views: each trap matches the `Family`
+//! subgoal syntactically but joins in `Committee`, so it can never appear
+//! in an equivalent rewriting. Without pruning, every trap burns candidate
+//! generation, expansion and an equivalence check; with pruning each is
+//! rejected by a constant-time schema test.
+
+use citesys_cq::parse_query;
+use citesys_gtopdb::synthetic::trap_views;
+use citesys_rewrite::{rewrite, RewriteOptions, RewriteStats, ViewSet};
+
+use crate::table::{ms, timed, Table};
+
+/// Measurement for one `(m, prune)` cell.
+pub struct Cell {
+    /// Search statistics.
+    pub stats: RewriteStats,
+    /// Wall time.
+    pub time: std::time::Duration,
+    /// Rewritings found.
+    pub rewritings: usize,
+}
+
+/// Runs the paper query against the paper views + `m` traps.
+pub fn run(m: usize, prune: bool) -> Cell {
+    let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+        .expect("well-formed");
+    let mut views = vec![
+        parse_query("λ FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)").expect("ok"),
+        parse_query("V2(FID, FName, Desc) :- Family(FID, FName, Desc)").expect("ok"),
+        parse_query("V3(FID, Text) :- FamilyIntro(FID, Text)").expect("ok"),
+    ];
+    views.extend(trap_views(m));
+    let set = ViewSet::new(views).expect("distinct names");
+    let opts = RewriteOptions { prune, ..Default::default() };
+    let (out, time) = timed(|| rewrite(&q, &set, &opts).expect("within budget"));
+    Cell { stats: out.stats, time, rewritings: out.rewritings.len() }
+}
+
+/// Builds the E5 table.
+pub fn table(quick: bool) -> Table {
+    let ms_counts: &[usize] = if quick { &[0, 8, 32] } else { &[0, 8, 32, 128, 512] };
+    let mut rows = Vec::new();
+    for &m in ms_counts {
+        let with = run(m, true);
+        let without = run(m, false);
+        rows.push(vec![
+            m.to_string(),
+            with.stats.views_pruned.to_string(),
+            with.stats.equivalence_checks.to_string(),
+            ms(with.time),
+            without.stats.equivalence_checks.to_string(),
+            ms(without.time),
+            with.rewritings.to_string(),
+        ]);
+        assert_eq!(with.rewritings, without.rewritings, "pruning must not change results");
+    }
+    Table {
+        id: "E5",
+        title: "Schema-level view pruning vs full enumeration (paper query + m trap views)",
+        expectation: "pruned work constant in m; unpruned equivalence checks grow ~linearly; identical rewritings",
+        headers: vec![
+            "trap views m".into(),
+            "views pruned".into(),
+            "eq-checks (pruned)".into(),
+            "ms (pruned)".into(),
+            "eq-checks (no prune)".into(),
+            "ms (no prune)".into(),
+            "rewritings".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pruning_is_effective_and_safe() {
+        let with = run(32, true);
+        let without = run(32, false);
+        assert_eq!(with.rewritings, 2);
+        assert_eq!(without.rewritings, 2);
+        assert_eq!(with.stats.views_pruned, 32);
+        assert!(
+            without.stats.equivalence_checks > with.stats.equivalence_checks,
+            "{} vs {}",
+            without.stats.equivalence_checks,
+            with.stats.equivalence_checks
+        );
+    }
+}

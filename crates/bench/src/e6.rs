@@ -1,0 +1,109 @@
+//! E6 — fixity cost (§3: a citation "should bring back the data as seen at
+//! the time it was cited").
+//!
+//! A versioned GtoPdb accumulates `v` committed update batches. We measure:
+//! cold snapshot materialization of version 1 (replay), warm re-access
+//! (cache), and full `verify` of a version-1 citation token.
+
+use citesys_core::{cite_at_version, verify, EngineOptions};
+use citesys_gtopdb::workload::q_family_intro;
+use citesys_gtopdb::{full_registry, generate_versioned, GtopdbConfig};
+use citesys_storage::{Tuple, VersionedDatabase};
+use citesys_cq::Value;
+
+use crate::table::{ms, timed, Table};
+
+/// Builds a store with `versions` additional committed batches of
+/// `ops_per_version` inserts each.
+pub fn build_store(versions: usize, ops_per_version: usize) -> VersionedDatabase {
+    let mut vdb = generate_versioned(&GtopdbConfig { scale: 1, ..Default::default() });
+    let mut next_id = 1_000_000i64;
+    for _ in 0..versions {
+        for _ in 0..ops_per_version {
+            vdb.insert(
+                "Ligand",
+                Tuple::new(vec![
+                    Value::Int(next_id),
+                    Value::from(format!("synthetic-{next_id}")),
+                    Value::from("peptide"),
+                ]),
+            )
+            .expect("schema-valid");
+            next_id += 1;
+        }
+        vdb.commit();
+    }
+    vdb
+}
+
+/// One row of the version sweep.
+pub fn run(versions: usize) -> Vec<String> {
+    let vdb = build_store(versions, 8);
+    let registry = full_registry();
+    let q = q_family_intro();
+
+    // Token minted against version 1 (the initial load).
+    let (_, token) =
+        cite_at_version(&vdb, &registry, EngineOptions::default(), 1, &q).expect("coverable");
+
+    // Fresh store for a cold replay of the *latest* version.
+    let cold_store = build_store(versions, 8);
+    let latest = cold_store.latest_version();
+    let (_, cold) = timed(|| cold_store.snapshot(latest).expect("known version"));
+    let (_, warm) = timed(|| cold_store.snapshot(latest).expect("known version"));
+
+    let (res, verify_time) = timed(|| verify(&vdb, &token));
+    res.expect("token verifies");
+
+    vec![
+        versions.to_string(),
+        (versions * 8).to_string(),
+        ms(cold),
+        ms(warm),
+        ms(verify_time),
+    ]
+}
+
+/// Builds the E6 table.
+pub fn table(quick: bool) -> Table {
+    let sweeps: &[usize] = if quick { &[4, 16, 64] } else { &[4, 16, 64, 256] };
+    let rows = sweeps.iter().map(|&v| run(v)).collect();
+    Table {
+        id: "E6",
+        title: "Fixity: snapshot materialization and citation verification vs history length",
+        expectation: "cold snapshot grows with replayed ops; warm access ~constant; verify succeeds at every depth",
+        headers: vec![
+            "extra versions".into(),
+            "replayed ops".into(),
+            "cold snapshot ms".into(),
+            "warm snapshot ms".into(),
+            "verify ms".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_builds_and_verifies() {
+        let row = run(4);
+        assert_eq!(row[0], "4");
+        assert_eq!(row[1], "32");
+    }
+
+    #[test]
+    fn deeper_history_means_more_cold_work() {
+        let shallow = build_store(2, 8);
+        let deep = build_store(32, 8);
+        assert_eq!(shallow.latest_version(), 3);
+        assert_eq!(deep.latest_version(), 33);
+        // More committed ops in total.
+        let count = |v: &VersionedDatabase| -> usize {
+            (1..=v.latest_version()).map(|i| v.ops_in(i).unwrap()).sum()
+        };
+        assert!(count(&deep) > count(&shallow));
+    }
+}

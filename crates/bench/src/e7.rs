@@ -1,0 +1,140 @@
+//! E7 — citation evolution: incremental recomputation vs recompute-all
+//! (§3: "how to compute citations in an incremental manner").
+//!
+//! A workload of queries is cited and cached; then `k` *localized* updates
+//! hit only the `Ligand` relation. The incremental engine invalidates only
+//! the citations that depend on ligands; the baseline recomputes every
+//! query. Expected: incremental time ≪ full recompute time, growing with
+//! the fraction of affected queries.
+
+use citesys_core::{CitationEngine, EngineOptions, IncrementalEngine};
+use citesys_cq::{parse_query, ConjunctiveQuery, Value};
+use citesys_gtopdb::{full_registry, generate, GtopdbConfig};
+use citesys_storage::Tuple;
+
+use crate::table::{ms, timed, Table};
+
+/// The cached workload: two ligand-dependent queries, four independent.
+pub fn workload() -> Vec<ConjunctiveQuery> {
+    vec![
+        parse_query("Q1(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+            .expect("ok"),
+        parse_query("Q2(FID, FName, Desc) :- Family(FID, FName, Desc)").expect("ok"),
+        parse_query("Q3(PName) :- Committee(FID, PName)").expect("ok"),
+        parse_query("Q4(TName, FID) :- Target(TID, TName, FID)").expect("ok"),
+        parse_query("Q5(LID, LName, LType) :- Ligand(LID, LName, LType)").expect("ok"),
+        parse_query("Q6(TName, LID) :- Target(TID, TName, F), Interaction(TID, LID, A)")
+            .expect("ok"),
+    ]
+}
+
+/// One row: `k` ligand inserts, incremental vs full recompute.
+pub fn run(k: usize) -> Vec<String> {
+    let cfg = GtopdbConfig { scale: 2, ..Default::default() };
+    let registry = full_registry();
+    let queries = workload();
+
+    // Incremental engine: warm cache, apply updates, re-cite everything.
+    let mut inc = IncrementalEngine::new(generate(&cfg), registry.clone(), EngineOptions::default());
+    for q in &queries {
+        inc.cite(q).expect("coverable");
+    }
+    let updates: Vec<Tuple> = (0..k)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int(2_000_000 + i as i64),
+                Value::from(format!("delta-ligand-{i}")),
+                Value::from("peptide"),
+            ])
+        })
+        .collect();
+    let (_, inc_time) = timed(|| {
+        for t in &updates {
+            inc.insert("Ligand", t.clone()).expect("valid");
+        }
+        for q in &queries {
+            inc.cite(q).expect("coverable");
+        }
+    });
+    let stats = inc.stats();
+
+    // Baseline: fresh engine recomputes every query after the same updates.
+    let mut db = generate(&cfg);
+    let (_, full_time) = timed(|| {
+        for t in &updates {
+            db.insert("Ligand", t.clone()).expect("valid");
+        }
+        let engine = CitationEngine::new(&db, &registry, EngineOptions::default());
+        for q in &queries {
+            engine.cite(q).expect("coverable");
+        }
+    });
+
+    vec![
+        k.to_string(),
+        stats.invalidations.to_string(),
+        stats.hits.to_string(),
+        ms(inc_time),
+        ms(full_time),
+        format!("{:.1}×", full_time.as_secs_f64() / inc_time.as_secs_f64().max(1e-9)),
+    ]
+}
+
+/// Builds the E7 table.
+pub fn table(quick: bool) -> Table {
+    let ks: &[usize] = if quick { &[1, 8] } else { &[1, 8, 64, 256] };
+    let rows = ks.iter().map(|&k| run(k)).collect();
+    Table {
+        id: "E7",
+        title: "Citation evolution: incremental invalidation vs recompute-all (k ligand inserts)",
+        expectation: "only ligand-dependent citations invalidate; incremental beats full recompute",
+        headers: vec![
+            "updates k".into(),
+            "invalidations".into(),
+            "cache hits on re-cite".into(),
+            "incremental ms".into(),
+            "recompute-all ms".into(),
+            "speedup".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_ligand_queries_invalidate() {
+        let registry = full_registry();
+        let mut inc = IncrementalEngine::new(
+            generate(&GtopdbConfig::default()),
+            registry,
+            EngineOptions::default(),
+        );
+        for q in workload() {
+            inc.cite(&q).expect("coverable");
+        }
+        assert_eq!(inc.cached(), 6);
+        inc.insert(
+            "Ligand",
+            Tuple::new(vec![
+                Value::Int(3_000_000),
+                Value::from("x"),
+                Value::from("peptide"),
+            ]),
+        )
+        .expect("valid");
+        // Q5 (ligand scan) and Q6? Q6 joins Target–Interaction only, so it
+        // survives; VL's citation query is constant. Exactly one entry
+        // (Q5) depends on Ligand.
+        assert_eq!(inc.cached(), 5);
+    }
+
+    #[test]
+    fn run_produces_speedup_column() {
+        let row = run(1);
+        assert_eq!(row.len(), 6);
+        assert!(row[5].ends_with('×'));
+    }
+}

@@ -1,0 +1,88 @@
+//! Minimal result-table model with markdown rendering.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// One experiment's result table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id, e.g. "E2".
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// The qualitative shape this table is expected to show (checked
+    /// against the paper's claims in EXPERIMENTS.md).
+    pub expectation: &'static str,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (pre-rendered).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn markdown(&self) -> String {
+        let mut out = format!("## {} — {}\n\n", self.id, self.title);
+        out.push_str(&format!("*Expected shape:* {}\n\n", self.expectation));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.markdown())
+    }
+}
+
+/// Times a closure, returning its result and the wall-clock duration.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Renders a duration as fractional milliseconds.
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Renders a duration as fractional microseconds.
+pub fn us(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_shape() {
+        let t = Table {
+            id: "E0",
+            title: "demo",
+            expectation: "flat",
+            headers: vec!["a".into(), "b".into()],
+            rows: vec![vec!["1".into(), "2".into()]],
+        };
+        let md = t.markdown();
+        assert!(md.contains("## E0 — demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn timing_helpers() {
+        let (v, d) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(ms(d).parse::<f64>().unwrap() >= 0.0);
+        assert!(us(d).parse::<f64>().unwrap() >= 0.0);
+    }
+}

@@ -1,0 +1,869 @@
+//! The citation engine: the paper's §2 pipeline, end to end.
+//!
+//! Given a database, a registry of citation views and a conjunctive query
+//! `Q`:
+//!
+//! 1. compute the minimal equivalent rewritings `{Q1, …, Qn}` of `Q` over
+//!    the views (`citesys-rewrite`);
+//! 2. materialize the views used and evaluate each rewriting, collecting
+//!    **every binding** per output tuple;
+//! 3. per binding, build the joint citation `CV1(B1) · … · CVn(Bn)`
+//!    (Definition 2.1); per tuple, sum bindings with `+`
+//!    (Definition 2.2); across rewritings combine with `+R`;
+//! 4. interpret the symbolic expressions under the owner's policies and
+//!    render citation snippets; aggregate with `Agg`.
+//!
+//! Two modes address §3's "Calculating citations" concern: `Formal`
+//! evaluates every rewriting (the paper's semantics, used as the measured
+//! baseline), `CostPruned` selects the cheapest rewriting by a schema-level
+//! size estimate *before* touching the data.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use citesys_cq::{ConjunctiveQuery, Symbol, Term, Value, ValueType};
+use citesys_rewrite::{rewrite, RewriteOptions, RewriteStats, Rewriting};
+use citesys_storage::{
+    evaluate, Attribute, Database, QueryAnswer, RelationSchema, Tuple,
+};
+
+use crate::error::CiteError;
+use crate::expr::{CiteAtom, CiteExpr};
+use crate::policy::{
+    atoms_for_tuple, choose_rewriting, AggPolicy, JointPolicy, PolicySet, RewritingChoice,
+};
+use crate::registry::CitationRegistry;
+use crate::snippet::CitationSnippet;
+
+/// How the engine handles multiple rewritings.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CitationMode {
+    /// Evaluate every rewriting — the paper's formal semantics
+    /// ("going through all rewritings would be impractical" — this is the
+    /// baseline experiment E3/E5 measures).
+    Formal,
+    /// Choose one rewriting up front using a schema-level cost estimate,
+    /// then evaluate only that one (§3's cost-based pruning).
+    ///
+    /// The estimate is not exact: when branches tie (or cardinality upper
+    /// bounds are loose) the pruned choice may differ from the formal
+    /// minimum — never producing a *smaller* citation than `Formal` with
+    /// the min-size policy, but possibly a different same-size or larger
+    /// one. E3 measures the time gap, `tests/proptests.rs` pins the
+    /// one-sided guarantee.
+    #[default]
+    CostPruned,
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineOptions {
+    /// Rewriting search options.
+    pub rewrite: RewriteOptions,
+    /// The owner's combination policies.
+    pub policies: PolicySet,
+    /// Formal vs cost-pruned evaluation.
+    pub mode: CitationMode,
+    /// When no equivalent rewriting exists, fall back to **maximally
+    /// contained** rewritings (Definition 2.1's "(partial) rewriting"):
+    /// tuples derivable through some contained rewriting get citations,
+    /// the rest are reported uncited in [`CitedAnswer::coverage`].
+    pub allow_partial: bool,
+}
+
+/// How much of the answer the citations cover.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Coverage {
+    /// Every answer tuple carries a citation (equivalent rewritings).
+    Full,
+    /// Citations come from contained rewritings; `uncited` answer tuples
+    /// have no citation.
+    Partial {
+        /// Number of answer tuples without any citation.
+        uncited: usize,
+    },
+}
+
+/// The citation of one output tuple.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TupleCitation {
+    /// The output tuple.
+    pub tuple: Tuple,
+    /// One citation expression per evaluated rewriting (aligned with
+    /// [`CitedAnswer::rewritings`]).
+    pub branches: Vec<CiteExpr>,
+    /// Citation atoms selected by the policies.
+    pub atoms: BTreeSet<CiteAtom>,
+    /// Rendered snippets (one per atom under `JointPolicy::Union`, a
+    /// single merged snippet under `JointPolicy::Join`).
+    pub snippets: Vec<CitationSnippet>,
+}
+
+impl TupleCitation {
+    /// The full symbolic citation `(… + …) +R (…)` for this tuple.
+    pub fn expr(&self) -> CiteExpr {
+        CiteExpr::alt_r(self.branches.clone())
+    }
+}
+
+/// The aggregate citation for the whole query answer (`Agg`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AggregateCitation {
+    /// Union of the per-tuple citation atoms.
+    pub atoms: BTreeSet<CiteAtom>,
+    /// Rendered snippets.
+    pub snippets: Vec<CitationSnippet>,
+}
+
+/// Everything the engine produces for one query.
+#[derive(Clone, Debug)]
+pub struct CitedAnswer {
+    /// The query answer (evaluated directly over the base database).
+    pub answer: QueryAnswer,
+    /// The rewritings that were evaluated (after mode-based selection).
+    pub rewritings: Vec<ConjunctiveQuery>,
+    /// The `+R` choice the policies made.
+    pub choice: RewritingChoice,
+    /// Whether citations cover the whole answer.
+    pub coverage: Coverage,
+    /// Per-tuple citations, aligned with `answer.rows`.
+    pub tuples: Vec<TupleCitation>,
+    /// The aggregate citation (`None` under `AggPolicy::PerTupleOnly`).
+    pub aggregate: Option<AggregateCitation>,
+    /// Rewriting-search statistics.
+    pub rewrite_stats: RewriteStats,
+}
+
+/// The citation engine.
+#[derive(Clone, Copy, Debug)]
+pub struct CitationEngine<'a> {
+    db: &'a Database,
+    registry: &'a CitationRegistry,
+    options: EngineOptions,
+}
+
+impl<'a> CitationEngine<'a> {
+    /// Creates an engine over a database and a citation-view registry.
+    pub fn new(db: &'a Database, registry: &'a CitationRegistry, options: EngineOptions) -> Self {
+        CitationEngine { db, registry, options }
+    }
+
+    /// Read access to the options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// Computes the citation for a general query (the paper's central
+    /// operation).
+    ///
+    /// ```
+    /// use citesys_core::paper;
+    /// use citesys_core::{CitationEngine, CitationMode, EngineOptions};
+    ///
+    /// let db = paper::paper_database();
+    /// let registry = paper::paper_registry();
+    /// let engine = CitationEngine::new(&db, &registry, EngineOptions {
+    ///     mode: CitationMode::Formal, ..Default::default()
+    /// });
+    /// let cited = engine.cite(&paper::paper_query()).unwrap();
+    /// // Two rewritings (the paper's Q1, Q2), min-size picks CV2·CV3.
+    /// assert_eq!(cited.rewritings.len(), 2);
+    /// let atoms: Vec<String> =
+    ///     cited.tuples[0].atoms.iter().map(ToString::to_string).collect();
+    /// assert_eq!(atoms, ["CV2", "CV3"]);
+    /// ```
+    pub fn cite(&self, q: &ConjunctiveQuery) -> Result<CitedAnswer, CiteError> {
+        // 1. Rewrite (equivalent; optionally fall back to contained).
+        let views = self.registry.view_set();
+        let outcome = rewrite(q, &views, &self.options.rewrite)?;
+        let mut partial = false;
+        let outcome = if outcome.rewritings.is_empty() && self.options.allow_partial {
+            partial = true;
+            let contained_opts = citesys_rewrite::RewriteOptions {
+                goal: citesys_rewrite::RewriteGoal::Contained,
+                ..self.options.rewrite
+            };
+            rewrite(q, &views, &contained_opts)?
+        } else {
+            outcome
+        };
+        if outcome.rewritings.is_empty() {
+            return Err(CiteError::NoRewriting { query: q.to_string() });
+        }
+
+        // 2. Mode-based selection. Partial rewritings are incomparable —
+        // dropping one loses coverage — so the fallback always evaluates
+        // all of them.
+        let selected: Vec<&Rewriting> = match (self.options.mode, partial) {
+            (CitationMode::Formal, _) | (_, true) => outcome.rewritings.iter().collect(),
+            (CitationMode::CostPruned, false) => {
+                let best = outcome
+                    .rewritings
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(i, r)| (self.schema_estimate(&r.query), *i))
+                    .map(|(_, r)| r)
+                    .expect("non-empty rewritings");
+                vec![best]
+            }
+        };
+
+        // 3. Materialize views used by the selected rewritings.
+        let needed: BTreeSet<&Symbol> = selected
+            .iter()
+            .flat_map(|r| r.query.body.iter().map(|a| &a.predicate))
+            .collect();
+        let view_db = self.materialize_views(&needed)?;
+
+        // 4. Ground-truth answer (also the digest basis for fixity).
+        let answer = evaluate(self.db, q)?;
+
+        // 5. Per-rewriting, per-tuple citation expressions.
+        let mut branch_map: BTreeMap<Tuple, Vec<CiteExpr>> = BTreeMap::new();
+        for row in &answer.rows {
+            branch_map.insert(row.tuple.clone(), vec![CiteExpr::zero(); selected.len()]);
+        }
+        for (ri, r) in selected.iter().enumerate() {
+            let ans = evaluate(&view_db, &r.query)?;
+            for row in &ans.rows {
+                let summands: Vec<CiteExpr> = row
+                    .bindings
+                    .iter()
+                    .map(|b| {
+                        let factors: Vec<CiteExpr> = r
+                            .query
+                            .body
+                            .iter()
+                            .map(|atom| {
+                                let cv = self
+                                    .registry
+                                    .get(atom.predicate.as_str())
+                                    .expect("rewriting uses registered views");
+                                let params: Vec<Value> = cv
+                                    .view
+                                    .param_positions()
+                                    .iter()
+                                    .map(|(_, pos)| {
+                                        b.eval_term(&atom.terms[*pos]).expect(
+                                            "distinguished view position bound by binding",
+                                        )
+                                    })
+                                    .collect();
+                                CiteExpr::Atom(CiteAtom::new(atom.predicate.clone(), params))
+                            })
+                            .collect();
+                        CiteExpr::prod(factors)
+                    })
+                    .collect();
+                let expr = CiteExpr::sum(summands);
+                // Equivalent rewritings produce the same tuple set as the
+                // direct evaluation; tolerate (and ignore) discrepancies in
+                // release builds rather than corrupting citations.
+                debug_assert!(
+                    branch_map.contains_key(&row.tuple),
+                    "rewriting produced tuple {:?} absent from direct answer",
+                    row.tuple
+                );
+                if let Some(branches) = branch_map.get_mut(&row.tuple) {
+                    branches[ri] = expr;
+                }
+            }
+        }
+
+        // 6. Global +R choice, per-tuple interpretation.
+        let branch_matrix: Vec<Vec<CiteExpr>> = answer
+            .rows
+            .iter()
+            .map(|row| branch_map[&row.tuple].clone())
+            .collect();
+        let choice = if partial {
+            // Contained rewritings each cover different tuples; union them.
+            RewritingChoice::All
+        } else {
+            match self.options.mode {
+                CitationMode::CostPruned => RewritingChoice::Index(0),
+                CitationMode::Formal => {
+                    choose_rewriting(self.options.policies.rewritings, &branch_matrix)
+                }
+            }
+        };
+
+        // 7. Render snippets (cached per atom).
+        let mut snippet_cache: BTreeMap<CiteAtom, CitationSnippet> = BTreeMap::new();
+        let mut tuples = Vec::with_capacity(answer.rows.len());
+        let mut agg_atoms: BTreeSet<CiteAtom> = BTreeSet::new();
+        for (row, branches) in answer.rows.iter().zip(branch_matrix) {
+            let atoms = atoms_for_tuple(&self.options.policies, &branches, choice);
+            agg_atoms.extend(atoms.iter().cloned());
+            let snippets = self.render_atoms(&atoms, &mut snippet_cache)?;
+            tuples.push(TupleCitation {
+                tuple: row.tuple.clone(),
+                branches,
+                atoms,
+                snippets,
+            });
+        }
+
+        let aggregate = match self.options.policies.agg {
+            AggPolicy::PerTupleOnly => None,
+            AggPolicy::Union => {
+                let snippets = self.render_atoms(&agg_atoms, &mut snippet_cache)?;
+                Some(AggregateCitation { atoms: agg_atoms, snippets })
+            }
+        };
+
+        let coverage = if partial {
+            Coverage::Partial {
+                uncited: tuples.iter().filter(|t| t.atoms.is_empty()).count(),
+            }
+        } else {
+            Coverage::Full
+        };
+
+        Ok(CitedAnswer {
+            answer,
+            rewritings: selected.iter().map(|r| r.query.clone()).collect(),
+            choice,
+            coverage,
+            tuples,
+            aggregate,
+            rewrite_stats: outcome.stats,
+        })
+    }
+
+    /// Renders the snippets for a set of atoms under the joint policy.
+    fn render_atoms(
+        &self,
+        atoms: &BTreeSet<CiteAtom>,
+        cache: &mut BTreeMap<CiteAtom, CitationSnippet>,
+    ) -> Result<Vec<CitationSnippet>, CiteError> {
+        let mut snippets = Vec::with_capacity(atoms.len());
+        for atom in atoms {
+            if let Some(hit) = cache.get(atom) {
+                snippets.push(hit.clone());
+                continue;
+            }
+            let rendered = self.render_atom(atom)?;
+            cache.insert(atom.clone(), rendered.clone());
+            snippets.push(rendered);
+        }
+        if self.options.policies.joint == JointPolicy::Join && snippets.len() > 1 {
+            let mut merged = snippets[0].clone();
+            for s in &snippets[1..] {
+                merged.absorb(s);
+            }
+            merged.view = Symbol::new("joined");
+            merged.params = Vec::new();
+            snippets = vec![merged];
+        }
+        Ok(snippets)
+    }
+
+    /// Instantiates and evaluates one view's citation queries at the
+    /// atom's parameter values and renders the snippet.
+    fn render_atom(&self, atom: &CiteAtom) -> Result<CitationSnippet, CiteError> {
+        let cv = self
+            .registry
+            .get(atom.view.as_str())
+            .ok_or_else(|| CiteError::BadCitationView {
+                view: atom.view.to_string(),
+                reason: "atom references unregistered view".to_string(),
+            })?;
+        let mut answers: Vec<(&[String], QueryAnswer)> = Vec::new();
+        for cq in &cv.citation_queries {
+            let inst = cq.query.instantiate(&atom.params)?;
+            let ans = evaluate(self.db, &inst)?;
+            answers.push((cq.fields.as_slice(), ans));
+        }
+        let borrowed: Vec<(&[String], &QueryAnswer)> =
+            answers.iter().map(|(f, a)| (*f, a)).collect();
+        Ok(cv.function.render(&atom.view, &atom.params, &borrowed))
+    }
+
+    /// Schema-level citation-size estimate of a rewriting (no data access
+    /// beyond catalog statistics): a parameterized view contributes one
+    /// citation per distinct parameter valuation — estimated as the product
+    /// of the per-parameter distinct counts in the underlying base columns —
+    /// while an unparameterized view contributes exactly one.
+    pub fn schema_estimate(&self, rewriting: &ConjunctiveQuery) -> usize {
+        rewriting
+            .body
+            .iter()
+            .map(|atom| {
+                let Some(cv) = self.registry.get(atom.predicate.as_str()) else {
+                    return usize::MAX / 2;
+                };
+                if !cv.is_parameterized() {
+                    return 1;
+                }
+                cv.view
+                    .params
+                    .iter()
+                    .map(|p| self.param_distinct_estimate(&cv.view, p))
+                    .product::<usize>()
+                    .max(1)
+            })
+            .sum()
+    }
+
+    /// Distinct-count estimate for one λ-parameter: the number of distinct
+    /// values in the base column where the parameter first occurs in the
+    /// view body (falls back to the relation's cardinality).
+    fn param_distinct_estimate(&self, view: &ConjunctiveQuery, param: &Symbol) -> usize {
+        for atom in &view.body {
+            for (pos, t) in atom.terms.iter().enumerate() {
+                if t.as_var() == Some(param) {
+                    if let Ok(rel) = self.db.relation(atom.predicate.as_str()) {
+                        return rel.distinct_count(pos);
+                    }
+                }
+            }
+        }
+        self.db
+            .relation(
+                view.body
+                    .first()
+                    .map(|a| a.predicate.as_str())
+                    .unwrap_or_default(),
+            )
+            .map_or(1, citesys_storage::Relation::len)
+    }
+
+    /// Materializes the named views into a scratch database so rewritings
+    /// (queries over view predicates) can be evaluated by the standard
+    /// evaluator.
+    fn materialize_views(&self, needed: &BTreeSet<&Symbol>) -> Result<Database, CiteError> {
+        let mut vdb = Database::new();
+        for name in needed {
+            let cv = self
+                .registry
+                .get(name.as_str())
+                .ok_or_else(|| CiteError::BadCitationView {
+                    view: name.to_string(),
+                    reason: "rewriting references unregistered view".to_string(),
+                })?;
+            let schema = self.infer_view_schema(&cv.view)?;
+            vdb.create_relation(schema)?;
+            let ans = evaluate(self.db, &cv.view)?;
+            for row in &ans.rows {
+                vdb.insert(name.as_str(), row.tuple.clone())?;
+            }
+        }
+        Ok(vdb)
+    }
+
+    /// Infers the relation schema of a view from the base catalog.
+    fn infer_view_schema(&self, view: &ConjunctiveQuery) -> Result<RelationSchema, CiteError> {
+        let mut attrs = Vec::with_capacity(view.arity());
+        for (i, t) in view.head.terms.iter().enumerate() {
+            let (name, ty) = match t {
+                Term::Const(c) => (format!("c{i}"), c.type_name()),
+                Term::Var(v) => {
+                    let ty = self.type_of_var(view, v)?;
+                    (v.to_string(), ty)
+                }
+            };
+            attrs.push((name, ty));
+        }
+        // Disambiguate duplicate attribute names positionally.
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let attributes = attrs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, ty))| {
+                let unique = if seen.insert(name.clone()) {
+                    name
+                } else {
+                    format!("{name}_{i}")
+                };
+                Attribute::new(unique, ty)
+            })
+            .collect();
+        Ok(RelationSchema::new(view.name().clone(), attributes, vec![]))
+    }
+
+    /// Resolves a view variable's type from its first occurrence in the
+    /// view body.
+    fn type_of_var(&self, view: &ConjunctiveQuery, v: &Symbol) -> Result<ValueType, CiteError> {
+        for atom in &view.body {
+            for (pos, t) in atom.terms.iter().enumerate() {
+                if t.as_var() == Some(v) {
+                    let rel = self.db.relation(atom.predicate.as_str())?;
+                    return Ok(rel.schema().attributes[pos].ty);
+                }
+            }
+        }
+        Err(CiteError::BadCitationView {
+            view: view.name().to_string(),
+            reason: format!("cannot infer type of head variable {v}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+    use crate::policy::RewritePolicy;
+    use citesys_cq::parse_query;
+    use citesys_storage::tuple;
+
+    fn engine_fixture() -> (Database, CitationRegistry) {
+        (paper::paper_database(), paper::paper_registry())
+    }
+
+    #[test]
+    fn paper_example_formal_mode() {
+        let (db, reg) = engine_fixture();
+        let engine = CitationEngine::new(
+            &db,
+            &reg,
+            EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+        );
+        let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+            .unwrap();
+        let cited = engine.cite(&q).unwrap();
+
+        // One output tuple: (Calcitonin).
+        assert_eq!(cited.answer.len(), 1);
+        assert_eq!(cited.tuples[0].tuple, tuple!["Calcitonin"]);
+
+        // Two rewritings evaluated; the symbolic expression matches §2:
+        // (CV1(11)·CV3 + CV1(12)·CV3) +R (CV2·CV3)  (branch order may put
+        // V2 first since rewritings are sorted deterministically).
+        assert_eq!(cited.rewritings.len(), 2);
+        let expr = cited.tuples[0].expr().to_string();
+        assert!(
+            expr.contains("CV1(11)·CV3") && expr.contains("CV1(12)·CV3"),
+            "Q1 branch missing: {expr}"
+        );
+        assert!(expr.contains("CV2·CV3"), "Q2 branch missing: {expr}");
+        assert!(expr.contains("+R"), "two rewritings must be +R-combined: {expr}");
+
+        // Min-size +R picks the V2 branch: final atoms CV2, CV3.
+        let atoms: Vec<String> =
+            cited.tuples[0].atoms.iter().map(ToString::to_string).collect();
+        assert_eq!(atoms, vec!["CV2", "CV3"]);
+
+        // Snippets rendered for both atoms.
+        assert_eq!(cited.tuples[0].snippets.len(), 2);
+        let agg = cited.aggregate.as_ref().unwrap();
+        assert_eq!(agg.atoms.len(), 2);
+    }
+
+    #[test]
+    fn paper_example_union_policy_keeps_committee() {
+        let (db, reg) = engine_fixture();
+        let engine = CitationEngine::new(
+            &db,
+            &reg,
+            EngineOptions {
+                mode: CitationMode::Formal,
+                policies: PolicySet {
+                    rewritings: RewritePolicy::Union,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+            .unwrap();
+        let cited = engine.cite(&q).unwrap();
+        // Union keeps CV1(11), CV1(12), CV2, CV3.
+        assert_eq!(cited.tuples[0].atoms.len(), 4);
+        // The parameterized snippets carry the committee names.
+        let snips = &cited.tuples[0].snippets;
+        let committee: Vec<&str> = snips
+            .iter()
+            .filter(|s| s.view == "V1")
+            .flat_map(|s| s.field("PName").iter().map(String::as_str))
+            .collect();
+        assert!(committee.contains(&"Alice"));
+        assert!(committee.contains(&"Carol"));
+    }
+
+    #[test]
+    fn cost_pruned_mode_evaluates_one_rewriting() {
+        let (db, reg) = engine_fixture();
+        let engine = CitationEngine::new(
+            &db,
+            &reg,
+            EngineOptions { mode: CitationMode::CostPruned, ..Default::default() },
+        );
+        let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+            .unwrap();
+        let cited = engine.cite(&q).unwrap();
+        assert_eq!(cited.rewritings.len(), 1);
+        // The schema estimate prefers the unparameterized V2 branch.
+        let atoms: Vec<String> =
+            cited.tuples[0].atoms.iter().map(ToString::to_string).collect();
+        assert_eq!(atoms, vec!["CV2", "CV3"]);
+    }
+
+    #[test]
+    fn formal_and_pruned_agree_on_paper_example() {
+        let (db, reg) = engine_fixture();
+        let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+            .unwrap();
+        let formal = CitationEngine::new(
+            &db,
+            &reg,
+            EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+        )
+        .cite(&q)
+        .unwrap();
+        let pruned = CitationEngine::new(
+            &db,
+            &reg,
+            EngineOptions { mode: CitationMode::CostPruned, ..Default::default() },
+        )
+        .cite(&q)
+        .unwrap();
+        assert_eq!(formal.tuples[0].atoms, pruned.tuples[0].atoms);
+    }
+
+    #[test]
+    fn uncoverable_query_reports_no_rewriting() {
+        let (db, reg) = engine_fixture();
+        let engine = CitationEngine::new(&db, &reg, EngineOptions::default());
+        let q = parse_query("Q(P) :- Committee(F, P)").unwrap();
+        let e = engine.cite(&q).unwrap_err();
+        assert!(matches!(e, CiteError::NoRewriting { .. }));
+    }
+
+    #[test]
+    fn empty_answer_still_cites() {
+        let (db, reg) = engine_fixture();
+        let engine = CitationEngine::new(&db, &reg, EngineOptions::default());
+        let q = parse_query("Q(N) :- Family(99, N, D), FamilyIntro(99, T)").unwrap();
+        let cited = engine.cite(&q).unwrap();
+        assert!(cited.answer.is_empty());
+        assert!(cited.tuples.is_empty());
+        let agg = cited.aggregate.unwrap();
+        assert!(agg.atoms.is_empty());
+    }
+
+    #[test]
+    fn join_policy_merges_snippets() {
+        let (db, reg) = engine_fixture();
+        let engine = CitationEngine::new(
+            &db,
+            &reg,
+            EngineOptions {
+                mode: CitationMode::Formal,
+                policies: PolicySet { joint: JointPolicy::Join, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+            .unwrap();
+        let cited = engine.cite(&q).unwrap();
+        assert_eq!(cited.tuples[0].snippets.len(), 1, "joined into one snippet");
+    }
+
+    #[test]
+    fn per_tuple_only_agg() {
+        let (db, reg) = engine_fixture();
+        let engine = CitationEngine::new(
+            &db,
+            &reg,
+            EngineOptions {
+                policies: PolicySet { agg: AggPolicy::PerTupleOnly, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+            .unwrap();
+        let cited = engine.cite(&q).unwrap();
+        assert!(cited.aggregate.is_none());
+        assert!(!cited.tuples.is_empty());
+    }
+
+    #[test]
+    fn parameterized_view_used_twice_in_one_rewriting() {
+        // Chain query rewritten as VE(A,B) ⋈ VE(B,C): the SAME
+        // parameterized view instantiated at two parameter values inside
+        // one binding — the paper's `CV(p1)·CV(p2)` joint case.
+        let mut db = Database::new();
+        db.create_relation(citesys_storage::RelationSchema::from_parts(
+            "E",
+            &[("A", ValueType::Int), ("B", ValueType::Int)],
+            &[],
+        ))
+        .unwrap();
+        db.insert("E", citesys_storage::tuple![1, 2]).unwrap();
+        db.insert("E", citesys_storage::tuple![2, 3]).unwrap();
+        let mut reg = crate::registry::CitationRegistry::new();
+        reg.add(
+            crate::registry::CitationView::new(
+                citesys_cq::parse_query("λ X. VE(X, Y) :- E(X, Y)").unwrap(),
+                vec![crate::snippet::CitationQuery::new(
+                    citesys_cq::parse_query("λ X. CVE(X, W) :- E(X, W)").unwrap(),
+                )],
+                crate::snippet::CitationFunction::new(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let engine = CitationEngine::new(
+            &db,
+            &reg,
+            EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+        );
+        let q = parse_query("Q(A, C) :- E(A, B), E(B, C)").unwrap();
+        let cited = engine.cite(&q).unwrap();
+        assert_eq!(cited.answer.len(), 1);
+        let t = &cited.tuples[0];
+        assert_eq!(t.tuple, tuple![1, 3]);
+        assert_eq!(t.expr().to_string(), "CVE(1)·CVE(2)");
+        assert_eq!(t.atoms.len(), 2);
+        // Each snippet carries the endpoint pulled by its citation query.
+        let params: Vec<i64> = t
+            .atoms
+            .iter()
+            .map(|a| a.params[0].as_int().unwrap())
+            .collect();
+        assert_eq!(params, vec![1, 2]);
+    }
+
+    #[test]
+    fn multi_parameter_view() {
+        // λ FID, PName — one citation per (family, member) pair.
+        let (db, _) = engine_fixture();
+        let mut reg = crate::registry::CitationRegistry::new();
+        reg.add(
+            crate::registry::CitationView::new(
+                citesys_cq::parse_query(
+                    "λ FID, PName. VC(FID, PName) :- Committee(FID, PName)",
+                )
+                .unwrap(),
+                vec![crate::snippet::CitationQuery::new(
+                    citesys_cq::parse_query(
+                        "λ FID, PName. CVC(FID, PName) :- Committee(FID, PName)",
+                    )
+                    .unwrap(),
+                )],
+                crate::snippet::CitationFunction::new(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let engine = CitationEngine::new(
+            &db,
+            &reg,
+            EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+        );
+        let q = parse_query("Q(P) :- Committee(11, P)").unwrap();
+        let cited = engine.cite(&q).unwrap();
+        assert_eq!(cited.answer.len(), 2); // Alice, Bob
+        for t in &cited.tuples {
+            assert_eq!(t.atoms.len(), 1);
+            let atom = t.atoms.iter().next().unwrap();
+            assert_eq!(atom.params.len(), 2, "both λ-parameters instantiated");
+            assert_eq!(atom.params[0], Value::Int(11));
+        }
+        // Distinct members ⇒ distinct second parameter.
+        let seconds: std::collections::BTreeSet<_> = cited
+            .tuples
+            .iter()
+            .map(|t| t.atoms.iter().next().unwrap().params[1].clone())
+            .collect();
+        assert_eq!(seconds.len(), 2);
+    }
+
+    #[test]
+    fn query_with_constant_cites_pinned_view() {
+        // Constants in the query flow into the rewriting and parameters.
+        let (db, reg) = engine_fixture();
+        let engine = CitationEngine::new(
+            &db,
+            &reg,
+            EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+        );
+        let q = parse_query("Q(N) :- Family(11, N, D), FamilyIntro(11, T)").unwrap();
+        let cited = engine.cite(&q).unwrap();
+        assert_eq!(cited.answer.len(), 1);
+        let expr = cited.tuples[0].expr().to_string();
+        assert!(expr.contains("CV1(11)"), "pinned parameter: {expr}");
+        assert!(!expr.contains("CV1(12)"), "other family excluded: {expr}");
+    }
+
+    #[test]
+    fn partial_fallback_cites_covered_tuples() {
+        // Registry with only a narrow view: families that HAVE an intro.
+        let db = paper::paper_database();
+        let mut reg = crate::registry::CitationRegistry::new();
+        reg.add(
+            crate::registry::CitationView::new(
+                citesys_cq::parse_query(
+                    "VN(FID, FName) :- Family(FID, FName, D), FamilyIntro(FID, T)",
+                )
+                .unwrap(),
+                vec![crate::snippet::CitationQuery::with_fields(
+                    citesys_cq::parse_query("CVN(D) :- D = 'narrow'").unwrap(),
+                    vec!["citation".to_string()],
+                )
+                .unwrap()],
+                crate::snippet::CitationFunction::new(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+
+        // Q = all family names. Dopamine (no intro) cannot be cited.
+        let q = parse_query("Q(FName) :- Family(FID, FName, D)").unwrap();
+        let strict = CitationEngine::new(&db, &reg, EngineOptions::default());
+        assert!(matches!(strict.cite(&q), Err(CiteError::NoRewriting { .. })));
+
+        let lenient = CitationEngine::new(
+            &db,
+            &reg,
+            EngineOptions { allow_partial: true, ..Default::default() },
+        );
+        let cited = lenient.cite(&q).unwrap();
+        assert_eq!(cited.answer.len(), 2); // Calcitonin, Dopamine
+        assert_eq!(cited.coverage, Coverage::Partial { uncited: 1 });
+        let calc = cited
+            .tuples
+            .iter()
+            .find(|t| t.tuple == tuple!["Calcitonin"])
+            .unwrap();
+        assert!(!calc.atoms.is_empty(), "covered tuple is cited");
+        let dopa = cited
+            .tuples
+            .iter()
+            .find(|t| t.tuple == tuple!["Dopamine"])
+            .unwrap();
+        assert!(dopa.atoms.is_empty(), "uncovered tuple stays uncited");
+    }
+
+    #[test]
+    fn full_coverage_reported_when_equivalent() {
+        let (db, reg) = engine_fixture();
+        let engine = CitationEngine::new(
+            &db,
+            &reg,
+            EngineOptions { allow_partial: true, ..Default::default() },
+        );
+        let cited = engine.cite(&paper::paper_query()).unwrap();
+        assert_eq!(cited.coverage, Coverage::Full);
+    }
+
+    #[test]
+    fn parameterized_identity_query_cites_per_family() {
+        let (db, reg) = engine_fixture();
+        let engine = CitationEngine::new(
+            &db,
+            &reg,
+            EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+        );
+        // Q = all families: rewritable via V1 (param) or V2 (constant).
+        let q = parse_query("Q(FID, FName, Desc) :- Family(FID, FName, Desc)").unwrap();
+        let cited = engine.cite(&q).unwrap();
+        assert_eq!(cited.answer.len(), 3);
+        // Min-size picks V2 (one citation) over V1 (three).
+        for t in &cited.tuples {
+            assert_eq!(t.atoms.len(), 1);
+            assert_eq!(t.atoms.iter().next().unwrap().view.as_str(), "V2");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for the citation engine.
+
+use std::fmt;
+
+use citesys_cq::CqError;
+use citesys_rewrite::RewriteError;
+use citesys_storage::StorageError;
+
+/// Errors produced by the citation engine.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CiteError {
+    /// A query-layer error (parsing, validation).
+    Query(CqError),
+    /// A storage-layer error (evaluation, versions).
+    Storage(StorageError),
+    /// A rewriting-layer error (views, budget).
+    Rewrite(RewriteError),
+    /// The query admits no equivalent rewriting over the citation views —
+    /// no citation can be constructed.
+    NoRewriting {
+        /// The query that could not be covered.
+        query: String,
+    },
+    /// A citation view was registered with an inconsistent shape.
+    BadCitationView {
+        /// The view name.
+        view: String,
+        /// What is wrong.
+        reason: String,
+    },
+    /// Fixity verification failed: re-execution did not reproduce the
+    /// digest stored in the citation.
+    FixityViolation {
+        /// Expected digest (from the citation).
+        expected: String,
+        /// Digest obtained on re-execution.
+        got: String,
+    },
+}
+
+impl fmt::Display for CiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CiteError::Query(e) => write!(f, "query error: {e}"),
+            CiteError::Storage(e) => write!(f, "storage error: {e}"),
+            CiteError::Rewrite(e) => write!(f, "rewrite error: {e}"),
+            CiteError::NoRewriting { query } => {
+                write!(f, "no equivalent rewriting over citation views for: {query}")
+            }
+            CiteError::BadCitationView { view, reason } => {
+                write!(f, "bad citation view {view}: {reason}")
+            }
+            CiteError::FixityViolation { expected, got } => {
+                write!(f, "fixity violation: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CiteError {}
+
+impl From<CqError> for CiteError {
+    fn from(e: CqError) -> Self {
+        CiteError::Query(e)
+    }
+}
+
+impl From<StorageError> for CiteError {
+    fn from(e: StorageError) -> Self {
+        CiteError::Storage(e)
+    }
+}
+
+impl From<RewriteError> for CiteError {
+    fn from(e: RewriteError) -> Self {
+        CiteError::Rewrite(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CiteError = CqError::Unsatisfiable { left: "1".into(), right: "2".into() }.into();
+        assert!(e.to_string().contains("query error"));
+        let e: CiteError = StorageError::UnknownRelation { name: "R".into() }.into();
+        assert!(e.to_string().contains("storage error"));
+        let e: CiteError = RewriteError::UnknownView { name: "V".into() }.into();
+        assert!(e.to_string().contains("rewrite error"));
+        let e = CiteError::NoRewriting { query: "Q(X) :- R(X)".into() };
+        assert!(e.to_string().contains("no equivalent rewriting"));
+    }
+}

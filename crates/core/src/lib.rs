@@ -1,0 +1,82 @@
+//! # citesys-core — fine-grained data citation
+//!
+//! The primary contribution of *“Data Citation: A Computational Challenge”*
+//! (Davidson, Buneman, Deutch, Milo, Silvello — PODS 2017), as a library:
+//!
+//! * **Citation views** ([`registry`]): conjunctive-query views with
+//!   λ-parameters, citation queries and citation functions, exactly as in
+//!   §2 of the paper.
+//! * **The citation algebra** ([`expr`]): symbolic expressions over `·`
+//!   (joint), `+` (alternative bindings) and `+R` (alternative
+//!   rewritings), e.g. the paper's
+//!   `(CV1(11)·CV3 + CV1(12)·CV3) +R (CV2·CV3)`.
+//! * **Policies** ([`policy`]): owner-chosen interpretations (union, join,
+//!   first, minimum estimated size) of the abstract operators.
+//! * **The engine** ([`engine`]): rewrite → evaluate → annotate → render,
+//!   with a formal-semantics mode and a cost-pruned mode (§3).
+//! * **Rendering** ([`mod@format`]): text, BibTeX, RIS, XML, JSON.
+//! * **Fixity** ([`fixity`]): versioned citations with SHA-256 digests,
+//!   dereference and verification.
+//! * **Evolution** ([`evolve`]): cached citations with precise
+//!   invalidation under updates.
+//! * **View selection** ([`select`]): covering a query workload with few
+//!   views (greedy vs exhaustive).
+//! * **The paper's running example** ([`paper`]): the GtoPdb fragment as a
+//!   reusable fixture.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use citesys_core::engine::{CitationEngine, CitationMode, EngineOptions};
+//! use citesys_core::format::{format_citation, CitationFormat};
+//! use citesys_core::paper;
+//!
+//! let db = paper::paper_database();
+//! let registry = paper::paper_registry();
+//! let engine = CitationEngine::new(&db, &registry, EngineOptions {
+//!     mode: CitationMode::Formal,
+//!     ..Default::default()
+//! });
+//!
+//! let cited = engine.cite(&paper::paper_query()).unwrap();
+//! // The min-size policy picks the paper's answer: CV2·CV3.
+//! let atoms: Vec<String> =
+//!     cited.tuples[0].atoms.iter().map(ToString::to_string).collect();
+//! assert_eq!(atoms, vec!["CV2", "CV3"]);
+//!
+//! let text = format_citation(&cited.tuples[0].snippets, None, CitationFormat::Text);
+//! assert!(text.contains("IUPHAR/BPS Guide to PHARMACOLOGY..."));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod error;
+pub mod evolve;
+pub mod expr;
+pub mod fixity;
+pub mod format;
+pub mod paper;
+pub mod policy;
+pub mod registry;
+pub mod select;
+pub mod snippet;
+pub mod trace;
+
+pub use engine::{
+    AggregateCitation, CitationEngine, CitationMode, CitedAnswer, Coverage, EngineOptions,
+    TupleCitation,
+};
+pub use error::CiteError;
+pub use evolve::{EvolveStats, IncrementalEngine};
+pub use expr::{CiteAtom, CiteExpr};
+pub use fixity::{cite_at_version, dereference, verify, FixityToken};
+pub use format::{format_citation, format_citation_with, CitationFormat, FormatOptions};
+pub use policy::{
+    AggPolicy, AltPolicy, JointPolicy, PolicySet, RewritePolicy, RewritingChoice,
+};
+pub use registry::{CitationRegistry, CitationView};
+pub use select::{covers, exhaustive_select, greedy_select, Selection};
+pub use snippet::{CitationFunction, CitationQuery, CitationSnippet};
+pub use trace::{trace_answer, trace_tuple};

@@ -1,0 +1,169 @@
+//! The paper's §2 running example as a reusable fixture.
+//!
+//! Schema (keys underlined in the paper):
+//! `Family(FID, FName, Desc)`, `Committee(FID, PName)`,
+//! `FamilyIntro(FID, Text)` — the GtoPdb drug-target families fragment.
+//!
+//! Instance: two families share the name *Calcitonin* (FIDs 11 and 12, the
+//! source of the paper's multiple-bindings discussion), plus a *Dopamine*
+//! family without an intro.
+//!
+//! Citation views:
+//! * `V1` — parameterized by `FID`; its citation query pulls the committee
+//!   members responsible for the family;
+//! * `V2` — unparameterized; cites the whole database;
+//! * `V3` — unparameterized view of `FamilyIntro`, same database-level
+//!   citation.
+
+use citesys_cq::{parse_query, ConjunctiveQuery, ValueType};
+use citesys_storage::{tuple, Database, RelationSchema};
+
+use crate::registry::{CitationRegistry, CitationView};
+use crate::snippet::{CitationFunction, CitationQuery};
+
+/// The constant citation text used by `CV2`/`CV3` in the paper.
+pub const GTOPDB_CITATION: &str = "IUPHAR/BPS Guide to PHARMACOLOGY...";
+
+/// The three relation schemas of the example.
+pub fn paper_schemas() -> Vec<RelationSchema> {
+    vec![
+        RelationSchema::from_parts(
+            "Family",
+            &[
+                ("FID", ValueType::Int),
+                ("FName", ValueType::Text),
+                ("Desc", ValueType::Text),
+            ],
+            &[0],
+        ),
+        RelationSchema::from_parts(
+            "Committee",
+            &[("FID", ValueType::Int), ("PName", ValueType::Text)],
+            &[0, 1],
+        ),
+        RelationSchema::from_parts(
+            "FamilyIntro",
+            &[("FID", ValueType::Int), ("Text", ValueType::Text)],
+            &[0],
+        ),
+    ]
+}
+
+/// The §2 instance, including the duplicated Calcitonin family
+/// (`FID=11, Desc='C1', Text='1st'` and `FID=12, Desc='C2', Text='2nd'`).
+pub fn paper_database() -> Database {
+    let mut db = Database::new();
+    for s in paper_schemas() {
+        db.create_relation(s).expect("fresh database");
+    }
+    let rows = [
+        ("Family", tuple![11, "Calcitonin", "C1"]),
+        ("Family", tuple![12, "Calcitonin", "C2"]),
+        ("Family", tuple![13, "Dopamine", "D1"]),
+        ("FamilyIntro", tuple![11, "1st"]),
+        ("FamilyIntro", tuple![12, "2nd"]),
+        ("Committee", tuple![11, "Alice"]),
+        ("Committee", tuple![11, "Bob"]),
+        ("Committee", tuple![12, "Carol"]),
+        ("Committee", tuple![13, "Dave"]),
+    ];
+    for (rel, t) in rows {
+        db.insert(rel, t).expect("fixture rows are schema-valid");
+    }
+    db
+}
+
+/// The paper's three citation views (V1 parameterized, V2/V3 constant).
+pub fn paper_registry() -> CitationRegistry {
+    let mut reg = CitationRegistry::new();
+
+    // λ FID. V1(FID,FName,Desc) :- Family(FID,FName,Desc)
+    // λ FID. CV1(FID,PName)     :- Committee(FID,PName)
+    reg.add(
+        CitationView::new(
+            parse_query("λ FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)")
+                .expect("fixture view parses"),
+            vec![CitationQuery::new(
+                parse_query("λ FID. CV1(FID, PName) :- Committee(FID, PName)")
+                    .expect("fixture citation query parses"),
+            )],
+            CitationFunction::new().with_static("database", "GtoPdb"),
+        )
+        .expect("V1 is well-formed"),
+    )
+    .expect("fresh registry");
+
+    // V2(FID,FName,Desc) :- Family(FID,FName,Desc); CV2(D) :- D = "…".
+    reg.add(
+        CitationView::new(
+            parse_query("V2(FID, FName, Desc) :- Family(FID, FName, Desc)")
+                .expect("fixture view parses"),
+            vec![CitationQuery::with_fields(
+                parse_query(&format!("CV2(D) :- D = \"{GTOPDB_CITATION}\""))
+                    .expect("fixture citation query parses"),
+                vec!["citation".to_string()],
+            )
+            .expect("arity 1")],
+            CitationFunction::new(),
+        )
+        .expect("V2 is well-formed"),
+    )
+    .expect("unique name");
+
+    // V3(FID,Text) :- FamilyIntro(FID,Text); CV3(D) :- D = "…".
+    reg.add(
+        CitationView::new(
+            parse_query("V3(FID, Text) :- FamilyIntro(FID, Text)")
+                .expect("fixture view parses"),
+            vec![CitationQuery::with_fields(
+                parse_query(&format!("CV3(D) :- D = \"{GTOPDB_CITATION}\""))
+                    .expect("fixture citation query parses"),
+                vec!["citation".to_string()],
+            )
+            .expect("arity 1")],
+            CitationFunction::new(),
+        )
+        .expect("V3 is well-formed"),
+    )
+    .expect("unique name");
+
+    reg
+}
+
+/// The paper's general query:
+/// `Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)`.
+pub fn paper_query() -> ConjunctiveQuery {
+    parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+        .expect("fixture query parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citesys_storage::evaluate;
+
+    #[test]
+    fn fixture_matches_paper_counts() {
+        let db = paper_database();
+        assert_eq!(db.relation("Family").unwrap().len(), 3);
+        assert_eq!(db.relation("FamilyIntro").unwrap().len(), 2);
+        assert_eq!(db.relation("Committee").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn calcitonin_has_two_bindings() {
+        let db = paper_database();
+        let a = evaluate(&db, &paper_query()).unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.rows[0].bindings.len(), 2);
+    }
+
+    #[test]
+    fn registry_has_three_views() {
+        let reg = paper_registry();
+        assert_eq!(reg.len(), 3);
+        assert!(reg.get("V1").unwrap().is_parameterized());
+        assert!(!reg.get("V2").unwrap().is_parameterized());
+        assert!(!reg.get("V3").unwrap().is_parameterized());
+    }
+}

@@ -1,0 +1,203 @@
+//! Citation views and the registry the engine works against.
+
+use std::collections::BTreeMap;
+
+use citesys_cq::{ConjunctiveQuery, Symbol};
+use citesys_rewrite::ViewSet;
+
+use crate::error::CiteError;
+use crate::snippet::{CitationFunction, CitationQuery};
+
+/// A citation view: a view query, its citation queries, and the citation
+/// function (§2 of the paper).
+///
+/// Invariant (the paper: parameters "must … be consistent across the view
+/// and associated citation queries"): every citation query declares exactly
+/// the same λ-parameter list as the view.
+#[derive(Clone, Debug)]
+pub struct CitationView {
+    /// The view query (head predicate = view name).
+    pub view: ConjunctiveQuery,
+    /// Citation queries pulling snippet data (same λ-parameters).
+    pub citation_queries: Vec<CitationQuery>,
+    /// The citation function rendering snippets.
+    pub function: CitationFunction,
+}
+
+impl CitationView {
+    /// Builds and validates a citation view.
+    pub fn new(
+        view: ConjunctiveQuery,
+        citation_queries: Vec<CitationQuery>,
+        function: CitationFunction,
+    ) -> Result<Self, CiteError> {
+        for cq in &citation_queries {
+            if cq.query.params != view.params {
+                return Err(CiteError::BadCitationView {
+                    view: view.name().to_string(),
+                    reason: format!(
+                        "citation query {} declares parameters {:?}, view declares {:?}",
+                        cq.query.name(),
+                        cq.query.params,
+                        view.params
+                    ),
+                });
+            }
+        }
+        if citation_queries.is_empty() {
+            return Err(CiteError::BadCitationView {
+                view: view.name().to_string(),
+                reason: "at least one citation query is required".to_string(),
+            });
+        }
+        Ok(CitationView { view, citation_queries, function })
+    }
+
+    /// The view's name (head predicate).
+    pub fn name(&self) -> &Symbol {
+        self.view.name()
+    }
+
+    /// True when the view is parameterized.
+    pub fn is_parameterized(&self) -> bool {
+        self.view.is_parameterized()
+    }
+}
+
+/// The registry of citation views owned by the database owner.
+#[derive(Clone, Debug, Default)]
+pub struct CitationRegistry {
+    views: Vec<CitationView>,
+    by_name: BTreeMap<Symbol, usize>,
+}
+
+impl CitationRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a citation view (names must be unique).
+    pub fn add(&mut self, cv: CitationView) -> Result<(), CiteError> {
+        let name = cv.name().clone();
+        if self.by_name.contains_key(&name) {
+            return Err(CiteError::BadCitationView {
+                view: name.to_string(),
+                reason: "duplicate view name".to_string(),
+            });
+        }
+        self.by_name.insert(name, self.views.len());
+        self.views.push(cv);
+        Ok(())
+    }
+
+    /// Builder-style [`add`](Self::add).
+    pub fn with(mut self, cv: CitationView) -> Result<Self, CiteError> {
+        self.add(cv)?;
+        Ok(self)
+    }
+
+    /// Number of registered views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// True when the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Looks up a citation view by name.
+    pub fn get(&self, name: &str) -> Option<&CitationView> {
+        self.by_name.get(name).map(|&i| &self.views[i])
+    }
+
+    /// Iterates over the views in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &CitationView> {
+        self.views.iter()
+    }
+
+    /// The plain view set used by the rewriting layer.
+    pub fn view_set(&self) -> ViewSet {
+        ViewSet::new(self.views.iter().map(|v| v.view.clone()).collect())
+            .expect("registry enforces unique names")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citesys_cq::parse_query;
+
+    fn v1() -> CitationView {
+        CitationView::new(
+            parse_query("λ FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)").unwrap(),
+            vec![CitationQuery::new(
+                parse_query("λ FID. CV1(FID, PName) :- Committee(FID, PName)").unwrap(),
+            )],
+            CitationFunction::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_view_registers() {
+        let mut reg = CitationRegistry::new();
+        reg.add(v1()).unwrap();
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get("V1").is_some());
+        assert!(reg.get("V1").unwrap().is_parameterized());
+        assert_eq!(reg.view_set().len(), 1);
+    }
+
+    #[test]
+    fn parameter_mismatch_rejected() {
+        let e = CitationView::new(
+            parse_query("λ FID. V1(FID, N, D) :- Family(FID, N, D)").unwrap(),
+            vec![CitationQuery::new(
+                // Unparameterized citation query for a parameterized view.
+                parse_query("CV1(D) :- D = 'x'").unwrap(),
+            )],
+            CitationFunction::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(e, CiteError::BadCitationView { .. }));
+    }
+
+    #[test]
+    fn empty_citation_queries_rejected() {
+        let e = CitationView::new(
+            parse_query("V(X) :- R(X)").unwrap(),
+            vec![],
+            CitationFunction::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(e, CiteError::BadCitationView { .. }));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut reg = CitationRegistry::new();
+        reg.add(v1()).unwrap();
+        let e = reg.add(v1()).unwrap_err();
+        assert!(matches!(e, CiteError::BadCitationView { .. }));
+    }
+
+    #[test]
+    fn multiple_citation_queries_allowed() {
+        let cv = CitationView::new(
+            parse_query("λ FID. V1(FID, N, D) :- Family(FID, N, D)").unwrap(),
+            vec![
+                CitationQuery::new(
+                    parse_query("λ FID. CVa(FID, P) :- Committee(FID, P)").unwrap(),
+                ),
+                CitationQuery::new(
+                    parse_query("λ FID. CVb(FID, N) :- Family(FID, N, D)").unwrap(),
+                ),
+            ],
+            CitationFunction::new().with_static("database", "GtoPdb"),
+        )
+        .unwrap();
+        assert_eq!(cv.citation_queries.len(), 2);
+    }
+}

@@ -1,0 +1,268 @@
+//! View selection for an expected query workload (§3, *Defining
+//! citations*): "interesting questions around defining and efficiently
+//! deciding whether these views represent the 'best' ones given an expected
+//! query workload, i.e. the ones that 'cover' the expected queries".
+//!
+//! A view set *covers* a query when at least one equivalent rewriting
+//! exists. Selection looks for a small subset of candidate views covering
+//! the whole workload: [`greedy_select`] is the practical algorithm,
+//! [`exhaustive_select`] the optimal baseline for small instances
+//! (experiment E8 compares them).
+
+use citesys_cq::ConjunctiveQuery;
+use citesys_rewrite::{rewrite, RewriteOptions, ViewSet};
+
+/// Result of a selection run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Selection {
+    /// Indices (into the candidate list) of the chosen views.
+    pub chosen: Vec<usize>,
+    /// Which workload queries the chosen views cover.
+    pub covered: Vec<bool>,
+    /// How many cover tests (rewrite calls) were spent.
+    pub cover_checks: usize,
+}
+
+impl Selection {
+    /// True when every workload query is covered.
+    pub fn covers_all(&self) -> bool {
+        self.covered.iter().all(|&c| c)
+    }
+}
+
+/// Does `views` admit an equivalent rewriting for `q`?
+pub fn covers(q: &ConjunctiveQuery, views: &[ConjunctiveQuery], opts: &RewriteOptions) -> bool {
+    let Ok(set) = ViewSet::new(views.to_vec()) else {
+        return false;
+    };
+    rewrite(q, &set, opts).is_ok_and(|o| !o.rewritings.is_empty())
+}
+
+/// Greedy workload cover: repeatedly add the candidate view (or, when no
+/// single view helps, the candidate *pair*) that newly covers the most
+/// uncovered queries (ties: lowest index); stop when everything is covered
+/// or no step helps.
+///
+/// Coverage is *not* monotone per-view — a query may need several views
+/// together (e.g. `V1 ⋈ V3` in the paper), so single-view gains can all be
+/// zero while a pair makes progress; the pair lookahead handles exactly the
+/// join-of-two-views case, which dominates real citation views.
+pub fn greedy_select(
+    workload: &[ConjunctiveQuery],
+    candidates: &[ConjunctiveQuery],
+    opts: &RewriteOptions,
+) -> Selection {
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut covered = vec![false; workload.len()];
+    let mut checks = 0usize;
+
+    // Gain of adding `extra` to the current selection.
+    let gain_of = |chosen: &[usize],
+                   extra: &[usize],
+                   covered: &[bool],
+                   checks: &mut usize|
+     -> usize {
+        let trial: Vec<ConjunctiveQuery> = chosen
+            .iter()
+            .chain(extra)
+            .map(|&i| candidates[i].clone())
+            .collect();
+        let mut gain = 0;
+        for (qi, q) in workload.iter().enumerate() {
+            if covered[qi] {
+                continue;
+            }
+            *checks += 1;
+            if covers(q, &trial, opts) {
+                gain += 1;
+            }
+        }
+        gain
+    };
+
+    while !covered.iter().all(|&c| c) {
+        // Best single candidate.
+        let mut best: Option<(usize, Vec<usize>)> = None; // (gain, additions)
+        for ci in 0..candidates.len() {
+            if chosen.contains(&ci) {
+                continue;
+            }
+            let g = gain_of(&chosen, &[ci], &covered, &mut checks);
+            if g > 0 && best.as_ref().is_none_or(|(bg, _)| g > *bg) {
+                best = Some((g, vec![ci]));
+            }
+        }
+        // Pair lookahead when no single view makes progress.
+        if best.is_none() {
+            'pairs: for ci in 0..candidates.len() {
+                if chosen.contains(&ci) {
+                    continue;
+                }
+                for cj in (ci + 1)..candidates.len() {
+                    if chosen.contains(&cj) {
+                        continue;
+                    }
+                    let g = gain_of(&chosen, &[ci, cj], &covered, &mut checks);
+                    if g > 0 {
+                        best = Some((g, vec![ci, cj]));
+                        break 'pairs;
+                    }
+                }
+            }
+        }
+        match best {
+            None => break,
+            Some((_, additions)) => {
+                chosen.extend(additions);
+                let views: Vec<ConjunctiveQuery> =
+                    chosen.iter().map(|&i| candidates[i].clone()).collect();
+                for (qi, q) in workload.iter().enumerate() {
+                    if !covered[qi] {
+                        checks += 1;
+                        covered[qi] = covers(q, &views, opts);
+                    }
+                }
+            }
+        }
+    }
+    Selection { chosen, covered, cover_checks: checks }
+}
+
+/// Exhaustive minimal cover: tries candidate subsets in order of increasing
+/// size (then lexicographically) and returns the first that covers the
+/// whole workload. Exponential — usable only for small candidate sets, as
+/// the optimal baseline.
+pub fn exhaustive_select(
+    workload: &[ConjunctiveQuery],
+    candidates: &[ConjunctiveQuery],
+    opts: &RewriteOptions,
+) -> Option<Selection> {
+    let n = candidates.len();
+    assert!(n <= 20, "exhaustive selection is exponential; got {n} candidates");
+    let mut checks = 0usize;
+    // Enumerate subsets grouped by popcount.
+    for size in 0..=n {
+        let mut best_for_size: Option<Vec<usize>> = None;
+        for mask in 0u32..(1u32 << n) {
+            if mask.count_ones() as usize != size {
+                continue;
+            }
+            let subset: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+            let views: Vec<ConjunctiveQuery> =
+                subset.iter().map(|&i| candidates[i].clone()).collect();
+            let mut all = true;
+            for q in workload {
+                checks += 1;
+                if !covers(q, &views, opts) {
+                    all = false;
+                    break;
+                }
+            }
+            if all {
+                best_for_size = Some(subset);
+                break;
+            }
+        }
+        if let Some(chosen) = best_for_size {
+            return Some(Selection {
+                covered: vec![true; workload.len()],
+                chosen,
+                cover_checks: checks,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citesys_cq::parse_query;
+
+    fn q(s: &str) -> ConjunctiveQuery {
+        parse_query(s).unwrap()
+    }
+
+    fn paper_candidates() -> Vec<ConjunctiveQuery> {
+        vec![
+            q("λ FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)"),
+            q("V2(FID, FName, Desc) :- Family(FID, FName, Desc)"),
+            q("V3(FID, Text) :- FamilyIntro(FID, Text)"),
+            q("V4(FID, PName) :- Committee(FID, PName)"),
+        ]
+    }
+
+    #[test]
+    fn covers_needs_the_right_views() {
+        let opts = RewriteOptions::default();
+        let query = q("Q(N) :- Family(F, N, D), FamilyIntro(F, T)");
+        let cands = paper_candidates();
+        assert!(!covers(&query, &cands[0..1], &opts), "V1 alone is not enough");
+        assert!(covers(&query, &cands[0..3], &opts));
+    }
+
+    #[test]
+    fn greedy_covers_paper_workload() {
+        let opts = RewriteOptions::default();
+        let workload = vec![
+            q("Q1(N) :- Family(F, N, D), FamilyIntro(F, T)"),
+            q("Q2(P) :- Committee(F, P)"),
+        ];
+        let sel = greedy_select(&workload, &paper_candidates(), &opts);
+        assert!(sel.covers_all(), "covered: {:?}", sel.covered);
+        // Needs one Family view, V3 and V4 — three views.
+        assert_eq!(sel.chosen.len(), 3);
+        assert!(sel.chosen.contains(&2));
+        assert!(sel.chosen.contains(&3));
+    }
+
+    #[test]
+    fn exhaustive_matches_greedy_size_here() {
+        let opts = RewriteOptions::default();
+        let workload = vec![
+            q("Q1(N) :- Family(F, N, D), FamilyIntro(F, T)"),
+            q("Q2(P) :- Committee(F, P)"),
+        ];
+        let g = greedy_select(&workload, &paper_candidates(), &opts);
+        let e = exhaustive_select(&workload, &paper_candidates(), &opts).unwrap();
+        assert!(e.covers_all());
+        assert_eq!(e.chosen.len(), g.chosen.len());
+    }
+
+    #[test]
+    fn uncoverable_workload_reported() {
+        let opts = RewriteOptions::default();
+        let workload = vec![q("Q(X) :- Unknown(X)")];
+        let sel = greedy_select(&workload, &paper_candidates(), &opts);
+        assert!(!sel.covers_all());
+        assert!(sel.chosen.is_empty());
+        assert!(exhaustive_select(&workload, &paper_candidates(), &opts).is_none());
+    }
+
+    #[test]
+    fn empty_workload_trivially_covered() {
+        let opts = RewriteOptions::default();
+        let sel = greedy_select(&[], &paper_candidates(), &opts);
+        assert!(sel.covers_all());
+        assert!(sel.chosen.is_empty());
+        let e = exhaustive_select(&[], &paper_candidates(), &opts).unwrap();
+        assert!(e.chosen.is_empty());
+    }
+
+    #[test]
+    fn greedy_handles_joint_coverage() {
+        // A query needing two views simultaneously: no single view has
+        // positive gain at step 1 — the pair lookahead covers it.
+        let opts = RewriteOptions::default();
+        let workload = vec![q("Q(N) :- Family(F, N, D), FamilyIntro(F, T)")];
+        let cands = vec![
+            q("VA(F, N, D) :- Family(F, N, D)"),
+            q("VB(F, T) :- FamilyIntro(F, T)"),
+        ];
+        let sel = greedy_select(&workload, &cands, &opts);
+        assert!(sel.covers_all());
+        assert_eq!(sel.chosen.len(), 2);
+        let e = exhaustive_select(&workload, &cands, &opts).unwrap();
+        assert_eq!(e.chosen.len(), 2);
+    }
+}

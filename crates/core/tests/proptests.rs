@@ -1,0 +1,171 @@
+//! Property-based tests for the citation engine.
+//!
+//! Random small GtoPdb-shaped instances (families with controlled name
+//! duplication, intros for a subset) are cited under both engine modes and
+//! several policies; the tests assert the semantic invariants of §2.
+
+use citesys_core::paper;
+use citesys_core::{
+    CitationEngine, CitationMode, CiteExpr, EngineOptions, PolicySet, RewritePolicy,
+};
+use citesys_cq::Value;
+use citesys_storage::{evaluate, Database, Tuple};
+use proptest::prelude::*;
+
+/// Random instance: families (id, name index, desc index) and which ids
+/// get an intro. Small name pool forces duplicate names (multi-binding
+/// tuples).
+#[derive(Clone, Debug)]
+struct Instance {
+    families: Vec<(i64, u8, u8)>,
+    intros: Vec<i64>,
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    (
+        prop::collection::btree_map(0i64..12, (0u8..4, 0u8..6), 1..10),
+        prop::collection::btree_set(0i64..12, 0..10),
+    )
+        .prop_map(|(fams, intros)| Instance {
+            families: fams.into_iter().map(|(id, (n, d))| (id, n, d)).collect(),
+            intros: intros.into_iter().collect(),
+        })
+}
+
+fn build_db(inst: &Instance) -> Database {
+    let mut db = Database::new();
+    for s in paper::paper_schemas() {
+        db.create_relation(s).unwrap();
+    }
+    for &(id, n, d) in &inst.families {
+        db.insert(
+            "Family",
+            Tuple::new(vec![
+                Value::Int(id),
+                Value::from(format!("Name{n}")),
+                Value::from(format!("Desc{d}")),
+            ]),
+        )
+        .unwrap();
+        db.insert(
+            "Committee",
+            Tuple::new(vec![Value::Int(id), Value::from(format!("Person{}", id % 5))]),
+        )
+        .unwrap();
+    }
+    for &id in &inst.intros {
+        if inst.families.iter().any(|&(f, _, _)| f == id) {
+            db.insert(
+                "FamilyIntro",
+                Tuple::new(vec![Value::Int(id), Value::from(format!("Intro{id}"))]),
+            )
+            .unwrap();
+        }
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The cited answer always equals direct evaluation, in both modes.
+    #[test]
+    fn cited_answer_matches_direct_eval(inst in instance()) {
+        let db = build_db(&inst);
+        let registry = paper::paper_registry();
+        let q = paper::paper_query();
+        let direct = evaluate(&db, &q).unwrap();
+        for mode in [CitationMode::Formal, CitationMode::CostPruned] {
+            let engine = CitationEngine::new(&db, &registry,
+                EngineOptions { mode, ..Default::default() });
+            let cited = engine.cite(&q).unwrap();
+            prop_assert_eq!(&cited.answer, &direct);
+            prop_assert_eq!(cited.tuples.len(), direct.len());
+        }
+    }
+
+    /// Cost-pruned mode is an *estimate*: it may pick a different (but
+    /// never smaller-than-formal-min-size) rewriting. The guarantee is
+    /// one-sided: formal min-size produces the true minimum-size
+    /// aggregate citation.
+    #[test]
+    fn formal_min_size_never_worse_than_pruned(inst in instance()) {
+        let db = build_db(&inst);
+        let registry = paper::paper_registry();
+        let q = paper::paper_query();
+        let formal = CitationEngine::new(&db, &registry,
+            EngineOptions { mode: CitationMode::Formal, ..Default::default() })
+            .cite(&q).unwrap();
+        let pruned = CitationEngine::new(&db, &registry,
+            EngineOptions { mode: CitationMode::CostPruned, ..Default::default() })
+            .cite(&q).unwrap();
+        let f = formal.aggregate.unwrap().atoms.len();
+        let p = pruned.aggregate.unwrap().atoms.len();
+        prop_assert!(f <= p, "formal min-size {f} > pruned {p}");
+    }
+
+    /// Every answer tuple gets a non-empty citation (full coverage) and
+    /// every atom references a registered view with correct param count.
+    #[test]
+    fn citations_are_well_formed(inst in instance()) {
+        let db = build_db(&inst);
+        let registry = paper::paper_registry();
+        let q = paper::paper_query();
+        let engine = CitationEngine::new(&db, &registry,
+            EngineOptions { mode: CitationMode::Formal, ..Default::default() });
+        let cited = engine.cite(&q).unwrap();
+        for t in &cited.tuples {
+            prop_assert!(!t.atoms.is_empty());
+            for a in &t.atoms {
+                let cv = registry.get(a.view.as_str()).expect("registered view");
+                prop_assert_eq!(a.params.len(), cv.view.params.len());
+            }
+            prop_assert_eq!(t.snippets.len(), t.atoms.len());
+        }
+    }
+
+    /// Min-size never produces more aggregate atoms than union, and the
+    /// chosen branch's atoms appear in the union result.
+    #[test]
+    fn min_size_subset_of_union(inst in instance()) {
+        let db = build_db(&inst);
+        let registry = paper::paper_registry();
+        let q = paper::paper_query();
+        let run = |rp: RewritePolicy| {
+            CitationEngine::new(&db, &registry, EngineOptions {
+                mode: CitationMode::Formal,
+                policies: PolicySet { rewritings: rp, ..Default::default() },
+                ..Default::default()
+            }).cite(&q).unwrap()
+        };
+        let min = run(RewritePolicy::MinSize);
+        let all = run(RewritePolicy::Union);
+        let min_agg = min.aggregate.unwrap().atoms;
+        let all_agg = all.aggregate.unwrap().atoms;
+        prop_assert!(min_agg.is_subset(&all_agg));
+    }
+
+    /// The symbolic expression per tuple is stable: one branch per
+    /// rewriting, each binding contributing a product with one atom per
+    /// view atom of that rewriting.
+    #[test]
+    fn expression_structure(inst in instance()) {
+        let db = build_db(&inst);
+        let registry = paper::paper_registry();
+        let q = paper::paper_query();
+        let engine = CitationEngine::new(&db, &registry,
+            EngineOptions { mode: CitationMode::Formal, ..Default::default() });
+        let cited = engine.cite(&q).unwrap();
+        for (row, t) in cited.answer.rows.iter().zip(&cited.tuples) {
+            prop_assert_eq!(t.branches.len(), cited.rewritings.len());
+            for (branch, rw) in t.branches.iter().zip(&cited.rewritings) {
+                // Each branch's atom count ≤ bindings × view atoms.
+                let max_atoms = row.bindings.len() * rw.body.len();
+                prop_assert!(branch.atoms().len() <= max_atoms);
+                // Branch is never the zero citation for a real tuple
+                // (equivalent rewritings derive every tuple).
+                prop_assert_ne!(branch, &CiteExpr::zero());
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! The chase with key dependencies: containment and equivalence *under
+//! constraints*.
+//!
+//! The paper's schema declares keys (`Family(FID, …)`, underlined in §2)
+//! and cites the equational chase (Popa–Tannen, its reference [10]) among
+//! the rewriting toolkit. Plain CQ equivalence ignores keys; chasing a
+//! query with the key dependencies first makes the reasoning
+//! constraint-aware — e.g. a self-join of `Family` on its key collapses,
+//! unlocking rewritings plain equivalence would reject.
+//!
+//! Standard results used here: for egds (keys), `Q1 ⊆_Σ Q2` iff there is a
+//! containment mapping from `Q2` into `chase_Σ(Q1)`; a chase failure
+//! (two distinct constants forced equal) means the query has no answers on
+//! any database satisfying Σ, hence is contained in everything.
+
+use crate::hom::homomorphism_exists;
+use crate::query::ConjunctiveQuery;
+use crate::symbol::Symbol;
+use crate::term::{Substitution, Term};
+
+/// A key dependency: the values at `key` positions determine the whole
+/// tuple of `predicate`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct KeyConstraint {
+    /// Relation the key applies to.
+    pub predicate: Symbol,
+    /// Key attribute positions.
+    pub key: Vec<usize>,
+}
+
+impl KeyConstraint {
+    /// Builds a key constraint.
+    pub fn new(predicate: impl Into<Symbol>, key: Vec<usize>) -> Self {
+        KeyConstraint { predicate: predicate.into(), key }
+    }
+}
+
+/// Chases `q` with the given key dependencies to a fixpoint.
+///
+/// Returns `None` when the chase *fails*: the keys force two distinct
+/// constants to be equal, so the query is unsatisfiable on every database
+/// that respects the keys.
+pub fn chase_keys(q: &ConjunctiveQuery, keys: &[KeyConstraint]) -> Option<ConjunctiveQuery> {
+    let mut current = q.clone();
+    loop {
+        let mut step: Option<Substitution> = None;
+        'outer: for i in 0..current.body.len() {
+            for j in (i + 1)..current.body.len() {
+                let (a, b) = (&current.body[i], &current.body[j]);
+                if a.predicate != b.predicate || a.arity() != b.arity() {
+                    continue;
+                }
+                let Some(kc) = keys
+                    .iter()
+                    .find(|k| k.predicate == a.predicate && !k.key.is_empty())
+                else {
+                    continue;
+                };
+                if kc.key.iter().any(|&p| p >= a.arity()) {
+                    continue; // malformed constraint; ignore defensively
+                }
+                // Keys agree syntactically?
+                if !kc.key.iter().all(|&p| a.terms[p] == b.terms[p]) {
+                    continue;
+                }
+                // Equate every non-key position.
+                let mut s = Substitution::new();
+                let mut changed = false;
+                for (pos, (ta, tb)) in a.terms.iter().zip(&b.terms).enumerate() {
+                    if kc.key.contains(&pos) {
+                        continue;
+                    }
+                    let ra = s.apply_term(ta);
+                    let rb = s.apply_term(tb);
+                    if ra == rb {
+                        continue;
+                    }
+                    match (&ra, &rb) {
+                        (Term::Var(v), t) | (t, Term::Var(v)) => {
+                            s.bind(v.clone(), t.clone());
+                            s.resolve();
+                            changed = true;
+                        }
+                        (Term::Const(_), Term::Const(_)) => return None, // chase failure
+                    }
+                }
+                if changed {
+                    step = Some(s);
+                    break 'outer;
+                }
+            }
+        }
+        match step {
+            None => break,
+            Some(s) => {
+                current = current.apply(&s);
+            }
+        }
+    }
+    // Deduplicate atoms made identical by the equalities.
+    let mut body = Vec::with_capacity(current.body.len());
+    for a in current.body {
+        if !body.contains(&a) {
+            body.push(a);
+        }
+    }
+    Some(ConjunctiveQuery { head: current.head, body, params: current.params })
+}
+
+/// `q1 ⊆ q2` on every database satisfying the key dependencies.
+pub fn contained_under_keys(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    keys: &[KeyConstraint],
+) -> bool {
+    match chase_keys(q1, keys) {
+        None => true, // q1 unsatisfiable under the keys
+        Some(chased) => homomorphism_exists(q2, &chased),
+    }
+}
+
+/// `q1 ≡ q2` on every database satisfying the key dependencies.
+pub fn equivalent_under_keys(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    keys: &[KeyConstraint],
+) -> bool {
+    contained_under_keys(q1, q2, keys) && contained_under_keys(q2, q1, keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contain::are_equivalent;
+    use crate::parse::parse_query;
+
+    fn family_key() -> Vec<KeyConstraint> {
+        vec![KeyConstraint::new("Family", vec![0])]
+    }
+
+    #[test]
+    fn self_join_on_key_collapses() {
+        // Q(N) :- Family(F, N, D), Family(F, N2, D2): the key forces
+        // N = N2 and D = D2 — one atom after the chase.
+        let q = parse_query("Q(N) :- Family(F, N, D), Family(F, N2, D2)").unwrap();
+        let chased = chase_keys(&q, &family_key()).unwrap();
+        assert_eq!(chased.body.len(), 1);
+        let single = parse_query("Q(N) :- Family(F, N, D)").unwrap();
+        // Plain equivalence already holds here (homomorphism folds the
+        // redundant atom), but the chased form is literally minimal.
+        assert!(are_equivalent(&chased, &single));
+    }
+
+    #[test]
+    fn key_equivalence_beyond_plain_equivalence() {
+        // Q1 returns (N, N2) pairs from two Family atoms sharing a key;
+        // plain semantics allows N ≠ N2, key semantics forces N = N2.
+        let q1 = parse_query("Q(N, N2) :- Family(F, N, D), Family(F, N2, D2)").unwrap();
+        let q2 = parse_query("Q(N, N) :- Family(F, N, D)").unwrap();
+        assert!(!are_equivalent(&q1, &q2), "plain CQs differ");
+        assert!(equivalent_under_keys(&q1, &q2, &family_key()));
+    }
+
+    #[test]
+    fn chase_failure_means_unsatisfiable() {
+        // Same key, conflicting constant names: no valid database.
+        let q = parse_query("Q(F) :- Family(F, 'a', D), Family(F, 'b', D2)").unwrap();
+        assert_eq!(chase_keys(&q, &family_key()), None);
+        // Unsatisfiable ⊆ anything.
+        let anything = parse_query("Q(F) :- Family(F, N, D)").unwrap();
+        assert!(contained_under_keys(&q, &anything, &family_key()));
+        // …but not the converse.
+        assert!(!contained_under_keys(&anything, &q, &family_key()));
+    }
+
+    #[test]
+    fn composite_key() {
+        let keys = vec![KeyConstraint::new("Committee", vec![0, 1])];
+        // Same (FID, PName) — third column unified.
+        let q = parse_query("Q(A, B) :- Committee3(F, P, A), Committee3(F, P, B)").unwrap();
+        // Different predicate name: constraint does not apply.
+        let un = chase_keys(&q, &keys).unwrap();
+        assert_eq!(un.body.len(), 2);
+        let keys3 = vec![KeyConstraint::new("Committee3", vec![0, 1])];
+        let chased = chase_keys(&q, &keys3).unwrap();
+        assert_eq!(chased.body.len(), 1);
+        assert_eq!(chased.head.terms[0], chased.head.terms[1]);
+    }
+
+    #[test]
+    fn no_keys_chase_is_identity() {
+        let q = parse_query("Q(N) :- Family(F, N, D), Family(F2, N, D2)").unwrap();
+        let chased = chase_keys(&q, &[]).unwrap();
+        assert_eq!(chased, q);
+    }
+
+    #[test]
+    fn keys_on_different_key_values_do_not_fire() {
+        // Different key variables: nothing to equate.
+        let q = parse_query("Q(N, N2) :- Family(F, N, D), Family(G, N2, D2)").unwrap();
+        let chased = chase_keys(&q, &family_key()).unwrap();
+        assert_eq!(chased.body.len(), 2);
+    }
+
+    #[test]
+    fn chase_cascades() {
+        // Unifying D = D2 via Family's key makes the two R-atoms agree on
+        // their key, cascading into a second chase step.
+        let keys = vec![
+            KeyConstraint::new("Family", vec![0]),
+            KeyConstraint::new("R", vec![0]),
+        ];
+        let q = parse_query(
+            "Q(X, Y) :- Family(F, N, D), Family(F, N2, D2), R(D, X), R(D2, Y)",
+        )
+        .unwrap();
+        let chased = chase_keys(&q, &keys).unwrap();
+        // Family atoms collapse to one, R atoms collapse to one, X = Y.
+        assert_eq!(chased.body.len(), 2);
+        assert_eq!(chased.head.terms[0], chased.head.terms[1]);
+    }
+
+    #[test]
+    fn constant_key_values_fire() {
+        let q = parse_query("Q(N, N2) :- Family(11, N, D), Family(11, N2, D2)").unwrap();
+        let chased = chase_keys(&q, &family_key()).unwrap();
+        assert_eq!(chased.body.len(), 1);
+        assert_eq!(chased.head.terms[0], chased.head.terms[1]);
+    }
+
+    #[test]
+    fn equivalence_under_keys_is_reflexive_and_respects_plain() {
+        let q = parse_query("Q(N) :- Family(F, N, D), FamilyIntro(F, T)").unwrap();
+        assert!(equivalent_under_keys(&q, &q, &family_key()));
+        // Plain-equivalent queries stay equivalent under keys.
+        let r = parse_query("Q(N) :- Family(G, N, E), FamilyIntro(G, U)").unwrap();
+        assert!(equivalent_under_keys(&q, &r, &family_key()));
+    }
+}

@@ -1,0 +1,170 @@
+//! Containment, equivalence and minimization of conjunctive queries.
+//!
+//! These are the correctness workhorses behind "rewrite Q into equivalent
+//! queries using views" (§2 of the paper): every candidate rewriting is
+//! expanded and checked *equivalent* to the original query, and rewritings
+//! are *minimized* so that redundant view atoms do not pollute citations.
+
+use crate::hom::homomorphism_exists;
+use crate::query::ConjunctiveQuery;
+
+/// True iff `q1 ⊆ q2`: on every database, every answer of `q1` is an answer
+/// of `q2`. λ-parameters are ignored (the paper: "In the rewritings,
+/// parameters are ignored").
+pub fn is_contained_in(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    // Chandra–Merlin: Q1 ⊆ Q2 iff a containment mapping Q2 → Q1 exists.
+    homomorphism_exists(q2, q1)
+}
+
+/// True iff `q1 ≡ q2` (containment in both directions).
+pub fn are_equivalent(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    is_contained_in(q1, q2) && is_contained_in(q2, q1)
+}
+
+/// Computes the *core* of the query: a minimal equivalent subquery obtained
+/// by repeatedly deleting body atoms whose removal preserves equivalence.
+///
+/// The result is unique up to isomorphism (the core of a CQ); parameters are
+/// preserved verbatim. Runs in `O(n²)` homomorphism checks for a body of
+/// `n` atoms.
+pub fn minimize(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let mut current = q.clone();
+    loop {
+        let mut reduced = None;
+        for i in 0..current.body.len() {
+            let mut candidate_body = current.body.clone();
+            candidate_body.remove(i);
+            let candidate = ConjunctiveQuery {
+                head: current.head.clone(),
+                body: candidate_body,
+                params: current.params.clone(),
+            };
+            // Removing an atom only weakens the query, so `current ⊆ candidate`
+            // always holds; the candidate is equivalent iff `candidate ⊆ current`,
+            // and the candidate must stay safe (head vars still covered).
+            if candidate.validate().is_ok() && is_contained_in(&candidate, &current) {
+                reduced = Some(candidate);
+                break;
+            }
+        }
+        match reduced {
+            Some(c) => current = c,
+            None => return current,
+        }
+    }
+}
+
+/// True iff no body atom can be removed while preserving equivalence.
+pub fn is_minimal(q: &ConjunctiveQuery) -> bool {
+    minimize(q).body.len() == q.body.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query;
+
+    fn q(s: &str) -> ConjunctiveQuery {
+        parse_query(s).unwrap()
+    }
+
+    #[test]
+    fn containment_is_reflexive() {
+        let a = q("Q(X) :- R(X, Y), S(Y)");
+        assert!(is_contained_in(&a, &a));
+        assert!(are_equivalent(&a, &a));
+    }
+
+    #[test]
+    fn specific_contained_in_general() {
+        let spec = q("Q(X) :- R(X, X)");
+        let gen = q("Q(X) :- R(X, Y)");
+        assert!(is_contained_in(&spec, &gen));
+        assert!(!is_contained_in(&gen, &spec));
+        assert!(!are_equivalent(&spec, &gen));
+    }
+
+    #[test]
+    fn constant_restriction_is_containment() {
+        let spec = q("Q(X) :- R(X, 1)");
+        let gen = q("Q(X) :- R(X, Y)");
+        assert!(is_contained_in(&spec, &gen));
+        assert!(!is_contained_in(&gen, &spec));
+    }
+
+    #[test]
+    fn classic_redundant_atom_minimizes() {
+        // R(X,Y), R(X,Z) — second atom folds onto the first.
+        let redundant = q("Q(X, Y) :- R(X, Y), R(X, Z)");
+        let m = minimize(&redundant);
+        assert_eq!(m.body.len(), 1);
+        assert!(are_equivalent(&m, &redundant));
+        assert!(is_minimal(&m));
+    }
+
+    #[test]
+    fn non_redundant_join_stays() {
+        let chain = q("Q(X, Z) :- E(X, Y), E(Y, Z)");
+        assert!(is_minimal(&chain));
+        assert_eq!(minimize(&chain).body.len(), 2);
+    }
+
+    #[test]
+    fn path_with_collapsible_tail() {
+        // Q(X) :- E(X,Y), E(X,Z), E(Z,W) — E(X,Y) folds into E(X,Z).
+        let qq = q("Q(X) :- E(X, Y), E(X, Z), E(Z, W)");
+        let m = minimize(&qq);
+        assert_eq!(m.body.len(), 2);
+        assert!(are_equivalent(&m, &qq));
+    }
+
+    #[test]
+    fn safety_preserved_during_minimization() {
+        // The only atom covering head var cannot be dropped even though a
+        // hom exists after dropping (it would be unsafe).
+        let qq = q("Q(X, Y) :- R(X, Y), S(Z)");
+        let m = minimize(&qq);
+        // S(Z) is genuinely redundant? No hom maps S(Z) into R(X,Y) (different
+        // predicate), so body stays at 2.
+        assert_eq!(m.body.len(), 2);
+    }
+
+    #[test]
+    fn equivalence_up_to_renaming() {
+        let a = q("Q(X) :- R(X, Y)");
+        let b = q("Q(A) :- R(A, B)");
+        assert!(are_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn different_head_projection_not_equivalent() {
+        let a = q("Q(X) :- R(X, Y)");
+        let b = q("Q(Y) :- R(X, Y)");
+        assert!(!are_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn transitivity_spot_check() {
+        let q1 = q("Q(X) :- R(X, X)");
+        let q2 = q("Q(X) :- R(X, Y), R(Y, X)");
+        let q3 = q("Q(X) :- R(X, Y)");
+        assert!(is_contained_in(&q1, &q2));
+        assert!(is_contained_in(&q2, &q3));
+        assert!(is_contained_in(&q1, &q3));
+    }
+
+    #[test]
+    fn paper_rewriting_expansions_equivalent() {
+        // Expanding Q1(FName) :- V1(FID,FName,Desc), V3(FID,Text) with
+        // V1 ↦ Family, V3 ↦ FamilyIntro gives exactly Q.
+        let orig = q("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)");
+        let expanded = q("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, T2)");
+        assert!(are_equivalent(&orig, &expanded));
+    }
+
+    #[test]
+    fn minimize_constant_query_noop() {
+        let c = q("C('x') :- true");
+        assert_eq!(minimize(&c), c);
+    }
+}

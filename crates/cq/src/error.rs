@@ -1,0 +1,101 @@
+//! Error types for query construction, parsing and reasoning.
+
+use std::fmt;
+
+/// Errors produced by the conjunctive-query layer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CqError {
+    /// A head variable does not occur in the body (violates safety).
+    UnsafeHeadVar {
+        /// Head predicate of the offending query.
+        query: String,
+        /// The unsafe variable.
+        var: String,
+    },
+    /// A λ-parameter does not occur in the head.
+    ParamNotInHead {
+        /// Head predicate of the offending query.
+        query: String,
+        /// The missing parameter.
+        param: String,
+    },
+    /// The same λ-parameter is declared twice.
+    DuplicateParam {
+        /// Head predicate of the offending query.
+        query: String,
+        /// The duplicated parameter.
+        param: String,
+    },
+    /// Equality between distinct constants makes the query unsatisfiable.
+    Unsatisfiable {
+        /// Left constant.
+        left: String,
+        /// Right constant.
+        right: String,
+    },
+    /// Wrong number of values supplied when instantiating parameters.
+    ParamArity {
+        /// Query being instantiated.
+        query: String,
+        /// Number of declared parameters.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// A syntax error at a given (line, column).
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        col: usize,
+        /// Human-readable message.
+        msg: String,
+    },
+}
+
+impl fmt::Display for CqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CqError::UnsafeHeadVar { query, var } => {
+                write!(f, "query {query}: head variable {var} does not occur in the body")
+            }
+            CqError::ParamNotInHead { query, param } => {
+                write!(f, "query {query}: λ-parameter {param} must appear in the head")
+            }
+            CqError::DuplicateParam { query, param } => {
+                write!(f, "query {query}: λ-parameter {param} declared more than once")
+            }
+            CqError::Unsatisfiable { left, right } => {
+                write!(f, "unsatisfiable equality: {left} = {right}")
+            }
+            CqError::ParamArity { query, expected, got } => {
+                write!(f, "query {query}: expected {expected} parameter values, got {got}")
+            }
+            CqError::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CqError::UnsafeHeadVar {
+            query: "Q".into(),
+            var: "X".into(),
+        };
+        assert!(e.to_string().contains("head variable X"));
+        let e = CqError::Parse {
+            line: 2,
+            col: 5,
+            msg: "expected ')'".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at 2:5: expected ')'");
+    }
+}

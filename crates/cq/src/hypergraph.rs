@@ -1,0 +1,192 @@
+//! Query hypergraphs: GYO reduction, α-acyclicity, join forests.
+//!
+//! The citation engine's cost concerns (§3 "Calculating citations") hinge
+//! on query shape: acyclic (ear-removable) queries evaluate and minimize
+//! cheaply, while cyclic cores are where containment's NP-hardness lives.
+//! This module implements the classical Graham/Yu–Özsoyoğlu (GYO)
+//! reduction over the query's hypergraph — each body atom is a hyperedge
+//! over its variables — yielding an acyclicity test and a join forest
+//! usable as an evaluation order.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::query::ConjunctiveQuery;
+use crate::symbol::Symbol;
+
+/// Result of a GYO reduction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GyoResult {
+    /// True when the query's hypergraph is α-acyclic.
+    pub acyclic: bool,
+    /// Ear-removal order: `(atom index, witness atom index)` — the witness
+    /// is the removed ear's parent in the join forest (`None` for roots).
+    /// Complete only when `acyclic` is true.
+    pub removal_order: Vec<(usize, Option<usize>)>,
+    /// Atom indices that could not be removed (empty iff acyclic).
+    pub residue: Vec<usize>,
+}
+
+/// Runs the GYO reduction on the query's body hypergraph.
+pub fn gyo(q: &ConjunctiveQuery) -> GyoResult {
+    // Hyperedges: variable sets per atom (constants are irrelevant).
+    let edges: Vec<BTreeSet<Symbol>> = q
+        .body
+        .iter()
+        .map(|a| a.vars().cloned().collect())
+        .collect();
+    let mut alive: Vec<bool> = vec![true; edges.len()];
+    let mut removal_order = Vec::with_capacity(edges.len());
+    let mut remaining = edges.len();
+
+    while remaining > 0 {
+        let mut removed_this_round = false;
+        for i in 0..edges.len() {
+            if !alive[i] {
+                continue;
+            }
+            // Vertices of edge i shared with any other live edge.
+            let shared: BTreeSet<&Symbol> = edges[i]
+                .iter()
+                .filter(|v| {
+                    edges
+                        .iter()
+                        .enumerate()
+                        .any(|(j, e)| j != i && alive[j] && e.contains(*v))
+                })
+                .collect();
+            if shared.is_empty() {
+                // Isolated edge: an ear with no parent (forest root).
+                alive[i] = false;
+                remaining -= 1;
+                removal_order.push((i, None));
+                removed_this_round = true;
+                continue;
+            }
+            // An ear needs a live witness edge containing all shared vars.
+            let witness = edges.iter().enumerate().find(|(j, e)| {
+                *j != i && alive[*j] && shared.iter().all(|v| e.contains(*v))
+            });
+            if let Some((w, _)) = witness {
+                alive[i] = false;
+                remaining -= 1;
+                removal_order.push((i, Some(w)));
+                removed_this_round = true;
+            }
+        }
+        if !removed_this_round {
+            break;
+        }
+    }
+
+    let residue: Vec<usize> = alive
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &a)| a.then_some(i))
+        .collect();
+    GyoResult { acyclic: residue.is_empty(), removal_order, residue }
+}
+
+/// True iff the query's hypergraph is α-acyclic.
+pub fn is_acyclic(q: &ConjunctiveQuery) -> bool {
+    gyo(q).acyclic
+}
+
+/// Builds a join forest from an acyclic query: `forest[i]` is the parent
+/// atom index of atom `i` (`None` for roots). Returns `None` for cyclic
+/// queries.
+pub fn join_forest(q: &ConjunctiveQuery) -> Option<BTreeMap<usize, Option<usize>>> {
+    let r = gyo(q);
+    if !r.acyclic {
+        return None;
+    }
+    Some(r.removal_order.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query;
+
+    fn q(s: &str) -> ConjunctiveQuery {
+        parse_query(s).unwrap()
+    }
+
+    #[test]
+    fn single_atom_acyclic() {
+        assert!(is_acyclic(&q("Q(X) :- R(X, Y)")));
+    }
+
+    #[test]
+    fn chain_acyclic() {
+        assert!(is_acyclic(&q("Q(A, D) :- E(A, B), E(B, C), E(C, D)")));
+    }
+
+    #[test]
+    fn star_acyclic() {
+        assert!(is_acyclic(&q(
+            "Q(C) :- Hub(C), S1(C, L1), S2(C, L2), S3(C, L3)"
+        )));
+    }
+
+    #[test]
+    fn triangle_cyclic() {
+        let tri = q("Q(X) :- E(X, Y), E(Y, Z), E(Z, X)");
+        let r = gyo(&tri);
+        assert!(!r.acyclic);
+        assert_eq!(r.residue.len(), 3, "the whole triangle is the residue");
+    }
+
+    #[test]
+    fn square_cyclic() {
+        assert!(!is_acyclic(&q(
+            "Q(A) :- E(A, B), E(B, C), E(C, D), E(D, A)"
+        )));
+    }
+
+    #[test]
+    fn triangle_with_covering_edge_acyclic() {
+        // Adding an edge covering all three vertices makes it α-acyclic
+        // (the classic α-acyclicity subtlety).
+        assert!(is_acyclic(&q(
+            "Q(X) :- E(X, Y), E(Y, Z), E(Z, X), T(X, Y, Z)"
+        )));
+    }
+
+    #[test]
+    fn paper_query_acyclic() {
+        assert!(is_acyclic(&q(
+            "Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)"
+        )));
+    }
+
+    #[test]
+    fn join_forest_shape_for_chain() {
+        let forest = join_forest(&q("Q(A, C) :- E(A, B), E(B, C)")).unwrap();
+        assert_eq!(forest.len(), 2);
+        // One atom is the other's parent; the root has no parent.
+        let roots = forest.values().filter(|p| p.is_none()).count();
+        assert_eq!(roots, 1);
+    }
+
+    #[test]
+    fn join_forest_none_for_cyclic() {
+        assert!(join_forest(&q("Q(X) :- E(X, Y), E(Y, Z), E(Z, X)")).is_none());
+    }
+
+    #[test]
+    fn disconnected_components_form_forest() {
+        let forest = join_forest(&q("Q(X, A) :- R(X, Y), S(A, B)")).unwrap();
+        let roots = forest.values().filter(|p| p.is_none()).count();
+        assert_eq!(roots, 2, "two cartesian components, two roots");
+    }
+
+    #[test]
+    fn constants_do_not_affect_acyclicity() {
+        assert!(is_acyclic(&q("Q(X) :- E(X, 1), E(1, X)")));
+    }
+
+    #[test]
+    fn empty_body_acyclic() {
+        assert!(is_acyclic(&q("C('x') :- true")));
+    }
+}

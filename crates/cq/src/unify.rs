@@ -1,0 +1,143 @@
+//! Most-general unification of terms and atoms.
+//!
+//! Used by the rewriting algorithms: a query subgoal is unified with a view
+//! subgoal (after renaming the view apart) to build candidate view atoms.
+//! Unlike homomorphism matching, *both* sides' variables may be bound.
+
+use crate::atom::Atom;
+use crate::term::{Substitution, Term};
+
+/// Computes the most general unifier of two terms under an existing
+/// substitution, extending `subst` in place. Returns `false` (leaving
+/// `subst` in an unspecified but internally consistent state — callers
+/// should clone before speculative unification) when the terms do not
+/// unify.
+pub fn unify_terms(a: &Term, b: &Term, subst: &mut Substitution) -> bool {
+    let ra = resolve(a, subst);
+    let rb = resolve(b, subst);
+    match (ra, rb) {
+        (Term::Const(x), Term::Const(y)) => x == y,
+        (Term::Var(v), t) | (t, Term::Var(v)) => {
+            if t == Term::Var(v.clone()) {
+                true
+            } else {
+                subst.bind(v, t);
+                true
+            }
+        }
+    }
+}
+
+/// Unifies two atoms (same predicate, same arity, all argument pairs).
+pub fn unify_atoms(a: &Atom, b: &Atom, subst: &mut Substitution) -> bool {
+    if a.predicate != b.predicate || a.arity() != b.arity() {
+        return false;
+    }
+    a.terms
+        .iter()
+        .zip(&b.terms)
+        .all(|(x, y)| unify_terms(x, y, subst))
+}
+
+/// Convenience: computes an MGU of two atoms from scratch.
+pub fn mgu(a: &Atom, b: &Atom) -> Option<Substitution> {
+    let mut s = Substitution::new();
+    if unify_atoms(a, b, &mut s) {
+        s.resolve();
+        Some(s)
+    } else {
+        None
+    }
+}
+
+/// Follows variable bindings in `subst` until a non-variable or unbound
+/// variable is reached (bounded walk; substitutions built through
+/// [`unify_terms`] are acyclic because a variable is never bound to itself).
+fn resolve(t: &Term, subst: &Substitution) -> Term {
+    let mut current = t.clone();
+    // Bound by substitution size: each step follows a distinct binding.
+    for _ in 0..=subst.len() {
+        match &current {
+            Term::Var(v) => match subst.get(v) {
+                Some(next) if next != &current => current = next.clone(),
+                _ => return current,
+            },
+            Term::Const(_) => return current,
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn atom(p: &str, ts: Vec<Term>) -> Atom {
+        Atom::new(p, ts)
+    }
+
+    #[test]
+    fn unify_var_with_const() {
+        let a = atom("R", vec![Term::var("X"), Term::var("Y")]);
+        let b = atom("R", vec![Term::constant(1), Term::var("Z")]);
+        let s = mgu(&a, &b).unwrap();
+        assert_eq!(s.apply_term(&Term::var("X")), Term::constant(1));
+        // Y and Z are aliased (one maps to the other).
+        let y = s.apply_term(&Term::var("Y"));
+        let z = s.apply_term(&Term::var("Z"));
+        assert!(y == Term::var("Z") && z == Term::var("Z") || y == Term::var("Y") && z == Term::var("Y") || y == z);
+    }
+
+    #[test]
+    fn unify_conflicting_constants_fails() {
+        let a = atom("R", vec![Term::constant(1)]);
+        let b = atom("R", vec![Term::constant(2)]);
+        assert!(mgu(&a, &b).is_none());
+    }
+
+    #[test]
+    fn unify_different_predicates_fails() {
+        let a = atom("R", vec![Term::var("X")]);
+        let b = atom("S", vec![Term::var("X")]);
+        assert!(mgu(&a, &b).is_none());
+    }
+
+    #[test]
+    fn unify_arity_mismatch_fails() {
+        let a = atom("R", vec![Term::var("X")]);
+        let b = atom("R", vec![Term::var("X"), Term::var("Y")]);
+        assert!(mgu(&a, &b).is_none());
+    }
+
+    #[test]
+    fn transitive_binding_through_shared_var() {
+        // R(X, X) with R(Y, 3) forces X = Y = 3.
+        let a = atom("R", vec![Term::var("X"), Term::var("X")]);
+        let b = atom("R", vec![Term::var("Y"), Term::constant(3)]);
+        let s = mgu(&a, &b).unwrap();
+        assert_eq!(s.apply_term(&Term::var("X")), Term::constant(3));
+        assert_eq!(s.apply_term(&Term::var("Y")), Term::constant(3));
+    }
+
+    #[test]
+    fn occurs_check_not_needed_for_flat_terms() {
+        // Terms are flat (no function symbols), so X with X unifies trivially.
+        let a = atom("R", vec![Term::var("X")]);
+        let b = atom("R", vec![Term::var("X")]);
+        let s = mgu(&a, &b).unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn unify_is_symmetric_on_success() {
+        let a = atom("R", vec![Term::var("X"), Term::constant("c")]);
+        let b = atom("R", vec![Term::constant("d"), Term::var("W")]);
+        let s1 = mgu(&a, &b).unwrap();
+        let s2 = mgu(&b, &a).unwrap();
+        assert_eq!(s1.apply_term(&Term::var("X")), Term::constant("d"));
+        assert_eq!(s2.apply_term(&Term::var("X")), Term::constant("d"));
+        assert_eq!(s1.apply_term(&Term::var("W")), Term::constant("c"));
+        assert_eq!(s2.apply_term(&Term::var("W")), Term::constant("c"));
+    }
+}

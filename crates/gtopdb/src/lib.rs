@@ -1,0 +1,35 @@
+//! # citesys-gtopdb — synthetic evaluation substrate
+//!
+//! The paper motivates data citation with live curated databases — the
+//! IUPHAR/BPS Guide to Pharmacology (GtoPdb), eagle-i, Reactome, DrugBank —
+//! that cannot be shipped with a reproduction. This crate substitutes
+//! deterministic, seeded generators that reproduce the *structure* the
+//! citation problem cares about:
+//!
+//! * [`schema`]/[`generator`]: the paper's `Family`/`Committee`/
+//!   `FamilyIntro` fragment extended with targets, contributors, ligands
+//!   and interactions, scale-factor parameterized, with a controllable
+//!   duplicated-family-name rate (the paper's two-Calcitonin situation);
+//! * [`views`]: citation registries at family / target / ligand
+//!   granularity, mirroring GtoPdb's per-portion contributor credits;
+//! * [`synthetic`]: abstract chain/star instances for the rewriting
+//!   scalability experiments;
+//! * [`eaglei`]: an RDF-style triple store with per-class citation views
+//!   (§3 *Other models*);
+//! * [`workload`]: standard query workloads and candidate view pools for
+//!   the view-selection experiment.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod eaglei;
+pub mod generator;
+pub mod reactome;
+pub mod schema;
+pub mod synthetic;
+pub mod views;
+pub mod workload;
+
+pub use generator::{generate, generate_versioned, GtopdbConfig};
+pub use schema::gtopdb_schemas;
+pub use views::{family_views, full_registry, DB_CITATION};

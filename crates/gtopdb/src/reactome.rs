@@ -1,0 +1,301 @@
+//! A Reactome-style pathway database (§1: "Reactome, an open-source,
+//! curated and peer reviewed pathway relational database").
+//!
+//! Structure preserved from the real system: pathways form a part-of
+//! hierarchy, each pathway has participant molecules and named curators,
+//! and citations are attached per pathway ("cite the pathway and the people
+//! who curated it") as well as database-wide.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use citesys_cq::{parse_query, ConjunctiveQuery, Value, ValueType};
+use citesys_core::{CitationFunction, CitationQuery, CitationRegistry, CitationView};
+use citesys_storage::{Database, RelationSchema, Tuple};
+
+/// Generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ReactomeConfig {
+    /// Number of top-level pathways.
+    pub roots: usize,
+    /// Sub-pathways per pathway (one level of hierarchy).
+    pub children_per_root: usize,
+    /// Participant molecules per pathway.
+    pub participants_per_pathway: usize,
+    /// Curators per pathway.
+    pub curators_per_pathway: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ReactomeConfig {
+    fn default() -> Self {
+        ReactomeConfig {
+            roots: 8,
+            children_per_root: 3,
+            participants_per_pathway: 4,
+            curators_per_pathway: 2,
+            seed: 0x8EAC,
+        }
+    }
+}
+
+impl ReactomeConfig {
+    /// Total number of pathways (roots + children).
+    pub fn pathways(&self) -> usize {
+        self.roots * (1 + self.children_per_root)
+    }
+}
+
+/// Relation schemas.
+pub fn reactome_schemas() -> Vec<RelationSchema> {
+    vec![
+        RelationSchema::from_parts(
+            "Pathway",
+            &[
+                ("PID", ValueType::Int),
+                ("PName", ValueType::Text),
+                ("Species", ValueType::Text),
+            ],
+            &[0],
+        ),
+        RelationSchema::from_parts(
+            "PathwayPart",
+            &[("Parent", ValueType::Int), ("Child", ValueType::Int)],
+            &[0, 1],
+        ),
+        RelationSchema::from_parts(
+            "Participant",
+            &[("PID", ValueType::Int), ("Protein", ValueType::Text)],
+            &[0, 1],
+        ),
+        RelationSchema::from_parts(
+            "PathwayCurator",
+            &[("PID", ValueType::Int), ("Curator", ValueType::Text)],
+            &[0, 1],
+        ),
+    ]
+}
+
+const PATHWAY_STEMS: [&str; 8] = [
+    "Glycolysis", "Apoptosis", "Signal transduction", "DNA repair", "Cell cycle",
+    "Immune response", "Lipid metabolism", "Translation",
+];
+const SPECIES: [&str; 3] = ["H. sapiens", "M. musculus", "D. melanogaster"];
+const CURATORS: [&str; 8] = [
+    "Stein", "Hermjakob", "Jassal", "Gillespie", "Matthews", "Wu", "Haw", "Weiser",
+];
+
+/// Generates a Reactome-style database.
+pub fn generate(cfg: &ReactomeConfig) -> Database {
+    let mut db = Database::new();
+    for s in reactome_schemas() {
+        db.create_relation(s).expect("fresh database");
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut pid = 0i64;
+    for r in 0..cfg.roots {
+        let root = pid;
+        insert_pathway(&mut db, &mut rng, cfg, root, &format!(
+            "{} pathway",
+            PATHWAY_STEMS[r % PATHWAY_STEMS.len()]
+        ));
+        pid += 1;
+        for c in 0..cfg.children_per_root {
+            insert_pathway(&mut db, &mut rng, cfg, pid, &format!(
+                "{} step {}",
+                PATHWAY_STEMS[r % PATHWAY_STEMS.len()],
+                c + 1
+            ));
+            db.insert(
+                "PathwayPart",
+                Tuple::new(vec![Value::Int(root), Value::Int(pid)]),
+            )
+            .expect("valid");
+            pid += 1;
+        }
+    }
+    db
+}
+
+fn insert_pathway(
+    db: &mut Database,
+    rng: &mut StdRng,
+    cfg: &ReactomeConfig,
+    pid: i64,
+    name: &str,
+) {
+    db.insert(
+        "Pathway",
+        Tuple::new(vec![
+            Value::Int(pid),
+            Value::from(name),
+            Value::from(SPECIES[rng.gen_range(0..SPECIES.len())]),
+        ]),
+    )
+    .expect("valid");
+    for p in 0..cfg.participants_per_pathway {
+        db.insert(
+            "Participant",
+            Tuple::new(vec![Value::Int(pid), Value::from(format!("PROT-{pid}-{p}"))]),
+        )
+        .expect("valid");
+    }
+    let mut chosen = std::collections::BTreeSet::new();
+    while chosen.len() < cfg.curators_per_pathway.min(CURATORS.len()) {
+        chosen.insert(CURATORS[rng.gen_range(0..CURATORS.len())]);
+    }
+    for c in chosen {
+        db.insert(
+            "PathwayCurator",
+            Tuple::new(vec![Value::Int(pid), Value::from(c)]),
+        )
+        .expect("valid");
+    }
+}
+
+/// Citation registry: per-pathway parameterized views (pathway facts and
+/// participants, cited by pathway curators) plus a database-wide constant
+/// view.
+pub fn pathway_registry() -> CitationRegistry {
+    let mut reg = CitationRegistry::new();
+    reg.add(
+        CitationView::new(
+            parse_query("λ PID. RP(PID, PName, Species) :- Pathway(PID, PName, Species)")
+                .expect("ok"),
+            vec![
+                CitationQuery::new(
+                    parse_query("λ PID. CRPc(PID, Curator) :- PathwayCurator(PID, Curator)")
+                        .expect("ok"),
+                ),
+                CitationQuery::new(
+                    parse_query("λ PID. CRPn(PID, PName) :- Pathway(PID, PName, S)")
+                        .expect("ok"),
+                ),
+            ],
+            CitationFunction::new().with_static("database", "Reactome"),
+        )
+        .expect("RP well-formed"),
+    )
+    .expect("fresh");
+    reg.add(
+        CitationView::new(
+            parse_query("λ PID. RPart(PID, Protein) :- Participant(PID, Protein)")
+                .expect("ok"),
+            vec![CitationQuery::new(
+                parse_query("λ PID. CRPart(PID, Curator) :- PathwayCurator(PID, Curator)")
+                    .expect("ok"),
+            )],
+            CitationFunction::new().with_static("database", "Reactome"),
+        )
+        .expect("RPart well-formed"),
+    )
+    .expect("unique");
+    reg.add(
+        CitationView::new(
+            parse_query("RAll(PID, PName, Species) :- Pathway(PID, PName, Species)")
+                .expect("ok"),
+            vec![CitationQuery::with_fields(
+                parse_query("CRAll(D) :- D = 'Reactome: a curated pathway database'")
+                    .expect("ok"),
+                vec!["citation".to_string()],
+            )
+            .expect("arity 1")],
+            CitationFunction::new(),
+        )
+        .expect("RAll well-formed"),
+    )
+    .expect("unique");
+    reg
+}
+
+/// Participants of every pathway, with pathway names.
+pub fn q_participants() -> ConjunctiveQuery {
+    parse_query("Q(PName, Protein) :- Pathway(PID, PName, S), Participant(PID, Protein)")
+        .expect("well-formed")
+}
+
+/// Sub-pathway pairs (parent name, child name) — exercises the hierarchy.
+pub fn q_hierarchy() -> ConjunctiveQuery {
+    parse_query(
+        "Q(Pn, Cn) :- PathwayPart(P, C), Pathway(P, Pn, S1), Pathway(C, Cn, S2)",
+    )
+    .expect("well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citesys_core::{CitationEngine, CitationMode, EngineOptions};
+    use citesys_storage::evaluate;
+
+    #[test]
+    fn generation_counts() {
+        let cfg = ReactomeConfig::default();
+        let db = generate(&cfg);
+        assert_eq!(db.relation("Pathway").unwrap().len(), cfg.pathways());
+        assert_eq!(
+            db.relation("PathwayPart").unwrap().len(),
+            cfg.roots * cfg.children_per_root
+        );
+        assert_eq!(
+            db.relation("Participant").unwrap().len(),
+            cfg.pathways() * cfg.participants_per_pathway
+        );
+    }
+
+    #[test]
+    fn hierarchy_query_returns_edges() {
+        let cfg = ReactomeConfig::default();
+        let db = generate(&cfg);
+        let a = evaluate(&db, &q_hierarchy()).unwrap();
+        assert_eq!(a.len(), cfg.roots * cfg.children_per_root);
+    }
+
+    #[test]
+    fn participant_citations_carry_curators() {
+        let db = generate(&ReactomeConfig { roots: 2, ..Default::default() });
+        let reg = pathway_registry();
+        let engine = CitationEngine::new(
+            &db,
+            &reg,
+            EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+        );
+        let cited = engine.cite(&q_participants()).unwrap();
+        assert!(!cited.answer.is_empty());
+        // Participant atoms come from the parameterized RPart view, whose
+        // citation query pulls the pathway curators.
+        let has_curator = cited
+            .tuples
+            .iter()
+            .any(|t| t.snippets.iter().any(|s| !s.field("Curator").is_empty()));
+        assert!(has_curator);
+    }
+
+    #[test]
+    fn pathway_scan_min_size_prefers_constant_view() {
+        let db = generate(&ReactomeConfig::default());
+        let reg = pathway_registry();
+        let engine = CitationEngine::new(
+            &db,
+            &reg,
+            EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+        );
+        let q = parse_query("Q(PID, PName, S) :- Pathway(PID, PName, S)").unwrap();
+        let cited = engine.cite(&q).unwrap();
+        // RAll (constant) beats RP (one citation per pathway).
+        for t in &cited.tuples {
+            assert_eq!(t.atoms.iter().next().unwrap().view.as_str(), "RAll");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&ReactomeConfig::default());
+        let b = generate(&ReactomeConfig::default());
+        assert_eq!(
+            citesys_storage::digest_database(&a),
+            citesys_storage::digest_database(&b)
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! The synthetic GtoPdb-style schema.
+//!
+//! The paper's published fragment (`Family`, `Committee`, `FamilyIntro`) is
+//! reproduced verbatim and extended with the publicly documented
+//! surrounding structure of the IUPHAR/BPS Guide to Pharmacology: drug
+//! targets grouped into families, contributors curating targets, ligands,
+//! and target–ligand interactions. This is the substitution documented in
+//! DESIGN.md: the real GtoPdb is a live curated web database; the generator
+//! reproduces its *shape* (schema and cardinality structure) so that
+//! citation cost and size scale the same way.
+
+use citesys_cq::ValueType;
+use citesys_storage::RelationSchema;
+
+/// All relation schemas of the synthetic GtoPdb.
+pub fn gtopdb_schemas() -> Vec<RelationSchema> {
+    vec![
+        // The paper's fragment.
+        RelationSchema::from_parts(
+            "Family",
+            &[
+                ("FID", ValueType::Int),
+                ("FName", ValueType::Text),
+                ("Desc", ValueType::Text),
+            ],
+            &[0],
+        ),
+        RelationSchema::from_parts(
+            "Committee",
+            &[("FID", ValueType::Int), ("PName", ValueType::Text)],
+            &[0, 1],
+        ),
+        RelationSchema::from_parts(
+            "FamilyIntro",
+            &[("FID", ValueType::Int), ("Text", ValueType::Text)],
+            &[0],
+        ),
+        // Surrounding structure.
+        RelationSchema::from_parts(
+            "Target",
+            &[
+                ("TID", ValueType::Int),
+                ("TName", ValueType::Text),
+                ("FID", ValueType::Int),
+            ],
+            &[0],
+        ),
+        RelationSchema::from_parts(
+            "Contributor",
+            &[
+                ("CID", ValueType::Int),
+                ("CName", ValueType::Text),
+                ("Affiliation", ValueType::Text),
+            ],
+            &[0],
+        ),
+        RelationSchema::from_parts(
+            "TargetCurator",
+            &[("TID", ValueType::Int), ("CID", ValueType::Int)],
+            &[0, 1],
+        ),
+        RelationSchema::from_parts(
+            "Ligand",
+            &[
+                ("LID", ValueType::Int),
+                ("LName", ValueType::Text),
+                ("LType", ValueType::Text),
+            ],
+            &[0],
+        ),
+        RelationSchema::from_parts(
+            "Interaction",
+            &[
+                ("TID", ValueType::Int),
+                ("LID", ValueType::Int),
+                ("Affinity", ValueType::Int),
+            ],
+            &[0, 1],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_inventory() {
+        let schemas = gtopdb_schemas();
+        assert_eq!(schemas.len(), 8);
+        let names: Vec<&str> = schemas.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"Family"));
+        assert!(names.contains(&"Interaction"));
+        // Paper keys: Family(FID), Committee(FID, PName).
+        assert_eq!(schemas[0].key, vec![0]);
+        assert_eq!(schemas[1].key, vec![0, 1]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Abstract synthetic instances for the rewriting-scalability experiments:
+//! chain databases, segment views, star queries and noise views.
+
+use citesys_cq::{parse_query, ConjunctiveQuery, ValueType};
+use citesys_storage::{Database, RelationSchema, Tuple};
+use citesys_cq::Value;
+
+/// A chain database: `E(i, i+1)` for `i in 0..edges`.
+pub fn chain_db(edges: usize) -> Database {
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::from_parts(
+        "E",
+        &[("A", ValueType::Int), ("B", ValueType::Int)],
+        &[],
+    ))
+    .expect("fresh database");
+    for i in 0..edges {
+        db.insert("E", Tuple::new(vec![Value::Int(i as i64), Value::Int(i as i64 + 1)]))
+            .expect("schema-valid");
+    }
+    db
+}
+
+/// The chain query of length `n`:
+/// `Q(X0, Xn) :- E(X0, X1), …, E(Xn-1, Xn)`.
+pub fn chain_query(n: usize) -> ConjunctiveQuery {
+    assert!(n >= 1);
+    let body: Vec<String> = (0..n).map(|i| format!("E(X{i}, X{})", i + 1)).collect();
+    parse_query(&format!("Q(X0, X{n}) :- {}", body.join(", "))).expect("well-formed chain")
+}
+
+/// A segment view of length `k`, named `name`, projecting both endpoints.
+pub fn segment_view(name: &str, k: usize) -> ConjunctiveQuery {
+    assert!(k >= 1);
+    let body: Vec<String> = (0..k).map(|i| format!("E(Y{i}, Y{})", i + 1)).collect();
+    parse_query(&format!("{name}(Y0, Y{k}) :- {}", body.join(", "))).expect("well-formed segment")
+}
+
+/// `count` copies of the unit segment view (distinct names) — the worst
+/// case for the bucket algorithm's cross product (every view lands in every
+/// bucket).
+pub fn redundant_unit_views(count: usize) -> Vec<ConjunctiveQuery> {
+    (0..count).map(|i| segment_view(&format!("U{i}"), 1)).collect()
+}
+
+/// `count` noise views over predicates that do not occur in chain queries
+/// (exercise schema-level pruning).
+pub fn noise_views(count: usize) -> Vec<ConjunctiveQuery> {
+    (0..count)
+        .map(|i| {
+            parse_query(&format!("N{i}(A, B) :- Unrelated{i}(A, B)")).expect("well-formed noise")
+        })
+        .collect()
+}
+
+/// `count` *trap* views over the paper's schema: each matches the `Family`
+/// subgoal of a query (so, without schema-level pruning, it enters buckets
+/// and burns an expansion + equivalence check) but joins in `Committee`,
+/// which makes it unusable for any equivalent rewriting of a query that
+/// does not mention `Committee`. Schema-level pruning rejects them in O(1)
+/// per view — this is what experiment E5 measures.
+pub fn trap_views(count: usize) -> Vec<ConjunctiveQuery> {
+    (0..count)
+        .map(|i| {
+            parse_query(&format!(
+                "T{i}(FID, FName, Desc) :- Family(FID, FName, Desc), Committee(FID, P)"
+            ))
+            .expect("well-formed trap")
+        })
+        .collect()
+}
+
+/// A star query: center joined to `arms` leaf relations:
+/// `Q(C, L1, …, Lk) :- Hub(C), Spoke1(C, L1), …, Spokek(C, Lk)`.
+pub fn star_query(arms: usize) -> ConjunctiveQuery {
+    assert!(arms >= 1);
+    let mut body = vec!["Hub(C)".to_string()];
+    let mut head = vec!["C".to_string()];
+    for i in 1..=arms {
+        body.push(format!("Spoke{i}(C, L{i})"));
+        head.push(format!("L{i}"));
+    }
+    parse_query(&format!("Q({}) :- {}", head.join(", "), body.join(", ")))
+        .expect("well-formed star")
+}
+
+/// Identity views for a star schema: one per relation used by
+/// [`star_query`].
+pub fn star_views(arms: usize) -> Vec<ConjunctiveQuery> {
+    let mut out = vec![parse_query("VHub(C) :- Hub(C)").expect("well-formed")];
+    for i in 1..=arms {
+        out.push(
+            parse_query(&format!("VSpoke{i}(C, L) :- Spoke{i}(C, L)")).expect("well-formed"),
+        );
+    }
+    out
+}
+
+/// A star database with `centers` hub rows and `fanout` leaves per spoke.
+pub fn star_db(arms: usize, centers: usize, fanout: usize) -> Database {
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::from_parts("Hub", &[("C", ValueType::Int)], &[]))
+        .expect("fresh");
+    for i in 1..=arms {
+        db.create_relation(RelationSchema::from_parts(
+            format!("Spoke{i}"),
+            &[("C", ValueType::Int), ("L", ValueType::Int)],
+            &[],
+        ))
+        .expect("fresh");
+    }
+    for c in 0..centers {
+        db.insert("Hub", Tuple::new(vec![Value::Int(c as i64)])).expect("valid");
+        for i in 1..=arms {
+            for l in 0..fanout {
+                db.insert(
+                    &format!("Spoke{i}"),
+                    Tuple::new(vec![Value::Int(c as i64), Value::Int(l as i64)]),
+                )
+                .expect("valid");
+            }
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citesys_rewrite::{rewrite, RewriteOptions, ViewSet};
+    use citesys_storage::evaluate;
+
+    #[test]
+    fn chain_db_and_query_agree() {
+        let db = chain_db(10);
+        let q = chain_query(3);
+        let a = evaluate(&db, &q).unwrap();
+        // Paths of length 3 in a 10-edge chain: 0..=7 start points.
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn segment_views_rewrite_chains() {
+        let q = chain_query(4);
+        let views = ViewSet::new(vec![segment_view("S2", 2)]).unwrap();
+        let out = rewrite(&q, &views, &RewriteOptions::default()).unwrap();
+        assert_eq!(out.rewritings.len(), 1);
+        assert_eq!(out.rewritings[0].query.body.len(), 2);
+    }
+
+    #[test]
+    fn redundant_views_multiply_rewritings() {
+        let q = chain_query(2);
+        let views = ViewSet::new(redundant_unit_views(3)).unwrap();
+        let out = rewrite(&q, &views, &RewriteOptions::default()).unwrap();
+        // 3 choices per subgoal ⇒ 9 combinations, all equivalent.
+        assert_eq!(out.rewritings.len(), 9);
+    }
+
+    #[test]
+    fn star_query_rewrites_with_identity_views() {
+        let q = star_query(3);
+        let views = ViewSet::new(star_views(3)).unwrap();
+        let out = rewrite(&q, &views, &RewriteOptions::default()).unwrap();
+        assert_eq!(out.rewritings.len(), 1);
+        assert_eq!(out.rewritings[0].query.body.len(), 4);
+    }
+
+    #[test]
+    fn star_db_cardinalities() {
+        let db = star_db(2, 3, 4);
+        assert_eq!(db.relation("Hub").unwrap().len(), 3);
+        assert_eq!(db.relation("Spoke1").unwrap().len(), 12);
+        let a = evaluate(&db, &star_query(2)).unwrap();
+        assert_eq!(a.len(), 3 * 4 * 4);
+    }
+
+    #[test]
+    fn noise_views_are_unrelated() {
+        let q = chain_query(2);
+        let mut views = vec![segment_view("S1", 1)];
+        views.extend(noise_views(5));
+        let set = ViewSet::new(views).unwrap();
+        let out = rewrite(&q, &set, &RewriteOptions::default()).unwrap();
+        assert_eq!(out.stats.views_pruned, 5);
+        assert_eq!(out.rewritings.len(), 1);
+    }
+}

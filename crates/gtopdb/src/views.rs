@@ -1,0 +1,186 @@
+//! Citation views for the synthetic GtoPdb, mirroring how the real
+//! database attaches citations at different granularities (§1: "Different
+//! portions of the database, with varying granularity, are contributed
+//! and/or curated by different subgroups").
+
+use citesys_cq::parse_query;
+use citesys_core::{CitationFunction, CitationQuery, CitationRegistry, CitationView};
+
+/// The constant whole-database citation text.
+pub const DB_CITATION: &str = "IUPHAR/BPS Guide to PHARMACOLOGY...";
+
+/// The paper's three views (V1 parameterized by family, V2/V3 constant).
+pub fn family_views() -> CitationRegistry {
+    let mut reg = CitationRegistry::new();
+    reg.add(
+        CitationView::new(
+            parse_query("λ FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)").unwrap(),
+            vec![CitationQuery::new(
+                parse_query("λ FID. CV1(FID, PName) :- Committee(FID, PName)").unwrap(),
+            )],
+            CitationFunction::new().with_static("database", "GtoPdb"),
+        )
+        .expect("V1 well-formed"),
+    )
+    .expect("fresh registry");
+    for (name, body) in [
+        ("V2", "V2(FID, FName, Desc) :- Family(FID, FName, Desc)"),
+        ("V3", "V3(FID, Text) :- FamilyIntro(FID, Text)"),
+    ] {
+        let _ = name;
+        reg.add(
+            CitationView::new(
+                parse_query(body).unwrap(),
+                vec![CitationQuery::with_fields(
+                    parse_query(&format!("C{}(D) :- D = \"{DB_CITATION}\"", name)).unwrap(),
+                    vec!["citation".to_string()],
+                )
+                .expect("arity 1")],
+                CitationFunction::new(),
+            )
+            .expect("constant view well-formed"),
+        )
+        .expect("unique name");
+    }
+    reg
+}
+
+/// The full registry: the paper's family views plus target-, ligand- and
+/// interaction-level citation views over the extended schema.
+pub fn full_registry() -> CitationRegistry {
+    let mut reg = family_views();
+
+    // Target view, parameterized by target id; cited by its curators.
+    reg.add(
+        CitationView::new(
+            parse_query("λ TID. VT(TID, TName, FID) :- Target(TID, TName, FID)").unwrap(),
+            vec![CitationQuery::new(
+                parse_query(
+                    "λ TID. CVT(TID, CName) :- TargetCurator(TID, CID), Contributor(CID, CName, Affil)",
+                )
+                .unwrap(),
+            )],
+            CitationFunction::new().with_static("database", "GtoPdb"),
+        )
+        .expect("VT well-formed"),
+    )
+    .expect("unique name");
+
+    // Ligand view, unparameterized (whole-table citation).
+    reg.add(
+        CitationView::new(
+            parse_query("VL(LID, LName, LType) :- Ligand(LID, LName, LType)").unwrap(),
+            vec![CitationQuery::with_fields(
+                parse_query(&format!("CVL(D) :- D = \"{DB_CITATION}\"")).unwrap(),
+                vec!["citation".to_string()],
+            )
+            .expect("arity 1")],
+            CitationFunction::new(),
+        )
+        .expect("VL well-formed"),
+    )
+    .expect("unique name");
+
+    // Interaction view, parameterized by target; cited by target curators.
+    reg.add(
+        CitationView::new(
+            parse_query("λ TID. VI(TID, LID, Affinity) :- Interaction(TID, LID, Affinity)")
+                .unwrap(),
+            vec![CitationQuery::new(
+                parse_query(
+                    "λ TID. CVI(TID, CName) :- TargetCurator(TID, CID), Contributor(CID, CName, Affil)",
+                )
+                .unwrap(),
+            )],
+            CitationFunction::new().with_static("database", "GtoPdb"),
+        )
+        .expect("VI well-formed"),
+    )
+    .expect("unique name");
+
+    // Committee view, unparameterized.
+    reg.add(
+        CitationView::new(
+            parse_query("VC(FID, PName) :- Committee(FID, PName)").unwrap(),
+            vec![CitationQuery::with_fields(
+                parse_query(&format!("CVC(D) :- D = \"{DB_CITATION}\"")).unwrap(),
+                vec!["citation".to_string()],
+            )
+            .expect("arity 1")],
+            CitationFunction::new(),
+        )
+        .expect("VC well-formed"),
+    )
+    .expect("unique name");
+
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GtopdbConfig};
+    use citesys_core::{CitationEngine, CitationMode, EngineOptions};
+
+    #[test]
+    fn family_views_match_paper() {
+        let reg = family_views();
+        assert_eq!(reg.len(), 3);
+        assert!(reg.get("V1").unwrap().is_parameterized());
+    }
+
+    #[test]
+    fn full_registry_has_seven_views() {
+        let reg = full_registry();
+        assert_eq!(reg.len(), 7);
+        assert!(reg.get("VT").unwrap().is_parameterized());
+        assert!(!reg.get("VL").unwrap().is_parameterized());
+    }
+
+    #[test]
+    fn generated_db_supports_paper_query() {
+        let db = generate(&GtopdbConfig::default());
+        let reg = full_registry();
+        let engine = CitationEngine::new(
+            &db,
+            &reg,
+            EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+        );
+        let q = citesys_cq::parse_query(
+            "Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)",
+        )
+        .unwrap();
+        let cited = engine.cite(&q).unwrap();
+        assert!(!cited.answer.is_empty());
+        // Min-size prefers the constant V2 citation.
+        assert!(cited.tuples[0]
+            .atoms
+            .iter()
+            .all(|a| a.params.is_empty()));
+    }
+
+    #[test]
+    fn target_interaction_query_cites_curators() {
+        let db = generate(&GtopdbConfig::default());
+        let reg = full_registry();
+        let engine = CitationEngine::new(
+            &db,
+            &reg,
+            EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+        );
+        // Interactions of targets: only VT/VI (parameterized) cover these
+        // relations, so citations carry curator names.
+        let q = citesys_cq::parse_query(
+            "Q(TName, LID) :- Target(TID, TName, FID), Interaction(TID, LID, Affinity)",
+        )
+        .unwrap();
+        let cited = engine.cite(&q).unwrap();
+        assert!(!cited.answer.is_empty());
+        let has_curator = cited.tuples.iter().any(|t| {
+            t.snippets
+                .iter()
+                .any(|s| !s.field("CName").is_empty())
+        });
+        assert!(has_curator, "expected curator names in citations");
+    }
+}

@@ -1,0 +1,190 @@
+//! Query workloads over the synthetic GtoPdb schema (used by the view
+//! selection experiment E8 and the engine benchmarks).
+
+use citesys_cq::{parse_query, ConjunctiveQuery};
+
+/// The paper's query: family names that have an intro.
+pub fn q_family_intro() -> ConjunctiveQuery {
+    parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+        .expect("well-formed")
+}
+
+/// Targets with their family names.
+pub fn q_targets_of_families() -> ConjunctiveQuery {
+    parse_query("Q(TName, FName) :- Target(TID, TName, FID), Family(FID, FName, Desc)")
+        .expect("well-formed")
+}
+
+/// Target–ligand interaction pairs.
+pub fn q_interactions() -> ConjunctiveQuery {
+    parse_query(
+        "Q(TName, LName) :- Target(TID, TName, FID), Interaction(TID, LID, Aff), Ligand(LID, LName, LType)",
+    )
+    .expect("well-formed")
+}
+
+/// All committee members.
+pub fn q_committee() -> ConjunctiveQuery {
+    parse_query("Q(PName) :- Committee(FID, PName)").expect("well-formed")
+}
+
+/// All family descriptions.
+pub fn q_families() -> ConjunctiveQuery {
+    parse_query("Q(FID, FName, Desc) :- Family(FID, FName, Desc)").expect("well-formed")
+}
+
+/// Ligands of a family (4-way join).
+pub fn q_family_ligands() -> ConjunctiveQuery {
+    parse_query(
+        "Q(FName, LName) :- Family(FID, FName, Desc), Target(TID, TName, FID), Interaction(TID, LID, Aff), Ligand(LID, LName, LType)",
+    )
+    .expect("well-formed")
+}
+
+/// The standard workload: a mix of the above, ordered easy → hard.
+pub fn standard_workload() -> Vec<ConjunctiveQuery> {
+    vec![
+        q_families(),
+        q_committee(),
+        q_family_intro(),
+        q_targets_of_families(),
+        q_interactions(),
+        q_family_ligands(),
+    ]
+}
+
+/// Candidate views for selection experiments: identity views over every
+/// relation plus the paper's parameterized `V1` and two join views.
+pub fn candidate_views() -> Vec<ConjunctiveQuery> {
+    vec![
+        parse_query("λ FID. W1(FID, FName, Desc) :- Family(FID, FName, Desc)").expect("ok"),
+        parse_query("W2(FID, FName, Desc) :- Family(FID, FName, Desc)").expect("ok"),
+        parse_query("W3(FID, Text) :- FamilyIntro(FID, Text)").expect("ok"),
+        parse_query("W4(FID, PName) :- Committee(FID, PName)").expect("ok"),
+        parse_query("W5(TID, TName, FID) :- Target(TID, TName, FID)").expect("ok"),
+        parse_query("W6(LID, LName, LType) :- Ligand(LID, LName, LType)").expect("ok"),
+        parse_query("W7(TID, LID, Aff) :- Interaction(TID, LID, Aff)").expect("ok"),
+        parse_query("W8(TID, TName, FName) :- Target(TID, TName, FID), Family(FID, FName, D)")
+            .expect("ok"),
+        parse_query("W9(TID, LName) :- Interaction(TID, LID, A), Ligand(LID, LName, T)")
+            .expect("ok"),
+    ]
+}
+
+/// Random acyclic join queries over the GtoPdb schema, following its
+/// foreign-key joins. Used to fuzz the citation engine: every generated
+/// query is guaranteed evaluable, and — over the identity views of
+/// [`candidate_views`] — coverable.
+pub mod random {
+    use citesys_cq::{parse_query, ConjunctiveQuery};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// FK-join steps: (relation, its variables, join var shared with prior).
+    const STEPS: [(&str, &str); 4] = [
+        ("Family(FID, FName, Desc)", "FID"),
+        ("Target(TID, TName, FID)", "TID"),
+        ("Interaction(TID, LID, Aff)", "LID"),
+        ("Ligand(LID, LName, LType)", ""),
+    ];
+
+    /// Generates `count` random contiguous FK-chain queries (length 1–4)
+    /// with a random projection of the chain's variables.
+    pub fn chain_queries(seed: u64, count: usize) -> Vec<ConjunctiveQuery> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vars_of: [&[&str]; 4] = [
+            &["FID", "FName", "Desc"],
+            &["TID", "TName", "FID"],
+            &["TID", "LID", "Aff"],
+            &["LID", "LName", "LType"],
+        ];
+        let mut out = Vec::with_capacity(count);
+        for qi in 0..count {
+            let start = rng.gen_range(0..STEPS.len());
+            let len = rng.gen_range(1..=(STEPS.len() - start));
+            let body: Vec<&str> = STEPS[start..start + len].iter().map(|(a, _)| *a).collect();
+            // Project 1–3 distinct variables from the used atoms.
+            let mut pool: Vec<&str> = vars_of[start..start + len].concat();
+            pool.dedup();
+            let k = rng.gen_range(1..=pool.len().min(3));
+            let mut head: Vec<&str> = Vec::new();
+            while head.len() < k {
+                let v = pool[rng.gen_range(0..pool.len())];
+                if !head.contains(&v) {
+                    head.push(v);
+                }
+            }
+            let q = format!("Q{qi}({}) :- {}", head.join(", "), body.join(", "));
+            out.push(parse_query(&q).expect("generated query is well-formed"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GtopdbConfig};
+    use citesys_storage::evaluate;
+
+    #[test]
+    fn workload_queries_run_on_generated_db() {
+        let db = generate(&GtopdbConfig::default());
+        for q in standard_workload() {
+            let a = evaluate(&db, &q).unwrap();
+            assert!(!a.is_empty(), "query {} returned nothing", q);
+        }
+    }
+
+    #[test]
+    fn candidates_parse_and_are_distinctly_named() {
+        let cands = candidate_views();
+        let names: std::collections::BTreeSet<_> =
+            cands.iter().map(|v| v.name().clone()).collect();
+        assert_eq!(names.len(), cands.len());
+    }
+
+    #[test]
+    fn identity_candidates_cover_standard_workload() {
+        use citesys_core::greedy_select;
+        use citesys_rewrite::RewriteOptions;
+        let sel = greedy_select(
+            &standard_workload(),
+            &candidate_views(),
+            &RewriteOptions::default(),
+        );
+        assert!(sel.covers_all(), "covered: {:?}", sel.covered);
+    }
+
+    #[test]
+    fn random_chain_queries_evaluate_and_are_coverable() {
+        use citesys_core::covers;
+        use citesys_rewrite::RewriteOptions;
+        let db = generate(&GtopdbConfig::default());
+        let queries = random::chain_queries(42, 24);
+        assert_eq!(queries.len(), 24);
+        let cands = candidate_views();
+        for q in &queries {
+            evaluate(&db, q).unwrap_or_else(|e| panic!("{q} failed: {e}"));
+            assert!(
+                covers(q, &cands, &RewriteOptions::default()),
+                "identity views must cover {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_queries_deterministic_in_seed() {
+        let a = random::chain_queries(7, 10);
+        let b = random::chain_queries(7, 10);
+        assert_eq!(
+            a.iter().map(ToString::to_string).collect::<Vec<_>>(),
+            b.iter().map(ToString::to_string).collect::<Vec<_>>()
+        );
+        let c = random::chain_queries(8, 10);
+        assert_ne!(
+            a.iter().map(ToString::to_string).collect::<Vec<_>>(),
+            c.iter().map(ToString::to_string).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! K-relations: annotated databases and annotated query evaluation.
+//!
+//! Green et al.'s semantics: the annotation of an output tuple is the sum,
+//! over all derivations (bindings), of the product of the annotations of
+//! the base tuples used. The citation engine uses this with the citation
+//! algebra as `K`; the tests here validate the machinery against the
+//! classical instances.
+
+use std::collections::HashMap;
+
+use citesys_cq::{ConjunctiveQuery, Symbol};
+use citesys_storage::{evaluate, Database, StorageError, Tuple};
+
+use crate::polynomial::Polynomial;
+use crate::semiring::Semiring;
+use crate::sets::ProvToken;
+
+/// A database whose base tuples carry annotations in a semiring `K`.
+///
+/// Tuples without an explicit annotation default to `K::one()` —
+/// "present, with trivial provenance".
+#[derive(Clone, Debug)]
+pub struct AnnotatedDatabase<K: Semiring> {
+    db: Database,
+    ann: HashMap<(Symbol, Tuple), K>,
+}
+
+impl<K: Semiring> AnnotatedDatabase<K> {
+    /// Wraps a plain database; all annotations default to `1`.
+    pub fn new(db: Database) -> Self {
+        AnnotatedDatabase { db, ann: HashMap::new() }
+    }
+
+    /// Read access to the underlying database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Inserts a tuple with an explicit annotation.
+    pub fn insert_annotated(
+        &mut self,
+        rel: &str,
+        t: Tuple,
+        k: K,
+    ) -> Result<bool, StorageError> {
+        let changed = self.db.insert(rel, t.clone())?;
+        self.ann.insert((Symbol::new(rel), t), k);
+        Ok(changed)
+    }
+
+    /// Sets the annotation of an existing tuple.
+    pub fn annotate(&mut self, rel: &str, t: Tuple, k: K) {
+        self.ann.insert((Symbol::new(rel), t), k);
+    }
+
+    /// The annotation of a base tuple (defaults to `1` when present but
+    /// unannotated; callers should not ask about absent tuples).
+    pub fn annotation(&self, rel: &Symbol, t: &Tuple) -> K {
+        self.ann
+            .get(&(rel.clone(), t.clone()))
+            .cloned()
+            .unwrap_or_else(K::one)
+    }
+
+    /// Evaluates `q` under K-relation semantics: each output tuple is
+    /// paired with `Σ_bindings Π_atoms annotation(matched base tuple)`.
+    ///
+    /// Output tuples whose annotation is `0` are dropped (a `0`-annotated
+    /// tuple "is not in" the K-relation).
+    pub fn evaluate_annotated(
+        &self,
+        q: &ConjunctiveQuery,
+    ) -> Result<Vec<(Tuple, K)>, StorageError> {
+        let answer = evaluate(&self.db, q)?;
+        let mut out = Vec::with_capacity(answer.rows.len());
+        for row in &answer.rows {
+            let k = K::sum(row.bindings.iter().map(|b| {
+                K::product(q.body.iter().map(|atom| {
+                    let ground: Vec<_> = atom
+                        .terms
+                        .iter()
+                        .map(|t| b.eval_term(t).expect("binding covers body vars"))
+                        .collect();
+                    self.annotation(&atom.predicate, &Tuple::new(ground))
+                }))
+            }));
+            if !k.is_zero() {
+                out.push((row.tuple.clone(), k));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Computes the **provenance polynomial** of every output tuple of `q`:
+/// the ℕ\[X\] annotation where each base tuple is its own variable.
+///
+/// By universality, evaluating these polynomials under any assignment
+/// into `K` agrees with direct annotated evaluation — the property the
+/// citation engine relies on, and which `tests/proptests.rs` verifies.
+pub fn provenance(
+    db: &Database,
+    q: &ConjunctiveQuery,
+) -> Result<Vec<(Tuple, Polynomial)>, StorageError> {
+    let answer = evaluate(db, q)?;
+    let mut out = Vec::with_capacity(answer.rows.len());
+    for row in &answer.rows {
+        let poly = Polynomial::sum(row.bindings.iter().map(|b| {
+            Polynomial::product(q.body.iter().map(|atom| {
+                let ground: Vec<_> = atom
+                    .terms
+                    .iter()
+                    .map(|t| b.eval_term(t).expect("binding covers body vars"))
+                    .collect();
+                Polynomial::var(ProvToken::new(atom.predicate.clone(), Tuple::new(ground)))
+            }))
+        }));
+        out.push((row.tuple.clone(), poly));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::Cost;
+    use crate::sets::{Lineage, Why};
+    use citesys_cq::{parse_query, ValueType};
+    use citesys_storage::{tuple, RelationSchema};
+
+    fn base_db() -> Database {
+        let mut d = Database::new();
+        d.create_relation(RelationSchema::from_parts(
+            "R",
+            &[("A", ValueType::Int), ("B", ValueType::Int)],
+            &[],
+        ))
+        .unwrap();
+        d.create_relation(RelationSchema::from_parts(
+            "S",
+            &[("B", ValueType::Int), ("C", ValueType::Int)],
+            &[],
+        ))
+        .unwrap();
+        d.insert("R", tuple![1, 2]).unwrap();
+        d.insert("R", tuple![1, 3]).unwrap();
+        d.insert("S", tuple![2, 9]).unwrap();
+        d.insert("S", tuple![3, 9]).unwrap();
+        d
+    }
+
+    #[test]
+    fn counting_derivations() {
+        // Q(X, C) :- R(X, Y), S(Y, C): (1,9) derivable via Y=2 and Y=3.
+        let adb: AnnotatedDatabase<u64> = AnnotatedDatabase::new(base_db());
+        let q = parse_query("Q(X, C) :- R(X, Y), S(Y, C)").unwrap();
+        let out = adb.evaluate_annotated(&q).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, tuple![1, 9]);
+        assert_eq!(out[0].1, 2);
+    }
+
+    #[test]
+    fn zero_annotated_tuples_vanish() {
+        let mut adb: AnnotatedDatabase<bool> = AnnotatedDatabase::new(base_db());
+        // "Delete" both S tuples in the Boolean K-relation sense.
+        adb.annotate("S", tuple![2, 9], false);
+        adb.annotate("S", tuple![3, 9], false);
+        let q = parse_query("Q(X, C) :- R(X, Y), S(Y, C)").unwrap();
+        let out = adb.evaluate_annotated(&q).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn lineage_collects_all_contributors() {
+        let mut adb: AnnotatedDatabase<Lineage> = AnnotatedDatabase::new(base_db());
+        for (rel, t) in [
+            ("R", tuple![1, 2]),
+            ("R", tuple![1, 3]),
+            ("S", tuple![2, 9]),
+            ("S", tuple![3, 9]),
+        ] {
+            adb.annotate(rel, t.clone(), Lineage::of(ProvToken::new(rel, t)));
+        }
+        let q = parse_query("Q(X, C) :- R(X, Y), S(Y, C)").unwrap();
+        let out = adb.evaluate_annotated(&q).unwrap();
+        assert_eq!(out[0].1.len(), 4);
+    }
+
+    #[test]
+    fn why_provenance_separates_witnesses() {
+        let mut adb: AnnotatedDatabase<Why> = AnnotatedDatabase::new(base_db());
+        for (rel, t) in [
+            ("R", tuple![1, 2]),
+            ("R", tuple![1, 3]),
+            ("S", tuple![2, 9]),
+            ("S", tuple![3, 9]),
+        ] {
+            adb.annotate(rel, t.clone(), Why::of(ProvToken::new(rel, t)));
+        }
+        let q = parse_query("Q(X, C) :- R(X, Y), S(Y, C)").unwrap();
+        let out = adb.evaluate_annotated(&q).unwrap();
+        assert_eq!(out[0].1.witness_count(), 2);
+    }
+
+    #[test]
+    fn provenance_polynomial_shape() {
+        // Two derivations, each a product of two distinct tuples:
+        // r12·s29 + r13·s39.
+        let db = base_db();
+        let q = parse_query("Q(X, C) :- R(X, Y), S(Y, C)").unwrap();
+        let prov = provenance(&db, &q).unwrap();
+        assert_eq!(prov.len(), 1);
+        let poly = &prov[0].1;
+        assert_eq!(poly.term_count(), 2);
+        for (m, c) in poly.terms() {
+            assert_eq!(c, 1);
+            assert_eq!(m.degree(), 2);
+        }
+    }
+
+    #[test]
+    fn self_join_squares_variable() {
+        let mut d = Database::new();
+        d.create_relation(RelationSchema::from_parts(
+            "E",
+            &[("A", ValueType::Int), ("B", ValueType::Int)],
+            &[],
+        ))
+        .unwrap();
+        d.insert("E", tuple![1, 1]).unwrap();
+        let q = parse_query("Q(X) :- E(X, Y), E(Y, X)").unwrap();
+        let prov = provenance(&d, &q).unwrap();
+        // Single derivation using e11 twice: e11².
+        assert_eq!(prov[0].1.to_string(), "E(1, 1)^2");
+    }
+
+    #[test]
+    fn universality_on_example() {
+        // eval_in(provenance) == direct annotated evaluation (Cost).
+        let db = base_db();
+        let q = parse_query("Q(X, C) :- R(X, Y), S(Y, C)").unwrap();
+        let cost_of = |t: &ProvToken| -> Cost {
+            // R tuples cost 1, S tuples cost 10.
+            if t.relation.as_str() == "R" {
+                Cost(1)
+            } else {
+                Cost(10)
+            }
+        };
+        let mut adb: AnnotatedDatabase<Cost> = AnnotatedDatabase::new(db.clone());
+        for (rel, t) in [
+            ("R", tuple![1, 2]),
+            ("R", tuple![1, 3]),
+            ("S", tuple![2, 9]),
+            ("S", tuple![3, 9]),
+        ] {
+            let tokc = cost_of(&ProvToken::new(rel, t.clone()));
+            adb.annotate(rel, t, tokc);
+        }
+        let direct = adb.evaluate_annotated(&q).unwrap();
+        let via_poly = provenance(&db, &q).unwrap();
+        assert_eq!(direct.len(), via_poly.len());
+        for ((t1, k), (t2, p)) in direct.iter().zip(&via_poly) {
+            assert_eq!(t1, t2);
+            assert_eq!(*k, p.eval_in::<Cost>(&cost_of));
+        }
+    }
+
+    #[test]
+    fn constant_query_annotation_is_one() {
+        let adb: AnnotatedDatabase<u64> = AnnotatedDatabase::new(base_db());
+        let q = parse_query("C('x') :- true").unwrap();
+        let out = adb.evaluate_annotated(&q).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, 1);
+    }
+}

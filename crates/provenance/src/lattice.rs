@@ -1,0 +1,247 @@
+//! Lattice-flavoured semirings: minimal-witness provenance and access
+//! control.
+//!
+//! Two more interpretations of the citation algebra's `+`/`·`:
+//!
+//! * [`MinWhy`] — why-provenance with *absorption*: a witness that is a
+//!   superset of another carries no extra information, so it is dropped.
+//!   This is the positive-Boolean-expression (`PosBool(X)`) semiring of
+//!   Green et al., and the natural notion of "the smallest combinations of
+//!   portions you must cite".
+//! * [`Access`] — the security/clearance semiring: alternatives take the
+//!   most permissive path, joint use needs the most restrictive input.
+//!   Cited data inherits the clearance of the portions that produced it —
+//!   directly relevant when some curated portions are embargoed.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::semiring::Semiring;
+use crate::sets::ProvToken;
+
+/// Why-provenance with absorption (`PosBool(X)`): only ⊆-minimal witnesses
+/// are kept.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MinWhy(BTreeSet<BTreeSet<ProvToken>>);
+
+impl MinWhy {
+    /// The singleton witness {{token}}.
+    pub fn of(token: ProvToken) -> Self {
+        let mut inner = BTreeSet::new();
+        inner.insert(token);
+        let mut outer = BTreeSet::new();
+        outer.insert(inner);
+        MinWhy(outer)
+    }
+
+    /// The minimal witnesses.
+    pub fn witnesses(&self) -> &BTreeSet<BTreeSet<ProvToken>> {
+        &self.0
+    }
+
+    /// Number of minimal witnesses.
+    pub fn witness_count(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Drops witnesses that are supersets of another witness.
+    fn absorb(witnesses: BTreeSet<BTreeSet<ProvToken>>) -> Self {
+        let minimal: BTreeSet<BTreeSet<ProvToken>> = witnesses
+            .iter()
+            .filter(|w| {
+                !witnesses
+                    .iter()
+                    .any(|other| other != *w && other.is_subset(w))
+            })
+            .cloned()
+            .collect();
+        MinWhy(minimal)
+    }
+}
+
+impl Semiring for MinWhy {
+    fn zero() -> Self {
+        MinWhy(BTreeSet::new())
+    }
+    fn one() -> Self {
+        let mut outer = BTreeSet::new();
+        outer.insert(BTreeSet::new());
+        MinWhy(outer)
+    }
+    fn add(&self, other: &Self) -> Self {
+        Self::absorb(self.0.union(&other.0).cloned().collect())
+    }
+    fn mul(&self, other: &Self) -> Self {
+        let mut out = BTreeSet::new();
+        for a in &self.0 {
+            for b in &other.0 {
+                out.insert(a.union(b).cloned().collect());
+            }
+        }
+        Self::absorb(out)
+    }
+}
+
+impl fmt::Display for MinWhy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, w) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{{")?;
+            for (j, t) in w.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+            write!(f, "}}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Clearance levels, most permissive first. `NoAccess` is the additive
+/// identity (an inaccessible derivation contributes nothing);
+/// `Public` is the multiplicative identity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Access {
+    /// Readable by anyone.
+    Public,
+    /// Restricted to registered collaborators.
+    Confidential,
+    /// Restricted to the curation team.
+    Secret,
+    /// Owner only.
+    TopSecret,
+    /// Not derivable at any clearance.
+    NoAccess,
+}
+
+impl Semiring for Access {
+    fn zero() -> Self {
+        Access::NoAccess
+    }
+    fn one() -> Self {
+        Access::Public
+    }
+    /// Alternatives: the most permissive derivation wins (min).
+    fn add(&self, other: &Self) -> Self {
+        *self.min(other)
+    }
+    /// Joint use: as restrictive as the most restricted input (max).
+    fn mul(&self, other: &Self) -> Self {
+        *self.max(other)
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Access::Public => "public",
+            Access::Confidential => "confidential",
+            Access::Secret => "secret",
+            Access::TopSecret => "top-secret",
+            Access::NoAccess => "no-access",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::law_tests::check_laws;
+    use citesys_storage::tuple;
+
+    fn tok(rel: &str, id: i64) -> ProvToken {
+        ProvToken::new(rel, tuple![id])
+    }
+
+    #[test]
+    fn minwhy_laws() {
+        let samples = vec![
+            MinWhy::zero(),
+            MinWhy::one(),
+            MinWhy::of(tok("R", 1)),
+            MinWhy::of(tok("R", 2)),
+            MinWhy::of(tok("R", 1)).mul(&MinWhy::of(tok("S", 3))),
+            MinWhy::of(tok("R", 1)).add(&MinWhy::of(tok("S", 3))),
+        ];
+        check_laws(&samples);
+    }
+
+    #[test]
+    fn absorption_drops_supersets() {
+        // r1 + r1·s2 = r1 (the larger witness is absorbed).
+        let r1 = MinWhy::of(tok("R", 1));
+        let joint = r1.mul(&MinWhy::of(tok("S", 2)));
+        let sum = r1.add(&joint);
+        assert_eq!(sum, r1);
+        assert_eq!(sum.witness_count(), 1);
+    }
+
+    #[test]
+    fn absorption_is_why_minimization() {
+        // (r1 + r2)·(r1 + s3) = r1 + r2·s3 after absorption
+        // (expansion gives r1, r1·s3, r1·r2, r2·s3 — middle two absorbed).
+        let r1 = MinWhy::of(tok("R", 1));
+        let r2 = MinWhy::of(tok("R", 2));
+        let s3 = MinWhy::of(tok("S", 3));
+        let prod = r1.add(&r2).mul(&r1.add(&s3));
+        assert_eq!(prod.witness_count(), 2);
+        assert_eq!(prod, r1.add(&r2.mul(&s3)));
+    }
+
+    #[test]
+    fn minwhy_idempotent_add() {
+        let x = MinWhy::of(tok("R", 1)).mul(&MinWhy::of(tok("S", 2)));
+        assert_eq!(x.add(&x), x);
+    }
+
+    #[test]
+    fn access_laws() {
+        check_laws(&[
+            Access::Public,
+            Access::Confidential,
+            Access::Secret,
+            Access::TopSecret,
+            Access::NoAccess,
+        ]);
+    }
+
+    #[test]
+    fn access_semantics() {
+        // A tuple derivable publicly OR secretly is public.
+        assert_eq!(Access::Public.add(&Access::Secret), Access::Public);
+        // A join of confidential and secret inputs is secret.
+        assert_eq!(Access::Confidential.mul(&Access::Secret), Access::Secret);
+        // Nothing joins with an inaccessible input.
+        assert_eq!(Access::Public.mul(&Access::NoAccess), Access::NoAccess);
+        assert_eq!(Access::NoAccess.add(&Access::TopSecret), Access::TopSecret);
+    }
+
+    #[test]
+    fn access_through_polynomial_evaluation() {
+        use crate::polynomial::Polynomial;
+        // xy + z: x secret, y public, z confidential → min(max(S,P), C) = C.
+        let x = Polynomial::var(tok("R", 1));
+        let y = Polynomial::var(tok("R", 2));
+        let z = Polynomial::var(tok("S", 1));
+        let p = x.mul(&y).add(&z);
+        let level = p.eval_in::<Access>(&|t| match (t.relation.as_str(), t.tuple.get(0)) {
+            ("R", Some(v)) if v.as_int() == Some(1) => Access::Secret,
+            ("R", _) => Access::Public,
+            _ => Access::Confidential,
+        });
+        assert_eq!(level, Access::Confidential);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Access::Secret.to_string(), "secret");
+        let w = MinWhy::of(tok("R", 1)).mul(&MinWhy::of(tok("S", 2)));
+        assert_eq!(w.to_string(), "{{R(1), S(2)}}");
+    }
+}

@@ -1,0 +1,45 @@
+//! # citesys-provenance — semirings and K-relations
+//!
+//! The paper models joint (`·`) and alternative (`+`) use of citation
+//! annotations "using the semirings approach of [Green, Karvounarakis,
+//! Tannen — PODS 2007]". This crate provides:
+//!
+//! * the commutative [`Semiring`] trait with classic instances — Boolean
+//!   (set semantics), counting ℕ (bag semantics), tropical [`Cost`] (the
+//!   paper's *minimum size* policy), [`Lineage`] and [`Why`]-provenance,
+//! * the free semiring of provenance polynomials ℕ\[X\]
+//!   ([`Polynomial`]), whose universality lets one symbolic annotation be
+//!   re-interpreted under any policy,
+//! * annotated databases (K-relations) and annotated conjunctive-query
+//!   evaluation ([`AnnotatedDatabase`], [`provenance`]).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use citesys_cq::{parse_query, ValueType};
+//! use citesys_storage::{Database, RelationSchema, tuple};
+//! use citesys_provenance::{provenance, Semiring};
+//!
+//! let mut db = Database::new();
+//! db.create_relation(RelationSchema::from_parts(
+//!     "R", &[("A", ValueType::Int), ("B", ValueType::Int)], &[])).unwrap();
+//! db.insert("R", tuple![1, 2]).unwrap();
+//! let q = parse_query("Q(X) :- R(X, Y)").unwrap();
+//! let prov = provenance(&db, &q).unwrap();
+//! assert_eq!(prov[0].1.to_string(), "R(1, 2)");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod annotated;
+pub mod lattice;
+pub mod polynomial;
+pub mod semiring;
+pub mod sets;
+
+pub use annotated::{provenance, AnnotatedDatabase};
+pub use lattice::{Access, MinWhy};
+pub use polynomial::{Monomial, Polynomial};
+pub use semiring::{Cost, Semiring};
+pub use sets::{Lineage, ProvToken, Why};

@@ -1,0 +1,319 @@
+//! Provenance polynomials ℕ\[X\] — the free commutative semiring.
+//!
+//! ℕ\[X\] is *universal*: any assignment of the variables `X` into a
+//! commutative semiring `K` extends uniquely to a semiring homomorphism
+//! `ℕ\[X\] → K` ([`Polynomial::eval_in`]). The citation engine exploits this:
+//! it computes one symbolic annotation and then interprets it under
+//! whichever policy semiring the database owner chose.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::semiring::Semiring;
+use crate::sets::ProvToken;
+
+/// A monomial: variables with positive integer exponents.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Monomial(BTreeMap<ProvToken, u32>);
+
+impl Monomial {
+    /// The empty monomial (multiplicative identity).
+    pub fn unit() -> Self {
+        Monomial::default()
+    }
+
+    /// The monomial consisting of a single variable.
+    pub fn var(token: ProvToken) -> Self {
+        let mut m = BTreeMap::new();
+        m.insert(token, 1);
+        Monomial(m)
+    }
+
+    /// Multiplies two monomials (adds exponents).
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut out = self.0.clone();
+        for (t, e) in &other.0 {
+            *out.entry(t.clone()).or_insert(0) += e;
+        }
+        Monomial(out)
+    }
+
+    /// Total degree.
+    pub fn degree(&self) -> u32 {
+        self.0.values().sum()
+    }
+
+    /// Iterates `(variable, exponent)` pairs.
+    pub fn vars(&self) -> impl Iterator<Item = (&ProvToken, u32)> {
+        self.0.iter().map(|(t, &e)| (t, e))
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "1");
+        }
+        for (i, (t, e)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "·")?;
+            }
+            if *e == 1 {
+                write!(f, "{t}")?;
+            } else {
+                write!(f, "{t}^{e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A polynomial with natural-number coefficients in canonical form
+/// (no zero coefficients stored).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Polynomial(BTreeMap<Monomial, u64>);
+
+impl Polynomial {
+    /// The polynomial for a single base-tuple variable.
+    pub fn var(token: ProvToken) -> Self {
+        let mut p = BTreeMap::new();
+        p.insert(Monomial::var(token), 1);
+        Polynomial(p)
+    }
+
+    /// Number of monomials.
+    pub fn term_count(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Iterates `(monomial, coefficient)` pairs.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, u64)> {
+        self.0.iter().map(|(m, &c)| (m, c))
+    }
+
+    /// The set of distinct variables appearing in the polynomial.
+    pub fn variables(&self) -> std::collections::BTreeSet<&ProvToken> {
+        self.0
+            .keys()
+            .flat_map(|m| m.vars().map(|(t, _)| t))
+            .collect()
+    }
+
+    /// Evaluates the polynomial in `K` under an assignment of variables —
+    /// the unique homomorphic extension guaranteed by universality.
+    ///
+    /// ```
+    /// use citesys_provenance::{Polynomial, ProvToken, Semiring, Cost};
+    /// use citesys_storage::tuple;
+    ///
+    /// let x = Polynomial::var(ProvToken::new("R", tuple![1]));
+    /// let y = Polynomial::var(ProvToken::new("S", tuple![2]));
+    /// let p = x.mul(&y).add(&x); // xy + x
+    ///
+    /// // Counting: x = 2 derivations, y = 3 → 2·3 + 2 = 8.
+    /// let n = p.eval_in::<u64>(&|t| if t.relation == "R" { 2 } else { 3 });
+    /// assert_eq!(n, 8);
+    ///
+    /// // Tropical (min, +): cheapest derivation costs min(2+3, 2) = 2.
+    /// let c = p.eval_in::<Cost>(&|t| if t.relation == "R" { Cost(2) } else { Cost(3) });
+    /// assert_eq!(c, Cost(2));
+    /// ```
+    pub fn eval_in<K: Semiring>(&self, assign: &dyn Fn(&ProvToken) -> K) -> K {
+        K::sum(self.0.iter().map(|(m, &coeff)| {
+            let term = K::product(m.vars().map(|(t, e)| assign(t).pow(e)));
+            K::from_natural(coeff).mul(&term)
+        }))
+    }
+}
+
+impl Semiring for Polynomial {
+    fn zero() -> Self {
+        Polynomial::default()
+    }
+
+    fn one() -> Self {
+        let mut p = BTreeMap::new();
+        p.insert(Monomial::unit(), 1);
+        Polynomial(p)
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        let mut out = self.0.clone();
+        for (m, c) in &other.0 {
+            let e = out.entry(m.clone()).or_insert(0);
+            *e = e.saturating_add(*c);
+        }
+        out.retain(|_, c| *c != 0);
+        Polynomial(out)
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        let mut out: BTreeMap<Monomial, u64> = BTreeMap::new();
+        for (m1, c1) in &self.0 {
+            for (m2, c2) in &other.0 {
+                let m = m1.mul(m2);
+                let e = out.entry(m).or_insert(0);
+                *e = e.saturating_add(c1.saturating_mul(*c2));
+            }
+        }
+        out.retain(|_, c| *c != 0);
+        Polynomial(out)
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (m, c)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            if *c != 1 {
+                write!(f, "{c}·")?;
+            }
+            write!(f, "{m}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::law_tests::check_laws;
+    use crate::semiring::Cost;
+    use crate::sets::{Lineage, Why};
+    use citesys_storage::tuple;
+
+    fn tok(rel: &str, id: i64) -> ProvToken {
+        ProvToken::new(rel, tuple![id])
+    }
+
+    fn x() -> Polynomial {
+        Polynomial::var(tok("R", 1))
+    }
+    fn y() -> Polynomial {
+        Polynomial::var(tok("R", 2))
+    }
+    fn z() -> Polynomial {
+        Polynomial::var(tok("S", 1))
+    }
+
+    #[test]
+    fn polynomial_laws() {
+        let samples = vec![
+            Polynomial::zero(),
+            Polynomial::one(),
+            x(),
+            y(),
+            x().add(&y()),
+            x().mul(&z()),
+        ];
+        check_laws(&samples);
+    }
+
+    #[test]
+    fn canonical_form_merges_terms() {
+        // x + x = 2x, one term.
+        let p = x().add(&x());
+        assert_eq!(p.term_count(), 1);
+        assert_eq!(p.to_string(), "2·R(1)");
+        // x·x = x².
+        let q = x().mul(&x());
+        assert_eq!(q.to_string(), "R(1)^2");
+    }
+
+    #[test]
+    fn distribution_expands() {
+        // (x + y)·z = xz + yz.
+        let p = x().add(&y()).mul(&z());
+        assert_eq!(p.term_count(), 2);
+        let q = x().mul(&z()).add(&y().mul(&z()));
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn variables_collected() {
+        let p = x().mul(&z()).add(&y());
+        assert_eq!(p.variables().len(), 3);
+    }
+
+    #[test]
+    fn eval_into_counting() {
+        // p = 2xy + z, with x=3, y=1, z=5  →  2·3·1 + 5 = 11.
+        let p = Polynomial::from_natural(2)
+            .mul(&x())
+            .mul(&y())
+            .add(&z());
+        let v = p.eval_in::<u64>(&|t| match (t.relation.as_str(), t.tuple.get(0)) {
+            ("R", Some(v)) if v.as_int() == Some(1) => 3,
+            ("R", _) => 1,
+            _ => 5,
+        });
+        assert_eq!(v, 11);
+    }
+
+    #[test]
+    fn eval_into_boolean_is_satisfiability() {
+        let p = x().mul(&y()).add(&z());
+        // z present ⇒ true even if x absent.
+        let v = p.eval_in::<bool>(&|t| t.relation.as_str() == "S");
+        assert!(v);
+        let v = p.eval_in::<bool>(&|_| false);
+        assert!(!v);
+    }
+
+    #[test]
+    fn eval_into_tropical_is_min_cost() {
+        // xy + z with cost(x)=1, cost(y)=2, cost(z)=10 → min(1+2, 10) = 3.
+        let p = x().mul(&y()).add(&z());
+        let v = p.eval_in::<Cost>(&|t| match t.relation.as_str() {
+            "R" => {
+                if t.tuple.get(0).unwrap().as_int() == Some(1) {
+                    Cost(1)
+                } else {
+                    Cost(2)
+                }
+            }
+            _ => Cost(10),
+        });
+        assert_eq!(v, Cost(3));
+    }
+
+    #[test]
+    fn eval_is_homomorphism_spot_check() {
+        // h(p + q) = h(p) + h(q), h(p·q) = h(p)·h(q) for h = eval into ℕ.
+        let assign = |t: &ProvToken| -> u64 {
+            match t.relation.as_str() {
+                "R" => 2,
+                _ => 3,
+            }
+        };
+        let p = x().add(&y().mul(&z()));
+        let q = z().add(&Polynomial::one());
+        let lhs_add = p.add(&q).eval_in::<u64>(&assign);
+        let rhs_add = p.eval_in::<u64>(&assign).add(&q.eval_in::<u64>(&assign));
+        assert_eq!(lhs_add, rhs_add);
+        let lhs_mul = p.mul(&q).eval_in::<u64>(&assign);
+        let rhs_mul = p.eval_in::<u64>(&assign).mul(&q.eval_in::<u64>(&assign));
+        assert_eq!(lhs_mul, rhs_mul);
+    }
+
+    #[test]
+    fn eval_into_lineage_and_why() {
+        let p = x().mul(&z()).add(&y());
+        let lin = p.eval_in::<Lineage>(&|t| Lineage::of(t.clone()));
+        assert_eq!(lin.len(), 3);
+        let why = p.eval_in::<Why>(&|t| Why::of(t.clone()));
+        assert_eq!(why.witness_count(), 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Polynomial::zero().to_string(), "0");
+        assert_eq!(Polynomial::one().to_string(), "1");
+        assert_eq!(x().add(&y()).mul(&z()).to_string(), "R(1)·S(1) + R(2)·S(1)");
+    }
+}

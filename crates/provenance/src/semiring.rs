@@ -1,0 +1,236 @@
+//! The commutative-semiring abstraction and scalar instances.
+//!
+//! The paper models the joint (`·`) and alternative (`+`) combination of
+//! citation annotations "using the semirings approach of [Green,
+//! Karvounarakis, Tannen — PODS 2007]". This module provides the generic
+//! trait and the classic instances; `polynomial` provides the free
+//! (universal) semiring ℕ\[X\], and `citesys-core` builds the citation
+//! algebra on top.
+
+use std::fmt;
+
+/// A commutative semiring `(K, +, ·, 0, 1)`.
+///
+/// Laws (validated by property tests for every instance in this crate):
+/// `+` is associative and commutative with identity `0`; `·` is associative
+/// and commutative with identity `1`; `·` distributes over `+`; `0`
+/// annihilates `·`.
+pub trait Semiring: Clone + PartialEq + fmt::Debug {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Addition — the *alternative* use of annotations.
+    fn add(&self, other: &Self) -> Self;
+    /// Multiplication — the *joint* use of annotations.
+    fn mul(&self, other: &Self) -> Self;
+
+    /// True when this element is the additive identity.
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+
+    /// Embeds a natural number: `n ↦ 1 + 1 + … + 1` (n times), computed by
+    /// binary doubling so large coefficients stay cheap.
+    fn from_natural(n: u64) -> Self {
+        if n == 0 {
+            return Self::zero();
+        }
+        let mut acc = Self::zero();
+        let mut base = Self::one();
+        let mut k = n;
+        loop {
+            if k & 1 == 1 {
+                acc = acc.add(&base);
+            }
+            k >>= 1;
+            if k == 0 {
+                break;
+            }
+            base = base.add(&base);
+        }
+        acc
+    }
+
+    /// Raises to a natural-number power by binary exponentiation
+    /// (`x^0 = 1`).
+    fn pow(&self, mut e: u32) -> Self {
+        let mut acc = Self::one();
+        let mut base = self.clone();
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mul(&base);
+            }
+            base = base.mul(&base);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Sums an iterator of elements.
+    fn sum<I: IntoIterator<Item = Self>>(iter: I) -> Self {
+        iter.into_iter()
+            .fold(Self::zero(), |acc, x| acc.add(&x))
+    }
+
+    /// Multiplies an iterator of elements.
+    fn product<I: IntoIterator<Item = Self>>(iter: I) -> Self {
+        iter.into_iter().fold(Self::one(), |acc, x| acc.mul(&x))
+    }
+}
+
+/// The Boolean semiring `(𝔹, ∨, ∧, false, true)` — set semantics:
+/// "is this tuple in the answer?"
+impl Semiring for bool {
+    fn zero() -> Self {
+        false
+    }
+    fn one() -> Self {
+        true
+    }
+    fn add(&self, other: &Self) -> Self {
+        *self || *other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        *self && *other
+    }
+}
+
+/// The counting semiring `(ℕ, +, ×, 0, 1)` — bag semantics: "how many
+/// derivations does this tuple have?" Saturating arithmetic keeps large
+/// synthetic workloads panic-free.
+impl Semiring for u64 {
+    fn zero() -> Self {
+        0
+    }
+    fn one() -> Self {
+        1
+    }
+    fn add(&self, other: &Self) -> Self {
+        self.saturating_add(*other)
+    }
+    fn mul(&self, other: &Self) -> Self {
+        self.saturating_mul(*other)
+    }
+}
+
+/// The tropical (min, +) semiring used for the paper's **minimum-size**
+/// `+R` policy: alternatives take the cheaper option, joint use adds sizes.
+/// `Cost::INFINITY` is the additive identity ("no derivation").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Cost(pub u64);
+
+impl Cost {
+    /// The additive identity: no derivation exists.
+    pub const INFINITY: Cost = Cost(u64::MAX);
+
+    /// True when this cost is infinite.
+    pub fn is_infinite(&self) -> bool {
+        *self == Cost::INFINITY
+    }
+}
+
+impl Semiring for Cost {
+    fn zero() -> Self {
+        Cost::INFINITY
+    }
+    fn one() -> Self {
+        Cost(0)
+    }
+    fn add(&self, other: &Self) -> Self {
+        Cost(self.0.min(other.0))
+    }
+    fn mul(&self, other: &Self) -> Self {
+        if self.is_infinite() || other.is_infinite() {
+            Cost::INFINITY
+        } else {
+            Cost(self.0.saturating_add(other.0))
+        }
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod law_tests {
+    use super::*;
+
+    /// Checks all semiring laws on a slice of sample elements.
+    pub(crate) fn check_laws<K: Semiring>(samples: &[K]) {
+        for a in samples {
+            assert_eq!(a.add(&K::zero()), *a, "0 is + identity");
+            assert_eq!(a.mul(&K::one()), *a, "1 is · identity");
+            assert_eq!(a.mul(&K::zero()), K::zero(), "0 annihilates ·");
+            for b in samples {
+                assert_eq!(a.add(b), b.add(a), "+ commutes");
+                assert_eq!(a.mul(b), b.mul(a), "· commutes");
+                for c in samples {
+                    assert_eq!(a.add(&b.add(c)), a.add(b).add(c), "+ associates");
+                    assert_eq!(a.mul(&b.mul(c)), a.mul(b).mul(c), "· associates");
+                    assert_eq!(
+                        a.mul(&b.add(c)),
+                        a.mul(b).add(&a.mul(c)),
+                        "· distributes over +"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boolean_laws() {
+        check_laws(&[false, true]);
+    }
+
+    #[test]
+    fn counting_laws() {
+        check_laws(&[0u64, 1, 2, 3, 7]);
+    }
+
+    #[test]
+    fn tropical_laws() {
+        check_laws(&[Cost(0), Cost(1), Cost(5), Cost::INFINITY]);
+    }
+
+    #[test]
+    fn from_natural_counts() {
+        assert_eq!(u64::from_natural(0), 0);
+        assert_eq!(u64::from_natural(13), 13);
+        assert!(!bool::from_natural(0));
+        assert!(bool::from_natural(5));
+        assert_eq!(Cost::from_natural(0), Cost::INFINITY);
+        assert_eq!(Cost::from_natural(9), Cost(0), "min of nine zeros");
+    }
+
+    #[test]
+    fn pow_by_doubling() {
+        assert_eq!(3u64.pow(<u64 as Semiring>::zero() as u32), 1);
+        assert_eq!(Semiring::pow(&2u64, 10), 1024);
+        assert_eq!(Semiring::pow(&Cost(3), 4), Cost(12));
+        assert_eq!(Semiring::pow(&Cost::INFINITY, 0), Cost(0), "x^0 = 1");
+    }
+
+    #[test]
+    fn sum_and_product_helpers() {
+        assert_eq!(u64::sum([1, 2, 3]), 6);
+        assert_eq!(u64::product([2, 3, 4]), 24);
+        assert_eq!(Cost::sum([Cost(5), Cost(2), Cost(9)]), Cost(2));
+        assert_eq!(Cost::product([Cost(5), Cost(2)]), Cost(7));
+        assert_eq!(u64::sum(std::iter::empty()), 0);
+        assert_eq!(u64::product(std::iter::empty()), 1);
+    }
+
+    #[test]
+    fn cost_display() {
+        assert_eq!(Cost(3).to_string(), "3");
+        assert_eq!(Cost::INFINITY.to_string(), "∞");
+    }
+}

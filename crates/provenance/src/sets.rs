@@ -1,0 +1,208 @@
+//! Set-based provenance semirings: lineage and why-provenance.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use citesys_cq::Symbol;
+use citesys_storage::Tuple;
+
+use crate::semiring::Semiring;
+
+/// Identifies a base tuple: `(relation, tuple)`. The atoms `X` of the
+/// provenance polynomials ℕ\[X\].
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProvToken {
+    /// Relation the tuple belongs to.
+    pub relation: Symbol,
+    /// The tuple itself.
+    pub tuple: Tuple,
+}
+
+impl ProvToken {
+    /// Builds a token.
+    pub fn new(relation: impl Into<Symbol>, tuple: Tuple) -> Self {
+        ProvToken { relation: relation.into(), tuple }
+    }
+}
+
+impl fmt::Display for ProvToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.relation, self.tuple)
+    }
+}
+
+/// Lineage semiring `Lin(X) = P(X) ∪ {⊥}`:
+/// which base tuples were *involved at all*?
+///
+/// `⊥` (represented by `None`) is the additive identity; `∅` is the
+/// multiplicative identity; both `+` and `·` union the sets otherwise.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Lineage(pub Option<BTreeSet<ProvToken>>);
+
+impl Lineage {
+    /// Lineage of a single base tuple.
+    pub fn of(token: ProvToken) -> Self {
+        let mut s = BTreeSet::new();
+        s.insert(token);
+        Lineage(Some(s))
+    }
+
+    /// Number of contributing tuples (0 for ⊥).
+    pub fn len(&self) -> usize {
+        self.0.as_ref().map_or(0, BTreeSet::len)
+    }
+
+    /// True for ⊥ or the empty set.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Semiring for Lineage {
+    fn zero() -> Self {
+        Lineage(None)
+    }
+    fn one() -> Self {
+        Lineage(Some(BTreeSet::new()))
+    }
+    fn add(&self, other: &Self) -> Self {
+        match (&self.0, &other.0) {
+            (None, _) => other.clone(),
+            (_, None) => self.clone(),
+            (Some(a), Some(b)) => Lineage(Some(a.union(b).cloned().collect())),
+        }
+    }
+    fn mul(&self, other: &Self) -> Self {
+        match (&self.0, &other.0) {
+            (None, _) | (_, None) => Lineage(None),
+            (Some(a), Some(b)) => Lineage(Some(a.union(b).cloned().collect())),
+        }
+    }
+}
+
+/// Why-provenance `Why(X) = P(P(X))`: the *witness basis* — each inner set
+/// is one minimal combination of base tuples justifying the answer.
+///
+/// `+` is union of witness sets; `·` is pairwise union of witnesses.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Why(pub BTreeSet<BTreeSet<ProvToken>>);
+
+impl Why {
+    /// The singleton witness {{token}}.
+    pub fn of(token: ProvToken) -> Self {
+        let mut inner = BTreeSet::new();
+        inner.insert(token);
+        let mut outer = BTreeSet::new();
+        outer.insert(inner);
+        Why(outer)
+    }
+
+    /// Number of witnesses.
+    pub fn witness_count(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl Semiring for Why {
+    fn zero() -> Self {
+        Why(BTreeSet::new())
+    }
+    fn one() -> Self {
+        let mut outer = BTreeSet::new();
+        outer.insert(BTreeSet::new());
+        Why(outer)
+    }
+    fn add(&self, other: &Self) -> Self {
+        Why(self.0.union(&other.0).cloned().collect())
+    }
+    fn mul(&self, other: &Self) -> Self {
+        let mut out = BTreeSet::new();
+        for a in &self.0 {
+            for b in &other.0 {
+                out.insert(a.union(b).cloned().collect());
+            }
+        }
+        Why(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::law_tests::check_laws;
+    use citesys_storage::tuple;
+
+    fn tok(rel: &str, id: i64) -> ProvToken {
+        ProvToken::new(rel, tuple![id])
+    }
+
+    fn lineage_samples() -> Vec<Lineage> {
+        vec![
+            Lineage::zero(),
+            Lineage::one(),
+            Lineage::of(tok("R", 1)),
+            Lineage::of(tok("R", 2)),
+            Lineage::of(tok("S", 1)).mul(&Lineage::of(tok("R", 1))),
+        ]
+    }
+
+    fn why_samples() -> Vec<Why> {
+        vec![
+            Why::zero(),
+            Why::one(),
+            Why::of(tok("R", 1)),
+            Why::of(tok("R", 2)),
+            Why::of(tok("R", 1)).add(&Why::of(tok("S", 3))),
+            Why::of(tok("R", 1)).mul(&Why::of(tok("S", 3))),
+        ]
+    }
+
+    #[test]
+    fn lineage_laws() {
+        check_laws(&lineage_samples());
+    }
+
+    #[test]
+    fn why_laws() {
+        check_laws(&why_samples());
+    }
+
+    #[test]
+    fn lineage_collects_everything() {
+        let l = Lineage::of(tok("R", 1))
+            .mul(&Lineage::of(tok("S", 2)))
+            .add(&Lineage::of(tok("R", 3)));
+        assert_eq!(l.len(), 3);
+        assert!(!l.is_empty());
+        assert!(Lineage::zero().is_empty());
+        assert!(Lineage::one().is_empty());
+    }
+
+    #[test]
+    fn why_keeps_witnesses_separate() {
+        // (r1·s2) + r3 has two witnesses: {r1,s2} and {r3}.
+        let w = Why::of(tok("R", 1))
+            .mul(&Why::of(tok("S", 2)))
+            .add(&Why::of(tok("R", 3)));
+        assert_eq!(w.witness_count(), 2);
+    }
+
+    #[test]
+    fn why_mul_distributes_witnesses() {
+        // (a + b) · c = a·c + b·c : two witnesses.
+        let a = Why::of(tok("R", 1));
+        let b = Why::of(tok("R", 2));
+        let c = Why::of(tok("S", 9));
+        let w = a.add(&b).mul(&c);
+        assert_eq!(w.witness_count(), 2);
+        for witness in &w.0 {
+            assert!(witness.contains(&tok("S", 9)));
+            assert_eq!(witness.len(), 2);
+        }
+    }
+
+    #[test]
+    fn token_display() {
+        assert_eq!(tok("R", 1).to_string(), "R(1)");
+    }
+}

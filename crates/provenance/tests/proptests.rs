@@ -1,0 +1,177 @@
+//! Property-based tests: semiring laws on random elements and the
+//! fundamental universality property of provenance polynomials.
+
+use citesys_cq::{parse_query, Value, ValueType};
+use citesys_provenance::{
+    provenance, AnnotatedDatabase, Cost, Lineage, Polynomial, ProvToken, Semiring, Why,
+};
+use citesys_storage::{Database, RelationSchema, Tuple};
+use proptest::prelude::*;
+
+fn tok(i: u8) -> ProvToken {
+    ProvToken::new("T", Tuple::new(vec![Value::Int(i64::from(i))]))
+}
+
+/// Random polynomial built from a handful of variables.
+fn poly() -> impl Strategy<Value = Polynomial> {
+    let leaf = prop_oneof![
+        Just(Polynomial::zero()),
+        Just(Polynomial::one()),
+        (0u8..4).prop_map(|i| Polynomial::var(tok(i))),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(&b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.mul(&b)),
+        ]
+    })
+}
+
+fn check_laws_on<K: Semiring>(a: &K, b: &K, c: &K) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.add(b), b.add(a));
+    prop_assert_eq!(a.mul(b), b.mul(a));
+    prop_assert_eq!(a.add(&b.add(c)), a.add(b).add(c));
+    prop_assert_eq!(a.mul(&b.mul(c)), a.mul(b).mul(c));
+    prop_assert_eq!(a.mul(&b.add(c)), a.mul(b).add(&a.mul(c)));
+    prop_assert_eq!(a.add(&K::zero()), a.clone());
+    prop_assert_eq!(a.mul(&K::one()), a.clone());
+    prop_assert_eq!(a.mul(&K::zero()), K::zero());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn polynomial_laws(a in poly(), b in poly(), c in poly()) {
+        check_laws_on(&a, &b, &c)?;
+    }
+
+    #[test]
+    fn cost_laws(a in 0u64..1000, b in 0u64..1000, c in 0u64..1000) {
+        check_laws_on(&Cost(a), &Cost(b), &Cost(c))?;
+        check_laws_on(&Cost(a), &Cost::INFINITY, &Cost(c))?;
+    }
+
+    #[test]
+    fn counting_laws(a in 0u64..1000, b in 0u64..1000, c in 0u64..1000) {
+        check_laws_on(&a, &b, &c)?;
+    }
+
+    /// eval_in is a homomorphism: it commutes with + and ·.
+    #[test]
+    fn eval_in_is_homomorphic(a in poly(), b in poly()) {
+        let assign = |t: &ProvToken| -> u64 {
+            1 + t.tuple.get(0).and_then(Value::as_int).unwrap_or(0) as u64
+        };
+        prop_assert_eq!(
+            a.add(&b).eval_in::<u64>(&assign),
+            a.eval_in::<u64>(&assign) + b.eval_in::<u64>(&assign)
+        );
+        prop_assert_eq!(
+            a.mul(&b).eval_in::<u64>(&assign),
+            a.eval_in::<u64>(&assign) * b.eval_in::<u64>(&assign)
+        );
+    }
+
+    /// Lineage and Why laws on random small elements.
+    #[test]
+    fn lineage_why_laws(xs in prop::collection::vec(0u8..4, 3)) {
+        let l: Vec<Lineage> = xs.iter().map(|&i| Lineage::of(tok(i))).collect();
+        check_laws_on(&l[0], &l[1], &l[2])?;
+        let w: Vec<Why> = xs.iter().map(|&i| Why::of(tok(i))).collect();
+        check_laws_on(&w[0], &w[1], &w[2])?;
+    }
+}
+
+/// Random small database for the universality test.
+fn rand_db() -> impl Strategy<Value = Database> {
+    (
+        prop::collection::btree_set((0i64..5, 0i64..5), 0..12),
+        prop::collection::btree_set((0i64..5, 0i64..5), 0..12),
+    )
+        .prop_map(|(rs, ss)| {
+            let mut d = Database::new();
+            d.create_relation(RelationSchema::from_parts(
+                "R",
+                &[("A", ValueType::Int), ("B", ValueType::Int)],
+                &[],
+            ))
+            .unwrap();
+            d.create_relation(RelationSchema::from_parts(
+                "S",
+                &[("B", ValueType::Int), ("C", ValueType::Int)],
+                &[],
+            ))
+            .unwrap();
+            for (a, b) in rs {
+                d.insert("R", Tuple::new(vec![Value::Int(a), Value::Int(b)]))
+                    .unwrap();
+            }
+            for (b, c) in ss {
+                d.insert("S", Tuple::new(vec![Value::Int(b), Value::Int(c)]))
+                    .unwrap();
+            }
+            d
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fundamental property (universality of ℕ\[X\]): computing provenance
+    /// polynomials and then evaluating them under an assignment gives the
+    /// same result as evaluating the annotated database directly — for the
+    /// counting, Boolean and tropical semirings.
+    #[test]
+    fn universality(db in rand_db(), costs in prop::collection::vec(1u64..5, 50)) {
+        let q = parse_query("Q(X, C) :- R(X, Y), S(Y, C)").unwrap();
+        let cost_fn = {
+            let costs = costs.clone();
+            move |t: &ProvToken| -> u64 {
+                let a = t.tuple.get(0).and_then(Value::as_int).unwrap_or(0) as usize;
+                let b = t.tuple.get(1).and_then(Value::as_int).unwrap_or(0) as usize;
+                let base = if t.relation.as_str() == "R" { 0 } else { 25 };
+                costs[(base + a * 5 + b) % costs.len()]
+            }
+        };
+
+        let prov = provenance(&db, &q).unwrap();
+
+        // Counting semiring.
+        let mut adb: AnnotatedDatabase<u64> = AnnotatedDatabase::new(db.clone());
+        for rel in ["R", "S"] {
+            let tuples: Vec<Tuple> = db.relation(rel).unwrap().scan().cloned().collect();
+            for t in tuples {
+                let k = cost_fn(&ProvToken::new(rel, t.clone()));
+                adb.annotate(rel, t, k);
+            }
+        }
+        let direct = adb.evaluate_annotated(&q).unwrap();
+        prop_assert_eq!(direct.len(), prov.len());
+        for ((t1, k), (t2, p)) in direct.iter().zip(&prov) {
+            prop_assert_eq!(t1, t2);
+            prop_assert_eq!(*k, p.eval_in::<u64>(&|t| cost_fn(t)));
+        }
+
+        // Tropical semiring via the same polynomials.
+        let mut adb2: AnnotatedDatabase<Cost> = AnnotatedDatabase::new(db.clone());
+        for rel in ["R", "S"] {
+            let tuples: Vec<Tuple> = db.relation(rel).unwrap().scan().cloned().collect();
+            for t in tuples {
+                let k = Cost(cost_fn(&ProvToken::new(rel, t.clone())));
+                adb2.annotate(rel, t, k);
+            }
+        }
+        let direct2 = adb2.evaluate_annotated(&q).unwrap();
+        for ((t1, k), (t2, p)) in direct2.iter().zip(&prov) {
+            prop_assert_eq!(t1, t2);
+            prop_assert_eq!(*k, p.eval_in::<Cost>(&|t| Cost(cost_fn(t))));
+        }
+
+        // Boolean: every returned tuple has a satisfiable polynomial.
+        for (_, p) in &prov {
+            prop_assert!(p.eval_in::<bool>(&|_| true));
+        }
+    }
+}

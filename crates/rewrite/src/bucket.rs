@@ -1,0 +1,198 @@
+//! The bucket algorithm (Levy et al.; survey in Halevy 2001, the paper's
+//! reference [9]) adapted to *equivalent* rewritings.
+//!
+//! Phase 1 builds, per query subgoal, a *bucket* of view atoms that could
+//! cover it. Phase 2 enumerates the cross product of buckets; every
+//! combination is later validated by expansion + equivalence in
+//! [`crate::rewrite`]. The cross product is the measured baseline of
+//! experiment E2 — MiniCon exists precisely because this blows up.
+
+use std::collections::BTreeSet;
+
+use citesys_cq::{Atom, ConjunctiveQuery, Substitution, Term};
+
+use crate::candidate::{match_onto, rewriting_atom};
+use crate::error::RewriteError;
+use crate::stats::RewriteStats;
+use crate::view::ViewSet;
+
+/// Generates candidate rewritings via buckets.
+///
+/// `view_indices` selects which views participate (after pruning);
+/// `max_candidates` bounds the cross product.
+pub(crate) fn generate(
+    q: &ConjunctiveQuery,
+    views: &ViewSet,
+    view_indices: &[usize],
+    max_candidates: usize,
+    stats: &mut RewriteStats,
+) -> Result<Vec<ConjunctiveQuery>, RewriteError> {
+    let q_vars: BTreeSet<_> = q.vars().into_iter().collect();
+    let distinguished = q.head_var_set();
+
+    // Phase 1: one bucket per subgoal.
+    let mut counter = 0usize;
+    let mut buckets: Vec<Vec<Atom>> = Vec::with_capacity(q.body.len());
+    for g in &q.body {
+        let mut bucket = Vec::new();
+        for &vi in view_indices {
+            let view = views.at(vi);
+            for (ai, a) in view.body.iter().enumerate() {
+                if a.predicate != g.predicate || a.arity() != g.arity() {
+                    continue;
+                }
+                let fresh = view.rename_apart(counter);
+                counter += 1;
+                let mut theta = Substitution::new();
+                if !match_onto(&fresh.body[ai], g, &mut theta) {
+                    continue;
+                }
+                let ratom = rewriting_atom(&fresh, &theta, &q_vars);
+                // Bucket condition: every distinguished variable of Q in
+                // this subgoal must be retrievable from the view head.
+                let ok = g
+                    .vars()
+                    .filter(|v| distinguished.contains(*v))
+                    .all(|v| ratom.terms.contains(&Term::Var(v.clone())));
+                if ok {
+                    bucket.push(ratom);
+                }
+            }
+        }
+        stats.bucket_entries += bucket.len();
+        if bucket.is_empty() {
+            // Some subgoal is uncoverable: no equivalent rewriting exists.
+            return Ok(Vec::new());
+        }
+        buckets.push(bucket);
+    }
+
+    // Phase 2: cross product.
+    let mut out = Vec::new();
+    let mut choice = vec![0usize; buckets.len()];
+    'outer: loop {
+        // Build the candidate for the current choice vector.
+        let mut body: Vec<Atom> = Vec::new();
+        for (b, &c) in buckets.iter().zip(&choice) {
+            let atom = b[c].clone();
+            if !body.contains(&atom) {
+                body.push(atom);
+            }
+        }
+        stats.candidates_generated += 1;
+        if stats.candidates_generated > max_candidates {
+            return Err(RewriteError::BudgetExceeded {
+                generated: stats.candidates_generated,
+                cap: max_candidates,
+            });
+        }
+        out.push(ConjunctiveQuery {
+            head: q.head.clone(),
+            body,
+            params: Vec::new(),
+        });
+
+        // Advance the mixed-radix counter.
+        for i in (0..choice.len()).rev() {
+            choice[i] += 1;
+            if choice[i] < buckets[i].len() {
+                continue 'outer;
+            }
+            choice[i] = 0;
+            if i == 0 {
+                break 'outer;
+            }
+        }
+        if choice.is_empty() {
+            break; // zero subgoals: single (empty) candidate already pushed
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citesys_cq::parse_query;
+
+    fn run(q: &str, views: Vec<&str>) -> Vec<ConjunctiveQuery> {
+        let q = parse_query(q).unwrap();
+        let vs = ViewSet::new(views.into_iter().map(|v| parse_query(v).unwrap()).collect())
+            .unwrap();
+        let idx: Vec<usize> = (0..vs.len()).collect();
+        let mut stats = RewriteStats::default();
+        generate(&q, &vs, &idx, 10_000, &mut stats).unwrap()
+    }
+
+    #[test]
+    fn paper_example_two_candidates() {
+        let cands = run(
+            "Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)",
+            vec![
+                "λ FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)",
+                "V2(FID, FName, Desc) :- Family(FID, FName, Desc)",
+                "V3(FID, Text) :- FamilyIntro(FID, Text)",
+            ],
+        );
+        // Buckets: Family → {V1, V2}, FamilyIntro → {V3} ⇒ 2 candidates.
+        assert_eq!(cands.len(), 2);
+        for c in &cands {
+            assert_eq!(c.body.len(), 2);
+            assert_eq!(c.body[1].predicate.as_str(), "V3");
+        }
+    }
+
+    #[test]
+    fn empty_bucket_short_circuits() {
+        let cands = run(
+            "Q(N) :- Family(F, N, D), Committee(F, P)",
+            vec!["V1(FID, FName, Desc) :- Family(FID, FName, Desc)"],
+        );
+        assert!(cands.is_empty(), "Committee subgoal has no covering view");
+    }
+
+    #[test]
+    fn distinguished_var_requirement_filters() {
+        // View hides the name (existential in view) — cannot provide N.
+        let cands = run(
+            "Q(N) :- Family(F, N, D)",
+            vec!["V(FID) :- Family(FID, FName, Desc)"],
+        );
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn cross_product_counts() {
+        let cands = run(
+            "Q(X, Z) :- E(X, Y), E(Y, Z)",
+            vec!["VA(A, B) :- E(A, B)", "VB(A, B) :- E(A, B)"],
+        );
+        // 2 choices per subgoal ⇒ 4 candidates.
+        assert_eq!(cands.len(), 4);
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let q = parse_query("Q(X, Z) :- E(X, Y), E(Y, Z)").unwrap();
+        let vs = ViewSet::new(vec![
+            parse_query("VA(A, B) :- E(A, B)").unwrap(),
+            parse_query("VB(A, B) :- E(A, B)").unwrap(),
+        ])
+        .unwrap();
+        let mut stats = RewriteStats::default();
+        let e = generate(&q, &vs, &[0, 1], 2, &mut stats).unwrap_err();
+        assert!(matches!(e, RewriteError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn repeated_atom_deduped_within_candidate() {
+        // One view atom covers both subgoals identically.
+        let cands = run(
+            "Q(X) :- R(X, Y), R(X, Y)",
+            vec!["V(A, B) :- R(A, B)"],
+        );
+        // Parsed body keeps both atoms (syntactic duplicates are legal);
+        // the candidate collapses the identical view atoms.
+        assert!(cands.iter().all(|c| c.body.len() <= 2));
+    }
+}

@@ -1,0 +1,243 @@
+//! Shared helpers for building candidate rewriting atoms.
+
+use std::collections::BTreeSet;
+
+use citesys_cq::{Atom, ConjunctiveQuery, Substitution, Symbol, Term};
+
+/// One-directional matching of a (renamed-apart) view atom **onto** a query
+/// subgoal: only view variables may be bound; query variables and constants
+/// are frozen targets.
+///
+/// This is the correct matching discipline for bucket/MiniCon candidate
+/// generation — full unification would happily equate two distinct query
+/// variables, which silently *specializes* the query. A view constant
+/// facing a query variable fails the match: such a view could only yield a
+/// contained (not equivalent) rewriting.
+pub fn match_onto(view_atom: &Atom, g: &Atom, subst: &mut Substitution) -> bool {
+    if view_atom.predicate != g.predicate || view_atom.arity() != g.arity() {
+        return false;
+    }
+    for (v, t) in view_atom.terms.iter().zip(&g.terms) {
+        match v {
+            Term::Const(c) => match t {
+                Term::Const(d) if c == d => {}
+                _ => return false,
+            },
+            Term::Var(var) => match subst.get(var) {
+                Some(bound) => {
+                    if bound != t {
+                        return false;
+                    }
+                }
+                None => subst.bind(var.clone(), t.clone()),
+            },
+        }
+    }
+    true
+}
+
+/// Builds the rewriting atom for a (renamed-apart) view instance under the
+/// unification `subst` computed against query subgoals.
+///
+/// Each head term of the view is resolved through `subst`; the result is
+/// * a constant — kept as-is,
+/// * a query variable — kept (this is how join variables align across
+///   view atoms),
+/// * a still-unbound view variable — kept as a fresh existential variable
+///   of the rewriting (its renamed-apart name is globally unique).
+///
+/// When a query variable was bound *to* a view variable (the unifier can
+/// orient either way), the reverse map puts the query variable back.
+pub fn rewriting_atom(
+    fresh_view: &ConjunctiveQuery,
+    subst: &Substitution,
+    query_vars: &BTreeSet<Symbol>,
+) -> Atom {
+    // Reverse index: view var -> query var bound to it.
+    let mut reverse: Vec<(Term, Symbol)> = Vec::new();
+    for (v, t) in subst.iter() {
+        if query_vars.contains(v) {
+            if let Term::Var(_) = t {
+                reverse.push((t.clone(), v.clone()));
+            }
+        }
+    }
+    let terms = fresh_view
+        .head
+        .terms
+        .iter()
+        .map(|h| {
+            let resolved = subst.apply_term(h);
+            match &resolved {
+                Term::Const(_) => resolved,
+                Term::Var(v) if query_vars.contains(v) => resolved,
+                Term::Var(_) => reverse
+                    .iter()
+                    .find(|(t, _)| t == &resolved)
+                    .map(|(_, q)| Term::Var(q.clone()))
+                    .unwrap_or(resolved),
+            }
+        })
+        .collect();
+    Atom::new(fresh_view.head.predicate.clone(), terms)
+}
+
+/// Generates merge variants of a candidate: whenever two body atoms share a
+/// predicate and can be unified by binding only *fresh* (non-query)
+/// variables, the merged candidate — with the two atoms collapsed into one —
+/// is emitted too.
+///
+/// This is the atom-merging part of the bucket algorithm's checking step:
+/// one view instance may cover several query subgoals (e.g. the candidate
+/// `P(A,F1), P(F2,C)` merges to `P(A,C)` when `F1`, `F2` are fresh). All
+/// variants are still validated downstream by expansion + equivalence, so
+/// over-generation is harmless.
+pub fn merge_variants(
+    cand: ConjunctiveQuery,
+    q_vars: &BTreeSet<Symbol>,
+    cap: usize,
+) -> Vec<ConjunctiveQuery> {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut queue = vec![cand];
+    let mut out = Vec::new();
+    while let Some(c) = queue.pop() {
+        if !seen.insert(c.canonical().to_string()) {
+            continue;
+        }
+        for i in 0..c.body.len() {
+            for j in (i + 1)..c.body.len() {
+                if let Some(s) = merge_atoms(&c.body[i], &c.body[j], q_vars) {
+                    let mut body: Vec<Atom> =
+                        c.body.iter().map(|a| a.apply(&s)).collect();
+                    body.remove(j); // i and j are now identical; drop one
+                    body.dedup();
+                    queue.push(ConjunctiveQuery {
+                        head: c.head.apply(&s),
+                        body,
+                        params: c.params.clone(),
+                    });
+                }
+            }
+        }
+        out.push(c);
+        if out.len() >= cap {
+            break;
+        }
+    }
+    out
+}
+
+/// Position-wise unification of two atoms where only fresh (non-query)
+/// variables may be bound. Returns the merging substitution on success.
+fn merge_atoms(a: &Atom, b: &Atom, q_vars: &BTreeSet<Symbol>) -> Option<Substitution> {
+    if a.predicate != b.predicate || a.arity() != b.arity() {
+        return None;
+    }
+    let mut s = Substitution::new();
+    for (ta, tb) in a.terms.iter().zip(&b.terms) {
+        let ra = s.apply_term(ta);
+        let rb = s.apply_term(tb);
+        if ra == rb {
+            continue;
+        }
+        match (&ra, &rb) {
+            (Term::Var(v), _) if !q_vars.contains(v) => {
+                s.bind(v.clone(), rb.clone());
+                s.resolve();
+            }
+            (_, Term::Var(v)) if !q_vars.contains(v) => {
+                s.bind(v.clone(), ra.clone());
+                s.resolve();
+            }
+            _ => return None,
+        }
+    }
+    Some(s)
+}
+
+/// Sorts, dedupes and alpha-compares candidate rewritings so the final
+/// list is deterministic and free of syntactic duplicates.
+pub fn dedupe_rewritings(mut rewritings: Vec<ConjunctiveQuery>) -> Vec<ConjunctiveQuery> {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    rewritings.retain(|r| seen.insert(r.canonical().to_string()));
+    rewritings.sort_by_key(|r| (r.body.len(), r.canonical().to_string()));
+    rewritings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citesys_cq::{mgu, parse_query};
+
+    #[test]
+    fn atom_uses_query_vars_for_joins() {
+        let q = parse_query("Q(N) :- Family(F, N, D), FamilyIntro(F, T)").unwrap();
+        let view = parse_query("V1(FID, FName, Desc) :- Family(FID, FName, Desc)").unwrap();
+        let fresh = view.rename_apart(3);
+        let theta = mgu(&fresh.body[0], &q.body[0]).unwrap();
+        let qvars: BTreeSet<Symbol> = q.vars().into_iter().collect();
+        let atom = rewriting_atom(&fresh, &theta, &qvars);
+        assert_eq!(atom.to_string(), "V1(F, N, D)");
+    }
+
+    #[test]
+    fn unbound_view_head_vars_stay_fresh() {
+        // View projects an extra column the query does not constrain.
+        let q = parse_query("Q(X) :- R(X)").unwrap();
+        let view = parse_query("V(A, B) :- R(A), S(B)").unwrap();
+        let fresh = view.rename_apart(5);
+        let theta = mgu(&fresh.body[0], &q.body[0]).unwrap();
+        let qvars: BTreeSet<Symbol> = q.vars().into_iter().collect();
+        let atom = rewriting_atom(&fresh, &theta, &qvars);
+        assert_eq!(atom.terms[0], Term::var("X"));
+        // Second head var is the renamed fresh B.
+        assert_eq!(atom.terms[1], Term::var("B_5"));
+    }
+
+    #[test]
+    fn constants_propagate() {
+        let q = parse_query("Q(N) :- Family(11, N, D)").unwrap();
+        let view = parse_query("V1(FID, FName, Desc) :- Family(FID, FName, Desc)").unwrap();
+        let fresh = view.rename_apart(0);
+        let theta = mgu(&fresh.body[0], &q.body[0]).unwrap();
+        let qvars: BTreeSet<Symbol> = q.vars().into_iter().collect();
+        let atom = rewriting_atom(&fresh, &theta, &qvars);
+        assert_eq!(atom.terms[0], Term::constant(11));
+    }
+
+    #[test]
+    fn dedupe_removes_alpha_duplicates() {
+        let r1 = parse_query("Q(X) :- V(X, Y)").unwrap();
+        let r2 = parse_query("Q(X) :- V(X, Z)").unwrap();
+        let r3 = parse_query("Q(X) :- W(X)").unwrap();
+        let out = dedupe_rewritings(vec![r1, r2, r3]);
+        assert_eq!(out.len(), 2);
+        let preds: BTreeSet<&str> = out
+            .iter()
+            .map(|r| r.body[0].predicate.as_str())
+            .collect();
+        assert_eq!(preds, BTreeSet::from(["V", "W"]));
+    }
+
+    #[test]
+    fn match_onto_freezes_query_vars() {
+        use citesys_cq::Substitution;
+        // View atom E(Xc, Xc) onto E(A, B): must fail (would equate A, B).
+        let va = Atom::new("E", vec![Term::var("Xc"), Term::var("Xc")]);
+        let g = Atom::new("E", vec![Term::var("A"), Term::var("B")]);
+        let mut s = Substitution::new();
+        assert!(!match_onto(&va, &g, &mut s));
+        // Onto E(A, A): fine.
+        let g2 = Atom::new("E", vec![Term::var("A"), Term::var("A")]);
+        let mut s = Substitution::new();
+        assert!(match_onto(&va, &g2, &mut s));
+        // View constant facing a query variable: fail.
+        let vc = Atom::new("E", vec![Term::constant(5), Term::var("Yc")]);
+        let mut s = Substitution::new();
+        assert!(!match_onto(&vc, &g, &mut s));
+        // View constant facing the same constant: fine.
+        let g3 = Atom::new("E", vec![Term::constant(5), Term::var("B")]);
+        let mut s = Substitution::new();
+        assert!(match_onto(&vc, &g3, &mut s));
+    }
+}

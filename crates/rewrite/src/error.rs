@@ -1,0 +1,58 @@
+//! Error types for the rewriting layer.
+
+use std::fmt;
+
+/// Errors produced while registering views or rewriting queries.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RewriteError {
+    /// Two views share a head predicate name.
+    DuplicateView {
+        /// The duplicated view name.
+        name: String,
+    },
+    /// A rewriting referenced a view that is not registered.
+    UnknownView {
+        /// The missing view name.
+        name: String,
+    },
+    /// The candidate search exceeded the configured budget.
+    BudgetExceeded {
+        /// Number of candidates generated before giving up.
+        generated: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::DuplicateView { name } => {
+                write!(f, "duplicate view name: {name}")
+            }
+            RewriteError::UnknownView { name } => write!(f, "unknown view: {name}"),
+            RewriteError::BudgetExceeded { generated, cap } => write!(
+                f,
+                "candidate budget exceeded: generated {generated}, cap {cap}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            RewriteError::UnknownView { name: "V9".into() }.to_string(),
+            "unknown view: V9"
+        );
+        assert!(RewriteError::BudgetExceeded { generated: 10, cap: 5 }
+            .to_string()
+            .contains("cap 5"));
+    }
+}

@@ -1,0 +1,189 @@
+//! View unfolding: expanding a rewriting back to the base schema.
+//!
+//! A candidate rewriting `Q'(x̄) :- V1(…), …, Vn(…)` is validated by
+//! *expansion*: each view atom is replaced by the view's body, with the
+//! view's head unified against the atom's arguments and the view's
+//! existential variables renamed fresh. The rewriting is **equivalent** to
+//! `Q` iff `expand(Q') ≡ Q` (checked with containment mappings).
+
+use citesys_cq::{
+    mgu, unify_atoms, Atom, ConjunctiveQuery, Substitution,
+};
+
+use crate::error::RewriteError;
+use crate::view::ViewSet;
+
+/// Suffix base for fresh renaming during expansion; large enough that
+/// rewriting variables (which use small MCD/bucket indices) never collide.
+const EXPANSION_SUFFIX_BASE: usize = 10_000;
+
+/// Expands a rewriting (a CQ whose body atoms are view heads) into a CQ
+/// over the base schema.
+///
+/// Returns `None` when some view atom cannot be unified with its view's
+/// head (e.g. the atom pins a constant where the view head has a
+/// conflicting constant) — such candidates are simply invalid.
+pub fn expand(
+    rewriting: &ConjunctiveQuery,
+    views: &ViewSet,
+) -> Result<Option<ConjunctiveQuery>, RewriteError> {
+    let mut body: Vec<Atom> = Vec::new();
+    for (i, atom) in rewriting.body.iter().enumerate() {
+        let view = views.require(atom.predicate.as_str())?;
+        // Fresh copy of the view so existential variables never collide
+        // across instances or with the rewriting's own variables.
+        let fresh = view.rename_apart(EXPANSION_SUFFIX_BASE + i);
+        let Some(theta) = mgu(&fresh.head, atom) else {
+            return Ok(None);
+        };
+        for b in &fresh.body {
+            body.push(b.apply(&theta));
+        }
+    }
+    // The head keeps the rewriting's head; no parameters (ignored during
+    // rewriting, per the paper).
+    let candidate = ConjunctiveQuery {
+        head: rewriting.head.clone(),
+        body,
+        params: Vec::new(),
+    };
+    // An expansion can be unsafe when a head variable never reached the
+    // base atoms (bad candidate) — reject rather than error.
+    if candidate.validate().is_err() {
+        return Ok(None);
+    }
+    Ok(Some(candidate))
+}
+
+/// Unifies `atom` (a view atom in a rewriting) against `view`'s head,
+/// returning the substitution over the *renamed* view copy used.
+/// Exposed for the citation engine, which needs the correspondence between
+/// view λ-parameters and rewriting variables.
+pub fn view_binding(
+    atom: &Atom,
+    view: &ConjunctiveQuery,
+    instance: usize,
+) -> Option<(ConjunctiveQuery, Substitution)> {
+    let fresh = view.rename_apart(EXPANSION_SUFFIX_BASE + instance);
+    let mut s = Substitution::new();
+    if !unify_atoms(&fresh.head, atom, &mut s) {
+        return None;
+    }
+    s.resolve();
+    Some((fresh, s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citesys_cq::{are_equivalent, parse_query};
+
+    fn paper_views() -> ViewSet {
+        ViewSet::new(vec![
+            parse_query("λ FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)").unwrap(),
+            parse_query("V2(FID, FName, Desc) :- Family(FID, FName, Desc)").unwrap(),
+            parse_query("V3(FID, Text) :- FamilyIntro(FID, Text)").unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_rewriting_q1_expands_to_q() {
+        // Q1(FName) :- V1(FID,FName,Desc), V3(FID,Text)
+        let views = paper_views();
+        let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+            .unwrap();
+        let rw = parse_query("Q(FName) :- V1(FID, FName, Desc), V3(FID, Text)").unwrap();
+        let exp = expand(&rw, &views).unwrap().unwrap();
+        assert!(are_equivalent(&exp, &q));
+    }
+
+    #[test]
+    fn paper_rewriting_q2_expands_to_q() {
+        let views = paper_views();
+        let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+            .unwrap();
+        let rw = parse_query("Q(FName) :- V2(FID, FName, Desc), V3(FID, Text)").unwrap();
+        let exp = expand(&rw, &views).unwrap().unwrap();
+        assert!(are_equivalent(&exp, &q));
+    }
+
+    #[test]
+    fn existential_view_vars_renamed_fresh() {
+        // V(X) :- R(X, Y): expanding V(A), V(B) must give distinct Ys.
+        let views = ViewSet::new(vec![parse_query("V(X) :- R(X, Y)").unwrap()]).unwrap();
+        let rw = parse_query("Q(A, B) :- V(A), V(B)").unwrap();
+        let exp = expand(&rw, &views).unwrap().unwrap();
+        assert_eq!(exp.body.len(), 2);
+        let y1 = exp.body[0].terms[1].clone();
+        let y2 = exp.body[1].terms[1].clone();
+        assert_ne!(y1, y2, "existential variables must not be shared");
+    }
+
+    #[test]
+    fn constant_conflict_invalidates() {
+        // View head pins 1; using the view with constant 2 cannot unify.
+        let views = ViewSet::new(vec![parse_query("V(1, Y) :- R(1, Y)").unwrap()]).unwrap();
+        let rw = parse_query("Q(Y) :- V(2, Y)").unwrap();
+        assert_eq!(expand(&rw, &views).unwrap(), None);
+    }
+
+    #[test]
+    fn constant_in_rewriting_propagates() {
+        let views = ViewSet::new(vec![parse_query("V(X, Y) :- R(X, Y)").unwrap()]).unwrap();
+        let rw = parse_query("Q(Y) :- V(7, Y)").unwrap();
+        let exp = expand(&rw, &views).unwrap().unwrap();
+        let q = parse_query("Q(Y) :- R(7, Y)").unwrap();
+        assert!(are_equivalent(&exp, &q));
+    }
+
+    #[test]
+    fn unknown_view_is_error() {
+        let views = paper_views();
+        let rw = parse_query("Q(X) :- V9(X)").unwrap();
+        assert!(matches!(
+            expand(&rw, &views),
+            Err(RewriteError::UnknownView { .. })
+        ));
+    }
+
+    #[test]
+    fn unsafe_expansion_rejected() {
+        // View with constant head: V('k') :- R(Z). Expanding Q(X) :- V(X)
+        // binds X='k'... actually unification binds X to 'k', producing a
+        // ground head — safe. Instead test a view that drops the variable:
+        // no unification failure, but head var X of the rewriting never
+        // appears in base atoms.
+        let views = ViewSet::new(vec![parse_query("V(X) :- R(X)").unwrap()]).unwrap();
+        // Rewriting head uses a variable not bound by any view atom.
+        let rw = ConjunctiveQuery {
+            head: citesys_cq::Atom::new("Q", vec![citesys_cq::Term::var("Unbound")]),
+            body: vec![citesys_cq::Atom::new("V", vec![citesys_cq::Term::var("X")])],
+            params: vec![],
+        };
+        assert_eq!(expand(&rw, &views).unwrap(), None);
+    }
+
+    #[test]
+    fn repeated_view_atom_shares_joins() {
+        // Join through a shared rewriting variable is preserved.
+        let views = ViewSet::new(vec![parse_query("V(X, Y) :- E(X, Y)").unwrap()]).unwrap();
+        let rw = parse_query("Q(A, C) :- V(A, B), V(B, C)").unwrap();
+        let exp = expand(&rw, &views).unwrap().unwrap();
+        let q = parse_query("Q(A, C) :- E(A, B), E(B, C)").unwrap();
+        assert!(are_equivalent(&exp, &q));
+    }
+
+    #[test]
+    fn view_binding_exposes_param_mapping() {
+        let view =
+            parse_query("λ FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)").unwrap();
+        let atom = parse_query("Q(N) :- V1(F, N, D)").unwrap().body[0].clone();
+        let (fresh, s) = view_binding(&atom, &view, 0).unwrap();
+        // The renamed parameter maps (possibly via an alias chain) to the
+        // rewriting's variable F.
+        let p = &fresh.params[0];
+        let image = s.apply_term(&citesys_cq::Term::Var(p.clone()));
+        assert_eq!(image, citesys_cq::Term::var("F"));
+    }
+}

@@ -1,0 +1,555 @@
+//! # citesys-rewrite — answering queries using views
+//!
+//! The paper's §2: *"Our approach to constructing the citation to a general
+//! query is to rewrite it to a set of equivalent queries using the views"*.
+//! This crate finds the **set of minimal equivalent rewritings**
+//! `{Q1, …, Qn}` of a conjunctive query over a set of citation views:
+//!
+//! * candidate generation via the **bucket algorithm** (baseline) or
+//!   **MiniCon** (default),
+//! * validation via **expansion** + Chandra–Merlin **equivalence**,
+//! * per-rewriting **minimization** and global deduplication,
+//! * **schema-level pruning** of irrelevant views (§3 "reasoning at the
+//!   schema level"), measured against no-pruning in experiment E5.
+//!
+//! ## Quick example (the paper's §2 worked example)
+//!
+//! ```
+//! use citesys_cq::parse_query;
+//! use citesys_rewrite::{rewrite, RewriteOptions, ViewSet};
+//!
+//! let views = ViewSet::new(vec![
+//!     parse_query("λ FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)").unwrap(),
+//!     parse_query("V2(FID, FName, Desc) :- Family(FID, FName, Desc)").unwrap(),
+//!     parse_query("V3(FID, Text) :- FamilyIntro(FID, Text)").unwrap(),
+//! ]).unwrap();
+//! let q = parse_query(
+//!     "Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)").unwrap();
+//!
+//! let out = rewrite(&q, &views, &RewriteOptions::default()).unwrap();
+//! // The paper's Q1 (via V1,V3) and Q2 (via V2,V3):
+//! assert_eq!(out.rewritings.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod bucket;
+mod candidate;
+mod minicon;
+
+pub mod error;
+pub mod expand;
+pub mod prune;
+pub mod stats;
+pub mod view;
+
+pub use error::RewriteError;
+pub use expand::{expand, view_binding};
+pub use prune::{classify_view, relevant_views, ViewRelevance};
+pub use stats::RewriteStats;
+pub use view::ViewSet;
+
+use citesys_cq::{are_equivalent, is_contained_in, ConjunctiveQuery};
+
+use candidate::dedupe_rewritings;
+
+/// Candidate-generation algorithm.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Algorithm {
+    /// Per-subgoal buckets + cross product (the measured baseline).
+    Bucket,
+    /// MiniCon descriptions + exact cover (default).
+    #[default]
+    MiniCon,
+}
+
+/// What counts as a valid rewriting.
+///
+/// The paper's Definition 2.1 speaks of a "(partial) rewriting": the main
+/// development uses **equivalent** rewritings, but a *contained* rewriting
+/// still yields citations for the subset of the answer it produces — the
+/// engine's partial-citation fallback uses exactly that.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RewriteGoal {
+    /// `expand(Q') ≡ Q` — every answer tuple is covered (default).
+    #[default]
+    Equivalent,
+    /// `expand(Q') ⊆ Q` — sound but possibly incomplete; only *maximal*
+    /// contained rewritings are kept (none strictly contained in another).
+    Contained,
+}
+
+/// Options controlling the rewriting search.
+#[derive(Clone, Copy, Debug)]
+pub struct RewriteOptions {
+    /// Which candidate generator to run.
+    pub algorithm: Algorithm,
+    /// Equivalent or (maximally) contained rewritings.
+    pub goal: RewriteGoal,
+    /// Apply schema-level view pruning before generation.
+    pub prune: bool,
+    /// Minimize each rewriting (drop redundant view atoms).
+    pub minimize: bool,
+    /// Upper bound on generated candidates (guards the cross product).
+    pub max_candidates: usize,
+}
+
+impl Default for RewriteOptions {
+    fn default() -> Self {
+        RewriteOptions {
+            algorithm: Algorithm::MiniCon,
+            goal: RewriteGoal::Equivalent,
+            prune: true,
+            minimize: true,
+            max_candidates: 1_000_000,
+        }
+    }
+}
+
+/// One validated rewriting: the query over views plus its expansion over
+/// the base schema (always equivalent to the original query).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rewriting {
+    /// The rewriting itself — body atoms are view heads.
+    pub query: ConjunctiveQuery,
+    /// The unfolded form over base relations.
+    pub expansion: ConjunctiveQuery,
+}
+
+/// Result of [`rewrite`]: the rewritings and the search statistics.
+#[derive(Clone, Debug)]
+pub struct RewriteOutcome {
+    /// Minimal equivalent rewritings, deduplicated, deterministic order.
+    pub rewritings: Vec<Rewriting>,
+    /// Search-effort counters.
+    pub stats: RewriteStats,
+}
+
+/// Computes the set of minimal equivalent rewritings of `q` using `views`.
+pub fn rewrite(
+    q: &ConjunctiveQuery,
+    views: &ViewSet,
+    opts: &RewriteOptions,
+) -> Result<RewriteOutcome, RewriteError> {
+    let mut stats = RewriteStats {
+        views_total: views.len(),
+        ..Default::default()
+    };
+
+    let view_indices: Vec<usize> = if opts.prune {
+        let (keep, pruned) = match opts.goal {
+            RewriteGoal::Equivalent => relevant_views(q, views),
+            RewriteGoal::Contained => prune::relevant_views_contained(q, views),
+        };
+        stats.views_pruned = pruned;
+        keep
+    } else {
+        (0..views.len()).collect()
+    };
+
+    let candidates = match opts.algorithm {
+        Algorithm::Bucket => {
+            bucket::generate(q, views, &view_indices, opts.max_candidates, &mut stats)?
+        }
+        Algorithm::MiniCon => {
+            minicon::generate(q, views, &view_indices, opts.max_candidates, &mut stats)?
+        }
+    };
+
+    let q_vars: std::collections::BTreeSet<_> = q.vars().into_iter().collect();
+    let mut valid: Vec<ConjunctiveQuery> = Vec::new();
+    for cand in candidates {
+        for cand in candidate::merge_variants(cand, &q_vars, 64) {
+            for cand in repair_head_vars(cand, q) {
+                let Some(exp) = expand(&cand, views)? else {
+                    continue;
+                };
+                stats.candidates_expanded += 1;
+                stats.equivalence_checks += 1;
+                let keep = match opts.goal {
+                    RewriteGoal::Equivalent => are_equivalent(&exp, q),
+                    RewriteGoal::Contained => is_contained_in(&exp, q),
+                };
+                if keep {
+                    valid.push(cand);
+                }
+            }
+        }
+    }
+
+    if opts.minimize && opts.goal == RewriteGoal::Equivalent {
+        valid = valid
+            .into_iter()
+            .map(|r| minimize_rewriting(&r, q, views, &mut stats))
+            .collect::<Result<Vec<_>, _>>()?;
+    }
+
+    let deduped = dedupe_rewritings(valid);
+    let mut rewritings = Vec::with_capacity(deduped.len());
+    for query in deduped {
+        let expansion = expand(&query, views)?.expect("validated rewriting expands");
+        rewritings.push(Rewriting { query, expansion });
+    }
+    if opts.goal == RewriteGoal::Contained {
+        rewritings = retain_maximal(rewritings, &mut stats);
+    }
+    stats.rewritings_found = rewritings.len();
+    Ok(RewriteOutcome { rewritings, stats })
+}
+
+/// Keeps only maximally-contained rewritings: drops any rewriting whose
+/// expansion is *strictly* contained in another's (it contributes a subset
+/// of the answers while citing at least as restrictively).
+fn retain_maximal(rewritings: Vec<Rewriting>, stats: &mut RewriteStats) -> Vec<Rewriting> {
+    let mut keep = vec![true; rewritings.len()];
+    for i in 0..rewritings.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..rewritings.len() {
+            if i == j || !keep[j] {
+                continue;
+            }
+            stats.equivalence_checks += 2;
+            let i_in_j = is_contained_in(&rewritings[i].expansion, &rewritings[j].expansion);
+            let j_in_i = is_contained_in(&rewritings[j].expansion, &rewritings[i].expansion);
+            if i_in_j && !j_in_i {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    rewritings
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(r, k)| k.then_some(r))
+        .collect()
+}
+
+/// The classical bucket algorithm's "checking step with unification": a
+/// candidate whose body is missing some head variables of `q` may still
+/// yield an equivalent rewriting after equating those head variables with
+/// fresh (non-query) variables of the candidate. Emits every such repair
+/// (bounded; all results are still validated by expansion + equivalence).
+///
+/// Example: for `Q(A,C) :- E(A,B), E(B,C)` and view `P(X,Z) :- E(X,Y),
+/// E(Y,Z)`, the bucket candidate `P(A,F1), P(B,F2)` lacks `C`; binding
+/// `F1 ↦ C` repairs it to the valid rewriting (later minimized to
+/// `P(A,C)`).
+fn repair_head_vars(cand: ConjunctiveQuery, q: &ConjunctiveQuery) -> Vec<ConjunctiveQuery> {
+    use citesys_cq::{Substitution, Term};
+
+    let body_vars = cand.body_var_set();
+    let missing: Vec<_> = q
+        .head_var_set()
+        .into_iter()
+        .filter(|v| !body_vars.contains(v))
+        .collect();
+    if missing.is_empty() {
+        return vec![cand];
+    }
+    // Fresh variables of the candidate = body vars that are not query vars.
+    let q_vars: std::collections::BTreeSet<_> = q.vars().into_iter().collect();
+    let fresh: Vec<_> = body_vars.into_iter().filter(|v| !q_vars.contains(v)).collect();
+    if fresh.is_empty() {
+        return Vec::new();
+    }
+    // Enumerate assignments missing-var → fresh-var (bounded).
+    const MAX_REPAIRS: usize = 256;
+    let mut out = Vec::new();
+    let mut choice = vec![0usize; missing.len()];
+    loop {
+        let mut s = Substitution::new();
+        for (m, &c) in missing.iter().zip(&choice) {
+            // Orient the binding fresh → head var so the head var becomes
+            // the surviving name in the rewriting body.
+            s.bind(fresh[c].clone(), Term::Var(m.clone()));
+        }
+        out.push(cand.apply(&s));
+        if out.len() >= MAX_REPAIRS {
+            break;
+        }
+        let mut i = 0;
+        loop {
+            if i == choice.len() {
+                return out;
+            }
+            choice[i] += 1;
+            if choice[i] < fresh.len() {
+                break;
+            }
+            choice[i] = 0;
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Greedily removes view atoms whose removal keeps the expansion
+/// equivalent to `q` — the paper asks for *minimal* rewritings.
+fn minimize_rewriting(
+    r: &ConjunctiveQuery,
+    q: &ConjunctiveQuery,
+    views: &ViewSet,
+    stats: &mut RewriteStats,
+) -> Result<ConjunctiveQuery, RewriteError> {
+    let mut current = r.clone();
+    loop {
+        let mut reduced = None;
+        for i in 0..current.body.len() {
+            let mut body = current.body.clone();
+            body.remove(i);
+            let cand = ConjunctiveQuery {
+                head: current.head.clone(),
+                body,
+                params: Vec::new(),
+            };
+            if let Some(exp) = expand(&cand, views)? {
+                stats.equivalence_checks += 1;
+                if are_equivalent(&exp, q) {
+                    reduced = Some(cand);
+                    break;
+                }
+            }
+        }
+        match reduced {
+            Some(c) => current = c,
+            None => return Ok(current),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citesys_cq::parse_query;
+
+    fn paper_views() -> ViewSet {
+        ViewSet::new(vec![
+            parse_query("λ FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)").unwrap(),
+            parse_query("V2(FID, FName, Desc) :- Family(FID, FName, Desc)").unwrap(),
+            parse_query("V3(FID, Text) :- FamilyIntro(FID, Text)").unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn paper_query() -> ConjunctiveQuery {
+        parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)").unwrap()
+    }
+
+    #[test]
+    fn paper_example_both_algorithms() {
+        for alg in [Algorithm::Bucket, Algorithm::MiniCon] {
+            let out = rewrite(
+                &paper_query(),
+                &paper_views(),
+                &RewriteOptions { algorithm: alg, ..Default::default() },
+            )
+            .unwrap();
+            assert_eq!(out.rewritings.len(), 2, "{alg:?}");
+            let names: Vec<String> = out
+                .rewritings
+                .iter()
+                .map(|r| {
+                    let mut preds: Vec<_> =
+                        r.query.body.iter().map(|a| a.predicate.to_string()).collect();
+                    preds.sort();
+                    preds.join("+")
+                })
+                .collect();
+            assert!(names.contains(&"V1+V3".to_string()), "{alg:?}: {names:?}");
+            assert!(names.contains(&"V2+V3".to_string()), "{alg:?}: {names:?}");
+            // Every rewriting's expansion is equivalent to Q.
+            for r in &out.rewritings {
+                assert!(are_equivalent(&r.expansion, &paper_query()));
+            }
+        }
+    }
+
+    #[test]
+    fn no_views_no_rewritings() {
+        let out = rewrite(&paper_query(), &ViewSet::default(), &RewriteOptions::default())
+            .unwrap();
+        assert!(out.rewritings.is_empty());
+    }
+
+    #[test]
+    fn identity_view_gives_identity_rewriting() {
+        let views = ViewSet::new(vec![
+            parse_query("VF(F, N, D) :- Family(F, N, D)").unwrap(),
+            parse_query("VI(F, T) :- FamilyIntro(F, T)").unwrap(),
+        ])
+        .unwrap();
+        let out = rewrite(&paper_query(), &views, &RewriteOptions::default()).unwrap();
+        assert_eq!(out.rewritings.len(), 1);
+        assert_eq!(out.rewritings[0].query.body.len(), 2);
+    }
+
+    #[test]
+    fn pruning_reduces_work_same_answers() {
+        let mut views_vec = vec![
+            parse_query("λ FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)").unwrap(),
+            parse_query("V3(FID, Text) :- FamilyIntro(FID, Text)").unwrap(),
+        ];
+        // Noise views over unrelated predicates.
+        for i in 0..10 {
+            views_vec
+                .push(parse_query(&format!("N{i}(X, Y) :- Unrelated{i}(X, Y)")).unwrap());
+        }
+        let views = ViewSet::new(views_vec).unwrap();
+        let pruned = rewrite(&paper_query(), &views, &RewriteOptions::default()).unwrap();
+        let unpruned = rewrite(
+            &paper_query(),
+            &views,
+            &RewriteOptions { prune: false, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(pruned.rewritings.len(), unpruned.rewritings.len());
+        assert_eq!(pruned.stats.views_pruned, 10);
+        assert_eq!(unpruned.stats.views_pruned, 0);
+    }
+
+    #[test]
+    fn minimization_drops_redundant_atoms() {
+        // Bucket produces V(X,Y) twice for the two near-identical subgoals;
+        // minimization and dedupe collapse them.
+        let views = ViewSet::new(vec![parse_query("V(A, B) :- R(A, B)").unwrap()]).unwrap();
+        let q = parse_query("Q(X) :- R(X, Y), R(X, Z)").unwrap();
+        let out = rewrite(&q, &views, &RewriteOptions::default()).unwrap();
+        assert_eq!(out.rewritings.len(), 1);
+        assert_eq!(out.rewritings[0].query.body.len(), 1);
+    }
+
+    #[test]
+    fn view_with_extra_join_not_equivalent() {
+        // View is strictly more restrictive than the query: usable only for
+        // contained, not equivalent, rewritings — must be rejected.
+        let views = ViewSet::new(vec![
+            parse_query("V(F, N) :- Family(F, N, D), FamilyIntro(F, T)").unwrap(),
+        ])
+        .unwrap();
+        let q = parse_query("Q(N) :- Family(F, N, D)").unwrap();
+        let out = rewrite(&q, &views, &RewriteOptions::default()).unwrap();
+        assert!(out.rewritings.is_empty());
+    }
+
+    #[test]
+    fn chain_query_with_pair_view() {
+        let views = ViewSet::new(vec![
+            parse_query("P(X, Z) :- E(X, Y), E(Y, Z)").unwrap(),
+            parse_query("S(X, Y) :- E(X, Y)").unwrap(),
+        ])
+        .unwrap();
+        let q = parse_query("Q(A, D) :- E(A, B), E(B, C), E(C, D)").unwrap();
+        let out = rewrite(&q, &views, &RewriteOptions::default()).unwrap();
+        // P∘S, S∘P, S∘S∘S are all equivalent rewritings.
+        assert_eq!(out.rewritings.len(), 3);
+        for r in &out.rewritings {
+            assert!(are_equivalent(&r.expansion, &q));
+        }
+    }
+
+    #[test]
+    fn bucket_and_minicon_agree() {
+        let views = ViewSet::new(vec![
+            parse_query("P(X, Z) :- E(X, Y), E(Y, Z)").unwrap(),
+            parse_query("S(X, Y) :- E(X, Y)").unwrap(),
+        ])
+        .unwrap();
+        let q = parse_query("Q(A, C) :- E(A, B), E(B, C)").unwrap();
+        let b = rewrite(
+            &q,
+            &views,
+            &RewriteOptions { algorithm: Algorithm::Bucket, ..Default::default() },
+        )
+        .unwrap();
+        let m = rewrite(
+            &q,
+            &views,
+            &RewriteOptions { algorithm: Algorithm::MiniCon, ..Default::default() },
+        )
+        .unwrap();
+        let key = |rs: &[Rewriting]| -> Vec<String> {
+            rs.iter().map(|r| r.query.canonical().to_string()).collect()
+        };
+        assert_eq!(key(&b.rewritings), key(&m.rewritings));
+    }
+
+    #[test]
+    fn constant_query_rewrites_trivially() {
+        let q = parse_query("C('x') :- true").unwrap();
+        let out = rewrite(&q, &paper_views(), &RewriteOptions::default()).unwrap();
+        assert_eq!(out.rewritings.len(), 1);
+        assert!(out.rewritings[0].query.body.is_empty());
+    }
+
+    #[test]
+    fn contained_goal_finds_partial_rewritings() {
+        // The view is strictly narrower than the query (extra join), so no
+        // equivalent rewriting exists — but a contained one does.
+        let views = ViewSet::new(vec![
+            parse_query("V(F, N) :- Family(F, N, D), FamilyIntro(F, T)").unwrap(),
+        ])
+        .unwrap();
+        let q = parse_query("Q(N) :- Family(F, N, D)").unwrap();
+        let eq = rewrite(&q, &views, &RewriteOptions::default()).unwrap();
+        assert!(eq.rewritings.is_empty());
+        let contained = rewrite(
+            &q,
+            &views,
+            &RewriteOptions { goal: RewriteGoal::Contained, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(contained.rewritings.len(), 1);
+        let r = &contained.rewritings[0];
+        assert!(citesys_cq::is_contained_in(&r.expansion, &q));
+        assert!(!are_equivalent(&r.expansion, &q));
+    }
+
+    #[test]
+    fn contained_goal_keeps_only_maximal() {
+        // VWide produces strictly more of Q's answers than VNarrow; only
+        // the maximal one survives.
+        let views = ViewSet::new(vec![
+            parse_query("VWide(N) :- Family(F, N, D), FamilyIntro(F, T)").unwrap(),
+            parse_query("VNarrow(N) :- Family(F, N, D), FamilyIntro(F, T), Committee(F, P)")
+                .unwrap(),
+        ])
+        .unwrap();
+        let q = parse_query("Q(N) :- Family(F, N, D)").unwrap();
+        let contained = rewrite(
+            &q,
+            &views,
+            &RewriteOptions { goal: RewriteGoal::Contained, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(contained.rewritings.len(), 1);
+        assert_eq!(
+            contained.rewritings[0].query.body[0].predicate.as_str(),
+            "VWide"
+        );
+    }
+
+    #[test]
+    fn equivalent_rewritings_also_satisfy_contained_goal() {
+        let out = rewrite(
+            &paper_query(),
+            &paper_views(),
+            &RewriteOptions { goal: RewriteGoal::Contained, ..Default::default() },
+        )
+        .unwrap();
+        // Both equivalent rewritings are mutually contained — maximality
+        // keeps them both.
+        assert_eq!(out.rewritings.len(), 2);
+    }
+
+    #[test]
+    fn stats_populated() {
+        let out = rewrite(&paper_query(), &paper_views(), &RewriteOptions::default()).unwrap();
+        assert_eq!(out.stats.views_total, 3);
+        assert!(out.stats.equivalence_checks >= 2);
+        assert_eq!(out.stats.rewritings_found, 2);
+        assert!(!out.stats.to_string().is_empty());
+    }
+}

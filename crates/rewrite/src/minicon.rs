@@ -1,0 +1,329 @@
+//! The MiniCon algorithm (Pottinger & Halevy), adapted to *equivalent*
+//! rewritings.
+//!
+//! MiniCon avoids the bucket algorithm's cross-product blow-up by forming
+//! **MiniCon descriptions** (MCDs): a view paired with the *set* of query
+//! subgoals it must cover. The key insight is the *head variable property*:
+//! when a query variable is mapped to an existential variable of the view,
+//! every query subgoal mentioning that variable must be covered by the same
+//! view instance — so MCDs partition the subgoals and combinations are
+//! exact covers, not arbitrary tuples.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use citesys_cq::{Atom, ConjunctiveQuery, Substitution, Symbol, Term};
+
+use crate::candidate::{match_onto, rewriting_atom};
+use crate::error::RewriteError;
+use crate::stats::RewriteStats;
+use crate::view::ViewSet;
+
+/// A MiniCon description: one view instance covering a set of subgoals.
+#[derive(Clone, Debug)]
+struct Mcd {
+    /// Indices of the query subgoals this MCD covers.
+    covered: BTreeSet<usize>,
+    /// The rewriting atom for this view instance.
+    atom: Atom,
+}
+
+/// Generates candidate rewritings via MCD formation + exact cover.
+pub(crate) fn generate(
+    q: &ConjunctiveQuery,
+    views: &ViewSet,
+    view_indices: &[usize],
+    max_candidates: usize,
+    stats: &mut RewriteStats,
+) -> Result<Vec<ConjunctiveQuery>, RewriteError> {
+    let q_vars: BTreeSet<Symbol> = q.vars().into_iter().collect();
+    let distinguished = q.head_var_set();
+
+    // Subgoal index per variable, for the closure rule.
+    let mut subgoals_of: BTreeMap<Symbol, BTreeSet<usize>> = BTreeMap::new();
+    for (i, a) in q.body.iter().enumerate() {
+        for v in a.vars() {
+            subgoals_of.entry(v.clone()).or_default().insert(i);
+        }
+    }
+
+    // Form MCDs.
+    let mut counter = 0usize;
+    let mut mcds: Vec<Mcd> = Vec::new();
+    let mut seen_keys: BTreeSet<String> = BTreeSet::new();
+    for g_idx in 0..q.body.len() {
+        for &vi in view_indices {
+            let view = views.at(vi);
+            for ai in 0..view.body.len() {
+                let a = &view.body[ai];
+                let g = &q.body[g_idx];
+                if a.predicate != g.predicate || a.arity() != g.arity() {
+                    continue;
+                }
+                let fresh = view.rename_apart(counter);
+                counter += 1;
+                let fresh_existential: BTreeSet<Symbol> = fresh.existential_vars();
+                let mut subst = Substitution::new();
+                if !match_onto(&fresh.body[ai], g, &mut subst) {
+                    continue;
+                }
+                let mut covered = BTreeSet::new();
+                covered.insert(g_idx);
+                close(
+                    q,
+                    &fresh,
+                    &fresh_existential,
+                    &distinguished,
+                    &subgoals_of,
+                    subst,
+                    covered,
+                    &mut |subst, covered| {
+                        let atom = rewriting_atom(&fresh, subst, &q_vars);
+                        // Dedupe structurally equal MCDs (same coverage, same
+                        // atom up to the fresh-renaming suffix).
+                        let key = format!("{:?}|{}", covered, normalize_atom(&atom, &q_vars));
+                        if seen_keys.insert(key) {
+                            mcds.push(Mcd { covered: covered.clone(), atom });
+                        }
+                    },
+                );
+            }
+        }
+    }
+    stats.mcds_formed = mcds.len();
+
+    // Exact-cover combination.
+    let all: BTreeSet<usize> = (0..q.body.len()).collect();
+    let mut out = Vec::new();
+    let mut chosen: Vec<usize> = Vec::new();
+    exact_cover(
+        q,
+        &mcds,
+        &all,
+        &BTreeSet::new(),
+        &mut chosen,
+        &mut out,
+        max_candidates,
+        stats,
+    )?;
+    Ok(out)
+}
+
+/// Closure step of MCD formation. Whenever a query variable is the image of
+/// a view existential variable, all subgoals using that query variable must
+/// be pulled into the MCD (choosing, with backtracking, which view atom
+/// covers each). Distinguished query variables must never be images of view
+/// existentials.
+///
+/// The substitution binds only view variables (one-directional matching),
+/// so "query variable `x` is mapped to existential `e`" is detected as
+/// `subst(e) = x`.
+#[allow(clippy::too_many_arguments)]
+fn close(
+    q: &ConjunctiveQuery,
+    fresh: &ConjunctiveQuery,
+    fresh_existential: &BTreeSet<Symbol>,
+    distinguished: &BTreeSet<Symbol>,
+    subgoals_of: &BTreeMap<Symbol, BTreeSet<usize>>,
+    subst: Substitution,
+    covered: BTreeSet<usize>,
+    emit: &mut dyn FnMut(&Substitution, &BTreeSet<usize>),
+) {
+    let mut missing: BTreeSet<usize> = BTreeSet::new();
+    for e in fresh_existential {
+        let Some(Term::Var(x)) = subst.get(e) else {
+            continue;
+        };
+        // x is a query variable (only view vars are ever bound, and their
+        // images are query terms).
+        if distinguished.contains(x) {
+            return; // head variable mapped to existential: dead end
+        }
+        if let Some(gs) = subgoals_of.get(x) {
+            missing.extend(gs.difference(&covered));
+        }
+    }
+    match missing.iter().next() {
+        None => emit(&subst, &covered),
+        Some(&h) => {
+            // Try every view atom that could cover subgoal h.
+            let g = &q.body[h];
+            for b in &fresh.body {
+                let mut s2 = subst.clone();
+                if !match_onto(b, g, &mut s2) {
+                    continue;
+                }
+                let mut c2 = covered.clone();
+                c2.insert(h);
+                close(
+                    q,
+                    fresh,
+                    fresh_existential,
+                    distinguished,
+                    subgoals_of,
+                    s2,
+                    c2,
+                    emit,
+                );
+            }
+        }
+    }
+}
+
+/// Depth-first exact cover over MCDs.
+#[allow(clippy::too_many_arguments)]
+fn exact_cover(
+    q: &ConjunctiveQuery,
+    mcds: &[Mcd],
+    all: &BTreeSet<usize>,
+    covered: &BTreeSet<usize>,
+    chosen: &mut Vec<usize>,
+    out: &mut Vec<ConjunctiveQuery>,
+    max_candidates: usize,
+    stats: &mut RewriteStats,
+) -> Result<(), RewriteError> {
+    if covered == all {
+        stats.candidates_generated += 1;
+        if stats.candidates_generated > max_candidates {
+            return Err(RewriteError::BudgetExceeded {
+                generated: stats.candidates_generated,
+                cap: max_candidates,
+            });
+        }
+        let mut body: Vec<Atom> = Vec::new();
+        for &m in chosen.iter() {
+            if !body.contains(&mcds[m].atom) {
+                body.push(mcds[m].atom.clone());
+            }
+        }
+        out.push(ConjunctiveQuery {
+            head: q.head.clone(),
+            body,
+            params: Vec::new(),
+        });
+        return Ok(());
+    }
+    // Smallest uncovered subgoal index drives the branching.
+    let next = *all.difference(covered).next().expect("not all covered");
+    for (mi, mcd) in mcds.iter().enumerate() {
+        if !mcd.covered.contains(&next) {
+            continue;
+        }
+        if !mcd.covered.is_disjoint(covered) {
+            continue;
+        }
+        let mut c2 = covered.clone();
+        c2.extend(mcd.covered.iter().copied());
+        chosen.push(mi);
+        exact_cover(q, mcds, all, &c2, chosen, out, max_candidates, stats)?;
+        chosen.pop();
+    }
+    Ok(())
+}
+
+/// Key for MCD deduplication: query variables keep their names, fresh view
+/// variables are numbered positionally.
+fn normalize_atom(atom: &Atom, q_vars: &BTreeSet<Symbol>) -> String {
+    let mut next = 0usize;
+    let mut map: BTreeMap<Symbol, usize> = BTreeMap::new();
+    let terms: Vec<String> = atom
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) if !q_vars.contains(v) => {
+                let n = *map.entry(v.clone()).or_insert_with(|| {
+                    let n = next;
+                    next += 1;
+                    n
+                });
+                format!("_f{n}")
+            }
+            other => other.to_string(),
+        })
+        .collect();
+    format!("{}({})", atom.predicate, terms.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citesys_cq::parse_query;
+
+    fn run(q: &str, views: Vec<&str>) -> (Vec<ConjunctiveQuery>, RewriteStats) {
+        let q = parse_query(q).unwrap();
+        let vs = ViewSet::new(views.into_iter().map(|v| parse_query(v).unwrap()).collect())
+            .unwrap();
+        let idx: Vec<usize> = (0..vs.len()).collect();
+        let mut stats = RewriteStats::default();
+        let cands = generate(&q, &vs, &idx, 100_000, &mut stats).unwrap();
+        (cands, stats)
+    }
+
+    #[test]
+    fn paper_example_two_candidates() {
+        let (cands, stats) = run(
+            "Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)",
+            vec![
+                "λ FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)",
+                "V2(FID, FName, Desc) :- Family(FID, FName, Desc)",
+                "V3(FID, Text) :- FamilyIntro(FID, Text)",
+            ],
+        );
+        assert_eq!(cands.len(), 2);
+        assert_eq!(stats.mcds_formed, 3);
+    }
+
+    #[test]
+    fn existential_join_var_forces_multi_subgoal_mcd() {
+        // View joins E(X,Y),E(Y,Z) projecting only endpoints; Y existential.
+        // Any MCD for subgoal E(A,B) of the query that maps B to the view's
+        // existential must also cover E(B,C).
+        let (cands, stats) = run(
+            "Q(A, C) :- E(A, B), E(B, C)",
+            vec!["V(X, Z) :- E(X, Y), E(Y, Z)"],
+        );
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].body.len(), 1, "one view atom covers both subgoals");
+        assert!(stats.mcds_formed >= 1);
+    }
+
+    #[test]
+    fn distinguished_to_existential_rejected() {
+        // Query needs B in head but the view hides the second column.
+        let (cands, _) = run("Q(A, B) :- E(A, B)", vec!["V(X) :- E(X, Y)"]);
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn partition_means_fewer_candidates_than_bucket() {
+        // Two chain views, each covering one half of a 4-chain: MiniCon
+        // combines MCDs disjointly instead of 4-way cross products.
+        let (cands, stats) = run(
+            "Q(A, E) :- E(A, B), E(B, C), E(C, D), E(D, E)",
+            vec!["V2(X, Z) :- E(X, Y), E(Y, Z)"],
+        );
+        // V2 covers (0,1) as one MCD, (1,2), (2,3) similarly; exact covers
+        // of {0,1,2,3} from 2-intervals: {01,23}.
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].body.len(), 2);
+        assert!(stats.candidates_generated <= 2);
+    }
+
+    #[test]
+    fn no_cover_no_candidates() {
+        let (cands, _) = run(
+            "Q(A) :- E(A, B), F(B)",
+            vec!["V(X, Y) :- E(X, Y)"],
+        );
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn normalize_atom_keys() {
+        let qv: BTreeSet<Symbol> = [Symbol::new("X")].into_iter().collect();
+        let a1 = Atom::new("V", vec![Term::var("X"), Term::var("F_3")]);
+        let a2 = Atom::new("V", vec![Term::var("X"), Term::var("F_9")]);
+        assert_eq!(normalize_atom(&a1, &qv), normalize_atom(&a2, &qv));
+        let a3 = Atom::new("V", vec![Term::var("F_9"), Term::var("X")]);
+        assert_ne!(normalize_atom(&a1, &qv), normalize_atom(&a3, &qv));
+    }
+}

@@ -1,0 +1,144 @@
+//! Schema-level pruning of the rewriting search space.
+//!
+//! §3 of the paper ("Calculating citations"): it is infeasible to go
+//! through all rewritings, "pointing to the need for cost functions to
+//! reduce the search space. It may also be possible to do some of the
+//! reasoning at the schema level." This module implements that reasoning:
+//! views are filtered before candidate generation using only the schema
+//! (predicate sets and arities), never the data.
+
+use std::collections::BTreeSet;
+
+use citesys_cq::{ConjunctiveQuery, Symbol};
+
+use crate::view::ViewSet;
+
+/// Why a view survived or was pruned (for diagnostics and the E5 bench).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ViewRelevance {
+    /// The view can participate in an equivalent rewriting.
+    Relevant,
+    /// The view's body mentions a predicate the query does not — its
+    /// expansion could never fold back onto the query.
+    ExtraPredicate,
+    /// The view shares no predicate with the query.
+    NoSharedPredicate,
+    /// The view uses a shared predicate only at a different arity.
+    ArityMismatch,
+}
+
+/// Classifies one view against a query, schema-level only.
+///
+/// Soundness argument for `ExtraPredicate`: an *equivalent* rewriting `Q'`
+/// satisfies `expand(Q') ⊆ Q`, which requires a containment mapping from
+/// `expand(Q')` into … wait — requires a homomorphism from `Q` into
+/// `expand(Q')` *and* one from `expand(Q')` into `Q`; the latter maps every
+/// base atom of the expansion onto a query atom with the same predicate.
+/// A view whose body mentions a predicate absent from `Q` therefore cannot
+/// appear in any equivalent rewriting.
+pub fn classify_view(q: &ConjunctiveQuery, view: &ConjunctiveQuery) -> ViewRelevance {
+    let q_preds: BTreeSet<&Symbol> = q.body.iter().map(|a| &a.predicate).collect();
+    let v_preds: BTreeSet<&Symbol> = view.body.iter().map(|a| &a.predicate).collect();
+    if v_preds.is_empty() || v_preds.intersection(&q_preds).next().is_none() {
+        return ViewRelevance::NoSharedPredicate;
+    }
+    if !v_preds.is_subset(&q_preds) {
+        return ViewRelevance::ExtraPredicate;
+    }
+    // Every view atom must be unifiable-in-principle with some query atom:
+    // same predicate at the same arity.
+    let ok = view.body.iter().all(|va| {
+        q.body
+            .iter()
+            .any(|qa| qa.predicate == va.predicate && qa.arity() == va.arity())
+    });
+    if ok {
+        ViewRelevance::Relevant
+    } else {
+        ViewRelevance::ArityMismatch
+    }
+}
+
+/// Indices of views that survive schema-level pruning for **equivalent**
+/// rewritings, plus the number pruned.
+pub fn relevant_views(q: &ConjunctiveQuery, views: &ViewSet) -> (Vec<usize>, usize) {
+    let mut keep = Vec::new();
+    let mut pruned = 0;
+    for (i, v) in views.iter().enumerate() {
+        if classify_view(q, v) == ViewRelevance::Relevant {
+            keep.push(i);
+        } else {
+            pruned += 1;
+        }
+    }
+    (keep, pruned)
+}
+
+/// Pruning for **contained** rewritings: only the `ExtraPredicate` rule is
+/// unsound there (a view with extra joins restricts, which containment
+/// allows), so a view survives when it shares at least one predicate with
+/// the query at a matching arity.
+pub fn relevant_views_contained(q: &ConjunctiveQuery, views: &ViewSet) -> (Vec<usize>, usize) {
+    let mut keep = Vec::new();
+    let mut pruned = 0;
+    for (i, v) in views.iter().enumerate() {
+        let usable = v.body.iter().any(|va| {
+            q.body
+                .iter()
+                .any(|qa| qa.predicate == va.predicate && qa.arity() == va.arity())
+        });
+        if usable {
+            keep.push(i);
+        } else {
+            pruned += 1;
+        }
+    }
+    (keep, pruned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citesys_cq::parse_query;
+
+    fn q() -> ConjunctiveQuery {
+        parse_query("Q(N) :- Family(F, N, D), FamilyIntro(F, T)").unwrap()
+    }
+
+    #[test]
+    fn relevant_view_kept() {
+        let v = parse_query("V(F, N, D) :- Family(F, N, D)").unwrap();
+        assert_eq!(classify_view(&q(), &v), ViewRelevance::Relevant);
+    }
+
+    #[test]
+    fn extra_predicate_pruned() {
+        let v = parse_query("V(F, N) :- Family(F, N, D), Committee(F, P)").unwrap();
+        assert_eq!(classify_view(&q(), &v), ViewRelevance::ExtraPredicate);
+    }
+
+    #[test]
+    fn unrelated_view_pruned() {
+        let v = parse_query("V(F, P) :- Committee(F, P)").unwrap();
+        assert_eq!(classify_view(&q(), &v), ViewRelevance::NoSharedPredicate);
+    }
+
+    #[test]
+    fn arity_mismatch_pruned() {
+        let v = parse_query("V(F) :- Family(F)").unwrap();
+        assert_eq!(classify_view(&q(), &v), ViewRelevance::ArityMismatch);
+    }
+
+    #[test]
+    fn relevant_views_counts() {
+        let views = ViewSet::new(vec![
+            parse_query("V1(F, N, D) :- Family(F, N, D)").unwrap(),
+            parse_query("V2(F, T) :- FamilyIntro(F, T)").unwrap(),
+            parse_query("V3(F, P) :- Committee(F, P)").unwrap(),
+        ])
+        .unwrap();
+        let (keep, pruned) = relevant_views(&q(), &views);
+        assert_eq!(keep, vec![0, 1]);
+        assert_eq!(pruned, 1);
+    }
+}

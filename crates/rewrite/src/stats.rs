@@ -1,0 +1,63 @@
+//! Search statistics, reported alongside rewriting results.
+//!
+//! These counters are what the E2/E5 experiments plot: how much work each
+//! algorithm and pruning level performs for the same query.
+
+use std::fmt;
+
+/// Counters accumulated during one rewriting run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RewriteStats {
+    /// Views given to the algorithm before pruning.
+    pub views_total: usize,
+    /// Views discarded by schema-level pruning.
+    pub views_pruned: usize,
+    /// Total bucket entries across subgoals (bucket algorithm only).
+    pub bucket_entries: usize,
+    /// MiniCon descriptions formed (MiniCon only).
+    pub mcds_formed: usize,
+    /// Candidate rewritings generated before validation.
+    pub candidates_generated: usize,
+    /// Candidates that survived expansion (were well-formed).
+    pub candidates_expanded: usize,
+    /// Equivalence checks performed (the expensive step).
+    pub equivalence_checks: usize,
+    /// Final equivalent, minimized, deduplicated rewritings.
+    pub rewritings_found: usize,
+}
+
+impl fmt::Display for RewriteStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "views {}/{} kept, {} bucket entries, {} MCDs, {} candidates, \
+             {} expanded, {} equivalence checks, {} rewritings",
+            self.views_total - self.views_pruned,
+            self.views_total,
+            self.bucket_entries,
+            self.mcds_formed,
+            self.candidates_generated,
+            self.candidates_expanded,
+            self.equivalence_checks,
+            self.rewritings_found
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_summarizes() {
+        let s = RewriteStats {
+            views_total: 10,
+            views_pruned: 4,
+            candidates_generated: 12,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("views 6/10 kept"));
+        assert!(text.contains("12 candidates"));
+    }
+}

@@ -1,0 +1,104 @@
+//! View registries.
+
+use std::collections::BTreeMap;
+
+use citesys_cq::{ConjunctiveQuery, Symbol};
+
+use crate::error::RewriteError;
+
+/// A set of named view definitions with unique head predicates.
+///
+/// Each view is a conjunctive query over the base schema; its head
+/// predicate acts as the view's name and may be used as a body predicate in
+/// rewritings. λ-parameters are carried along but — per the paper —
+/// **ignored during rewriting**; the citation engine re-attaches them when
+/// instantiating citations per binding.
+#[derive(Clone, Debug, Default)]
+pub struct ViewSet {
+    views: Vec<ConjunctiveQuery>,
+    by_name: BTreeMap<Symbol, usize>,
+}
+
+impl ViewSet {
+    /// Builds a view set, rejecting duplicate names.
+    pub fn new(views: Vec<ConjunctiveQuery>) -> Result<Self, RewriteError> {
+        let mut set = ViewSet::default();
+        for v in views {
+            set.add(v)?;
+        }
+        Ok(set)
+    }
+
+    /// Adds one view.
+    pub fn add(&mut self, v: ConjunctiveQuery) -> Result<(), RewriteError> {
+        let name = v.name().clone();
+        if self.by_name.contains_key(&name) {
+            return Err(RewriteError::DuplicateView { name: name.to_string() });
+        }
+        self.by_name.insert(name, self.views.len());
+        self.views.push(v);
+        Ok(())
+    }
+
+    /// Number of views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// True when no views are registered.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Looks up a view by name.
+    pub fn get(&self, name: &str) -> Option<&ConjunctiveQuery> {
+        self.by_name.get(name).map(|&i| &self.views[i])
+    }
+
+    /// Like [`get`](Self::get) but returns an error for unknown names.
+    pub fn require(&self, name: &str) -> Result<&ConjunctiveQuery, RewriteError> {
+        self.get(name)
+            .ok_or_else(|| RewriteError::UnknownView { name: name.to_string() })
+    }
+
+    /// Iterates over the views in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &ConjunctiveQuery> {
+        self.views.iter()
+    }
+
+    /// View at a positional index.
+    pub fn at(&self, i: usize) -> &ConjunctiveQuery {
+        &self.views[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citesys_cq::parse_query;
+
+    #[test]
+    fn registration_and_lookup() {
+        let vs = ViewSet::new(vec![
+            parse_query("λ FID. V1(FID, N, D) :- Family(FID, N, D)").unwrap(),
+            parse_query("V3(FID, T) :- FamilyIntro(FID, T)").unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(vs.len(), 2);
+        assert!(vs.get("V1").is_some());
+        assert!(vs.get("V3").is_some());
+        assert!(vs.get("V9").is_none());
+        assert!(vs.require("V9").is_err());
+        assert_eq!(vs.at(0).name().as_str(), "V1");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let e = ViewSet::new(vec![
+            parse_query("V(X) :- R(X)").unwrap(),
+            parse_query("V(Y) :- S(Y)").unwrap(),
+        ])
+        .unwrap_err();
+        assert!(matches!(e, RewriteError::DuplicateView { .. }));
+    }
+}

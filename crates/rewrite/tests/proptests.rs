@@ -1,0 +1,144 @@
+//! Property-based tests for view-based rewriting.
+//!
+//! Strategy: generate chain queries `Q(X0, Xn) :- E(X0,X1), …, E(Xn-1,Xn)`
+//! and segment views `V(Y0, Yk) :- E(Y0,Y1), …` (plus unrelated noise
+//! views). Chain/segment instances have a well-understood rewriting space,
+//! so we can assert soundness and algorithm agreement.
+
+use citesys_cq::{are_equivalent, parse_query, ConjunctiveQuery};
+use citesys_rewrite::{rewrite, Algorithm, RewriteOptions, ViewSet};
+use proptest::prelude::*;
+
+/// Builds the chain query of length `n` over predicate `E`.
+fn chain_query(n: usize) -> ConjunctiveQuery {
+    let body: Vec<String> = (0..n).map(|i| format!("E(X{i}, X{})", i + 1)).collect();
+    parse_query(&format!("Q(X0, X{n}) :- {}", body.join(", "))).unwrap()
+}
+
+/// Builds a segment view of length `k` named `name`.
+fn segment_view(name: &str, k: usize) -> ConjunctiveQuery {
+    let body: Vec<String> = (0..k).map(|i| format!("E(Y{i}, Y{})", i + 1)).collect();
+    parse_query(&format!("{name}(Y0, Y{k}) :- {}", body.join(", "))).unwrap()
+}
+
+fn instance() -> impl Strategy<Value = (ConjunctiveQuery, ViewSet)> {
+    (2usize..5, prop::collection::vec(1usize..4, 1..4), 0usize..3).prop_map(
+        |(n, seg_lens, noise)| {
+            let q = chain_query(n);
+            let mut views = Vec::new();
+            for (i, k) in seg_lens.into_iter().enumerate() {
+                views.push(segment_view(&format!("Seg{i}"), k));
+            }
+            for i in 0..noise {
+                views.push(
+                    parse_query(&format!("Noise{i}(A, B) :- Unrelated{i}(A, B)")).unwrap(),
+                );
+            }
+            (q, ViewSet::new(views).unwrap())
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Soundness: every returned rewriting's expansion is equivalent to Q.
+    #[test]
+    fn rewritings_are_sound((q, views) in instance()) {
+        let out = rewrite(&q, &views, &RewriteOptions::default()).unwrap();
+        for r in &out.rewritings {
+            prop_assert!(are_equivalent(&r.expansion, &q),
+                "unsound rewriting {} for {}", r.query, q);
+        }
+    }
+
+    /// Completeness cross-check: bucket and MiniCon agree on the final
+    /// rewriting sets (after validation, minimization, dedup).
+    #[test]
+    fn algorithms_agree((q, views) in instance()) {
+        let b = rewrite(&q, &views, &RewriteOptions {
+            algorithm: Algorithm::Bucket, ..Default::default()
+        }).unwrap();
+        let m = rewrite(&q, &views, &RewriteOptions {
+            algorithm: Algorithm::MiniCon, ..Default::default()
+        }).unwrap();
+        let key = |o: &citesys_rewrite::RewriteOutcome| -> Vec<String> {
+            o.rewritings.iter().map(|r| r.query.canonical().to_string()).collect()
+        };
+        prop_assert_eq!(key(&b), key(&m));
+    }
+
+    /// Pruning changes statistics, never results.
+    #[test]
+    fn pruning_preserves_results((q, views) in instance()) {
+        let with = rewrite(&q, &views, &RewriteOptions::default()).unwrap();
+        let without = rewrite(&q, &views, &RewriteOptions {
+            prune: false, ..Default::default()
+        }).unwrap();
+        let key = |o: &citesys_rewrite::RewriteOutcome| -> Vec<String> {
+            o.rewritings.iter().map(|r| r.query.canonical().to_string()).collect()
+        };
+        prop_assert_eq!(key(&with), key(&without));
+        prop_assert!(with.stats.candidates_generated <= without.stats.candidates_generated);
+    }
+
+    /// A unit-length segment view always yields the identity rewriting for
+    /// any chain, and it is found by both algorithms.
+    #[test]
+    fn unit_segments_cover_chains(n in 2usize..5) {
+        let q = chain_query(n);
+        let views = ViewSet::new(vec![segment_view("S1", 1)]).unwrap();
+        for alg in [Algorithm::Bucket, Algorithm::MiniCon] {
+            let out = rewrite(&q, &views, &RewriteOptions {
+                algorithm: alg, ..Default::default()
+            }).unwrap();
+            prop_assert_eq!(out.rewritings.len(), 1, "{:?}", alg);
+            prop_assert_eq!(out.rewritings[0].query.body.len(), n);
+        }
+    }
+
+    /// A segment exactly as long as the chain rewrites to a single atom.
+    #[test]
+    fn full_segment_single_atom(n in 1usize..5) {
+        let q = chain_query(n);
+        let views = ViewSet::new(vec![segment_view("Full", n)]).unwrap();
+        let out = rewrite(&q, &views, &RewriteOptions::default()).unwrap();
+        prop_assert!(out.rewritings.iter().any(|r| r.query.body.len() == 1),
+            "expected a single-atom rewriting among {:?}",
+            out.rewritings.iter().map(|r| r.query.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Segments longer than the chain yield nothing.
+    #[test]
+    fn oversized_segment_no_rewriting(n in 1usize..4) {
+        let q = chain_query(n);
+        let views = ViewSet::new(vec![segment_view("Big", n + 1)]).unwrap();
+        let out = rewrite(&q, &views, &RewriteOptions::default()).unwrap();
+        prop_assert!(out.rewritings.is_empty());
+    }
+
+    /// Contained-goal soundness: every returned rewriting's expansion is
+    /// contained in Q, and equivalent rewritings (when they exist) are a
+    /// subset of the maximal contained ones up to mutual containment.
+    #[test]
+    fn contained_rewritings_sound((q, views) in instance()) {
+        use citesys_rewrite::RewriteGoal;
+        let contained = rewrite(&q, &views, &RewriteOptions {
+            goal: RewriteGoal::Contained, ..Default::default()
+        }).unwrap();
+        for r in &contained.rewritings {
+            prop_assert!(citesys_cq::is_contained_in(&r.expansion, &q),
+                "unsound contained rewriting {} for {}", r.query, q);
+        }
+        // No rewriting is strictly contained in another (maximality).
+        for (i, a) in contained.rewritings.iter().enumerate() {
+            for (j, b) in contained.rewritings.iter().enumerate() {
+                if i == j { continue; }
+                let a_in_b = citesys_cq::is_contained_in(&a.expansion, &b.expansion);
+                let b_in_a = citesys_cq::is_contained_in(&b.expansion, &a.expansion);
+                prop_assert!(!a_in_b || b_in_a,
+                    "non-maximal rewriting retained: {} < {}", a.query, b.query);
+            }
+        }
+    }
+}

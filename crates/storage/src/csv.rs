@@ -1,0 +1,249 @@
+//! CSV import/export for relations — the interchange format curated
+//! databases actually publish dumps in.
+//!
+//! Dialect: comma-separated, `"`-quoted fields with `""` escaping, one
+//! header row with `name:type` columns. Implemented in-tree (no csv crate
+//! in the allowed dependency set); round-trip safety is property-tested.
+
+use citesys_cq::{Value, ValueType};
+
+use crate::database::Database;
+use crate::error::StorageError;
+use crate::relation::Relation;
+use crate::schema::{Attribute, RelationSchema};
+use crate::tuple::Tuple;
+
+/// Serializes a relation to CSV (header row of `name:type`, then data).
+pub fn to_csv(rel: &Relation) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = rel
+        .schema()
+        .attributes
+        .iter()
+        .map(|a| quote(&format!("{}:{}", a.name, a.ty)))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    let mut rows: Vec<&Tuple> = rel.scan().collect();
+    rows.sort();
+    for t in rows {
+        let cells: Vec<String> = t.values().iter().map(render_value).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Text(s) => quote(s.as_str()),
+    }
+}
+
+fn quote(s: &str) -> String {
+    format!("\"{}\"", s.replace('"', "\"\""))
+}
+
+/// Parses a CSV document into `(schema, tuples)`; `name` becomes the
+/// relation name, `key` the key positions.
+pub fn from_csv(
+    name: &str,
+    key: &[usize],
+    input: &str,
+) -> Result<(RelationSchema, Vec<Tuple>), StorageError> {
+    let mut lines = split_records(input).into_iter();
+    let header = lines.next().ok_or_else(|| StorageError::UnknownRelation {
+        name: format!("{name}: empty csv"),
+    })?;
+    let mut attrs = Vec::new();
+    for cell in &header {
+        let (attr_name, ty) = cell.rsplit_once(':').ok_or_else(|| {
+            StorageError::UnknownRelation {
+                name: format!("{name}: header cell '{cell}' lacks ':type'"),
+            }
+        })?;
+        let ty = match ty {
+            "int" => ValueType::Int,
+            "text" => ValueType::Text,
+            "bool" => ValueType::Bool,
+            other => {
+                return Err(StorageError::UnknownRelation {
+                    name: format!("{name}: unknown type '{other}'"),
+                })
+            }
+        };
+        attrs.push(Attribute::new(attr_name, ty));
+    }
+    let schema = RelationSchema::new(name, attrs, key.to_vec());
+    let mut tuples = Vec::new();
+    for record in lines {
+        if record.len() != schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                relation: name.to_string(),
+                expected: schema.arity(),
+                got: record.len(),
+            });
+        }
+        let values: Result<Vec<Value>, StorageError> = record
+            .iter()
+            .zip(&schema.attributes)
+            .map(|(cell, attr)| parse_value(cell, attr.ty, name, attr))
+            .collect();
+        tuples.push(Tuple::new(values?));
+    }
+    Ok((schema, tuples))
+}
+
+fn parse_value(
+    cell: &str,
+    ty: ValueType,
+    rel: &str,
+    attr: &Attribute,
+) -> Result<Value, StorageError> {
+    let mismatch = || StorageError::TypeMismatch {
+        relation: rel.to_string(),
+        attribute: attr.name.to_string(),
+        expected: ty,
+        got: ValueType::Text,
+    };
+    match ty {
+        ValueType::Int => cell.parse::<i64>().map(Value::Int).map_err(|_| mismatch()),
+        ValueType::Bool => cell.parse::<bool>().map(Value::Bool).map_err(|_| mismatch()),
+        ValueType::Text => Ok(Value::text(cell)),
+    }
+}
+
+/// Splits CSV into records of unquoted cell strings, honouring quotes and
+/// embedded newlines.
+fn split_records(input: &str) -> Vec<Vec<String>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut cell = String::new();
+    let mut in_quotes = false;
+    let mut chars = input.chars().peekable();
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        any = true;
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cell.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                record.push(std::mem::take(&mut cell));
+            }
+            '\n' if !in_quotes => {
+                record.push(std::mem::take(&mut cell));
+                records.push(std::mem::take(&mut record));
+            }
+            '\r' if !in_quotes => {}
+            other => cell.push(other),
+        }
+    }
+    if any && (!cell.is_empty() || !record.is_empty()) {
+        record.push(cell);
+        records.push(record);
+    }
+    records.retain(|r| !(r.len() == 1 && r[0].is_empty()));
+    records
+}
+
+/// Loads a CSV document into a database (creating the relation).
+pub fn load_csv(
+    db: &mut Database,
+    name: &str,
+    key: &[usize],
+    input: &str,
+) -> Result<usize, StorageError> {
+    let (schema, tuples) = from_csv(name, key, input)?;
+    db.create_relation(schema)?;
+    db.insert_all(name, tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn family_csv() -> &'static str {
+        "\"FID:int\",\"FName:text\",\"Desc:text\"\n11,\"Calcitonin\",\"C1\"\n12,\"Dopamine, the 2nd\",\"D \"\"quoted\"\"\"\n"
+    }
+
+    #[test]
+    fn parse_with_quotes_and_commas() {
+        let (schema, tuples) = from_csv("Family", &[0], family_csv()).unwrap();
+        assert_eq!(schema.arity(), 3);
+        assert_eq!(tuples.len(), 2);
+        assert_eq!(tuples[1].get(1).unwrap().as_text(), Some("Dopamine, the 2nd"));
+        assert_eq!(tuples[1].get(2).unwrap().as_text(), Some("D \"quoted\""));
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut db = Database::new();
+        load_csv(&mut db, "Family", &[0], family_csv()).unwrap();
+        let rel = db.relation("Family").unwrap();
+        let out = to_csv(rel);
+        let mut db2 = Database::new();
+        load_csv(&mut db2, "Family", &[0], &out).unwrap();
+        assert_eq!(
+            crate::fixity::digest_database(&db),
+            crate::fixity::digest_database(&db2)
+        );
+    }
+
+    #[test]
+    fn embedded_newline_round_trips() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::from_parts(
+            "R",
+            &[("A", ValueType::Int), ("B", ValueType::Text)],
+            &[],
+        ))
+        .unwrap();
+        db.insert("R", tuple![1, "line1\nline2"]).unwrap();
+        let out = to_csv(db.relation("R").unwrap());
+        let (_, tuples) = from_csv("R", &[], &out).unwrap();
+        assert_eq!(tuples[0].get(1).unwrap().as_text(), Some("line1\nline2"));
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(from_csv("R", &[], "\"A\"\n1\n").is_err());
+        assert!(from_csv("R", &[], "\"A:float\"\n1\n").is_err());
+        assert!(from_csv("R", &[], "").is_err());
+    }
+
+    #[test]
+    fn arity_and_type_errors() {
+        let e = from_csv("R", &[], "\"A:int\",\"B:int\"\n1\n").unwrap_err();
+        assert!(matches!(e, StorageError::ArityMismatch { .. }));
+        let e = from_csv("R", &[], "\"A:int\"\n\"x\"\n").unwrap_err();
+        assert!(matches!(e, StorageError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn bool_values() {
+        let (_, tuples) = from_csv("R", &[], "\"A:bool\"\ntrue\nfalse\n").unwrap();
+        assert_eq!(tuples[0].get(0).unwrap().as_bool(), Some(true));
+        assert_eq!(tuples[1].get(0).unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn export_sorted_and_deterministic() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::from_parts("R", &[("A", ValueType::Int)], &[]))
+            .unwrap();
+        db.insert("R", tuple![2]).unwrap();
+        db.insert("R", tuple![1]).unwrap();
+        let out = to_csv(db.relation("R").unwrap());
+        assert_eq!(out, "\"A:int\"\n1\n2\n");
+    }
+}

@@ -1,0 +1,112 @@
+//! Error types for the storage layer.
+
+use std::fmt;
+
+use citesys_cq::ValueType;
+
+/// Errors produced by the relational store.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StorageError {
+    /// A relation name was not found in the catalog.
+    UnknownRelation {
+        /// The missing relation.
+        name: String,
+    },
+    /// A tuple's arity does not match the relation schema.
+    ArityMismatch {
+        /// Relation being written.
+        relation: String,
+        /// Schema arity.
+        expected: usize,
+        /// Tuple arity.
+        got: usize,
+    },
+    /// A tuple value's type does not match the attribute type.
+    TypeMismatch {
+        /// Relation being written.
+        relation: String,
+        /// Attribute name.
+        attribute: String,
+        /// Declared type.
+        expected: ValueType,
+        /// Actual type.
+        got: ValueType,
+    },
+    /// A key constraint was violated on insert.
+    KeyViolation {
+        /// Relation being written.
+        relation: String,
+        /// Rendered key values.
+        key: String,
+    },
+    /// A query referenced a relation with the wrong arity.
+    QueryArityMismatch {
+        /// Relation referenced.
+        relation: String,
+        /// Schema arity.
+        expected: usize,
+        /// Arity used in the query atom.
+        got: usize,
+    },
+    /// A snapshot was requested for a version that does not exist.
+    UnknownVersion {
+        /// Requested version.
+        version: u64,
+        /// Latest committed version.
+        latest: u64,
+    },
+    /// A relation with this name already exists.
+    DuplicateRelation {
+        /// The duplicated name.
+        name: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownRelation { name } => write!(f, "unknown relation: {name}"),
+            StorageError::ArityMismatch { relation, expected, got } => write!(
+                f,
+                "relation {relation}: expected {expected} values, got {got}"
+            ),
+            StorageError::TypeMismatch { relation, attribute, expected, got } => write!(
+                f,
+                "relation {relation}.{attribute}: expected {expected}, got {got}"
+            ),
+            StorageError::KeyViolation { relation, key } => {
+                write!(f, "relation {relation}: key violation on {key}")
+            }
+            StorageError::QueryArityMismatch { relation, expected, got } => write!(
+                f,
+                "query uses {relation} with arity {got}, schema says {expected}"
+            ),
+            StorageError::UnknownVersion { version, latest } => {
+                write!(f, "unknown version {version} (latest is {latest})")
+            }
+            StorageError::DuplicateRelation { name } => {
+                write!(f, "relation already exists: {name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_offenders() {
+        let e = StorageError::UnknownRelation { name: "Family".into() };
+        assert!(e.to_string().contains("Family"));
+        let e = StorageError::TypeMismatch {
+            relation: "Family".into(),
+            attribute: "FID".into(),
+            expected: ValueType::Int,
+            got: ValueType::Text,
+        };
+        assert!(e.to_string().contains("expected int, got text"));
+    }
+}

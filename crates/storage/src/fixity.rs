@@ -1,0 +1,397 @@
+//! Fixity digests: SHA-256 over canonical serializations.
+//!
+//! One of the "core principles" of data citation the paper cites (§3,
+//! FORCE-11 / CODATA) is **fixity**: a citation must be able to bring back
+//! the data exactly as seen when cited. We support this with content
+//! digests: a citation stores the SHA-256 of the canonically serialized
+//! query answer, and re-executing the query against the cited snapshot must
+//! reproduce the digest.
+//!
+//! SHA-256 is implemented in-tree (FIPS 180-4) because no hashing crate is
+//! in the allowed dependency set; it is validated against the standard test
+//! vectors below.
+
+use citesys_cq::Value;
+
+use crate::database::Database;
+use crate::eval::QueryAnswer;
+use crate::tuple::Tuple;
+
+/// A 256-bit digest.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// Renders the digest as lowercase hex.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Parses a 64-char hex string.
+    pub fn from_hex(s: &str) -> Option<Digest> {
+        if s.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = (hi * 16 + lo) as u8;
+        }
+        Some(Digest(out))
+    }
+}
+
+impl std::fmt::Debug for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sha256:{}", self.to_hex())
+    }
+}
+
+impl std::fmt::Display for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+/// Incremental SHA-256 hasher (FIPS 180-4).
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha256 {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c,
+                0x1f83d9ab, 0x5be0cd19,
+            ],
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Feeds bytes into the hasher.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finalizes and returns the digest.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // Length goes directly into the buffer (careful not to recount it).
+        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.compress(&block);
+        let mut out = [0u8; 32];
+        for (i, w) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// Hashes a byte slice in one shot.
+pub fn sha256(data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+// ---------------------------------------------------------------------------
+// Canonical serialization
+// ---------------------------------------------------------------------------
+
+fn feed_value(h: &mut Sha256, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            h.update(b"i");
+            h.update(&i.to_be_bytes());
+        }
+        Value::Text(s) => {
+            h.update(b"t");
+            h.update(&(s.as_str().len() as u64).to_be_bytes());
+            h.update(s.as_str().as_bytes());
+        }
+        Value::Bool(b) => {
+            h.update(if *b { b"B1" } else { b"B0" });
+        }
+    }
+}
+
+fn feed_tuple(h: &mut Sha256, t: &Tuple) {
+    h.update(&(t.arity() as u64).to_be_bytes());
+    for v in t.values() {
+        feed_value(h, v);
+    }
+}
+
+/// Digest of a query answer: the sorted set of output tuples. Bindings are
+/// not part of the digest — fixity is about the *data returned*, not the
+/// derivation.
+pub fn digest_answer(a: &QueryAnswer) -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"citesys-answer-v1");
+    h.update(&(a.rows.len() as u64).to_be_bytes());
+    for row in &a.rows {
+        feed_tuple(&mut h, &row.tuple);
+    }
+    h.finalize()
+}
+
+/// Digest of an entire database: relations in name order, live tuples in
+/// sorted order.
+pub fn digest_database(db: &Database) -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"citesys-db-v1");
+    for (name, rel) in db.relations() {
+        h.update(b"rel");
+        h.update(&(name.as_str().len() as u64).to_be_bytes());
+        h.update(name.as_str().as_bytes());
+        let mut tuples: Vec<&Tuple> = rel.scan().collect();
+        tuples.sort();
+        h.update(&(tuples.len() as u64).to_be_bytes());
+        for t in tuples {
+            feed_tuple(&mut h, t);
+        }
+    }
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::tuple;
+    use citesys_cq::{parse_query, ValueType};
+
+    #[test]
+    fn fips_vector_empty() {
+        assert_eq!(
+            sha256(b"").to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn fips_vector_abc() {
+        assert_eq!(
+            sha256(b"abc").to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn fips_vector_448_bits() {
+        assert_eq!(
+            sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn fips_vector_million_a() {
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            h.finalize().to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data = b"The quick brown fox jumps over the lazy dog";
+        let mut h = Sha256::new();
+        for b in data.iter() {
+            h.update(std::slice::from_ref(b));
+        }
+        assert_eq!(h.finalize(), sha256(data));
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let d = sha256(b"abc");
+        assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+        assert_eq!(Digest::from_hex("zz"), None);
+        assert_eq!(Digest::from_hex(&"g".repeat(64)), None);
+    }
+
+    fn small_db() -> Database {
+        let mut d = Database::new();
+        d.create_relation(RelationSchema::from_parts(
+            "R",
+            &[("A", ValueType::Int), ("B", ValueType::Text)],
+            &[],
+        ))
+        .unwrap();
+        d.insert("R", tuple![1, "x"]).unwrap();
+        d.insert("R", tuple![2, "y"]).unwrap();
+        d
+    }
+
+    #[test]
+    fn answer_digest_stable_and_sensitive() {
+        let db = small_db();
+        let q = parse_query("Q(A, B) :- R(A, B)").unwrap();
+        let a1 = crate::eval::evaluate(&db, &q).unwrap();
+        let d1 = digest_answer(&a1);
+        // Same query, same data: same digest.
+        let a2 = crate::eval::evaluate(&db, &q).unwrap();
+        assert_eq!(d1, digest_answer(&a2));
+        // Changed data: different digest.
+        let mut db2 = small_db();
+        db2.insert("R", tuple![3, "z"]).unwrap();
+        let a3 = crate::eval::evaluate(&db2, &q).unwrap();
+        assert_ne!(d1, digest_answer(&a3));
+    }
+
+    #[test]
+    fn database_digest_insertion_order_invariant() {
+        let mut d1 = Database::new();
+        d1.create_relation(RelationSchema::from_parts("R", &[("A", ValueType::Int)], &[]))
+            .unwrap();
+        d1.insert("R", tuple![1]).unwrap();
+        d1.insert("R", tuple![2]).unwrap();
+        let mut d2 = Database::new();
+        d2.create_relation(RelationSchema::from_parts("R", &[("A", ValueType::Int)], &[]))
+            .unwrap();
+        d2.insert("R", tuple![2]).unwrap();
+        d2.insert("R", tuple![1]).unwrap();
+        assert_eq!(digest_database(&d1), digest_database(&d2));
+    }
+
+    #[test]
+    fn database_digest_separates_relations() {
+        // Moving a tuple between relations must change the digest.
+        let mk = |with_s: bool| {
+            let mut d = Database::new();
+            d.create_relation(RelationSchema::from_parts("R", &[("A", ValueType::Int)], &[]))
+                .unwrap();
+            d.create_relation(RelationSchema::from_parts("S", &[("A", ValueType::Int)], &[]))
+                .unwrap();
+            d.insert(if with_s { "S" } else { "R" }, tuple![1]).unwrap();
+            d
+        };
+        assert_ne!(digest_database(&mk(false)), digest_database(&mk(true)));
+    }
+
+    #[test]
+    fn value_encoding_unambiguous() {
+        // Int 1 vs Text "1" vs Bool true must hash differently.
+        let ints = sha256(b"i");
+        let _ = ints;
+        let mut h1 = Sha256::new();
+        feed_value(&mut h1, &Value::Int(1));
+        let mut h2 = Sha256::new();
+        feed_value(&mut h2, &Value::text("1"));
+        let mut h3 = Sha256::new();
+        feed_value(&mut h3, &Value::Bool(true));
+        let d1 = h1.finalize();
+        let d2 = h2.finalize();
+        let d3 = h3.finalize();
+        assert_ne!(d1, d2);
+        assert_ne!(d2, d3);
+        assert_ne!(d1, d3);
+    }
+}

@@ -1,0 +1,315 @@
+//! A single stored relation: set semantics, tombstone deletes, and eager
+//! per-column hash indexes used by the query evaluator.
+
+use std::collections::HashMap;
+
+use citesys_cq::Value;
+
+use crate::error::StorageError;
+use crate::schema::RelationSchema;
+use crate::tuple::Tuple;
+
+/// A stored relation.
+///
+/// * **Set semantics** — inserting a tuple that is already present is a
+///   no-op (conjunctive-query semantics in the paper are set-based).
+/// * **Tombstone deletes** — rows are marked dead rather than removed, so
+///   row ids stay stable for the index posting lists; dead rows are
+///   filtered on every read.
+/// * **Eager per-column indexes** — every column gets a hash index
+///   maintained on insert; the evaluator picks a bound column and probes.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    schema: RelationSchema,
+    rows: Vec<Tuple>,
+    live: Vec<bool>,
+    live_count: usize,
+    /// `indexes[c][v]` = ids of rows whose column `c` equals `v`
+    /// (may include dead rows; filtered on read).
+    indexes: Vec<HashMap<Value, Vec<usize>>>,
+    /// Full-tuple lookup for set semantics and deletes.
+    seen: HashMap<Tuple, usize>,
+    /// Key projection → row id (live rows only), when a key is declared.
+    key_index: HashMap<Tuple, usize>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given schema.
+    pub fn new(schema: RelationSchema) -> Self {
+        let arity = schema.arity();
+        Relation {
+            schema,
+            rows: Vec::new(),
+            live: Vec::new(),
+            live_count: 0,
+            indexes: vec![HashMap::new(); arity],
+            seen: HashMap::new(),
+            key_index: HashMap::new(),
+        }
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &RelationSchema {
+        &self.schema
+    }
+
+    /// Number of live tuples.
+    pub fn len(&self) -> usize {
+        self.live_count
+    }
+
+    /// True when the relation holds no live tuples.
+    pub fn is_empty(&self) -> bool {
+        self.live_count == 0
+    }
+
+    /// Validates a tuple against the schema (arity and types).
+    pub fn check(&self, t: &Tuple) -> Result<(), StorageError> {
+        if t.arity() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                relation: self.schema.name.to_string(),
+                expected: self.schema.arity(),
+                got: t.arity(),
+            });
+        }
+        for (attr, v) in self.schema.attributes.iter().zip(t.values()) {
+            if v.type_name() != attr.ty {
+                return Err(StorageError::TypeMismatch {
+                    relation: self.schema.name.to_string(),
+                    attribute: attr.name.to_string(),
+                    expected: attr.ty,
+                    got: v.type_name(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts a tuple. Returns `Ok(true)` if the relation changed,
+    /// `Ok(false)` if the tuple was already present (set semantics).
+    /// Rejects tuples that violate the schema or the declared key.
+    pub fn insert(&mut self, t: Tuple) -> Result<bool, StorageError> {
+        self.check(&t)?;
+        if let Some(&row) = self.seen.get(&t) {
+            if self.live[row] {
+                return Ok(false);
+            }
+            // Revive a tombstoned row (indexes still reference it).
+            self.check_key_free(&t)?;
+            self.live[row] = true;
+            self.live_count += 1;
+            if self.schema.has_key() {
+                self.key_index.insert(t.project(&self.schema.key), row);
+            }
+            return Ok(true);
+        }
+        self.check_key_free(&t)?;
+        let row = self.rows.len();
+        for (c, v) in t.values().iter().enumerate() {
+            self.indexes[c].entry(v.clone()).or_default().push(row);
+        }
+        if self.schema.has_key() {
+            self.key_index.insert(t.project(&self.schema.key), row);
+        }
+        self.seen.insert(t.clone(), row);
+        self.rows.push(t);
+        self.live.push(true);
+        self.live_count += 1;
+        Ok(true)
+    }
+
+    /// Checks that `t`'s key is not taken by a different live tuple.
+    fn check_key_free(&self, t: &Tuple) -> Result<(), StorageError> {
+        if !self.schema.has_key() {
+            return Ok(());
+        }
+        let key = t.project(&self.schema.key);
+        if let Some(&row) = self.key_index.get(&key) {
+            if self.live[row] && &self.rows[row] != t {
+                return Err(StorageError::KeyViolation {
+                    relation: self.schema.name.to_string(),
+                    key: key.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Deletes a tuple. Returns `true` if a live tuple was removed.
+    pub fn delete(&mut self, t: &Tuple) -> bool {
+        match self.seen.get(t) {
+            Some(&row) if self.live[row] => {
+                self.live[row] = false;
+                self.live_count -= 1;
+                if self.schema.has_key() {
+                    self.key_index.remove(&t.project(&self.schema.key));
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True if the tuple is present (live).
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.seen.get(t).is_some_and(|&row| self.live[row])
+    }
+
+    /// Iterates over live tuples in insertion order.
+    pub fn scan(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows
+            .iter()
+            .zip(&self.live)
+            .filter_map(|(t, &alive)| alive.then_some(t))
+    }
+
+    /// Live tuples whose column `col` equals `v`, via the hash index.
+    pub fn lookup(&self, col: usize, v: &Value) -> impl Iterator<Item = &Tuple> {
+        self.indexes
+            .get(col)
+            .and_then(|ix| ix.get(v))
+            .map(|rows| rows.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .filter(|&&row| self.live[row]).map(|&row| &self.rows[row])
+    }
+
+    /// Number of index entries for value `v` in column `col` — an upper
+    /// bound on matching live tuples, used for join-order selectivity.
+    pub fn posting_len(&self, col: usize, v: &Value) -> usize {
+        self.indexes
+            .get(col)
+            .and_then(|ix| ix.get(v))
+            .map_or(0, Vec::len)
+    }
+
+    /// Number of distinct values in column `col` among live tuples.
+    ///
+    /// Used by the citation engine's size estimate: a view parameterized
+    /// on this column yields exactly one citation per distinct value.
+    pub fn distinct_count(&self, col: usize) -> usize {
+        self.indexes.get(col).map_or(0, |ix| {
+            ix.iter()
+                .filter(|(_, rows)| rows.iter().any(|&r| self.live[r]))
+                .count()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+    use citesys_cq::ValueType;
+
+    fn family_rel() -> Relation {
+        Relation::new(RelationSchema::from_parts(
+            "Family",
+            &[
+                ("FID", ValueType::Int),
+                ("FName", ValueType::Text),
+                ("Desc", ValueType::Text),
+            ],
+            &[0],
+        ))
+    }
+
+    #[test]
+    fn insert_scan_roundtrip() {
+        let mut r = family_rel();
+        assert!(r.insert(tuple![11, "Calcitonin", "C1"]).unwrap());
+        assert!(r.insert(tuple![12, "Calcitonin", "C2"]).unwrap());
+        assert_eq!(r.len(), 2);
+        let names: Vec<&Tuple> = r.scan().collect();
+        assert_eq!(names.len(), 2);
+    }
+
+    #[test]
+    fn set_semantics_dedupes() {
+        let mut r = family_rel();
+        assert!(r.insert(tuple![11, "Calcitonin", "C1"]).unwrap());
+        assert!(!r.insert(tuple![11, "Calcitonin", "C1"]).unwrap());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn key_violation_detected() {
+        let mut r = family_rel();
+        r.insert(tuple![11, "Calcitonin", "C1"]).unwrap();
+        let e = r.insert(tuple![11, "Other", "C9"]).unwrap_err();
+        assert!(matches!(e, StorageError::KeyViolation { .. }));
+    }
+
+    #[test]
+    fn type_mismatch_detected() {
+        let mut r = family_rel();
+        let e = r.insert(tuple!["x", "y", "z"]).unwrap_err();
+        assert!(matches!(e, StorageError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let mut r = family_rel();
+        let e = r.insert(tuple![1, "a"]).unwrap_err();
+        assert!(matches!(e, StorageError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn delete_and_revive() {
+        let mut r = family_rel();
+        let t = tuple![11, "Calcitonin", "C1"];
+        r.insert(t.clone()).unwrap();
+        assert!(r.delete(&t));
+        assert!(!r.contains(&t));
+        assert_eq!(r.len(), 0);
+        assert!(!r.delete(&t), "double delete is a no-op");
+        // Revival reuses the row id and the key slot.
+        assert!(r.insert(t.clone()).unwrap());
+        assert!(r.contains(&t));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.lookup(0, &Value::Int(11)).count(), 1);
+    }
+
+    #[test]
+    fn delete_frees_key() {
+        let mut r = family_rel();
+        r.insert(tuple![11, "Calcitonin", "C1"]).unwrap();
+        r.delete(&tuple![11, "Calcitonin", "C1"]);
+        // Key 11 is free again.
+        r.insert(tuple![11, "Other", "C9"]).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn index_lookup_filters_dead_rows() {
+        let mut r = family_rel();
+        r.insert(tuple![11, "Calcitonin", "C1"]).unwrap();
+        r.insert(tuple![12, "Calcitonin", "C2"]).unwrap();
+        r.delete(&tuple![11, "Calcitonin", "C1"]);
+        let hits: Vec<&Tuple> = r.lookup(1, &Value::text("Calcitonin")).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].get(0), Some(&Value::Int(12)));
+    }
+
+    #[test]
+    fn posting_len_upper_bounds() {
+        let mut r = family_rel();
+        r.insert(tuple![11, "Calcitonin", "C1"]).unwrap();
+        r.insert(tuple![12, "Calcitonin", "C2"]).unwrap();
+        assert_eq!(r.posting_len(1, &Value::text("Calcitonin")), 2);
+        assert_eq!(r.posting_len(1, &Value::text("Nope")), 0);
+    }
+
+    #[test]
+    fn distinct_counts_respect_tombstones() {
+        let mut r = family_rel();
+        r.insert(tuple![11, "Calcitonin", "C1"]).unwrap();
+        r.insert(tuple![12, "Calcitonin", "C2"]).unwrap();
+        r.insert(tuple![13, "Dopamine", "D1"]).unwrap();
+        assert_eq!(r.distinct_count(0), 3);
+        assert_eq!(r.distinct_count(1), 2);
+        r.delete(&tuple![13, "Dopamine", "D1"]);
+        assert_eq!(r.distinct_count(1), 1);
+        assert_eq!(r.distinct_count(9), 0, "out-of-range column");
+    }
+}

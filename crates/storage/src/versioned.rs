@@ -1,0 +1,307 @@
+//! Multi-version storage for citation fixity (§3 of the paper).
+//!
+//! "Data may evolve over time, and a citation should bring back the data as
+//! seen at the time it was cited." The [`VersionedDatabase`] keeps an
+//! append-only operation log; committing produces a new immutable version
+//! number, and any historical version can be materialized as a snapshot.
+//! Citations store `(version, query, digest)` and are re-executable against
+//! the snapshot (see `citesys-core::fixity`).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use citesys_cq::Symbol;
+
+use crate::database::Database;
+use crate::error::StorageError;
+use crate::fixity::{digest_database, Digest};
+use crate::schema::RelationSchema;
+use crate::tuple::Tuple;
+
+/// A logged mutation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Insert a tuple into a relation.
+    Insert(Symbol, Tuple),
+    /// Delete a tuple from a relation.
+    Delete(Symbol, Tuple),
+}
+
+/// A versioned database: current state plus the full history.
+///
+/// Version 0 is the empty database (schema only). Each [`commit`]
+/// produces version `n+1`. Snapshots are materialized by replaying the log
+/// from the nearest cached snapshot; the cache is behind a `Mutex` so
+/// snapshotting works through a shared reference.
+///
+/// [`commit`]: VersionedDatabase::commit
+#[derive(Debug)]
+pub struct VersionedDatabase {
+    schemas: Vec<RelationSchema>,
+    current: Database,
+    /// `log[i]` = ops committed in version `i+1`.
+    log: Vec<Vec<Op>>,
+    pending: Vec<Op>,
+    snapshot_cache: Mutex<BTreeMap<u64, Arc<Database>>>,
+}
+
+impl VersionedDatabase {
+    /// Creates a versioned database with the given relation schemas
+    /// (version 0 = empty).
+    pub fn new(schemas: Vec<RelationSchema>) -> Result<Self, StorageError> {
+        let mut db = Database::new();
+        for s in &schemas {
+            db.create_relation(s.clone())?;
+        }
+        Ok(VersionedDatabase {
+            schemas,
+            current: db,
+            log: Vec::new(),
+            pending: Vec::new(),
+            snapshot_cache: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// The latest committed version number.
+    pub fn latest_version(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// True if there are uncommitted operations.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Read access to the working state (pending ops included).
+    pub fn current(&self) -> &Database {
+        &self.current
+    }
+
+    /// Inserts into the working state. No-op inserts (set semantics) are not
+    /// logged.
+    pub fn insert(&mut self, rel: &str, t: Tuple) -> Result<bool, StorageError> {
+        let changed = self.current.insert(rel, t.clone())?;
+        if changed {
+            self.pending.push(Op::Insert(Symbol::new(rel), t));
+        }
+        Ok(changed)
+    }
+
+    /// Deletes from the working state. Misses are not logged.
+    pub fn delete(&mut self, rel: &str, t: &Tuple) -> Result<bool, StorageError> {
+        let changed = self.current.delete(rel, t)?;
+        if changed {
+            self.pending.push(Op::Delete(Symbol::new(rel), t.clone()));
+        }
+        Ok(changed)
+    }
+
+    /// Commits pending operations as a new version; returns its number.
+    /// Committing with no pending ops still creates a (data-identical)
+    /// version, mirroring how curated releases are cut on a schedule.
+    pub fn commit(&mut self) -> u64 {
+        self.log.push(std::mem::take(&mut self.pending));
+        self.log.len() as u64
+    }
+
+    /// Materializes the database as of `version`.
+    ///
+    /// Pending (uncommitted) operations are never part of a snapshot.
+    /// Snapshots are cached; repeated requests for the same or later
+    /// versions replay only the missing suffix of the log.
+    ///
+    /// ```
+    /// use citesys_cq::ValueType;
+    /// use citesys_storage::{tuple, RelationSchema, VersionedDatabase};
+    ///
+    /// let schema = RelationSchema::from_parts(
+    ///     "R", &[("A", ValueType::Int)], &[0]);
+    /// let mut vdb = VersionedDatabase::new(vec![schema]).unwrap();
+    /// vdb.insert("R", tuple![1]).unwrap();
+    /// let v1 = vdb.commit();
+    /// vdb.insert("R", tuple![2]).unwrap();
+    /// let v2 = vdb.commit();
+    ///
+    /// assert_eq!(vdb.snapshot(v1).unwrap().total_tuples(), 1);
+    /// assert_eq!(vdb.snapshot(v2).unwrap().total_tuples(), 2);
+    /// ```
+    pub fn snapshot(&self, version: u64) -> Result<Arc<Database>, StorageError> {
+        if version > self.latest_version() {
+            return Err(StorageError::UnknownVersion {
+                version,
+                latest: self.latest_version(),
+            });
+        }
+        let mut cache = self.snapshot_cache.lock();
+        if let Some(hit) = cache.get(&version) {
+            return Ok(Arc::clone(hit));
+        }
+        // Start from the nearest earlier cached snapshot (or empty).
+        let (base_version, mut db) = cache
+            .range(..version)
+            .next_back()
+            .map(|(&v, d)| (v, (**d).clone()))
+            .unwrap_or_else(|| {
+                let mut fresh = Database::new();
+                for s in &self.schemas {
+                    fresh
+                        .create_relation(s.clone())
+                        .expect("schemas validated at construction");
+                }
+                (0, fresh)
+            });
+        for ops in &self.log[base_version as usize..version as usize] {
+            for op in ops {
+                match op {
+                    Op::Insert(rel, t) => {
+                        db.insert(rel.as_str(), t.clone())
+                            .expect("replay of validated op");
+                    }
+                    Op::Delete(rel, t) => {
+                        db.delete(rel.as_str(), t).expect("replay of validated op");
+                    }
+                }
+            }
+        }
+        let arc = Arc::new(db);
+        cache.insert(version, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Fixity digest of the database at `version`.
+    pub fn digest_at(&self, version: u64) -> Result<Digest, StorageError> {
+        Ok(digest_database(self.snapshot(version)?.as_ref()))
+    }
+
+    /// Number of operations committed in `version` (1-based).
+    pub fn ops_in(&self, version: u64) -> Option<usize> {
+        if version == 0 || version > self.latest_version() {
+            return None;
+        }
+        Some(self.log[(version - 1) as usize].len())
+    }
+
+    /// The schemas this store was created with.
+    pub fn schemas(&self) -> &[RelationSchema] {
+        &self.schemas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+    use citesys_cq::ValueType;
+
+    fn schemas() -> Vec<RelationSchema> {
+        vec![RelationSchema::from_parts(
+            "Family",
+            &[("FID", ValueType::Int), ("FName", ValueType::Text)],
+            &[0],
+        )]
+    }
+
+    #[test]
+    fn version_zero_is_empty() {
+        let v = VersionedDatabase::new(schemas()).unwrap();
+        assert_eq!(v.latest_version(), 0);
+        let s = v.snapshot(0).unwrap();
+        assert_eq!(s.total_tuples(), 0);
+    }
+
+    #[test]
+    fn commit_creates_versions() {
+        let mut v = VersionedDatabase::new(schemas()).unwrap();
+        v.insert("Family", tuple![11, "Calcitonin"]).unwrap();
+        assert!(v.has_pending());
+        assert_eq!(v.commit(), 1);
+        assert!(!v.has_pending());
+        v.insert("Family", tuple![12, "Dopamine"]).unwrap();
+        assert_eq!(v.commit(), 2);
+        assert_eq!(v.snapshot(1).unwrap().total_tuples(), 1);
+        assert_eq!(v.snapshot(2).unwrap().total_tuples(), 2);
+    }
+
+    #[test]
+    fn pending_excluded_from_snapshots() {
+        let mut v = VersionedDatabase::new(schemas()).unwrap();
+        v.insert("Family", tuple![11, "Calcitonin"]).unwrap();
+        v.commit();
+        v.insert("Family", tuple![12, "Dopamine"]).unwrap(); // not committed
+        assert_eq!(v.snapshot(1).unwrap().total_tuples(), 1);
+        assert_eq!(v.current().total_tuples(), 2);
+    }
+
+    #[test]
+    fn deletes_replay() {
+        let mut v = VersionedDatabase::new(schemas()).unwrap();
+        v.insert("Family", tuple![11, "Calcitonin"]).unwrap();
+        v.commit(); // v1
+        v.delete("Family", &tuple![11, "Calcitonin"]).unwrap();
+        v.commit(); // v2
+        assert_eq!(v.snapshot(1).unwrap().total_tuples(), 1);
+        assert_eq!(v.snapshot(2).unwrap().total_tuples(), 0);
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let v = VersionedDatabase::new(schemas()).unwrap();
+        assert!(matches!(
+            v.snapshot(5),
+            Err(StorageError::UnknownVersion { version: 5, latest: 0 })
+        ));
+    }
+
+    #[test]
+    fn snapshot_cache_consistent() {
+        let mut v = VersionedDatabase::new(schemas()).unwrap();
+        for i in 0..10 {
+            v.insert("Family", tuple![i, format!("F{i}")]).unwrap();
+            v.commit();
+        }
+        // Ask for version 10 first (cold), then 5 (replays from scratch),
+        // then 7 (starts from cached 5).
+        assert_eq!(v.snapshot(10).unwrap().total_tuples(), 10);
+        assert_eq!(v.snapshot(5).unwrap().total_tuples(), 5);
+        assert_eq!(v.snapshot(7).unwrap().total_tuples(), 7);
+        // Same Arc returned on a cache hit.
+        let a = v.snapshot(7).unwrap();
+        let b = v.snapshot(7).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn digests_differ_across_versions() {
+        let mut v = VersionedDatabase::new(schemas()).unwrap();
+        v.insert("Family", tuple![11, "Calcitonin"]).unwrap();
+        v.commit();
+        v.insert("Family", tuple![12, "Dopamine"]).unwrap();
+        v.commit();
+        let d1 = v.digest_at(1).unwrap();
+        let d2 = v.digest_at(2).unwrap();
+        assert_ne!(d1, d2);
+        // Digest is reproducible.
+        assert_eq!(d1, v.digest_at(1).unwrap());
+    }
+
+    #[test]
+    fn noop_mutations_not_logged() {
+        let mut v = VersionedDatabase::new(schemas()).unwrap();
+        v.insert("Family", tuple![11, "Calcitonin"]).unwrap();
+        v.insert("Family", tuple![11, "Calcitonin"]).unwrap(); // duplicate
+        v.delete("Family", &tuple![99, "Nope"]).unwrap(); // miss
+        let ver = v.commit();
+        assert_eq!(v.ops_in(ver), Some(1));
+    }
+
+    #[test]
+    fn empty_commit_allowed() {
+        let mut v = VersionedDatabase::new(schemas()).unwrap();
+        let ver = v.commit();
+        assert_eq!(ver, 1);
+        assert_eq!(v.ops_in(1), Some(0));
+        assert_eq!(v.digest_at(0).unwrap(), v.digest_at(1).unwrap());
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the storage layer.
+
+use citesys_cq::{parse_query, Value, ValueType};
+use citesys_storage::{
+    digest_database, evaluate, sha256, Database, RelationSchema, Sha256, Tuple, VersionedDatabase,
+};
+use proptest::prelude::*;
+
+fn r_schema() -> RelationSchema {
+    RelationSchema::from_parts("R", &[("A", ValueType::Int), ("B", ValueType::Int)], &[])
+}
+
+fn small_tuple() -> impl Strategy<Value = Tuple> {
+    (0i64..8, 0i64..8).prop_map(|(a, b)| Tuple::new(vec![Value::Int(a), Value::Int(b)]))
+}
+
+/// A mutation script: true = insert, false = delete.
+fn script() -> impl Strategy<Value = Vec<(bool, Tuple)>> {
+    prop::collection::vec((any::<bool>(), small_tuple()), 0..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The relation behaves like a set under arbitrary insert/delete
+    /// scripts: `contains`, `len` and `scan` all agree with a model
+    /// `BTreeSet`.
+    #[test]
+    fn relation_matches_set_model(ops in script()) {
+        let mut db = Database::new();
+        db.create_relation(r_schema()).unwrap();
+        let mut model = std::collections::BTreeSet::new();
+        for (is_insert, t) in ops {
+            if is_insert {
+                db.insert("R", t.clone()).unwrap();
+                model.insert(t);
+            } else {
+                db.delete("R", &t).unwrap();
+                model.remove(&t);
+            }
+        }
+        let rel = db.relation("R").unwrap();
+        prop_assert_eq!(rel.len(), model.len());
+        let mut scanned: Vec<Tuple> = rel.scan().cloned().collect();
+        scanned.sort();
+        let expected: Vec<Tuple> = model.iter().cloned().collect();
+        prop_assert_eq!(scanned, expected);
+        for t in &model {
+            prop_assert!(rel.contains(t));
+        }
+    }
+
+    /// Index lookups agree with filtered scans on every column.
+    #[test]
+    fn index_agrees_with_scan(ops in script(), col in 0usize..2, key in 0i64..8) {
+        let mut db = Database::new();
+        db.create_relation(r_schema()).unwrap();
+        for (is_insert, t) in ops {
+            if is_insert {
+                db.insert("R", t).unwrap();
+            } else {
+                db.delete("R", &t).unwrap();
+            }
+        }
+        let rel = db.relation("R").unwrap();
+        let v = Value::Int(key);
+        let mut via_index: Vec<Tuple> = rel.lookup(col, &v).cloned().collect();
+        let mut via_scan: Vec<Tuple> =
+            rel.scan().filter(|t| t.get(col) == Some(&v)).cloned().collect();
+        via_index.sort();
+        via_scan.sort();
+        prop_assert_eq!(via_index, via_scan);
+    }
+
+    /// A full single-atom query returns exactly the stored tuples.
+    #[test]
+    fn single_atom_query_is_scan(ops in script()) {
+        let mut db = Database::new();
+        db.create_relation(r_schema()).unwrap();
+        for (is_insert, t) in ops {
+            if is_insert { db.insert("R", t).unwrap(); } else { db.delete("R", &t).unwrap(); }
+        }
+        let q = parse_query("Q(A, B) :- R(A, B)").unwrap();
+        let a = evaluate(&db, &q).unwrap();
+        let mut expected: Vec<Tuple> = db.relation("R").unwrap().scan().cloned().collect();
+        expected.sort();
+        let got: Vec<Tuple> = a.tuples().cloned().collect();
+        prop_assert_eq!(got, expected);
+        // Exactly one binding per tuple for a full projection.
+        prop_assert!(a.rows.iter().all(|r| r.bindings.len() == 1));
+    }
+
+    /// Join results match a nested-loop reference implementation.
+    #[test]
+    fn join_matches_nested_loops(ops1 in script(), ops2 in script()) {
+        let mut db = Database::new();
+        db.create_relation(r_schema()).unwrap();
+        db.create_relation(RelationSchema::from_parts(
+            "S", &[("A", ValueType::Int), ("B", ValueType::Int)], &[])).unwrap();
+        for (is_insert, t) in ops1 {
+            if is_insert { db.insert("R", t).unwrap(); } else { db.delete("R", &t).unwrap(); }
+        }
+        for (is_insert, t) in ops2 {
+            if is_insert { db.insert("S", t).unwrap(); } else { db.delete("S", &t).unwrap(); }
+        }
+        let q = parse_query("Q(X, Z) :- R(X, Y), S(Y, Z)").unwrap();
+        let a = evaluate(&db, &q).unwrap();
+        // Reference: nested loops with dedup.
+        let mut expected = std::collections::BTreeSet::new();
+        for r in db.relation("R").unwrap().scan() {
+            for s in db.relation("S").unwrap().scan() {
+                if r.get(1) == s.get(0) {
+                    expected.insert(Tuple::new(vec![
+                        r.get(0).unwrap().clone(),
+                        s.get(1).unwrap().clone(),
+                    ]));
+                }
+            }
+        }
+        let got: std::collections::BTreeSet<Tuple> = a.tuples().cloned().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Snapshot at the latest version equals the committed working state.
+    #[test]
+    fn snapshot_latest_equals_current(ops in script()) {
+        let mut v = VersionedDatabase::new(vec![r_schema()]).unwrap();
+        for (is_insert, t) in ops {
+            if is_insert { v.insert("R", t).unwrap(); } else { v.delete("R", &t).unwrap(); }
+        }
+        let ver = v.commit();
+        let snap = v.snapshot(ver).unwrap();
+        prop_assert_eq!(digest_database(snap.as_ref()), digest_database(v.current()));
+    }
+
+    /// Historical snapshots are immutable: later commits never change an
+    /// earlier version's digest.
+    #[test]
+    fn snapshots_immutable(ops1 in script(), ops2 in script()) {
+        let mut v = VersionedDatabase::new(vec![r_schema()]).unwrap();
+        for (is_insert, t) in ops1 {
+            if is_insert { v.insert("R", t).unwrap(); } else { v.delete("R", &t).unwrap(); }
+        }
+        let v1 = v.commit();
+        let d1 = v.digest_at(v1).unwrap();
+        for (is_insert, t) in ops2 {
+            if is_insert { v.insert("R", t).unwrap(); } else { v.delete("R", &t).unwrap(); }
+        }
+        v.commit();
+        prop_assert_eq!(v.digest_at(v1).unwrap(), d1);
+    }
+
+    /// SHA-256 over arbitrary chunkings equals the one-shot hash.
+    #[test]
+    fn sha256_chunking_invariant(data in prop::collection::vec(any::<u8>(), 0..300),
+                                 cuts in prop::collection::vec(any::<prop::sample::Index>(), 0..6)) {
+        let mut points: Vec<usize> = cuts.iter().map(|i| i.index(data.len() + 1)).collect();
+        points.push(0);
+        points.push(data.len());
+        points.sort_unstable();
+        let mut h = Sha256::new();
+        for w in points.windows(2) {
+            h.update(&data[w[0]..w[1]]);
+        }
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+}

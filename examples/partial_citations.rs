@@ -1,0 +1,80 @@
+//! Partial citations via contained rewritings (Definition 2.1's
+//! "(partial) rewriting").
+//!
+//! Run with: `cargo run --example partial_citations`
+//!
+//! When the citation views cannot cover a query *equivalently*, the strict
+//! engine refuses. With `allow_partial`, the engine falls back to
+//! **maximally contained** rewritings: tuples derivable through some view
+//! get citations, the rest are reported uncited — exactly the situation of
+//! a curated database whose citation policy covers only some portions.
+
+use citesys::core::paper;
+use citesys::core::{
+    CitationEngine, CitationQuery, CitationRegistry, CitationView, CitationFunction,
+    Coverage, EngineOptions,
+};
+use citesys::cq::parse_query;
+
+fn main() {
+    let db = paper::paper_database();
+
+    // A registry with a single *narrow* view: families that have an intro.
+    let mut registry = CitationRegistry::new();
+    registry
+        .add(
+            CitationView::new(
+                parse_query(
+                    "λ FID. VIntro(FID, FName) :- Family(FID, FName, D), FamilyIntro(FID, T)",
+                )
+                .expect("well-formed"),
+                vec![CitationQuery::new(
+                    parse_query("λ FID. CVI(FID, PName) :- Committee(FID, PName)")
+                        .expect("well-formed"),
+                )],
+                CitationFunction::new().with_static("database", "GtoPdb"),
+            )
+            .expect("valid view"),
+        )
+        .expect("fresh registry");
+
+    // Q asks for ALL family names — broader than the view.
+    let q = parse_query("Q(FName) :- Family(FID, FName, D)").expect("well-formed");
+    println!("query: {q}");
+    println!("view:  λ FID. VIntro(FID, FName) :- Family ⋈ FamilyIntro\n");
+
+    // Strict mode refuses.
+    let strict = CitationEngine::new(&db, &registry, EngineOptions::default());
+    match strict.cite(&q) {
+        Err(e) => println!("strict engine: {e}"),
+        Ok(_) => unreachable!("no equivalent rewriting exists"),
+    }
+
+    // Partial mode cites what it can.
+    let lenient = CitationEngine::new(
+        &db,
+        &registry,
+        EngineOptions { allow_partial: true, ..Default::default() },
+    );
+    let cited = lenient.cite(&q).expect("contained rewriting exists");
+    println!("\npartial engine: {} answer tuples", cited.answer.len());
+    match cited.coverage {
+        Coverage::Partial { uncited } => {
+            println!("coverage: partial, {uncited} tuple(s) uncited\n")
+        }
+        Coverage::Full => println!("coverage: full\n"),
+    }
+    for t in &cited.tuples {
+        if t.atoms.is_empty() {
+            println!("  {}  →  (no citation: not derivable through any view)", t.tuple);
+        } else {
+            let atoms: Vec<String> = t.atoms.iter().map(ToString::to_string).collect();
+            println!("  {}  →  {}", t.tuple, atoms.join(" · "));
+        }
+    }
+
+    // Calcitonin (has intros) is cited; Dopamine (no intro) is not.
+    let uncited = cited.tuples.iter().filter(|t| t.atoms.is_empty()).count();
+    assert_eq!(uncited, 1);
+    println!("\nOK: covered tuples cited, uncovered tuple reported.");
+}

@@ -1,0 +1,68 @@
+//! Fixity: citations that retrieve the data **as cited** (§3).
+//!
+//! Run with: `cargo run --example versioned_fixity`
+//!
+//! GtoPdb's website warns that "re-executing the query brings back the
+//! current version which may be different from the version seen when
+//! cited" (footnote 5 of the paper). This example shows the fix the paper
+//! sketches: a versioned store, citations carrying
+//! `(version, query, digest)`, dereferencing old versions, and detecting
+//! tampering.
+
+use citesys::core::paper;
+use citesys::core::{cite_at_version, dereference, verify, EngineOptions};
+use citesys::storage::{tuple, VersionedDatabase};
+
+fn main() {
+    // Version 1: the paper's instance.
+    let mut vdb = VersionedDatabase::new(paper::paper_schemas()).expect("schemas valid");
+    let base = paper::paper_database();
+    for (name, rel) in base.relations() {
+        for t in rel.scan() {
+            vdb.insert(name.as_str(), t.clone()).expect("valid tuple");
+        }
+    }
+    let v1 = vdb.commit();
+    println!("committed version {v1} ({} tuples)", vdb.current().total_tuples());
+
+    // Cite the paper's query at version 1.
+    let registry = paper::paper_registry();
+    let q = paper::paper_query();
+    let (cited, token) =
+        cite_at_version(&vdb, &registry, EngineOptions::default(), v1, &q)
+            .expect("coverable");
+    println!("\ncited at version {}: {} answer tuple(s)", token.version, cited.answer.len());
+    println!("fixity token: {token}");
+
+    // The database evolves: Dopamine gets an intro, a family is renamed.
+    vdb.insert("FamilyIntro", tuple![13, "3rd"]).expect("valid");
+    vdb.delete("Family", &tuple![12, "Calcitonin", "C2"]).expect("valid");
+    vdb.insert("Family", tuple![12, "Calcitonin-like", "C2"]).expect("valid");
+    let v2 = vdb.commit();
+    println!("\ncommitted version {v2} (database evolved)");
+
+    // Re-executing the query *now* gives a different answer…
+    let (cited_now, token_now) =
+        cite_at_version(&vdb, &registry, EngineOptions::default(), v2, &q)
+            .expect("coverable");
+    println!(
+        "current version answers: {} (was {})",
+        cited_now.answer.len(),
+        cited.answer.len()
+    );
+    assert_ne!(token.digest, token_now.digest);
+
+    // …but the citation still dereferences to the data as cited.
+    let recovered = dereference(&vdb, &token).expect("version 1 retained");
+    assert_eq!(recovered, cited.answer);
+    println!("\ndereference(token@v1) returned the original answer — fixity holds");
+
+    // And verification catches tampering.
+    verify(&vdb, &token).expect("untampered token verifies");
+    let mut tampered = token.clone();
+    tampered.version = v2;
+    match verify(&vdb, &tampered) {
+        Err(e) => println!("tampered token rejected: {e}"),
+        Ok(()) => unreachable!("tampering must be detected"),
+    }
+}

@@ -1,0 +1,53 @@
+//! `citesys` — the command-line front end.
+//!
+//! ```console
+//! $ citesys script.cts          # run a script file
+//! $ citesys -                   # read the script from stdin
+//! ```
+//!
+//! See [`citesys::script`] for the command language.
+
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let source = match args.first().map(String::as_str) {
+        None | Some("--help") | Some("-h") => {
+            eprintln!(
+                "usage: citesys <script-file | ->\n\n\
+                 commands:\n  \
+                 schema Name(attr:type, …) [key(i, …)]\n  \
+                 insert Name(v, …) / delete Name(v, …)\n  \
+                 view <rule> | cite <rule> [| static k=v]…\n  \
+                 commit\n  \
+                 cite <query> [| format text|bibtex|ris|xml|json] [| mode formal|pruned] [| policy minsize|union|first] [| partial]\n  \
+                 verify / tables / dump Name"
+            );
+            std::process::exit(2);
+        }
+        Some("-") => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("error reading stdin: {e}");
+                std::process::exit(1);
+            }
+            buf
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error reading {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+    };
+
+    let mut interp = citesys::script::Interpreter::new();
+    match interp.run(&source) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

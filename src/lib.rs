@@ -1,0 +1,47 @@
+//! # citesys — fine-grained data citation for relational databases
+//!
+//! A from-scratch implementation of *“Data Citation: A Computational
+//! Challenge”* (Davidson, Buneman, Deutch, Milo, Silvello — PODS 2017,
+//! DOI 10.1145/3034786.3056123): generate citations for **arbitrary
+//! conjunctive queries** over a curated database by rewriting them over
+//! owner-declared *citation views* and combining the views' citations with
+//! a semiring-style algebra (`·`, `+`, `+R`, `Agg`).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`cq`] | conjunctive queries, parser, containment, minimization |
+//! | [`storage`] | relational store, CQ evaluation, versioning, SHA-256 fixity |
+//! | [`provenance`] | semirings, ℕ\[X\] polynomials, K-relations |
+//! | [`rewrite`] | answering queries using views (bucket, MiniCon) |
+//! | [`core`] | citation views, algebra, policies, engine, formats |
+//! | [`gtopdb`] | synthetic GtoPdb / eagle-i generators and workloads |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use citesys::core::{CitationEngine, CitationMode, EngineOptions};
+//! use citesys::core::paper;
+//!
+//! let db = paper::paper_database();
+//! let registry = paper::paper_registry();
+//! let engine = CitationEngine::new(&db, &registry, EngineOptions {
+//!     mode: CitationMode::Formal,
+//!     ..Default::default()
+//! });
+//! let cited = engine.cite(&paper::paper_query()).unwrap();
+//! assert_eq!(cited.tuples[0].expr().to_string(),
+//!     "(CV1(11)·CV3 + CV1(12)·CV3) +R (CV2·CV3)");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod script;
+
+pub use citesys_core as core;
+pub use citesys_cq as cq;
+pub use citesys_gtopdb as gtopdb;
+pub use citesys_provenance as provenance;
+pub use citesys_rewrite as rewrite;
+pub use citesys_storage as storage;

@@ -1,0 +1,616 @@
+//! A line-oriented script language driving the whole citation stack —
+//! the `citesys` CLI's engine, kept as a library so every behaviour is
+//! unit-testable.
+//!
+//! ```text
+//! # comments start with '#'
+//! schema Family(FID:int, FName:text, Desc:text) key(0)
+//! insert Family(11, 'Calcitonin', 'C1')
+//! view λ FID. V1(FID, N, D) :- Family(FID, N, D) | cite λ FID. CV1(FID, P) :- Committee(FID, P) | static database=GtoPdb
+//! commit
+//! cite Q(N) :- Family(F, N, D) | format bibtex | mode formal | policy union
+//! tables
+//! dump Family
+//! ```
+//!
+//! Every `cite` runs against the latest committed version and embeds a
+//! fixity token; `verify <token-digest>` re-checks the last citation.
+
+use std::fmt;
+
+use citesys_core::{
+    cite_at_version, format_citation, verify, CitationFormat, CitationMode, CitationQuery,
+    CitationRegistry, CitationView, CitationFunction, Coverage, EngineOptions, FixityToken,
+    PolicySet, RewritePolicy,
+};
+use citesys_cq::{parse_query, Value, ValueType};
+use citesys_storage::{to_csv, RelationSchema, Tuple, VersionedDatabase};
+
+/// A script-level error, tagged with its 1-based line number.
+#[derive(Debug)]
+pub struct ScriptError {
+    /// Line the error occurred on.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+/// The stateful interpreter.
+pub struct Interpreter {
+    store: Option<VersionedDatabase>,
+    schemas: Vec<RelationSchema>,
+    registry: CitationRegistry,
+    last_token: Option<FixityToken>,
+    trace_next: bool,
+    out: String,
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interpreter {
+    /// A fresh interpreter with no schema.
+    pub fn new() -> Self {
+        Interpreter {
+            store: None,
+            schemas: Vec::new(),
+            registry: CitationRegistry::new(),
+            last_token: None,
+            trace_next: false,
+            out: String::new(),
+        }
+    }
+
+    /// Runs a whole script, returning the accumulated output.
+    pub fn run(&mut self, script: &str) -> Result<String, ScriptError> {
+        for (i, raw) in script.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            self.command(line)
+                .map_err(|message| ScriptError { line: line_no, message })?;
+        }
+        Ok(std::mem::take(&mut self.out))
+    }
+
+    fn say(&mut self, s: impl AsRef<str>) {
+        self.out.push_str(s.as_ref());
+        self.out.push('\n');
+    }
+
+    fn command(&mut self, line: &str) -> Result<(), String> {
+        let (head, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match head {
+            "schema" => self.cmd_schema(rest),
+            "insert" => self.cmd_insert(rest),
+            "delete" => self.cmd_delete(rest),
+            "view" => self.cmd_view(rest),
+            "commit" => self.cmd_commit(),
+            "cite" => self.cmd_cite(rest),
+            "verify" => self.cmd_verify(),
+            "tables" => self.cmd_tables(),
+            "dump" => self.cmd_dump(rest),
+            "load" => self.cmd_load(rest),
+            "trace" => {
+                // `trace` arms a derivation trace for the next `cite`.
+                self.trace_next = true;
+                Ok(())
+            }
+            other => Err(format!("unknown command: {other}")),
+        }
+    }
+
+    // schema Family(FID:int, FName:text, Desc:text) key(0, 1)
+    fn cmd_schema(&mut self, rest: &str) -> Result<(), String> {
+        if self.store.is_some() {
+            return Err("schema must be declared before any data command".into());
+        }
+        let (name, after) = rest
+            .split_once('(')
+            .ok_or_else(|| "expected Name(attr:type, …)".to_string())?;
+        let (attrs_str, tail) = after
+            .split_once(')')
+            .ok_or_else(|| "missing ')'".to_string())?;
+        let mut attrs = Vec::new();
+        for part in attrs_str.split(',') {
+            let (n, t) = part
+                .trim()
+                .split_once(':')
+                .ok_or_else(|| format!("attribute '{part}' lacks ':type'"))?;
+            let ty = match t.trim() {
+                "int" => ValueType::Int,
+                "text" => ValueType::Text,
+                "bool" => ValueType::Bool,
+                other => return Err(format!("unknown type '{other}'")),
+            };
+            attrs.push((n.trim().to_string(), ty));
+        }
+        let mut key = Vec::new();
+        let tail = tail.trim();
+        if let Some(k) = tail.strip_prefix("key(") {
+            let inner = k.strip_suffix(')').ok_or_else(|| "missing ')' in key".to_string())?;
+            for idx in inner.split(',') {
+                let i: usize = idx
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad key position '{idx}'"))?;
+                if i >= attrs.len() {
+                    return Err(format!("key position {i} out of range"));
+                }
+                key.push(i);
+            }
+        } else if !tail.is_empty() {
+            return Err(format!("unexpected trailing input: '{tail}'"));
+        }
+        let parts: Vec<(&str, ValueType)> =
+            attrs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let schema = RelationSchema::from_parts(name.trim(), &parts, &key);
+        self.say(format!("schema {} ({} attributes)", name.trim(), parts.len()));
+        self.schemas.push(schema);
+        Ok(())
+    }
+
+    fn store_mut(&mut self) -> Result<&mut VersionedDatabase, String> {
+        if self.store.is_none() {
+            if self.schemas.is_empty() {
+                return Err("no schema declared".into());
+            }
+            let store = VersionedDatabase::new(self.schemas.clone())
+                .map_err(|e| e.to_string())?;
+            self.store = Some(store);
+        }
+        Ok(self.store.as_mut().expect("just initialized"))
+    }
+
+    // insert Family(11, 'Calcitonin', 'C1')
+    fn cmd_insert(&mut self, rest: &str) -> Result<(), String> {
+        let (name, tuple) = parse_ground_atom(rest)?;
+        let changed = self
+            .store_mut()?
+            .insert(&name, tuple)
+            .map_err(|e| e.to_string())?;
+        if !changed {
+            self.say("(duplicate ignored)");
+        }
+        Ok(())
+    }
+
+    fn cmd_delete(&mut self, rest: &str) -> Result<(), String> {
+        let (name, tuple) = parse_ground_atom(rest)?;
+        let changed = self
+            .store_mut()?
+            .delete(&name, &tuple)
+            .map_err(|e| e.to_string())?;
+        if !changed {
+            self.say("(no such tuple)");
+        }
+        Ok(())
+    }
+
+    // view <rule> | cite <rule> [| cite <rule>] [| static k=v]...
+    fn cmd_view(&mut self, rest: &str) -> Result<(), String> {
+        let mut parts = rest.split('|').map(str::trim);
+        let view_rule = parts.next().ok_or_else(|| "missing view rule".to_string())?;
+        let view = parse_query(view_rule).map_err(|e| e.to_string())?;
+        let mut citation_queries = Vec::new();
+        let mut function = CitationFunction::new();
+        for part in parts {
+            if let Some(rule) = part.strip_prefix("cite ") {
+                let q = parse_query(rule.trim()).map_err(|e| e.to_string())?;
+                // Constant single-column citation queries (the paper's CV2
+                // pattern) get the friendlier field name "citation".
+                let cq = if q.is_constant() && q.arity() == 1 {
+                    CitationQuery::with_fields(q, vec!["citation".to_string()])
+                        .expect("arity checked")
+                } else {
+                    CitationQuery::new(q)
+                };
+                citation_queries.push(cq);
+            } else if let Some(kv) = part.strip_prefix("static ") {
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("static '{kv}' lacks '='"))?;
+                function = function.with_static(k.trim(), v.trim());
+            } else {
+                return Err(format!("unknown view clause: '{part}'"));
+            }
+        }
+        let name = view.name().to_string();
+        let cv = CitationView::new(view, citation_queries, function)
+            .map_err(|e| e.to_string())?;
+        self.registry.add(cv).map_err(|e| e.to_string())?;
+        self.say(format!("view {name} registered"));
+        Ok(())
+    }
+
+    fn cmd_commit(&mut self) -> Result<(), String> {
+        let v = self.store_mut()?.commit();
+        self.say(format!("committed version {v}"));
+        Ok(())
+    }
+
+    // cite <rule> [| format f] [| mode m] [| policy p] [| partial]
+    fn cmd_cite(&mut self, rest: &str) -> Result<(), String> {
+        let mut parts = rest.split('|').map(str::trim);
+        let rule = parts.next().ok_or_else(|| "missing query".to_string())?;
+        let q = parse_query(rule).map_err(|e| e.to_string())?;
+        let mut format = CitationFormat::Text;
+        let mut options = EngineOptions { mode: CitationMode::Formal, ..Default::default() };
+        for part in parts {
+            match part.split_once(' ').map(|(a, b)| (a, b.trim())) {
+                Some(("format", f)) => {
+                    format = match f {
+                        "text" => CitationFormat::Text,
+                        "bibtex" => CitationFormat::BibTex,
+                        "ris" => CitationFormat::Ris,
+                        "xml" => CitationFormat::Xml,
+                        "json" => CitationFormat::Json,
+                        "csl" => CitationFormat::CslJson,
+                        other => return Err(format!("unknown format '{other}'")),
+                    }
+                }
+                Some(("mode", m)) => {
+                    options.mode = match m {
+                        "formal" => CitationMode::Formal,
+                        "pruned" => CitationMode::CostPruned,
+                        other => return Err(format!("unknown mode '{other}'")),
+                    }
+                }
+                Some(("policy", p)) => {
+                    options.policies = PolicySet {
+                        rewritings: match p {
+                            "minsize" => RewritePolicy::MinSize,
+                            "union" => RewritePolicy::Union,
+                            "first" => RewritePolicy::First,
+                            other => return Err(format!("unknown policy '{other}'")),
+                        },
+                        ..Default::default()
+                    }
+                }
+                None if part == "partial" => options.allow_partial = true,
+                _ => return Err(format!("unknown cite clause: '{part}'")),
+            }
+        }
+        let store = self.store_mut()?;
+        if store.has_pending() {
+            return Err("uncommitted changes: run 'commit' before 'cite'".into());
+        }
+        let version = store.latest_version();
+        let registry = self.registry.clone();
+        let store = self.store.as_ref().expect("initialized above");
+        let (cited, token) = cite_at_version(store, &registry, options, version, &q)
+            .map_err(|e| e.to_string())?;
+        self.say(format!(
+            "{} answer tuple(s) at version {version}",
+            cited.answer.len()
+        ));
+        if let Coverage::Partial { uncited } = cited.coverage {
+            self.say(format!("coverage: partial ({uncited} uncited)"));
+        }
+        if let Some(agg) = &cited.aggregate {
+            self.say(format_citation(&agg.snippets, Some(&token), format).trim_end());
+        }
+        if self.trace_next {
+            self.trace_next = false;
+            self.say(citesys_core::trace_answer(&cited).trim_end());
+        }
+        self.last_token = Some(token);
+        Ok(())
+    }
+
+    fn cmd_verify(&mut self) -> Result<(), String> {
+        let token = self
+            .last_token
+            .clone()
+            .ok_or_else(|| "no citation to verify".to_string())?;
+        let store = self.store.as_ref().ok_or_else(|| "no data".to_string())?;
+        verify(store, &token).map_err(|e| e.to_string())?;
+        self.say(format!("fixity verified: v{} {}", token.version, token.digest));
+        Ok(())
+    }
+
+    fn cmd_tables(&mut self) -> Result<(), String> {
+        let lines: Vec<String> = {
+            let store = self.store_mut()?;
+            store
+                .current()
+                .relations()
+                .map(|(name, rel)| format!("{name}: {} tuples", rel.len()))
+                .collect()
+        };
+        for l in lines {
+            self.say(l);
+        }
+        Ok(())
+    }
+
+    fn cmd_dump(&mut self, rest: &str) -> Result<(), String> {
+        let name = rest.trim();
+        let csv = {
+            let store = self.store_mut()?;
+            let rel = store.current().relation(name).map_err(|e| e.to_string())?;
+            to_csv(rel)
+        };
+        self.say(csv.trim_end());
+        Ok(())
+    }
+
+    // load Family from 'path.csv'  — bulk-loads CSV rows into an existing
+    // relation (the header row's name:type columns must match the schema).
+    fn cmd_load(&mut self, rest: &str) -> Result<(), String> {
+        let (name, after) = rest
+            .trim()
+            .split_once(" from ")
+            .ok_or_else(|| "expected: load <Relation> from '<path>'".to_string())?;
+        let path = after.trim().trim_matches('\'');
+        let content = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        let name = name.trim();
+        let (_, tuples) =
+            citesys_storage::from_csv(name, &[], &content).map_err(|e| e.to_string())?;
+        let store = self.store_mut()?;
+        let mut n = 0usize;
+        for t in tuples {
+            if store.insert(name, t).map_err(|e| e.to_string())? {
+                n += 1;
+            }
+        }
+        self.say(format!("loaded {n} tuple(s) into {name}"));
+        Ok(())
+    }
+
+    /// The interpreter's registry (for inspection in tests).
+    pub fn registry(&self) -> &CitationRegistry {
+        &self.registry
+    }
+}
+
+/// Parses `Name(v1, v2, …)` with int / quoted-text / bool values.
+fn parse_ground_atom(input: &str) -> Result<(String, Tuple), String> {
+    let (name, after) = input
+        .split_once('(')
+        .ok_or_else(|| "expected Name(values…)".to_string())?;
+    let inner = after
+        .trim_end()
+        .strip_suffix(')')
+        .ok_or_else(|| "missing ')'".to_string())?;
+    let mut values = Vec::new();
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        let (v, remainder) = parse_value(rest)?;
+        values.push(v);
+        rest = remainder.trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("expected ',' before '{rest}'"));
+        }
+    }
+    Ok((name.trim().to_string(), Tuple::new(values)))
+}
+
+fn parse_value(input: &str) -> Result<(Value, &str), String> {
+    let input = input.trim_start();
+    if let Some(rest) = input.strip_prefix('\'') {
+        let mut out = String::new();
+        let mut chars = rest.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => {
+                    if let Some((_, n)) = chars.next() {
+                        out.push(n);
+                    }
+                }
+                '\'' => return Ok((Value::from(out), &rest[i + 1..])),
+                other => out.push(other),
+            }
+        }
+        Err("unterminated string".into())
+    } else if let Some(rest) = input.strip_prefix("true") {
+        Ok((Value::Bool(true), rest))
+    } else if let Some(rest) = input.strip_prefix("false") {
+        Ok((Value::Bool(false), rest))
+    } else {
+        let end = input
+            .find(|c: char| c == ',' || c.is_whitespace())
+            .unwrap_or(input.len());
+        let n: i64 = input[..end]
+            .parse()
+            .map_err(|_| format!("bad value '{}'", &input[..end]))?;
+        Ok((Value::Int(n), &input[end..]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_SCRIPT: &str = r#"
+# the paper's worked example
+schema Family(FID:int, FName:text, Desc:text) key(0)
+schema Committee(FID:int, PName:text) key(0, 1)
+schema FamilyIntro(FID:int, Text:text) key(0)
+insert Family(11, 'Calcitonin', 'C1')
+insert Family(12, 'Calcitonin', 'C2')
+insert Family(13, 'Dopamine', 'D1')
+insert FamilyIntro(11, '1st')
+insert FamilyIntro(12, '2nd')
+insert Committee(11, 'Alice')
+insert Committee(11, 'Bob')
+insert Committee(12, 'Carol')
+view λ FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc) | cite λ FID. CV1(FID, PName) :- Committee(FID, PName) | static database=GtoPdb
+view V2(FID, FName, Desc) :- Family(FID, FName, Desc) | cite CV2(D) :- D = 'IUPHAR/BPS Guide to PHARMACOLOGY...'
+view V3(FID, Text) :- FamilyIntro(FID, Text) | cite CV3(D) :- D = 'IUPHAR/BPS Guide to PHARMACOLOGY...'
+commit
+cite Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)
+verify
+"#;
+
+    #[test]
+    fn paper_script_end_to_end() {
+        let mut interp = Interpreter::new();
+        let out = interp.run(PAPER_SCRIPT).unwrap();
+        assert!(out.contains("schema Family"));
+        assert!(out.contains("view V1 registered"));
+        assert!(out.contains("committed version 1"));
+        assert!(out.contains("1 answer tuple(s) at version 1"));
+        assert!(out.contains("IUPHAR/BPS Guide to PHARMACOLOGY..."));
+        assert!(out.contains("fixity verified: v1"));
+        assert_eq!(interp.registry().len(), 3);
+    }
+
+    #[test]
+    fn cite_options_parse() {
+        let mut interp = Interpreter::new();
+        let script = format!(
+            "{PAPER_SCRIPT}\ncite Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text) | format bibtex | mode pruned | policy union\n"
+        );
+        let out = interp.run(&script).unwrap();
+        assert!(out.contains("@misc{"));
+    }
+
+    #[test]
+    fn partial_clause() {
+        let mut interp = Interpreter::new();
+        let script = "\
+schema Family(FID:int, FName:text) key(0)
+schema FamilyIntro(FID:int, Text:text) key(0)
+insert Family(1, 'A')
+insert Family(2, 'B')
+insert FamilyIntro(1, 'i')
+view V(FID, N) :- Family(FID, N), FamilyIntro(FID, T) | cite CV(D) :- D = 'db'
+commit
+cite Q(N) :- Family(F, N) | partial
+";
+        let out = interp.run(script).unwrap();
+        assert!(out.contains("coverage: partial (1 uncited)"), "{out}");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let mut interp = Interpreter::new();
+        let e = interp.run("schema R(A:int)\nbogus command\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn uncommitted_cite_rejected() {
+        let mut interp = Interpreter::new();
+        let script = "\
+schema R(A:int)
+insert R(1)
+view V(A) :- R(A) | cite CV(D) :- D = 'x'
+cite Q(A) :- R(A)
+";
+        let e = interp.run(script).unwrap_err();
+        assert!(e.message.contains("uncommitted"));
+    }
+
+    #[test]
+    fn tables_and_dump() {
+        let mut interp = Interpreter::new();
+        let out = interp
+            .run("schema R(A:int, B:text)\ninsert R(1, 'x, y')\ntables\ndump R\n")
+            .unwrap();
+        assert!(out.contains("R: 1 tuples"));
+        assert!(out.contains("\"A:int\",\"B:text\""));
+        assert!(out.contains("1,\"x, y\""));
+    }
+
+    #[test]
+    fn ground_atom_parser() {
+        let (name, t) = parse_ground_atom("R(1, 'a\\'b', true, -5)").unwrap();
+        assert_eq!(name, "R");
+        assert_eq!(t.arity(), 4);
+        assert_eq!(t.get(1).unwrap().as_text(), Some("a'b"));
+        assert_eq!(t.get(2).unwrap().as_bool(), Some(true));
+        assert_eq!(t.get(3).unwrap().as_int(), Some(-5));
+        assert!(parse_ground_atom("R(1").is_err());
+        assert!(parse_ground_atom("R(1 2)").is_err());
+        assert!(parse_ground_atom("R('open)").is_err());
+    }
+
+    #[test]
+    fn schema_errors() {
+        let mut interp = Interpreter::new();
+        assert!(interp.run("schema R(A:float)\n").is_err());
+        let mut interp = Interpreter::new();
+        assert!(interp.run("schema R(A:int) key(3)\n").is_err());
+        let mut interp = Interpreter::new();
+        assert!(interp
+            .run("schema R(A:int)\ninsert R(1)\nschema S(B:int)\n")
+            .is_err(), "schema after data");
+    }
+
+    #[test]
+    fn load_from_csv_file() {
+        let dir = std::env::temp_dir().join("citesys-script-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.csv");
+        std::fs::write(&path, "\"A:int\",\"B:text\"\n1,\"x\"\n2,\"y\"\n").unwrap();
+        let mut interp = Interpreter::new();
+        let script = format!(
+            "schema R(A:int, B:text)\nload R from '{}'\ntables\n",
+            path.display()
+        );
+        let out = interp.run(&script).unwrap();
+        assert!(out.contains("loaded 2 tuple(s) into R"));
+        assert!(out.contains("R: 2 tuples"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_command_explains_next_cite() {
+        let mut interp = Interpreter::new();
+        let script = format!(
+            "{PAPER_SCRIPT}\ntrace\ncite Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)\n"
+        );
+        let out = interp.run(&script).unwrap();
+        assert!(out.contains("tuple (Calcitonin)"), "{out}");
+        assert!(out.contains("← chosen by +R"));
+        assert!(out.contains("binding 1: CV1(11)·CV3"));
+    }
+
+    #[test]
+    fn csl_format_clause() {
+        let mut interp = Interpreter::new();
+        let script = format!(
+            "{PAPER_SCRIPT}\ncite Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text) | format csl\n"
+        );
+        let out = interp.run(&script).unwrap();
+        assert!(out.contains("\"type\":\"dataset\""));
+    }
+
+    #[test]
+    fn duplicate_insert_reported() {
+        let mut interp = Interpreter::new();
+        let out = interp
+            .run("schema R(A:int)\ninsert R(1)\ninsert R(1)\n")
+            .unwrap();
+        assert!(out.contains("(duplicate ignored)"));
+    }
+
+    #[test]
+    fn delete_works() {
+        let mut interp = Interpreter::new();
+        let out = interp
+            .run("schema R(A:int)\ninsert R(1)\ndelete R(1)\ndelete R(9)\ntables\n")
+            .unwrap();
+        assert!(out.contains("(no such tuple)"));
+        assert!(out.contains("R: 0 tuples"));
+    }
+}

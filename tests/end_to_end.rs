@@ -1,0 +1,252 @@
+//! End-to-end integration: generator → rewriting → engine → formats →
+//! fixity, across all workspace crates.
+
+use citesys::core::{
+    cite_at_version, dereference, format_citation, verify, CitationEngine, CitationFormat,
+    CitationMode, EngineOptions, PolicySet, RewritePolicy,
+};
+use citesys::core::paper;
+use citesys::cq::parse_query;
+use citesys::gtopdb::{full_registry, generate, generate_versioned, GtopdbConfig};
+use citesys::storage::{digest_answer, evaluate, tuple};
+
+/// The complete §2 walk-through, as one scenario.
+#[test]
+fn paper_walkthrough() {
+    let db = paper::paper_database();
+    let registry = paper::paper_registry();
+    let q = paper::paper_query();
+
+    let engine = CitationEngine::new(
+        &db,
+        &registry,
+        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+    );
+    let cited = engine.cite(&q).unwrap();
+
+    // One tuple (Calcitonin), two bindings (FIDs 11 and 12).
+    assert_eq!(cited.answer.len(), 1);
+    assert_eq!(cited.answer.rows[0].bindings.len(), 2);
+
+    // The paper's exact symbolic citation.
+    assert_eq!(
+        cited.tuples[0].expr().to_string(),
+        "(CV1(11)·CV3 + CV1(12)·CV3) +R (CV2·CV3)"
+    );
+
+    // Min-size +R collapses to CV2·CV3, rendered with the constant text.
+    let text = format_citation(
+        &cited.tuples[0].snippets,
+        None,
+        CitationFormat::Text,
+    );
+    assert!(text.contains("IUPHAR/BPS Guide to PHARMACOLOGY..."));
+
+    // All five formats render non-trivially.
+    for fmt in [
+        CitationFormat::Text,
+        CitationFormat::BibTex,
+        CitationFormat::Ris,
+        CitationFormat::Xml,
+        CitationFormat::Json,
+    ] {
+        let out = format_citation(&cited.tuples[0].snippets, None, fmt);
+        assert!(!out.trim().is_empty(), "{fmt:?} rendered empty");
+    }
+}
+
+/// Generated database at scale: every workload query is citable and the
+/// answers match direct evaluation.
+#[test]
+fn generated_gtopdb_workload_citable() {
+    let db = generate(&GtopdbConfig { scale: 2, ..Default::default() });
+    let registry = full_registry();
+    let engine = CitationEngine::new(
+        &db,
+        &registry,
+        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+    );
+    for q in [
+        citesys::gtopdb::workload::q_family_intro(),
+        citesys::gtopdb::workload::q_families(),
+        citesys::gtopdb::workload::q_committee(),
+    ] {
+        let cited = engine.cite(&q).unwrap();
+        let direct = evaluate(&db, &q).unwrap();
+        assert_eq!(cited.answer, direct, "query {q}");
+        assert_eq!(cited.tuples.len(), direct.len());
+        // Every tuple gets at least one citation atom and snippet.
+        for t in &cited.tuples {
+            assert!(!t.atoms.is_empty(), "uncited tuple for {q}");
+            assert!(!t.snippets.is_empty());
+        }
+    }
+}
+
+/// Formal mode and cost-pruned mode agree on the final citation whenever
+/// min-size +R is in force (the estimate picks the same winner).
+#[test]
+fn formal_vs_pruned_agreement() {
+    let db = generate(&GtopdbConfig { scale: 2, ..Default::default() });
+    let registry = full_registry();
+    let q = citesys::gtopdb::workload::q_family_intro();
+    let formal = CitationEngine::new(
+        &db,
+        &registry,
+        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+    )
+    .cite(&q)
+    .unwrap();
+    let pruned = CitationEngine::new(
+        &db,
+        &registry,
+        EngineOptions { mode: CitationMode::CostPruned, ..Default::default() },
+    )
+    .cite(&q)
+    .unwrap();
+    assert_eq!(formal.answer, pruned.answer);
+    for (f, p) in formal.tuples.iter().zip(&pruned.tuples) {
+        assert_eq!(f.atoms, p.atoms);
+    }
+    // Pruned evaluates strictly fewer rewritings.
+    assert!(pruned.rewritings.len() <= formal.rewritings.len());
+}
+
+/// Versioned store: cite, evolve, dereference, verify — across crates.
+#[test]
+fn fixity_lifecycle_on_generated_data() {
+    // Unique family names so that deleting one intro provably changes the
+    // projected answer.
+    let mut vdb = generate_versioned(&GtopdbConfig {
+        scale: 1,
+        dup_name_rate: 0.0,
+        ..Default::default()
+    });
+    let registry = full_registry();
+    let q = citesys::gtopdb::workload::q_family_intro();
+
+    let v1 = vdb.latest_version();
+    let (cited_v1, token) =
+        cite_at_version(&vdb, &registry, EngineOptions::default(), v1, &q).unwrap();
+    assert_eq!(digest_answer(&cited_v1.answer), token.digest);
+
+    // Evolve: remove one family's intro.
+    let intro = vdb
+        .current()
+        .relation("FamilyIntro")
+        .unwrap()
+        .scan()
+        .next()
+        .unwrap()
+        .clone();
+    vdb.delete("FamilyIntro", &intro).unwrap();
+    let v2 = vdb.commit();
+
+    // New version cites differently; old token still verifies and
+    // dereferences to the original data.
+    let (cited_v2, token2) =
+        cite_at_version(&vdb, &registry, EngineOptions::default(), v2, &q).unwrap();
+    assert_ne!(token.digest, token2.digest);
+    assert_eq!(cited_v2.answer.len() + 1, cited_v1.answer.len());
+    verify(&vdb, &token).unwrap();
+    let recovered = dereference(&vdb, &token).unwrap();
+    assert_eq!(recovered, cited_v1.answer);
+}
+
+/// Citations embed fixity tokens in machine formats.
+#[test]
+fn formats_embed_fixity() {
+    let mut vdb =
+        citesys::storage::VersionedDatabase::new(paper::paper_schemas()).unwrap();
+    let base = paper::paper_database();
+    for (name, rel) in base.relations() {
+        for t in rel.scan() {
+            vdb.insert(name.as_str(), t.clone()).unwrap();
+        }
+    }
+    let v = vdb.commit();
+    let registry = paper::paper_registry();
+    let (cited, token) =
+        cite_at_version(&vdb, &registry, EngineOptions::default(), v, &paper::paper_query())
+            .unwrap();
+    let agg = cited.aggregate.unwrap();
+    let xml = format_citation(&agg.snippets, Some(&token), CitationFormat::Xml);
+    assert!(xml.contains(&format!("version=\"{v}\"")));
+    assert!(xml.contains(&token.digest.to_hex()));
+    let json = format_citation(&agg.snippets, Some(&token), CitationFormat::Json);
+    assert!(json.contains("\"fixity\""));
+}
+
+/// Different policy sets order citation sizes consistently at scale.
+#[test]
+fn policy_size_ordering_at_scale() {
+    let db = generate(&GtopdbConfig { scale: 4, dup_name_rate: 0.3, ..Default::default() });
+    let registry = full_registry();
+    let q = citesys::gtopdb::workload::q_family_intro();
+    let size_with = |rp: RewritePolicy| {
+        CitationEngine::new(
+            &db,
+            &registry,
+            EngineOptions {
+                mode: CitationMode::Formal,
+                policies: PolicySet { rewritings: rp, ..Default::default() },
+                ..Default::default()
+            },
+        )
+        .cite(&q)
+        .unwrap()
+        .aggregate
+        .unwrap()
+        .atoms
+        .len()
+    };
+    let min_size = size_with(RewritePolicy::MinSize);
+    let union = size_with(RewritePolicy::Union);
+    // §3 "Size of citations": parameterized views make the union citation
+    // proportional to the answer, min-size keeps it constant.
+    assert!(min_size <= union);
+    assert_eq!(min_size, 2, "V2·V3 — two constant citations");
+    assert!(union > 8, "union should scale with the family count");
+}
+
+/// A query outside every view's scope fails loudly, not silently.
+#[test]
+fn uncoverable_query_is_an_error_not_empty() {
+    let db = paper::paper_database();
+    let registry = paper::paper_registry();
+    let engine = CitationEngine::new(&db, &registry, EngineOptions::default());
+    let q = parse_query("Q(P) :- Committee(F, P)").unwrap();
+    assert!(engine.cite(&q).is_err());
+}
+
+/// Storage-level constraints surface through the whole stack.
+#[test]
+fn key_constraints_respected_through_stack() {
+    let mut db = paper::paper_database();
+    let err = db.insert("Family", tuple![11, "Imposter", "X"]).unwrap_err();
+    assert!(err.to_string().contains("key violation"));
+}
+
+/// Fuzz: randomly generated FK-chain queries are all citable over the full
+/// registry, and the cited answer always matches direct evaluation.
+#[test]
+fn random_queries_cite_consistently() {
+    let db = generate(&GtopdbConfig { scale: 1, ..Default::default() });
+    let registry = full_registry();
+    let engine = CitationEngine::new(
+        &db,
+        &registry,
+        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+    );
+    for q in citesys::gtopdb::workload::random::chain_queries(0xF00D, 16) {
+        let direct = evaluate(&db, &q).unwrap();
+        let cited = engine
+            .cite(&q)
+            .unwrap_or_else(|e| panic!("query {q} uncitable: {e}"));
+        assert_eq!(cited.answer, direct, "query {q}");
+        assert_eq!(cited.coverage, citesys::core::Coverage::Full);
+        for t in &cited.tuples {
+            assert!(!t.atoms.is_empty(), "uncited tuple for {q}");
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Cross-crate semantic consistency: the citation algebra agrees with the
+//! provenance-semiring view of the same computation, and evolution
+//! (incremental caching) never changes results.
+
+use citesys::core::paper;
+use citesys::core::{
+    CitationEngine, CitationMode, EngineOptions, IncrementalEngine, PolicySet, RewritePolicy,
+};
+use citesys::cq::{parse_query, Symbol};
+use citesys::gtopdb::{generate, GtopdbConfig};
+use citesys::provenance::{provenance, Why};
+use citesys::storage::tuple;
+
+/// With identity views, the citation expression of a tuple under one
+/// rewriting mirrors the why-provenance of the tuple: one `·`-product per
+/// witness, one `+`-summand per derivation.
+#[test]
+fn citation_expression_mirrors_why_provenance() {
+    let db = paper::paper_database();
+    let registry = paper::paper_registry();
+    let q = paper::paper_query();
+
+    // Why-provenance of the (Calcitonin) tuple over base relations.
+    let prov = provenance(&db, &q).unwrap();
+    assert_eq!(prov.len(), 1);
+    let why = prov[0].1.eval_in::<Why>(&|t| Why::of(t.clone()));
+    // Two witnesses: {Family(11,…), FamilyIntro(11,…)} and {Family(12,…), …}.
+    assert_eq!(why.witness_count(), 2);
+
+    // Citation via the parameterized rewriting (V1⋈V3): the Q1 branch has
+    // exactly one summand per witness.
+    let engine = CitationEngine::new(
+        &db,
+        &registry,
+        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+    );
+    let cited = engine.cite(&q).unwrap();
+    let q1_branch = cited.tuples[0]
+        .branches
+        .iter()
+        .find(|b| b.atoms().iter().any(|a| a.view.as_str() == "V1"))
+        .expect("parameterized branch present");
+    match q1_branch {
+        citesys::core::CiteExpr::Sum(summands) => {
+            assert_eq!(summands.len(), why.witness_count());
+        }
+        other => panic!("expected a sum of bindings, got {other}"),
+    }
+}
+
+/// The number of citation-expression summands equals the number of
+/// bindings the evaluator reports (Definition 2.2's β_t).
+#[test]
+fn summands_equal_bindings_at_scale() {
+    let db = generate(&GtopdbConfig { scale: 2, dup_name_rate: 0.5, ..Default::default() });
+    let registry = citesys::gtopdb::full_registry();
+    let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+        .unwrap();
+    let engine = CitationEngine::new(
+        &db,
+        &registry,
+        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+    );
+    let cited = engine.cite(&q).unwrap();
+    for (row, tc) in cited.answer.rows.iter().zip(&cited.tuples) {
+        // Find the V1 (parameterized) branch: distinct parameter values =
+        // distinct bindings on FID.
+        let v1_branch = tc
+            .branches
+            .iter()
+            .find(|b| b.atoms().iter().any(|a| a.view.as_str() == "V1"))
+            .expect("V1 branch");
+        let distinct_fids: std::collections::BTreeSet<_> = row
+            .bindings
+            .iter()
+            .map(|b| b.get(&Symbol::new("FID")).unwrap().clone())
+            .collect();
+        let v1_params: std::collections::BTreeSet<_> = v1_branch
+            .atoms()
+            .into_iter()
+            .filter(|a| a.view.as_str() == "V1")
+            .map(|a| a.params[0].clone())
+            .collect();
+        assert_eq!(distinct_fids, v1_params, "tuple {}", row.tuple);
+    }
+}
+
+/// The incremental engine returns byte-identical citations to a fresh
+/// engine after any sequence of updates.
+#[test]
+fn incremental_engine_consistent_with_fresh() {
+    let cfg = GtopdbConfig { scale: 1, ..Default::default() };
+    let registry = citesys::gtopdb::full_registry();
+    let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+        .unwrap();
+
+    let mut inc = IncrementalEngine::new(
+        generate(&cfg),
+        registry.clone(),
+        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+    );
+    // Warm the cache, apply updates, re-cite.
+    inc.cite(&q).unwrap();
+    inc.insert("Family", tuple![900, "Novel receptor", "N1"]).unwrap();
+    inc.insert("FamilyIntro", tuple![900, "fresh intro"]).unwrap();
+    inc.delete("FamilyIntro", &tuple![0, "Introductory text for family 0"])
+        .unwrap();
+    let incremental = inc.cite(&q).unwrap();
+
+    // Fresh engine over an identically mutated database.
+    let mut db2 = generate(&cfg);
+    db2.insert("Family", tuple![900, "Novel receptor", "N1"]).unwrap();
+    db2.insert("FamilyIntro", tuple![900, "fresh intro"]).unwrap();
+    db2.delete("FamilyIntro", &tuple![0, "Introductory text for family 0"])
+        .unwrap();
+    let fresh = CitationEngine::new(
+        &db2,
+        &registry,
+        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+    )
+    .cite(&q)
+    .unwrap();
+
+    assert_eq!(incremental.answer, fresh.answer);
+    for (a, b) in incremental.tuples.iter().zip(&fresh.tuples) {
+        assert_eq!(a.atoms, b.atoms);
+        assert_eq!(a.snippets, b.snippets);
+    }
+}
+
+/// Caching statistics behave: hits accumulate, irrelevant deltas keep the
+/// cache, relevant deltas flush exactly the affected entries.
+#[test]
+fn incremental_cache_behaviour() {
+    let registry = citesys::gtopdb::full_registry();
+    let mut inc = IncrementalEngine::new(
+        generate(&GtopdbConfig::default()),
+        registry,
+        EngineOptions::default(),
+    );
+    let q_fam = parse_query("Q(FID, FName, D) :- Family(FID, FName, D)").unwrap();
+    let q_lig = parse_query("Q(LID, LName, T) :- Ligand(LID, LName, T)").unwrap();
+    inc.cite(&q_fam).unwrap();
+    inc.cite(&q_lig).unwrap();
+    assert_eq!(inc.cached(), 2);
+
+    // Ligand insert must not flush the family citation.
+    inc.insert("Ligand", tuple![900, "novel-ligand", "peptide"]).unwrap();
+    assert_eq!(inc.cached(), 1);
+    inc.cite(&q_fam).unwrap();
+    assert_eq!(inc.stats().hits, 1);
+}
+
+/// Policy monotonicity at scale: every tuple's min-size citation is a
+/// subset of its union citation.
+#[test]
+fn per_tuple_min_size_subset_of_union() {
+    let db = generate(&GtopdbConfig { scale: 2, dup_name_rate: 0.4, ..Default::default() });
+    let registry = citesys::gtopdb::full_registry();
+    let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+        .unwrap();
+    let run = |rp: RewritePolicy| {
+        CitationEngine::new(
+            &db,
+            &registry,
+            EngineOptions {
+                mode: CitationMode::Formal,
+                policies: PolicySet { rewritings: rp, ..Default::default() },
+                ..Default::default()
+            },
+        )
+        .cite(&q)
+        .unwrap()
+    };
+    let min = run(RewritePolicy::MinSize);
+    let all = run(RewritePolicy::Union);
+    for (m, u) in min.tuples.iter().zip(&all.tuples) {
+        assert!(m.atoms.is_subset(&u.atoms), "tuple {}", m.tuple);
+    }
+}
