@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use citesys_core::{CitationEngine, CitationMode, EngineOptions};
+use citesys_core::{CitationMode, CitationService, EngineOptions};
 use citesys_gtopdb::eaglei::{class_query, class_registry, generate, EagleIConfig};
 
 fn bench(c: &mut Criterion) {
@@ -11,13 +11,20 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e10_rdf_triples");
     group.sample_size(20);
     for n in [8usize, 32, 128] {
-        let db = generate(&EagleIConfig { resources_per_class: n, ..Default::default() });
+        let db = generate(&EagleIConfig {
+            resources_per_class: n,
+            ..Default::default()
+        });
         group.throughput(Throughput::Elements(n as u64));
-        let engine = CitationEngine::new(
-            &db,
-            &registry,
-            EngineOptions { mode: CitationMode::Formal, ..Default::default() },
-        );
+        let engine = CitationService::builder()
+            .database(db.clone())
+            .registry(registry.clone())
+            .options(EngineOptions {
+                mode: CitationMode::Formal,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
         group.bench_with_input(BenchmarkId::new("cite_class", n), &n, |b, _| {
             b.iter(|| engine.cite(std::hint::black_box(&q)).expect("coverable"))
         });

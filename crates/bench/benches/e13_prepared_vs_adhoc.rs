@@ -1,0 +1,72 @@
+//! E13 bench: amortized prepared-query citation vs per-call rewriting on
+//! the GtoPdb workload (the service plan cache's headline number).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use std::sync::Arc;
+
+use citesys_bench::e13::parameterized_workload;
+use citesys_core::{CitationMode, CitationService, EngineOptions};
+use citesys_gtopdb::{full_registry, generate, GtopdbConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = GtopdbConfig {
+        scale: 2,
+        ..Default::default()
+    };
+    let db = generate(&cfg).into_shared();
+    let registry = Arc::new(full_registry());
+    let workload = parameterized_workload(&cfg, 16);
+    // Arc clones only — the ad-hoc arm times the search, not setup.
+    let build = || {
+        CitationService::builder()
+            .database(Arc::clone(&db))
+            .registry(Arc::clone(&registry))
+            .options(EngineOptions {
+                mode: CitationMode::CostPruned,
+                ..Default::default()
+            })
+            .build()
+            .expect("complete builder")
+    };
+
+    let mut group = c.benchmark_group("e13_prepared_vs_adhoc");
+    group.sample_size(10);
+
+    // Ad-hoc: every cite pays for the rewriting search (cold service).
+    group.bench_with_input(BenchmarkId::new("adhoc", workload.len()), &(), |b, ()| {
+        b.iter(|| {
+            for q in &workload {
+                build().cite(std::hint::black_box(q)).expect("coverable");
+            }
+        })
+    });
+
+    // Prepared: one warm service; plans come from the cache.
+    let service = build();
+    for q in &workload {
+        service.cite(q).expect("warmup");
+    }
+    group.bench_with_input(
+        BenchmarkId::new("prepared", workload.len()),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                for r in service.cite_batch(std::hint::black_box(&workload)) {
+                    r.expect("coverable");
+                }
+            })
+        },
+    );
+
+    // Prepared handle: zero search by construction.
+    let prepared = service.prepare(&workload[0]).expect("coverable");
+    group.bench_with_input(BenchmarkId::new("prepared_handle", 1), &(), |b, ()| {
+        b.iter(|| prepared.execute().expect("coverable"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use citesys_core::paper;
-use citesys_core::{CitationEngine, CitationMode, EngineOptions};
+use citesys_core::{CitationMode, CitationService, EngineOptions};
 
 fn bench(c: &mut Criterion) {
     let db = paper::paper_database();
@@ -16,8 +16,15 @@ fn bench(c: &mut Criterion) {
         ("formal", CitationMode::Formal),
         ("cost_pruned", CitationMode::CostPruned),
     ] {
-        let engine =
-            CitationEngine::new(&db, &registry, EngineOptions { mode, ..Default::default() });
+        let engine = CitationService::builder()
+            .database(db.clone())
+            .registry(registry.clone())
+            .options(EngineOptions {
+                mode,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
         group.bench_function(label, |b| {
             b.iter(|| {
                 let cited = engine.cite(std::hint::black_box(&q)).expect("coverable");

@@ -10,19 +10,21 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_rewriting_scale");
     group.sample_size(10);
     for k in [1usize, 2, 3] {
-        let views: Vec<_> =
-            (0..k).map(|i| segment_view(&format!("Seg{i}"), 2)).collect();
+        let views: Vec<_> = (0..k)
+            .map(|i| segment_view(&format!("Seg{i}"), 2))
+            .collect();
         let set = ViewSet::new(views).expect("distinct names");
-        for (label, alg) in [("bucket", Algorithm::Bucket), ("minicon", Algorithm::MiniCon)] {
+        for (label, alg) in [
+            ("bucket", Algorithm::Bucket),
+            ("minicon", Algorithm::MiniCon),
+        ] {
             let opts = RewriteOptions {
                 algorithm: alg,
                 max_candidates: 1_000_000,
                 ..Default::default()
             };
             group.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
-                b.iter(|| {
-                    rewrite(std::hint::black_box(&q), &set, &opts).expect("within budget")
-                })
+                b.iter(|| rewrite(std::hint::black_box(&q), &set, &opts).expect("within budget"))
             });
         }
     }

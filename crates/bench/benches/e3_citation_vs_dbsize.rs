@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use citesys_core::{CitationEngine, CitationMode, EngineOptions};
+use citesys_core::{CitationMode, CitationService, EngineOptions};
 use citesys_gtopdb::workload::q_family_intro;
 use citesys_gtopdb::{full_registry, generate, GtopdbConfig};
 
@@ -12,21 +12,33 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_citation_vs_dbsize");
     group.sample_size(20);
     for scale in [1usize, 2, 4, 8] {
-        let db = generate(&GtopdbConfig { scale, dup_name_rate: 0.25, ..Default::default() });
+        let db = generate(&GtopdbConfig {
+            scale,
+            dup_name_rate: 0.25,
+            ..Default::default()
+        });
         group.throughput(Throughput::Elements(db.total_tuples() as u64));
-        let engine = CitationEngine::new(
-            &db,
-            &registry,
-            EngineOptions { mode: CitationMode::Formal, ..Default::default() },
-        );
+        let engine = CitationService::builder()
+            .database(db.clone())
+            .registry(registry.clone())
+            .options(EngineOptions {
+                mode: CitationMode::Formal,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
         group.bench_with_input(BenchmarkId::new("formal", scale), &scale, |b, _| {
             b.iter(|| engine.cite(std::hint::black_box(&q)).expect("coverable"))
         });
-        let pruned = CitationEngine::new(
-            &db,
-            &registry,
-            EngineOptions { mode: CitationMode::CostPruned, ..Default::default() },
-        );
+        let pruned = CitationService::builder()
+            .database(db.clone())
+            .registry(registry.clone())
+            .options(EngineOptions {
+                mode: CitationMode::CostPruned,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
         group.bench_with_input(BenchmarkId::new("cost_pruned", scale), &scale, |b, _| {
             b.iter(|| pruned.cite(std::hint::black_box(&q)).expect("coverable"))
         });

@@ -2,16 +2,18 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use citesys_core::{
-    CitationEngine, CitationMode, EngineOptions, PolicySet, RewritePolicy,
-};
+use citesys_core::{CitationMode, CitationService, EngineOptions, PolicySet, RewritePolicy};
 use citesys_gtopdb::workload::q_family_intro;
 use citesys_gtopdb::{full_registry, generate, GtopdbConfig};
 
 fn bench(c: &mut Criterion) {
     let registry = full_registry();
     let q = q_family_intro();
-    let db = generate(&GtopdbConfig { scale: 4, dup_name_rate: 0.2, ..Default::default() });
+    let db = generate(&GtopdbConfig {
+        scale: 4,
+        dup_name_rate: 0.2,
+        ..Default::default()
+    });
     let mut group = c.benchmark_group("e4_citation_size_policy");
     group.sample_size(20);
     for (label, policy) in [
@@ -19,15 +21,19 @@ fn bench(c: &mut Criterion) {
         ("union", RewritePolicy::Union),
         ("first", RewritePolicy::First),
     ] {
-        let engine = CitationEngine::new(
-            &db,
-            &registry,
-            EngineOptions {
+        let engine = CitationService::builder()
+            .database(db.clone())
+            .registry(registry.clone())
+            .options(EngineOptions {
                 mode: CitationMode::Formal,
-                policies: PolicySet { rewritings: policy, ..Default::default() },
+                policies: PolicySet {
+                    rewritings: policy,
+                    ..Default::default()
+                },
                 ..Default::default()
-            },
-        );
+            })
+            .build()
+            .unwrap();
         group.bench_with_input(BenchmarkId::new("policy", label), &label, |b, _| {
             b.iter(|| engine.cite(std::hint::black_box(&q)).expect("coverable"))
         });

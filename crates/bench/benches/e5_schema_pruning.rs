@@ -20,7 +20,10 @@ fn bench(c: &mut Criterion) {
         views.extend(trap_views(m));
         let set = ViewSet::new(views).expect("distinct names");
         for (label, prune) in [("pruned", true), ("no_prune", false)] {
-            let opts = RewriteOptions { prune, ..Default::default() };
+            let opts = RewriteOptions {
+                prune,
+                ..Default::default()
+            };
             group.bench_with_input(BenchmarkId::new(label, m), &m, |b, _| {
                 b.iter(|| rewrite(std::hint::black_box(&q), &set, &opts).expect("ok"))
             });

@@ -4,8 +4,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use citesys_bench::e6::build_store;
 use citesys_core::{cite_at_version, verify, EngineOptions};
-use citesys_gtopdb::workload::q_family_intro;
 use citesys_gtopdb::full_registry;
+use citesys_gtopdb::workload::q_family_intro;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_fixity");
@@ -15,13 +15,20 @@ fn bench(c: &mut Criterion) {
         let latest = store.latest_version();
         // Warm access benefits from the snapshot cache; this measures the
         // steady-state cost a citation service would see.
-        group.bench_with_input(BenchmarkId::new("snapshot_warm", versions), &versions, |b, _| {
-            b.iter(|| store.snapshot(std::hint::black_box(latest)).expect("known"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("snapshot_warm", versions),
+            &versions,
+            |b, _| b.iter(|| store.snapshot(std::hint::black_box(latest)).expect("known")),
+        );
         let registry = full_registry();
-        let (_, token) =
-            cite_at_version(&store, &registry, EngineOptions::default(), 1, &q_family_intro())
-                .expect("coverable");
+        let (_, token) = cite_at_version(
+            &store,
+            &registry,
+            EngineOptions::default(),
+            1,
+            &q_family_intro(),
+        )
+        .expect("coverable");
         group.bench_with_input(BenchmarkId::new("verify", versions), &versions, |b, _| {
             b.iter(|| verify(&store, std::hint::black_box(&token)).expect("verifies"))
         });

@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use citesys_bench::e7::workload;
-use citesys_core::{CitationEngine, EngineOptions, IncrementalEngine};
+use citesys_core::{CitationService, EngineOptions, IncrementalEngine};
 use citesys_cq::Value;
 use citesys_gtopdb::{full_registry, generate, GtopdbConfig};
 use citesys_storage::Tuple;
@@ -17,7 +17,10 @@ fn delta(i: i64) -> Tuple {
 }
 
 fn bench(c: &mut Criterion) {
-    let cfg = GtopdbConfig { scale: 2, ..Default::default() };
+    let cfg = GtopdbConfig {
+        scale: 2,
+        ..Default::default()
+    };
     let registry = full_registry();
     let queries = workload();
     let mut group = c.benchmark_group("e7_evolution");
@@ -45,7 +48,12 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             db.insert("Ligand", delta(i)).expect("valid");
             i += 1;
-            let engine = CitationEngine::new(&db, &registry, EngineOptions::default());
+            let engine = CitationService::builder()
+                .database(db.clone())
+                .registry(registry.clone())
+                .options(EngineOptions::default())
+                .build()
+                .unwrap();
             for q in &queries {
                 engine.cite(q).expect("coverable");
             }

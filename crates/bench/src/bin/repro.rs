@@ -32,6 +32,7 @@ fn main() {
             "e10" => Some(citesys_bench::e10::table(quick)),
             "e11" => Some(citesys_bench::e11::table(quick)),
             "e12" => Some(citesys_bench::e12::table(quick)),
+            "e13" => Some(citesys_bench::e13::table(quick)),
             other => {
                 eprintln!("unknown experiment id: {other}");
                 None
@@ -43,7 +44,11 @@ fn main() {
     println!(
         "mode: {} | ids: {}\n",
         if quick { "quick" } else { "full" },
-        if selected.is_empty() { "all".to_string() } else { selected.join(", ") }
+        if selected.is_empty() {
+            "all".to_string()
+        } else {
+            selected.join(", ")
+        }
     );
 
     if selected.is_empty() {

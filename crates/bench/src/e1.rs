@@ -6,7 +6,7 @@
 //! `CV2·CV3`.
 
 use citesys_core::paper;
-use citesys_core::{CitationEngine, CitationMode, EngineOptions};
+use citesys_core::{CitationMode, CitationService, EngineOptions};
 
 use crate::table::Table;
 
@@ -14,19 +14,27 @@ use crate::table::Table;
 pub fn checks() -> Vec<(String, String, String)> {
     let db = paper::paper_database();
     let registry = paper::paper_registry();
-    let engine = CitationEngine::new(
-        &db,
-        &registry,
-        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
-    );
+    let engine = CitationService::builder()
+        .database(db.clone())
+        .registry(registry.clone())
+        .options(EngineOptions {
+            mode: CitationMode::Formal,
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
     let cited = engine.cite(&paper::paper_query()).expect("coverable");
-    let pruned = CitationEngine::new(
-        &db,
-        &registry,
-        EngineOptions { mode: CitationMode::CostPruned, ..Default::default() },
-    )
-    .cite(&paper::paper_query())
-    .expect("coverable");
+    let pruned = CitationService::builder()
+        .database(db.clone())
+        .registry(registry.clone())
+        .options(EngineOptions {
+            mode: CitationMode::CostPruned,
+            ..Default::default()
+        })
+        .build()
+        .unwrap()
+        .cite(&paper::paper_query())
+        .expect("coverable");
 
     let t = &cited.tuples[0];
     let atoms = t
@@ -93,7 +101,12 @@ pub fn table() -> Table {
         id: "E1",
         title: "Worked example (§2): citation of Q over the Calcitonin instance",
         expectation: "every engine output matches the paper's hand computation",
-        headers: vec!["check".into(), "paper".into(), "measured".into(), "ok".into()],
+        headers: vec![
+            "check".into(),
+            "paper".into(),
+            "measured".into(),
+            "ok".into(),
+        ],
         rows,
     }
 }

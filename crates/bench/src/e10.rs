@@ -5,20 +5,27 @@
 //! encoding; the cost grows with class extent because every class view is
 //! parameterized by the resource.
 
-use citesys_core::{CitationEngine, CitationMode, EngineOptions};
+use citesys_core::{CitationMode, CitationService, EngineOptions};
 use citesys_gtopdb::eaglei::{class_query, class_registry, generate, EagleIConfig};
 
 use crate::table::{ms, timed, Table};
 
 /// One row: class extent sweep.
 pub fn run(resources_per_class: usize) -> Vec<String> {
-    let db = generate(&EagleIConfig { resources_per_class, ..Default::default() });
+    let db = generate(&EagleIConfig {
+        resources_per_class,
+        ..Default::default()
+    });
     let registry = class_registry();
-    let engine = CitationEngine::new(
-        &db,
-        &registry,
-        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
-    );
+    let engine = CitationService::builder()
+        .database(db.clone())
+        .registry(registry.clone())
+        .options(EngineOptions {
+            mode: CitationMode::Formal,
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
     let q = class_query("CellLine");
     let (cited, time) = timed(|| engine.cite(&q).expect("coverable"));
     let atoms = cited.aggregate.as_ref().map_or(0, |a| a.atoms.len());
@@ -38,7 +45,8 @@ pub fn table(quick: bool) -> Table {
     Table {
         id: "E10",
         title: "RDF (eagle-i triples): class-based parameterized citations",
-        expectation: "one citation atom per class member (parameterized view); time ~linear in extent",
+        expectation:
+            "one citation atom per class member (parameterized view); time ~linear in extent",
         headers: vec![
             "resources/class".into(),
             "triples".into(),

@@ -34,9 +34,12 @@ pub struct Cell {
 /// Runs with minimization toggled.
 pub fn run(k: usize, minimize: bool) -> Cell {
     let q = redundant_query(k);
-    let views = ViewSet::new(vec![parse_query("V(A, B) :- R(A, B)").expect("ok")])
-        .expect("distinct names");
-    let opts = RewriteOptions { minimize, ..Default::default() };
+    let views =
+        ViewSet::new(vec![parse_query("V(A, B) :- R(A, B)").expect("ok")]).expect("distinct names");
+    let opts = RewriteOptions {
+        minimize,
+        ..Default::default()
+    };
     let (out, time) = timed(|| rewrite(&q, &views, &opts).expect("within budget"));
     Cell {
         rewritings: out.rewritings.len(),

@@ -5,35 +5,44 @@
 //! pathway parameterized citations with curators) and the pathway scan
 //! (min-size collapses to the database-wide citation).
 
-use citesys_core::{
-    CitationEngine, CitationMode, EngineOptions, PolicySet, RewritePolicy,
-};
+use citesys_core::{CitationMode, CitationService, EngineOptions, PolicySet, RewritePolicy};
 use citesys_gtopdb::reactome::{generate, pathway_registry, q_participants, ReactomeConfig};
 
 use crate::table::{ms, timed, Table};
 
 /// One row of the roots sweep.
 pub fn run(roots: usize) -> Vec<String> {
-    let cfg = ReactomeConfig { roots, ..Default::default() };
+    let cfg = ReactomeConfig {
+        roots,
+        ..Default::default()
+    };
     let db = generate(&cfg);
     let registry = pathway_registry();
-    let engine = CitationEngine::new(
-        &db,
-        &registry,
-        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
-    );
+    let engine = CitationService::builder()
+        .database(db.clone())
+        .registry(registry.clone())
+        .options(EngineOptions {
+            mode: CitationMode::Formal,
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
     let (cited, time) = timed(|| engine.cite(&q_participants()).expect("coverable"));
     let min_atoms = cited.aggregate.as_ref().map_or(0, |a| a.atoms.len());
 
-    let union_engine = CitationEngine::new(
-        &db,
-        &registry,
-        EngineOptions {
+    let union_engine = CitationService::builder()
+        .database(db.clone())
+        .registry(registry.clone())
+        .options(EngineOptions {
             mode: CitationMode::Formal,
-            policies: PolicySet { rewritings: RewritePolicy::Union, ..Default::default() },
+            policies: PolicySet {
+                rewritings: RewritePolicy::Union,
+                ..Default::default()
+            },
             ..Default::default()
-        },
-    );
+        })
+        .build()
+        .unwrap();
     let union_atoms = union_engine
         .cite(&q_participants())
         .expect("coverable")

@@ -27,9 +27,15 @@ pub struct Cell {
 /// Runs one algorithm on the chain-6 / k-segment instance.
 pub fn run(algorithm: Algorithm, k: usize) -> Cell {
     let q = chain_query(6);
-    let views: Vec<_> = (0..k).map(|i| segment_view(&format!("Seg{i}"), 2)).collect();
+    let views: Vec<_> = (0..k)
+        .map(|i| segment_view(&format!("Seg{i}"), 2))
+        .collect();
     let set = ViewSet::new(views).expect("distinct names");
-    let opts = RewriteOptions { algorithm, max_candidates: CAP, ..Default::default() };
+    let opts = RewriteOptions {
+        algorithm,
+        max_candidates: CAP,
+        ..Default::default()
+    };
     let (res, time) = timed(|| rewrite(&q, &set, &opts));
     match res {
         Ok(out) => Cell {
@@ -37,7 +43,11 @@ pub fn run(algorithm: Algorithm, k: usize) -> Cell {
             rewritings: Some(out.rewritings.len()),
             time,
         },
-        Err(_) => Cell { candidates: CAP, rewritings: None, time },
+        Err(_) => Cell {
+            candidates: CAP,
+            rewritings: None,
+            time,
+        },
     }
 }
 
@@ -51,17 +61,20 @@ pub fn table(quick: bool) -> Table {
         rows.push(vec![
             k.to_string(),
             b.candidates.to_string(),
-            b.rewritings.map_or_else(|| "capped".into(), |r| r.to_string()),
+            b.rewritings
+                .map_or_else(|| "capped".into(), |r| r.to_string()),
             ms(b.time),
             m.candidates.to_string(),
-            m.rewritings.map_or_else(|| "capped".into(), |r| r.to_string()),
+            m.rewritings
+                .map_or_else(|| "capped".into(), |r| r.to_string()),
             ms(m.time),
         ]);
     }
     Table {
         id: "E2",
         title: "Rewriting enumeration: bucket vs MiniCon on chain-6 with k 2-segment views",
-        expectation: "bucket candidates grow ~k^6 (capped); MiniCon ~k^3; both find the same rewritings",
+        expectation:
+            "bucket candidates grow ~k^6 (capped); MiniCon ~k^3; both find the same rewritings",
         headers: vec![
             "k views".into(),
             "bucket candidates".into(),
@@ -84,7 +97,11 @@ mod tests {
         let b = run(Algorithm::Bucket, 2);
         let m = run(Algorithm::MiniCon, 2);
         assert_eq!(b.rewritings, m.rewritings);
-        assert_eq!(m.rewritings, Some(8), "2-interval covers {{01,23,45}} × 2^3 views");
+        assert_eq!(
+            m.rewritings,
+            Some(8),
+            "2-interval covers {{01,23,45}} × 2^3 views"
+        );
     }
 
     #[test]

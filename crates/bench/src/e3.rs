@@ -6,7 +6,7 @@
 //! the number of bindings; pruned mode is cheaper by roughly the number of
 //! rewritings evaluated.
 
-use citesys_core::{CitationEngine, CitationMode, EngineOptions};
+use citesys_core::{CitationMode, CitationService, EngineOptions};
 use citesys_gtopdb::workload::q_family_intro;
 use citesys_gtopdb::{full_registry, generate, GtopdbConfig};
 
@@ -30,21 +30,33 @@ pub struct Row {
 
 /// Measures one scale factor.
 pub fn run(scale: usize) -> Row {
-    let cfg = GtopdbConfig { scale, dup_name_rate: 0.25, ..Default::default() };
+    let cfg = GtopdbConfig {
+        scale,
+        dup_name_rate: 0.25,
+        ..Default::default()
+    };
     let db = generate(&cfg);
     let registry = full_registry();
     let q = q_family_intro();
-    let formal_engine = CitationEngine::new(
-        &db,
-        &registry,
-        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
-    );
+    let formal_engine = CitationService::builder()
+        .database(db.clone())
+        .registry(registry.clone())
+        .options(EngineOptions {
+            mode: CitationMode::Formal,
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
     let (formal_out, formal) = timed(|| formal_engine.cite(&q).expect("coverable"));
-    let pruned_engine = CitationEngine::new(
-        &db,
-        &registry,
-        EngineOptions { mode: CitationMode::CostPruned, ..Default::default() },
-    );
+    let pruned_engine = CitationService::builder()
+        .database(db.clone())
+        .registry(registry.clone())
+        .options(EngineOptions {
+            mode: CitationMode::CostPruned,
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
     let (_, pruned) = timed(|| pruned_engine.cite(&q).expect("coverable"));
     Row {
         scale,
@@ -58,7 +70,11 @@ pub fn run(scale: usize) -> Row {
 
 /// Builds the E3 table.
 pub fn table(quick: bool) -> Table {
-    let scales: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8, 16, 32] };
+    let scales: &[usize] = if quick {
+        &[1, 2, 4]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
     let rows = scales
         .iter()
         .map(|&s| {

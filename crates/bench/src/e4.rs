@@ -6,9 +6,7 @@
 //! collects one `CV1(fid)` per family (size ∝ |Family|); `+R = min-size`
 //! collapses to the two constant citations `CV2·CV3` regardless of scale.
 
-use citesys_core::{
-    CitationEngine, CitationMode, EngineOptions, PolicySet, RewritePolicy,
-};
+use citesys_core::{CitationMode, CitationService, EngineOptions, PolicySet, RewritePolicy};
 use citesys_gtopdb::workload::q_family_intro;
 use citesys_gtopdb::{full_registry, generate, GtopdbConfig};
 
@@ -16,17 +14,25 @@ use crate::table::Table;
 
 /// Aggregate citation size (distinct atoms) for one scale and policy.
 pub fn citation_size(scale: usize, policy: RewritePolicy) -> usize {
-    let db = generate(&GtopdbConfig { scale, dup_name_rate: 0.2, ..Default::default() });
+    let db = generate(&GtopdbConfig {
+        scale,
+        dup_name_rate: 0.2,
+        ..Default::default()
+    });
     let registry = full_registry();
-    let engine = CitationEngine::new(
-        &db,
-        &registry,
-        EngineOptions {
+    let engine = CitationService::builder()
+        .database(db.clone())
+        .registry(registry.clone())
+        .options(EngineOptions {
             mode: CitationMode::Formal,
-            policies: PolicySet { rewritings: policy, ..Default::default() },
+            policies: PolicySet {
+                rewritings: policy,
+                ..Default::default()
+            },
             ..Default::default()
-        },
-    );
+        })
+        .build()
+        .unwrap();
     engine
         .cite(&q_family_intro())
         .expect("coverable")
@@ -42,7 +48,11 @@ pub fn table(quick: bool) -> Table {
     let rows = scales
         .iter()
         .map(|&s| {
-            let families = GtopdbConfig { scale: s, ..Default::default() }.families();
+            let families = GtopdbConfig {
+                scale: s,
+                ..Default::default()
+            }
+            .families();
             vec![
                 s.to_string(),
                 families.to_string(),

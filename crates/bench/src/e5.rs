@@ -34,14 +34,25 @@ pub fn run(m: usize, prune: bool) -> Cell {
     ];
     views.extend(trap_views(m));
     let set = ViewSet::new(views).expect("distinct names");
-    let opts = RewriteOptions { prune, ..Default::default() };
+    let opts = RewriteOptions {
+        prune,
+        ..Default::default()
+    };
     let (out, time) = timed(|| rewrite(&q, &set, &opts).expect("within budget"));
-    Cell { stats: out.stats, time, rewritings: out.rewritings.len() }
+    Cell {
+        stats: out.stats,
+        time,
+        rewritings: out.rewritings.len(),
+    }
 }
 
 /// Builds the E5 table.
 pub fn table(quick: bool) -> Table {
-    let ms_counts: &[usize] = if quick { &[0, 8, 32] } else { &[0, 8, 32, 128, 512] };
+    let ms_counts: &[usize] = if quick {
+        &[0, 8, 32]
+    } else {
+        &[0, 8, 32, 128, 512]
+    };
     let mut rows = Vec::new();
     for &m in ms_counts {
         let with = run(m, true);
@@ -55,7 +66,10 @@ pub fn table(quick: bool) -> Table {
             ms(without.time),
             with.rewritings.to_string(),
         ]);
-        assert_eq!(with.rewritings, without.rewritings, "pruning must not change results");
+        assert_eq!(
+            with.rewritings, without.rewritings,
+            "pruning must not change results"
+        );
     }
     Table {
         id: "E5",

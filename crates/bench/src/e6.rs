@@ -6,17 +6,20 @@
 //! (cache), and full `verify` of a version-1 citation token.
 
 use citesys_core::{cite_at_version, verify, EngineOptions};
+use citesys_cq::Value;
 use citesys_gtopdb::workload::q_family_intro;
 use citesys_gtopdb::{full_registry, generate_versioned, GtopdbConfig};
 use citesys_storage::{Tuple, VersionedDatabase};
-use citesys_cq::Value;
 
 use crate::table::{ms, timed, Table};
 
 /// Builds a store with `versions` additional committed batches of
 /// `ops_per_version` inserts each.
 pub fn build_store(versions: usize, ops_per_version: usize) -> VersionedDatabase {
-    let mut vdb = generate_versioned(&GtopdbConfig { scale: 1, ..Default::default() });
+    let mut vdb = generate_versioned(&GtopdbConfig {
+        scale: 1,
+        ..Default::default()
+    });
     let mut next_id = 1_000_000i64;
     for _ in 0..versions {
         for _ in 0..ops_per_version {
@@ -66,7 +69,11 @@ pub fn run(versions: usize) -> Vec<String> {
 
 /// Builds the E6 table.
 pub fn table(quick: bool) -> Table {
-    let sweeps: &[usize] = if quick { &[4, 16, 64] } else { &[4, 16, 64, 256] };
+    let sweeps: &[usize] = if quick {
+        &[4, 16, 64]
+    } else {
+        &[4, 16, 64, 256]
+    };
     let rows = sweeps.iter().map(|&v| run(v)).collect();
     Table {
         id: "E6",

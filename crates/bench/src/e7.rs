@@ -7,7 +7,7 @@
 //! query. Expected: incremental time ≪ full recompute time, growing with
 //! the fraction of affected queries.
 
-use citesys_core::{CitationEngine, EngineOptions, IncrementalEngine};
+use citesys_core::{CitationService, EngineOptions, IncrementalEngine};
 use citesys_cq::{parse_query, ConjunctiveQuery, Value};
 use citesys_gtopdb::{full_registry, generate, GtopdbConfig};
 use citesys_storage::Tuple;
@@ -17,8 +17,7 @@ use crate::table::{ms, timed, Table};
 /// The cached workload: two ligand-dependent queries, four independent.
 pub fn workload() -> Vec<ConjunctiveQuery> {
     vec![
-        parse_query("Q1(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
-            .expect("ok"),
+        parse_query("Q1(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)").expect("ok"),
         parse_query("Q2(FID, FName, Desc) :- Family(FID, FName, Desc)").expect("ok"),
         parse_query("Q3(PName) :- Committee(FID, PName)").expect("ok"),
         parse_query("Q4(TName, FID) :- Target(TID, TName, FID)").expect("ok"),
@@ -30,12 +29,16 @@ pub fn workload() -> Vec<ConjunctiveQuery> {
 
 /// One row: `k` ligand inserts, incremental vs full recompute.
 pub fn run(k: usize) -> Vec<String> {
-    let cfg = GtopdbConfig { scale: 2, ..Default::default() };
+    let cfg = GtopdbConfig {
+        scale: 2,
+        ..Default::default()
+    };
     let registry = full_registry();
     let queries = workload();
 
     // Incremental engine: warm cache, apply updates, re-cite everything.
-    let mut inc = IncrementalEngine::new(generate(&cfg), registry.clone(), EngineOptions::default());
+    let mut inc =
+        IncrementalEngine::new(generate(&cfg), registry.clone(), EngineOptions::default());
     for q in &queries {
         inc.cite(q).expect("coverable");
     }
@@ -64,7 +67,12 @@ pub fn run(k: usize) -> Vec<String> {
         for t in &updates {
             db.insert("Ligand", t.clone()).expect("valid");
         }
-        let engine = CitationEngine::new(&db, &registry, EngineOptions::default());
+        let engine = CitationService::builder()
+            .database(db.clone())
+            .registry(registry.clone())
+            .options(EngineOptions::default())
+            .build()
+            .unwrap();
         for q in &queries {
             engine.cite(q).expect("coverable");
         }
@@ -76,7 +84,10 @@ pub fn run(k: usize) -> Vec<String> {
         stats.hits.to_string(),
         ms(inc_time),
         ms(full_time),
-        format!("{:.1}×", full_time.as_secs_f64() / inc_time.as_secs_f64().max(1e-9)),
+        format!(
+            "{:.1}×",
+            full_time.as_secs_f64() / inc_time.as_secs_f64().max(1e-9)
+        ),
     ]
 }
 

@@ -17,8 +17,7 @@ pub fn table() -> Table {
     let opts = RewriteOptions::default();
 
     let (greedy, greedy_time) = timed(|| greedy_select(&workload, &candidates, &opts));
-    let (exhaustive, exhaustive_time) =
-        timed(|| exhaustive_select(&workload, &candidates, &opts));
+    let (exhaustive, exhaustive_time) = timed(|| exhaustive_select(&workload, &candidates, &opts));
 
     let mut rows = vec![vec![
         "greedy".to_string(),
@@ -39,7 +38,8 @@ pub fn table() -> Table {
     Table {
         id: "E8",
         title: "View selection: greedy vs exhaustive cover (6-query workload, 9 candidates)",
-        expectation: "both cover the workload; greedy uses far fewer cover checks, near-optimal size",
+        expectation:
+            "both cover the workload; greedy uses far fewer cover checks, near-optimal size",
         headers: vec![
             "algorithm".into(),
             "views chosen".into(),

@@ -25,14 +25,19 @@ pub fn binding_sum(n: usize) -> CiteExpr {
 
 /// A polynomial with `n` monomials over `n` variables.
 pub fn poly(n: usize) -> Polynomial {
-    Polynomial::sum((0..n).map(|i| {
-        Polynomial::var(ProvToken::new("R", Tuple::new(vec![Value::Int(i as i64)])))
-    }))
+    Polynomial::sum(
+        (0..n)
+            .map(|i| Polynomial::var(ProvToken::new("R", Tuple::new(vec![Value::Int(i as i64)])))),
+    )
 }
 
 /// Builds the E9 table.
 pub fn table(quick: bool) -> Table {
-    let sizes: &[usize] = if quick { &[100, 1_000] } else { &[100, 1_000, 10_000] };
+    let sizes: &[usize] = if quick {
+        &[100, 1_000]
+    } else {
+        &[100, 1_000, 10_000]
+    };
     let mut rows = Vec::new();
     for &n in sizes {
         let raw = binding_sum(n);

@@ -29,6 +29,7 @@ pub mod e1;
 pub mod e10;
 pub mod e11;
 pub mod e12;
+pub mod e13;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -55,5 +56,6 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e10::table(quick),
         e11::table(quick),
         e12::table(quick),
+        e13::table(quick),
     ]
 }

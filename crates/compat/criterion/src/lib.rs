@@ -1,0 +1,216 @@
+//! Offline shim for `criterion`: the subset of the API the bench suite
+//! uses, backed by a simple calibrated wall-clock loop instead of
+//! criterion's statistical machinery.
+//!
+//! Each `Bencher::iter` call warms up, picks an iteration count targeting a
+//! fixed measurement window, and reports the mean time per iteration. Set
+//! `CITESYS_BENCH_QUICK=1` to shrink the window for smoke runs (CI uses
+//! this — the numbers are then indicative only).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement window per benchmark (split across samples).
+fn measure_window() -> Duration {
+    if std::env::var_os("CITESYS_BENCH_QUICK").is_some() {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(300)
+    }
+}
+
+/// Top-level handle, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Registers a stand-alone benchmark (top-level `bench_function`).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&id.into(), None);
+    }
+}
+
+/// Identifies one parameterized benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Throughput annotation (accepted and echoed, not used for rates).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples (kept for API compatibility; the shim
+    /// scales its window by this only loosely).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.into()), self.throughput);
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.label), self.throughput);
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Runs the closure under measurement; mirrors `criterion::Bencher`.
+#[derive(Default)]
+pub struct Bencher {
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measures the mean wall-clock time of one call to `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: time a single call to choose a batch size.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let window = measure_window();
+        let iters = (window.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean = Some(start.elapsed() / iters);
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        match self.mean {
+            Some(mean) => {
+                let extra = match throughput {
+                    Some(Throughput::Elements(n)) => format!("  ({n} elems/iter)"),
+                    Some(Throughput::Bytes(n)) => format!("  ({n} bytes/iter)"),
+                    None => String::new(),
+                };
+                println!("{label:<48} {}{extra}", format_duration(mean));
+            }
+            None => println!("{label:<48} (no measurement)"),
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns/iter")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs/iter", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms/iter", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s/iter", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CITESYS_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5).throughput(Throughput::Elements(3));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.bench_with_input(BenchmarkId::new("param", 7), &7, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert!(format_duration(Duration::from_nanos(10)).ends_with("ns/iter"));
+        assert!(format_duration(Duration::from_micros(10)).ends_with("µs/iter"));
+        assert!(format_duration(Duration::from_millis(10)).ends_with("ms/iter"));
+        assert!(format_duration(Duration::from_secs(10)).ends_with("s/iter"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Offline shim for `serde`: just enough of the trait surface for the
+//! workspace to compile without crates.io access.
+//!
+//! The derive macros (re-exported from the sibling `serde_derive` shim)
+//! expand to nothing, and the traits below cover the one hand-written impl
+//! in the workspace (`citesys_cq::Symbol`). Actual persistence in this repo
+//! uses hand-rolled canonical text formats instead.
+
+/// Serialization half of the shim.
+pub mod ser {
+    /// Minimal stand-in for `serde::Serializer`.
+    pub trait Serializer: Sized {
+        /// Successful output type.
+        type Ok;
+        /// Error type.
+        type Error;
+        /// Serializes a string slice.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Minimal stand-in for `serde::Serialize`.
+    pub trait Serialize {
+        /// Serializes `self` into the given serializer.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    impl Serialize for str {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_str(self)
+        }
+    }
+
+    impl Serialize for String {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_str(self)
+        }
+    }
+}
+
+/// Deserialization half of the shim.
+pub mod de {
+    /// Minimal stand-in for `serde::Deserializer`.
+    pub trait Deserializer<'de>: Sized {
+        /// Error type.
+        type Error;
+        /// Deserializes an owned string.
+        fn deserialize_string(self) -> Result<String, Self::Error>;
+    }
+
+    /// Minimal stand-in for `serde::Deserialize`.
+    pub trait Deserialize<'de>: Sized {
+        /// Deserializes `Self` from the given deserializer.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    impl<'de> Deserialize<'de> for String {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            deserializer.deserialize_string()
+        }
+    }
+}
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+// The no-op derives; trait and macro namespaces coexist, as in real serde.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`: the derives parse and expand to nothing.
+//!
+//! The workspace builds in a hermetic environment with no crates.io access,
+//! so the real serde is unavailable. Types keep their `#[derive(Serialize,
+//! Deserialize)]` attributes for source compatibility; serialization in this
+//! repo is done with hand-rolled canonical text formats (see
+//! `citesys_storage::fixity` and `citesys_rewrite::plan`).
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

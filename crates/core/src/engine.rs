@@ -1,10 +1,10 @@
-//! The citation engine: the paper's §2 pipeline, end to end.
+//! The citation pipeline: the paper's §2 pipeline, end to end.
 //!
 //! Given a database, a registry of citation views and a conjunctive query
 //! `Q`:
 //!
 //! 1. compute the minimal equivalent rewritings `{Q1, …, Qn}` of `Q` over
-//!    the views (`citesys-rewrite`);
+//!    the views (`citesys-rewrite`) — the cacheable [`RewritePlan`];
 //! 2. materialize the views used and evaluate each rewriting, collecting
 //!    **every binding** per output tuple;
 //! 3. per binding, build the joint citation `CV1(B1) · … · CVn(Bn)`
@@ -17,14 +17,17 @@
 //! evaluates every rewriting (the paper's semantics, used as the measured
 //! baseline), `CostPruned` selects the cheapest rewriting by a schema-level
 //! size estimate *before* touching the data.
+//!
+//! The preferred entry point is the owned, thread-safe
+//! [`CitationService`](crate::service::CitationService), which caches
+//! rewrite plans across calls. The borrowing [`CitationEngine`] remains as
+//! a deprecated shim over the same pipeline.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use citesys_cq::{ConjunctiveQuery, Symbol, Term, Value, ValueType};
-use citesys_rewrite::{rewrite, RewriteOptions, RewriteStats, Rewriting};
-use citesys_storage::{
-    evaluate, Attribute, Database, QueryAnswer, RelationSchema, Tuple,
-};
+use citesys_rewrite::{rewrite, RewritePlan, RewriteStats, Rewriting};
+use citesys_storage::{evaluate, Attribute, Database, QueryAnswer, RelationSchema, Tuple};
 
 use crate::error::CiteError;
 use crate::expr::{CiteAtom, CiteExpr};
@@ -58,7 +61,7 @@ pub enum CitationMode {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct EngineOptions {
     /// Rewriting search options.
-    pub rewrite: RewriteOptions,
+    pub rewrite: citesys_rewrite::RewriteOptions,
     /// The owner's combination policies.
     pub policies: PolicySet,
     /// Formal vs cost-pruned evaluation.
@@ -129,11 +132,441 @@ pub struct CitedAnswer {
     pub tuples: Vec<TupleCitation>,
     /// The aggregate citation (`None` under `AggPolicy::PerTupleOnly`).
     pub aggregate: Option<AggregateCitation>,
-    /// Rewriting-search statistics.
+    /// Rewriting-search statistics. A re-cite through a prepared plan has
+    /// `plan_cache_hits == 1` and zero search-effort counters.
     pub rewrite_stats: RewriteStats,
 }
 
-/// The citation engine.
+// ---------------------------------------------------------------------------
+// The shared pipeline: free functions over borrowed state, used by both the
+// owned `CitationService` and the deprecated borrowing `CitationEngine`.
+// ---------------------------------------------------------------------------
+
+/// Runs the rewriting search for `q` (with the contained-rewriting
+/// fallback when `allow_partial` is set) and packages the result as a
+/// cacheable plan. The plan may be empty — citation then fails with
+/// [`CiteError::NoRewriting`], and caching the empty plan makes the
+/// failure cheap to repeat.
+pub(crate) fn compute_plan(
+    registry: &CitationRegistry,
+    options: &EngineOptions,
+    q: &ConjunctiveQuery,
+) -> Result<RewritePlan, CiteError> {
+    let views = registry.view_set();
+    let outcome = rewrite(q, &views, &options.rewrite)?;
+    let mut partial = false;
+    let outcome = if outcome.rewritings.is_empty() && options.allow_partial {
+        partial = true;
+        let contained_opts = citesys_rewrite::RewriteOptions {
+            goal: citesys_rewrite::RewriteGoal::Contained,
+            ..options.rewrite
+        };
+        rewrite(q, &views, &contained_opts)?
+    } else {
+        outcome
+    };
+    Ok(RewritePlan {
+        rewritings: outcome.rewritings,
+        stats: outcome.stats,
+        partial,
+    })
+}
+
+/// Mode-based selection: which of the plan's rewritings to evaluate.
+/// Partial rewritings are incomparable — dropping one loses coverage — so
+/// the partial fallback always evaluates all of them.
+pub(crate) fn select_rewritings<'p>(
+    db: &Database,
+    registry: &CitationRegistry,
+    options: &EngineOptions,
+    plan: &'p RewritePlan,
+) -> Vec<&'p Rewriting> {
+    match (options.mode, plan.partial) {
+        (CitationMode::Formal, _) | (_, true) => plan.rewritings.iter().collect(),
+        (CitationMode::CostPruned, false) => plan
+            .rewritings
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, r)| (schema_estimate(db, registry, &r.query), *i))
+            .map(|(_, r)| vec![r])
+            .unwrap_or_default(),
+    }
+}
+
+/// The view predicates the selected rewritings evaluate over.
+pub(crate) fn needed_views<'r>(selected: &[&'r Rewriting]) -> BTreeSet<&'r Symbol> {
+    selected
+        .iter()
+        .flat_map(|r| r.query.body.iter().map(|a| &a.predicate))
+        .collect()
+}
+
+/// Materializes each named view into `vdb` (skipping views already
+/// present), so rewritings — queries over view predicates — can be
+/// evaluated by the standard evaluator. Incremental by design: the
+/// service's cross-query view cache calls this repeatedly on one scratch
+/// database.
+pub(crate) fn materialize_views_into(
+    db: &Database,
+    registry: &CitationRegistry,
+    needed: &BTreeSet<&Symbol>,
+    vdb: &mut Database,
+) -> Result<(), CiteError> {
+    for name in needed {
+        if vdb.has_relation(name.as_str()) {
+            continue;
+        }
+        let cv = registry
+            .get(name.as_str())
+            .ok_or_else(|| CiteError::BadCitationView {
+                view: name.to_string(),
+                reason: "rewriting references unregistered view".to_string(),
+            })?;
+        let schema = infer_view_schema(db, &cv.view)?;
+        vdb.create_relation(schema)?;
+        let ans = evaluate(db, &cv.view)?;
+        for row in &ans.rows {
+            vdb.insert(name.as_str(), row.tuple.clone())?;
+        }
+    }
+    Ok(())
+}
+
+/// Steps 4–7 of the pipeline: evaluate the selected rewritings over the
+/// materialized views, assemble the per-tuple citation expressions, apply
+/// the policies and render snippets. `stats` is embedded verbatim in the
+/// result (the caller decides whether it reflects a fresh search or a plan
+/// cache hit).
+#[allow(clippy::too_many_arguments)] // internal seam between engine/service
+pub(crate) fn cite_selected(
+    db: &Database,
+    registry: &CitationRegistry,
+    options: &EngineOptions,
+    q: &ConjunctiveQuery,
+    selected: &[&Rewriting],
+    partial: bool,
+    view_db: &Database,
+    stats: RewriteStats,
+) -> Result<CitedAnswer, CiteError> {
+    if selected.is_empty() {
+        return Err(CiteError::NoRewriting {
+            query: q.to_string(),
+        });
+    }
+
+    // Ground-truth answer (also the digest basis for fixity).
+    let answer = evaluate(db, q)?;
+
+    // Per-rewriting, per-tuple citation expressions.
+    let mut branch_map: BTreeMap<Tuple, Vec<CiteExpr>> = BTreeMap::new();
+    for row in &answer.rows {
+        branch_map.insert(row.tuple.clone(), vec![CiteExpr::zero(); selected.len()]);
+    }
+    for (ri, r) in selected.iter().enumerate() {
+        let ans = evaluate(view_db, &r.query)?;
+        for row in &ans.rows {
+            let summands: Vec<CiteExpr> = row
+                .bindings
+                .iter()
+                .map(|b| {
+                    let factors: Vec<CiteExpr> = r
+                        .query
+                        .body
+                        .iter()
+                        .map(|atom| {
+                            let cv = registry
+                                .get(atom.predicate.as_str())
+                                .expect("rewriting uses registered views");
+                            let params: Vec<Value> = cv
+                                .view
+                                .param_positions()
+                                .iter()
+                                .map(|(_, pos)| {
+                                    b.eval_term(&atom.terms[*pos])
+                                        .expect("distinguished view position bound by binding")
+                                })
+                                .collect();
+                            CiteExpr::Atom(CiteAtom::new(atom.predicate.clone(), params))
+                        })
+                        .collect();
+                    CiteExpr::prod(factors)
+                })
+                .collect();
+            let expr = CiteExpr::sum(summands);
+            // Equivalent rewritings produce the same tuple set as the
+            // direct evaluation; tolerate (and ignore) discrepancies in
+            // release builds rather than corrupting citations.
+            debug_assert!(
+                branch_map.contains_key(&row.tuple),
+                "rewriting produced tuple {:?} absent from direct answer",
+                row.tuple
+            );
+            if let Some(branches) = branch_map.get_mut(&row.tuple) {
+                branches[ri] = expr;
+            }
+        }
+    }
+
+    // Global +R choice, per-tuple interpretation.
+    let branch_matrix: Vec<Vec<CiteExpr>> = answer
+        .rows
+        .iter()
+        .map(|row| branch_map[&row.tuple].clone())
+        .collect();
+    let choice = if partial {
+        // Contained rewritings each cover different tuples; union them.
+        RewritingChoice::All
+    } else {
+        match options.mode {
+            CitationMode::CostPruned => RewritingChoice::Index(0),
+            CitationMode::Formal => choose_rewriting(options.policies.rewritings, &branch_matrix),
+        }
+    };
+
+    // Render snippets (cached per atom).
+    let mut snippet_cache: BTreeMap<CiteAtom, CitationSnippet> = BTreeMap::new();
+    let mut tuples = Vec::with_capacity(answer.rows.len());
+    let mut agg_atoms: BTreeSet<CiteAtom> = BTreeSet::new();
+    for (row, branches) in answer.rows.iter().zip(branch_matrix) {
+        let atoms = atoms_for_tuple(&options.policies, &branches, choice);
+        agg_atoms.extend(atoms.iter().cloned());
+        let snippets = render_atoms(db, registry, options, &atoms, &mut snippet_cache)?;
+        tuples.push(TupleCitation {
+            tuple: row.tuple.clone(),
+            branches,
+            atoms,
+            snippets,
+        });
+    }
+
+    let aggregate = match options.policies.agg {
+        AggPolicy::PerTupleOnly => None,
+        AggPolicy::Union => {
+            let snippets = render_atoms(db, registry, options, &agg_atoms, &mut snippet_cache)?;
+            Some(AggregateCitation {
+                atoms: agg_atoms,
+                snippets,
+            })
+        }
+    };
+
+    let coverage = if partial {
+        Coverage::Partial {
+            uncited: tuples.iter().filter(|t| t.atoms.is_empty()).count(),
+        }
+    } else {
+        Coverage::Full
+    };
+
+    Ok(CitedAnswer {
+        answer,
+        rewritings: selected.iter().map(|r| r.query.clone()).collect(),
+        choice,
+        coverage,
+        tuples,
+        aggregate,
+        rewrite_stats: stats,
+    })
+}
+
+/// One-shot pipeline over borrowed state: plan, select, materialize into a
+/// fresh scratch database, annotate. The service layers caching over the
+/// same pieces.
+pub(crate) fn cite_uncached(
+    db: &Database,
+    registry: &CitationRegistry,
+    options: &EngineOptions,
+    q: &ConjunctiveQuery,
+) -> Result<CitedAnswer, CiteError> {
+    let plan = compute_plan(registry, options, q)?;
+    if plan.rewritings.is_empty() {
+        return Err(CiteError::NoRewriting {
+            query: q.to_string(),
+        });
+    }
+    let selected = select_rewritings(db, registry, options, &plan);
+    let mut view_db = Database::new();
+    materialize_views_into(db, registry, &needed_views(&selected), &mut view_db)?;
+    cite_selected(
+        db,
+        registry,
+        options,
+        q,
+        &selected,
+        plan.partial,
+        &view_db,
+        plan.stats,
+    )
+}
+
+/// Renders the snippets for a set of atoms under the joint policy.
+pub(crate) fn render_atoms(
+    db: &Database,
+    registry: &CitationRegistry,
+    options: &EngineOptions,
+    atoms: &BTreeSet<CiteAtom>,
+    cache: &mut BTreeMap<CiteAtom, CitationSnippet>,
+) -> Result<Vec<CitationSnippet>, CiteError> {
+    let mut snippets = Vec::with_capacity(atoms.len());
+    for atom in atoms {
+        if let Some(hit) = cache.get(atom) {
+            snippets.push(hit.clone());
+            continue;
+        }
+        let rendered = render_atom(db, registry, atom)?;
+        cache.insert(atom.clone(), rendered.clone());
+        snippets.push(rendered);
+    }
+    if options.policies.joint == JointPolicy::Join && snippets.len() > 1 {
+        let mut merged = snippets[0].clone();
+        for s in &snippets[1..] {
+            merged.absorb(s);
+        }
+        merged.view = Symbol::new("joined");
+        merged.params = Vec::new();
+        snippets = vec![merged];
+    }
+    Ok(snippets)
+}
+
+/// Instantiates and evaluates one view's citation queries at the atom's
+/// parameter values and renders the snippet.
+fn render_atom(
+    db: &Database,
+    registry: &CitationRegistry,
+    atom: &CiteAtom,
+) -> Result<CitationSnippet, CiteError> {
+    let cv = registry
+        .get(atom.view.as_str())
+        .ok_or_else(|| CiteError::BadCitationView {
+            view: atom.view.to_string(),
+            reason: "atom references unregistered view".to_string(),
+        })?;
+    let mut answers: Vec<(&[String], QueryAnswer)> = Vec::new();
+    for cq in &cv.citation_queries {
+        let inst = cq.query.instantiate(&atom.params)?;
+        let ans = evaluate(db, &inst)?;
+        answers.push((cq.fields.as_slice(), ans));
+    }
+    let borrowed: Vec<(&[String], &QueryAnswer)> = answers.iter().map(|(f, a)| (*f, a)).collect();
+    Ok(cv.function.render(&atom.view, &atom.params, &borrowed))
+}
+
+/// Schema-level citation-size estimate of a rewriting (no data access
+/// beyond catalog statistics): a parameterized view contributes one
+/// citation per distinct parameter valuation — estimated as the product
+/// of the per-parameter distinct counts in the underlying base columns —
+/// while an unparameterized view contributes exactly one.
+pub(crate) fn schema_estimate(
+    db: &Database,
+    registry: &CitationRegistry,
+    rewriting: &ConjunctiveQuery,
+) -> usize {
+    rewriting
+        .body
+        .iter()
+        .map(|atom| {
+            let Some(cv) = registry.get(atom.predicate.as_str()) else {
+                return usize::MAX / 2;
+            };
+            if !cv.is_parameterized() {
+                return 1;
+            }
+            cv.view
+                .params
+                .iter()
+                .map(|p| param_distinct_estimate(db, &cv.view, p))
+                .product::<usize>()
+                .max(1)
+        })
+        .sum()
+}
+
+/// Distinct-count estimate for one λ-parameter: the number of distinct
+/// values in the base column where the parameter first occurs in the
+/// view body (falls back to the relation's cardinality).
+fn param_distinct_estimate(db: &Database, view: &ConjunctiveQuery, param: &Symbol) -> usize {
+    for atom in &view.body {
+        for (pos, t) in atom.terms.iter().enumerate() {
+            if t.as_var() == Some(param) {
+                if let Ok(rel) = db.relation(atom.predicate.as_str()) {
+                    return rel.distinct_count(pos);
+                }
+            }
+        }
+    }
+    db.relation(
+        view.body
+            .first()
+            .map(|a| a.predicate.as_str())
+            .unwrap_or_default(),
+    )
+    .map_or(1, citesys_storage::Relation::len)
+}
+
+/// Infers the relation schema of a view from the base catalog.
+fn infer_view_schema(db: &Database, view: &ConjunctiveQuery) -> Result<RelationSchema, CiteError> {
+    let mut attrs = Vec::with_capacity(view.arity());
+    for (i, t) in view.head.terms.iter().enumerate() {
+        let (name, ty) = match t {
+            Term::Const(c) => (format!("c{i}"), c.type_name()),
+            Term::Var(v) => {
+                let ty = type_of_var(db, view, v)?;
+                (v.to_string(), ty)
+            }
+        };
+        attrs.push((name, ty));
+    }
+    // Disambiguate duplicate attribute names positionally.
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let attributes = attrs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, ty))| {
+            let unique = if seen.insert(name.clone()) {
+                name
+            } else {
+                format!("{name}_{i}")
+            };
+            Attribute::new(unique, ty)
+        })
+        .collect();
+    Ok(RelationSchema::new(view.name().clone(), attributes, vec![]))
+}
+
+/// Resolves a view variable's type from its first occurrence in the
+/// view body.
+fn type_of_var(db: &Database, view: &ConjunctiveQuery, v: &Symbol) -> Result<ValueType, CiteError> {
+    for atom in &view.body {
+        for (pos, t) in atom.terms.iter().enumerate() {
+            if t.as_var() == Some(v) {
+                let rel = db.relation(atom.predicate.as_str())?;
+                return Ok(rel.schema().attributes[pos].ty);
+            }
+        }
+    }
+    Err(CiteError::BadCitationView {
+        view: view.name().to_string(),
+        reason: format!("cannot infer type of head variable {v}"),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The deprecated borrowing shim.
+// ---------------------------------------------------------------------------
+
+/// The original borrowing citation engine, kept as a thin shim over the
+/// shared pipeline.
+///
+/// Prefer [`CitationService`](crate::service::CitationService): it owns its
+/// database and registry behind `Arc`s, is `Send + Sync`, caches rewrite
+/// plans across calls (`prepare`), and batches (`cite_batch`). See
+/// `MIGRATION.md` at the repository root for a mapping.
+#[deprecated(
+    since = "0.2.0",
+    note = "use CitationService::builder() — owned, thread-safe, and amortizes \
+            the rewriting search across calls (see MIGRATION.md)"
+)]
 #[derive(Clone, Copy, Debug)]
 pub struct CitationEngine<'a> {
     db: &'a Database,
@@ -141,10 +574,15 @@ pub struct CitationEngine<'a> {
     options: EngineOptions,
 }
 
+#[allow(deprecated)]
 impl<'a> CitationEngine<'a> {
     /// Creates an engine over a database and a citation-view registry.
     pub fn new(db: &'a Database, registry: &'a CitationRegistry, options: EngineOptions) -> Self {
-        CitationEngine { db, registry, options }
+        CitationEngine {
+            db,
+            registry,
+            options,
+        }
     }
 
     /// Read access to the options.
@@ -157,10 +595,12 @@ impl<'a> CitationEngine<'a> {
     ///
     /// ```
     /// use citesys_core::paper;
+    /// # #[allow(deprecated)]
     /// use citesys_core::{CitationEngine, CitationMode, EngineOptions};
     ///
     /// let db = paper::paper_database();
     /// let registry = paper::paper_registry();
+    /// # #[allow(deprecated)]
     /// let engine = CitationEngine::new(&db, &registry, EngineOptions {
     ///     mode: CitationMode::Formal, ..Default::default()
     /// });
@@ -172,334 +612,18 @@ impl<'a> CitationEngine<'a> {
     /// assert_eq!(atoms, ["CV2", "CV3"]);
     /// ```
     pub fn cite(&self, q: &ConjunctiveQuery) -> Result<CitedAnswer, CiteError> {
-        // 1. Rewrite (equivalent; optionally fall back to contained).
-        let views = self.registry.view_set();
-        let outcome = rewrite(q, &views, &self.options.rewrite)?;
-        let mut partial = false;
-        let outcome = if outcome.rewritings.is_empty() && self.options.allow_partial {
-            partial = true;
-            let contained_opts = citesys_rewrite::RewriteOptions {
-                goal: citesys_rewrite::RewriteGoal::Contained,
-                ..self.options.rewrite
-            };
-            rewrite(q, &views, &contained_opts)?
-        } else {
-            outcome
-        };
-        if outcome.rewritings.is_empty() {
-            return Err(CiteError::NoRewriting { query: q.to_string() });
-        }
-
-        // 2. Mode-based selection. Partial rewritings are incomparable —
-        // dropping one loses coverage — so the fallback always evaluates
-        // all of them.
-        let selected: Vec<&Rewriting> = match (self.options.mode, partial) {
-            (CitationMode::Formal, _) | (_, true) => outcome.rewritings.iter().collect(),
-            (CitationMode::CostPruned, false) => {
-                let best = outcome
-                    .rewritings
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(i, r)| (self.schema_estimate(&r.query), *i))
-                    .map(|(_, r)| r)
-                    .expect("non-empty rewritings");
-                vec![best]
-            }
-        };
-
-        // 3. Materialize views used by the selected rewritings.
-        let needed: BTreeSet<&Symbol> = selected
-            .iter()
-            .flat_map(|r| r.query.body.iter().map(|a| &a.predicate))
-            .collect();
-        let view_db = self.materialize_views(&needed)?;
-
-        // 4. Ground-truth answer (also the digest basis for fixity).
-        let answer = evaluate(self.db, q)?;
-
-        // 5. Per-rewriting, per-tuple citation expressions.
-        let mut branch_map: BTreeMap<Tuple, Vec<CiteExpr>> = BTreeMap::new();
-        for row in &answer.rows {
-            branch_map.insert(row.tuple.clone(), vec![CiteExpr::zero(); selected.len()]);
-        }
-        for (ri, r) in selected.iter().enumerate() {
-            let ans = evaluate(&view_db, &r.query)?;
-            for row in &ans.rows {
-                let summands: Vec<CiteExpr> = row
-                    .bindings
-                    .iter()
-                    .map(|b| {
-                        let factors: Vec<CiteExpr> = r
-                            .query
-                            .body
-                            .iter()
-                            .map(|atom| {
-                                let cv = self
-                                    .registry
-                                    .get(atom.predicate.as_str())
-                                    .expect("rewriting uses registered views");
-                                let params: Vec<Value> = cv
-                                    .view
-                                    .param_positions()
-                                    .iter()
-                                    .map(|(_, pos)| {
-                                        b.eval_term(&atom.terms[*pos]).expect(
-                                            "distinguished view position bound by binding",
-                                        )
-                                    })
-                                    .collect();
-                                CiteExpr::Atom(CiteAtom::new(atom.predicate.clone(), params))
-                            })
-                            .collect();
-                        CiteExpr::prod(factors)
-                    })
-                    .collect();
-                let expr = CiteExpr::sum(summands);
-                // Equivalent rewritings produce the same tuple set as the
-                // direct evaluation; tolerate (and ignore) discrepancies in
-                // release builds rather than corrupting citations.
-                debug_assert!(
-                    branch_map.contains_key(&row.tuple),
-                    "rewriting produced tuple {:?} absent from direct answer",
-                    row.tuple
-                );
-                if let Some(branches) = branch_map.get_mut(&row.tuple) {
-                    branches[ri] = expr;
-                }
-            }
-        }
-
-        // 6. Global +R choice, per-tuple interpretation.
-        let branch_matrix: Vec<Vec<CiteExpr>> = answer
-            .rows
-            .iter()
-            .map(|row| branch_map[&row.tuple].clone())
-            .collect();
-        let choice = if partial {
-            // Contained rewritings each cover different tuples; union them.
-            RewritingChoice::All
-        } else {
-            match self.options.mode {
-                CitationMode::CostPruned => RewritingChoice::Index(0),
-                CitationMode::Formal => {
-                    choose_rewriting(self.options.policies.rewritings, &branch_matrix)
-                }
-            }
-        };
-
-        // 7. Render snippets (cached per atom).
-        let mut snippet_cache: BTreeMap<CiteAtom, CitationSnippet> = BTreeMap::new();
-        let mut tuples = Vec::with_capacity(answer.rows.len());
-        let mut agg_atoms: BTreeSet<CiteAtom> = BTreeSet::new();
-        for (row, branches) in answer.rows.iter().zip(branch_matrix) {
-            let atoms = atoms_for_tuple(&self.options.policies, &branches, choice);
-            agg_atoms.extend(atoms.iter().cloned());
-            let snippets = self.render_atoms(&atoms, &mut snippet_cache)?;
-            tuples.push(TupleCitation {
-                tuple: row.tuple.clone(),
-                branches,
-                atoms,
-                snippets,
-            });
-        }
-
-        let aggregate = match self.options.policies.agg {
-            AggPolicy::PerTupleOnly => None,
-            AggPolicy::Union => {
-                let snippets = self.render_atoms(&agg_atoms, &mut snippet_cache)?;
-                Some(AggregateCitation { atoms: agg_atoms, snippets })
-            }
-        };
-
-        let coverage = if partial {
-            Coverage::Partial {
-                uncited: tuples.iter().filter(|t| t.atoms.is_empty()).count(),
-            }
-        } else {
-            Coverage::Full
-        };
-
-        Ok(CitedAnswer {
-            answer,
-            rewritings: selected.iter().map(|r| r.query.clone()).collect(),
-            choice,
-            coverage,
-            tuples,
-            aggregate,
-            rewrite_stats: outcome.stats,
-        })
+        cite_uncached(self.db, self.registry, &self.options, q)
     }
 
-    /// Renders the snippets for a set of atoms under the joint policy.
-    fn render_atoms(
-        &self,
-        atoms: &BTreeSet<CiteAtom>,
-        cache: &mut BTreeMap<CiteAtom, CitationSnippet>,
-    ) -> Result<Vec<CitationSnippet>, CiteError> {
-        let mut snippets = Vec::with_capacity(atoms.len());
-        for atom in atoms {
-            if let Some(hit) = cache.get(atom) {
-                snippets.push(hit.clone());
-                continue;
-            }
-            let rendered = self.render_atom(atom)?;
-            cache.insert(atom.clone(), rendered.clone());
-            snippets.push(rendered);
-        }
-        if self.options.policies.joint == JointPolicy::Join && snippets.len() > 1 {
-            let mut merged = snippets[0].clone();
-            for s in &snippets[1..] {
-                merged.absorb(s);
-            }
-            merged.view = Symbol::new("joined");
-            merged.params = Vec::new();
-            snippets = vec![merged];
-        }
-        Ok(snippets)
-    }
-
-    /// Instantiates and evaluates one view's citation queries at the
-    /// atom's parameter values and renders the snippet.
-    fn render_atom(&self, atom: &CiteAtom) -> Result<CitationSnippet, CiteError> {
-        let cv = self
-            .registry
-            .get(atom.view.as_str())
-            .ok_or_else(|| CiteError::BadCitationView {
-                view: atom.view.to_string(),
-                reason: "atom references unregistered view".to_string(),
-            })?;
-        let mut answers: Vec<(&[String], QueryAnswer)> = Vec::new();
-        for cq in &cv.citation_queries {
-            let inst = cq.query.instantiate(&atom.params)?;
-            let ans = evaluate(self.db, &inst)?;
-            answers.push((cq.fields.as_slice(), ans));
-        }
-        let borrowed: Vec<(&[String], &QueryAnswer)> =
-            answers.iter().map(|(f, a)| (*f, a)).collect();
-        Ok(cv.function.render(&atom.view, &atom.params, &borrowed))
-    }
-
-    /// Schema-level citation-size estimate of a rewriting (no data access
-    /// beyond catalog statistics): a parameterized view contributes one
-    /// citation per distinct parameter valuation — estimated as the product
-    /// of the per-parameter distinct counts in the underlying base columns —
-    /// while an unparameterized view contributes exactly one.
+    /// Schema-level citation-size estimate of a rewriting (see the
+    /// pipeline documentation).
     pub fn schema_estimate(&self, rewriting: &ConjunctiveQuery) -> usize {
-        rewriting
-            .body
-            .iter()
-            .map(|atom| {
-                let Some(cv) = self.registry.get(atom.predicate.as_str()) else {
-                    return usize::MAX / 2;
-                };
-                if !cv.is_parameterized() {
-                    return 1;
-                }
-                cv.view
-                    .params
-                    .iter()
-                    .map(|p| self.param_distinct_estimate(&cv.view, p))
-                    .product::<usize>()
-                    .max(1)
-            })
-            .sum()
-    }
-
-    /// Distinct-count estimate for one λ-parameter: the number of distinct
-    /// values in the base column where the parameter first occurs in the
-    /// view body (falls back to the relation's cardinality).
-    fn param_distinct_estimate(&self, view: &ConjunctiveQuery, param: &Symbol) -> usize {
-        for atom in &view.body {
-            for (pos, t) in atom.terms.iter().enumerate() {
-                if t.as_var() == Some(param) {
-                    if let Ok(rel) = self.db.relation(atom.predicate.as_str()) {
-                        return rel.distinct_count(pos);
-                    }
-                }
-            }
-        }
-        self.db
-            .relation(
-                view.body
-                    .first()
-                    .map(|a| a.predicate.as_str())
-                    .unwrap_or_default(),
-            )
-            .map_or(1, citesys_storage::Relation::len)
-    }
-
-    /// Materializes the named views into a scratch database so rewritings
-    /// (queries over view predicates) can be evaluated by the standard
-    /// evaluator.
-    fn materialize_views(&self, needed: &BTreeSet<&Symbol>) -> Result<Database, CiteError> {
-        let mut vdb = Database::new();
-        for name in needed {
-            let cv = self
-                .registry
-                .get(name.as_str())
-                .ok_or_else(|| CiteError::BadCitationView {
-                    view: name.to_string(),
-                    reason: "rewriting references unregistered view".to_string(),
-                })?;
-            let schema = self.infer_view_schema(&cv.view)?;
-            vdb.create_relation(schema)?;
-            let ans = evaluate(self.db, &cv.view)?;
-            for row in &ans.rows {
-                vdb.insert(name.as_str(), row.tuple.clone())?;
-            }
-        }
-        Ok(vdb)
-    }
-
-    /// Infers the relation schema of a view from the base catalog.
-    fn infer_view_schema(&self, view: &ConjunctiveQuery) -> Result<RelationSchema, CiteError> {
-        let mut attrs = Vec::with_capacity(view.arity());
-        for (i, t) in view.head.terms.iter().enumerate() {
-            let (name, ty) = match t {
-                Term::Const(c) => (format!("c{i}"), c.type_name()),
-                Term::Var(v) => {
-                    let ty = self.type_of_var(view, v)?;
-                    (v.to_string(), ty)
-                }
-            };
-            attrs.push((name, ty));
-        }
-        // Disambiguate duplicate attribute names positionally.
-        let mut seen: BTreeSet<String> = BTreeSet::new();
-        let attributes = attrs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (name, ty))| {
-                let unique = if seen.insert(name.clone()) {
-                    name
-                } else {
-                    format!("{name}_{i}")
-                };
-                Attribute::new(unique, ty)
-            })
-            .collect();
-        Ok(RelationSchema::new(view.name().clone(), attributes, vec![]))
-    }
-
-    /// Resolves a view variable's type from its first occurrence in the
-    /// view body.
-    fn type_of_var(&self, view: &ConjunctiveQuery, v: &Symbol) -> Result<ValueType, CiteError> {
-        for atom in &view.body {
-            for (pos, t) in atom.terms.iter().enumerate() {
-                if t.as_var() == Some(v) {
-                    let rel = self.db.relation(atom.predicate.as_str())?;
-                    return Ok(rel.schema().attributes[pos].ty);
-                }
-            }
-        }
-        Err(CiteError::BadCitationView {
-            view: view.name().to_string(),
-            reason: format!("cannot infer type of head variable {v}"),
-        })
+        schema_estimate(self.db, self.registry, rewriting)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::paper;
@@ -517,10 +641,13 @@ mod tests {
         let engine = CitationEngine::new(
             &db,
             &reg,
-            EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+            EngineOptions {
+                mode: CitationMode::Formal,
+                ..Default::default()
+            },
         );
-        let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
-            .unwrap();
+        let q =
+            parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)").unwrap();
         let cited = engine.cite(&q).unwrap();
 
         // One output tuple: (Calcitonin).
@@ -537,11 +664,17 @@ mod tests {
             "Q1 branch missing: {expr}"
         );
         assert!(expr.contains("CV2·CV3"), "Q2 branch missing: {expr}");
-        assert!(expr.contains("+R"), "two rewritings must be +R-combined: {expr}");
+        assert!(
+            expr.contains("+R"),
+            "two rewritings must be +R-combined: {expr}"
+        );
 
         // Min-size +R picks the V2 branch: final atoms CV2, CV3.
-        let atoms: Vec<String> =
-            cited.tuples[0].atoms.iter().map(ToString::to_string).collect();
+        let atoms: Vec<String> = cited.tuples[0]
+            .atoms
+            .iter()
+            .map(ToString::to_string)
+            .collect();
         assert_eq!(atoms, vec!["CV2", "CV3"]);
 
         // Snippets rendered for both atoms.
@@ -565,8 +698,8 @@ mod tests {
                 ..Default::default()
             },
         );
-        let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
-            .unwrap();
+        let q =
+            parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)").unwrap();
         let cited = engine.cite(&q).unwrap();
         // Union keeps CV1(11), CV1(12), CV2, CV3.
         assert_eq!(cited.tuples[0].atoms.len(), 4);
@@ -587,34 +720,46 @@ mod tests {
         let engine = CitationEngine::new(
             &db,
             &reg,
-            EngineOptions { mode: CitationMode::CostPruned, ..Default::default() },
+            EngineOptions {
+                mode: CitationMode::CostPruned,
+                ..Default::default()
+            },
         );
-        let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
-            .unwrap();
+        let q =
+            parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)").unwrap();
         let cited = engine.cite(&q).unwrap();
         assert_eq!(cited.rewritings.len(), 1);
         // The schema estimate prefers the unparameterized V2 branch.
-        let atoms: Vec<String> =
-            cited.tuples[0].atoms.iter().map(ToString::to_string).collect();
+        let atoms: Vec<String> = cited.tuples[0]
+            .atoms
+            .iter()
+            .map(ToString::to_string)
+            .collect();
         assert_eq!(atoms, vec!["CV2", "CV3"]);
     }
 
     #[test]
     fn formal_and_pruned_agree_on_paper_example() {
         let (db, reg) = engine_fixture();
-        let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
-            .unwrap();
+        let q =
+            parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)").unwrap();
         let formal = CitationEngine::new(
             &db,
             &reg,
-            EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+            EngineOptions {
+                mode: CitationMode::Formal,
+                ..Default::default()
+            },
         )
         .cite(&q)
         .unwrap();
         let pruned = CitationEngine::new(
             &db,
             &reg,
-            EngineOptions { mode: CitationMode::CostPruned, ..Default::default() },
+            EngineOptions {
+                mode: CitationMode::CostPruned,
+                ..Default::default()
+            },
         )
         .cite(&q)
         .unwrap();
@@ -650,12 +795,15 @@ mod tests {
             &reg,
             EngineOptions {
                 mode: CitationMode::Formal,
-                policies: PolicySet { joint: JointPolicy::Join, ..Default::default() },
+                policies: PolicySet {
+                    joint: JointPolicy::Join,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         );
-        let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
-            .unwrap();
+        let q =
+            parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)").unwrap();
         let cited = engine.cite(&q).unwrap();
         assert_eq!(cited.tuples[0].snippets.len(), 1, "joined into one snippet");
     }
@@ -667,12 +815,15 @@ mod tests {
             &db,
             &reg,
             EngineOptions {
-                policies: PolicySet { agg: AggPolicy::PerTupleOnly, ..Default::default() },
+                policies: PolicySet {
+                    agg: AggPolicy::PerTupleOnly,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         );
-        let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
-            .unwrap();
+        let q =
+            parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)").unwrap();
         let cited = engine.cite(&q).unwrap();
         assert!(cited.aggregate.is_none());
         assert!(!cited.tuples.is_empty());
@@ -707,7 +858,10 @@ mod tests {
         let engine = CitationEngine::new(
             &db,
             &reg,
-            EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+            EngineOptions {
+                mode: CitationMode::Formal,
+                ..Default::default()
+            },
         );
         let q = parse_query("Q(A, C) :- E(A, B), E(B, C)").unwrap();
         let cited = engine.cite(&q).unwrap();
@@ -732,10 +886,8 @@ mod tests {
         let mut reg = crate::registry::CitationRegistry::new();
         reg.add(
             crate::registry::CitationView::new(
-                citesys_cq::parse_query(
-                    "λ FID, PName. VC(FID, PName) :- Committee(FID, PName)",
-                )
-                .unwrap(),
+                citesys_cq::parse_query("λ FID, PName. VC(FID, PName) :- Committee(FID, PName)")
+                    .unwrap(),
                 vec![crate::snippet::CitationQuery::new(
                     citesys_cq::parse_query(
                         "λ FID, PName. CVC(FID, PName) :- Committee(FID, PName)",
@@ -750,7 +902,10 @@ mod tests {
         let engine = CitationEngine::new(
             &db,
             &reg,
-            EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+            EngineOptions {
+                mode: CitationMode::Formal,
+                ..Default::default()
+            },
         );
         let q = parse_query("Q(P) :- Committee(11, P)").unwrap();
         let cited = engine.cite(&q).unwrap();
@@ -777,7 +932,10 @@ mod tests {
         let engine = CitationEngine::new(
             &db,
             &reg,
-            EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+            EngineOptions {
+                mode: CitationMode::Formal,
+                ..Default::default()
+            },
         );
         let q = parse_query("Q(N) :- Family(11, N, D), FamilyIntro(11, T)").unwrap();
         let cited = engine.cite(&q).unwrap();
@@ -812,12 +970,18 @@ mod tests {
         // Q = all family names. Dopamine (no intro) cannot be cited.
         let q = parse_query("Q(FName) :- Family(FID, FName, D)").unwrap();
         let strict = CitationEngine::new(&db, &reg, EngineOptions::default());
-        assert!(matches!(strict.cite(&q), Err(CiteError::NoRewriting { .. })));
+        assert!(matches!(
+            strict.cite(&q),
+            Err(CiteError::NoRewriting { .. })
+        ));
 
         let lenient = CitationEngine::new(
             &db,
             &reg,
-            EngineOptions { allow_partial: true, ..Default::default() },
+            EngineOptions {
+                allow_partial: true,
+                ..Default::default()
+            },
         );
         let cited = lenient.cite(&q).unwrap();
         assert_eq!(cited.answer.len(), 2); // Calcitonin, Dopamine
@@ -842,7 +1006,10 @@ mod tests {
         let engine = CitationEngine::new(
             &db,
             &reg,
-            EngineOptions { allow_partial: true, ..Default::default() },
+            EngineOptions {
+                allow_partial: true,
+                ..Default::default()
+            },
         );
         let cited = engine.cite(&paper::paper_query()).unwrap();
         assert_eq!(cited.coverage, Coverage::Full);
@@ -854,7 +1021,10 @@ mod tests {
         let engine = CitationEngine::new(
             &db,
             &reg,
-            EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+            EngineOptions {
+                mode: CitationMode::Formal,
+                ..Default::default()
+            },
         );
         // Q = all families: rewritable via V1 (param) or V2 (constant).
         let q = parse_query("Q(FID, FName, Desc) :- Family(FID, FName, Desc)").unwrap();

@@ -36,6 +36,12 @@ pub enum CiteError {
         /// Digest obtained on re-execution.
         got: String,
     },
+    /// The service builder was missing a required component or was given
+    /// an inconsistent configuration.
+    ServiceConfig {
+        /// What is missing or inconsistent.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CiteError {
@@ -45,13 +51,19 @@ impl fmt::Display for CiteError {
             CiteError::Storage(e) => write!(f, "storage error: {e}"),
             CiteError::Rewrite(e) => write!(f, "rewrite error: {e}"),
             CiteError::NoRewriting { query } => {
-                write!(f, "no equivalent rewriting over citation views for: {query}")
+                write!(
+                    f,
+                    "no equivalent rewriting over citation views for: {query}"
+                )
             }
             CiteError::BadCitationView { view, reason } => {
                 write!(f, "bad citation view {view}: {reason}")
             }
             CiteError::FixityViolation { expected, got } => {
                 write!(f, "fixity violation: expected {expected}, got {got}")
+            }
+            CiteError::ServiceConfig { reason } => {
+                write!(f, "service configuration error: {reason}")
             }
         }
     }
@@ -83,13 +95,19 @@ mod tests {
 
     #[test]
     fn conversions_and_display() {
-        let e: CiteError = CqError::Unsatisfiable { left: "1".into(), right: "2".into() }.into();
+        let e: CiteError = CqError::Unsatisfiable {
+            left: "1".into(),
+            right: "2".into(),
+        }
+        .into();
         assert!(e.to_string().contains("query error"));
         let e: CiteError = StorageError::UnknownRelation { name: "R".into() }.into();
         assert!(e.to_string().contains("storage error"));
         let e: CiteError = RewriteError::UnknownView { name: "V".into() }.into();
         assert!(e.to_string().contains("rewrite error"));
-        let e = CiteError::NoRewriting { query: "Q(X) :- R(X)".into() };
+        let e = CiteError::NoRewriting {
+            query: "Q(X) :- R(X)".into(),
+        };
         assert!(e.to_string().contains("no equivalent rewriting"));
     }
 }

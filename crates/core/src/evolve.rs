@@ -7,15 +7,24 @@
 //! against the base atoms the citation depends on (the query body, the
 //! bodies of all schema-relevant views, and their citation queries).
 //! Experiment E7 measures the win over full recomputation.
+//!
+//! The engine is built on [`CitationService`]: data updates swap the
+//! service's database snapshot while the **plan cache survives** (rewrite
+//! plans depend only on the query shape and the registry), whereas view
+//! registrations and schema changes **clear the plan cache** (they can
+//! change the rewriting space). Cached *citations* are invalidated by data
+//! updates through the pattern matching above.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use citesys_cq::{Atom, ConjunctiveQuery, Term};
-use citesys_storage::{Database, Tuple};
+use citesys_storage::{Database, RelationSchema, Tuple};
 
-use crate::engine::{CitationEngine, CitedAnswer, EngineOptions};
+use crate::engine::{CitedAnswer, EngineOptions};
 use crate::error::CiteError;
-use crate::registry::CitationRegistry;
+use crate::registry::{CitationRegistry, CitationView};
+use crate::service::CitationService;
 
 /// Cache statistics for the incremental engine.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -28,6 +37,8 @@ pub struct EvolveStats {
     pub invalidations: usize,
     /// Updates that invalidated nothing.
     pub unaffected_updates: usize,
+    /// Times the rewrite-plan cache was cleared (view/schema changes).
+    pub plan_invalidations: usize,
 }
 
 struct CacheEntry {
@@ -40,9 +51,10 @@ struct CacheEntry {
 /// A citation engine that owns its database, caches cited answers, and
 /// invalidates them precisely under updates.
 pub struct IncrementalEngine {
-    db: Database,
-    registry: CitationRegistry,
+    db: Arc<Database>,
+    registry: Arc<CitationRegistry>,
     options: EngineOptions,
+    service: CitationService,
     cache: BTreeMap<String, CacheEntry>,
     stats: EvolveStats,
 }
@@ -50,10 +62,19 @@ pub struct IncrementalEngine {
 impl IncrementalEngine {
     /// Creates an incremental engine owning `db`.
     pub fn new(db: Database, registry: CitationRegistry, options: EngineOptions) -> Self {
+        let db = Arc::new(db);
+        let registry = Arc::new(registry);
+        let service = CitationService::builder()
+            .database(Arc::clone(&db))
+            .registry(Arc::clone(&registry))
+            .options(options)
+            .build()
+            .expect("database and registry provided");
         IncrementalEngine {
             db,
             registry,
             options,
+            service,
             cache: BTreeMap::new(),
             stats: EvolveStats::default(),
         }
@@ -74,6 +95,14 @@ impl IncrementalEngine {
         self.cache.len()
     }
 
+    /// A service over the engine's **current** snapshot, sharing its plan
+    /// cache. Prepared citations obtained from it stay pinned to this
+    /// snapshot; after updates, obtain a fresh one (the shared plan cache
+    /// makes re-preparation search-free).
+    pub fn snapshot_service(&self) -> CitationService {
+        self.service.clone()
+    }
+
     /// Computes (or returns the cached) citation for `q`.
     pub fn cite(&mut self, q: &ConjunctiveQuery) -> Result<CitedAnswer, CiteError> {
         let key = q.canonical().to_string();
@@ -82,16 +111,37 @@ impl IncrementalEngine {
             return Ok(entry.cited.clone());
         }
         self.stats.misses += 1;
-        let engine = CitationEngine::new(&self.db, &self.registry, self.options);
-        let cited = engine.cite(q)?;
+        let cited = self.service.cite(q)?;
         let patterns = self.dependency_patterns(q);
-        self.cache.insert(key, CacheEntry { cited: cited.clone(), patterns });
+        self.cache.insert(
+            key,
+            CacheEntry {
+                cited: cited.clone(),
+                patterns,
+            },
+        );
         Ok(cited)
+    }
+
+    /// Applies a mutation to the owned database and swaps the service's
+    /// snapshot (keeping the plan cache warm). The service's `Arc` to the
+    /// old snapshot is dropped *before* `Arc::make_mut`, so steady-state
+    /// updates mutate in place instead of cloning the database.
+    fn mutate<R>(
+        &mut self,
+        f: impl FnOnce(&mut Database) -> Result<R, citesys_storage::StorageError>,
+    ) -> Result<R, CiteError> {
+        self.service = self.service.with_database(Arc::new(Database::new()));
+        // Restore the service before propagating any error — a failed
+        // mutation must not leave it pointing at the empty placeholder.
+        let out = f(Arc::make_mut(&mut self.db));
+        self.service = self.service.with_database(Arc::clone(&self.db));
+        Ok(out?)
     }
 
     /// Inserts a tuple, invalidating affected citations.
     pub fn insert(&mut self, rel: &str, t: Tuple) -> Result<bool, CiteError> {
-        let changed = self.db.insert(rel, t.clone())?;
+        let changed = self.mutate(|db| db.insert(rel, t.clone()))?;
         if changed {
             self.invalidate(rel, &t);
         }
@@ -100,11 +150,51 @@ impl IncrementalEngine {
 
     /// Deletes a tuple, invalidating affected citations.
     pub fn delete(&mut self, rel: &str, t: &Tuple) -> Result<bool, CiteError> {
-        let changed = self.db.delete(rel, t)?;
+        let changed = self.mutate(|db| db.delete(rel, t))?;
         if changed {
             self.invalidate(rel, t);
         }
         Ok(changed)
+    }
+
+    /// Registers a new citation view. This can change the rewriting space
+    /// of *any* query, so both the plan cache and every cached citation
+    /// are invalidated.
+    pub fn register_view(&mut self, cv: CitationView) -> Result<(), CiteError> {
+        Arc::make_mut(&mut self.registry).add(cv)?;
+        let dropped = self.cache.len();
+        self.cache.clear();
+        self.stats.invalidations += dropped;
+        self.rebuild_service_with_fresh_plans();
+        Ok(())
+    }
+
+    /// Declares a new base relation. Conservatively treated as a schema
+    /// change: cached plans are dropped (cached citations are unaffected —
+    /// a brand-new relation is empty and referenced by no existing view).
+    pub fn create_relation(&mut self, schema: RelationSchema) -> Result<(), CiteError> {
+        self.mutate(|db| db.create_relation(schema))?;
+        self.rebuild_service_with_fresh_plans();
+        Ok(())
+    }
+
+    /// Swaps in a service with a **new, empty** plan cache. Replacing the
+    /// `Arc` (rather than clearing the shared cache) matters: service
+    /// clones handed out by [`snapshot_service`](Self::snapshot_service)
+    /// before the change keep writing plans for *their* (old) registry
+    /// into *their* cache — clearing the shared one would let those
+    /// old-registry plans flow back in afterwards and be served as if
+    /// current.
+    fn rebuild_service_with_fresh_plans(&mut self) {
+        let capacity = self.service.plan_cache().capacity();
+        self.service = CitationService::builder()
+            .database(Arc::clone(&self.db))
+            .registry(Arc::clone(&self.registry))
+            .options(self.options)
+            .plan_cache_capacity(capacity)
+            .build()
+            .expect("database and registry provided");
+        self.stats.plan_invalidations += 1;
     }
 
     /// Removes cache entries whose dependency patterns match the delta.
@@ -206,8 +296,7 @@ mod tests {
     fn alpha_renamed_query_hits_cache() {
         let mut e = engine();
         e.cite(&paper::paper_query()).unwrap();
-        let renamed =
-            parse_query("Q(N) :- Family(I, N, D), FamilyIntro(I, T)").unwrap();
+        let renamed = parse_query("Q(N) :- Family(I, N, D), FamilyIntro(I, T)").unwrap();
         e.cite(&renamed).unwrap();
         assert_eq!(e.stats().hits, 1);
     }
@@ -224,6 +313,63 @@ mod tests {
         let after = e.cite(&q).unwrap();
         assert_eq!(after.answer.len(), 2);
         assert_eq!(e.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn data_updates_keep_the_plan_cache_warm() {
+        let mut e = engine();
+        let q = paper::paper_query();
+        e.cite(&q).unwrap();
+        e.insert("FamilyIntro", tuple![13, "3rd"]).unwrap();
+        let recomputed = e.cite(&q).unwrap();
+        // The citation was recomputed (data changed) but the rewriting
+        // search was not re-run — the plan survived the snapshot swap.
+        assert_eq!(recomputed.rewrite_stats.plan_cache_hits, 1);
+        assert_eq!(recomputed.rewrite_stats.search_effort(), 0);
+        assert_eq!(recomputed.answer.len(), 2);
+    }
+
+    #[test]
+    fn register_view_clears_plans_and_citations() {
+        let db = paper::paper_database();
+        let mut reg = CitationRegistry::new();
+        // Start with only V3: the committee query is uncoverable.
+        reg.add(paper::paper_registry().get("V3").unwrap().clone())
+            .unwrap();
+        let mut e = IncrementalEngine::new(db, reg, EngineOptions::default());
+        let q = parse_query("Q(P) :- Committee(F, P)").unwrap();
+        assert!(e.cite(&q).is_err());
+        // Registering a covering view must invalidate the cached empty
+        // plan, or the query stays wrongly uncoverable forever.
+        e.register_view(
+            CitationView::new(
+                parse_query("VC(F, P) :- Committee(F, P)").unwrap(),
+                vec![crate::snippet::CitationQuery::new(
+                    parse_query("CVC(D) :- D = 'committee'").unwrap(),
+                )],
+                crate::snippet::CitationFunction::new(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let cited = e.cite(&q).unwrap();
+        assert_eq!(cited.answer.len(), 4);
+        assert_eq!(e.stats().plan_invalidations, 1);
+    }
+
+    #[test]
+    fn create_relation_clears_plans() {
+        let mut e = engine();
+        e.cite(&paper::paper_query()).unwrap();
+        let plans_before = e.snapshot_service().plan_cache().len();
+        assert!(plans_before > 0);
+        e.create_relation(RelationSchema::from_parts(
+            "Extra",
+            &[("X", citesys_cq::ValueType::Int)],
+            &[],
+        ))
+        .unwrap();
+        assert_eq!(e.snapshot_service().plan_cache().len(), 0);
     }
 
     #[test]
@@ -261,6 +407,24 @@ mod tests {
     }
 
     #[test]
+    fn failed_mutation_leaves_service_usable() {
+        // A rejected update (unknown relation / key violation) must not
+        // wedge the service on the empty placeholder snapshot.
+        let mut e = engine();
+        e.cite(&paper::paper_query()).unwrap();
+        assert!(e.insert("NoSuchRelation", tuple![1]).is_err());
+        assert!(
+            e.insert("Family", tuple![11, "Clash", "X"]).is_err(),
+            "key violation"
+        );
+        // Cache was NOT invalidated (no change happened), and a fresh
+        // (uncached) query still evaluates against the real data.
+        let q = parse_query("Q2(T) :- FamilyIntro(F, T)").unwrap();
+        let cited = e.cite(&q).unwrap();
+        assert_eq!(cited.answer.len(), 2);
+    }
+
+    #[test]
     fn pattern_matching_repeated_vars() {
         let p = parse_query("Q(X) :- R(X, X)").unwrap().body[0].clone();
         assert!(pattern_matches(&p, "R", &tuple![3, 3]));
@@ -282,5 +446,17 @@ mod tests {
         e.insert("Committee", tuple![12, "Frank"]).unwrap();
         assert_eq!(e.cached(), 1);
         assert_eq!(e.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn updates_mutate_in_place() {
+        // `mutate` must not trigger an `Arc::make_mut` deep clone in
+        // steady state: after the swap dance, the engine's Arc is unique.
+        let mut e = engine();
+        e.cite(&paper::paper_query()).unwrap();
+        for i in 0..100 {
+            e.insert("Committee", tuple![11, format!("P{i}")]).unwrap();
+        }
+        assert_eq!(Arc::strong_count(&e.db), 2, "engine + service only");
     }
 }

@@ -35,7 +35,10 @@ pub struct CiteAtom {
 impl CiteAtom {
     /// Builds an atom.
     pub fn new(view: impl Into<Symbol>, params: Vec<Value>) -> Self {
-        CiteAtom { view: view.into(), params }
+        CiteAtom {
+            view: view.into(),
+            params,
+        }
     }
 }
 
@@ -232,7 +235,11 @@ impl fmt::Display for CiteExpr {
             }
             // +R alternatives are fully parenthesized when composite, the
             // way the paper writes `(…) +R (CV2·CV3)`.
-            let child_parent = if matches!(e, CiteExpr::AltR(_)) { 3 } else { prec + 1 };
+            let child_parent = if matches!(e, CiteExpr::AltR(_)) {
+                3
+            } else {
+                prec + 1
+            };
             for (i, c) in cs.iter().enumerate() {
                 if i > 0 {
                     write!(f, "{sep}")?;

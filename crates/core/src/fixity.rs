@@ -10,9 +10,10 @@
 use citesys_cq::{parse_query, ConjunctiveQuery};
 use citesys_storage::{digest_answer, evaluate, Digest, QueryAnswer, VersionedDatabase};
 
-use crate::engine::{CitationEngine, CitedAnswer, EngineOptions};
+use crate::engine::{CitedAnswer, EngineOptions};
 use crate::error::CiteError;
 use crate::registry::CitationRegistry;
+use crate::service::CitationService;
 
 /// The machine-actionable part of a citation: enough to retrieve and
 /// verify the cited data.
@@ -28,12 +29,21 @@ pub struct FixityToken {
 
 impl std::fmt::Display for FixityToken {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "v{} sha256:{} query:{}", self.version, self.digest, self.query)
+        write!(
+            f,
+            "v{} sha256:{} query:{}",
+            self.version, self.digest, self.query
+        )
     }
 }
 
 /// Computes a citation against a specific committed version of a versioned
 /// database, returning the cited answer together with its fixity token.
+///
+/// Convenience one-shot: each call clones `registry` into a fresh service
+/// with a cold plan cache. Callers citing in a loop should build one
+/// service over the snapshot and use [`cite_with_service`] instead — it
+/// keeps the plan cache (and materialized views) warm across calls.
 pub fn cite_at_version(
     vdb: &VersionedDatabase,
     registry: &CitationRegistry,
@@ -41,9 +51,24 @@ pub fn cite_at_version(
     version: u64,
     q: &ConjunctiveQuery,
 ) -> Result<(CitedAnswer, FixityToken), CiteError> {
-    let snapshot = vdb.snapshot(version)?;
-    let engine = CitationEngine::new(&snapshot, registry, options);
-    let cited = engine.cite(q)?;
+    let service = CitationService::builder()
+        .database(vdb.snapshot(version)?)
+        .registry(registry.clone())
+        .options(options)
+        .build()?;
+    cite_with_service(&service, version, q)
+}
+
+/// Like [`cite_at_version`], but against an already-built service whose
+/// database is the snapshot of `version` — long-lived callers (the CLI's
+/// `serve` loop) reuse one service and its warm plan cache across
+/// citations instead of re-running the rewriting search each time.
+pub fn cite_with_service(
+    service: &CitationService,
+    version: u64,
+    q: &ConjunctiveQuery,
+) -> Result<(CitedAnswer, FixityToken), CiteError> {
+    let cited = service.cite(q)?;
     let token = FixityToken {
         version,
         query: q.to_string(),
@@ -54,10 +79,7 @@ pub fn cite_at_version(
 
 /// Brings back the data exactly as cited: re-parses the token's query and
 /// evaluates it against the cited snapshot.
-pub fn dereference(
-    vdb: &VersionedDatabase,
-    token: &FixityToken,
-) -> Result<QueryAnswer, CiteError> {
+pub fn dereference(vdb: &VersionedDatabase, token: &FixityToken) -> Result<QueryAnswer, CiteError> {
     let q = parse_query(&token.query)?;
     let snapshot = vdb.snapshot(token.version)?;
     Ok(evaluate(&snapshot, &q)?)
@@ -103,9 +125,14 @@ mod tests {
     fn cite_and_verify_round_trip() {
         let vdb = versioned_fixture();
         let reg = paper::paper_registry();
-        let (cited, token) =
-            cite_at_version(&vdb, &reg, EngineOptions::default(), 1, &paper::paper_query())
-                .unwrap();
+        let (cited, token) = cite_at_version(
+            &vdb,
+            &reg,
+            EngineOptions::default(),
+            1,
+            &paper::paper_query(),
+        )
+        .unwrap();
         assert_eq!(cited.answer.len(), 1);
         assert_eq!(token.version, 1);
         verify(&vdb, &token).unwrap();
@@ -115,12 +142,22 @@ mod tests {
     fn dereference_returns_data_as_cited() {
         let vdb = versioned_fixture();
         let reg = paper::paper_registry();
-        let (cited_v1, token_v1) =
-            cite_at_version(&vdb, &reg, EngineOptions::default(), 1, &paper::paper_query())
-                .unwrap();
-        let (cited_v2, _) =
-            cite_at_version(&vdb, &reg, EngineOptions::default(), 2, &paper::paper_query())
-                .unwrap();
+        let (cited_v1, token_v1) = cite_at_version(
+            &vdb,
+            &reg,
+            EngineOptions::default(),
+            1,
+            &paper::paper_query(),
+        )
+        .unwrap();
+        let (cited_v2, _) = cite_at_version(
+            &vdb,
+            &reg,
+            EngineOptions::default(),
+            2,
+            &paper::paper_query(),
+        )
+        .unwrap();
         // Version 2 sees Dopamine too; version 1 must not.
         assert_eq!(cited_v1.answer.len(), 1);
         assert_eq!(cited_v2.answer.len(), 2);
@@ -132,9 +169,14 @@ mod tests {
     fn tampered_digest_detected() {
         let vdb = versioned_fixture();
         let reg = paper::paper_registry();
-        let (_, mut token) =
-            cite_at_version(&vdb, &reg, EngineOptions::default(), 1, &paper::paper_query())
-                .unwrap();
+        let (_, mut token) = cite_at_version(
+            &vdb,
+            &reg,
+            EngineOptions::default(),
+            1,
+            &paper::paper_query(),
+        )
+        .unwrap();
         token.digest = citesys_storage::sha256(b"tampered");
         let e = verify(&vdb, &token).unwrap_err();
         assert!(matches!(e, CiteError::FixityViolation { .. }));
@@ -144,9 +186,14 @@ mod tests {
     fn wrong_version_detected_via_digest() {
         let vdb = versioned_fixture();
         let reg = paper::paper_registry();
-        let (_, mut token) =
-            cite_at_version(&vdb, &reg, EngineOptions::default(), 1, &paper::paper_query())
-                .unwrap();
+        let (_, mut token) = cite_at_version(
+            &vdb,
+            &reg,
+            EngineOptions::default(),
+            1,
+            &paper::paper_query(),
+        )
+        .unwrap();
         // Re-pointing the token at version 2 changes the answer set.
         token.version = 2;
         let e = verify(&vdb, &token).unwrap_err();
@@ -172,9 +219,14 @@ mod tests {
     fn token_display_round_trips_query() {
         let vdb = versioned_fixture();
         let reg = paper::paper_registry();
-        let (_, token) =
-            cite_at_version(&vdb, &reg, EngineOptions::default(), 1, &paper::paper_query())
-                .unwrap();
+        let (_, token) = cite_at_version(
+            &vdb,
+            &reg,
+            EngineOptions::default(),
+            1,
+            &paper::paper_query(),
+        )
+        .unwrap();
         let text = token.to_string();
         assert!(text.starts_with("v1 sha256:"));
         assert!(parse_query(&token.query).is_ok());

@@ -28,8 +28,14 @@ pub enum CitationFormat {
 }
 
 /// Field names treated as contributor/author lists.
-const AUTHOR_FIELDS: [&str; 6] =
-    ["author", "authors", "PName", "CName", "Curator", "contributors"];
+const AUTHOR_FIELDS: [&str; 6] = [
+    "author",
+    "authors",
+    "PName",
+    "CName",
+    "Curator",
+    "contributors",
+];
 /// Field names treated as the citation title.
 const TITLE_FIELDS: [&str; 3] = ["title", "citation", "database"];
 
@@ -48,7 +54,9 @@ pub struct FormatOptions {
 impl Default for FormatOptions {
     fn default() -> Self {
         // The paper's convention: abbreviate beyond three authors.
-        FormatOptions { max_authors: Some(3) }
+        FormatOptions {
+            max_authors: Some(3),
+        }
     }
 }
 
@@ -114,15 +122,16 @@ fn key_of(s: &CitationSnippet, i: usize) -> String {
 ///
 /// ```
 /// use citesys_core::paper;
-/// use citesys_core::{format_citation, CitationEngine, CitationFormat,
-///                    CitationMode, EngineOptions};
+/// use citesys_core::{format_citation, CitationFormat, CitationMode,
+///                    CitationService};
 ///
-/// let db = paper::paper_database();
-/// let registry = paper::paper_registry();
-/// let engine = CitationEngine::new(&db, &registry, EngineOptions {
-///     mode: CitationMode::Formal, ..Default::default()
-/// });
-/// let cited = engine.cite(&paper::paper_query()).unwrap();
+/// let service = CitationService::builder()
+///     .database(paper::paper_database())
+///     .registry(paper::paper_registry())
+///     .mode(CitationMode::Formal)
+///     .build()
+///     .unwrap();
+/// let cited = service.cite(&paper::paper_query()).unwrap();
 /// let bib = format_citation(
 ///     &cited.tuples[0].snippets, None, CitationFormat::BibTex);
 /// assert!(bib.starts_with("@misc{"));
@@ -153,7 +162,11 @@ pub fn format_citation_with(
     }
 }
 
-fn text(snippets: &[CitationSnippet], fixity: Option<&FixityToken>, opts: &FormatOptions) -> String {
+fn text(
+    snippets: &[CitationSnippet],
+    fixity: Option<&FixityToken>,
+    opts: &FormatOptions,
+) -> String {
     let mut out = String::new();
     for s in snippets {
         let authors = abbreviate(authors_of(s), opts);
@@ -172,7 +185,10 @@ fn text(snippets: &[CitationSnippet], fixity: Option<&FixityToken>, opts: &Forma
         out.push('\n');
     }
     if let Some(t) = fixity {
-        out.push_str(&format!("Retrieved as: version {}, sha256 {}\n", t.version, t.digest));
+        out.push_str(&format!(
+            "Retrieved as: version {}, sha256 {}\n",
+            t.version, t.digest
+        ));
     }
     out
 }
@@ -191,11 +207,18 @@ fn bibtex(
         out.push_str(&format!("@misc{{{},\n", key_of(s, i)));
         let authors = abbreviate(authors_of(s), opts);
         if !authors.is_empty() {
-            out.push_str(&format!("  author = {{{}}},\n", bibtex_escape(&authors.join(" and "))));
+            out.push_str(&format!(
+                "  author = {{{}}},\n",
+                bibtex_escape(&authors.join(" and "))
+            ));
         }
         out.push_str(&format!("  title = {{{}}},\n", bibtex_escape(&title_of(s))));
         for (k, v) in other_fields(s) {
-            out.push_str(&format!("  note = {{{}: {}}},\n", bibtex_escape(&k), bibtex_escape(&v)));
+            out.push_str(&format!(
+                "  note = {{{}: {}}},\n",
+                bibtex_escape(&k),
+                bibtex_escape(&v)
+            ));
         }
         if let Some(t) = fixity {
             out.push_str(&format!(
@@ -208,11 +231,7 @@ fn bibtex(
     out
 }
 
-fn ris(
-    snippets: &[CitationSnippet],
-    fixity: Option<&FixityToken>,
-    opts: &FormatOptions,
-) -> String {
+fn ris(snippets: &[CitationSnippet], fixity: Option<&FixityToken>, opts: &FormatOptions) -> String {
     let mut out = String::new();
     for s in snippets {
         out.push_str("TY  - DBASE\n");
@@ -242,9 +261,15 @@ fn xml_escape(s: &str) -> String {
 fn xml(snippets: &[CitationSnippet], fixity: Option<&FixityToken>) -> String {
     let mut out = String::from("<citations>\n");
     for s in snippets {
-        out.push_str(&format!("  <citation view=\"{}\">\n", xml_escape(s.view.as_str())));
+        out.push_str(&format!(
+            "  <citation view=\"{}\">\n",
+            xml_escape(s.view.as_str())
+        ));
         for p in &s.params {
-            out.push_str(&format!("    <param>{}</param>\n", xml_escape(&p.to_string())));
+            out.push_str(&format!(
+                "    <param>{}</param>\n",
+                xml_escape(&p.to_string())
+            ));
         }
         for (k, vs) in &s.fields {
             out.push_str(&format!("    <field name=\"{}\">\n", xml_escape(k)));
@@ -289,7 +314,10 @@ fn json(snippets: &[CitationSnippet], fixity: Option<&FixityToken>) -> String {
         if i > 0 {
             out.push(',');
         }
-        out.push_str(&format!("{{\"view\":\"{}\",\"params\":[", json_escape(s.view.as_str())));
+        out.push_str(&format!(
+            "{{\"view\":\"{}\",\"params\":[",
+            json_escape(s.view.as_str())
+        ));
         for (j, p) in s.params.iter().enumerate() {
             if j > 0 {
                 out.push(',');
@@ -359,7 +387,10 @@ fn csl_json(
             .map(|(k, v)| format!("{k}: {v}"))
             .collect();
         if !extras.is_empty() {
-            out.push_str(&format!(",\"note\":\"{}\"", json_escape(&extras.join("; "))));
+            out.push_str(&format!(
+                ",\"note\":\"{}\"",
+                json_escape(&extras.join("; "))
+            ));
         }
         if let Some(t) = fixity {
             out.push_str(&format!(
@@ -387,7 +418,10 @@ mod tests {
             view: Symbol::new("V1"),
             params: vec![Value::Int(11)],
             fields: BTreeMap::from([
-                ("PName".to_string(), vec!["Alice".to_string(), "Bob".to_string()]),
+                (
+                    "PName".to_string(),
+                    vec!["Alice".to_string(), "Bob".to_string()],
+                ),
                 ("database".to_string(), vec!["GtoPdb".to_string()]),
                 ("year".to_string(), vec!["2017".to_string()]),
             ]),

@@ -12,8 +12,12 @@
 //!   `(CV1(11)·CV3 + CV1(12)·CV3) +R (CV2·CV3)`.
 //! * **Policies** ([`policy`]): owner-chosen interpretations (union, join,
 //!   first, minimum estimated size) of the abstract operators.
-//! * **The engine** ([`engine`]): rewrite → evaluate → annotate → render,
-//!   with a formal-semantics mode and a cost-pruned mode (§3).
+//! * **The service** ([`service`]): the owned, `Send + Sync`
+//!   [`CitationService`] — rewrite → evaluate → annotate → render with a
+//!   formal-semantics mode and a cost-pruned mode (§3), prepared queries,
+//!   an LRU plan cache keyed modulo λ-parameter constants, and batch
+//!   citation. (The borrowing [`CitationEngine`] shim remains for source
+//!   compatibility; see `MIGRATION.md`.)
 //! * **Rendering** ([`mod@format`]): text, BibTeX, RIS, XML, JSON.
 //! * **Fixity** ([`fixity`]): versioned citations with SHA-256 digests,
 //!   dereference and verification.
@@ -27,18 +31,18 @@
 //! ## Quickstart
 //!
 //! ```
-//! use citesys_core::engine::{CitationEngine, CitationMode, EngineOptions};
 //! use citesys_core::format::{format_citation, CitationFormat};
 //! use citesys_core::paper;
+//! use citesys_core::{CitationMode, CitationService};
 //!
-//! let db = paper::paper_database();
-//! let registry = paper::paper_registry();
-//! let engine = CitationEngine::new(&db, &registry, EngineOptions {
-//!     mode: CitationMode::Formal,
-//!     ..Default::default()
-//! });
+//! let service = CitationService::builder()
+//!     .database(paper::paper_database())
+//!     .registry(paper::paper_registry())
+//!     .mode(CitationMode::Formal)
+//!     .build()
+//!     .unwrap();
 //!
-//! let cited = engine.cite(&paper::paper_query()).unwrap();
+//! let cited = service.cite(&paper::paper_query()).unwrap();
 //! // The min-size policy picks the paper's answer: CV2·CV3.
 //! let atoms: Vec<String> =
 //!     cited.tuples[0].atoms.iter().map(ToString::to_string).collect();
@@ -46,6 +50,11 @@
 //!
 //! let text = format_citation(&cited.tuples[0].snippets, None, CitationFormat::Text);
 //! assert!(text.contains("IUPHAR/BPS Guide to PHARMACOLOGY..."));
+//!
+//! // Re-citing the same query shape skips the rewriting search entirely.
+//! let prepared = service.prepare(&paper::paper_query()).unwrap();
+//! let again = prepared.execute().unwrap();
+//! assert_eq!(again.rewrite_stats.search_effort(), 0);
 //! ```
 
 #![warn(missing_docs)]
@@ -61,22 +70,26 @@ pub mod paper;
 pub mod policy;
 pub mod registry;
 pub mod select;
+pub mod service;
 pub mod snippet;
 pub mod trace;
 
+#[allow(deprecated)]
+pub use engine::CitationEngine;
 pub use engine::{
-    AggregateCitation, CitationEngine, CitationMode, CitedAnswer, Coverage, EngineOptions,
-    TupleCitation,
+    AggregateCitation, CitationMode, CitedAnswer, Coverage, EngineOptions, TupleCitation,
 };
 pub use error::CiteError;
 pub use evolve::{EvolveStats, IncrementalEngine};
 pub use expr::{CiteAtom, CiteExpr};
-pub use fixity::{cite_at_version, dereference, verify, FixityToken};
+pub use fixity::{cite_at_version, cite_with_service, dereference, verify, FixityToken};
 pub use format::{format_citation, format_citation_with, CitationFormat, FormatOptions};
-pub use policy::{
-    AggPolicy, AltPolicy, JointPolicy, PolicySet, RewritePolicy, RewritingChoice,
-};
+pub use policy::{AggPolicy, AltPolicy, JointPolicy, PolicySet, RewritePolicy, RewritingChoice};
 pub use registry::{CitationRegistry, CitationView};
 pub use select::{covers, exhaustive_select, greedy_select, Selection};
+pub use service::{
+    CitationService, CitationServiceBuilder, PlanCache, PlanCacheStats, PreparedCitation,
+    DEFAULT_PLAN_CACHE_CAPACITY,
+};
 pub use snippet::{CitationFunction, CitationQuery, CitationSnippet};
 pub use trace::{trace_answer, trace_tuple};

@@ -113,8 +113,7 @@ pub fn paper_registry() -> CitationRegistry {
     // V3(FID,Text) :- FamilyIntro(FID,Text); CV3(D) :- D = "…".
     reg.add(
         CitationView::new(
-            parse_query("V3(FID, Text) :- FamilyIntro(FID, Text)")
-                .expect("fixture view parses"),
+            parse_query("V3(FID, Text) :- FamilyIntro(FID, Text)").expect("fixture view parses"),
             vec![CitationQuery::with_fields(
                 parse_query(&format!("CV3(D) :- D = \"{GTOPDB_CITATION}\""))
                     .expect("fixture citation query parses"),

@@ -228,9 +228,11 @@ mod tests {
 
     #[test]
     fn alt_first_takes_first_binding() {
-        let policies = PolicySet { alt: AltPolicy::First, ..Default::default() };
-        let atoms =
-            atoms_for_tuple(&policies, &paper_branches(), RewritingChoice::Index(0));
+        let policies = PolicySet {
+            alt: AltPolicy::First,
+            ..Default::default()
+        };
+        let atoms = atoms_for_tuple(&policies, &paper_branches(), RewritingChoice::Index(0));
         // Only the first binding's product: CV1(11)·CV3.
         assert_eq!(atoms.len(), 2);
         assert!(atoms.iter().any(|a| a.to_string() == "CV1(11)"));

@@ -50,7 +50,11 @@ impl CitationView {
                 reason: "at least one citation query is required".to_string(),
             });
         }
-        Ok(CitationView { view, citation_queries, function })
+        Ok(CitationView {
+            view,
+            citation_queries,
+            function,
+        })
     }
 
     /// The view's name (head predicate).
@@ -188,12 +192,8 @@ mod tests {
         let cv = CitationView::new(
             parse_query("λ FID. V1(FID, N, D) :- Family(FID, N, D)").unwrap(),
             vec![
-                CitationQuery::new(
-                    parse_query("λ FID. CVa(FID, P) :- Committee(FID, P)").unwrap(),
-                ),
-                CitationQuery::new(
-                    parse_query("λ FID. CVb(FID, N) :- Family(FID, N, D)").unwrap(),
-                ),
+                CitationQuery::new(parse_query("λ FID. CVa(FID, P) :- Committee(FID, P)").unwrap()),
+                CitationQuery::new(parse_query("λ FID. CVb(FID, N) :- Family(FID, N, D)").unwrap()),
             ],
             CitationFunction::new().with_static("database", "GtoPdb"),
         )

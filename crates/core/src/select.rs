@@ -57,28 +57,25 @@ pub fn greedy_select(
     let mut checks = 0usize;
 
     // Gain of adding `extra` to the current selection.
-    let gain_of = |chosen: &[usize],
-                   extra: &[usize],
-                   covered: &[bool],
-                   checks: &mut usize|
-     -> usize {
-        let trial: Vec<ConjunctiveQuery> = chosen
-            .iter()
-            .chain(extra)
-            .map(|&i| candidates[i].clone())
-            .collect();
-        let mut gain = 0;
-        for (qi, q) in workload.iter().enumerate() {
-            if covered[qi] {
-                continue;
+    let gain_of =
+        |chosen: &[usize], extra: &[usize], covered: &[bool], checks: &mut usize| -> usize {
+            let trial: Vec<ConjunctiveQuery> = chosen
+                .iter()
+                .chain(extra)
+                .map(|&i| candidates[i].clone())
+                .collect();
+            let mut gain = 0;
+            for (qi, q) in workload.iter().enumerate() {
+                if covered[qi] {
+                    continue;
+                }
+                *checks += 1;
+                if covers(q, &trial, opts) {
+                    gain += 1;
+                }
             }
-            *checks += 1;
-            if covers(q, &trial, opts) {
-                gain += 1;
-            }
-        }
-        gain
-    };
+            gain
+        };
 
     while !covered.iter().all(|&c| c) {
         // Best single candidate.
@@ -125,7 +122,11 @@ pub fn greedy_select(
             }
         }
     }
-    Selection { chosen, covered, cover_checks: checks }
+    Selection {
+        chosen,
+        covered,
+        cover_checks: checks,
+    }
 }
 
 /// Exhaustive minimal cover: tries candidate subsets in order of increasing
@@ -138,7 +139,10 @@ pub fn exhaustive_select(
     opts: &RewriteOptions,
 ) -> Option<Selection> {
     let n = candidates.len();
-    assert!(n <= 20, "exhaustive selection is exponential; got {n} candidates");
+    assert!(
+        n <= 20,
+        "exhaustive selection is exponential; got {n} candidates"
+    );
     let mut checks = 0usize;
     // Enumerate subsets grouped by popcount.
     for size in 0..=n {
@@ -197,7 +201,10 @@ mod tests {
         let opts = RewriteOptions::default();
         let query = q("Q(N) :- Family(F, N, D), FamilyIntro(F, T)");
         let cands = paper_candidates();
-        assert!(!covers(&query, &cands[0..1], &opts), "V1 alone is not enough");
+        assert!(
+            !covers(&query, &cands[0..1], &opts),
+            "V1 alone is not enough"
+        );
         assert!(covers(&query, &cands[0..3], &opts));
     }
 

@@ -1,0 +1,950 @@
+//! The owned, thread-safe citation service.
+//!
+//! [`CitationService`] is the production entry point for the paper's
+//! central operation: it owns its database and citation-view registry
+//! behind `Arc`s (so it is `Send + Sync` and cheap to clone across
+//! threads), and it amortizes the expensive part of citation — the
+//! bucket/MiniCon rewriting search — through two caches:
+//!
+//! * a **plan cache**: an LRU keyed by the query's *signature modulo
+//!   constants* (λ-parameterized workloads repeat the same query shape at
+//!   different constants; one search serves them all), and
+//! * a **view cache**: citation views are materialized once into a shared
+//!   scratch database and reused across queries and batches.
+//!
+//! A plan-cache hit performs **zero rewriting-search work** — observable
+//! in [`CitedAnswer::rewrite_stats`], whose `plan_cache_hits` counter is 1
+//! and whose search-effort counters are all 0.
+//!
+//! ```
+//! use citesys_core::paper;
+//! use citesys_core::{CitationMode, CitationService};
+//!
+//! let service = CitationService::builder()
+//!     .database(paper::paper_database())
+//!     .registry(paper::paper_registry())
+//!     .mode(CitationMode::Formal)
+//!     .build()
+//!     .unwrap();
+//!
+//! // First call runs the rewriting search and caches the plan…
+//! let first = service.cite(&paper::paper_query()).unwrap();
+//! assert_eq!(first.rewrite_stats.plan_cache_hits, 0);
+//! // …the second call skips straight to evaluate + annotate.
+//! let second = service.cite(&paper::paper_query()).unwrap();
+//! assert_eq!(second.rewrite_stats.plan_cache_hits, 1);
+//! assert_eq!(second.rewrite_stats.search_effort(), 0);
+//! assert_eq!(first.tuples[0].atoms, second.tuples[0].atoms);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use citesys_cq::{ConjunctiveQuery, Term, Value};
+use citesys_rewrite::{RewritePlan, RewriteStats};
+use citesys_storage::Database;
+use parking_lot::{Mutex, RwLock};
+
+use crate::engine::{
+    cite_selected, compute_plan, materialize_views_into, needed_views, select_rewritings,
+    CitationMode, CitedAnswer, EngineOptions,
+};
+use crate::error::CiteError;
+use crate::policy::PolicySet;
+use crate::registry::CitationRegistry;
+
+/// Default number of distinct query signatures the plan cache retains.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+// ---------------------------------------------------------------------------
+// Plan cache
+// ---------------------------------------------------------------------------
+
+/// Aggregate counters for one [`PlanCache`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required a fresh rewriting search.
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Explicit invalidations (view/schema changes).
+    pub invalidations: u64,
+}
+
+struct PlanEntry {
+    /// Constants of the query instance the plan was computed for, in
+    /// signature-placeholder order.
+    constants: Vec<Value>,
+    plan: Arc<RewritePlan>,
+    last_used: u64,
+}
+
+struct PlanCacheInner {
+    entries: BTreeMap<String, PlanEntry>,
+    tick: u64,
+    stats: PlanCacheStats,
+}
+
+/// A sharable LRU cache of rewrite plans, keyed by query signature.
+///
+/// The cache is internally synchronized; clones of the owning service (and
+/// an [`IncrementalEngine`](crate::evolve::IncrementalEngine) built on
+/// top) share one cache through an `Arc`.
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<PlanCacheInner>,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("PlanCache")
+            .field("capacity", &self.capacity)
+            .field("len", &inner.entries.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(PlanCacheInner {
+                entries: BTreeMap::new(),
+                tick: 0,
+                stats: PlanCacheStats::default(),
+            }),
+        }
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// True when no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Drops every cached plan (view/schema change invalidation).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        let dropped = inner.entries.len() as u64;
+        inner.entries.clear();
+        inner.stats.invalidations += dropped;
+    }
+
+    /// Number of distinct signatures the cache may hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up the plan for `signature`, re-targeted at `constants`.
+    fn get(&self, signature: &str, constants: &[Value]) -> Option<Arc<RewritePlan>> {
+        // Take what we need under the lock, instantiate outside it —
+        // λ-transfer hits would otherwise serialize all threads on a
+        // deep plan clone.
+        let (plan, entry_constants) = {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            let Some(entry) = inner.entries.get_mut(signature) else {
+                inner.stats.misses += 1;
+                return None;
+            };
+            entry.last_used = tick;
+            let hit = (Arc::clone(&entry.plan), entry.constants.clone());
+            inner.stats.hits += 1;
+            hit
+        };
+        if entry_constants == constants {
+            return Some(plan);
+        }
+        // Same shape, different λ-constants: instantiate the cached plan
+        // at the new constants (a bijective value mapping — the signature
+        // guarantees equal equality-patterns).
+        debug_assert_eq!(entry_constants.len(), constants.len());
+        let mapping: BTreeMap<Value, Value> = entry_constants
+            .into_iter()
+            .zip(constants.iter().cloned())
+            .collect();
+        Some(Arc::new(plan.instantiate(&mapping)))
+    }
+
+    /// Inserts a freshly computed plan, evicting the least-recently-used
+    /// entry when full.
+    fn insert(&self, signature: String, constants: Vec<Value>, plan: Arc<RewritePlan>) {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.entries.len() >= self.capacity && !inner.entries.contains_key(&signature) {
+            if let Some(oldest) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.entries.remove(&oldest);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.entries.insert(
+            signature,
+            PlanEntry {
+                constants,
+                plan,
+                last_used: tick,
+            },
+        );
+    }
+}
+
+/// Computes the cache signature of `q`: its canonical form printed with
+/// every constant replaced by a typed placeholder (`generalize == true`),
+/// or by its literal value (`generalize == false`, used when registered
+/// views themselves contain constants and plan transfer would be unsound).
+///
+/// Equal constants share a placeholder, so the signature preserves the
+/// equality pattern — `Q(N) :- R(11, N), S(11)` and `Q(N) :- R(7, N),
+/// S(9)` get different signatures, while `… R(12, N), S(12)` shares the
+/// first one's plan re-targeted at 12.
+fn plan_signature(q: &ConjunctiveQuery, generalize: bool) -> (String, Vec<Value>) {
+    let canonical = q.canonical();
+    let mut constants: Vec<Value> = Vec::new();
+    let mut sig = String::new();
+    let mut push_term = |sig: &mut String, t: &Term| match t {
+        Term::Var(v) => sig.push_str(v.as_str()),
+        Term::Const(c) => {
+            if generalize {
+                let idx = match constants.iter().position(|x| x == c) {
+                    Some(i) => i,
+                    None => {
+                        constants.push(c.clone());
+                        constants.len() - 1
+                    }
+                };
+                let _ = write!(sig, "\u{27e8}{}:{}\u{27e9}", idx, c.type_name());
+            } else {
+                let _ = write!(sig, "\u{27e8}={}:{:?}\u{27e9}", c.type_name(), c);
+            }
+        }
+    };
+    let mut push_atom = |sig: &mut String, atom: &citesys_cq::Atom| {
+        sig.push_str(atom.predicate.as_str());
+        sig.push('(');
+        for (i, t) in atom.terms.iter().enumerate() {
+            if i > 0 {
+                sig.push(',');
+            }
+            push_term(sig, t);
+        }
+        sig.push(')');
+    };
+    for p in &canonical.params {
+        sig.push('λ');
+        sig.push_str(p.as_str());
+        sig.push('.');
+    }
+    push_atom(&mut sig, &canonical.head);
+    sig.push_str(":-");
+    for atom in &canonical.body {
+        push_atom(&mut sig, atom);
+        sig.push(';');
+    }
+    (sig, constants)
+}
+
+/// True when any registered view's defining query mentions a constant —
+/// plan transfer across constants is then disabled (the search result can
+/// depend on the specific constant).
+fn registry_has_view_constants(registry: &CitationRegistry) -> bool {
+    registry.iter().any(|cv| {
+        cv.view
+            .head
+            .terms
+            .iter()
+            .chain(cv.view.body.iter().flat_map(|a| a.terms.iter()))
+            .any(|t| matches!(t, Term::Const(_)))
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Typed builder for [`CitationService`]; obtained from
+/// [`CitationService::builder`].
+#[derive(Default)]
+pub struct CitationServiceBuilder {
+    db: Option<Arc<Database>>,
+    registry: Option<Arc<CitationRegistry>>,
+    options: EngineOptions,
+    plan_cache_capacity: usize,
+    shared_plans: Option<Arc<PlanCache>>,
+}
+
+impl CitationServiceBuilder {
+    /// Sets the database (required). Accepts an owned [`Database`] or an
+    /// existing `Arc<Database>` (e.g. a version snapshot).
+    pub fn database(mut self, db: impl Into<Arc<Database>>) -> Self {
+        self.db = Some(db.into());
+        self
+    }
+
+    /// Sets the citation-view registry (required).
+    pub fn registry(mut self, registry: impl Into<Arc<CitationRegistry>>) -> Self {
+        self.registry = Some(registry.into());
+        self
+    }
+
+    /// Replaces the full option set at once.
+    pub fn options(mut self, options: EngineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Formal vs cost-pruned evaluation.
+    pub fn mode(mut self, mode: CitationMode) -> Self {
+        self.options.mode = mode;
+        self
+    }
+
+    /// The owner's combination policies.
+    pub fn policies(mut self, policies: PolicySet) -> Self {
+        self.options.policies = policies;
+        self
+    }
+
+    /// Rewriting-search options.
+    pub fn rewrite_options(mut self, rewrite: citesys_rewrite::RewriteOptions) -> Self {
+        self.options.rewrite = rewrite;
+        self
+    }
+
+    /// Enables the contained-rewriting (partial citation) fallback.
+    pub fn allow_partial(mut self, allow: bool) -> Self {
+        self.options.allow_partial = allow;
+        self
+    }
+
+    /// Capacity of the LRU plan cache (default
+    /// [`DEFAULT_PLAN_CACHE_CAPACITY`]). Ignored when
+    /// [`shared_plan_cache`](Self::shared_plan_cache) is set.
+    pub fn plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.plan_cache_capacity = capacity;
+        self
+    }
+
+    /// Shares an existing plan cache (so a rebuilt service — e.g. after a
+    /// data update — keeps its amortized plans).
+    pub fn shared_plan_cache(mut self, plans: Arc<PlanCache>) -> Self {
+        self.shared_plans = Some(plans);
+        self
+    }
+
+    /// Builds the service, validating that both the database and the
+    /// registry were provided.
+    pub fn build(self) -> Result<CitationService, CiteError> {
+        let db = self.db.ok_or_else(|| CiteError::ServiceConfig {
+            reason: "a database is required: call .database(db)".to_string(),
+        })?;
+        let registry = self.registry.ok_or_else(|| CiteError::ServiceConfig {
+            reason: "a citation-view registry is required: call .registry(reg)".to_string(),
+        })?;
+        let capacity = if self.plan_cache_capacity == 0 {
+            DEFAULT_PLAN_CACHE_CAPACITY
+        } else {
+            self.plan_cache_capacity
+        };
+        let plans = self
+            .shared_plans
+            .unwrap_or_else(|| Arc::new(PlanCache::new(capacity)));
+        let generalize = !registry_has_view_constants(&registry);
+        Ok(CitationService {
+            db,
+            registry,
+            options: self.options,
+            plans,
+            views: Arc::new(RwLock::new(Database::new())),
+            generalize_constants: generalize,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------------
+
+/// An owned, `Send + Sync` citation service with prepared-query support.
+///
+/// Cloning is cheap (all heavyweight state is behind `Arc`s) and clones
+/// share both caches — hand one clone to each worker thread.
+///
+/// The database snapshot is immutable for the lifetime of the service; for
+/// mutable workloads use
+/// [`IncrementalEngine`](crate::evolve::IncrementalEngine), which swaps
+/// snapshots underneath while keeping the plan cache warm.
+#[derive(Clone, Debug)]
+pub struct CitationService {
+    db: Arc<Database>,
+    registry: Arc<CitationRegistry>,
+    options: EngineOptions,
+    plans: Arc<PlanCache>,
+    /// Scratch database of materialized views, grown on demand and shared
+    /// by all clones of this service.
+    views: Arc<RwLock<Database>>,
+    /// Whether plans may be transferred across λ-parameter constants.
+    generalize_constants: bool,
+}
+
+impl CitationService {
+    /// Starts building a service.
+    pub fn builder() -> CitationServiceBuilder {
+        CitationServiceBuilder::default()
+    }
+
+    /// The underlying database snapshot.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The citation-view registry.
+    pub fn registry(&self) -> &Arc<CitationRegistry> {
+        &self.registry
+    }
+
+    /// The engine options the service was built with.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// The shared plan cache (for sharing with a rebuilt service).
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plans
+    }
+
+    /// Plan-cache counters.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plans.stats()
+    }
+
+    /// A service with different evaluation options over the same data,
+    /// registry and caches. **Caveat**: the plan cache is keyed by query
+    /// signature only, so the new options must agree with the old ones on
+    /// everything that affects planning (`rewrite`, `allow_partial`) —
+    /// mode and policies are freely swappable. Violations are rejected.
+    pub fn with_options(&self, options: EngineOptions) -> Result<CitationService, CiteError> {
+        let same_rewrite = {
+            let a = &self.options.rewrite;
+            let b = &options.rewrite;
+            a.algorithm == b.algorithm
+                && a.goal == b.goal
+                && a.prune == b.prune
+                && a.minimize == b.minimize
+                && a.max_candidates == b.max_candidates
+        };
+        if !same_rewrite || self.options.allow_partial != options.allow_partial {
+            return Err(CiteError::ServiceConfig {
+                reason: "with_options may not change rewrite options or allow_partial \
+                         (they invalidate cached plans); build a fresh service instead"
+                    .to_string(),
+            });
+        }
+        Ok(CitationService {
+            options,
+            ..self.clone()
+        })
+    }
+
+    /// A service over a different database snapshot that keeps this
+    /// service's plan cache warm (plans depend only on the query shape and
+    /// the registry, never on data). The materialized-view cache is
+    /// dropped — it does depend on data.
+    pub fn with_database(&self, db: impl Into<Arc<Database>>) -> CitationService {
+        CitationService {
+            db: db.into(),
+            registry: Arc::clone(&self.registry),
+            options: self.options,
+            plans: Arc::clone(&self.plans),
+            views: Arc::new(RwLock::new(Database::new())),
+            generalize_constants: self.generalize_constants,
+        }
+    }
+
+    /// Looks up (or computes and caches) the rewrite plan for `q`.
+    /// Returns the plan and whether it was served from the cache.
+    fn plan_for(&self, q: &ConjunctiveQuery) -> Result<(Arc<RewritePlan>, bool), CiteError> {
+        let (signature, constants) = plan_signature(q, self.generalize_constants);
+        if let Some(plan) = self.plans.get(&signature, &constants) {
+            return Ok((plan, true));
+        }
+        let plan = Arc::new(compute_plan(&self.registry, &self.options, q)?);
+        self.plans.insert(signature, constants, Arc::clone(&plan));
+        Ok((plan, false))
+    }
+
+    /// Stats reported for work served from a cached plan: the search-effort
+    /// counters are zero by construction.
+    fn cached_stats(plan: &RewritePlan) -> RewriteStats {
+        RewriteStats {
+            views_total: plan.stats.views_total,
+            views_pruned: plan.stats.views_pruned,
+            rewritings_found: plan.stats.rewritings_found,
+            plan_cache_hits: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Evaluate + annotate `q` under `plan` (shared by all entry points).
+    fn cite_with_plan(
+        &self,
+        q: &ConjunctiveQuery,
+        plan: &RewritePlan,
+        stats: RewriteStats,
+    ) -> Result<CitedAnswer, CiteError> {
+        if plan.rewritings.is_empty() {
+            return Err(CiteError::NoRewriting {
+                query: q.to_string(),
+            });
+        }
+        let selected = select_rewritings(&self.db, &self.registry, &self.options, plan);
+        let needed = needed_views(&selected);
+        // Fast path: all needed views already materialized.
+        {
+            let views = self.views.read();
+            if needed.iter().all(|n| views.has_relation(n.as_str())) {
+                return cite_selected(
+                    &self.db,
+                    &self.registry,
+                    &self.options,
+                    q,
+                    &selected,
+                    plan.partial,
+                    &views,
+                    stats,
+                );
+            }
+        }
+        // Slow path: materialize the missing views, then evaluate under a
+        // read lock (materialize_views_into skips views that appeared
+        // while waiting for the write lock).
+        {
+            let mut views = self.views.write();
+            materialize_views_into(&self.db, &self.registry, &needed, &mut views)?;
+        }
+        let views = self.views.read();
+        cite_selected(
+            &self.db,
+            &self.registry,
+            &self.options,
+            q,
+            &selected,
+            plan.partial,
+            &views,
+            stats,
+        )
+    }
+
+    /// Computes the citation for `q`, reusing a cached plan when one
+    /// matches the query's signature (exactly, or modulo λ-parameter
+    /// constants when the registry permits).
+    pub fn cite(&self, q: &ConjunctiveQuery) -> Result<CitedAnswer, CiteError> {
+        let (plan, hit) = self.plan_for(q)?;
+        let stats = if hit {
+            Self::cached_stats(&plan)
+        } else {
+            plan.stats
+        };
+        self.cite_with_plan(q, &plan, stats)
+    }
+
+    /// Runs the rewriting search for `q` once (or reuses a cached plan)
+    /// and returns a handle that re-cites without ever searching again.
+    ///
+    /// Preparation fails fast with [`CiteError::NoRewriting`] when the
+    /// query is not coverable, rather than deferring the error to
+    /// execution time.
+    pub fn prepare(&self, q: &ConjunctiveQuery) -> Result<PreparedCitation, CiteError> {
+        let (plan, _) = self.plan_for(q)?;
+        if plan.rewritings.is_empty() {
+            return Err(CiteError::NoRewriting {
+                query: q.to_string(),
+            });
+        }
+        Ok(PreparedCitation {
+            service: self.clone(),
+            query: q.clone(),
+            plan,
+        })
+    }
+
+    /// Cites every query in `queries`, sharing the plan cache and the
+    /// materialized views across the whole batch. Per-query failures do
+    /// not abort the batch.
+    pub fn cite_batch(&self, queries: &[ConjunctiveQuery]) -> Vec<Result<CitedAnswer, CiteError>> {
+        queries.iter().map(|q| self.cite(q)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prepared citations
+// ---------------------------------------------------------------------------
+
+/// A query whose rewriting plan has been computed once and pinned.
+///
+/// [`execute`](Self::execute) skips the rewriting search entirely — its
+/// [`CitedAnswer::rewrite_stats`] always report `plan_cache_hits == 1` and
+/// zero search effort. The handle snapshots the service's database; data
+/// updates happen through
+/// [`IncrementalEngine`](crate::evolve::IncrementalEngine), which
+/// re-prepares cheaply thanks to the shared plan cache.
+#[derive(Clone, Debug)]
+pub struct PreparedCitation {
+    service: CitationService,
+    query: ConjunctiveQuery,
+    plan: Arc<RewritePlan>,
+}
+
+impl PreparedCitation {
+    /// The prepared query.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// The pinned rewrite plan.
+    pub fn plan(&self) -> &RewritePlan {
+        &self.plan
+    }
+
+    /// Evaluate + annotate against the service's snapshot, with zero
+    /// rewriting-search work.
+    pub fn execute(&self) -> Result<CitedAnswer, CiteError> {
+        self.service.cite_with_plan(
+            &self.query,
+            &self.plan,
+            CitationService::cached_stats(&self.plan),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+    use crate::policy::RewritePolicy;
+    use citesys_cq::parse_query;
+
+    // Compile-time assertions: the service types are thread-safe and the
+    // service is cheap to share.
+    const _: fn() = || {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CitationService>();
+        assert_send_sync::<PreparedCitation>();
+        assert_send_sync::<PlanCache>();
+    };
+
+    fn service(mode: CitationMode) -> CitationService {
+        CitationService::builder()
+            .database(paper::paper_database())
+            .registry(paper::paper_registry())
+            .mode(mode)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_requires_database_and_registry() {
+        let e = CitationService::builder().build().unwrap_err();
+        assert!(matches!(e, CiteError::ServiceConfig { .. }), "{e}");
+        let e = CitationService::builder()
+            .database(paper::paper_database())
+            .build()
+            .unwrap_err();
+        assert!(e.to_string().contains("registry"), "{e}");
+    }
+
+    #[test]
+    fn builder_accepts_arc_and_owned() {
+        let db = std::sync::Arc::new(paper::paper_database());
+        let svc = CitationService::builder()
+            .database(std::sync::Arc::clone(&db))
+            .registry(paper::paper_registry())
+            .policies(PolicySet {
+                rewritings: RewritePolicy::Union,
+                ..Default::default()
+            })
+            .allow_partial(true)
+            .plan_cache_capacity(8)
+            .build()
+            .unwrap();
+        assert!(svc.options().allow_partial);
+    }
+
+    #[test]
+    fn service_matches_engine_results() {
+        #[allow(deprecated)]
+        let expected = crate::engine::CitationEngine::new(
+            &paper::paper_database(),
+            &paper::paper_registry(),
+            EngineOptions {
+                mode: CitationMode::Formal,
+                ..Default::default()
+            },
+        )
+        .cite(&paper::paper_query())
+        .unwrap();
+        let svc = service(CitationMode::Formal);
+        let got = svc.cite(&paper::paper_query()).unwrap();
+        assert_eq!(got.answer, expected.answer);
+        assert_eq!(got.tuples[0].atoms, expected.tuples[0].atoms);
+        assert_eq!(got.tuples[0].expr(), expected.tuples[0].expr());
+    }
+
+    #[test]
+    fn repeat_cite_hits_plan_cache_with_zero_search() {
+        let svc = service(CitationMode::Formal);
+        let first = svc.cite(&paper::paper_query()).unwrap();
+        assert_eq!(first.rewrite_stats.plan_cache_hits, 0);
+        assert!(first.rewrite_stats.search_effort() > 0);
+        let second = svc.cite(&paper::paper_query()).unwrap();
+        assert_eq!(second.rewrite_stats.plan_cache_hits, 1);
+        assert_eq!(second.rewrite_stats.search_effort(), 0);
+        assert_eq!(second.rewrite_stats.rewritings_found, 2);
+        assert_eq!(first.tuples[0].atoms, second.tuples[0].atoms);
+        let stats = svc.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn prepared_execution_never_searches() {
+        let svc = service(CitationMode::Formal);
+        let prepared = svc.prepare(&paper::paper_query()).unwrap();
+        assert_eq!(prepared.plan().rewritings.len(), 2);
+        for _ in 0..3 {
+            let cited = prepared.execute().unwrap();
+            assert_eq!(cited.rewrite_stats.plan_cache_hits, 1);
+            assert_eq!(cited.rewrite_stats.search_effort(), 0);
+            assert_eq!(cited.answer.len(), 1);
+        }
+    }
+
+    #[test]
+    fn lambda_parameterized_repeats_share_one_plan() {
+        let svc = service(CitationMode::Formal);
+        // The same query shape at three different λ-constants: one search.
+        for fid in [11, 12, 13] {
+            let q = parse_query(&format!(
+                "Q(N) :- Family({fid}, N, D), FamilyIntro({fid}, T)"
+            ))
+            .unwrap();
+            let cited = svc.cite(&q).unwrap();
+            if fid == 11 {
+                assert_eq!(cited.rewrite_stats.plan_cache_hits, 0);
+                let expr = cited.tuples[0].expr().to_string();
+                assert!(expr.contains("CV1(11)"), "{expr}");
+            } else {
+                assert_eq!(cited.rewrite_stats.plan_cache_hits, 1, "fid {fid} missed");
+                assert_eq!(cited.rewrite_stats.search_effort(), 0);
+            }
+            if fid == 12 {
+                // The transferred plan must be *instantiated* at 12, not 11.
+                let expr = cited.tuples[0].expr().to_string();
+                assert!(expr.contains("CV1(12)"), "{expr}");
+                assert!(!expr.contains("CV1(11)"), "{expr}");
+            }
+        }
+        let stats = svc.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert_eq!(svc.plan_cache().len(), 1, "one signature for all three");
+    }
+
+    #[test]
+    fn distinct_constant_patterns_get_distinct_plans() {
+        let svc = service(CitationMode::Formal);
+        // Same shape but different equality pattern between the constants:
+        // (11, 11) collapses to one placeholder, (11, 12) keeps two.
+        let same = parse_query("Q(N) :- Family(11, N, D), FamilyIntro(11, T)").unwrap();
+        let diff = parse_query("Q(N) :- Family(11, N, D), FamilyIntro(12, T)").unwrap();
+        svc.cite(&same).unwrap();
+        let second = svc.cite(&diff).unwrap();
+        assert_eq!(
+            second.rewrite_stats.plan_cache_hits, 0,
+            "must not share a plan"
+        );
+        assert_eq!(svc.plan_cache().len(), 2);
+    }
+
+    #[test]
+    fn alpha_renamed_query_shares_plan() {
+        let svc = service(CitationMode::Formal);
+        svc.cite(&paper::paper_query()).unwrap();
+        let renamed = parse_query("Q(A) :- Family(B, A, C), FamilyIntro(B, E)").unwrap();
+        let cited = svc.cite(&renamed).unwrap();
+        assert_eq!(cited.rewrite_stats.plan_cache_hits, 1);
+    }
+
+    #[test]
+    fn uncoverable_query_fails_and_caches_the_failure() {
+        let svc = service(CitationMode::CostPruned);
+        let q = parse_query("Q(P) :- Committee(F, P)").unwrap();
+        for _ in 0..2 {
+            let e = svc.cite(&q).unwrap_err();
+            assert!(matches!(e, CiteError::NoRewriting { .. }));
+        }
+        // Second failure came from the cached empty plan.
+        assert_eq!(svc.plan_cache_stats().hits, 1);
+        assert!(matches!(
+            svc.prepare(&q),
+            Err(CiteError::NoRewriting { .. })
+        ));
+    }
+
+    #[test]
+    fn cite_batch_reuses_plans_and_views() {
+        let svc = service(CitationMode::Formal);
+        let queries: Vec<ConjunctiveQuery> = [11, 12, 11, 13]
+            .iter()
+            .map(|fid| {
+                parse_query(&format!(
+                    "Q(N) :- Family({fid}, N, D), FamilyIntro({fid}, T)"
+                ))
+                .unwrap()
+            })
+            .collect();
+        let results = svc.cite_batch(&queries);
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            assert!(r.is_ok());
+        }
+        let stats = svc.plan_cache_stats();
+        assert_eq!(stats.misses, 1, "one search for the whole batch");
+        assert_eq!(stats.hits, 3);
+    }
+
+    #[test]
+    fn batch_failures_do_not_abort() {
+        let svc = service(CitationMode::Formal);
+        let qs = vec![
+            paper::paper_query(),
+            parse_query("Q(P) :- Committee(F, P)").unwrap(),
+            paper::paper_query(),
+        ];
+        let results = svc.cite_batch(&qs);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn plan_cache_lru_evicts() {
+        let cache = PlanCache::new(2);
+        cache.insert("a".into(), vec![], Arc::new(RewritePlan::empty()));
+        cache.insert("b".into(), vec![], Arc::new(RewritePlan::empty()));
+        assert!(cache.get("a", &[]).is_some()); // refresh a
+        cache.insert("c".into(), vec![], Arc::new(RewritePlan::empty()));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("b", &[]).is_none(), "b was LRU");
+        assert!(cache.get("a", &[]).is_some());
+        assert!(cache.get("c", &[]).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn view_constants_disable_plan_transfer() {
+        // A registry whose view pins a constant: plans must not transfer
+        // across constants (the rewriting genuinely depends on the value).
+        let db = paper::paper_database();
+        let mut reg = crate::registry::CitationRegistry::new();
+        reg.add(
+            crate::registry::CitationView::new(
+                parse_query("V11(N) :- Family(11, N, D)").unwrap(),
+                vec![crate::snippet::CitationQuery::new(
+                    parse_query("CV11(F) :- Family(F, N, D)").unwrap(),
+                )],
+                crate::snippet::CitationFunction::new(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let svc = CitationService::builder()
+            .database(db)
+            .registry(reg)
+            .mode(CitationMode::Formal)
+            .build()
+            .unwrap();
+        assert!(!svc.generalize_constants);
+        let q11 = parse_query("Q(N) :- Family(11, N, D)").unwrap();
+        let q13 = parse_query("Q(N) :- Family(13, N, D)").unwrap();
+        assert!(svc.cite(&q11).is_ok(), "covered by the pinned view");
+        // A different constant is NOT covered — with plan transfer this
+        // would wrongly reuse q11's plan.
+        assert!(matches!(svc.cite(&q13), Err(CiteError::NoRewriting { .. })));
+    }
+
+    #[test]
+    fn concurrent_cites_share_caches() {
+        let svc = service(CitationMode::Formal);
+        svc.cite(&paper::paper_query()).unwrap(); // warm
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let svc = svc.clone();
+                std::thread::spawn(move || {
+                    let cited = svc.cite(&paper::paper_query()).unwrap();
+                    assert_eq!(cited.rewrite_stats.plan_cache_hits, 1);
+                    cited.tuples[0].atoms.len()
+                })
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().unwrap(), 2);
+        }
+        assert_eq!(svc.plan_cache_stats().hits, 4);
+    }
+
+    #[test]
+    fn with_database_keeps_plans_drops_views() {
+        let svc = service(CitationMode::Formal);
+        svc.cite(&paper::paper_query()).unwrap();
+        // New snapshot with one more intro: Dopamine becomes visible.
+        let mut db2 = paper::paper_database();
+        db2.insert("FamilyIntro", citesys_storage::tuple![13, "3rd"])
+            .unwrap();
+        let svc2 = svc.with_database(db2);
+        let cited = svc2.cite(&paper::paper_query()).unwrap();
+        assert_eq!(
+            cited.rewrite_stats.plan_cache_hits, 1,
+            "plan survived the swap"
+        );
+        assert_eq!(cited.answer.len(), 2, "fresh snapshot data is visible");
+    }
+
+    #[test]
+    fn signature_modulo_constants() {
+        let a = parse_query("Q(N) :- Family(11, N, D)").unwrap();
+        let b = parse_query("Q(N) :- Family(12, N, D)").unwrap();
+        let c = parse_query("Q(N) :- Family('x', N, D)").unwrap();
+        let (sa, ca) = plan_signature(&a, true);
+        let (sb, cb) = plan_signature(&b, true);
+        let (sc, _) = plan_signature(&c, true);
+        assert_eq!(sa, sb, "same shape, same signature");
+        assert_ne!(ca, cb, "different constant vectors");
+        assert_ne!(sa, sc, "type-distinct constants get distinct signatures");
+        let (ea, _) = plan_signature(&a, false);
+        let (eb, _) = plan_signature(&b, false);
+        assert_ne!(ea, eb, "exact mode embeds the constants");
+    }
+}

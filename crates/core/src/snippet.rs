@@ -56,7 +56,12 @@ impl fmt::Display for CitationSnippet {
         }
         write!(f, "]")?;
         for (i, (k, vs)) in self.fields.iter().enumerate() {
-            write!(f, "{} {k}: {}", if i == 0 { "" } else { ";" }, vs.join(", "))?;
+            write!(
+                f,
+                "{} {k}: {}",
+                if i == 0 { "" } else { ";" },
+                vs.join(", ")
+            )?;
         }
         Ok(())
     }
@@ -161,8 +166,8 @@ impl CitationFunction {
 mod tests {
     use super::*;
     use citesys_cq::parse_query;
-    use citesys_storage::{evaluate, tuple, Database, RelationSchema};
     use citesys_cq::ValueType;
+    use citesys_storage::{evaluate, tuple, Database, RelationSchema};
 
     fn committee_db() -> Database {
         let mut d = Database::new();
@@ -209,11 +214,7 @@ mod tests {
         let inst = cq.query.instantiate(&[Value::Int(11)]).unwrap();
         let ans = evaluate(&db, &inst).unwrap();
         let f = CitationFunction::new().with_static("database", "GtoPdb");
-        let snip = f.render(
-            &Symbol::new("V1"),
-            &[Value::Int(11)],
-            &[(&cq.fields, &ans)],
-        );
+        let snip = f.render(&Symbol::new("V1"), &[Value::Int(11)], &[(&cq.fields, &ans)]);
         assert_eq!(snip.field("PName"), ["Alice", "Bob"]);
         assert_eq!(snip.field("database"), ["GtoPdb"]);
         assert_eq!(snip.field("FID"), ["11"]);

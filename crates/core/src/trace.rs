@@ -29,7 +29,11 @@ pub fn trace_tuple(t: &TupleCitation, cited: &CitedAnswer) -> String {
             let _ = writeln!(out, "│    (no derivation through this rewriting)");
         }
         for (bi, s) in summands.iter().enumerate() {
-            let connector = if bi + 1 == summands.len() { "└" } else { "├" };
+            let connector = if bi + 1 == summands.len() {
+                "└"
+            } else {
+                "├"
+            };
             let _ = writeln!(out, "│  {connector}─ binding {}: {}", bi + 1, s);
         }
     }
@@ -65,19 +69,26 @@ fn summands_of(e: &CiteExpr) -> Vec<&CiteExpr> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{CitationEngine, CitationMode, EngineOptions};
+    use crate::engine::{CitationMode, EngineOptions};
     use crate::paper;
+    use crate::service::CitationService;
+
+    fn service(options: EngineOptions) -> CitationService {
+        CitationService::builder()
+            .database(paper::paper_database())
+            .registry(paper::paper_registry())
+            .options(options)
+            .build()
+            .unwrap()
+    }
 
     #[test]
     fn paper_example_trace() {
-        let db = paper::paper_database();
-        let registry = paper::paper_registry();
-        let engine = CitationEngine::new(
-            &db,
-            &registry,
-            EngineOptions { mode: CitationMode::Formal, ..Default::default() },
-        );
-        let cited = engine.cite(&paper::paper_query()).unwrap();
+        let svc = service(EngineOptions {
+            mode: CitationMode::Formal,
+            ..Default::default()
+        });
+        let cited = svc.cite(&paper::paper_query()).unwrap();
         let trace = trace_tuple(&cited.tuples[0], &cited);
         assert!(trace.contains("tuple (Calcitonin)"));
         assert!(trace.contains("rewriting 1"));
@@ -92,15 +103,12 @@ mod tests {
 
     #[test]
     fn answer_trace_covers_all_tuples() {
-        let db = paper::paper_database();
-        let registry = paper::paper_registry();
-        let engine = CitationEngine::new(
-            &db,
-            &registry,
-            EngineOptions { mode: CitationMode::Formal, ..Default::default() },
-        );
+        let svc = service(EngineOptions {
+            mode: CitationMode::Formal,
+            ..Default::default()
+        });
         let q = citesys_cq::parse_query("Q(FID, N, D) :- Family(FID, N, D)").unwrap();
-        let cited = engine.cite(&q).unwrap();
+        let cited = svc.cite(&q).unwrap();
         let trace = trace_answer(&cited);
         assert_eq!(trace.matches("tuple (").count(), 3);
         assert!(trace.contains("3 tuple(s)"));
@@ -108,21 +116,15 @@ mod tests {
 
     #[test]
     fn union_choice_marks_all_branches() {
-        let db = paper::paper_database();
-        let registry = paper::paper_registry();
-        let engine = CitationEngine::new(
-            &db,
-            &registry,
-            EngineOptions {
-                mode: CitationMode::Formal,
-                policies: crate::policy::PolicySet {
-                    rewritings: crate::policy::RewritePolicy::Union,
-                    ..Default::default()
-                },
+        let svc = service(EngineOptions {
+            mode: CitationMode::Formal,
+            policies: crate::policy::PolicySet {
+                rewritings: crate::policy::RewritePolicy::Union,
                 ..Default::default()
             },
-        );
-        let cited = engine.cite(&paper::paper_query()).unwrap();
+            ..Default::default()
+        });
+        let cited = svc.cite(&paper::paper_query()).unwrap();
         let trace = trace_tuple(&cited.tuples[0], &cited);
         assert_eq!(trace.matches("(kept: +R = union)").count(), 2);
     }

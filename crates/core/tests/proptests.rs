@@ -6,11 +6,20 @@
 
 use citesys_core::paper;
 use citesys_core::{
-    CitationEngine, CitationMode, CiteExpr, EngineOptions, PolicySet, RewritePolicy,
+    CitationMode, CitationService, CiteExpr, EngineOptions, PolicySet, RewritePolicy,
 };
 use citesys_cq::Value;
 use citesys_storage::{evaluate, Database, Tuple};
 use proptest::prelude::*;
+
+fn service(db: &Database, options: EngineOptions) -> CitationService {
+    CitationService::builder()
+        .database(db.clone())
+        .registry(paper::paper_registry())
+        .options(options)
+        .build()
+        .unwrap()
+}
 
 /// Random instance: families (id, name index, desc index) and which ids
 /// get an intro. Small name pool forces duplicate names (multi-binding
@@ -49,7 +58,10 @@ fn build_db(inst: &Instance) -> Database {
         .unwrap();
         db.insert(
             "Committee",
-            Tuple::new(vec![Value::Int(id), Value::from(format!("Person{}", id % 5))]),
+            Tuple::new(vec![
+                Value::Int(id),
+                Value::from(format!("Person{}", id % 5)),
+            ]),
         )
         .unwrap();
     }
@@ -72,13 +84,11 @@ proptest! {
     #[test]
     fn cited_answer_matches_direct_eval(inst in instance()) {
         let db = build_db(&inst);
-        let registry = paper::paper_registry();
         let q = paper::paper_query();
         let direct = evaluate(&db, &q).unwrap();
         for mode in [CitationMode::Formal, CitationMode::CostPruned] {
-            let engine = CitationEngine::new(&db, &registry,
-                EngineOptions { mode, ..Default::default() });
-            let cited = engine.cite(&q).unwrap();
+            let svc = service(&db, EngineOptions { mode, ..Default::default() });
+            let cited = svc.cite(&q).unwrap();
             prop_assert_eq!(&cited.answer, &direct);
             prop_assert_eq!(cited.tuples.len(), direct.len());
         }
@@ -91,12 +101,11 @@ proptest! {
     #[test]
     fn formal_min_size_never_worse_than_pruned(inst in instance()) {
         let db = build_db(&inst);
-        let registry = paper::paper_registry();
         let q = paper::paper_query();
-        let formal = CitationEngine::new(&db, &registry,
+        let formal = service(&db,
             EngineOptions { mode: CitationMode::Formal, ..Default::default() })
             .cite(&q).unwrap();
-        let pruned = CitationEngine::new(&db, &registry,
+        let pruned = service(&db,
             EngineOptions { mode: CitationMode::CostPruned, ..Default::default() })
             .cite(&q).unwrap();
         let f = formal.aggregate.unwrap().atoms.len();
@@ -109,15 +118,14 @@ proptest! {
     #[test]
     fn citations_are_well_formed(inst in instance()) {
         let db = build_db(&inst);
-        let registry = paper::paper_registry();
         let q = paper::paper_query();
-        let engine = CitationEngine::new(&db, &registry,
+        let svc = service(&db,
             EngineOptions { mode: CitationMode::Formal, ..Default::default() });
-        let cited = engine.cite(&q).unwrap();
+        let cited = svc.cite(&q).unwrap();
         for t in &cited.tuples {
             prop_assert!(!t.atoms.is_empty());
             for a in &t.atoms {
-                let cv = registry.get(a.view.as_str()).expect("registered view");
+                let cv = svc.registry().get(a.view.as_str()).expect("registered view");
                 prop_assert_eq!(a.params.len(), cv.view.params.len());
             }
             prop_assert_eq!(t.snippets.len(), t.atoms.len());
@@ -129,10 +137,9 @@ proptest! {
     #[test]
     fn min_size_subset_of_union(inst in instance()) {
         let db = build_db(&inst);
-        let registry = paper::paper_registry();
         let q = paper::paper_query();
         let run = |rp: RewritePolicy| {
-            CitationEngine::new(&db, &registry, EngineOptions {
+            service(&db, EngineOptions {
                 mode: CitationMode::Formal,
                 policies: PolicySet { rewritings: rp, ..Default::default() },
                 ..Default::default()
@@ -151,11 +158,10 @@ proptest! {
     #[test]
     fn expression_structure(inst in instance()) {
         let db = build_db(&inst);
-        let registry = paper::paper_registry();
         let q = paper::paper_query();
-        let engine = CitationEngine::new(&db, &registry,
+        let svc = service(&db,
             EngineOptions { mode: CitationMode::Formal, ..Default::default() });
-        let cited = engine.cite(&q).unwrap();
+        let cited = svc.cite(&q).unwrap();
         for (row, t) in cited.answer.rows.iter().zip(&cited.tuples) {
             prop_assert_eq!(t.branches.len(), cited.rewritings.len());
             for (branch, rw) in t.branches.iter().zip(&cited.rewritings) {

@@ -31,7 +31,10 @@ pub struct KeyConstraint {
 impl KeyConstraint {
     /// Builds a key constraint.
     pub fn new(predicate: impl Into<Symbol>, key: Vec<usize>) -> Self {
-        KeyConstraint { predicate: predicate.into(), key }
+        KeyConstraint {
+            predicate: predicate.into(),
+            key,
+        }
     }
 }
 
@@ -104,7 +107,11 @@ pub fn chase_keys(q: &ConjunctiveQuery, keys: &[KeyConstraint]) -> Option<Conjun
             body.push(a);
         }
     }
-    Some(ConjunctiveQuery { head: current.head, body, params: current.params })
+    Some(ConjunctiveQuery {
+        head: current.head,
+        body,
+        params: current.params,
+    })
 }
 
 /// `q1 ⊆ q2` on every database satisfying the key dependencies.
@@ -210,10 +217,8 @@ mod tests {
             KeyConstraint::new("Family", vec![0]),
             KeyConstraint::new("R", vec![0]),
         ];
-        let q = parse_query(
-            "Q(X, Y) :- Family(F, N, D), Family(F, N2, D2), R(D, X), R(D2, Y)",
-        )
-        .unwrap();
+        let q = parse_query("Q(X, Y) :- Family(F, N, D), Family(F, N2, D2), R(D, X), R(D2, Y)")
+            .unwrap();
         let chased = chase_keys(&q, &keys).unwrap();
         // Family atoms collapse to one, R atoms collapse to one, X = Y.
         assert_eq!(chased.body.len(), 2);

@@ -57,19 +57,35 @@ impl fmt::Display for CqError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CqError::UnsafeHeadVar { query, var } => {
-                write!(f, "query {query}: head variable {var} does not occur in the body")
+                write!(
+                    f,
+                    "query {query}: head variable {var} does not occur in the body"
+                )
             }
             CqError::ParamNotInHead { query, param } => {
-                write!(f, "query {query}: λ-parameter {param} must appear in the head")
+                write!(
+                    f,
+                    "query {query}: λ-parameter {param} must appear in the head"
+                )
             }
             CqError::DuplicateParam { query, param } => {
-                write!(f, "query {query}: λ-parameter {param} declared more than once")
+                write!(
+                    f,
+                    "query {query}: λ-parameter {param} declared more than once"
+                )
             }
             CqError::Unsatisfiable { left, right } => {
                 write!(f, "unsatisfiable equality: {left} = {right}")
             }
-            CqError::ParamArity { query, expected, got } => {
-                write!(f, "query {query}: expected {expected} parameter values, got {got}")
+            CqError::ParamArity {
+                query,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "query {query}: expected {expected} parameter values, got {got}"
+                )
             }
             CqError::Parse { line, col, msg } => {
                 write!(f, "parse error at {line}:{col}: {msg}")

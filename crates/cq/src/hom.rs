@@ -88,8 +88,7 @@ fn search(
                 continue;
             }
             let saved = binding.clone();
-            if match_terms(&atom.terms, &cand.terms, binding)
-                && search(remaining, by_pred, binding)
+            if match_terms(&atom.terms, &cand.terms, binding) && search(remaining, by_pred, binding)
             {
                 remaining.push(atom);
                 return true;

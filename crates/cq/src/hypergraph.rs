@@ -29,11 +29,7 @@ pub struct GyoResult {
 /// Runs the GYO reduction on the query's body hypergraph.
 pub fn gyo(q: &ConjunctiveQuery) -> GyoResult {
     // Hyperedges: variable sets per atom (constants are irrelevant).
-    let edges: Vec<BTreeSet<Symbol>> = q
-        .body
-        .iter()
-        .map(|a| a.vars().cloned().collect())
-        .collect();
+    let edges: Vec<BTreeSet<Symbol>> = q.body.iter().map(|a| a.vars().cloned().collect()).collect();
     let mut alive: Vec<bool> = vec![true; edges.len()];
     let mut removal_order = Vec::with_capacity(edges.len());
     let mut remaining = edges.len();
@@ -63,9 +59,10 @@ pub fn gyo(q: &ConjunctiveQuery) -> GyoResult {
                 continue;
             }
             // An ear needs a live witness edge containing all shared vars.
-            let witness = edges.iter().enumerate().find(|(j, e)| {
-                *j != i && alive[*j] && shared.iter().all(|v| e.contains(*v))
-            });
+            let witness = edges
+                .iter()
+                .enumerate()
+                .find(|(j, e)| *j != i && alive[*j] && shared.iter().all(|v| e.contains(*v)));
             if let Some((w, _)) = witness {
                 alive[i] = false;
                 remaining -= 1;
@@ -83,7 +80,11 @@ pub fn gyo(q: &ConjunctiveQuery) -> GyoResult {
         .enumerate()
         .filter_map(|(i, &a)| a.then_some(i))
         .collect();
-    GyoResult { acyclic: residue.is_empty(), removal_order, residue }
+    GyoResult {
+        acyclic: residue.is_empty(),
+        removal_order,
+        residue,
+    }
 }
 
 /// True iff the query's hypergraph is α-acyclic.

@@ -124,32 +124,56 @@ fn lex(input: &str) -> Result<Vec<Spanned>, CqError> {
             '(' => {
                 chars.next();
                 col += 1;
-                toks.push(Spanned { tok: Tok::LParen, line: tl, col: tc });
+                toks.push(Spanned {
+                    tok: Tok::LParen,
+                    line: tl,
+                    col: tc,
+                });
             }
             ')' => {
                 chars.next();
                 col += 1;
-                toks.push(Spanned { tok: Tok::RParen, line: tl, col: tc });
+                toks.push(Spanned {
+                    tok: Tok::RParen,
+                    line: tl,
+                    col: tc,
+                });
             }
             ',' => {
                 chars.next();
                 col += 1;
-                toks.push(Spanned { tok: Tok::Comma, line: tl, col: tc });
+                toks.push(Spanned {
+                    tok: Tok::Comma,
+                    line: tl,
+                    col: tc,
+                });
             }
             '.' => {
                 chars.next();
                 col += 1;
-                toks.push(Spanned { tok: Tok::Dot, line: tl, col: tc });
+                toks.push(Spanned {
+                    tok: Tok::Dot,
+                    line: tl,
+                    col: tc,
+                });
             }
             '=' => {
                 chars.next();
                 col += 1;
-                toks.push(Spanned { tok: Tok::Equals, line: tl, col: tc });
+                toks.push(Spanned {
+                    tok: Tok::Equals,
+                    line: tl,
+                    col: tc,
+                });
             }
             'λ' => {
                 chars.next();
                 col += 1;
-                toks.push(Spanned { tok: Tok::Lambda, line: tl, col: tc });
+                toks.push(Spanned {
+                    tok: Tok::Lambda,
+                    line: tl,
+                    col: tc,
+                });
             }
             ':' => {
                 chars.next();
@@ -157,7 +181,11 @@ fn lex(input: &str) -> Result<Vec<Spanned>, CqError> {
                 if chars.peek() == Some(&'-') {
                     chars.next();
                     col += 1;
-                    toks.push(Spanned { tok: Tok::Turnstile, line: tl, col: tc });
+                    toks.push(Spanned {
+                        tok: Tok::Turnstile,
+                        line: tl,
+                        col: tc,
+                    });
                 } else {
                     err!(tl, tc, "expected ':-'");
                 }
@@ -168,11 +196,19 @@ fn lex(input: &str) -> Result<Vec<Spanned>, CqError> {
                 match chars.next() {
                     Some('t') => {
                         col += 1;
-                        toks.push(Spanned { tok: Tok::BoolTrue, line: tl, col: tc });
+                        toks.push(Spanned {
+                            tok: Tok::BoolTrue,
+                            line: tl,
+                            col: tc,
+                        });
                     }
                     Some('f') => {
                         col += 1;
-                        toks.push(Spanned { tok: Tok::BoolFalse, line: tl, col: tc });
+                        toks.push(Spanned {
+                            tok: Tok::BoolFalse,
+                            line: tl,
+                            col: tc,
+                        });
                     }
                     other => err!(tl, tc, "expected #t or #f, found {other:?}"),
                 }
@@ -218,7 +254,11 @@ fn lex(input: &str) -> Result<Vec<Spanned>, CqError> {
                         }
                     }
                 }
-                toks.push(Spanned { tok: Tok::Str(s), line: tl, col: tc });
+                toks.push(Spanned {
+                    tok: Tok::Str(s),
+                    line: tl,
+                    col: tc,
+                });
             }
             '-' | '0'..='9' => {
                 let mut s = String::new();
@@ -241,10 +281,16 @@ fn lex(input: &str) -> Result<Vec<Spanned>, CqError> {
                 if !any {
                     err!(tl, tc, "expected digits after '-'");
                 }
-                let n: i64 = s
-                    .parse()
-                    .map_err(|_| CqError::Parse { line: tl, col: tc, msg: format!("integer out of range: {s}") })?;
-                toks.push(Spanned { tok: Tok::Int(n), line: tl, col: tc });
+                let n: i64 = s.parse().map_err(|_| CqError::Parse {
+                    line: tl,
+                    col: tc,
+                    msg: format!("integer out of range: {s}"),
+                })?;
+                toks.push(Spanned {
+                    tok: Tok::Int(n),
+                    line: tl,
+                    col: tc,
+                });
             }
             c if c.is_alphabetic() || c == '_' => {
                 let mut s = String::new();
@@ -257,13 +303,25 @@ fn lex(input: &str) -> Result<Vec<Spanned>, CqError> {
                         break;
                     }
                 }
-                let tok = if s == "lambda" { Tok::Lambda } else { Tok::Ident(s) };
-                toks.push(Spanned { tok, line: tl, col: tc });
+                let tok = if s == "lambda" {
+                    Tok::Lambda
+                } else {
+                    Tok::Ident(s)
+                };
+                toks.push(Spanned {
+                    tok,
+                    line: tl,
+                    col: tc,
+                });
             }
             other => err!(tl, tc, "unexpected character {other:?}"),
         }
     }
-    toks.push(Spanned { tok: Tok::Eof, line, col });
+    toks.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
     Ok(toks)
 }
 
@@ -278,7 +336,10 @@ struct Parser {
 
 impl Parser {
     fn new(input: &str) -> Result<Self, CqError> {
-        Ok(Parser { toks: lex(input)?, pos: 0 })
+        Ok(Parser {
+            toks: lex(input)?,
+            pos: 0,
+        })
     }
 
     fn peek(&self) -> &Spanned {
@@ -299,7 +360,11 @@ impl Parser {
 
     fn error<T>(&self, msg: impl Into<String>) -> Result<T, CqError> {
         let s = self.peek();
-        Err(CqError::Parse { line: s.line, col: s.col, msg: msg.into() })
+        Err(CqError::Parse {
+            line: s.line,
+            col: s.col,
+            msg: msg.into(),
+        })
     }
 
     fn expect(&mut self, want: &Tok, what: &str) -> Result<(), CqError> {
@@ -463,10 +528,8 @@ mod tests {
 
     #[test]
     fn parses_join_query() {
-        let q = parse_query(
-            "Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)",
-        )
-        .unwrap();
+        let q =
+            parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)").unwrap();
         assert_eq!(q.body.len(), 2);
         assert_eq!(q.arity(), 1);
     }

@@ -174,10 +174,7 @@ impl ConjunctiveQuery {
 
     /// Set of variables occurring in the body.
     pub fn body_var_set(&self) -> BTreeSet<Symbol> {
-        self.body
-            .iter()
-            .flat_map(|a| a.vars().cloned())
-            .collect()
+        self.body.iter().flat_map(|a| a.vars().cloned()).collect()
     }
 
     /// Set of variables occurring in the head (the *distinguished* vars).

@@ -86,7 +86,11 @@ mod tests {
         // Y and Z are aliased (one maps to the other).
         let y = s.apply_term(&Term::var("Y"));
         let z = s.apply_term(&Term::var("Z"));
-        assert!(y == Term::var("Z") && z == Term::var("Z") || y == Term::var("Y") && z == Term::var("Y") || y == z);
+        assert!(
+            y == Term::var("Z") && z == Term::var("Z")
+                || y == Term::var("Y") && z == Term::var("Y")
+                || y == z
+        );
     }
 
     #[test]

@@ -168,11 +168,21 @@ mod tests {
 
     #[test]
     fn ordering_groups_by_variant() {
-        let mut v = vec![Value::text("b"), Value::int(2), Value::int(1), Value::text("a")];
+        let mut v = vec![
+            Value::text("b"),
+            Value::int(2),
+            Value::int(1),
+            Value::text("a"),
+        ];
         v.sort();
         assert_eq!(
             v,
-            vec![Value::int(1), Value::int(2), Value::text("a"), Value::text("b")]
+            vec![
+                Value::int(1),
+                Value::int(2),
+                Value::text("a"),
+                Value::text("b")
+            ]
         );
     }
 

@@ -41,8 +41,11 @@ fn body_atom() -> impl Strategy<Value = Atom> {
 /// Strategy for a safe conjunctive query: the head projects a subset of the
 /// body's variables.
 fn cq() -> impl Strategy<Value = ConjunctiveQuery> {
-    (prop::collection::vec(body_atom(), 1..5), any::<prop::sample::Index>()).prop_map(
-        |(body, idx)| {
+    (
+        prop::collection::vec(body_atom(), 1..5),
+        any::<prop::sample::Index>(),
+    )
+        .prop_map(|(body, idx)| {
             let vars: Vec<Symbol> = {
                 let mut seen = std::collections::BTreeSet::new();
                 body.iter()
@@ -59,8 +62,7 @@ fn cq() -> impl Strategy<Value = ConjunctiveQuery> {
             };
             ConjunctiveQuery::new(Atom::new("Q", head_terms), body, vec![])
                 .expect("generated query is safe by construction")
-        },
-    )
+        })
 }
 
 proptest! {

@@ -12,8 +12,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use citesys_cq::{parse_query, Value, ValueType};
 use citesys_core::{CitationFunction, CitationQuery, CitationRegistry, CitationView};
+use citesys_cq::{parse_query, Value, ValueType};
 use citesys_storage::{Database, RelationSchema, Tuple};
 
 /// Resource classes modeled after eagle-i's ontology.
@@ -30,7 +30,10 @@ pub struct EagleIConfig {
 
 impl Default for EagleIConfig {
     fn default() -> Self {
-        EagleIConfig { resources_per_class: 16, seed: 0xEA61E }
+        EagleIConfig {
+            resources_per_class: 16,
+            seed: 0xEA61E,
+        }
     }
 }
 
@@ -118,7 +121,7 @@ pub fn class_query(class: &str) -> citesys_cq::ConjunctiveQuery {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use citesys_core::{CitationEngine, CitationMode, EngineOptions};
+    use citesys_core::{CitationMode, CitationService, EngineOptions};
     use citesys_storage::evaluate;
 
     #[test]
@@ -137,13 +140,20 @@ mod tests {
 
     #[test]
     fn class_views_cite_rdf_queries() {
-        let db = generate(&EagleIConfig { resources_per_class: 4, ..Default::default() });
+        let db = generate(&EagleIConfig {
+            resources_per_class: 4,
+            ..Default::default()
+        });
         let reg = class_registry();
-        let engine = CitationEngine::new(
-            &db,
-            &reg,
-            EngineOptions { mode: CitationMode::Formal, ..Default::default() },
-        );
+        let engine = CitationService::builder()
+            .database(db.clone())
+            .registry(reg.clone())
+            .options(EngineOptions {
+                mode: CitationMode::Formal,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
         let cited = engine.cite(&class_query("Software")).unwrap();
         assert_eq!(cited.answer.len(), 4);
         // Each tuple's citation is the class view at its own subject.
@@ -164,7 +174,12 @@ mod tests {
         // A query ignoring `type` cannot be covered by class views.
         let db = generate(&EagleIConfig::default());
         let reg = class_registry();
-        let engine = CitationEngine::new(&db, &reg, EngineOptions::default());
+        let engine = CitationService::builder()
+            .database(db.clone())
+            .registry(reg.clone())
+            .options(EngineOptions::default())
+            .build()
+            .unwrap();
         let q = parse_query("Q(S, N) :- Triple(S, 'label', N)").unwrap();
         assert!(engine.cite(&q).is_err());
     }

@@ -3,8 +3,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use citesys_storage::{Database, Tuple, VersionedDatabase};
 use citesys_cq::Value;
+use citesys_storage::{Database, Tuple, VersionedDatabase};
 
 use crate::schema::gtopdb_schemas;
 
@@ -59,17 +59,30 @@ impl GtopdbConfig {
 }
 
 const FIRST_NAMES: [&str; 12] = [
-    "Alice", "Bob", "Carol", "Dave", "Eve", "Frank", "Grace", "Heidi", "Ivan", "Judy",
-    "Ken", "Laura",
+    "Alice", "Bob", "Carol", "Dave", "Eve", "Frank", "Grace", "Heidi", "Ivan", "Judy", "Ken",
+    "Laura",
 ];
 const LAST_NAMES: [&str; 12] = [
-    "Adams", "Baker", "Clark", "Davis", "Evans", "Foster", "Gray", "Hill", "Irwin",
-    "Jones", "Klein", "Lewis",
+    "Adams", "Baker", "Clark", "Davis", "Evans", "Foster", "Gray", "Hill", "Irwin", "Jones",
+    "Klein", "Lewis",
 ];
 const FAMILY_STEMS: [&str; 16] = [
-    "Calcitonin", "Dopamine", "Serotonin", "Adrenoceptor", "Histamine", "Glutamate",
-    "Melatonin", "Orexin", "Ghrelin", "Vasopressin", "Opioid", "Purinergic", "Chemokine",
-    "Bradykinin", "Galanin", "Endothelin",
+    "Calcitonin",
+    "Dopamine",
+    "Serotonin",
+    "Adrenoceptor",
+    "Histamine",
+    "Glutamate",
+    "Melatonin",
+    "Orexin",
+    "Ghrelin",
+    "Vasopressin",
+    "Opioid",
+    "Purinergic",
+    "Chemokine",
+    "Bradykinin",
+    "Galanin",
+    "Endothelin",
 ];
 const LIGAND_TYPES: [&str; 4] = ["peptide", "small molecule", "antibody", "natural product"];
 
@@ -257,8 +270,14 @@ mod tests {
 
     #[test]
     fn cardinalities_scale() {
-        let small = generate(&GtopdbConfig { scale: 1, ..Default::default() });
-        let large = generate(&GtopdbConfig { scale: 4, ..Default::default() });
+        let small = generate(&GtopdbConfig {
+            scale: 1,
+            ..Default::default()
+        });
+        let large = generate(&GtopdbConfig {
+            scale: 4,
+            ..Default::default()
+        });
         let fam = |d: &Database| d.relation("Family").unwrap().len();
         assert_eq!(fam(&small), 8);
         assert_eq!(fam(&large), 32);
@@ -268,7 +287,11 @@ mod tests {
 
     #[test]
     fn duplicate_names_present_at_high_rate() {
-        let cfg = GtopdbConfig { scale: 4, dup_name_rate: 0.5, ..Default::default() };
+        let cfg = GtopdbConfig {
+            scale: 4,
+            dup_name_rate: 0.5,
+            ..Default::default()
+        };
         let db = generate(&cfg);
         let rel = db.relation("Family").unwrap();
         let mut names = std::collections::HashSet::new();
@@ -283,7 +306,11 @@ mod tests {
 
     #[test]
     fn no_duplicates_at_zero_rate() {
-        let cfg = GtopdbConfig { scale: 2, dup_name_rate: 0.0, ..Default::default() };
+        let cfg = GtopdbConfig {
+            scale: 2,
+            dup_name_rate: 0.0,
+            ..Default::default()
+        };
         let db = generate(&cfg);
         let rel = db.relation("Family").unwrap();
         let names: std::collections::HashSet<_> =

@@ -9,8 +9,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use citesys_cq::{parse_query, ConjunctiveQuery, Value, ValueType};
 use citesys_core::{CitationFunction, CitationQuery, CitationRegistry, CitationView};
+use citesys_cq::{parse_query, ConjunctiveQuery, Value, ValueType};
 use citesys_storage::{Database, RelationSchema, Tuple};
 
 /// Generator configuration.
@@ -78,12 +78,25 @@ pub fn reactome_schemas() -> Vec<RelationSchema> {
 }
 
 const PATHWAY_STEMS: [&str; 8] = [
-    "Glycolysis", "Apoptosis", "Signal transduction", "DNA repair", "Cell cycle",
-    "Immune response", "Lipid metabolism", "Translation",
+    "Glycolysis",
+    "Apoptosis",
+    "Signal transduction",
+    "DNA repair",
+    "Cell cycle",
+    "Immune response",
+    "Lipid metabolism",
+    "Translation",
 ];
 const SPECIES: [&str; 3] = ["H. sapiens", "M. musculus", "D. melanogaster"];
 const CURATORS: [&str; 8] = [
-    "Stein", "Hermjakob", "Jassal", "Gillespie", "Matthews", "Wu", "Haw", "Weiser",
+    "Stein",
+    "Hermjakob",
+    "Jassal",
+    "Gillespie",
+    "Matthews",
+    "Wu",
+    "Haw",
+    "Weiser",
 ];
 
 /// Generates a Reactome-style database.
@@ -96,17 +109,22 @@ pub fn generate(cfg: &ReactomeConfig) -> Database {
     let mut pid = 0i64;
     for r in 0..cfg.roots {
         let root = pid;
-        insert_pathway(&mut db, &mut rng, cfg, root, &format!(
-            "{} pathway",
-            PATHWAY_STEMS[r % PATHWAY_STEMS.len()]
-        ));
+        insert_pathway(
+            &mut db,
+            &mut rng,
+            cfg,
+            root,
+            &format!("{} pathway", PATHWAY_STEMS[r % PATHWAY_STEMS.len()]),
+        );
         pid += 1;
         for c in 0..cfg.children_per_root {
-            insert_pathway(&mut db, &mut rng, cfg, pid, &format!(
-                "{} step {}",
-                PATHWAY_STEMS[r % PATHWAY_STEMS.len()],
-                c + 1
-            ));
+            insert_pathway(
+                &mut db,
+                &mut rng,
+                cfg,
+                pid,
+                &format!("{} step {}", PATHWAY_STEMS[r % PATHWAY_STEMS.len()], c + 1),
+            );
             db.insert(
                 "PathwayPart",
                 Tuple::new(vec![Value::Int(root), Value::Int(pid)]),
@@ -118,13 +136,7 @@ pub fn generate(cfg: &ReactomeConfig) -> Database {
     db
 }
 
-fn insert_pathway(
-    db: &mut Database,
-    rng: &mut StdRng,
-    cfg: &ReactomeConfig,
-    pid: i64,
-    name: &str,
-) {
+fn insert_pathway(db: &mut Database, rng: &mut StdRng, cfg: &ReactomeConfig, pid: i64, name: &str) {
     db.insert(
         "Pathway",
         Tuple::new(vec![
@@ -137,7 +149,10 @@ fn insert_pathway(
     for p in 0..cfg.participants_per_pathway {
         db.insert(
             "Participant",
-            Tuple::new(vec![Value::Int(pid), Value::from(format!("PROT-{pid}-{p}"))]),
+            Tuple::new(vec![
+                Value::Int(pid),
+                Value::from(format!("PROT-{pid}-{p}")),
+            ]),
         )
         .expect("valid");
     }
@@ -169,8 +184,7 @@ pub fn pathway_registry() -> CitationRegistry {
                         .expect("ok"),
                 ),
                 CitationQuery::new(
-                    parse_query("λ PID. CRPn(PID, PName) :- Pathway(PID, PName, S)")
-                        .expect("ok"),
+                    parse_query("λ PID. CRPn(PID, PName) :- Pathway(PID, PName, S)").expect("ok"),
                 ),
             ],
             CitationFunction::new().with_static("database", "Reactome"),
@@ -180,8 +194,7 @@ pub fn pathway_registry() -> CitationRegistry {
     .expect("fresh");
     reg.add(
         CitationView::new(
-            parse_query("λ PID. RPart(PID, Protein) :- Participant(PID, Protein)")
-                .expect("ok"),
+            parse_query("λ PID. RPart(PID, Protein) :- Participant(PID, Protein)").expect("ok"),
             vec![CitationQuery::new(
                 parse_query("λ PID. CRPart(PID, Curator) :- PathwayCurator(PID, Curator)")
                     .expect("ok"),
@@ -193,11 +206,9 @@ pub fn pathway_registry() -> CitationRegistry {
     .expect("unique");
     reg.add(
         CitationView::new(
-            parse_query("RAll(PID, PName, Species) :- Pathway(PID, PName, Species)")
-                .expect("ok"),
+            parse_query("RAll(PID, PName, Species) :- Pathway(PID, PName, Species)").expect("ok"),
             vec![CitationQuery::with_fields(
-                parse_query("CRAll(D) :- D = 'Reactome: a curated pathway database'")
-                    .expect("ok"),
+                parse_query("CRAll(D) :- D = 'Reactome: a curated pathway database'").expect("ok"),
                 vec!["citation".to_string()],
             )
             .expect("arity 1")],
@@ -217,16 +228,14 @@ pub fn q_participants() -> ConjunctiveQuery {
 
 /// Sub-pathway pairs (parent name, child name) — exercises the hierarchy.
 pub fn q_hierarchy() -> ConjunctiveQuery {
-    parse_query(
-        "Q(Pn, Cn) :- PathwayPart(P, C), Pathway(P, Pn, S1), Pathway(C, Cn, S2)",
-    )
-    .expect("well-formed")
+    parse_query("Q(Pn, Cn) :- PathwayPart(P, C), Pathway(P, Pn, S1), Pathway(C, Cn, S2)")
+        .expect("well-formed")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use citesys_core::{CitationEngine, CitationMode, EngineOptions};
+    use citesys_core::{CitationMode, CitationService, EngineOptions};
     use citesys_storage::evaluate;
 
     #[test]
@@ -254,13 +263,20 @@ mod tests {
 
     #[test]
     fn participant_citations_carry_curators() {
-        let db = generate(&ReactomeConfig { roots: 2, ..Default::default() });
+        let db = generate(&ReactomeConfig {
+            roots: 2,
+            ..Default::default()
+        });
         let reg = pathway_registry();
-        let engine = CitationEngine::new(
-            &db,
-            &reg,
-            EngineOptions { mode: CitationMode::Formal, ..Default::default() },
-        );
+        let engine = CitationService::builder()
+            .database(db.clone())
+            .registry(reg.clone())
+            .options(EngineOptions {
+                mode: CitationMode::Formal,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
         let cited = engine.cite(&q_participants()).unwrap();
         assert!(!cited.answer.is_empty());
         // Participant atoms come from the parameterized RPart view, whose
@@ -276,11 +292,15 @@ mod tests {
     fn pathway_scan_min_size_prefers_constant_view() {
         let db = generate(&ReactomeConfig::default());
         let reg = pathway_registry();
-        let engine = CitationEngine::new(
-            &db,
-            &reg,
-            EngineOptions { mode: CitationMode::Formal, ..Default::default() },
-        );
+        let engine = CitationService::builder()
+            .database(db.clone())
+            .registry(reg.clone())
+            .options(EngineOptions {
+                mode: CitationMode::Formal,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
         let q = parse_query("Q(PID, PName, S) :- Pathway(PID, PName, S)").unwrap();
         let cited = engine.cite(&q).unwrap();
         // RAll (constant) beats RP (one citation per pathway).

@@ -1,9 +1,9 @@
 //! Abstract synthetic instances for the rewriting-scalability experiments:
 //! chain databases, segment views, star queries and noise views.
 
+use citesys_cq::Value;
 use citesys_cq::{parse_query, ConjunctiveQuery, ValueType};
 use citesys_storage::{Database, RelationSchema, Tuple};
-use citesys_cq::Value;
 
 /// A chain database: `E(i, i+1)` for `i in 0..edges`.
 pub fn chain_db(edges: usize) -> Database {
@@ -15,8 +15,11 @@ pub fn chain_db(edges: usize) -> Database {
     ))
     .expect("fresh database");
     for i in 0..edges {
-        db.insert("E", Tuple::new(vec![Value::Int(i as i64), Value::Int(i as i64 + 1)]))
-            .expect("schema-valid");
+        db.insert(
+            "E",
+            Tuple::new(vec![Value::Int(i as i64), Value::Int(i as i64 + 1)]),
+        )
+        .expect("schema-valid");
     }
     db
 }
@@ -40,7 +43,9 @@ pub fn segment_view(name: &str, k: usize) -> ConjunctiveQuery {
 /// case for the bucket algorithm's cross product (every view lands in every
 /// bucket).
 pub fn redundant_unit_views(count: usize) -> Vec<ConjunctiveQuery> {
-    (0..count).map(|i| segment_view(&format!("U{i}"), 1)).collect()
+    (0..count)
+        .map(|i| segment_view(&format!("U{i}"), 1))
+        .collect()
 }
 
 /// `count` noise views over predicates that do not occur in chain queries
@@ -89,9 +94,7 @@ pub fn star_query(arms: usize) -> ConjunctiveQuery {
 pub fn star_views(arms: usize) -> Vec<ConjunctiveQuery> {
     let mut out = vec![parse_query("VHub(C) :- Hub(C)").expect("well-formed")];
     for i in 1..=arms {
-        out.push(
-            parse_query(&format!("VSpoke{i}(C, L) :- Spoke{i}(C, L)")).expect("well-formed"),
-        );
+        out.push(parse_query(&format!("VSpoke{i}(C, L) :- Spoke{i}(C, L)")).expect("well-formed"));
     }
     out
 }
@@ -99,8 +102,12 @@ pub fn star_views(arms: usize) -> Vec<ConjunctiveQuery> {
 /// A star database with `centers` hub rows and `fanout` leaves per spoke.
 pub fn star_db(arms: usize, centers: usize, fanout: usize) -> Database {
     let mut db = Database::new();
-    db.create_relation(RelationSchema::from_parts("Hub", &[("C", ValueType::Int)], &[]))
-        .expect("fresh");
+    db.create_relation(RelationSchema::from_parts(
+        "Hub",
+        &[("C", ValueType::Int)],
+        &[],
+    ))
+    .expect("fresh");
     for i in 1..=arms {
         db.create_relation(RelationSchema::from_parts(
             format!("Spoke{i}"),
@@ -110,7 +117,8 @@ pub fn star_db(arms: usize, centers: usize, fanout: usize) -> Database {
         .expect("fresh");
     }
     for c in 0..centers {
-        db.insert("Hub", Tuple::new(vec![Value::Int(c as i64)])).expect("valid");
+        db.insert("Hub", Tuple::new(vec![Value::Int(c as i64)]))
+            .expect("valid");
         for i in 1..=arms {
             for l in 0..fanout {
                 db.insert(

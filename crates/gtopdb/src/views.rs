@@ -3,8 +3,8 @@
 //! portions of the database, with varying granularity, are contributed
 //! and/or curated by different subgroups").
 
-use citesys_cq::parse_query;
 use citesys_core::{CitationFunction, CitationQuery, CitationRegistry, CitationView};
+use citesys_cq::parse_query;
 
 /// The constant whole-database citation text.
 pub const DB_CITATION: &str = "IUPHAR/BPS Guide to PHARMACOLOGY...";
@@ -120,7 +120,7 @@ pub fn full_registry() -> CitationRegistry {
 mod tests {
     use super::*;
     use crate::generator::{generate, GtopdbConfig};
-    use citesys_core::{CitationEngine, CitationMode, EngineOptions};
+    use citesys_core::{CitationMode, CitationService, EngineOptions};
 
     #[test]
     fn family_views_match_paper() {
@@ -141,33 +141,37 @@ mod tests {
     fn generated_db_supports_paper_query() {
         let db = generate(&GtopdbConfig::default());
         let reg = full_registry();
-        let engine = CitationEngine::new(
-            &db,
-            &reg,
-            EngineOptions { mode: CitationMode::Formal, ..Default::default() },
-        );
-        let q = citesys_cq::parse_query(
-            "Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)",
-        )
-        .unwrap();
+        let engine = CitationService::builder()
+            .database(db.clone())
+            .registry(reg.clone())
+            .options(EngineOptions {
+                mode: CitationMode::Formal,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
+        let q =
+            citesys_cq::parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+                .unwrap();
         let cited = engine.cite(&q).unwrap();
         assert!(!cited.answer.is_empty());
         // Min-size prefers the constant V2 citation.
-        assert!(cited.tuples[0]
-            .atoms
-            .iter()
-            .all(|a| a.params.is_empty()));
+        assert!(cited.tuples[0].atoms.iter().all(|a| a.params.is_empty()));
     }
 
     #[test]
     fn target_interaction_query_cites_curators() {
         let db = generate(&GtopdbConfig::default());
         let reg = full_registry();
-        let engine = CitationEngine::new(
-            &db,
-            &reg,
-            EngineOptions { mode: CitationMode::Formal, ..Default::default() },
-        );
+        let engine = CitationService::builder()
+            .database(db.clone())
+            .registry(reg.clone())
+            .options(EngineOptions {
+                mode: CitationMode::Formal,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
         // Interactions of targets: only VT/VI (parameterized) cover these
         // relations, so citations carry curator names.
         let q = citesys_cq::parse_query(
@@ -176,11 +180,10 @@ mod tests {
         .unwrap();
         let cited = engine.cite(&q).unwrap();
         assert!(!cited.answer.is_empty());
-        let has_curator = cited.tuples.iter().any(|t| {
-            t.snippets
-                .iter()
-                .any(|s| !s.field("CName").is_empty())
-        });
+        let has_curator = cited
+            .tuples
+            .iter()
+            .any(|t| t.snippets.iter().any(|s| !s.field("CName").is_empty()));
         assert!(has_curator, "expected curator names in citations");
     }
 }

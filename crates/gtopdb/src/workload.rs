@@ -139,8 +139,7 @@ mod tests {
     #[test]
     fn candidates_parse_and_are_distinctly_named() {
         let cands = candidate_views();
-        let names: std::collections::BTreeSet<_> =
-            cands.iter().map(|v| v.name().clone()).collect();
+        let names: std::collections::BTreeSet<_> = cands.iter().map(|v| v.name().clone()).collect();
         assert_eq!(names.len(), cands.len());
     }
 

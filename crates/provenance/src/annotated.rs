@@ -28,7 +28,10 @@ pub struct AnnotatedDatabase<K: Semiring> {
 impl<K: Semiring> AnnotatedDatabase<K> {
     /// Wraps a plain database; all annotations default to `1`.
     pub fn new(db: Database) -> Self {
-        AnnotatedDatabase { db, ann: HashMap::new() }
+        AnnotatedDatabase {
+            db,
+            ann: HashMap::new(),
+        }
     }
 
     /// Read access to the underlying database.
@@ -37,12 +40,7 @@ impl<K: Semiring> AnnotatedDatabase<K> {
     }
 
     /// Inserts a tuple with an explicit annotation.
-    pub fn insert_annotated(
-        &mut self,
-        rel: &str,
-        t: Tuple,
-        k: K,
-    ) -> Result<bool, StorageError> {
+    pub fn insert_annotated(&mut self, rel: &str, t: Tuple, k: K) -> Result<bool, StorageError> {
         let changed = self.db.insert(rel, t.clone())?;
         self.ann.insert((Symbol::new(rel), t), k);
         Ok(changed)

@@ -243,10 +243,7 @@ mod tests {
     #[test]
     fn eval_into_counting() {
         // p = 2xy + z, with x=3, y=1, z=5  →  2·3·1 + 5 = 11.
-        let p = Polynomial::from_natural(2)
-            .mul(&x())
-            .mul(&y())
-            .add(&z());
+        let p = Polynomial::from_natural(2).mul(&x()).mul(&y()).add(&z());
         let v = p.eval_in::<u64>(&|t| match (t.relation.as_str(), t.tuple.get(0)) {
             ("R", Some(v)) if v.as_int() == Some(1) => 3,
             ("R", _) => 1,

@@ -69,8 +69,7 @@ pub trait Semiring: Clone + PartialEq + fmt::Debug {
 
     /// Sums an iterator of elements.
     fn sum<I: IntoIterator<Item = Self>>(iter: I) -> Self {
-        iter.into_iter()
-            .fold(Self::zero(), |acc, x| acc.add(&x))
+        iter.into_iter().fold(Self::zero(), |acc, x| acc.add(&x))
     }
 
     /// Multiplies an iterator of elements.

@@ -21,7 +21,10 @@ pub struct ProvToken {
 impl ProvToken {
     /// Builds a token.
     pub fn new(relation: impl Into<Symbol>, tuple: Tuple) -> Self {
-        ProvToken { relation: relation.into(), tuple }
+        ProvToken {
+            relation: relation.into(),
+            tuple,
+        }
     }
 }
 

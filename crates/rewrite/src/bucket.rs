@@ -117,8 +117,8 @@ mod tests {
 
     fn run(q: &str, views: Vec<&str>) -> Vec<ConjunctiveQuery> {
         let q = parse_query(q).unwrap();
-        let vs = ViewSet::new(views.into_iter().map(|v| parse_query(v).unwrap()).collect())
-            .unwrap();
+        let vs =
+            ViewSet::new(views.into_iter().map(|v| parse_query(v).unwrap()).collect()).unwrap();
         let idx: Vec<usize> = (0..vs.len()).collect();
         let mut stats = RewriteStats::default();
         generate(&q, &vs, &idx, 10_000, &mut stats).unwrap()
@@ -187,10 +187,7 @@ mod tests {
     #[test]
     fn repeated_atom_deduped_within_candidate() {
         // One view atom covers both subgoals identically.
-        let cands = run(
-            "Q(X) :- R(X, Y), R(X, Y)",
-            vec!["V(A, B) :- R(A, B)"],
-        );
+        let cands = run("Q(X) :- R(X, Y), R(X, Y)", vec!["V(A, B) :- R(A, B)"]);
         // Parsed body keeps both atoms (syntactic duplicates are legal);
         // the candidate collapses the identical view atoms.
         assert!(cands.iter().all(|c| c.body.len() <= 2));

@@ -107,8 +107,7 @@ pub fn merge_variants(
         for i in 0..c.body.len() {
             for j in (i + 1)..c.body.len() {
                 if let Some(s) = merge_atoms(&c.body[i], &c.body[j], q_vars) {
-                    let mut body: Vec<Atom> =
-                        c.body.iter().map(|a| a.apply(&s)).collect();
+                    let mut body: Vec<Atom> = c.body.iter().map(|a| a.apply(&s)).collect();
                     body.remove(j); // i and j are now identical; drop one
                     body.dedup();
                     queue.push(ConjunctiveQuery {
@@ -212,10 +211,7 @@ mod tests {
         let r3 = parse_query("Q(X) :- W(X)").unwrap();
         let out = dedupe_rewritings(vec![r1, r2, r3]);
         assert_eq!(out.len(), 2);
-        let preds: BTreeSet<&str> = out
-            .iter()
-            .map(|r| r.body[0].predicate.as_str())
-            .collect();
+        let preds: BTreeSet<&str> = out.iter().map(|r| r.body[0].predicate.as_str()).collect();
         assert_eq!(preds, BTreeSet::from(["V", "W"]));
     }
 

@@ -51,8 +51,11 @@ mod tests {
             RewriteError::UnknownView { name: "V9".into() }.to_string(),
             "unknown view: V9"
         );
-        assert!(RewriteError::BudgetExceeded { generated: 10, cap: 5 }
-            .to_string()
-            .contains("cap 5"));
+        assert!(RewriteError::BudgetExceeded {
+            generated: 10,
+            cap: 5
+        }
+        .to_string()
+        .contains("cap 5"));
     }
 }

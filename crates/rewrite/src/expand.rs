@@ -6,9 +6,7 @@
 //! existential variables renamed fresh. The rewriting is **equivalent** to
 //! `Q` iff `expand(Q') ≡ Q` (checked with containment mappings).
 
-use citesys_cq::{
-    mgu, unify_atoms, Atom, ConjunctiveQuery, Substitution,
-};
+use citesys_cq::{mgu, unify_atoms, Atom, ConjunctiveQuery, Substitution};
 
 use crate::error::RewriteError;
 use crate::view::ViewSet;
@@ -91,8 +89,8 @@ mod tests {
     fn paper_rewriting_q1_expands_to_q() {
         // Q1(FName) :- V1(FID,FName,Desc), V3(FID,Text)
         let views = paper_views();
-        let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
-            .unwrap();
+        let q =
+            parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)").unwrap();
         let rw = parse_query("Q(FName) :- V1(FID, FName, Desc), V3(FID, Text)").unwrap();
         let exp = expand(&rw, &views).unwrap().unwrap();
         assert!(are_equivalent(&exp, &q));
@@ -101,8 +99,8 @@ mod tests {
     #[test]
     fn paper_rewriting_q2_expands_to_q() {
         let views = paper_views();
-        let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
-            .unwrap();
+        let q =
+            parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)").unwrap();
         let rw = parse_query("Q(FName) :- V2(FID, FName, Desc), V3(FID, Text)").unwrap();
         let exp = expand(&rw, &views).unwrap().unwrap();
         assert!(are_equivalent(&exp, &q));
@@ -176,8 +174,7 @@ mod tests {
 
     #[test]
     fn view_binding_exposes_param_mapping() {
-        let view =
-            parse_query("λ FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)").unwrap();
+        let view = parse_query("λ FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)").unwrap();
         let atom = parse_query("Q(N) :- V1(F, N, D)").unwrap().body[0].clone();
         let (fresh, s) = view_binding(&atom, &view, 0).unwrap();
         // The renamed parameter maps (possibly via an alias chain) to the

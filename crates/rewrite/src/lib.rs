@@ -40,12 +40,14 @@ mod minicon;
 
 pub mod error;
 pub mod expand;
+pub mod plan;
 pub mod prune;
 pub mod stats;
 pub mod view;
 
 pub use error::RewriteError;
 pub use expand::{expand, view_binding};
+pub use plan::{PlanParseError, RewritePlan};
 pub use prune::{classify_view, relevant_views, ViewRelevance};
 pub use stats::RewriteStats;
 pub use view::ViewSet;
@@ -251,7 +253,10 @@ fn repair_head_vars(cand: ConjunctiveQuery, q: &ConjunctiveQuery) -> Vec<Conjunc
     }
     // Fresh variables of the candidate = body vars that are not query vars.
     let q_vars: std::collections::BTreeSet<_> = q.vars().into_iter().collect();
-    let fresh: Vec<_> = body_vars.into_iter().filter(|v| !q_vars.contains(v)).collect();
+    let fresh: Vec<_> = body_vars
+        .into_iter()
+        .filter(|v| !q_vars.contains(v))
+        .collect();
     if fresh.is_empty() {
         return Vec::new();
     }
@@ -344,7 +349,10 @@ mod tests {
             let out = rewrite(
                 &paper_query(),
                 &paper_views(),
-                &RewriteOptions { algorithm: alg, ..Default::default() },
+                &RewriteOptions {
+                    algorithm: alg,
+                    ..Default::default()
+                },
             )
             .unwrap();
             assert_eq!(out.rewritings.len(), 2, "{alg:?}");
@@ -352,8 +360,12 @@ mod tests {
                 .rewritings
                 .iter()
                 .map(|r| {
-                    let mut preds: Vec<_> =
-                        r.query.body.iter().map(|a| a.predicate.to_string()).collect();
+                    let mut preds: Vec<_> = r
+                        .query
+                        .body
+                        .iter()
+                        .map(|a| a.predicate.to_string())
+                        .collect();
                     preds.sort();
                     preds.join("+")
                 })
@@ -369,8 +381,12 @@ mod tests {
 
     #[test]
     fn no_views_no_rewritings() {
-        let out = rewrite(&paper_query(), &ViewSet::default(), &RewriteOptions::default())
-            .unwrap();
+        let out = rewrite(
+            &paper_query(),
+            &ViewSet::default(),
+            &RewriteOptions::default(),
+        )
+        .unwrap();
         assert!(out.rewritings.is_empty());
     }
 
@@ -394,15 +410,17 @@ mod tests {
         ];
         // Noise views over unrelated predicates.
         for i in 0..10 {
-            views_vec
-                .push(parse_query(&format!("N{i}(X, Y) :- Unrelated{i}(X, Y)")).unwrap());
+            views_vec.push(parse_query(&format!("N{i}(X, Y) :- Unrelated{i}(X, Y)")).unwrap());
         }
         let views = ViewSet::new(views_vec).unwrap();
         let pruned = rewrite(&paper_query(), &views, &RewriteOptions::default()).unwrap();
         let unpruned = rewrite(
             &paper_query(),
             &views,
-            &RewriteOptions { prune: false, ..Default::default() },
+            &RewriteOptions {
+                prune: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(pruned.rewritings.len(), unpruned.rewritings.len());
@@ -425,9 +443,10 @@ mod tests {
     fn view_with_extra_join_not_equivalent() {
         // View is strictly more restrictive than the query: usable only for
         // contained, not equivalent, rewritings — must be rejected.
-        let views = ViewSet::new(vec![
-            parse_query("V(F, N) :- Family(F, N, D), FamilyIntro(F, T)").unwrap(),
-        ])
+        let views = ViewSet::new(vec![parse_query(
+            "V(F, N) :- Family(F, N, D), FamilyIntro(F, T)",
+        )
+        .unwrap()])
         .unwrap();
         let q = parse_query("Q(N) :- Family(F, N, D)").unwrap();
         let out = rewrite(&q, &views, &RewriteOptions::default()).unwrap();
@@ -461,13 +480,19 @@ mod tests {
         let b = rewrite(
             &q,
             &views,
-            &RewriteOptions { algorithm: Algorithm::Bucket, ..Default::default() },
+            &RewriteOptions {
+                algorithm: Algorithm::Bucket,
+                ..Default::default()
+            },
         )
         .unwrap();
         let m = rewrite(
             &q,
             &views,
-            &RewriteOptions { algorithm: Algorithm::MiniCon, ..Default::default() },
+            &RewriteOptions {
+                algorithm: Algorithm::MiniCon,
+                ..Default::default()
+            },
         )
         .unwrap();
         let key = |rs: &[Rewriting]| -> Vec<String> {
@@ -488,9 +513,10 @@ mod tests {
     fn contained_goal_finds_partial_rewritings() {
         // The view is strictly narrower than the query (extra join), so no
         // equivalent rewriting exists — but a contained one does.
-        let views = ViewSet::new(vec![
-            parse_query("V(F, N) :- Family(F, N, D), FamilyIntro(F, T)").unwrap(),
-        ])
+        let views = ViewSet::new(vec![parse_query(
+            "V(F, N) :- Family(F, N, D), FamilyIntro(F, T)",
+        )
+        .unwrap()])
         .unwrap();
         let q = parse_query("Q(N) :- Family(F, N, D)").unwrap();
         let eq = rewrite(&q, &views, &RewriteOptions::default()).unwrap();
@@ -498,7 +524,10 @@ mod tests {
         let contained = rewrite(
             &q,
             &views,
-            &RewriteOptions { goal: RewriteGoal::Contained, ..Default::default() },
+            &RewriteOptions {
+                goal: RewriteGoal::Contained,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(contained.rewritings.len(), 1);
@@ -521,7 +550,10 @@ mod tests {
         let contained = rewrite(
             &q,
             &views,
-            &RewriteOptions { goal: RewriteGoal::Contained, ..Default::default() },
+            &RewriteOptions {
+                goal: RewriteGoal::Contained,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(contained.rewritings.len(), 1);
@@ -536,7 +568,10 @@ mod tests {
         let out = rewrite(
             &paper_query(),
             &paper_views(),
-            &RewriteOptions { goal: RewriteGoal::Contained, ..Default::default() },
+            &RewriteOptions {
+                goal: RewriteGoal::Contained,
+                ..Default::default()
+            },
         )
         .unwrap();
         // Both equivalent rewritings are mutually contained — maximality

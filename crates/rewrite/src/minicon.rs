@@ -82,7 +82,10 @@ pub(crate) fn generate(
                         // atom up to the fresh-renaming suffix).
                         let key = format!("{:?}|{}", covered, normalize_atom(&atom, &q_vars));
                         if seen_keys.insert(key) {
-                            mcds.push(Mcd { covered: covered.clone(), atom });
+                            mcds.push(Mcd {
+                                covered: covered.clone(),
+                                atom,
+                            });
                         }
                     },
                 );
@@ -250,8 +253,8 @@ mod tests {
 
     fn run(q: &str, views: Vec<&str>) -> (Vec<ConjunctiveQuery>, RewriteStats) {
         let q = parse_query(q).unwrap();
-        let vs = ViewSet::new(views.into_iter().map(|v| parse_query(v).unwrap()).collect())
-            .unwrap();
+        let vs =
+            ViewSet::new(views.into_iter().map(|v| parse_query(v).unwrap()).collect()).unwrap();
         let idx: Vec<usize> = (0..vs.len()).collect();
         let mut stats = RewriteStats::default();
         let cands = generate(&q, &vs, &idx, 100_000, &mut stats).unwrap();
@@ -310,10 +313,7 @@ mod tests {
 
     #[test]
     fn no_cover_no_candidates() {
-        let (cands, _) = run(
-            "Q(A) :- E(A, B), F(B)",
-            vec!["V(X, Y) :- E(X, Y)"],
-        );
+        let (cands, _) = run("Q(A) :- E(A, B), F(B)", vec!["V(X, Y) :- E(X, Y)"]);
         assert!(cands.is_empty());
     }
 

@@ -1,0 +1,290 @@
+//! Reusable rewriting plans.
+//!
+//! A [`RewritePlan`] is the cacheable product of one rewriting search: the
+//! validated rewritings, the search statistics, and whether the search fell
+//! back to contained (partial) rewritings. Plans are cheap to clone, can be
+//! serialized to a line-oriented text form for persistence, and — because
+//! citation views carry no constants in the common case — can be
+//! *instantiated* at new λ-parameter constants without re-running the
+//! search (the engine-side plan cache relies on this).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use citesys_cq::{parse_query, Term, Value};
+
+use crate::stats::RewriteStats;
+use crate::Rewriting;
+
+/// The cached result of one rewriting search.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RewritePlan {
+    /// The validated rewritings (equivalent, or maximally contained when
+    /// `partial` is set).
+    pub rewritings: Vec<Rewriting>,
+    /// Search-effort counters from the run that produced the plan.
+    pub stats: RewriteStats,
+    /// True when the rewritings are *contained* (partial citations) rather
+    /// than equivalent.
+    pub partial: bool,
+}
+
+/// Errors from [`RewritePlan::from_text`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PlanParseError {
+    /// Human-readable description of the malformed input.
+    pub message: String,
+}
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed rewrite plan: {}", self.message)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+fn err(message: impl Into<String>) -> PlanParseError {
+    PlanParseError {
+        message: message.into(),
+    }
+}
+
+impl RewritePlan {
+    /// A plan with no rewritings (used as a negative-cache sentinel).
+    pub fn empty() -> Self {
+        RewritePlan {
+            rewritings: Vec::new(),
+            stats: RewriteStats::default(),
+            partial: false,
+        }
+    }
+
+    /// Re-targets the plan at new constants: every occurrence of a key of
+    /// `mapping` (in rewriting bodies, heads and expansions) is replaced by
+    /// its value.
+    ///
+    /// This is sound for plan reuse when the registered views mention no
+    /// constants themselves: the rewriting search treats all query
+    /// constants uniformly, so a plan computed at one constant vector
+    /// transfers to any other with the same equality pattern (the caller's
+    /// cache key encodes that pattern).
+    pub fn instantiate(&self, mapping: &BTreeMap<Value, Value>) -> RewritePlan {
+        if mapping.is_empty() {
+            return self.clone();
+        }
+        let map_term = |t: &Term| -> Term {
+            match t {
+                Term::Const(c) => match mapping.get(c) {
+                    Some(d) => Term::Const(d.clone()),
+                    None => t.clone(),
+                },
+                Term::Var(_) => t.clone(),
+            }
+        };
+        let map_query = |q: &citesys_cq::ConjunctiveQuery| {
+            let mut out = q.clone();
+            out.head.terms = out.head.terms.iter().map(&map_term).collect();
+            for atom in &mut out.body {
+                atom.terms = atom.terms.iter().map(&map_term).collect();
+            }
+            out
+        };
+        RewritePlan {
+            rewritings: self
+                .rewritings
+                .iter()
+                .map(|r| Rewriting {
+                    query: map_query(&r.query),
+                    expansion: map_query(&r.expansion),
+                })
+                .collect(),
+            stats: self.stats,
+            partial: self.partial,
+        }
+    }
+
+    /// Serializes the plan to a line-oriented text form.
+    ///
+    /// Limitations: text constants containing newlines do not round-trip
+    /// (they cannot be produced by the surface parser either).
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("citesys-rewrite-plan v1\n");
+        out.push_str(&format!("partial {}\n", self.partial));
+        let s = &self.stats;
+        out.push_str(&format!(
+            "stats {} {} {} {} {} {} {} {} {}\n",
+            s.views_total,
+            s.views_pruned,
+            s.bucket_entries,
+            s.mcds_formed,
+            s.candidates_generated,
+            s.candidates_expanded,
+            s.equivalence_checks,
+            s.rewritings_found,
+            s.plan_cache_hits,
+        ));
+        for r in &self.rewritings {
+            out.push_str(&format!("q {}\n", r.query));
+            out.push_str(&format!("e {}\n", r.expansion));
+        }
+        out
+    }
+
+    /// Parses a plan serialized by [`RewritePlan::to_text`].
+    pub fn from_text(text: &str) -> Result<RewritePlan, PlanParseError> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("citesys-rewrite-plan v1") => {}
+            other => return Err(err(format!("bad header: {other:?}"))),
+        }
+        let partial = match lines.next().and_then(|l| l.strip_prefix("partial ")) {
+            Some("true") => true,
+            Some("false") => false,
+            other => return Err(err(format!("bad partial line: {other:?}"))),
+        };
+        let stats_line = lines
+            .next()
+            .and_then(|l| l.strip_prefix("stats "))
+            .ok_or_else(|| err("missing stats line"))?;
+        let nums: Vec<usize> = stats_line
+            .split_whitespace()
+            .map(|n| {
+                n.parse()
+                    .map_err(|_| err(format!("bad stats number '{n}'")))
+            })
+            .collect::<Result<_, _>>()?;
+        let [views_total, views_pruned, bucket_entries, mcds_formed, candidates_generated, candidates_expanded, equivalence_checks, rewritings_found, plan_cache_hits] =
+            nums.as_slice()
+        else {
+            return Err(err(format!(
+                "expected 9 stats counters, got {}",
+                nums.len()
+            )));
+        };
+        let stats = RewriteStats {
+            views_total: *views_total,
+            views_pruned: *views_pruned,
+            bucket_entries: *bucket_entries,
+            mcds_formed: *mcds_formed,
+            candidates_generated: *candidates_generated,
+            candidates_expanded: *candidates_expanded,
+            equivalence_checks: *equivalence_checks,
+            rewritings_found: *rewritings_found,
+            plan_cache_hits: *plan_cache_hits,
+        };
+        let mut rewritings = Vec::new();
+        let mut pending_q: Option<String> = None;
+        for line in lines {
+            if let Some(q) = line.strip_prefix("q ") {
+                if pending_q.is_some() {
+                    return Err(err("q line without matching e line"));
+                }
+                pending_q = Some(q.to_string());
+            } else if let Some(e) = line.strip_prefix("e ") {
+                let q = pending_q
+                    .take()
+                    .ok_or_else(|| err("e line without q line"))?;
+                let query = parse_query(&q).map_err(|pe| err(format!("bad query '{q}': {pe}")))?;
+                let expansion =
+                    parse_query(e).map_err(|pe| err(format!("bad expansion '{e}': {pe}")))?;
+                rewritings.push(Rewriting { query, expansion });
+            } else if !line.trim().is_empty() {
+                return Err(err(format!("unexpected line '{line}'")));
+            }
+        }
+        if pending_q.is_some() {
+            return Err(err("trailing q line without e line"));
+        }
+        Ok(RewritePlan {
+            rewritings,
+            stats,
+            partial,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{rewrite, RewriteOptions, ViewSet};
+
+    fn sample_plan() -> RewritePlan {
+        let views = ViewSet::new(vec![
+            parse_query("λ FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)").unwrap(),
+            parse_query("V2(FID, FName, Desc) :- Family(FID, FName, Desc)").unwrap(),
+            parse_query("V3(FID, Text) :- FamilyIntro(FID, Text)").unwrap(),
+        ])
+        .unwrap();
+        let q =
+            parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)").unwrap();
+        let out = rewrite(&q, &views, &RewriteOptions::default()).unwrap();
+        RewritePlan {
+            rewritings: out.rewritings,
+            stats: out.stats,
+            partial: false,
+        }
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let plan = sample_plan();
+        let text = plan.to_text();
+        let back = RewritePlan::from_text(&text).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn round_trip_preserves_constants_and_params() {
+        let views = ViewSet::new(vec![parse_query("V(F, N) :- Family(F, N, D)").unwrap()]).unwrap();
+        let q = parse_query("Q(N) :- Family(11, N, D)").unwrap();
+        let out = rewrite(&q, &views, &RewriteOptions::default()).unwrap();
+        let plan = RewritePlan {
+            rewritings: out.rewritings,
+            stats: out.stats,
+            partial: true,
+        };
+        let back = RewritePlan::from_text(&plan.to_text()).unwrap();
+        assert_eq!(plan, back);
+        assert!(back.partial);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(RewritePlan::from_text("").is_err());
+        assert!(RewritePlan::from_text("citesys-rewrite-plan v1\npartial maybe\n").is_err());
+        assert!(
+            RewritePlan::from_text("citesys-rewrite-plan v1\npartial false\nstats 1 2\n").is_err()
+        );
+        assert!(RewritePlan::from_text(
+            "citesys-rewrite-plan v1\npartial false\nstats 0 0 0 0 0 0 0 0 0\nq Q(X) :- R(X)\n"
+        )
+        .is_err());
+        assert!(RewritePlan::from_text(
+            "citesys-rewrite-plan v1\npartial false\nstats 0 0 0 0 0 0 0 0 0\nbogus\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn instantiate_rewrites_constants() {
+        let views = ViewSet::new(vec![parse_query("V(F, N) :- Family(F, N, D)").unwrap()]).unwrap();
+        let q = parse_query("Q(N) :- Family(11, N, D)").unwrap();
+        let out = rewrite(&q, &views, &RewriteOptions::default()).unwrap();
+        let plan = RewritePlan {
+            rewritings: out.rewritings,
+            stats: out.stats,
+            partial: false,
+        };
+        let mapping: BTreeMap<Value, Value> =
+            [(Value::Int(11), Value::Int(42))].into_iter().collect();
+        let moved = plan.instantiate(&mapping);
+        let printed = moved.rewritings[0].query.to_string();
+        assert!(printed.contains("42"), "{printed}");
+        assert!(!printed.contains("11"), "{printed}");
+        let exp = moved.rewritings[0].expansion.to_string();
+        assert!(exp.contains("42"), "{exp}");
+        // Empty mapping is the identity.
+        assert_eq!(plan.instantiate(&BTreeMap::new()), plan);
+    }
+}

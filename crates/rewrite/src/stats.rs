@@ -24,6 +24,23 @@ pub struct RewriteStats {
     pub equivalence_checks: usize,
     /// Final equivalent, minimized, deduplicated rewritings.
     pub rewritings_found: usize,
+    /// Times this result was served from a prepared-plan cache instead of
+    /// a fresh search (0 for a fresh search; 1 on a cache hit, where all
+    /// search-effort counters above are 0 by construction).
+    pub plan_cache_hits: usize,
+}
+
+impl RewriteStats {
+    /// Total search effort: candidate generation plus validation work.
+    /// Zero if and only if the result came from a cached plan (or there
+    /// was trivially nothing to search).
+    pub fn search_effort(&self) -> usize {
+        self.bucket_entries
+            + self.mcds_formed
+            + self.candidates_generated
+            + self.candidates_expanded
+            + self.equivalence_checks
+    }
 }
 
 impl fmt::Display for RewriteStats {
@@ -31,7 +48,7 @@ impl fmt::Display for RewriteStats {
         write!(
             f,
             "views {}/{} kept, {} bucket entries, {} MCDs, {} candidates, \
-             {} expanded, {} equivalence checks, {} rewritings",
+             {} expanded, {} equivalence checks, {} rewritings{}",
             self.views_total - self.views_pruned,
             self.views_total,
             self.bucket_entries,
@@ -39,7 +56,12 @@ impl fmt::Display for RewriteStats {
             self.candidates_generated,
             self.candidates_expanded,
             self.equivalence_checks,
-            self.rewritings_found
+            self.rewritings_found,
+            if self.plan_cache_hits > 0 {
+                " (from plan cache)"
+            } else {
+                ""
+            }
         )
     }
 }

@@ -33,7 +33,9 @@ impl ViewSet {
     pub fn add(&mut self, v: ConjunctiveQuery) -> Result<(), RewriteError> {
         let name = v.name().clone();
         if self.by_name.contains_key(&name) {
-            return Err(RewriteError::DuplicateView { name: name.to_string() });
+            return Err(RewriteError::DuplicateView {
+                name: name.to_string(),
+            });
         }
         self.by_name.insert(name, self.views.len());
         self.views.push(v);
@@ -57,8 +59,9 @@ impl ViewSet {
 
     /// Like [`get`](Self::get) but returns an error for unknown names.
     pub fn require(&self, name: &str) -> Result<&ConjunctiveQuery, RewriteError> {
-        self.get(name)
-            .ok_or_else(|| RewriteError::UnknownView { name: name.to_string() })
+        self.get(name).ok_or_else(|| RewriteError::UnknownView {
+            name: name.to_string(),
+        })
     }
 
     /// Iterates over the views in registration order.

@@ -30,9 +30,7 @@ fn instance() -> impl Strategy<Value = (ConjunctiveQuery, ViewSet)> {
                 views.push(segment_view(&format!("Seg{i}"), k));
             }
             for i in 0..noise {
-                views.push(
-                    parse_query(&format!("Noise{i}(A, B) :- Unrelated{i}(A, B)")).unwrap(),
-                );
+                views.push(parse_query(&format!("Noise{i}(A, B) :- Unrelated{i}(A, B)")).unwrap());
             }
             (q, ViewSet::new(views).unwrap())
         },

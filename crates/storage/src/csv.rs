@@ -59,11 +59,11 @@ pub fn from_csv(
     })?;
     let mut attrs = Vec::new();
     for cell in &header {
-        let (attr_name, ty) = cell.rsplit_once(':').ok_or_else(|| {
-            StorageError::UnknownRelation {
-                name: format!("{name}: header cell '{cell}' lacks ':type'"),
-            }
-        })?;
+        let (attr_name, ty) =
+            cell.rsplit_once(':')
+                .ok_or_else(|| StorageError::UnknownRelation {
+                    name: format!("{name}: header cell '{cell}' lacks ':type'"),
+                })?;
         let ty = match ty {
             "int" => ValueType::Int,
             "text" => ValueType::Text,
@@ -110,7 +110,10 @@ fn parse_value(
     };
     match ty {
         ValueType::Int => cell.parse::<i64>().map(Value::Int).map_err(|_| mismatch()),
-        ValueType::Bool => cell.parse::<bool>().map(Value::Bool).map_err(|_| mismatch()),
+        ValueType::Bool => cell
+            .parse::<bool>()
+            .map(Value::Bool)
+            .map_err(|_| mismatch()),
         ValueType::Text => Ok(Value::text(cell)),
     }
 }
@@ -181,7 +184,10 @@ mod tests {
         let (schema, tuples) = from_csv("Family", &[0], family_csv()).unwrap();
         assert_eq!(schema.arity(), 3);
         assert_eq!(tuples.len(), 2);
-        assert_eq!(tuples[1].get(1).unwrap().as_text(), Some("Dopamine, the 2nd"));
+        assert_eq!(
+            tuples[1].get(1).unwrap().as_text(),
+            Some("Dopamine, the 2nd")
+        );
         assert_eq!(tuples[1].get(2).unwrap().as_text(), Some("D \"quoted\""));
     }
 
@@ -239,8 +245,12 @@ mod tests {
     #[test]
     fn export_sorted_and_deterministic() {
         let mut db = Database::new();
-        db.create_relation(RelationSchema::from_parts("R", &[("A", ValueType::Int)], &[]))
-            .unwrap();
+        db.create_relation(RelationSchema::from_parts(
+            "R",
+            &[("A", ValueType::Int)],
+            &[],
+        ))
+        .unwrap();
         db.insert("R", tuple![2]).unwrap();
         db.insert("R", tuple![1]).unwrap();
         let out = to_csv(db.relation("R").unwrap());

@@ -9,6 +9,11 @@ use crate::relation::Relation;
 use crate::schema::RelationSchema;
 use crate::tuple::Tuple;
 
+/// A cheaply clonable, thread-safe handle to an immutable database
+/// snapshot — what the owned citation service and version snapshots hand
+/// around.
+pub type SharedDatabase = std::sync::Arc<Database>;
+
 /// An in-memory relational database.
 ///
 /// A `BTreeMap` catalog keeps relation iteration deterministic, which keeps
@@ -27,9 +32,12 @@ impl Database {
     /// Declares a new relation.
     pub fn create_relation(&mut self, schema: RelationSchema) -> Result<(), StorageError> {
         if self.relations.contains_key(&schema.name) {
-            return Err(StorageError::DuplicateRelation { name: schema.name.to_string() });
+            return Err(StorageError::DuplicateRelation {
+                name: schema.name.to_string(),
+            });
         }
-        self.relations.insert(schema.name.clone(), Relation::new(schema));
+        self.relations
+            .insert(schema.name.clone(), Relation::new(schema));
         Ok(())
     }
 
@@ -37,7 +45,9 @@ impl Database {
     pub fn relation(&self, name: &str) -> Result<&Relation, StorageError> {
         self.relations
             .get(name)
-            .ok_or_else(|| StorageError::UnknownRelation { name: name.to_string() })
+            .ok_or_else(|| StorageError::UnknownRelation {
+                name: name.to_string(),
+            })
     }
 
     /// True when the catalog contains `name`.
@@ -49,7 +59,9 @@ impl Database {
     pub fn insert(&mut self, rel: &str, t: Tuple) -> Result<bool, StorageError> {
         self.relations
             .get_mut(rel)
-            .ok_or_else(|| StorageError::UnknownRelation { name: rel.to_string() })?
+            .ok_or_else(|| StorageError::UnknownRelation {
+                name: rel.to_string(),
+            })?
             .insert(t)
     }
 
@@ -61,7 +73,9 @@ impl Database {
         let r = self
             .relations
             .get_mut(rel)
-            .ok_or_else(|| StorageError::UnknownRelation { name: rel.to_string() })?;
+            .ok_or_else(|| StorageError::UnknownRelation {
+                name: rel.to_string(),
+            })?;
         let mut n = 0;
         for t in tuples {
             if r.insert(t)? {
@@ -76,8 +90,19 @@ impl Database {
         Ok(self
             .relations
             .get_mut(rel)
-            .ok_or_else(|| StorageError::UnknownRelation { name: rel.to_string() })?
+            .ok_or_else(|| StorageError::UnknownRelation {
+                name: rel.to_string(),
+            })?
             .delete(t))
+    }
+
+    /// Wraps the database in an [`Arc`](std::sync::Arc) — the
+    /// [`SharedDatabase`] handle an owned citation service holds.
+    /// Snapshots from [`VersionedDatabase`](crate::VersionedDatabase) are
+    /// already shared; this is the equivalent entry point for databases
+    /// built directly.
+    pub fn into_shared(self) -> SharedDatabase {
+        std::sync::Arc::new(self)
     }
 
     /// Iterates over `(name, relation)` pairs in name order.
@@ -135,7 +160,11 @@ mod tests {
     fn duplicate_relation_rejected() {
         let mut d = db();
         let e = d
-            .create_relation(RelationSchema::from_parts("Family", &[("X", ValueType::Int)], &[]))
+            .create_relation(RelationSchema::from_parts(
+                "Family",
+                &[("X", ValueType::Int)],
+                &[],
+            ))
             .unwrap_err();
         assert!(matches!(e, StorageError::DuplicateRelation { .. }));
     }

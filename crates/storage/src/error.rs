@@ -66,18 +66,31 @@ impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StorageError::UnknownRelation { name } => write!(f, "unknown relation: {name}"),
-            StorageError::ArityMismatch { relation, expected, got } => write!(
+            StorageError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
                 f,
                 "relation {relation}: expected {expected} values, got {got}"
             ),
-            StorageError::TypeMismatch { relation, attribute, expected, got } => write!(
+            StorageError::TypeMismatch {
+                relation,
+                attribute,
+                expected,
+                got,
+            } => write!(
                 f,
                 "relation {relation}.{attribute}: expected {expected}, got {got}"
             ),
             StorageError::KeyViolation { relation, key } => {
                 write!(f, "relation {relation}: key violation on {key}")
             }
-            StorageError::QueryArityMismatch { relation, expected, got } => write!(
+            StorageError::QueryArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
                 f,
                 "query uses {relation} with arity {got}, schema says {expected}"
             ),
@@ -99,7 +112,9 @@ mod tests {
 
     #[test]
     fn messages_mention_offenders() {
-        let e = StorageError::UnknownRelation { name: "Family".into() };
+        let e = StorageError::UnknownRelation {
+            name: "Family".into(),
+        };
         assert!(e.to_string().contains("Family"));
         let e = StorageError::TypeMismatch {
             relation: "Family".into(),

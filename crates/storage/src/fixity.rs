@@ -88,8 +88,8 @@ impl Sha256 {
     pub fn new() -> Self {
         Sha256 {
             state: [
-                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c,
-                0x1f83d9ab, 0x5be0cd19,
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
             ],
             buf: [0; 64],
             buf_len: 0,
@@ -349,13 +349,21 @@ mod tests {
     #[test]
     fn database_digest_insertion_order_invariant() {
         let mut d1 = Database::new();
-        d1.create_relation(RelationSchema::from_parts("R", &[("A", ValueType::Int)], &[]))
-            .unwrap();
+        d1.create_relation(RelationSchema::from_parts(
+            "R",
+            &[("A", ValueType::Int)],
+            &[],
+        ))
+        .unwrap();
         d1.insert("R", tuple![1]).unwrap();
         d1.insert("R", tuple![2]).unwrap();
         let mut d2 = Database::new();
-        d2.create_relation(RelationSchema::from_parts("R", &[("A", ValueType::Int)], &[]))
-            .unwrap();
+        d2.create_relation(RelationSchema::from_parts(
+            "R",
+            &[("A", ValueType::Int)],
+            &[],
+        ))
+        .unwrap();
         d2.insert("R", tuple![2]).unwrap();
         d2.insert("R", tuple![1]).unwrap();
         assert_eq!(digest_database(&d1), digest_database(&d2));
@@ -366,10 +374,18 @@ mod tests {
         // Moving a tuple between relations must change the digest.
         let mk = |with_s: bool| {
             let mut d = Database::new();
-            d.create_relation(RelationSchema::from_parts("R", &[("A", ValueType::Int)], &[]))
-                .unwrap();
-            d.create_relation(RelationSchema::from_parts("S", &[("A", ValueType::Int)], &[]))
-                .unwrap();
+            d.create_relation(RelationSchema::from_parts(
+                "R",
+                &[("A", ValueType::Int)],
+                &[],
+            ))
+            .unwrap();
+            d.create_relation(RelationSchema::from_parts(
+                "S",
+                &[("A", ValueType::Int)],
+                &[],
+            ))
+            .unwrap();
             d.insert(if with_s { "S" } else { "R" }, tuple![1]).unwrap();
             d
         };

@@ -171,7 +171,8 @@ impl Relation {
             .map(|rows| rows.as_slice())
             .unwrap_or(&[])
             .iter()
-            .filter(|&&row| self.live[row]).map(|&row| &self.rows[row])
+            .filter(|&&row| self.live[row])
+            .map(|&row| &self.rows[row])
     }
 
     /// Number of index entries for value `v` in column `col` — an upper

@@ -16,7 +16,10 @@ pub struct Attribute {
 impl Attribute {
     /// Builds an attribute.
     pub fn new(name: impl Into<Symbol>, ty: ValueType) -> Self {
-        Attribute { name: name.into(), ty }
+        Attribute {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -35,12 +38,12 @@ pub struct RelationSchema {
 
 impl RelationSchema {
     /// Builds a schema; `key` lists attribute positions (must be in range).
-    pub fn new(
-        name: impl Into<Symbol>,
-        attributes: Vec<Attribute>,
-        key: Vec<usize>,
-    ) -> Self {
-        let schema = RelationSchema { name: name.into(), attributes, key };
+    pub fn new(name: impl Into<Symbol>, attributes: Vec<Attribute>, key: Vec<usize>) -> Self {
+        let schema = RelationSchema {
+            name: name.into(),
+            attributes,
+            key,
+        };
         debug_assert!(
             schema.key.iter().all(|&k| k < schema.attributes.len()),
             "key positions out of range"
@@ -49,17 +52,10 @@ impl RelationSchema {
     }
 
     /// Convenience constructor from `(name, type)` pairs.
-    pub fn from_parts(
-        name: impl Into<Symbol>,
-        attrs: &[(&str, ValueType)],
-        key: &[usize],
-    ) -> Self {
+    pub fn from_parts(name: impl Into<Symbol>, attrs: &[(&str, ValueType)], key: &[usize]) -> Self {
         Self::new(
             name,
-            attrs
-                .iter()
-                .map(|(n, t)| Attribute::new(*n, *t))
-                .collect(),
+            attrs.iter().map(|(n, t)| Attribute::new(*n, *t)).collect(),
             key.to_vec(),
         )
     }

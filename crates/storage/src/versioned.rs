@@ -250,7 +250,10 @@ mod tests {
         let v = VersionedDatabase::new(schemas()).unwrap();
         assert!(matches!(
             v.snapshot(5),
-            Err(StorageError::UnknownVersion { version: 5, latest: 0 })
+            Err(StorageError::UnknownVersion {
+                version: 5,
+                latest: 0
+            })
         ));
     }
 

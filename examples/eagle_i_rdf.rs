@@ -8,12 +8,15 @@
 //! per ontology class; conjunctive citation views then work unchanged.
 
 use citesys::core::{
-    format_citation, CitationEngine, CitationFormat, CitationMode, EngineOptions,
+    format_citation, CitationFormat, CitationMode, CitationService, EngineOptions,
 };
 use citesys::gtopdb::eaglei::{class_query, class_registry, generate, EagleIConfig, CLASSES};
 
 fn main() {
-    let db = generate(&EagleIConfig { resources_per_class: 6, ..Default::default() });
+    let db = generate(&EagleIConfig {
+        resources_per_class: 6,
+        ..Default::default()
+    });
     println!(
         "triple store: {} triples, {} classes",
         db.relation("Triple").expect("created").len(),
@@ -26,11 +29,15 @@ fn main() {
         println!("  {}", cv.view);
     }
 
-    let engine = CitationEngine::new(
-        &db,
-        &registry,
-        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
-    );
+    let engine = CitationService::builder()
+        .database(db.clone())
+        .registry(registry.clone())
+        .options(EngineOptions {
+            mode: CitationMode::Formal,
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
 
     for class in ["CellLine", "Software"] {
         let q = class_query(class);
@@ -47,16 +54,16 @@ fn main() {
             );
         }
         // Every citation names the class-specific view.
-        assert!(cited
-            .tuples
+        assert!(cited.tuples.iter().all(|t| t
+            .atoms
             .iter()
-            .all(|t| t.atoms.iter().all(|a| a.view.as_str() == format!("V{class}"))));
+            .all(|a| a.view.as_str() == format!("V{class}"))));
     }
 
     // A query that ignores the ontology class has no citation view — the
     // paper's open problem about reasoning over the ontology.
-    let untyped = citesys::cq::parse_query("Q(S, N) :- Triple(S, 'label', N)")
-        .expect("well-formed");
+    let untyped =
+        citesys::cq::parse_query("Q(S, N) :- Triple(S, 'label', N)").expect("well-formed");
     match engine.cite(&untyped) {
         Err(e) => println!("\nuntyped query correctly uncited: {e}"),
         Ok(_) => unreachable!("class views cannot cover an untyped query"),

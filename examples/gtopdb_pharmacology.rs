@@ -9,14 +9,18 @@
 //! maintain the cited portion, GtoPdb's real-world behaviour.
 
 use citesys::core::{
-    format_citation, CitationEngine, CitationFormat, CitationMode, EngineOptions, PolicySet,
+    format_citation, CitationFormat, CitationMode, CitationService, EngineOptions, PolicySet,
     RewritePolicy,
 };
 use citesys::cq::parse_query;
 use citesys::gtopdb::{full_registry, generate, GtopdbConfig};
 
 fn main() {
-    let cfg = GtopdbConfig { scale: 4, dup_name_rate: 0.15, ..Default::default() };
+    let cfg = GtopdbConfig {
+        scale: 4,
+        dup_name_rate: 0.15,
+        ..Default::default()
+    };
     let db = generate(&cfg);
     let registry = full_registry();
 
@@ -25,11 +29,15 @@ fn main() {
         println!("  {name}: {} tuples", rel.len());
     }
 
-    let engine = CitationEngine::new(
-        &db,
-        &registry,
-        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
-    );
+    let engine = CitationService::builder()
+        .database(db.clone())
+        .registry(registry.clone())
+        .options(EngineOptions {
+            mode: CitationMode::Formal,
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
 
     // -- Query 1: the paper's family/intro query at scale ----------------
     let q1 = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
@@ -43,10 +51,9 @@ fn main() {
     );
 
     // -- Query 2: target interactions — parameterized citations ----------
-    let q2 = parse_query(
-        "Q(TName, LID) :- Target(TID, TName, FID), Interaction(TID, LID, Affinity)",
-    )
-    .expect("well-formed");
+    let q2 =
+        parse_query("Q(TName, LID) :- Target(TID, TName, FID), Interaction(TID, LID, Affinity)")
+            .expect("well-formed");
     let cited = engine.cite(&q2).expect("coverable");
     println!(
         "\n[Q2] {} answers; per-tuple citations carry curator names:",
@@ -63,26 +70,34 @@ fn main() {
     // -- Query 3: same, rendered as BibTeX and RIS ------------------------
     if let Some(first) = cited.tuples.first() {
         println!("\n[Q2, BibTeX for first tuple]");
-        print!("{}", format_citation(&first.snippets, None, CitationFormat::BibTex));
+        print!(
+            "{}",
+            format_citation(&first.snippets, None, CitationFormat::BibTex)
+        );
         println!("[Q2, RIS for first tuple]");
-        print!("{}", format_citation(&first.snippets, None, CitationFormat::Ris));
+        print!(
+            "{}",
+            format_citation(&first.snippets, None, CitationFormat::Ris)
+        );
     }
 
     // -- Policy comparison: union +R vs min-size +R -----------------------
-    let union_engine = CitationEngine::new(
-        &db,
-        &registry,
-        EngineOptions {
+    let union_engine = CitationService::builder()
+        .database(db.clone())
+        .registry(registry.clone())
+        .options(EngineOptions {
             mode: CitationMode::Formal,
-            policies: PolicySet { rewritings: RewritePolicy::Union, ..Default::default() },
+            policies: PolicySet {
+                rewritings: RewritePolicy::Union,
+                ..Default::default()
+            },
             ..Default::default()
-        },
-    );
+        })
+        .build()
+        .unwrap();
     let min_cited = engine.cite(&q1).expect("coverable");
     let union_cited = union_engine.cite(&q1).expect("coverable");
-    let atoms = |c: &citesys::core::CitedAnswer| {
-        c.aggregate.as_ref().map_or(0, |a| a.atoms.len())
-    };
+    let atoms = |c: &citesys::core::CitedAnswer| c.aggregate.as_ref().map_or(0, |a| a.atoms.len());
     println!(
         "\n[Policies on Q1] +R = min-size: {} atoms; +R = union: {} atoms",
         atoms(&min_cited),

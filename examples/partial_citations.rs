@@ -11,8 +11,8 @@
 
 use citesys::core::paper;
 use citesys::core::{
-    CitationEngine, CitationQuery, CitationRegistry, CitationView, CitationFunction,
-    Coverage, EngineOptions,
+    CitationFunction, CitationQuery, CitationRegistry, CitationService, CitationView, Coverage,
+    EngineOptions,
 };
 use citesys::cq::parse_query;
 
@@ -44,18 +44,27 @@ fn main() {
     println!("view:  λ FID. VIntro(FID, FName) :- Family ⋈ FamilyIntro\n");
 
     // Strict mode refuses.
-    let strict = CitationEngine::new(&db, &registry, EngineOptions::default());
+    let strict = CitationService::builder()
+        .database(db.clone())
+        .registry(registry.clone())
+        .options(EngineOptions::default())
+        .build()
+        .unwrap();
     match strict.cite(&q) {
         Err(e) => println!("strict engine: {e}"),
         Ok(_) => unreachable!("no equivalent rewriting exists"),
     }
 
     // Partial mode cites what it can.
-    let lenient = CitationEngine::new(
-        &db,
-        &registry,
-        EngineOptions { allow_partial: true, ..Default::default() },
-    );
+    let lenient = CitationService::builder()
+        .database(db.clone())
+        .registry(registry.clone())
+        .options(EngineOptions {
+            allow_partial: true,
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
     let cited = lenient.cite(&q).expect("contained rewriting exists");
     println!("\npartial engine: {} answer tuples", cited.answer.len());
     match cited.coverage {
@@ -66,7 +75,10 @@ fn main() {
     }
     for t in &cited.tuples {
         if t.atoms.is_empty() {
-            println!("  {}  →  (no citation: not derivable through any view)", t.tuple);
+            println!(
+                "  {}  →  (no citation: not derivable through any view)",
+                t.tuple
+            );
         } else {
             let atoms: Vec<String> = t.atoms.iter().map(ToString::to_string).collect();
             println!("  {}  →  {}", t.tuple, atoms.join(" · "));

@@ -6,7 +6,7 @@
 
 use citesys::core::paper;
 use citesys::core::{
-    AggPolicy, AltPolicy, CitationEngine, CitationMode, EngineOptions, JointPolicy, PolicySet,
+    AggPolicy, AltPolicy, CitationMode, CitationService, EngineOptions, JointPolicy, PolicySet,
     RewritePolicy,
 };
 
@@ -16,14 +16,23 @@ fn main() {
     let q = paper::paper_query();
 
     let policies: Vec<(&str, PolicySet)> = vec![
-        ("paper default (union/union/min-size/union)", PolicySet::paper_default()),
+        (
+            "paper default (union/union/min-size/union)",
+            PolicySet::paper_default(),
+        ),
         (
             "+R = union (keep all rewritings)",
-            PolicySet { rewritings: RewritePolicy::Union, ..Default::default() },
+            PolicySet {
+                rewritings: RewritePolicy::Union,
+                ..Default::default()
+            },
         ),
         (
             "+R = first rewriting",
-            PolicySet { rewritings: RewritePolicy::First, ..Default::default() },
+            PolicySet {
+                rewritings: RewritePolicy::First,
+                ..Default::default()
+            },
         ),
         (
             "+ = first binding",
@@ -35,32 +44,43 @@ fn main() {
         ),
         (
             "· = join (merge snippets)",
-            PolicySet { joint: JointPolicy::Join, ..Default::default() },
+            PolicySet {
+                joint: JointPolicy::Join,
+                ..Default::default()
+            },
         ),
         (
             "Agg = per-tuple only",
-            PolicySet { agg: AggPolicy::PerTupleOnly, ..Default::default() },
+            PolicySet {
+                agg: AggPolicy::PerTupleOnly,
+                ..Default::default()
+            },
         ),
     ];
 
     println!("query: {q}\n");
     for (label, ps) in policies {
-        let engine = CitationEngine::new(
-            &db,
-            &registry,
-            EngineOptions {
+        let engine = CitationService::builder()
+            .database(db.clone())
+            .registry(registry.clone())
+            .options(EngineOptions {
                 mode: CitationMode::Formal,
                 policies: ps,
                 ..Default::default()
-            },
-        );
+            })
+            .build()
+            .unwrap();
         let cited = engine.cite(&q).expect("coverable");
         let t = &cited.tuples[0];
         println!("policy: {label}");
         println!("  symbolic:  {}", t.expr());
         println!(
             "  atoms:     {}",
-            t.atoms.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+            t.atoms
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         println!("  snippets:  {}", t.snippets.len());
         match &cited.aggregate {
@@ -71,19 +91,27 @@ fn main() {
 
     // Sanity relations between the policies, as ordering guarantees:
     let run = |ps: PolicySet| {
-        CitationEngine::new(
-            &db,
-            &registry,
-            EngineOptions { mode: CitationMode::Formal, policies: ps, ..Default::default() },
-        )
-        .cite(&q)
-        .expect("coverable")
-        .tuples[0]
+        CitationService::builder()
+            .database(db.clone())
+            .registry(registry.clone())
+            .options(EngineOptions {
+                mode: CitationMode::Formal,
+                policies: ps,
+                ..Default::default()
+            })
+            .build()
+            .unwrap()
+            .cite(&q)
+            .expect("coverable")
+            .tuples[0]
             .atoms
             .len()
     };
     let min_size = run(PolicySet::paper_default());
-    let union_all = run(PolicySet { rewritings: RewritePolicy::Union, ..Default::default() });
+    let union_all = run(PolicySet {
+        rewritings: RewritePolicy::Union,
+        ..Default::default()
+    });
     let first_binding = run(PolicySet {
         alt: AltPolicy::First,
         rewritings: RewritePolicy::Union,

@@ -11,9 +11,7 @@
 //! ```
 
 use citesys::core::paper;
-use citesys::core::{
-    format_citation, CitationEngine, CitationFormat, CitationMode, EngineOptions,
-};
+use citesys::core::{format_citation, CitationFormat, CitationMode, CitationService};
 
 fn main() {
     let db = paper::paper_database();
@@ -35,12 +33,13 @@ fn main() {
     let q = paper::paper_query();
     println!("\n== Query ==\n  {q}");
 
-    let engine = CitationEngine::new(
-        &db,
-        &registry,
-        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
-    );
-    let cited = engine.cite(&q).expect("the paper's query is coverable");
+    let service = CitationService::builder()
+        .database(db.clone())
+        .registry(registry.clone())
+        .mode(CitationMode::Formal)
+        .build()
+        .expect("database and registry set");
+    let cited = service.cite(&q).expect("the paper's query is coverable");
 
     println!("\n== Rewritings ==");
     for r in &cited.rewritings {
@@ -78,7 +77,22 @@ fn main() {
     print!("{}", citesys::core::trace_answer(&cited));
 
     // The headline check from the paper: the final citation uses Q2.
-    let atoms: Vec<String> = cited.tuples[0].atoms.iter().map(ToString::to_string).collect();
+    let atoms: Vec<String> = cited.tuples[0]
+        .atoms
+        .iter()
+        .map(ToString::to_string)
+        .collect();
     assert_eq!(atoms, vec!["CV2", "CV3"]);
     println!("\nOK: min-size +R picked CV2·CV3, as in the paper.");
+
+    // Prepared queries: the rewriting search above is cached — re-citing
+    // the same shape (even at other λ-constants) does zero search work.
+    let prepared = service.prepare(&q).expect("coverable");
+    let again = prepared.execute().expect("coverable");
+    assert_eq!(again.rewrite_stats.search_effort(), 0);
+    assert_eq!(again.rewrite_stats.plan_cache_hits, 1);
+    println!(
+        "OK: prepared re-cite did zero rewriting-search work ({})",
+        again.rewrite_stats
+    );
 }

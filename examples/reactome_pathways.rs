@@ -8,7 +8,7 @@
 //! to the database-wide citation under the min-size policy.
 
 use citesys::core::{
-    format_citation, format_citation_with, CitationEngine, CitationFormat, CitationMode,
+    format_citation, format_citation_with, CitationFormat, CitationMode, CitationService,
     EngineOptions, FormatOptions,
 };
 use citesys::gtopdb::reactome::{
@@ -17,7 +17,11 @@ use citesys::gtopdb::reactome::{
 use citesys::storage::evaluate;
 
 fn main() {
-    let cfg = ReactomeConfig { roots: 4, curators_per_pathway: 5, ..Default::default() };
+    let cfg = ReactomeConfig {
+        roots: 4,
+        curators_per_pathway: 5,
+        ..Default::default()
+    };
     let db = generate(&cfg);
     println!(
         "Reactome-style database: {} pathways, {} hierarchy edges, {} participants",
@@ -27,11 +31,15 @@ fn main() {
     );
 
     let registry = pathway_registry();
-    let engine = CitationEngine::new(
-        &db,
-        &registry,
-        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
-    );
+    let engine = CitationService::builder()
+        .database(db.clone())
+        .registry(registry.clone())
+        .options(EngineOptions {
+            mode: CitationMode::Formal,
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
 
     // Hierarchy is plain querying (no citation views needed to *read*).
     let edges = evaluate(&db, &q_hierarchy()).expect("evaluates");
@@ -70,6 +78,9 @@ fn main() {
         scan.answer.len(),
         agg.atoms.len()
     );
-    print!("{}", format_citation(&agg.snippets, None, CitationFormat::Text));
+    print!(
+        "{}",
+        format_citation(&agg.snippets, None, CitationFormat::Text)
+    );
     assert_eq!(agg.atoms.len(), 1, "min-size picks the constant view");
 }

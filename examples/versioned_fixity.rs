@@ -23,28 +23,35 @@ fn main() {
         }
     }
     let v1 = vdb.commit();
-    println!("committed version {v1} ({} tuples)", vdb.current().total_tuples());
+    println!(
+        "committed version {v1} ({} tuples)",
+        vdb.current().total_tuples()
+    );
 
     // Cite the paper's query at version 1.
     let registry = paper::paper_registry();
     let q = paper::paper_query();
     let (cited, token) =
-        cite_at_version(&vdb, &registry, EngineOptions::default(), v1, &q)
-            .expect("coverable");
-    println!("\ncited at version {}: {} answer tuple(s)", token.version, cited.answer.len());
+        cite_at_version(&vdb, &registry, EngineOptions::default(), v1, &q).expect("coverable");
+    println!(
+        "\ncited at version {}: {} answer tuple(s)",
+        token.version,
+        cited.answer.len()
+    );
     println!("fixity token: {token}");
 
     // The database evolves: Dopamine gets an intro, a family is renamed.
     vdb.insert("FamilyIntro", tuple![13, "3rd"]).expect("valid");
-    vdb.delete("Family", &tuple![12, "Calcitonin", "C2"]).expect("valid");
-    vdb.insert("Family", tuple![12, "Calcitonin-like", "C2"]).expect("valid");
+    vdb.delete("Family", &tuple![12, "Calcitonin", "C2"])
+        .expect("valid");
+    vdb.insert("Family", tuple![12, "Calcitonin-like", "C2"])
+        .expect("valid");
     let v2 = vdb.commit();
     println!("\ncommitted version {v2} (database evolved)");
 
     // Re-executing the query *now* gives a different answer…
     let (cited_now, token_now) =
-        cite_at_version(&vdb, &registry, EngineOptions::default(), v2, &q)
-            .expect("coverable");
+        cite_at_version(&vdb, &registry, EngineOptions::default(), v2, &q).expect("coverable");
     println!(
         "current version answers: {} (was {})",
         cited_now.answer.len(),

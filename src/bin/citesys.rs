@@ -3,51 +3,118 @@
 //! ```console
 //! $ citesys script.cts          # run a script file
 //! $ citesys -                   # read the script from stdin
+//! $ citesys serve               # interactive loop: one service, many cites
 //! ```
 //!
 //! See [`citesys::script`] for the command language.
+//!
+//! Exit codes: `0` success (including `--help`), `1` I/O error, `2` usage
+//! error, `3` script parse error, `4` citation/runtime error.
 
-use std::io::Read;
+use std::io::{BufRead, Read, Write};
+
+use citesys::script::{Interpreter, ScriptError, ScriptErrorKind};
+
+const EXIT_IO: i32 = 1;
+const EXIT_USAGE: i32 = 2;
+const EXIT_PARSE: i32 = 3;
+const EXIT_CITE: i32 = 4;
+
+fn usage() -> String {
+    "usage: citesys <script-file | - | serve>\n\n\
+     modes:\n  \
+     <script-file>  run a script file\n  \
+     -              read a whole script from stdin\n  \
+     serve          interactive: execute each stdin line as it arrives,\n                 \
+     reusing one citation service (warm plan cache) per session\n\n\
+     commands:\n  \
+     schema Name(attr:type, …) [key(i, …)]\n  \
+     insert Name(v, …) / delete Name(v, …)\n  \
+     view <rule> | cite <rule> [| static k=v]…\n  \
+     commit\n  \
+     cite <query> [| format text|bibtex|ris|xml|json|csl] [| mode formal|pruned] [| policy minsize|union|first] [| partial]\n  \
+     verify / tables / dump Name / load Name from '<path>' / trace\n\n\
+     exit codes: 0 ok, 1 i/o error, 2 usage, 3 script parse error, 4 citation error"
+        .to_string()
+}
+
+fn exit_code_for(e: &ScriptError) -> i32 {
+    match e.kind {
+        ScriptErrorKind::Parse => EXIT_PARSE,
+        ScriptErrorKind::Citation => EXIT_CITE,
+    }
+}
+
+/// The interactive loop: executes each line as it arrives against one
+/// persistent interpreter (and thus one warm plan cache). Errors are
+/// reported but do not end the session.
+fn serve() -> i32 {
+    let stdin = std::io::stdin();
+    let mut interp = Interpreter::new();
+    let interactive = std::env::var_os("CITESYS_SERVE_SILENT").is_none();
+    if interactive {
+        eprintln!("citesys serve — one command per line, Ctrl-D to exit");
+    }
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error reading stdin: {e}");
+                return EXIT_IO;
+            }
+        };
+        match interp.run_line(&line) {
+            Ok(out) => {
+                print!("{out}");
+                let _ = std::io::stdout().flush();
+            }
+            Err(e) => eprintln!("error: {}", e.message),
+        }
+    }
+    0
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let source = match args.first().map(String::as_str) {
-        None | Some("--help") | Some("-h") => {
-            eprintln!(
-                "usage: citesys <script-file | ->\n\n\
-                 commands:\n  \
-                 schema Name(attr:type, …) [key(i, …)]\n  \
-                 insert Name(v, …) / delete Name(v, …)\n  \
-                 view <rule> | cite <rule> [| static k=v]…\n  \
-                 commit\n  \
-                 cite <query> [| format text|bibtex|ris|xml|json] [| mode formal|pruned] [| policy minsize|union|first] [| partial]\n  \
-                 verify / tables / dump Name"
-            );
-            std::process::exit(2);
+        Some("--help") | Some("-h") | Some("help") => {
+            println!("{}", usage());
+            return;
+        }
+        None => {
+            eprintln!("{}", usage());
+            std::process::exit(EXIT_USAGE);
+        }
+        Some("serve") => {
+            std::process::exit(serve());
         }
         Some("-") => {
             let mut buf = String::new();
             if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
                 eprintln!("error reading stdin: {e}");
-                std::process::exit(1);
+                std::process::exit(EXIT_IO);
             }
             buf
+        }
+        Some(flag) if flag.starts_with('-') => {
+            eprintln!("unknown option '{flag}'\n\n{}", usage());
+            std::process::exit(EXIT_USAGE);
         }
         Some(path) => match std::fs::read_to_string(path) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("error reading {path}: {e}");
-                std::process::exit(1);
+                std::process::exit(EXIT_IO);
             }
         },
     };
 
-    let mut interp = citesys::script::Interpreter::new();
+    let mut interp = Interpreter::new();
     match interp.run(&source) {
         Ok(out) => print!("{out}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(exit_code_for(&e));
         }
     }
 }

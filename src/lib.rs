@@ -14,26 +14,39 @@
 //! | [`cq`] | conjunctive queries, parser, containment, minimization |
 //! | [`storage`] | relational store, CQ evaluation, versioning, SHA-256 fixity |
 //! | [`provenance`] | semirings, ℕ\[X\] polynomials, K-relations |
-//! | [`rewrite`] | answering queries using views (bucket, MiniCon) |
-//! | [`core`] | citation views, algebra, policies, engine, formats |
+//! | [`rewrite`] | answering queries using views (bucket, MiniCon, plans) |
+//! | [`core`] | citation views, algebra, policies, service, formats |
 //! | [`gtopdb`] | synthetic GtoPdb / eagle-i generators and workloads |
 //!
 //! ## Quickstart
 //!
-//! ```
-//! use citesys::core::{CitationEngine, CitationMode, EngineOptions};
-//! use citesys::core::paper;
+//! The entry point is the owned, `Send + Sync`
+//! [`CitationService`](core::CitationService), built once and shared:
 //!
-//! let db = paper::paper_database();
-//! let registry = paper::paper_registry();
-//! let engine = CitationEngine::new(&db, &registry, EngineOptions {
-//!     mode: CitationMode::Formal,
-//!     ..Default::default()
-//! });
-//! let cited = engine.cite(&paper::paper_query()).unwrap();
+//! ```
+//! use citesys::core::paper;
+//! use citesys::core::{CitationMode, CitationService};
+//!
+//! let service = CitationService::builder()
+//!     .database(paper::paper_database())
+//!     .registry(paper::paper_registry())
+//!     .mode(CitationMode::Formal)
+//!     .build()
+//!     .unwrap();
+//!
+//! let cited = service.cite(&paper::paper_query()).unwrap();
 //! assert_eq!(cited.tuples[0].expr().to_string(),
 //!     "(CV1(11)·CV3 + CV1(12)·CV3) +R (CV2·CV3)");
+//!
+//! // Repeated (λ-parameterized) queries reuse the cached rewrite plan:
+//! let prepared = service.prepare(&paper::paper_query()).unwrap();
+//! let again = prepared.execute().unwrap();
+//! assert_eq!(again.rewrite_stats.search_effort(), 0);
+//! assert_eq!(again.rewrite_stats.plan_cache_hits, 1);
 //! ```
+//!
+//! Migrating from the deprecated borrowing `CitationEngine`? See
+//! `MIGRATION.md` at the repository root.
 
 #![warn(missing_docs)]
 

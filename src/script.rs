@@ -15,22 +15,41 @@
 //!
 //! Every `cite` runs against the latest committed version and embeds a
 //! fixity token; `verify <token-digest>` re-checks the last citation.
+//!
+//! The interpreter keeps one [`CitationService`] snapshot per committed
+//! version and shares its rewrite-plan caches across `cite` commands, so a
+//! script (or a long-running `citesys serve` session) that re-cites the
+//! same query shape — even at different λ-parameter constants — pays for
+//! the rewriting search only once. Registering a view invalidates the
+//! shared plan caches (the rewriting space changed).
 
 use std::fmt;
+use std::sync::Arc;
 
 use citesys_core::{
-    cite_at_version, format_citation, verify, CitationFormat, CitationMode, CitationQuery,
-    CitationRegistry, CitationView, CitationFunction, Coverage, EngineOptions, FixityToken,
-    PolicySet, RewritePolicy,
+    cite_with_service, format_citation, verify, CitationFormat, CitationFunction, CitationMode,
+    CitationQuery, CitationRegistry, CitationService, CitationView, Coverage, EngineOptions,
+    FixityToken, PlanCache, PolicySet, RewritePolicy,
 };
 use citesys_cq::{parse_query, Value, ValueType};
 use citesys_storage::{to_csv, RelationSchema, Tuple, VersionedDatabase};
 
-/// A script-level error, tagged with its 1-based line number.
+/// What went wrong, at the granularity the CLI's exit codes report.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScriptErrorKind {
+    /// The script itself is malformed (unknown command, bad syntax).
+    Parse,
+    /// The script is well-formed but a data/citation operation failed.
+    Citation,
+}
+
+/// A script-level error, tagged with its 1-based line number and kind.
 #[derive(Debug)]
 pub struct ScriptError {
     /// Line the error occurred on.
     pub line: usize,
+    /// Parse vs citation/runtime failure (drives the CLI exit code).
+    pub kind: ScriptErrorKind,
     /// Human-readable message.
     pub message: String,
 }
@@ -43,11 +62,29 @@ impl fmt::Display for ScriptError {
 
 impl std::error::Error for ScriptError {}
 
+/// Internal command-level error: a kind plus a message.
+type CmdError = (ScriptErrorKind, String);
+
+fn parse_err(message: impl Into<String>) -> CmdError {
+    (ScriptErrorKind::Parse, message.into())
+}
+
+fn cite_err(message: impl Into<String>) -> CmdError {
+    (ScriptErrorKind::Citation, message.into())
+}
+
 /// The stateful interpreter.
 pub struct Interpreter {
     store: Option<VersionedDatabase>,
     schemas: Vec<RelationSchema>,
     registry: CitationRegistry,
+    /// Shared rewrite-plan caches: one for strict cites, one for cites
+    /// with the `partial` fallback (the two can cache different plans for
+    /// the same query). Cleared when a view is registered.
+    plans_strict: Arc<PlanCache>,
+    plans_partial: Arc<PlanCache>,
+    /// Service over the latest committed snapshot, rebuilt on demand.
+    service: Option<(u64, bool, CitationService)>,
     last_token: Option<FixityToken>,
     trace_next: bool,
     out: String,
@@ -66,6 +103,9 @@ impl Interpreter {
             store: None,
             schemas: Vec::new(),
             registry: CitationRegistry::new(),
+            plans_strict: Arc::new(PlanCache::new(citesys_core::DEFAULT_PLAN_CACHE_CAPACITY)),
+            plans_partial: Arc::new(PlanCache::new(citesys_core::DEFAULT_PLAN_CACHE_CAPACITY)),
+            service: None,
             last_token: None,
             trace_next: false,
             out: String::new(),
@@ -75,15 +115,28 @@ impl Interpreter {
     /// Runs a whole script, returning the accumulated output.
     pub fn run(&mut self, script: &str) -> Result<String, ScriptError> {
         for (i, raw) in script.lines().enumerate() {
-            let line_no = i + 1;
-            let line = raw.split('#').next().unwrap_or("").trim();
-            if line.is_empty() {
-                continue;
-            }
-            self.command(line)
-                .map_err(|message| ScriptError { line: line_no, message })?;
+            self.run_numbered_line(i + 1, raw)?;
         }
         Ok(std::mem::take(&mut self.out))
+    }
+
+    /// Runs a single script line (the `serve` loop's entry point),
+    /// returning the output it produced. State persists across calls.
+    pub fn run_line(&mut self, raw: &str) -> Result<String, ScriptError> {
+        self.run_numbered_line(1, raw)?;
+        Ok(std::mem::take(&mut self.out))
+    }
+
+    fn run_numbered_line(&mut self, line_no: usize, raw: &str) -> Result<(), ScriptError> {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            return Ok(());
+        }
+        self.command(line).map_err(|(kind, message)| ScriptError {
+            line: line_no,
+            kind,
+            message,
+        })
     }
 
     fn say(&mut self, s: impl AsRef<str>) {
@@ -91,7 +144,7 @@ impl Interpreter {
         self.out.push('\n');
     }
 
-    fn command(&mut self, line: &str) -> Result<(), String> {
+    fn command(&mut self, line: &str) -> Result<(), CmdError> {
         let (head, rest) = line.split_once(' ').unwrap_or((line, ""));
         match head {
             "schema" => self.cmd_schema(rest),
@@ -109,91 +162,96 @@ impl Interpreter {
                 self.trace_next = true;
                 Ok(())
             }
-            other => Err(format!("unknown command: {other}")),
+            other => Err(parse_err(format!("unknown command: {other}"))),
         }
     }
 
     // schema Family(FID:int, FName:text, Desc:text) key(0, 1)
-    fn cmd_schema(&mut self, rest: &str) -> Result<(), String> {
+    fn cmd_schema(&mut self, rest: &str) -> Result<(), CmdError> {
         if self.store.is_some() {
-            return Err("schema must be declared before any data command".into());
+            return Err(parse_err("schema must be declared before any data command"));
         }
         let (name, after) = rest
             .split_once('(')
-            .ok_or_else(|| "expected Name(attr:type, …)".to_string())?;
+            .ok_or_else(|| parse_err("expected Name(attr:type, …)"))?;
         let (attrs_str, tail) = after
             .split_once(')')
-            .ok_or_else(|| "missing ')'".to_string())?;
+            .ok_or_else(|| parse_err("missing ')'"))?;
         let mut attrs = Vec::new();
         for part in attrs_str.split(',') {
             let (n, t) = part
                 .trim()
                 .split_once(':')
-                .ok_or_else(|| format!("attribute '{part}' lacks ':type'"))?;
+                .ok_or_else(|| parse_err(format!("attribute '{part}' lacks ':type'")))?;
             let ty = match t.trim() {
                 "int" => ValueType::Int,
                 "text" => ValueType::Text,
                 "bool" => ValueType::Bool,
-                other => return Err(format!("unknown type '{other}'")),
+                other => return Err(parse_err(format!("unknown type '{other}'"))),
             };
             attrs.push((n.trim().to_string(), ty));
         }
         let mut key = Vec::new();
         let tail = tail.trim();
         if let Some(k) = tail.strip_prefix("key(") {
-            let inner = k.strip_suffix(')').ok_or_else(|| "missing ')' in key".to_string())?;
+            let inner = k
+                .strip_suffix(')')
+                .ok_or_else(|| parse_err("missing ')' in key"))?;
             for idx in inner.split(',') {
                 let i: usize = idx
                     .trim()
                     .parse()
-                    .map_err(|_| format!("bad key position '{idx}'"))?;
+                    .map_err(|_| parse_err(format!("bad key position '{idx}'")))?;
                 if i >= attrs.len() {
-                    return Err(format!("key position {i} out of range"));
+                    return Err(parse_err(format!("key position {i} out of range")));
                 }
                 key.push(i);
             }
         } else if !tail.is_empty() {
-            return Err(format!("unexpected trailing input: '{tail}'"));
+            return Err(parse_err(format!("unexpected trailing input: '{tail}'")));
         }
-        let parts: Vec<(&str, ValueType)> =
-            attrs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let parts: Vec<(&str, ValueType)> = attrs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
         let schema = RelationSchema::from_parts(name.trim(), &parts, &key);
-        self.say(format!("schema {} ({} attributes)", name.trim(), parts.len()));
+        self.say(format!(
+            "schema {} ({} attributes)",
+            name.trim(),
+            parts.len()
+        ));
         self.schemas.push(schema);
         Ok(())
     }
 
-    fn store_mut(&mut self) -> Result<&mut VersionedDatabase, String> {
+    fn store_mut(&mut self) -> Result<&mut VersionedDatabase, CmdError> {
         if self.store.is_none() {
             if self.schemas.is_empty() {
-                return Err("no schema declared".into());
+                return Err(parse_err("no schema declared"));
             }
             let store = VersionedDatabase::new(self.schemas.clone())
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| cite_err(e.to_string()))?;
             self.store = Some(store);
         }
         Ok(self.store.as_mut().expect("just initialized"))
     }
 
     // insert Family(11, 'Calcitonin', 'C1')
-    fn cmd_insert(&mut self, rest: &str) -> Result<(), String> {
-        let (name, tuple) = parse_ground_atom(rest)?;
+    fn cmd_insert(&mut self, rest: &str) -> Result<(), CmdError> {
+        let (name, tuple) = parse_ground_atom(rest).map_err(parse_err)?;
         let changed = self
             .store_mut()?
             .insert(&name, tuple)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| cite_err(e.to_string()))?;
         if !changed {
             self.say("(duplicate ignored)");
         }
         Ok(())
     }
 
-    fn cmd_delete(&mut self, rest: &str) -> Result<(), String> {
-        let (name, tuple) = parse_ground_atom(rest)?;
+    fn cmd_delete(&mut self, rest: &str) -> Result<(), CmdError> {
+        let (name, tuple) = parse_ground_atom(rest).map_err(parse_err)?;
         let changed = self
             .store_mut()?
             .delete(&name, &tuple)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| cite_err(e.to_string()))?;
         if !changed {
             self.say("(no such tuple)");
         }
@@ -201,15 +259,15 @@ impl Interpreter {
     }
 
     // view <rule> | cite <rule> [| cite <rule>] [| static k=v]...
-    fn cmd_view(&mut self, rest: &str) -> Result<(), String> {
+    fn cmd_view(&mut self, rest: &str) -> Result<(), CmdError> {
         let mut parts = rest.split('|').map(str::trim);
-        let view_rule = parts.next().ok_or_else(|| "missing view rule".to_string())?;
-        let view = parse_query(view_rule).map_err(|e| e.to_string())?;
+        let view_rule = parts.next().ok_or_else(|| parse_err("missing view rule"))?;
+        let view = parse_query(view_rule).map_err(|e| parse_err(e.to_string()))?;
         let mut citation_queries = Vec::new();
         let mut function = CitationFunction::new();
         for part in parts {
             if let Some(rule) = part.strip_prefix("cite ") {
-                let q = parse_query(rule.trim()).map_err(|e| e.to_string())?;
+                let q = parse_query(rule.trim()).map_err(|e| parse_err(e.to_string()))?;
                 // Constant single-column citation queries (the paper's CV2
                 // pattern) get the friendlier field name "citation".
                 let cq = if q.is_constant() && q.arity() == 1 {
@@ -222,33 +280,43 @@ impl Interpreter {
             } else if let Some(kv) = part.strip_prefix("static ") {
                 let (k, v) = kv
                     .split_once('=')
-                    .ok_or_else(|| format!("static '{kv}' lacks '='"))?;
+                    .ok_or_else(|| parse_err(format!("static '{kv}' lacks '='")))?;
                 function = function.with_static(k.trim(), v.trim());
             } else {
-                return Err(format!("unknown view clause: '{part}'"));
+                return Err(parse_err(format!("unknown view clause: '{part}'")));
             }
         }
         let name = view.name().to_string();
         let cv = CitationView::new(view, citation_queries, function)
-            .map_err(|e| e.to_string())?;
-        self.registry.add(cv).map_err(|e| e.to_string())?;
+            .map_err(|e| cite_err(e.to_string()))?;
+        self.registry.add(cv).map_err(|e| cite_err(e.to_string()))?;
+        // The rewriting space changed: drop the service built over the
+        // stale registry and swap in FRESH plan caches (replacing the
+        // `Arc`s, so nothing holding the old caches can leak old-registry
+        // plans back in).
+        self.plans_strict = Arc::new(PlanCache::new(citesys_core::DEFAULT_PLAN_CACHE_CAPACITY));
+        self.plans_partial = Arc::new(PlanCache::new(citesys_core::DEFAULT_PLAN_CACHE_CAPACITY));
+        self.service = None;
         self.say(format!("view {name} registered"));
         Ok(())
     }
 
-    fn cmd_commit(&mut self) -> Result<(), String> {
+    fn cmd_commit(&mut self) -> Result<(), CmdError> {
         let v = self.store_mut()?.commit();
         self.say(format!("committed version {v}"));
         Ok(())
     }
 
     // cite <rule> [| format f] [| mode m] [| policy p] [| partial]
-    fn cmd_cite(&mut self, rest: &str) -> Result<(), String> {
+    fn cmd_cite(&mut self, rest: &str) -> Result<(), CmdError> {
         let mut parts = rest.split('|').map(str::trim);
-        let rule = parts.next().ok_or_else(|| "missing query".to_string())?;
-        let q = parse_query(rule).map_err(|e| e.to_string())?;
+        let rule = parts.next().ok_or_else(|| parse_err("missing query"))?;
+        let q = parse_query(rule).map_err(|e| parse_err(e.to_string()))?;
         let mut format = CitationFormat::Text;
-        let mut options = EngineOptions { mode: CitationMode::Formal, ..Default::default() };
+        let mut options = EngineOptions {
+            mode: CitationMode::Formal,
+            ..Default::default()
+        };
         for part in parts {
             match part.split_once(' ').map(|(a, b)| (a, b.trim())) {
                 Some(("format", f)) => {
@@ -259,14 +327,14 @@ impl Interpreter {
                         "xml" => CitationFormat::Xml,
                         "json" => CitationFormat::Json,
                         "csl" => CitationFormat::CslJson,
-                        other => return Err(format!("unknown format '{other}'")),
+                        other => return Err(parse_err(format!("unknown format '{other}'"))),
                     }
                 }
                 Some(("mode", m)) => {
                     options.mode = match m {
                         "formal" => CitationMode::Formal,
                         "pruned" => CitationMode::CostPruned,
-                        other => return Err(format!("unknown mode '{other}'")),
+                        other => return Err(parse_err(format!("unknown mode '{other}'"))),
                     }
                 }
                 Some(("policy", p)) => {
@@ -275,24 +343,23 @@ impl Interpreter {
                             "minsize" => RewritePolicy::MinSize,
                             "union" => RewritePolicy::Union,
                             "first" => RewritePolicy::First,
-                            other => return Err(format!("unknown policy '{other}'")),
+                            other => return Err(parse_err(format!("unknown policy '{other}'"))),
                         },
                         ..Default::default()
                     }
                 }
                 None if part == "partial" => options.allow_partial = true,
-                _ => return Err(format!("unknown cite clause: '{part}'")),
+                _ => return Err(parse_err(format!("unknown cite clause: '{part}'"))),
             }
         }
         let store = self.store_mut()?;
         if store.has_pending() {
-            return Err("uncommitted changes: run 'commit' before 'cite'".into());
+            return Err(cite_err("uncommitted changes: run 'commit' before 'cite'"));
         }
         let version = store.latest_version();
-        let registry = self.registry.clone();
-        let store = self.store.as_ref().expect("initialized above");
-        let (cited, token) = cite_at_version(store, &registry, options, version, &q)
-            .map_err(|e| e.to_string())?;
+        let service = self.service_at(version, options)?;
+        let (cited, token) =
+            cite_with_service(&service, version, &q).map_err(|e| cite_err(e.to_string()))?;
         self.say(format!(
             "{} answer tuple(s) at version {version}",
             cited.answer.len()
@@ -311,18 +378,21 @@ impl Interpreter {
         Ok(())
     }
 
-    fn cmd_verify(&mut self) -> Result<(), String> {
+    fn cmd_verify(&mut self) -> Result<(), CmdError> {
         let token = self
             .last_token
             .clone()
-            .ok_or_else(|| "no citation to verify".to_string())?;
-        let store = self.store.as_ref().ok_or_else(|| "no data".to_string())?;
-        verify(store, &token).map_err(|e| e.to_string())?;
-        self.say(format!("fixity verified: v{} {}", token.version, token.digest));
+            .ok_or_else(|| cite_err("no citation to verify"))?;
+        let store = self.store.as_ref().ok_or_else(|| cite_err("no data"))?;
+        verify(store, &token).map_err(|e| cite_err(e.to_string()))?;
+        self.say(format!(
+            "fixity verified: v{} {}",
+            token.version, token.digest
+        ));
         Ok(())
     }
 
-    fn cmd_tables(&mut self) -> Result<(), String> {
+    fn cmd_tables(&mut self) -> Result<(), CmdError> {
         let lines: Vec<String> = {
             let store = self.store_mut()?;
             store
@@ -337,11 +407,14 @@ impl Interpreter {
         Ok(())
     }
 
-    fn cmd_dump(&mut self, rest: &str) -> Result<(), String> {
+    fn cmd_dump(&mut self, rest: &str) -> Result<(), CmdError> {
         let name = rest.trim();
         let csv = {
             let store = self.store_mut()?;
-            let rel = store.current().relation(name).map_err(|e| e.to_string())?;
+            let rel = store
+                .current()
+                .relation(name)
+                .map_err(|e| cite_err(e.to_string()))?;
             to_csv(rel)
         };
         self.say(csv.trim_end());
@@ -350,21 +423,21 @@ impl Interpreter {
 
     // load Family from 'path.csv'  — bulk-loads CSV rows into an existing
     // relation (the header row's name:type columns must match the schema).
-    fn cmd_load(&mut self, rest: &str) -> Result<(), String> {
+    fn cmd_load(&mut self, rest: &str) -> Result<(), CmdError> {
         let (name, after) = rest
             .trim()
             .split_once(" from ")
-            .ok_or_else(|| "expected: load <Relation> from '<path>'".to_string())?;
+            .ok_or_else(|| parse_err("expected: load <Relation> from '<path>'"))?;
         let path = after.trim().trim_matches('\'');
         let content = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {path}: {e}"))?;
+            .map_err(|e| cite_err(format!("cannot read {path}: {e}")))?;
         let name = name.trim();
         let (_, tuples) =
-            citesys_storage::from_csv(name, &[], &content).map_err(|e| e.to_string())?;
+            citesys_storage::from_csv(name, &[], &content).map_err(|e| cite_err(e.to_string()))?;
         let store = self.store_mut()?;
         let mut n = 0usize;
         for t in tuples {
-            if store.insert(name, t).map_err(|e| e.to_string())? {
+            if store.insert(name, t).map_err(|e| cite_err(e.to_string()))? {
                 n += 1;
             }
         }
@@ -372,10 +445,77 @@ impl Interpreter {
         Ok(())
     }
 
+    /// Returns (building if needed) a service over the snapshot of
+    /// `version` with the given options, reusing the interpreter's shared
+    /// plan caches. Rebuilt only when the version or the partial flag
+    /// changes — mode and policies do not affect plans, so they are set
+    /// fresh on every call via the builder.
+    fn service_at(
+        &mut self,
+        version: u64,
+        options: EngineOptions,
+    ) -> Result<CitationService, CmdError> {
+        if let Some((v, partial, svc)) = &self.service {
+            if *v == version && *partial == options.allow_partial {
+                // Same snapshot and plan-compatible options: reuse the
+                // service — including its materialized-view cache — with
+                // this cite's mode/policies applied.
+                return svc
+                    .with_options(options)
+                    .map_err(|e| cite_err(e.to_string()));
+            }
+        }
+        let store = self.store.as_ref().expect("caller initialized the store");
+        let snapshot = store
+            .snapshot(version)
+            .map_err(|e| cite_err(e.to_string()))?;
+        let plans = if options.allow_partial {
+            Arc::clone(&self.plans_partial)
+        } else {
+            Arc::clone(&self.plans_strict)
+        };
+        let svc = CitationService::builder()
+            .database(snapshot)
+            .registry(self.registry.clone())
+            .options(options)
+            .shared_plan_cache(plans)
+            .build()
+            .map_err(|e| cite_err(e.to_string()))?;
+        self.service = Some((version, options.allow_partial, svc.clone()));
+        Ok(svc)
+    }
+
+    /// Counters of the strict (non-partial) plan cache — how much
+    /// rewriting-search work the session has amortized.
+    pub fn plan_cache_stats(&self) -> citesys_core::PlanCacheStats {
+        self.plans_strict.stats()
+    }
+
     /// The interpreter's registry (for inspection in tests).
     pub fn registry(&self) -> &CitationRegistry {
         &self.registry
     }
+}
+
+/// Strips a `#` comment, ignoring `#` inside single-quoted strings (with
+/// `\'` escapes, matching the value parser) so `insert Note(1, 'bug #42')`
+/// survives intact.
+fn strip_comment(raw: &str) -> &str {
+    let mut in_quote = false;
+    let mut escaped = false;
+    for (i, c) in raw.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quote => escaped = true,
+            '\'' => in_quote = !in_quote,
+            '#' if !in_quote => return &raw[..i],
+            _ => {}
+        }
+    }
+    raw
 }
 
 /// Parses `Name(v1, v2, …)` with int / quoted-text / bool values.
@@ -551,9 +691,12 @@ cite Q(A) :- R(A)
         let mut interp = Interpreter::new();
         assert!(interp.run("schema R(A:int) key(3)\n").is_err());
         let mut interp = Interpreter::new();
-        assert!(interp
-            .run("schema R(A:int)\ninsert R(1)\nschema S(B:int)\n")
-            .is_err(), "schema after data");
+        assert!(
+            interp
+                .run("schema R(A:int)\ninsert R(1)\nschema S(B:int)\n")
+                .is_err(),
+            "schema after data"
+        );
     }
 
     #[test]
@@ -612,5 +755,104 @@ cite Q(A) :- R(A)
             .unwrap();
         assert!(out.contains("(no such tuple)"));
         assert!(out.contains("R: 0 tuples"));
+    }
+
+    #[test]
+    fn hash_inside_quoted_string_is_not_a_comment() {
+        let mut interp = Interpreter::new();
+        let out = interp
+            .run("schema R(A:int, B:text)\ninsert R(1, 'bug #42') # trailing comment\ndump R\n")
+            .unwrap();
+        assert!(out.contains("bug #42"), "{out}");
+        assert_eq!(
+            strip_comment("insert R('a\\'#b') # c"),
+            "insert R('a\\'#b') "
+        );
+        assert_eq!(strip_comment("# whole line"), "");
+        assert_eq!(strip_comment("no comment"), "no comment");
+    }
+
+    #[test]
+    fn error_kinds_distinguish_parse_from_citation() {
+        // Unknown command: parse error.
+        let e = Interpreter::new().run("bogus\n").unwrap_err();
+        assert_eq!(e.kind, ScriptErrorKind::Parse);
+        // Malformed query: parse error.
+        let e = Interpreter::new()
+            .run("schema R(A:int)\ncite Q( :- R\n")
+            .unwrap_err();
+        assert_eq!(e.kind, ScriptErrorKind::Parse);
+        // Well-formed script, uncoverable query: citation error.
+        let script = "\
+schema R(A:int)
+insert R(1)
+view V(A) :- R(A) | cite CV(D) :- D = 'x'
+commit
+cite Q(B) :- S(B)
+";
+        let e = Interpreter::new().run(script).unwrap_err();
+        assert_eq!(e.kind, ScriptErrorKind::Citation);
+        // Unknown relation on insert: citation (runtime) error.
+        let e = Interpreter::new()
+            .run("schema R(A:int)\ninsert S(1)\n")
+            .unwrap_err();
+        assert_eq!(e.kind, ScriptErrorKind::Citation);
+    }
+
+    #[test]
+    fn run_line_is_incremental() {
+        let mut interp = Interpreter::new();
+        assert_eq!(
+            interp.run_line("schema R(A:int)").unwrap(),
+            "schema R (1 attributes)\n"
+        );
+        interp.run_line("insert R(1)").unwrap();
+        interp
+            .run_line("view V(A) :- R(A) | cite CV(D) :- D = 'x'")
+            .unwrap();
+        interp.run_line("commit").unwrap();
+        let out = interp.run_line("cite Q(A) :- R(A)").unwrap();
+        assert!(out.contains("1 answer tuple(s) at version 1"), "{out}");
+        // Errors do not poison the session.
+        assert!(interp.run_line("bogus").is_err());
+        let out = interp.run_line("tables").unwrap();
+        assert!(out.contains("R: 1 tuples"));
+    }
+
+    #[test]
+    fn repeated_cites_reuse_the_plan_cache() {
+        let mut interp = Interpreter::new();
+        interp.run(PAPER_SCRIPT).unwrap();
+        // Same query shape at different λ-constants, repeatedly.
+        for fid in [11, 12, 11, 13] {
+            interp
+                .run_line(&format!(
+                    "cite Q(FName) :- Family({fid}, FName, Desc), FamilyIntro({fid}, Text)"
+                ))
+                .unwrap();
+        }
+        let stats = interp.plan_cache_stats();
+        assert_eq!(stats.misses, 2, "paper query + the parameterized shape");
+        assert!(stats.hits >= 3, "λ-variants must share one plan: {stats:?}");
+    }
+
+    #[test]
+    fn view_registration_invalidates_plans() {
+        let mut interp = Interpreter::new();
+        interp
+            .run(
+                "schema R(A:int)\nschema S(A:int)\ninsert R(1)\ninsert S(1)\n\
+                 view VR(A) :- R(A) | cite CVR(D) :- D = 'r'\ncommit\n",
+            )
+            .unwrap();
+        // S is uncoverable; the empty plan gets cached.
+        assert!(interp.run_line("cite Q(A) :- S(A)").is_err());
+        assert!(interp.run_line("cite Q(A) :- S(A)").is_err());
+        // Registering a covering view must clear the cached empty plan.
+        interp
+            .run_line("view VS(A) :- S(A) | cite CVS(D) :- D = 's'")
+            .unwrap();
+        let out = interp.run_line("cite Q(A) :- S(A)").unwrap();
+        assert!(out.contains("1 answer tuple(s)"), "{out}");
     }
 }

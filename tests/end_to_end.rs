@@ -1,11 +1,11 @@
 //! End-to-end integration: generator → rewriting → engine → formats →
 //! fixity, across all workspace crates.
 
-use citesys::core::{
-    cite_at_version, dereference, format_citation, verify, CitationEngine, CitationFormat,
-    CitationMode, EngineOptions, PolicySet, RewritePolicy,
-};
 use citesys::core::paper;
+use citesys::core::{
+    cite_at_version, dereference, format_citation, verify, CitationFormat, CitationMode,
+    CitationService, EngineOptions, PolicySet, RewritePolicy,
+};
 use citesys::cq::parse_query;
 use citesys::gtopdb::{full_registry, generate, generate_versioned, GtopdbConfig};
 use citesys::storage::{digest_answer, evaluate, tuple};
@@ -17,11 +17,15 @@ fn paper_walkthrough() {
     let registry = paper::paper_registry();
     let q = paper::paper_query();
 
-    let engine = CitationEngine::new(
-        &db,
-        &registry,
-        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
-    );
+    let engine = CitationService::builder()
+        .database(db.clone())
+        .registry(registry.clone())
+        .options(EngineOptions {
+            mode: CitationMode::Formal,
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
     let cited = engine.cite(&q).unwrap();
 
     // One tuple (Calcitonin), two bindings (FIDs 11 and 12).
@@ -35,11 +39,7 @@ fn paper_walkthrough() {
     );
 
     // Min-size +R collapses to CV2·CV3, rendered with the constant text.
-    let text = format_citation(
-        &cited.tuples[0].snippets,
-        None,
-        CitationFormat::Text,
-    );
+    let text = format_citation(&cited.tuples[0].snippets, None, CitationFormat::Text);
     assert!(text.contains("IUPHAR/BPS Guide to PHARMACOLOGY..."));
 
     // All five formats render non-trivially.
@@ -59,13 +59,20 @@ fn paper_walkthrough() {
 /// answers match direct evaluation.
 #[test]
 fn generated_gtopdb_workload_citable() {
-    let db = generate(&GtopdbConfig { scale: 2, ..Default::default() });
+    let db = generate(&GtopdbConfig {
+        scale: 2,
+        ..Default::default()
+    });
     let registry = full_registry();
-    let engine = CitationEngine::new(
-        &db,
-        &registry,
-        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
-    );
+    let engine = CitationService::builder()
+        .database(db.clone())
+        .registry(registry.clone())
+        .options(EngineOptions {
+            mode: CitationMode::Formal,
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
     for q in [
         citesys::gtopdb::workload::q_family_intro(),
         citesys::gtopdb::workload::q_families(),
@@ -87,23 +94,34 @@ fn generated_gtopdb_workload_citable() {
 /// min-size +R is in force (the estimate picks the same winner).
 #[test]
 fn formal_vs_pruned_agreement() {
-    let db = generate(&GtopdbConfig { scale: 2, ..Default::default() });
+    let db = generate(&GtopdbConfig {
+        scale: 2,
+        ..Default::default()
+    });
     let registry = full_registry();
     let q = citesys::gtopdb::workload::q_family_intro();
-    let formal = CitationEngine::new(
-        &db,
-        &registry,
-        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
-    )
-    .cite(&q)
-    .unwrap();
-    let pruned = CitationEngine::new(
-        &db,
-        &registry,
-        EngineOptions { mode: CitationMode::CostPruned, ..Default::default() },
-    )
-    .cite(&q)
-    .unwrap();
+    let formal = CitationService::builder()
+        .database(db.clone())
+        .registry(registry.clone())
+        .options(EngineOptions {
+            mode: CitationMode::Formal,
+            ..Default::default()
+        })
+        .build()
+        .unwrap()
+        .cite(&q)
+        .unwrap();
+    let pruned = CitationService::builder()
+        .database(db.clone())
+        .registry(registry.clone())
+        .options(EngineOptions {
+            mode: CitationMode::CostPruned,
+            ..Default::default()
+        })
+        .build()
+        .unwrap()
+        .cite(&q)
+        .unwrap();
     assert_eq!(formal.answer, pruned.answer);
     for (f, p) in formal.tuples.iter().zip(&pruned.tuples) {
         assert_eq!(f.atoms, p.atoms);
@@ -156,8 +174,7 @@ fn fixity_lifecycle_on_generated_data() {
 /// Citations embed fixity tokens in machine formats.
 #[test]
 fn formats_embed_fixity() {
-    let mut vdb =
-        citesys::storage::VersionedDatabase::new(paper::paper_schemas()).unwrap();
+    let mut vdb = citesys::storage::VersionedDatabase::new(paper::paper_schemas()).unwrap();
     let base = paper::paper_database();
     for (name, rel) in base.relations() {
         for t in rel.scan() {
@@ -166,9 +183,14 @@ fn formats_embed_fixity() {
     }
     let v = vdb.commit();
     let registry = paper::paper_registry();
-    let (cited, token) =
-        cite_at_version(&vdb, &registry, EngineOptions::default(), v, &paper::paper_query())
-            .unwrap();
+    let (cited, token) = cite_at_version(
+        &vdb,
+        &registry,
+        EngineOptions::default(),
+        v,
+        &paper::paper_query(),
+    )
+    .unwrap();
     let agg = cited.aggregate.unwrap();
     let xml = format_citation(&agg.snippets, Some(&token), CitationFormat::Xml);
     assert!(xml.contains(&format!("version=\"{v}\"")));
@@ -180,25 +202,33 @@ fn formats_embed_fixity() {
 /// Different policy sets order citation sizes consistently at scale.
 #[test]
 fn policy_size_ordering_at_scale() {
-    let db = generate(&GtopdbConfig { scale: 4, dup_name_rate: 0.3, ..Default::default() });
+    let db = generate(&GtopdbConfig {
+        scale: 4,
+        dup_name_rate: 0.3,
+        ..Default::default()
+    });
     let registry = full_registry();
     let q = citesys::gtopdb::workload::q_family_intro();
     let size_with = |rp: RewritePolicy| {
-        CitationEngine::new(
-            &db,
-            &registry,
-            EngineOptions {
+        CitationService::builder()
+            .database(db.clone())
+            .registry(registry.clone())
+            .options(EngineOptions {
                 mode: CitationMode::Formal,
-                policies: PolicySet { rewritings: rp, ..Default::default() },
+                policies: PolicySet {
+                    rewritings: rp,
+                    ..Default::default()
+                },
                 ..Default::default()
-            },
-        )
-        .cite(&q)
-        .unwrap()
-        .aggregate
-        .unwrap()
-        .atoms
-        .len()
+            })
+            .build()
+            .unwrap()
+            .cite(&q)
+            .unwrap()
+            .aggregate
+            .unwrap()
+            .atoms
+            .len()
     };
     let min_size = size_with(RewritePolicy::MinSize);
     let union = size_with(RewritePolicy::Union);
@@ -214,7 +244,12 @@ fn policy_size_ordering_at_scale() {
 fn uncoverable_query_is_an_error_not_empty() {
     let db = paper::paper_database();
     let registry = paper::paper_registry();
-    let engine = CitationEngine::new(&db, &registry, EngineOptions::default());
+    let engine = CitationService::builder()
+        .database(db.clone())
+        .registry(registry.clone())
+        .options(EngineOptions::default())
+        .build()
+        .unwrap();
     let q = parse_query("Q(P) :- Committee(F, P)").unwrap();
     assert!(engine.cite(&q).is_err());
 }
@@ -223,7 +258,9 @@ fn uncoverable_query_is_an_error_not_empty() {
 #[test]
 fn key_constraints_respected_through_stack() {
     let mut db = paper::paper_database();
-    let err = db.insert("Family", tuple![11, "Imposter", "X"]).unwrap_err();
+    let err = db
+        .insert("Family", tuple![11, "Imposter", "X"])
+        .unwrap_err();
     assert!(err.to_string().contains("key violation"));
 }
 
@@ -231,13 +268,20 @@ fn key_constraints_respected_through_stack() {
 /// registry, and the cited answer always matches direct evaluation.
 #[test]
 fn random_queries_cite_consistently() {
-    let db = generate(&GtopdbConfig { scale: 1, ..Default::default() });
+    let db = generate(&GtopdbConfig {
+        scale: 1,
+        ..Default::default()
+    });
     let registry = full_registry();
-    let engine = CitationEngine::new(
-        &db,
-        &registry,
-        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
-    );
+    let engine = CitationService::builder()
+        .database(db.clone())
+        .registry(registry.clone())
+        .options(EngineOptions {
+            mode: CitationMode::Formal,
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
     for q in citesys::gtopdb::workload::random::chain_queries(0xF00D, 16) {
         let direct = evaluate(&db, &q).unwrap();
         let cited = engine

@@ -3,8 +3,8 @@
 
 use citesys::core::paper;
 use citesys::core::{
-    CitationEngine, CitationFunction, CitationQuery, CitationRegistry, CitationView,
-    CiteError, EngineOptions, IncrementalEngine,
+    CitationFunction, CitationQuery, CitationRegistry, CitationService, CitationView, CiteError,
+    EngineOptions, IncrementalEngine,
 };
 use citesys::cq::parse_query;
 use citesys::rewrite::RewriteOptions;
@@ -27,7 +27,12 @@ fn citation_query_over_missing_relation() {
         .unwrap(),
     )
     .unwrap();
-    let engine = CitationEngine::new(&db, &reg, EngineOptions::default());
+    let engine = CitationService::builder()
+        .database(db.clone())
+        .registry(reg.clone())
+        .options(EngineOptions::default())
+        .build()
+        .unwrap();
     let q = parse_query("Q(N) :- Family(F, N, D)").unwrap();
     let err = engine.cite(&q).unwrap_err();
     assert!(matches!(err, CiteError::Storage(_)), "{err}");
@@ -52,12 +57,20 @@ fn view_body_over_missing_relation() {
         .unwrap(),
     )
     .unwrap();
-    let engine = CitationEngine::new(&db, &reg, EngineOptions::default());
+    let engine = CitationService::builder()
+        .database(db.clone())
+        .registry(reg.clone())
+        .options(EngineOptions::default())
+        .build()
+        .unwrap();
     let q = parse_query("Q(X) :- Ghost(X)").unwrap();
     let err = engine.cite(&q).unwrap_err();
     // Either schema inference or materialization reports the problem.
     assert!(
-        matches!(err, CiteError::Storage(_) | CiteError::BadCitationView { .. }),
+        matches!(
+            err,
+            CiteError::Storage(_) | CiteError::BadCitationView { .. }
+        ),
         "{err}"
     );
 }
@@ -68,14 +81,18 @@ fn view_body_over_missing_relation() {
 fn rewrite_budget_propagates() {
     let db = paper::paper_database();
     let reg = paper::paper_registry();
-    let engine = CitationEngine::new(
-        &db,
-        &reg,
-        EngineOptions {
-            rewrite: RewriteOptions { max_candidates: 1, ..Default::default() },
+    let engine = CitationService::builder()
+        .database(db.clone())
+        .registry(reg.clone())
+        .options(EngineOptions {
+            rewrite: RewriteOptions {
+                max_candidates: 1,
+                ..Default::default()
+            },
             ..Default::default()
-        },
-    );
+        })
+        .build()
+        .unwrap();
     let err = engine.cite(&paper::paper_query()).unwrap_err();
     assert!(matches!(err, CiteError::Rewrite(_)), "{err}");
 }
@@ -105,13 +122,21 @@ fn incremental_engine_error_does_not_poison_cache() {
 fn query_arity_mismatch_reported() {
     let db = paper::paper_database();
     let reg = paper::paper_registry();
-    let engine = CitationEngine::new(&db, &reg, EngineOptions::default());
+    let engine = CitationService::builder()
+        .database(db.clone())
+        .registry(reg.clone())
+        .options(EngineOptions::default())
+        .build()
+        .unwrap();
     // Family used with arity 2 — caught before any citation work. The
     // query itself is well-formed, so this must come from the catalog.
     let q = parse_query("Q(A) :- Family(A, B)").unwrap();
     let err = engine.cite(&q).unwrap_err();
     let msg = err.to_string();
-    assert!(msg.contains("arity") || msg.contains("no equivalent rewriting"), "{msg}");
+    assert!(
+        msg.contains("arity") || msg.contains("no equivalent rewriting"),
+        "{msg}"
+    );
 }
 
 /// Type violations on insert never reach storage.

@@ -1,9 +1,9 @@
 //! Full-pipeline integration: CSV interchange → script interpreter →
 //! citation → dump → fixity verification, plus plan explanation.
 
+use citesys::cq::parse_query;
 use citesys::script::Interpreter;
 use citesys::storage::{evaluate, explain, from_csv, load_csv, to_csv, Database};
-use citesys::cq::parse_query;
 
 /// CSV → database → CSV round trip preserves the digest, and a script can
 /// load the produced CSV.

@@ -4,7 +4,7 @@
 
 use citesys::core::paper;
 use citesys::core::{
-    CitationEngine, CitationMode, EngineOptions, IncrementalEngine, PolicySet, RewritePolicy,
+    CitationMode, CitationService, EngineOptions, IncrementalEngine, PolicySet, RewritePolicy,
 };
 use citesys::cq::{parse_query, Symbol};
 use citesys::gtopdb::{generate, GtopdbConfig};
@@ -29,11 +29,15 @@ fn citation_expression_mirrors_why_provenance() {
 
     // Citation via the parameterized rewriting (V1⋈V3): the Q1 branch has
     // exactly one summand per witness.
-    let engine = CitationEngine::new(
-        &db,
-        &registry,
-        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
-    );
+    let engine = CitationService::builder()
+        .database(db.clone())
+        .registry(registry.clone())
+        .options(EngineOptions {
+            mode: CitationMode::Formal,
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
     let cited = engine.cite(&q).unwrap();
     let q1_branch = cited.tuples[0]
         .branches
@@ -52,15 +56,22 @@ fn citation_expression_mirrors_why_provenance() {
 /// bindings the evaluator reports (Definition 2.2's β_t).
 #[test]
 fn summands_equal_bindings_at_scale() {
-    let db = generate(&GtopdbConfig { scale: 2, dup_name_rate: 0.5, ..Default::default() });
+    let db = generate(&GtopdbConfig {
+        scale: 2,
+        dup_name_rate: 0.5,
+        ..Default::default()
+    });
     let registry = citesys::gtopdb::full_registry();
-    let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+    let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)").unwrap();
+    let engine = CitationService::builder()
+        .database(db.clone())
+        .registry(registry.clone())
+        .options(EngineOptions {
+            mode: CitationMode::Formal,
+            ..Default::default()
+        })
+        .build()
         .unwrap();
-    let engine = CitationEngine::new(
-        &db,
-        &registry,
-        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
-    );
     let cited = engine.cite(&q).unwrap();
     for (row, tc) in cited.answer.rows.iter().zip(&cited.tuples) {
         // Find the V1 (parameterized) branch: distinct parameter values =
@@ -89,37 +100,50 @@ fn summands_equal_bindings_at_scale() {
 /// engine after any sequence of updates.
 #[test]
 fn incremental_engine_consistent_with_fresh() {
-    let cfg = GtopdbConfig { scale: 1, ..Default::default() };
+    let cfg = GtopdbConfig {
+        scale: 1,
+        ..Default::default()
+    };
     let registry = citesys::gtopdb::full_registry();
-    let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
-        .unwrap();
+    let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)").unwrap();
 
     let mut inc = IncrementalEngine::new(
         generate(&cfg),
         registry.clone(),
-        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
+        EngineOptions {
+            mode: CitationMode::Formal,
+            ..Default::default()
+        },
     );
     // Warm the cache, apply updates, re-cite.
     inc.cite(&q).unwrap();
-    inc.insert("Family", tuple![900, "Novel receptor", "N1"]).unwrap();
-    inc.insert("FamilyIntro", tuple![900, "fresh intro"]).unwrap();
+    inc.insert("Family", tuple![900, "Novel receptor", "N1"])
+        .unwrap();
+    inc.insert("FamilyIntro", tuple![900, "fresh intro"])
+        .unwrap();
     inc.delete("FamilyIntro", &tuple![0, "Introductory text for family 0"])
         .unwrap();
     let incremental = inc.cite(&q).unwrap();
 
     // Fresh engine over an identically mutated database.
     let mut db2 = generate(&cfg);
-    db2.insert("Family", tuple![900, "Novel receptor", "N1"]).unwrap();
-    db2.insert("FamilyIntro", tuple![900, "fresh intro"]).unwrap();
+    db2.insert("Family", tuple![900, "Novel receptor", "N1"])
+        .unwrap();
+    db2.insert("FamilyIntro", tuple![900, "fresh intro"])
+        .unwrap();
     db2.delete("FamilyIntro", &tuple![0, "Introductory text for family 0"])
         .unwrap();
-    let fresh = CitationEngine::new(
-        &db2,
-        &registry,
-        EngineOptions { mode: CitationMode::Formal, ..Default::default() },
-    )
-    .cite(&q)
-    .unwrap();
+    let fresh = CitationService::builder()
+        .database(db2.clone())
+        .registry(registry.clone())
+        .options(EngineOptions {
+            mode: CitationMode::Formal,
+            ..Default::default()
+        })
+        .build()
+        .unwrap()
+        .cite(&q)
+        .unwrap();
 
     assert_eq!(incremental.answer, fresh.answer);
     for (a, b) in incremental.tuples.iter().zip(&fresh.tuples) {
@@ -145,7 +169,8 @@ fn incremental_cache_behaviour() {
     assert_eq!(inc.cached(), 2);
 
     // Ligand insert must not flush the family citation.
-    inc.insert("Ligand", tuple![900, "novel-ligand", "peptide"]).unwrap();
+    inc.insert("Ligand", tuple![900, "novel-ligand", "peptide"])
+        .unwrap();
     assert_eq!(inc.cached(), 1);
     inc.cite(&q_fam).unwrap();
     assert_eq!(inc.stats().hits, 1);
@@ -155,22 +180,29 @@ fn incremental_cache_behaviour() {
 /// subset of its union citation.
 #[test]
 fn per_tuple_min_size_subset_of_union() {
-    let db = generate(&GtopdbConfig { scale: 2, dup_name_rate: 0.4, ..Default::default() });
+    let db = generate(&GtopdbConfig {
+        scale: 2,
+        dup_name_rate: 0.4,
+        ..Default::default()
+    });
     let registry = citesys::gtopdb::full_registry();
-    let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
-        .unwrap();
+    let q = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)").unwrap();
     let run = |rp: RewritePolicy| {
-        CitationEngine::new(
-            &db,
-            &registry,
-            EngineOptions {
+        CitationService::builder()
+            .database(db.clone())
+            .registry(registry.clone())
+            .options(EngineOptions {
                 mode: CitationMode::Formal,
-                policies: PolicySet { rewritings: rp, ..Default::default() },
+                policies: PolicySet {
+                    rewritings: rp,
+                    ..Default::default()
+                },
                 ..Default::default()
-            },
-        )
-        .cite(&q)
-        .unwrap()
+            })
+            .build()
+            .unwrap()
+            .cite(&q)
+            .unwrap()
     };
     let min = run(RewritePolicy::MinSize);
     let all = run(RewritePolicy::Union);
