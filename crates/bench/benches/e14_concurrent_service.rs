@@ -1,0 +1,64 @@
+//! E14 bench: concurrent service throughput — N threads cloning one warm
+//! service over the sharded plan cache, plus a mixed cite/update workload
+//! where delta-maintained view caches keep materializations warm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use std::sync::Arc;
+
+use citesys_bench::e13::parameterized_workload;
+use citesys_bench::e14::{concurrent_cites, mixed_cite_update};
+use citesys_core::{CitationMode, CitationService, EngineOptions};
+use citesys_gtopdb::{full_registry, generate, GtopdbConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = GtopdbConfig {
+        scale: 2,
+        ..Default::default()
+    };
+    let db = generate(&cfg).into_shared();
+    let registry = Arc::new(full_registry());
+    let workload = parameterized_workload(&cfg, 16);
+
+    // One warm service shared (cloned) by every thread: plans and views
+    // are cached before measurement so the arms time the concurrent hot
+    // path, not the first search.
+    let service = CitationService::builder()
+        .database(Arc::clone(&db))
+        .registry(Arc::clone(&registry))
+        .options(EngineOptions {
+            mode: CitationMode::CostPruned,
+            ..Default::default()
+        })
+        .build()
+        .expect("complete builder");
+    for q in &workload {
+        service.cite(q).expect("warmup");
+    }
+
+    let mut group = c.benchmark_group("e14_concurrent_service");
+    group.sample_size(10);
+
+    for threads in [1usize, 2, 4, 8] {
+        // Total cites per iteration grows with the thread count, so equal
+        // per-iteration times mean linear scaling.
+        group.throughput(Throughput::Elements((threads * workload.len()) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("cached_cites", threads),
+            &threads,
+            |b, &n| b.iter(|| concurrent_cites(&service, std::hint::black_box(&workload), n, 1)),
+        );
+    }
+
+    group.throughput(Throughput::Elements(workload.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("mixed_cite_update", "4r+4w"),
+        &(),
+        |b, ()| b.iter(|| mixed_cite_update(&db, &registry, std::hint::black_box(&workload), 4, 4)),
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

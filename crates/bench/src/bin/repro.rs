@@ -33,6 +33,7 @@ fn main() {
             "e11" => Some(citesys_bench::e11::table(quick)),
             "e12" => Some(citesys_bench::e12::table(quick)),
             "e13" => Some(citesys_bench::e13::table(quick)),
+            "e14" => Some(citesys_bench::e14::table(quick)),
             other => {
                 eprintln!("unknown experiment id: {other}");
                 None

@@ -19,6 +19,8 @@
 //! | E10 | §3 other models (RDF triples) | [`e10`] |
 //! | E11 | ablation: rewriting minimization | [`e11`] |
 //! | E12 | Reactome pathway domain | [`e12`] |
+//! | E13 | §3 amortized prepared citation | [`e13`] |
+//! | E14 | §3 concurrent service throughput | [`e14`] |
 //!
 //! Run `cargo run -p citesys-bench --release --bin repro` to print every
 //! table; Criterion benches under `benches/` time the same operations.
@@ -30,6 +32,7 @@ pub mod e10;
 pub mod e11;
 pub mod e12;
 pub mod e13;
+pub mod e14;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -57,5 +60,6 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e11::table(quick),
         e12::table(quick),
         e13::table(quick),
+        e14::table(quick),
     ]
 }

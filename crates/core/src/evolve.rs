@@ -10,10 +10,14 @@
 //!
 //! The engine is built on [`CitationService`]: data updates swap the
 //! service's database snapshot while the **plan cache survives** (rewrite
-//! plans depend only on the query shape and the registry), whereas view
-//! registrations and schema changes **clear the plan cache** (they can
-//! change the rewriting space). Cached *citations* are invalidated by data
-//! updates through the pattern matching above.
+//! plans depend only on the query shape and the registry) and the
+//! **materialized-view cache is delta-maintained** (the inserted/deleted
+//! tuple is carried into affected views by the semi-naive rules of
+//! [`citesys_storage::delta`]; unaffected views are kept verbatim),
+//! whereas view registrations and schema changes **clear both caches**
+//! (they can change the rewriting space and the view definitions).
+//! Cached *citations* are invalidated by data updates through the pattern
+//! matching above.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -90,6 +94,13 @@ impl IncrementalEngine {
         self.stats
     }
 
+    /// Materialized-view cache counters of the underlying service —
+    /// after data updates these show how many views were delta-maintained
+    /// or carried over untouched instead of being re-materialized.
+    pub fn view_cache_stats(&self) -> crate::viewcache::ViewCacheStats {
+        self.service.view_cache_stats()
+    }
+
     /// Number of live cache entries.
     pub fn cached(&self) -> usize {
         self.cache.len()
@@ -131,7 +142,7 @@ impl IncrementalEngine {
         &mut self,
         f: impl FnOnce(&mut Database) -> Result<R, citesys_storage::StorageError>,
     ) -> Result<R, CiteError> {
-        self.service = self.service.with_database(Arc::new(Database::new()));
+        self.service.release_database();
         // Restore the service before propagating any error — a failed
         // mutation must not leave it pointing at the empty placeholder.
         let out = f(Arc::make_mut(&mut self.db));
@@ -139,9 +150,33 @@ impl IncrementalEngine {
         Ok(out?)
     }
 
+    /// [`mutate`](Self::mutate) specialized to a single-tuple delta: the
+    /// view-cache update is staged against the pre-update snapshot, the
+    /// mutation runs, and the staged delta is applied to the successor
+    /// service — plan cache **and** materialized views stay warm.
+    /// Applying the delta after a failed/no-op mutation is harmless (see
+    /// [`CitationService::with_database_delta`]).
+    fn mutate_delta(
+        &mut self,
+        rel: &str,
+        t: &Tuple,
+        op: crate::viewcache::DeltaOp,
+        f: impl FnOnce(&mut Database) -> Result<bool, citesys_storage::StorageError>,
+    ) -> Result<bool, CiteError> {
+        let pending = self.service.stage_update(rel, t, op);
+        self.service.release_database();
+        let out = f(Arc::make_mut(&mut self.db));
+        self.service = self
+            .service
+            .with_database_delta(Arc::clone(&self.db), pending);
+        Ok(out?)
+    }
+
     /// Inserts a tuple, invalidating affected citations.
     pub fn insert(&mut self, rel: &str, t: Tuple) -> Result<bool, CiteError> {
-        let changed = self.mutate(|db| db.insert(rel, t.clone()))?;
+        let changed = self.mutate_delta(rel, &t, crate::viewcache::DeltaOp::Insert, |db| {
+            db.insert(rel, t.clone())
+        })?;
         if changed {
             self.invalidate(rel, &t);
         }
@@ -150,7 +185,9 @@ impl IncrementalEngine {
 
     /// Deletes a tuple, invalidating affected citations.
     pub fn delete(&mut self, rel: &str, t: &Tuple) -> Result<bool, CiteError> {
-        let changed = self.mutate(|db| db.delete(rel, t))?;
+        let changed = self.mutate_delta(rel, t, crate::viewcache::DeltaOp::Delete, |db| {
+            db.delete(rel, t)
+        })?;
         if changed {
             self.invalidate(rel, t);
         }

@@ -15,9 +15,11 @@
 //! * **The service** ([`service`]): the owned, `Send + Sync`
 //!   [`CitationService`] — rewrite → evaluate → annotate → render with a
 //!   formal-semantics mode and a cost-pruned mode (§3), prepared queries,
-//!   an LRU plan cache keyed modulo λ-parameter constants, and batch
-//!   citation. (The borrowing [`CitationEngine`] shim remains for source
-//!   compatibility; see `MIGRATION.md`.)
+//!   a sharded LRU plan cache keyed modulo λ-parameter constants (with
+//!   text persistence), a delta-maintained materialized-view cache
+//!   ([`viewcache`]), and batch citation. (The borrowing
+//!   [`CitationEngine`] shim remains for source compatibility; see
+//!   `MIGRATION.md`.)
 //! * **Rendering** ([`mod@format`]): text, BibTeX, RIS, XML, JSON.
 //! * **Fixity** ([`fixity`]): versioned citations with SHA-256 digests,
 //!   dereference and verification.
@@ -57,7 +59,7 @@
 //! assert_eq!(again.rewrite_stats.search_effort(), 0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod engine;
@@ -73,6 +75,7 @@ pub mod select;
 pub mod service;
 pub mod snippet;
 pub mod trace;
+pub mod viewcache;
 
 #[allow(deprecated)]
 pub use engine::CitationEngine;
@@ -89,7 +92,8 @@ pub use registry::{CitationRegistry, CitationView};
 pub use select::{covers, exhaustive_select, greedy_select, Selection};
 pub use service::{
     CitationService, CitationServiceBuilder, PlanCache, PlanCacheStats, PreparedCitation,
-    DEFAULT_PLAN_CACHE_CAPACITY,
+    DEFAULT_PLAN_CACHE_CAPACITY, DEFAULT_PLAN_CACHE_SHARDS,
 };
 pub use snippet::{CitationFunction, CitationQuery, CitationSnippet};
 pub use trace::{trace_answer, trace_tuple};
+pub use viewcache::{DeltaOp, PendingViewDelta, ViewCache, ViewCacheStats};

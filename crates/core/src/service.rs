@@ -6,15 +6,31 @@
 //! threads), and it amortizes the expensive part of citation — the
 //! bucket/MiniCon rewriting search — through two caches:
 //!
-//! * a **plan cache**: an LRU keyed by the query's *signature modulo
-//!   constants* (λ-parameterized workloads repeat the same query shape at
-//!   different constants; one search serves them all), and
+//! * a **plan cache**: a sharded (lock-striped) LRU keyed by the query's
+//!   *signature modulo constants* (λ-parameterized workloads repeat the
+//!   same query shape at different constants; one search serves them
+//!   all). Read hits take only a shard's shared lock, so concurrent
+//!   clones scale across threads; plans can also be persisted to disk
+//!   ([`PlanCache::to_text`] / [`PlanCache::load_text`]) and reloaded by
+//!   a later process.
 //! * a **view cache**: citation views are materialized once into a shared
-//!   scratch database and reused across queries and batches.
+//!   scratch database ([`ViewCache`]) and reused across queries and
+//!   batches; single-tuple data updates are carried into the
+//!   materializations by delta maintenance
+//!   ([`stage_update`](CitationService::stage_update) /
+//!   [`with_database_delta`](CitationService::with_database_delta))
+//!   instead of dropping them.
+//!
+//! **Invalidation contract**: registering a view or declaring a relation
+//! changes the rewriting space — both caches are replaced (see
+//! [`IncrementalEngine`](crate::evolve::IncrementalEngine)). Data updates
+//! must invalidate **neither**: plans are data-independent, and
+//! materializations follow the data by delta.
 //!
 //! A plan-cache hit performs **zero rewriting-search work** — observable
 //! in [`CitedAnswer::rewrite_stats`], whose `plan_cache_hits` counter is 1
-//! and whose search-effort counters are all 0.
+//! and whose search-effort counters are all 0 (and whose
+//! `plan_cache_shard` names the serving shard).
 //!
 //! ```
 //! use citesys_core::paper;
@@ -39,12 +55,14 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use citesys_cq::{ConjunctiveQuery, Term, Value};
-use citesys_rewrite::{RewritePlan, RewriteStats};
-use citesys_storage::Database;
-use parking_lot::{Mutex, RwLock};
+use citesys_rewrite::{PlanParseError, RewritePlan, RewriteStats};
+use citesys_storage::{Database, Tuple};
+use parking_lot::RwLock;
 
 use crate::engine::{
     cite_selected, compute_plan, materialize_views_into, needed_views, select_rewritings,
@@ -53,15 +71,21 @@ use crate::engine::{
 use crate::error::CiteError;
 use crate::policy::PolicySet;
 use crate::registry::CitationRegistry;
+use crate::viewcache::{DeltaOp, PendingViewDelta, ViewCache, ViewCacheStats};
 
 /// Default number of distinct query signatures the plan cache retains.
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+/// Default number of lock-striped shards in the plan cache.
+pub const DEFAULT_PLAN_CACHE_SHARDS: usize = 8;
 
 // ---------------------------------------------------------------------------
 // Plan cache
 // ---------------------------------------------------------------------------
 
-/// Aggregate counters for one [`PlanCache`].
+/// Counters for one [`PlanCache`] — either the whole cache
+/// ([`PlanCache::stats`], summed over shards) or a single shard
+/// ([`PlanCache::shard_stats`]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct PlanCacheStats {
     /// Lookups answered from the cache.
@@ -74,57 +98,137 @@ pub struct PlanCacheStats {
     pub invalidations: u64,
 }
 
+impl PlanCacheStats {
+    fn add(&mut self, other: PlanCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.invalidations += other.invalidations;
+    }
+}
+
 struct PlanEntry {
     /// Constants of the query instance the plan was computed for, in
     /// signature-placeholder order.
     constants: Vec<Value>,
     plan: Arc<RewritePlan>,
-    last_used: u64,
+    /// LRU clock value of the entry's last touch. Atomic so a read hit
+    /// can refresh it under the shard's *shared* lock.
+    last_used: AtomicU64,
 }
 
-struct PlanCacheInner {
-    entries: BTreeMap<String, PlanEntry>,
-    tick: u64,
-    stats: PlanCacheStats,
-}
-
-/// A sharable LRU cache of rewrite plans, keyed by query signature.
-///
-/// The cache is internally synchronized; clones of the owning service (and
-/// an [`IncrementalEngine`](crate::evolve::IncrementalEngine) built on
-/// top) share one cache through an `Arc`.
-pub struct PlanCache {
+/// One lock stripe of the cache: an independent LRU with its own clock
+/// and counters.
+struct Shard {
     capacity: usize,
-    inner: Mutex<PlanCacheInner>,
+    /// Monotonic LRU clock for this shard.
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+    entries: RwLock<BTreeMap<String, PlanEntry>>,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            capacity,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            entries: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A sharable, sharded LRU cache of rewrite plans, keyed by query
+/// signature.
+///
+/// The cache is internally synchronized and built to be **read-dominated
+/// under concurrency**: entries are spread over `N` lock-striped shards by
+/// signature hash, and a read hit takes only its shard's *shared* lock —
+/// the LRU clock and all counters are atomics, so concurrent hits on the
+/// same shard never serialize on an exclusive lock. Only a miss-then-insert
+/// or an eviction takes a shard's exclusive lock, and it blocks just that
+/// shard's traffic, not the other `N − 1`.
+///
+/// Clones of the owning service (and an
+/// [`IncrementalEngine`](crate::evolve::IncrementalEngine) built on top)
+/// share one cache through an `Arc`. LRU eviction is per shard; per-shard
+/// hit/miss/eviction counters are exposed via [`shard_stats`]
+/// (aggregate: [`stats`]), and each served citation reports the shard that
+/// answered it in
+/// [`RewriteStats::plan_cache_shard`](citesys_rewrite::RewriteStats::plan_cache_shard).
+///
+/// [`shard_stats`]: Self::shard_stats
+/// [`stats`]: Self::stats
+pub struct PlanCache {
+    shards: Vec<Shard>,
+    capacity: usize,
 }
 
 impl std::fmt::Debug for PlanCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock();
         f.debug_struct("PlanCache")
             .field("capacity", &self.capacity)
-            .field("len", &inner.entries.len())
-            .field("stats", &inner.stats)
+            .field("shards", &self.shards.len())
+            .field("len", &self.len())
+            .field("stats", &self.stats())
             .finish()
     }
 }
 
 impl PlanCache {
-    /// Creates a cache holding at most `capacity` plans (minimum 1).
+    /// Creates a cache holding at most `capacity` plans (minimum 1),
+    /// striped over [`DEFAULT_PLAN_CACHE_SHARDS`] shards (fewer when the
+    /// capacity is smaller than the default shard count).
     pub fn new(capacity: usize) -> Self {
+        PlanCache::with_shards(capacity, DEFAULT_PLAN_CACHE_SHARDS)
+    }
+
+    /// Creates a cache holding at most `capacity` plans spread over
+    /// `shards` lock stripes. The shard count is clamped to
+    /// `1..=capacity`; capacity is divided evenly (rounding up) so the
+    /// total never falls below `capacity`. One shard gives the exact
+    /// single-LRU semantics of the pre-sharded cache.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shards = shards.clamp(1, capacity);
+        let per_shard = capacity.div_ceil(shards);
         PlanCache {
-            capacity: capacity.max(1),
-            inner: Mutex::new(PlanCacheInner {
-                entries: BTreeMap::new(),
-                tick: 0,
-                stats: PlanCacheStats::default(),
-            }),
+            shards: (0..shards).map(|_| Shard::new(per_shard)).collect(),
+            capacity,
         }
     }
 
-    /// Number of cached plans.
+    /// The shard index serving `signature` (stable for the lifetime of
+    /// this cache).
+    pub fn shard_of(&self, signature: &str) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        signature.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of cached plans (across all shards).
     pub fn len(&self) -> usize {
-        self.inner.lock().entries.len()
+        self.shards.iter().map(|s| s.entries.read().len()).sum()
     }
 
     /// True when no plans are cached.
@@ -132,41 +236,69 @@ impl PlanCache {
         self.len() == 0
     }
 
-    /// Counter snapshot.
+    /// Aggregate counter snapshot (sum over shards).
     pub fn stats(&self) -> PlanCacheStats {
-        self.inner.lock().stats
+        let mut out = PlanCacheStats::default();
+        for s in &self.shards {
+            out.add(s.stats());
+        }
+        out
+    }
+
+    /// Per-shard counter snapshots, indexed by shard.
+    pub fn shard_stats(&self) -> Vec<PlanCacheStats> {
+        self.shards.iter().map(Shard::stats).collect()
     }
 
     /// Drops every cached plan (view/schema change invalidation).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
-        let dropped = inner.entries.len() as u64;
-        inner.entries.clear();
-        inner.stats.invalidations += dropped;
+        for shard in &self.shards {
+            let mut entries = shard.entries.write();
+            let dropped = entries.len() as u64;
+            entries.clear();
+            shard.invalidations.fetch_add(dropped, Ordering::Relaxed);
+        }
     }
 
-    /// Number of distinct signatures the cache may hold.
+    /// Number of distinct signatures the cache may hold (across all
+    /// shards).
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// Looks up the plan for `signature`, re-targeted at `constants`.
+    /// Looks up the plan for `signature`, re-targeted at `constants`
+    /// (test-only convenience: production paths hash once and call
+    /// [`get_in`](Self::get_in) with the precomputed shard).
+    #[cfg(test)]
     fn get(&self, signature: &str, constants: &[Value]) -> Option<Arc<RewritePlan>> {
-        // Take what we need under the lock, instantiate outside it —
-        // λ-transfer hits would otherwise serialize all threads on a
-        // deep plan clone.
+        self.get_in(self.shard_of(signature), signature, constants)
+    }
+
+    /// [`get`](Self::get) with the shard precomputed — the cite hot path
+    /// hashes the signature once and reuses the index for lookup, insert
+    /// and stats reporting.
+    fn get_in(
+        &self,
+        shard: usize,
+        signature: &str,
+        constants: &[Value],
+    ) -> Option<Arc<RewritePlan>> {
+        let shard = &self.shards[shard];
+        // Fast path: a hit needs only the shared lock — the LRU touch is
+        // an atomic store, and the instantiation happens outside the lock
+        // (λ-transfer hits would otherwise serialize threads on a deep
+        // plan clone).
         let (plan, entry_constants) = {
-            let mut inner = self.inner.lock();
-            inner.tick += 1;
-            let tick = inner.tick;
-            let Some(entry) = inner.entries.get_mut(signature) else {
-                inner.stats.misses += 1;
+            let entries = shard.entries.read();
+            let Some(entry) = entries.get(signature) else {
+                drop(entries);
+                shard.misses.fetch_add(1, Ordering::Relaxed);
                 return None;
             };
-            entry.last_used = tick;
-            let hit = (Arc::clone(&entry.plan), entry.constants.clone());
-            inner.stats.hits += 1;
-            hit
+            let tick = shard.tick.fetch_add(1, Ordering::Relaxed) + 1;
+            entry.last_used.store(tick, Ordering::Relaxed);
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            (Arc::clone(&entry.plan), entry.constants.clone())
         };
         if entry_constants == constants {
             return Some(plan);
@@ -182,31 +314,145 @@ impl PlanCache {
         Some(Arc::new(plan.instantiate(&mapping)))
     }
 
-    /// Inserts a freshly computed plan, evicting the least-recently-used
-    /// entry when full.
+    /// Inserts a freshly computed plan, evicting its shard's
+    /// least-recently-used entry when that shard is full.
     fn insert(&self, signature: String, constants: Vec<Value>, plan: Arc<RewritePlan>) {
-        let mut inner = self.inner.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
-        if inner.entries.len() >= self.capacity && !inner.entries.contains_key(&signature) {
-            if let Some(oldest) = inner
-                .entries
+        self.insert_in(self.shard_of(&signature), signature, constants, plan);
+    }
+
+    /// [`insert`](Self::insert) with the shard precomputed (see
+    /// [`get_in`](Self::get_in)).
+    fn insert_in(
+        &self,
+        shard: usize,
+        signature: String,
+        constants: Vec<Value>,
+        plan: Arc<RewritePlan>,
+    ) {
+        let shard = &self.shards[shard];
+        let tick = shard.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut entries = shard.entries.write();
+        if entries.len() >= shard.capacity && !entries.contains_key(&signature) {
+            if let Some(oldest) = entries
                 .iter()
-                .min_by_key(|(_, e)| e.last_used)
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
                 .map(|(k, _)| k.clone())
             {
-                inner.entries.remove(&oldest);
-                inner.stats.evictions += 1;
+                entries.remove(&oldest);
+                shard.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        inner.entries.insert(
+        entries.insert(
             signature,
             PlanEntry {
                 constants,
                 plan,
-                last_used: tick,
+                last_used: AtomicU64::new(tick),
             },
         );
+    }
+
+    /// Serializes every cached plan to a line-oriented text form that
+    /// [`load_text`](Self::load_text) reads back — the persistence format
+    /// behind `citesys serve --plan-cache` and `citesys plans export`.
+    ///
+    /// The format stores `(signature, constants, plan)` triples; shard
+    /// assignment and LRU/counter state are in-process properties and are
+    /// not persisted. Like [`RewritePlan::to_text`], text constants
+    /// containing newlines do not round-trip (the surface parser cannot
+    /// produce them either).
+    ///
+    /// **Soundness caveat**: plans are computed against a specific
+    /// registry of citation views. Loading a file exported under a
+    /// different registry serves wrong plans; persist and restore only
+    /// across processes that register the same views.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("citesys-plan-cache v1\n");
+        for shard in &self.shards {
+            let entries = shard.entries.read();
+            for (sig, e) in entries.iter() {
+                out.push_str("entry\n");
+                let _ = writeln!(out, "sig {sig}");
+                for c in &e.constants {
+                    match c {
+                        Value::Int(i) => {
+                            let _ = writeln!(out, "const i {i}");
+                        }
+                        Value::Text(s) => {
+                            let _ = writeln!(out, "const t {}", s.as_str());
+                        }
+                        Value::Bool(b) => {
+                            let _ = writeln!(out, "const b {b}");
+                        }
+                    }
+                }
+                out.push_str(&e.plan.to_text());
+                out.push_str("end\n");
+            }
+        }
+        out
+    }
+
+    /// Loads plans serialized by [`to_text`](Self::to_text) into this
+    /// cache, returning how many entries were parsed. Entries are inserted
+    /// through the normal path, so the configured capacity still applies
+    /// (an overfull file ends with the tail of each shard evicted).
+    pub fn load_text(&self, text: &str) -> Result<usize, PlanParseError> {
+        fn err(message: impl Into<String>) -> PlanParseError {
+            PlanParseError {
+                message: message.into(),
+            }
+        }
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("citesys-plan-cache v1") => {}
+            other => return Err(err(format!("bad plan-cache header: {other:?}"))),
+        }
+        let mut loaded = 0usize;
+        while let Some(line) = lines.next() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if line != "entry" {
+                return Err(err(format!("expected 'entry', got '{line}'")));
+            }
+            let sig = lines
+                .next()
+                .and_then(|l| l.strip_prefix("sig "))
+                .ok_or_else(|| err("entry without 'sig' line"))?
+                .to_string();
+            let mut constants: Vec<Value> = Vec::new();
+            let mut plan_lines: Vec<&str> = Vec::new();
+            let mut ended = false;
+            for line in lines.by_ref() {
+                if line == "end" {
+                    ended = true;
+                    break;
+                }
+                if let Some(c) = line.strip_prefix("const ") {
+                    let v = match c.split_once(' ') {
+                        Some(("i", n)) => Value::Int(
+                            n.parse()
+                                .map_err(|_| err(format!("bad int constant '{n}'")))?,
+                        ),
+                        Some(("t", s)) => Value::text(s),
+                        Some(("b", "true")) => Value::Bool(true),
+                        Some(("b", "false")) => Value::Bool(false),
+                        _ => return Err(err(format!("bad constant line '{line}'"))),
+                    };
+                    constants.push(v);
+                } else {
+                    plan_lines.push(line);
+                }
+            }
+            if !ended {
+                return Err(err("unterminated plan-cache entry (missing 'end')"));
+            }
+            let plan = RewritePlan::from_text(&plan_lines.join("\n"))?;
+            self.insert(sig, constants, Arc::new(plan));
+            loaded += 1;
+        }
+        Ok(loaded)
     }
 }
 
@@ -291,6 +537,7 @@ pub struct CitationServiceBuilder {
     registry: Option<Arc<CitationRegistry>>,
     options: EngineOptions,
     plan_cache_capacity: usize,
+    plan_cache_shards: usize,
     shared_plans: Option<Arc<PlanCache>>,
 }
 
@@ -346,6 +593,16 @@ impl CitationServiceBuilder {
         self
     }
 
+    /// Number of lock-striped shards in the plan cache (default
+    /// [`DEFAULT_PLAN_CACHE_SHARDS`]; clamped to the capacity). More
+    /// shards reduce write contention between threads missing on
+    /// different query shapes; LRU eviction becomes per-shard. Ignored
+    /// when [`shared_plan_cache`](Self::shared_plan_cache) is set.
+    pub fn plan_cache_shards(mut self, shards: usize) -> Self {
+        self.plan_cache_shards = shards;
+        self
+    }
+
     /// Shares an existing plan cache (so a rebuilt service — e.g. after a
     /// data update — keeps its amortized plans).
     pub fn shared_plan_cache(mut self, plans: Arc<PlanCache>) -> Self {
@@ -367,16 +624,21 @@ impl CitationServiceBuilder {
         } else {
             self.plan_cache_capacity
         };
+        let shards = if self.plan_cache_shards == 0 {
+            DEFAULT_PLAN_CACHE_SHARDS
+        } else {
+            self.plan_cache_shards
+        };
         let plans = self
             .shared_plans
-            .unwrap_or_else(|| Arc::new(PlanCache::new(capacity)));
+            .unwrap_or_else(|| Arc::new(PlanCache::with_shards(capacity, shards)));
         let generalize = !registry_has_view_constants(&registry);
         Ok(CitationService {
             db,
             registry,
             options: self.options,
             plans,
-            views: Arc::new(RwLock::new(Database::new())),
+            views: Arc::new(ViewCache::new()),
             generalize_constants: generalize,
         })
     }
@@ -401,9 +663,10 @@ pub struct CitationService {
     registry: Arc<CitationRegistry>,
     options: EngineOptions,
     plans: Arc<PlanCache>,
-    /// Scratch database of materialized views, grown on demand and shared
-    /// by all clones of this service.
-    views: Arc<RwLock<Database>>,
+    /// Materialized citation views, grown on demand and shared by all
+    /// clones of this service; carried across data updates by delta
+    /// maintenance (see [`ViewCache`]).
+    views: Arc<ViewCache>,
     /// Whether plans may be transferred across λ-parameter constants.
     generalize_constants: bool,
 }
@@ -434,9 +697,19 @@ impl CitationService {
         &self.plans
     }
 
-    /// Plan-cache counters.
+    /// Aggregate plan-cache counters (see
+    /// [`PlanCache::shard_stats`] for the per-shard breakdown).
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         self.plans.stats()
+    }
+
+    /// Materialized-view cache counters. The counters survive
+    /// delta-maintained snapshot swaps
+    /// ([`with_database_delta`](Self::with_database_delta)), so after a
+    /// data update they show how many views were carried over untouched
+    /// or by delta rows versus dropped for recomputation.
+    pub fn view_cache_stats(&self) -> ViewCacheStats {
+        self.views.stats()
     }
 
     /// A service with different evaluation options over the same data,
@@ -470,38 +743,99 @@ impl CitationService {
     /// A service over a different database snapshot that keeps this
     /// service's plan cache warm (plans depend only on the query shape and
     /// the registry, never on data). The materialized-view cache is
-    /// dropped — it does depend on data.
+    /// dropped — it does depend on data, and an arbitrary snapshot swap
+    /// gives nothing to delta against. When the new snapshot differs from
+    /// the old by a single tuple, use
+    /// [`stage_update`](Self::stage_update) /
+    /// [`with_database_delta`](Self::with_database_delta) instead to keep
+    /// the materializations warm too.
     pub fn with_database(&self, db: impl Into<Arc<Database>>) -> CitationService {
         CitationService {
             db: db.into(),
             registry: Arc::clone(&self.registry),
             options: self.options,
             plans: Arc::clone(&self.plans),
-            views: Arc::new(RwLock::new(Database::new())),
+            views: Arc::new(self.views.fresh_linked()),
+            generalize_constants: self.generalize_constants,
+        }
+    }
+
+    /// Replaces this service's database reference with an empty
+    /// placeholder **without** touching the caches — crate-internal, used
+    /// by [`IncrementalEngine`](crate::evolve::IncrementalEngine) to make
+    /// its own `Arc<Database>` unique before `Arc::make_mut`, so
+    /// steady-state updates mutate in place instead of deep-cloning.
+    pub(crate) fn release_database(&mut self) {
+        self.db = Arc::new(Database::new());
+    }
+
+    /// Phase one of a delta-maintained snapshot swap: captures the current
+    /// materialized views (and, for deletions, the at-risk view rows,
+    /// which are only computable while the tuple is still present). Call
+    /// **before** mutating the database, then apply the mutation, then
+    /// finish with [`with_database_delta`](Self::with_database_delta).
+    ///
+    /// Staging clones the materializations, so services handed out
+    /// earlier keep citing their own consistent (old snapshot, old views)
+    /// pairing while the successor is prepared.
+    pub fn stage_update(&self, rel: &str, t: &Tuple, op: DeltaOp) -> PendingViewDelta {
+        self.views.stage(&self.registry, &self.db, rel, t, op)
+    }
+
+    /// Phase two of a delta-maintained snapshot swap: a service over the
+    /// post-update snapshot whose plan cache **and** materialized views
+    /// stay warm — the staged insert/delete delta is applied to every
+    /// affected view, unaffected views are carried over verbatim, and
+    /// only views whose delta application fails are dropped for lazy
+    /// recomputation ([`ViewCacheStats`] counts each case).
+    ///
+    /// Applying a delta staged for a mutation that then failed (or
+    /// changed nothing) is harmless: the delta rules evaluate against the
+    /// post-update database, so an absent insertion contributes no rows
+    /// and a still-present "deleted" tuple keeps all its rows derivable.
+    pub fn with_database_delta(
+        &self,
+        db: impl Into<Arc<Database>>,
+        pending: PendingViewDelta,
+    ) -> CitationService {
+        let db = db.into();
+        let views = Arc::new(pending.apply(&self.registry, &db));
+        CitationService {
+            db,
+            registry: Arc::clone(&self.registry),
+            options: self.options,
+            plans: Arc::clone(&self.plans),
+            views,
             generalize_constants: self.generalize_constants,
         }
     }
 
     /// Looks up (or computes and caches) the rewrite plan for `q`.
-    /// Returns the plan and whether it was served from the cache.
-    fn plan_for(&self, q: &ConjunctiveQuery) -> Result<(Arc<RewritePlan>, bool), CiteError> {
+    /// Returns the plan, whether it was served from the cache, and the
+    /// shard that served (or stored) it.
+    fn plan_for(&self, q: &ConjunctiveQuery) -> Result<(Arc<RewritePlan>, bool, usize), CiteError> {
         let (signature, constants) = plan_signature(q, self.generalize_constants);
-        if let Some(plan) = self.plans.get(&signature, &constants) {
-            return Ok((plan, true));
+        // One signature hash per cite: the shard index is reused for the
+        // lookup, the miss-insert, and stats reporting.
+        let shard = self.plans.shard_of(&signature);
+        if let Some(plan) = self.plans.get_in(shard, &signature, &constants) {
+            return Ok((plan, true, shard));
         }
         let plan = Arc::new(compute_plan(&self.registry, &self.options, q)?);
-        self.plans.insert(signature, constants, Arc::clone(&plan));
-        Ok((plan, false))
+        self.plans
+            .insert_in(shard, signature, constants, Arc::clone(&plan));
+        Ok((plan, false, shard))
     }
 
     /// Stats reported for work served from a cached plan: the search-effort
     /// counters are zero by construction.
-    fn cached_stats(plan: &RewritePlan) -> RewriteStats {
+    fn cached_stats(plan: &RewritePlan, shard: usize) -> RewriteStats {
         RewriteStats {
             views_total: plan.stats.views_total,
             views_pruned: plan.stats.views_pruned,
             rewritings_found: plan.stats.rewritings_found,
             plan_cache_hits: 1,
+            plan_cache_shard: shard,
             ..Default::default()
         }
     }
@@ -541,7 +875,12 @@ impl CitationService {
         // while waiting for the write lock).
         {
             let mut views = self.views.write();
+            let missing = needed
+                .iter()
+                .filter(|n| !views.has_relation(n.as_str()))
+                .count();
             materialize_views_into(&self.db, &self.registry, &needed, &mut views)?;
+            self.views.note_materialized(missing);
         }
         let views = self.views.read();
         cite_selected(
@@ -560,11 +899,14 @@ impl CitationService {
     /// matches the query's signature (exactly, or modulo λ-parameter
     /// constants when the registry permits).
     pub fn cite(&self, q: &ConjunctiveQuery) -> Result<CitedAnswer, CiteError> {
-        let (plan, hit) = self.plan_for(q)?;
+        let (plan, hit, shard) = self.plan_for(q)?;
         let stats = if hit {
-            Self::cached_stats(&plan)
+            Self::cached_stats(&plan, shard)
         } else {
-            plan.stats
+            RewriteStats {
+                plan_cache_shard: shard,
+                ..plan.stats
+            }
         };
         self.cite_with_plan(q, &plan, stats)
     }
@@ -576,7 +918,7 @@ impl CitationService {
     /// query is not coverable, rather than deferring the error to
     /// execution time.
     pub fn prepare(&self, q: &ConjunctiveQuery) -> Result<PreparedCitation, CiteError> {
-        let (plan, _) = self.plan_for(q)?;
+        let (plan, _, shard) = self.plan_for(q)?;
         if plan.rewritings.is_empty() {
             return Err(CiteError::NoRewriting {
                 query: q.to_string(),
@@ -586,6 +928,7 @@ impl CitationService {
             service: self.clone(),
             query: q.clone(),
             plan,
+            shard,
         })
     }
 
@@ -614,6 +957,8 @@ pub struct PreparedCitation {
     service: CitationService,
     query: ConjunctiveQuery,
     plan: Arc<RewritePlan>,
+    /// Plan-cache shard the plan lives in (reported in execute() stats).
+    shard: usize,
 }
 
 impl PreparedCitation {
@@ -633,7 +978,7 @@ impl PreparedCitation {
         self.service.cite_with_plan(
             &self.query,
             &self.plan,
-            CitationService::cached_stats(&self.plan),
+            CitationService::cached_stats(&self.plan, self.shard),
         )
     }
 }
@@ -848,7 +1193,9 @@ mod tests {
 
     #[test]
     fn plan_cache_lru_evicts() {
-        let cache = PlanCache::new(2);
+        // One shard: the exact single-LRU semantics.
+        let cache = PlanCache::with_shards(2, 1);
+        assert_eq!(cache.shard_count(), 1);
         cache.insert("a".into(), vec![], Arc::new(RewritePlan::empty()));
         cache.insert("b".into(), vec![], Arc::new(RewritePlan::empty()));
         assert!(cache.get("a", &[]).is_some()); // refresh a
@@ -861,6 +1208,87 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn plan_cache_shards_stripe_entries_and_counters() {
+        let cache = PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY);
+        assert_eq!(cache.shard_count(), DEFAULT_PLAN_CACHE_SHARDS);
+        // Spread enough distinct signatures that at least two shards see
+        // traffic (probabilistically certain with 64 keys over 8 shards,
+        // and deterministic for a fixed hasher).
+        for i in 0..64 {
+            let sig = format!("sig-{i}");
+            assert!(cache.get(&sig, &[]).is_none());
+            cache.insert(sig, vec![], Arc::new(RewritePlan::empty()));
+        }
+        assert_eq!(cache.len(), 64);
+        let per_shard = cache.shard_stats();
+        assert_eq!(per_shard.len(), DEFAULT_PLAN_CACHE_SHARDS);
+        let busy = per_shard.iter().filter(|s| s.misses > 0).count();
+        assert!(busy >= 2, "expected striping, got {per_shard:?}");
+        // Aggregate equals the shard sum, and lookups land on the shard
+        // shard_of reports.
+        let total: u64 = per_shard.iter().map(|s| s.misses).sum();
+        assert_eq!(cache.stats().misses, total);
+        let shard = cache.shard_of("sig-0");
+        let hits_before = cache.shard_stats()[shard].hits;
+        assert!(cache.get("sig-0", &[]).is_some());
+        assert_eq!(cache.shard_stats()[shard].hits, hits_before + 1);
+    }
+
+    #[test]
+    fn plan_cache_capacity_clamps_shards() {
+        let cache = PlanCache::with_shards(2, 8);
+        assert_eq!(cache.shard_count(), 2, "shards clamped to capacity");
+        let cache = PlanCache::with_shards(0, 0);
+        assert_eq!(cache.shard_count(), 1);
+        assert_eq!(cache.capacity(), 1);
+    }
+
+    #[test]
+    fn plan_cache_text_round_trip() {
+        let svc = service(CitationMode::Formal);
+        svc.cite(&paper::paper_query()).unwrap();
+        let q11 = parse_query("Q(N) :- Family(11, N, D), FamilyIntro(11, T)").unwrap();
+        svc.cite(&q11).unwrap();
+        let text = svc.plan_cache().to_text();
+
+        // A fresh service loads the file and cites with zero search work.
+        let warm = service(CitationMode::Formal);
+        let loaded = warm.plan_cache().load_text(&text).unwrap();
+        assert_eq!(loaded, 2);
+        assert_eq!(warm.plan_cache().len(), 2);
+        let cited = warm.cite(&paper::paper_query()).unwrap();
+        assert_eq!(cited.rewrite_stats.plan_cache_hits, 1, "loaded plan hit");
+        assert_eq!(cited.rewrite_stats.search_effort(), 0);
+        // λ-transfer still works through a loaded plan (constants survive).
+        let q12 = parse_query("Q(N) :- Family(12, N, D), FamilyIntro(12, T)").unwrap();
+        let cited = warm.cite(&q12).unwrap();
+        assert_eq!(cited.rewrite_stats.plan_cache_hits, 1);
+        let expr = cited.tuples[0].expr().to_string();
+        assert!(expr.contains("CV1(12)"), "{expr}");
+    }
+
+    #[test]
+    fn plan_cache_text_rejects_malformed() {
+        let cache = PlanCache::new(4);
+        assert!(cache.load_text("").is_err());
+        assert!(cache.load_text("bogus header\n").is_err());
+        assert!(cache
+            .load_text("citesys-plan-cache v1\nentry\nno sig\n")
+            .is_err());
+        assert!(cache
+            .load_text("citesys-plan-cache v1\nentry\nsig s\nconst q 1\nend\n")
+            .is_err());
+        assert!(
+            cache
+                .load_text("citesys-plan-cache v1\nentry\nsig s\ncitesys-rewrite-plan v1\n")
+                .is_err(),
+            "unterminated entry"
+        );
+        // Untouched on failure paths that never reached insert.
+        assert!(cache.is_empty());
     }
 
     #[test]

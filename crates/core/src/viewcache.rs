@@ -1,0 +1,322 @@
+//! The materialized-view cache: cross-query, cross-update reuse of
+//! citation-view materializations.
+//!
+//! Rewritings are queries over *view* predicates, so before evaluating one
+//! the service materializes the needed views into a scratch database. This
+//! module owns that scratch database and keeps it warm in two directions:
+//!
+//! * **across queries** — a view is materialized once and reused by every
+//!   later cite/batch that needs it (the service grows the cache on
+//!   demand under a write lock);
+//! * **across data updates** — instead of dropping the whole cache on a
+//!   snapshot swap, a single-tuple insert/delete is carried into the
+//!   materializations by the semi-naive delta rules of
+//!   [`citesys_storage::delta`]. Views whose bodies do not mention the
+//!   updated relation are kept verbatim; affected views get delta rows
+//!   applied; only failures (or registry changes, which alter view
+//!   *definitions*) fall back to dropping a view for lazy recomputation.
+//!
+//! Updates are staged in two phases because deletion deltas need the
+//! database **before** the change while insertion deltas need it **after**:
+//! [`CitationService::stage_update`](crate::CitationService::stage_update)
+//! captures the pre-update state as a [`PendingViewDelta`], the caller
+//! mutates the base database, and
+//! [`CitationService::with_database_delta`](crate::CitationService::with_database_delta)
+//! finishes the job. The staged snapshot also gives update isolation:
+//! services handed out before the update keep their own (old) cache, so a
+//! cite racing an update always sees one consistent snapshot pairing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use citesys_storage::{delta, Database, Tuple};
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::registry::CitationRegistry;
+
+/// Which kind of single-tuple data update a staged view delta carries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeltaOp {
+    /// A tuple was inserted into a base relation.
+    Insert,
+    /// A tuple was deleted from a base relation.
+    Delete,
+}
+
+/// Counter snapshot for a service's materialized-view cache. Counters are
+/// carried across delta-maintained snapshot swaps (successor caches share
+/// them), so they describe the whole update lineage, not one snapshot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ViewCacheStats {
+    /// Views materialized from scratch (first demand, or re-demand after a
+    /// drop).
+    pub materializations: u64,
+    /// Views carried across a data update by applying insert/delete delta
+    /// rows.
+    pub deltas_applied: u64,
+    /// Views carried across a data update verbatim — the update could not
+    /// affect them (their bodies do not mention the updated relation).
+    pub untouched: u64,
+    /// Views dropped for lazy recomputation because delta maintenance was
+    /// not applicable (e.g. a delta evaluation failed).
+    pub recomputes: u64,
+    /// Whole-cache drops: non-delta snapshot swaps and registry/schema
+    /// changes, which invalidate every materialization at once.
+    pub drops: u64,
+}
+
+/// Shared, lock-free counters behind [`ViewCacheStats`].
+#[derive(Debug, Default)]
+struct Counters {
+    materializations: AtomicU64,
+    deltas_applied: AtomicU64,
+    untouched: AtomicU64,
+    recomputes: AtomicU64,
+    drops: AtomicU64,
+}
+
+/// The scratch database of materialized citation views a
+/// [`CitationService`](crate::CitationService) shares across clones.
+///
+/// Internally synchronized: reads (evaluating rewritings over materialized
+/// views) take a shared lock; growing the cache or applying an update
+/// delta takes an exclusive one.
+#[derive(Debug, Default)]
+pub struct ViewCache {
+    db: RwLock<Database>,
+    counters: Arc<Counters>,
+}
+
+impl ViewCache {
+    /// An empty cache with fresh counters.
+    pub fn new() -> Self {
+        ViewCache::default()
+    }
+
+    /// An empty cache that keeps accumulating into this cache's counters —
+    /// used when a snapshot swap must drop all materializations (non-delta
+    /// [`with_database`](crate::CitationService::with_database)).
+    pub(crate) fn fresh_linked(&self) -> ViewCache {
+        self.counters.drops.fetch_add(1, Ordering::Relaxed);
+        ViewCache {
+            db: RwLock::new(Database::new()),
+            counters: Arc::clone(&self.counters),
+        }
+    }
+
+    /// Shared read access to the materialized views.
+    pub(crate) fn read(&self) -> RwLockReadGuard<'_, Database> {
+        self.db.read()
+    }
+
+    /// Exclusive access for on-demand materialization.
+    pub(crate) fn write(&self) -> RwLockWriteGuard<'_, Database> {
+        self.db.write()
+    }
+
+    /// Records `n` from-scratch view materializations.
+    pub(crate) fn note_materialized(&self, n: usize) {
+        if n > 0 {
+            self.counters
+                .materializations
+                .fetch_add(n as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ViewCacheStats {
+        ViewCacheStats {
+            materializations: self.counters.materializations.load(Ordering::Relaxed),
+            deltas_applied: self.counters.deltas_applied.load(Ordering::Relaxed),
+            untouched: self.counters.untouched.load(Ordering::Relaxed),
+            recomputes: self.counters.recomputes.load(Ordering::Relaxed),
+            drops: self.counters.drops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Phase one of a delta-maintained snapshot swap: clones the current
+    /// materializations and — for deletions — computes the at-risk view
+    /// rows over `db_before` (they are unrecoverable once the tuple is
+    /// gone). A view whose candidate computation fails is excluded from
+    /// the clone and will be lazily rematerialized.
+    pub(crate) fn stage(
+        &self,
+        registry: &CitationRegistry,
+        db_before: &Database,
+        rel: &str,
+        tuple: &Tuple,
+        op: DeltaOp,
+    ) -> PendingViewDelta {
+        let mut views = self.db.read().clone();
+        let mut candidates = Vec::new();
+        let names: Vec<String> = views
+            .relation_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        for name in names {
+            let Some(cv) = registry.get(&name) else {
+                // Not a registered view (cannot happen through the service;
+                // defensive): drop it rather than guess at maintenance.
+                let _ = views_remove(&mut views, &name);
+                self.counters.recomputes.fetch_add(1, Ordering::Relaxed);
+                continue;
+            };
+            let affected = cv.view.body.iter().any(|a| a.predicate.as_str() == rel);
+            if !affected || op != DeltaOp::Delete {
+                continue;
+            }
+            match delta::delete_candidates(db_before, &cv.view, rel, tuple) {
+                Ok(rows) => candidates.push((name, rows)),
+                Err(_) => {
+                    let _ = views_remove(&mut views, &name);
+                    self.counters.recomputes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        PendingViewDelta {
+            rel: rel.to_string(),
+            tuple: tuple.clone(),
+            op,
+            views,
+            candidates,
+            counters: Arc::clone(&self.counters),
+        }
+    }
+}
+
+/// Removes a relation from a scratch database by rebuilding without it
+/// (the catalog has no remove primitive; view caches are small).
+fn views_remove(views: &mut Database, name: &str) -> bool {
+    if !views.has_relation(name) {
+        return false;
+    }
+    let mut rebuilt = Database::new();
+    for (n, rel) in views.relations() {
+        if n.as_str() == name {
+            continue;
+        }
+        rebuilt
+            .create_relation(rel.schema().clone())
+            .expect("names unique in source catalog");
+        for t in rel.scan() {
+            rebuilt
+                .insert(n.as_str(), t.clone())
+                .expect("tuples valid in source relation");
+        }
+    }
+    *views = rebuilt;
+    true
+}
+
+/// A staged view-cache update: the pre-update materializations plus
+/// whatever had to be computed before the base database changed. Finish it
+/// with
+/// [`CitationService::with_database_delta`](crate::CitationService::with_database_delta).
+#[derive(Debug)]
+pub struct PendingViewDelta {
+    rel: String,
+    tuple: Tuple,
+    op: DeltaOp,
+    views: Database,
+    /// For deletions: per-view rows that may have lost support.
+    candidates: Vec<(String, Vec<Tuple>)>,
+    counters: Arc<Counters>,
+}
+
+impl PendingViewDelta {
+    /// Phase two: applies the delta against the post-update database and
+    /// returns the successor cache (sharing the original's counters).
+    pub(crate) fn apply(mut self, registry: &CitationRegistry, db_after: &Database) -> ViewCache {
+        let names: Vec<String> = self
+            .views
+            .relation_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        for name in names {
+            let Some(cv) = registry.get(&name) else {
+                views_remove(&mut self.views, &name);
+                self.counters.recomputes.fetch_add(1, Ordering::Relaxed);
+                continue;
+            };
+            let affected = cv
+                .view
+                .body
+                .iter()
+                .any(|a| a.predicate.as_str() == self.rel);
+            if !affected {
+                self.counters.untouched.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let ok = match self.op {
+                DeltaOp::Insert => apply_insert(
+                    &mut self.views,
+                    db_after,
+                    &cv.view,
+                    &name,
+                    &self.rel,
+                    &self.tuple,
+                ),
+                DeltaOp::Delete => {
+                    let rows = self
+                        .candidates
+                        .iter()
+                        .find(|(n, _)| n == &name)
+                        .map(|(_, rows)| rows.as_slice())
+                        .unwrap_or(&[]);
+                    apply_delete(&mut self.views, db_after, &cv.view, &name, rows)
+                }
+            };
+            if ok {
+                self.counters.deltas_applied.fetch_add(1, Ordering::Relaxed);
+            } else {
+                views_remove(&mut self.views, &name);
+                self.counters.recomputes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        ViewCache {
+            db: RwLock::new(self.views),
+            counters: self.counters,
+        }
+    }
+}
+
+/// Inserts the delta rows for one view; false on any evaluation/storage
+/// failure (the caller then drops the view for lazy recomputation).
+fn apply_insert(
+    views: &mut Database,
+    db_after: &Database,
+    view: &citesys_cq::ConjunctiveQuery,
+    name: &str,
+    rel: &str,
+    tuple: &Tuple,
+) -> bool {
+    match delta::insert_delta(db_after, view, rel, tuple) {
+        Ok(rows) => rows.into_iter().all(|row| views.insert(name, row).is_ok()),
+        Err(_) => false,
+    }
+}
+
+/// Re-checks each at-risk row and removes the unsupported ones; false on
+/// any evaluation/storage failure.
+fn apply_delete(
+    views: &mut Database,
+    db_after: &Database,
+    view: &citesys_cq::ConjunctiveQuery,
+    name: &str,
+    candidates: &[Tuple],
+) -> bool {
+    for row in candidates {
+        match delta::still_derivable(db_after, view, row) {
+            Ok(true) => {}
+            Ok(false) => {
+                if views.delete(name, row).is_err() {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+    true
+}

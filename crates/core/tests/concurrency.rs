@@ -1,0 +1,210 @@
+//! Concurrency and cache-warmth tests for the scaled service: cites
+//! racing data updates must see one consistent snapshot (old or new,
+//! never a mix), and a data update must keep both the plan cache and the
+//! materializations of unaffected views warm.
+
+use std::sync::{Arc, Mutex};
+
+use citesys_core::paper;
+use citesys_core::{CitationMode, CitationService, EngineOptions, IncrementalEngine};
+use citesys_cq::parse_query;
+use citesys_storage::tuple;
+
+fn engine() -> IncrementalEngine {
+    IncrementalEngine::new(
+        paper::paper_database(),
+        paper::paper_registry(),
+        EngineOptions {
+            mode: CitationMode::Formal,
+            ..Default::default()
+        },
+    )
+}
+
+/// Readers cite the latest published snapshot service while the writer
+/// flips `FamilyIntro(13, '3rd')` in and out. Every observed answer must
+/// be exactly one of the two valid states — one tuple (no intro for
+/// Dopamine) or two tuples — and every answer tuple must carry a complete
+/// citation. A reader that mixed an old view materialization with a new
+/// base snapshot (or vice versa) would produce a two-tuple answer with a
+/// citation-less tuple, or tuple/citation counts that disagree.
+#[test]
+fn cite_racing_update_sees_old_or_new_never_a_mix() {
+    let mut engine = engine();
+    let q = paper::paper_query();
+    engine.cite(&q).unwrap();
+    let published: Arc<Mutex<CitationService>> = Arc::new(Mutex::new(engine.snapshot_service()));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let published = Arc::clone(&published);
+            let stop = Arc::clone(&stop);
+            let q = q.clone();
+            readers.push(scope.spawn(move || {
+                let mut seen_old = 0usize;
+                let mut seen_new = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let svc = published.lock().unwrap().clone();
+                    let cited = svc.cite(&q).expect("coverable in every snapshot");
+                    // Consistency: one citation per answer tuple, each
+                    // complete, and the answer is a valid snapshot state.
+                    assert_eq!(cited.tuples.len(), cited.answer.len());
+                    for t in &cited.tuples {
+                        assert!(
+                            !t.atoms.is_empty(),
+                            "tuple {:?} lost its citation: old views with new data?",
+                            t.tuple
+                        );
+                        assert!(!t.snippets.is_empty());
+                    }
+                    match cited.answer.len() {
+                        1 => seen_old += 1,
+                        2 => seen_new += 1,
+                        n => panic!("impossible answer size {n}: not a snapshot state"),
+                    }
+                }
+                (seen_old, seen_new)
+            }));
+        }
+
+        // The writer: 60 updates alternating insert/delete, republishing
+        // the delta-maintained snapshot service after each.
+        for i in 0..60 {
+            if i % 2 == 0 {
+                engine.insert("FamilyIntro", tuple![13, "3rd"]).unwrap();
+            } else {
+                engine.delete("FamilyIntro", &tuple![13, "3rd"]).unwrap();
+            }
+            *published.lock().unwrap() = engine.snapshot_service();
+            std::thread::yield_now();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for r in readers {
+            let (old, new) = r.join().expect("reader panicked");
+            assert!(old + new > 0, "reader observed nothing");
+        }
+    });
+}
+
+/// The acceptance assertion for the delta-maintained caches, via
+/// `RewriteStats` and the cache counters: a data update keeps serving
+/// plan-cache hits (`plan_cache_hits` is not zeroed) and does not force
+/// re-materialization of unaffected views (the `materializations` counter
+/// stays flat; unaffected views are counted `untouched`, affected ones
+/// `deltas_applied`; nothing is dropped).
+#[test]
+fn data_update_keeps_plans_and_unaffected_views_warm() {
+    let mut e = engine();
+    let q = paper::paper_query();
+    e.cite(&q).unwrap();
+    // Formal mode evaluates both rewritings: V1, V2, V3 all materialized.
+    let warm = e.view_cache_stats();
+    assert_eq!(warm.materializations, 3, "{warm:?}");
+    assert_eq!(warm.drops, 0);
+
+    // Committee appears in no view *body* (only in CV1's citation query):
+    // the update touches no materialized view.
+    e.insert("Committee", tuple![11, "Eve"]).unwrap();
+    let cited = e.cite(&q).unwrap();
+    assert_eq!(
+        cited.rewrite_stats.plan_cache_hits, 1,
+        "data update must not zero plan_cache_hits"
+    );
+    assert_eq!(cited.rewrite_stats.search_effort(), 0);
+    let s = e.view_cache_stats();
+    assert_eq!(
+        s.materializations, 3,
+        "no view re-materialized by the update: {s:?}"
+    );
+    assert_eq!(s.untouched, 3, "all three views carried verbatim: {s:?}");
+    assert_eq!(s.deltas_applied, 0, "{s:?}");
+    assert_eq!(s.drops, 0, "{s:?}");
+
+    // FamilyIntro is V3's body: that one view gets delta rows, the other
+    // two are again untouched — still zero re-materializations.
+    e.insert("FamilyIntro", tuple![13, "3rd"]).unwrap();
+    let cited = e.cite(&q).unwrap();
+    assert_eq!(cited.answer.len(), 2, "new intro visible through the delta");
+    assert_eq!(cited.rewrite_stats.plan_cache_hits, 1);
+    let s = e.view_cache_stats();
+    assert_eq!(s.materializations, 3, "{s:?}");
+    assert_eq!(s.deltas_applied, 1, "V3 delta-maintained: {s:?}");
+    assert_eq!(s.untouched, 5, "{s:?}");
+    assert_eq!(s.drops, 0, "{s:?}");
+
+    // Plan-cache hit counters accumulate across updates too.
+    assert!(e.snapshot_service().plan_cache_stats().hits >= 2);
+}
+
+/// Deletions are delta-maintained as well, including rows kept alive by
+/// an alternative derivation elsewhere in the base data.
+#[test]
+fn delete_delta_maintains_views() {
+    let mut e = engine();
+    let q = paper::paper_query();
+    assert_eq!(e.cite(&q).unwrap().answer.len(), 1);
+    e.insert("FamilyIntro", tuple![13, "3rd"]).unwrap();
+    assert_eq!(e.cite(&q).unwrap().answer.len(), 2);
+    e.delete("FamilyIntro", &tuple![13, "3rd"]).unwrap();
+    let cited = e.cite(&q).unwrap();
+    assert_eq!(cited.answer.len(), 1, "deletion visible through the delta");
+    assert_eq!(cited.rewrite_stats.plan_cache_hits, 1);
+    let s = e.view_cache_stats();
+    assert_eq!(s.materializations, 3, "never re-materialized: {s:?}");
+    assert_eq!(s.deltas_applied, 2, "insert + delete deltas on V3: {s:?}");
+}
+
+/// Hammer the sharded plan cache from many threads over many distinct
+/// query shapes: counters must balance (every lookup is a hit or a miss)
+/// and every shape must end up cached at most once (α-equivalent repeats
+/// share one signature).
+#[test]
+fn sharded_plan_cache_counters_balance_under_contention() {
+    let svc = CitationService::builder()
+        .database(paper::paper_database())
+        .registry(paper::paper_registry())
+        .mode(CitationMode::Formal)
+        .build()
+        .unwrap();
+    // 6 distinct shapes (different constant equality patterns), cited by
+    // 6 threads 20 times each.
+    let shapes: Vec<_> = (0..6)
+        .map(|i| match i {
+            0 => paper::paper_query(),
+            1 => parse_query("Q(N) :- Family(11, N, D), FamilyIntro(11, T)").unwrap(),
+            2 => parse_query("Q(N) :- Family(11, N, D), FamilyIntro(12, T)").unwrap(),
+            3 => parse_query("Q(N, T) :- Family(F, N, D), FamilyIntro(F, T)").unwrap(),
+            4 => parse_query("Q(F) :- Family(F, N, D)").unwrap(),
+            _ => parse_query("Q(T) :- FamilyIntro(F, T)").unwrap(),
+        })
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..6 {
+            let svc = svc.clone();
+            let shapes = shapes.clone();
+            scope.spawn(move || {
+                for _ in 0..20 {
+                    for q in &shapes {
+                        svc.cite(q).expect("coverable");
+                    }
+                }
+            });
+        }
+    });
+    let stats = svc.plan_cache_stats();
+    let lookups = 6 * 20 * 6;
+    assert_eq!(stats.hits + stats.misses, lookups as u64, "{stats:?}");
+    // Concurrent first-misses may compute a plan twice, but the cache
+    // holds exactly one entry per signature afterwards.
+    assert_eq!(svc.plan_cache().len(), shapes.len());
+    assert!(stats.misses >= shapes.len() as u64);
+    // The per-shard breakdown sums to the aggregate.
+    let per_shard = svc.plan_cache().shard_stats();
+    assert_eq!(
+        per_shard.iter().map(|s| s.hits).sum::<u64>(),
+        stats.hits,
+        "{per_shard:?}"
+    );
+}

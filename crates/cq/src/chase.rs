@@ -2,7 +2,7 @@
 //! constraints*.
 //!
 //! The paper's schema declares keys (`Family(FID, …)`, underlined in §2)
-//! and cites the equational chase (Popa–Tannen, its reference [10]) among
+//! and cites the equational chase (Popa–Tannen, its reference \[10\]) among
 //! the rewriting toolkit. Plain CQ equivalence ignores keys; chasing a
 //! query with the key dependencies first makes the reasoning
 //! constraint-aware — e.g. a self-join of `Family` on its key collapses,

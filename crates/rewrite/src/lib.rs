@@ -31,7 +31,7 @@
 //! assert_eq!(out.rewritings.len(), 2);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod bucket;

@@ -172,6 +172,9 @@ impl RewritePlan {
             equivalence_checks: *equivalence_checks,
             rewritings_found: *rewritings_found,
             plan_cache_hits: *plan_cache_hits,
+            // The serving shard is a property of one in-process cache, not
+            // of the plan; it is not persisted.
+            plan_cache_shard: 0,
         };
         let mut rewritings = Vec::new();
         let mut pending_q: Option<String> = None;

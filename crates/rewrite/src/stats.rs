@@ -28,6 +28,12 @@ pub struct RewriteStats {
     /// a fresh search (0 for a fresh search; 1 on a cache hit, where all
     /// search-effort counters above are 0 by construction).
     pub plan_cache_hits: usize,
+    /// Index of the plan-cache shard that served (or stored) this query's
+    /// plan. Meaningful only when the result went through a sharded plan
+    /// cache; 0 otherwise. Together with the per-shard
+    /// hit/miss/eviction counters the cache itself exposes, this ties an
+    /// individual citation back to the shard that answered it.
+    pub plan_cache_shard: usize,
 }
 
 impl RewriteStats {

@@ -1,0 +1,269 @@
+//! Delta evaluation for materialized conjunctive-query views.
+//!
+//! A materialized view is a relation computed once from a base database.
+//! When a single tuple is inserted into (or deleted from) a base relation,
+//! recomputing every view from scratch wastes the work that produced the
+//! still-valid rows. This module implements the standard semi-naive delta
+//! rules for select-project-join views under **set semantics**:
+//!
+//! * **Insertion** of `t` into `R`: the new view rows are exactly the rows
+//!   derivable with `t` substituted into *some* body atom over `R` — the
+//!   union, over every occurrence of `R` in the view body, of the view
+//!   evaluated with that atom bound to `t` ([`insert_delta`]). Evaluating
+//!   over the post-insertion database makes derivations that use `t` in
+//!   several positions at once come out of a single bound evaluation.
+//! * **Deletion** of `t` from `R`: rows that used `t` in some derivation
+//!   *may* lose support, but set semantics means an alternative derivation
+//!   can keep them alive. [`delete_candidates`] enumerates the at-risk rows
+//!   over the pre-deletion database; [`still_derivable`] re-checks each one
+//!   over the post-deletion database, and only unsupported rows are removed.
+//!
+//! The functions are pure with respect to the database they are given; the
+//! caller (the service-layer view cache) decides which snapshot plays the
+//! "before" and "after" role.
+
+use std::collections::BTreeSet;
+
+use citesys_cq::{ConjunctiveQuery, Substitution, Term};
+
+use crate::database::Database;
+use crate::error::StorageError;
+use crate::eval::evaluate;
+use crate::tuple::Tuple;
+
+/// Binds body atom `idx` of `view` to the ground tuple `t`, returning the
+/// specialized query (every variable of the atom replaced by the matching
+/// constant throughout the view). Returns `None` when the atom cannot
+/// match `t` at all — arity mismatch, a constant position that disagrees,
+/// or a repeated variable bound to two different values.
+pub fn bind_atom(view: &ConjunctiveQuery, idx: usize, t: &Tuple) -> Option<ConjunctiveQuery> {
+    let atom = view.body.get(idx)?;
+    if atom.arity() != t.arity() {
+        return None;
+    }
+    let mut subst = Substitution::new();
+    for (term, v) in atom.terms.iter().zip(t.values()) {
+        match term {
+            Term::Const(c) => {
+                if c != v {
+                    return None;
+                }
+            }
+            Term::Var(var) => match subst.get(var) {
+                Some(Term::Const(prev)) if prev == v => {}
+                Some(_) => return None,
+                None => subst.bind(var.clone(), Term::Const(v.clone())),
+            },
+        }
+    }
+    Some(view.apply(&subst))
+}
+
+/// Union of the view evaluated with each `rel`-occurrence bound to `t` —
+/// the shared core of [`insert_delta`] and [`delete_candidates`].
+fn bound_rows(
+    db: &Database,
+    view: &ConjunctiveQuery,
+    rel: &str,
+    t: &Tuple,
+) -> Result<Vec<Tuple>, StorageError> {
+    let mut out: BTreeSet<Tuple> = BTreeSet::new();
+    for idx in 0..view.body.len() {
+        if view.body[idx].predicate.as_str() != rel {
+            continue;
+        }
+        let Some(bound) = bind_atom(view, idx, t) else {
+            continue;
+        };
+        let ans = evaluate(db, &bound)?;
+        out.extend(ans.rows.into_iter().map(|r| r.tuple));
+    }
+    Ok(out.into_iter().collect())
+}
+
+/// Rows added to `view`'s materialization by inserting `t` into `rel`.
+/// `db_after` must be the database **after** the insertion (so joins
+/// between `t` and itself are found). Rows already present in the
+/// materialization may be returned; set-semantics insertion makes
+/// re-adding them a no-op.
+pub fn insert_delta(
+    db_after: &Database,
+    view: &ConjunctiveQuery,
+    rel: &str,
+    t: &Tuple,
+) -> Result<Vec<Tuple>, StorageError> {
+    bound_rows(db_after, view, rel, t)
+}
+
+/// Rows of `view`'s materialization that *may* lose support when `t` is
+/// deleted from `rel`, evaluated over `db_before` — the database **before**
+/// the deletion (afterwards the supporting derivations are gone). Each
+/// candidate must be re-checked with [`still_derivable`] over the
+/// post-deletion database; an alternative derivation keeps the row alive.
+pub fn delete_candidates(
+    db_before: &Database,
+    view: &ConjunctiveQuery,
+    rel: &str,
+    t: &Tuple,
+) -> Result<Vec<Tuple>, StorageError> {
+    bound_rows(db_before, view, rel, t)
+}
+
+/// True when `row` is (still) an output of `view` over `db`: the view head
+/// is bound to the row's constants and the specialized query is checked
+/// for non-emptiness.
+pub fn still_derivable(
+    db: &Database,
+    view: &ConjunctiveQuery,
+    row: &Tuple,
+) -> Result<bool, StorageError> {
+    if view.head.terms.len() != row.arity() {
+        return Ok(false);
+    }
+    let mut subst = Substitution::new();
+    for (term, v) in view.head.terms.iter().zip(row.values()) {
+        match term {
+            Term::Const(c) => {
+                if c != v {
+                    return Ok(false);
+                }
+            }
+            Term::Var(var) => match subst.get(var) {
+                Some(Term::Const(prev)) if prev == v => {}
+                Some(_) => return Ok(false),
+                None => subst.bind(var.clone(), Term::Const(v.clone())),
+            },
+        }
+    }
+    let bound = view.apply(&subst);
+    Ok(!evaluate(db, &bound)?.rows.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::tuple;
+    use citesys_cq::{parse_query, ValueType};
+
+    fn edge_db(edges: &[(i64, i64)]) -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::from_parts(
+            "E",
+            &[("A", ValueType::Int), ("B", ValueType::Int)],
+            &[],
+        ))
+        .unwrap();
+        for &(a, b) in edges {
+            db.insert("E", tuple![a, b]).unwrap();
+        }
+        db
+    }
+
+    fn materialize(db: &Database, view: &ConjunctiveQuery) -> BTreeSet<Tuple> {
+        evaluate(db, view)
+            .unwrap()
+            .rows
+            .into_iter()
+            .map(|r| r.tuple)
+            .collect()
+    }
+
+    #[test]
+    fn bind_atom_substitutes_throughout() {
+        let v = parse_query("V(X, Z) :- E(X, Y), E(Y, Z)").unwrap();
+        let bound = bind_atom(&v, 0, &tuple![1, 2]).unwrap();
+        assert_eq!(bound.to_string(), "V(1, Z) :- E(1, 2), E(2, Z)");
+    }
+
+    #[test]
+    fn bind_atom_rejects_impossible_matches() {
+        let v = parse_query("V(X) :- E(X, 5)").unwrap();
+        assert!(bind_atom(&v, 0, &tuple![1, 6]).is_none(), "constant clash");
+        assert!(bind_atom(&v, 0, &tuple![1]).is_none(), "arity mismatch");
+        let rep = parse_query("V(X) :- E(X, X)").unwrap();
+        assert!(bind_atom(&rep, 0, &tuple![1, 2]).is_none(), "repeated var");
+        assert!(bind_atom(&rep, 0, &tuple![3, 3]).is_some());
+    }
+
+    #[test]
+    fn insert_delta_matches_recompute() {
+        // Two-hop view over a growing edge relation.
+        let v = parse_query("V(X, Z) :- E(X, Y), E(Y, Z)").unwrap();
+        let mut db = edge_db(&[(1, 2)]);
+        let mut mat = materialize(&db, &v);
+        for &(a, b) in &[(2, 3), (3, 1), (2, 2), (1, 2)] {
+            db.insert("E", tuple![a, b]).unwrap();
+            for row in insert_delta(&db, &v, "E", &tuple![a, b]).unwrap() {
+                mat.insert(row);
+            }
+            assert_eq!(mat, materialize(&db, &v), "after inserting ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn insert_delta_self_join_single_tuple() {
+        // A self-loop derives (4,4) using the new tuple at BOTH atoms; the
+        // post-insertion evaluation finds it from either binding.
+        let v = parse_query("V(X, Z) :- E(X, Y), E(Y, Z)").unwrap();
+        let mut db = edge_db(&[]);
+        db.insert("E", tuple![4, 4]).unwrap();
+        let delta = insert_delta(&db, &v, "E", &tuple![4, 4]).unwrap();
+        assert_eq!(delta, vec![tuple![4, 4]]);
+    }
+
+    #[test]
+    fn delete_keeps_rows_with_alternative_support() {
+        // (1,3) is derivable via Y=2 and Y=5; deleting one path keeps it.
+        let v = parse_query("V(X, Z) :- E(X, Y), E(Y, Z)").unwrap();
+        let mut db = edge_db(&[(1, 2), (2, 3), (1, 5), (5, 3)]);
+        let mut mat = materialize(&db, &v);
+        let gone = tuple![1, 2];
+        let candidates = delete_candidates(&db, &v, "E", &gone).unwrap();
+        assert!(candidates.contains(&tuple![1, 3]));
+        db.delete("E", &gone).unwrap();
+        for c in candidates {
+            if !still_derivable(&db, &v, &c).unwrap() {
+                mat.remove(&c);
+            }
+        }
+        assert_eq!(mat, materialize(&db, &v), "alternative derivation kept");
+        assert!(mat.contains(&tuple![1, 3]));
+    }
+
+    #[test]
+    fn delete_removes_unsupported_rows() {
+        let v = parse_query("V(X, Z) :- E(X, Y), E(Y, Z)").unwrap();
+        let mut db = edge_db(&[(1, 2), (2, 3)]);
+        let mut mat = materialize(&db, &v);
+        assert!(mat.contains(&tuple![1, 3]));
+        let gone = tuple![2, 3];
+        let candidates = delete_candidates(&db, &v, "E", &gone).unwrap();
+        db.delete("E", &gone).unwrap();
+        for c in candidates {
+            if !still_derivable(&db, &v, &c).unwrap() {
+                mat.remove(&c);
+            }
+        }
+        assert_eq!(mat, materialize(&db, &v));
+        assert!(mat.is_empty());
+    }
+
+    #[test]
+    fn still_derivable_respects_head_constants_and_repeats() {
+        let db = edge_db(&[(1, 1), (1, 2)]);
+        let v = parse_query("V(X, X) :- E(X, X)").unwrap();
+        assert!(still_derivable(&db, &v, &tuple![1, 1]).unwrap());
+        assert!(!still_derivable(&db, &v, &tuple![1, 2]).unwrap());
+        assert!(!still_derivable(&db, &v, &tuple![1]).unwrap());
+    }
+
+    #[test]
+    fn unrelated_relation_yields_empty_delta() {
+        let v = parse_query("V(X) :- E(X, Y)").unwrap();
+        let db = edge_db(&[(1, 2)]);
+        assert!(insert_delta(&db, &v, "F", &tuple![9, 9])
+            .unwrap()
+            .is_empty());
+    }
+}

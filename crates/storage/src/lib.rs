@@ -9,6 +9,8 @@
 //! * a conjunctive-query evaluator that reports **every binding** per
 //!   output tuple ([`eval`]) — the input to the paper's Definitions
 //!   2.1/2.2,
+//! * semi-naive delta rules for maintaining materialized views under
+//!   single-tuple updates ([`delta`]),
 //! * multi-version storage with snapshots for **fixity** ([`versioned`]),
 //! * SHA-256 content digests over canonical serializations ([`fixity`]).
 //!
@@ -36,6 +38,7 @@
 
 pub mod csv;
 pub mod database;
+pub mod delta;
 pub mod error;
 pub mod eval;
 pub mod fixity;

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Doc-link check: every relative markdown link in the top-level docs must
+# resolve to an existing file, and the quickstart README must link the
+# architecture and migration guides. Run from anywhere; CI runs it after
+# the rustdoc build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+docs=(README.md ARCHITECTURE.md MIGRATION.md)
+
+for f in "${docs[@]}"; do
+    if [ ! -f "$f" ]; then
+        echo "missing doc file: $f"
+        fail=1
+        continue
+    fi
+    # Markdown links: ](target). Skip absolute URLs and pure anchors;
+    # strip any #fragment before checking the path exists.
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -z "$path" ] && continue
+        if [ ! -e "$path" ]; then
+            echo "$f: broken link -> $target"
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$f" | sed -e 's/^](//' -e 's/)$//')
+done
+
+# Cross-reference contract: the quickstart links both guides, and the
+# architecture doc links back.
+grep -q '](ARCHITECTURE.md)' README.md || { echo "README.md must link ARCHITECTURE.md"; fail=1; }
+grep -q '](MIGRATION.md)' README.md || { echo "README.md must link MIGRATION.md"; fail=1; }
+grep -q '](README.md)' ARCHITECTURE.md || { echo "ARCHITECTURE.md must link README.md"; fail=1; }
+
+if [ "$fail" -eq 0 ]; then
+    echo "doc links ok (${docs[*]})"
+fi
+exit "$fail"

@@ -1,9 +1,12 @@
 //! `citesys` — the command-line front end.
 //!
 //! ```console
-//! $ citesys script.cts          # run a script file
-//! $ citesys -                   # read the script from stdin
-//! $ citesys serve               # interactive loop: one service, many cites
+//! $ citesys script.cts                      # run a script file
+//! $ citesys -                               # read the script from stdin
+//! $ citesys serve                           # interactive loop: one service, many cites
+//! $ citesys serve --plan-cache plans.txt    # …with rewrite plans persisted across runs
+//! $ citesys plans export session.cts plans.txt
+//! $ citesys plans import plans.txt
 //! ```
 //!
 //! See [`citesys::script`] for the command language.
@@ -21,12 +24,21 @@ const EXIT_PARSE: i32 = 3;
 const EXIT_CITE: i32 = 4;
 
 fn usage() -> String {
-    "usage: citesys <script-file | - | serve>\n\n\
+    "usage: citesys <script-file | - | serve | plans>\n\n\
      modes:\n  \
      <script-file>  run a script file\n  \
      -              read a whole script from stdin\n  \
-     serve          interactive: execute each stdin line as it arrives,\n                 \
-     reusing one citation service (warm plan cache) per session\n\n\
+     serve [--plan-cache <path>]\n                 \
+     interactive: execute each stdin line as it arrives,\n                 \
+     reusing one citation service (warm plan cache) per session.\n                 \
+     --plan-cache loads cached rewrite plans from <path> at the\n                 \
+     first cite (after the session's view registrations) and saves\n                 \
+     the cache back on exit\n  \
+     plans export <script-file> <plans-file>\n                 \
+     run a script (its cites populate the plan cache), then write\n                 \
+     the cache to <plans-file>\n  \
+     plans import <plans-file>\n                 \
+     validate a plan-cache file and print a summary\n\n\
      commands:\n  \
      schema Name(attr:type, …) [key(i, …)]\n  \
      insert Name(v, …) / delete Name(v, …)\n  \
@@ -34,6 +46,8 @@ fn usage() -> String {
      commit\n  \
      cite <query> [| format text|bibtex|ris|xml|json|csl] [| mode formal|pruned] [| policy minsize|union|first] [| partial]\n  \
      verify / tables / dump Name / load Name from '<path>' / trace\n\n\
+     plan files pin the registry they were exported under: pair a plan\n\
+     file with the script that registers the same views\n\n\
      exit codes: 0 ok, 1 i/o error, 2 usage, 3 script parse error, 4 citation error"
         .to_string()
 }
@@ -47,11 +61,27 @@ fn exit_code_for(e: &ScriptError) -> i32 {
 
 /// The interactive loop: executes each line as it arrives against one
 /// persistent interpreter (and thus one warm plan cache). Errors are
-/// reported but do not end the session.
-fn serve() -> i32 {
+/// reported but do not end the session. With `plan_cache`, previously
+/// saved rewrite plans are staged for import and the cache is written
+/// back at end of input.
+fn serve(plan_cache: Option<&str>) -> i32 {
     let stdin = std::io::stdin();
     let mut interp = Interpreter::new();
     let interactive = std::env::var_os("CITESYS_SERVE_SILENT").is_none();
+    if let Some(path) = plan_cache {
+        match std::fs::read_to_string(path) {
+            Ok(text) => interp.stage_plan_import(text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                if interactive {
+                    eprintln!("plan cache {path} not found; starting cold");
+                }
+            }
+            Err(e) => {
+                eprintln!("error reading plan cache {path}: {e}");
+                return EXIT_IO;
+            }
+        }
+    }
     if interactive {
         eprintln!("citesys serve — one command per line, Ctrl-D to exit");
     }
@@ -71,7 +101,84 @@ fn serve() -> i32 {
             Err(e) => eprintln!("error: {}", e.message),
         }
     }
+    if let Some(path) = plan_cache {
+        // A session that never cited leaves the staged import unconsumed
+        // (and its own cache empty): keep the file as it was instead of
+        // truncating the persisted plans.
+        if interp.has_pending_plan_import() {
+            if interactive {
+                eprintln!("no cite ran; leaving plan cache {path} untouched");
+            }
+            return 0;
+        }
+        if let Err(e) = std::fs::write(path, interp.export_plans()) {
+            eprintln!("error writing plan cache {path}: {e}");
+            return EXIT_IO;
+        }
+        if interactive {
+            eprintln!("plan cache saved to {path}");
+        }
+    }
     0
+}
+
+/// `plans export <script> <out>` / `plans import <file>`.
+fn plans(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("export") => {
+            let [_, script_path, out_path] = args else {
+                eprintln!("usage: citesys plans export <script-file> <plans-file>");
+                return EXIT_USAGE;
+            };
+            let source = match std::fs::read_to_string(script_path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error reading {script_path}: {e}");
+                    return EXIT_IO;
+                }
+            };
+            let mut interp = Interpreter::new();
+            if let Err(e) = interp.run(&source) {
+                eprintln!("error: {e}");
+                return exit_code_for(&e);
+            }
+            let text = interp.export_plans();
+            let count = interp.plan_cache_stats().misses;
+            if let Err(e) = std::fs::write(out_path, text) {
+                eprintln!("error writing {out_path}: {e}");
+                return EXIT_IO;
+            }
+            println!("exported plan cache ({count} fresh search(es)) to {out_path}");
+            0
+        }
+        Some("import") => {
+            let [_, in_path] = args else {
+                eprintln!("usage: citesys plans import <plans-file>");
+                return EXIT_USAGE;
+            };
+            let text = match std::fs::read_to_string(in_path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error reading {in_path}: {e}");
+                    return EXIT_IO;
+                }
+            };
+            match Interpreter::new().import_plans(&text) {
+                Ok(n) => {
+                    println!("{in_path}: ok, {n} plan(s)");
+                    0
+                }
+                Err(e) => {
+                    eprintln!("{in_path}: {e}");
+                    EXIT_PARSE
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: citesys plans <export|import> …\n\n{}", usage());
+            EXIT_USAGE
+        }
+    }
 }
 
 fn main() {
@@ -86,7 +193,24 @@ fn main() {
             std::process::exit(EXIT_USAGE);
         }
         Some("serve") => {
-            std::process::exit(serve());
+            let plan_cache = match args.get(1).map(String::as_str) {
+                Some("--plan-cache") => match args.get(2) {
+                    Some(path) if args.len() == 3 => Some(path.as_str()),
+                    _ => {
+                        eprintln!("usage: citesys serve [--plan-cache <path>]");
+                        std::process::exit(EXIT_USAGE);
+                    }
+                },
+                Some(other) => {
+                    eprintln!("unknown serve option '{other}'\n\n{}", usage());
+                    std::process::exit(EXIT_USAGE);
+                }
+                None => None,
+            };
+            std::process::exit(serve(plan_cache));
+        }
+        Some("plans") => {
+            std::process::exit(plans(&args[1..]));
         }
         Some("-") => {
             let mut buf = String::new();

@@ -83,6 +83,11 @@ pub struct Interpreter {
     /// the same query). Cleared when a view is registered.
     plans_strict: Arc<PlanCache>,
     plans_partial: Arc<PlanCache>,
+    /// Plan-cache text staged by `serve --plan-cache`, loaded at the
+    /// first `cite` (after the session's `view` commands have settled the
+    /// registry — loading earlier would be dropped by the cache swap each
+    /// registration performs).
+    pending_plan_import: Option<String>,
     /// Service over the latest committed snapshot, rebuilt on demand.
     service: Option<(u64, bool, CitationService)>,
     last_token: Option<FixityToken>,
@@ -105,6 +110,7 @@ impl Interpreter {
             registry: CitationRegistry::new(),
             plans_strict: Arc::new(PlanCache::new(citesys_core::DEFAULT_PLAN_CACHE_CAPACITY)),
             plans_partial: Arc::new(PlanCache::new(citesys_core::DEFAULT_PLAN_CACHE_CAPACITY)),
+            pending_plan_import: None,
             service: None,
             last_token: None,
             trace_next: false,
@@ -352,6 +358,13 @@ impl Interpreter {
                 _ => return Err(parse_err(format!("unknown cite clause: '{part}'"))),
             }
         }
+        if let Some(text) = self.pending_plan_import.take() {
+            let n = self
+                .plans_strict
+                .load_text(&text)
+                .map_err(|e| cite_err(format!("plan-cache file: {e}")))?;
+            self.say(format!("loaded {n} cached plan(s)"));
+        }
         let store = self.store_mut()?;
         if store.has_pending() {
             return Err(cite_err("uncommitted changes: run 'commit' before 'cite'"));
@@ -489,6 +502,43 @@ impl Interpreter {
     /// rewriting-search work the session has amortized.
     pub fn plan_cache_stats(&self) -> citesys_core::PlanCacheStats {
         self.plans_strict.stats()
+    }
+
+    /// Serializes the strict plan cache to the `citesys-plan-cache v1`
+    /// text form (the `serve --plan-cache` / `plans export` persistence
+    /// format). The partial-fallback cache is session-local and not
+    /// persisted.
+    pub fn export_plans(&self) -> String {
+        self.plans_strict.to_text()
+    }
+
+    /// Loads plans serialized by [`export_plans`](Self::export_plans)
+    /// into the strict plan cache, returning how many were loaded.
+    ///
+    /// Plans are only sound for the registry they were computed under;
+    /// registering a view afterwards replaces the cache (dropping the
+    /// imported plans), which keeps a stale import from outliving a
+    /// changed rewriting space within a session. Across sessions the
+    /// operator must pair a plan file with the script that registers the
+    /// same views.
+    pub fn import_plans(&mut self, text: &str) -> Result<usize, String> {
+        self.plans_strict.load_text(text).map_err(|e| e.to_string())
+    }
+
+    /// Stages plan-cache text to be imported at the next `cite` command —
+    /// i.e. after the session's `view` registrations have settled the
+    /// registry (each registration swaps in fresh caches, so an eager
+    /// import would be dropped). Used by `citesys serve --plan-cache`.
+    pub fn stage_plan_import(&mut self, text: String) {
+        self.pending_plan_import = Some(text);
+    }
+
+    /// True while staged plan-cache text has not been consumed by a
+    /// `cite` yet. `serve --plan-cache` checks this before saving on
+    /// exit: a session that never cited must not overwrite the persisted
+    /// file with its (empty) in-memory cache.
+    pub fn has_pending_plan_import(&self) -> bool {
+        self.pending_plan_import.is_some()
     }
 
     /// The interpreter's registry (for inspection in tests).
@@ -834,6 +884,56 @@ cite Q(B) :- S(B)
         let stats = interp.plan_cache_stats();
         assert_eq!(stats.misses, 2, "paper query + the parameterized shape");
         assert!(stats.hits >= 3, "λ-variants must share one plan: {stats:?}");
+    }
+
+    #[test]
+    fn export_import_plans_round_trip() {
+        let mut warm = Interpreter::new();
+        warm.run(PAPER_SCRIPT).unwrap();
+        let exported = warm.export_plans();
+        assert!(exported.starts_with("citesys-plan-cache v1"));
+
+        // A second session with the same views: imported plans serve the
+        // cite without a fresh search.
+        let setup_only: String = PAPER_SCRIPT
+            .lines()
+            .filter(|l| !l.starts_with("cite ") && !l.starts_with("verify"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let mut cold = Interpreter::new();
+        cold.run(&setup_only).unwrap();
+        let n = cold.import_plans(&exported).unwrap();
+        assert_eq!(n, 1);
+        cold.run_line("cite Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+            .unwrap();
+        let stats = cold.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 0), "served from import");
+    }
+
+    #[test]
+    fn staged_plan_import_survives_view_registration() {
+        let mut warm = Interpreter::new();
+        warm.run(PAPER_SCRIPT).unwrap();
+        let exported = warm.export_plans();
+
+        // Staging before the script runs (the serve --plan-cache shape):
+        // the view commands swap caches, then the first cite imports.
+        let mut interp = Interpreter::new();
+        interp.stage_plan_import(exported);
+        let out = interp.run(PAPER_SCRIPT).unwrap();
+        assert!(out.contains("loaded 1 cached plan(s)"), "{out}");
+        let stats = interp.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 0), "{stats:?}");
+    }
+
+    #[test]
+    fn corrupt_plan_import_reports_citation_error() {
+        let mut interp = Interpreter::new();
+        assert!(interp.import_plans("garbage").is_err());
+        interp.stage_plan_import("garbage".to_string());
+        let e = interp.run(PAPER_SCRIPT).unwrap_err();
+        assert_eq!(e.kind, ScriptErrorKind::Citation);
+        assert!(e.message.contains("plan-cache file"), "{e}");
     }
 
     #[test]
