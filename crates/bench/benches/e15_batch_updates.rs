@@ -1,0 +1,76 @@
+//! E15 bench: transactional batch updates vs single-tuple swaps, and
+//! reader throughput over the lock-free published-snapshot view cache vs
+//! an exclusive-lock baseline.
+//!
+//! Each update arm constructs a fresh warm engine inside the measured
+//! closure (the compat criterion harness has no `iter_batched`); both
+//! arms pay the identical setup, so the measured gap is the update path.
+//! The detailed apples-to-apples comparison — including the
+//! full-recompute arm — is the `repro` table (`repro e15`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use citesys_bench::e13::parameterized_workload;
+use citesys_bench::e14::concurrent_cites;
+use citesys_bench::e15::{config, locked_cites, release_changeset, warm_engine};
+use citesys_storage::Op;
+
+fn bench(c: &mut Criterion) {
+    let quick = std::env::var_os("CITESYS_BENCH_QUICK").is_some();
+    let (cfg, revised) = config(true); // bench always uses the small config
+    let workload = parameterized_workload(&cfg, 6);
+    let changes = release_changeset(revised);
+
+    let mut group = c.benchmark_group("e15_batch_updates");
+    group.sample_size(10);
+
+    group.throughput(Throughput::Elements(changes.len() as u64));
+    group.bench_function("release_as_one_batch", |b| {
+        b.iter(|| {
+            let mut engine = warm_engine(&cfg, &workload);
+            engine.apply(&changes).expect("release applies");
+            engine
+        })
+    });
+    group.bench_function("release_as_single_swaps", |b| {
+        b.iter(|| {
+            let mut engine = warm_engine(&cfg, &workload);
+            for op in changes.ops() {
+                match op {
+                    Op::Insert(rel, t) => {
+                        engine.insert(rel.as_str(), t.clone()).expect("insertable");
+                    }
+                    Op::Delete(rel, t) => {
+                        engine.delete(rel.as_str(), t).expect("deletable");
+                    }
+                }
+            }
+            engine
+        })
+    });
+
+    // Reader throughput: lock-free published-snapshot path vs taking an
+    // exclusive lock around every cite.
+    let engine = warm_engine(&cfg, &workload);
+    let service = engine.snapshot_service();
+    let rounds = if quick { 1 } else { 4 };
+    for threads in [1usize, 4] {
+        group.throughput(Throughput::Elements(
+            (threads * rounds * workload.len()) as u64,
+        ));
+        group.bench_with_input(
+            BenchmarkId::new("lockfree_readers", threads),
+            &threads,
+            |b, &threads| b.iter(|| concurrent_cites(&service, &workload, threads, rounds)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("locked_readers", threads),
+            &threads,
+            |b, &threads| b.iter(|| locked_cites(&service, &workload, threads, rounds)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

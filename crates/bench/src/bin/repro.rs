@@ -1,4 +1,4 @@
-//! `repro` — regenerates every experiment table (E1–E10).
+//! `repro` — regenerates every experiment table (E1–E15).
 //!
 //! Usage:
 //! ```text
@@ -34,6 +34,7 @@ fn main() {
             "e12" => Some(citesys_bench::e12::table(quick)),
             "e13" => Some(citesys_bench::e13::table(quick)),
             "e14" => Some(citesys_bench::e14::table(quick)),
+            "e15" => Some(citesys_bench::e15::table(quick)),
             other => {
                 eprintln!("unknown experiment id: {other}");
                 None

@@ -33,6 +33,7 @@ pub mod e11;
 pub mod e12;
 pub mod e13;
 pub mod e14;
+pub mod e15;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -61,5 +62,6 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e12::table(quick),
         e13::table(quick),
         e14::table(quick),
+        e15::table(quick),
     ]
 }

@@ -1,0 +1,200 @@
+//! Offline shim for `arc-swap`: an atomically swappable `Arc<T>` whose
+//! **read path is lock-free** — `load()` is a single `Acquire` pointer
+//! load, with no reference-count traffic and no lock.
+//!
+//! The upstream crate reclaims old values with a hazard/debt scheme. This
+//! shim uses a simpler *retire-list* design suited to published-snapshot
+//! handles: every value ever stored is kept alive (in a mutex-guarded
+//! list the read path never touches) until the `ArcSwap` itself is
+//! dropped. That makes `load()` trivially sound — a loaded reference can
+//! never dangle — at the cost of memory proportional to the number of
+//! `store`s over the handle's lifetime. Use it for values that are
+//! republished a bounded number of times (e.g. a view cache that grows
+//! once per registered view), not for unbounded high-frequency swapping.
+//!
+//! API divergence from upstream, documented in `crates/compat/README.md`:
+//! [`Guard`] derefs to `T` (upstream's derefs to `Arc<T>`), and only the
+//! subset used by this workspace is provided.
+
+use std::ops::Deref;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// An `Arc<T>` that can be atomically loaded and stored.
+///
+/// `load()` never blocks and never touches the reference count; `store`
+/// / `swap` serialize on an internal mutex and retire the previous value
+/// instead of freeing it (see the module docs for the trade-off).
+pub struct ArcSwap<T> {
+    /// Pointer into the allocation of the most recently stored `Arc`.
+    /// Every target is kept alive by `state.history` until drop.
+    current: AtomicPtr<T>,
+    state: Mutex<State<T>>,
+}
+
+struct State<T> {
+    /// The live value (what `current` points at).
+    live: Arc<T>,
+    /// Every previously stored value, retired but kept alive so that
+    /// outstanding `load()` references can never dangle.
+    history: Vec<Arc<T>>,
+}
+
+impl<T> ArcSwap<T> {
+    /// Creates a handle owning `initial`.
+    pub fn new(initial: Arc<T>) -> Self {
+        let current = AtomicPtr::new(Arc::as_ptr(&initial) as *mut T);
+        ArcSwap {
+            current,
+            state: Mutex::new(State {
+                live: initial,
+                history: Vec::new(),
+            }),
+        }
+    }
+
+    /// Creates a handle from an owned value.
+    pub fn from_pointee(value: T) -> Self {
+        ArcSwap::new(Arc::new(value))
+    }
+
+    /// Lock-free read of the current value: one `Acquire` load, no lock,
+    /// no reference-count update. The returned guard borrows `self`, and
+    /// the value it points at stays alive for the handle's whole lifetime
+    /// (retired values are never freed early), so the guard may be held
+    /// across arbitrary work.
+    pub fn load(&self) -> Guard<'_, T> {
+        // SAFETY: `current` only ever holds pointers obtained from
+        // `Arc::as_ptr` of Arcs stored in `state` (live or history), all
+        // of which are kept alive until `self` is dropped; dropping
+        // requires exclusive access, which outstanding guards (borrowing
+        // `self`) prevent.
+        Guard {
+            value: unsafe { &*self.current.load(Ordering::Acquire) },
+        }
+    }
+
+    /// Clones out the current value as an owned `Arc` (takes the internal
+    /// mutex briefly; meant for writers and occasional readers that must
+    /// outlive the handle).
+    pub fn load_full(&self) -> Arc<T> {
+        Arc::clone(&self.lock().live)
+    }
+
+    /// Publishes `new`, retiring the previous value.
+    pub fn store(&self, new: Arc<T>) {
+        self.swap(new);
+    }
+
+    /// Publishes `new` and returns the previously published value (which
+    /// also remains retained by the handle's retire list).
+    pub fn swap(&self, new: Arc<T>) -> Arc<T> {
+        let mut state = self.lock();
+        let ptr = Arc::as_ptr(&new) as *mut T;
+        let old = std::mem::replace(&mut state.live, new);
+        state.history.push(Arc::clone(&old));
+        // Release pairs with the Acquire in `load`: a reader that sees
+        // the new pointer also sees the fully initialized value.
+        self.current.store(ptr, Ordering::Release);
+        old
+    }
+
+    /// How many values have been retired (diagnostic for the retire-list
+    /// memory trade-off).
+    pub fn retired(&self) -> usize {
+        self.lock().history.len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArcSwap")
+            .field("value", &*self.load())
+            .finish()
+    }
+}
+
+impl<T: Default> Default for ArcSwap<T> {
+    fn default() -> Self {
+        ArcSwap::from_pointee(T::default())
+    }
+}
+
+/// A borrowed view of the currently published value; see
+/// [`ArcSwap::load`].
+pub struct Guard<'a, T> {
+    value: &'a T,
+}
+
+impl<T> Deref for Guard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.value
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Guard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.value.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_sees_latest_store() {
+        let s = ArcSwap::from_pointee(1u64);
+        assert_eq!(*s.load(), 1);
+        s.store(Arc::new(2));
+        assert_eq!(*s.load(), 2);
+        assert_eq!(*s.load_full(), 2);
+        assert_eq!(s.retired(), 1);
+    }
+
+    #[test]
+    fn guard_survives_concurrent_store() {
+        let s = ArcSwap::from_pointee(String::from("old"));
+        let g = s.load();
+        s.store(Arc::new(String::from("new")));
+        // The retired value is still alive and readable via the guard.
+        assert_eq!(&*g, "old");
+        assert_eq!(&*s.load(), "new");
+    }
+
+    #[test]
+    fn swap_returns_previous() {
+        let s = ArcSwap::from_pointee(10i32);
+        let old = s.swap(Arc::new(20));
+        assert_eq!(*old, 10);
+        assert_eq!(*s.load(), 20);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let s = Arc::new(ArcSwap::from_pointee(0usize));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    let mut last = 0usize;
+                    for _ in 0..10_000 {
+                        let v = *s.load();
+                        assert!(v >= last, "published values are monotone");
+                        last = v;
+                    }
+                });
+            }
+            for i in 1..=100 {
+                s.store(Arc::new(i));
+            }
+        });
+        assert_eq!(*s.load(), 100);
+    }
+}

@@ -23,7 +23,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use citesys_cq::{Atom, ConjunctiveQuery, Term};
-use citesys_storage::{Database, RelationSchema, Tuple};
+use citesys_storage::{Changeset, Database, Op, RelationSchema, Tuple};
 
 use crate::engine::{CitedAnswer, EngineOptions};
 use crate::error::CiteError;
@@ -150,48 +150,61 @@ impl IncrementalEngine {
         Ok(out?)
     }
 
-    /// [`mutate`](Self::mutate) specialized to a single-tuple delta: the
-    /// view-cache update is staged against the pre-update snapshot, the
-    /// mutation runs, and the staged delta is applied to the successor
-    /// service — plan cache **and** materialized views stay warm.
-    /// Applying the delta after a failed/no-op mutation is harmless (see
-    /// [`CitationService::with_database_delta`]).
-    fn mutate_delta(
-        &mut self,
-        rel: &str,
-        t: &Tuple,
-        op: crate::viewcache::DeltaOp,
-        f: impl FnOnce(&mut Database) -> Result<bool, citesys_storage::StorageError>,
-    ) -> Result<bool, CiteError> {
-        let pending = self.service.stage_update(rel, t, op);
+    /// Applies a whole [`Changeset`] — mixed inserts and deletes — as one
+    /// transaction: the view-cache delta is staged against the pre-batch
+    /// snapshot, the ops run **atomically** (a failing op rolls back the
+    /// already-applied ones; see [`Changeset::apply`]), and the staged
+    /// net delta is applied to the successor service against the single
+    /// post-batch database — plan cache **and** materialized views stay
+    /// warm, readers observe exactly **one** snapshot swap, and affected
+    /// cached citations are invalidated per effective op. Returns how
+    /// many ops actually changed the data.
+    ///
+    /// Applying the staged delta after a failed (rolled-back) batch is
+    /// harmless: the delta rules evaluate against the unchanged database
+    /// (see [`CitationService::with_database_delta`]).
+    pub fn apply(&mut self, changes: &Changeset) -> Result<usize, CiteError> {
+        let pending = self.service.stage_batch(changes);
         self.service.release_database();
-        let out = f(Arc::make_mut(&mut self.db));
+        let out = changes.apply(Arc::make_mut(&mut self.db));
         self.service = self
             .service
             .with_database_delta(Arc::clone(&self.db), pending);
-        Ok(out?)
+        let applied = out?;
+        for op in &applied {
+            match op {
+                Op::Insert(rel, t) | Op::Delete(rel, t) => self.invalidate(rel.as_str(), t),
+            }
+        }
+        Ok(applied.len())
     }
 
-    /// Inserts a tuple, invalidating affected citations.
+    /// Starts a buffered transaction: `insert`/`delete` calls on the
+    /// returned handle accumulate into a [`Changeset`], and
+    /// [`commit`](Transaction::commit) lands the whole batch through
+    /// [`apply`](Self::apply) — one snapshot swap, all-or-nothing.
+    /// Dropping the handle without committing discards the buffer.
+    pub fn begin(&mut self) -> Transaction<'_> {
+        Transaction {
+            engine: self,
+            changes: Changeset::new(),
+        }
+    }
+
+    /// Inserts a tuple, invalidating affected citations (a one-op
+    /// [`apply`](Self::apply)).
     pub fn insert(&mut self, rel: &str, t: Tuple) -> Result<bool, CiteError> {
-        let changed = self.mutate_delta(rel, &t, crate::viewcache::DeltaOp::Insert, |db| {
-            db.insert(rel, t.clone())
-        })?;
-        if changed {
-            self.invalidate(rel, &t);
-        }
-        Ok(changed)
+        let mut changes = Changeset::new();
+        changes.insert(rel, t);
+        Ok(self.apply(&changes)? == 1)
     }
 
-    /// Deletes a tuple, invalidating affected citations.
+    /// Deletes a tuple, invalidating affected citations (a one-op
+    /// [`apply`](Self::apply)).
     pub fn delete(&mut self, rel: &str, t: &Tuple) -> Result<bool, CiteError> {
-        let changed = self.mutate_delta(rel, t, crate::viewcache::DeltaOp::Delete, |db| {
-            db.delete(rel, t)
-        })?;
-        if changed {
-            self.invalidate(rel, t);
-        }
-        Ok(changed)
+        let mut changes = Changeset::new();
+        changes.delete(rel, t.clone());
+        Ok(self.apply(&changes)? == 1)
     }
 
     /// Registers a new citation view. This can change the rewriting space
@@ -270,6 +283,45 @@ impl IncrementalEngine {
             }
         }
         out
+    }
+}
+
+/// A buffered batch of updates on an [`IncrementalEngine`], started with
+/// [`begin`](IncrementalEngine::begin).
+///
+/// Operations accumulate in order and touch nothing until
+/// [`commit`](Self::commit), which applies the whole buffer as one
+/// atomic changeset (one snapshot swap, delta-maintained caches).
+/// Dropping the handle without committing discards the buffer.
+pub struct Transaction<'e> {
+    engine: &'e mut IncrementalEngine,
+    changes: Changeset,
+}
+
+impl Transaction<'_> {
+    /// Buffers an insertion.
+    pub fn insert(&mut self, rel: &str, t: Tuple) -> &mut Self {
+        self.changes.insert(rel, t);
+        self
+    }
+
+    /// Buffers a deletion.
+    pub fn delete(&mut self, rel: &str, t: Tuple) -> &mut Self {
+        self.changes.delete(rel, t);
+        self
+    }
+
+    /// The operations buffered so far.
+    pub fn changes(&self) -> &Changeset {
+        &self.changes
+    }
+
+    /// Applies the buffered ops as one atomic batch (see
+    /// [`IncrementalEngine::apply`]); returns how many ops changed the
+    /// data.
+    pub fn commit(self) -> Result<usize, CiteError> {
+        let Transaction { engine, changes } = self;
+        engine.apply(&changes)
     }
 }
 

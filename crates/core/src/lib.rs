@@ -77,13 +77,14 @@ pub mod snippet;
 pub mod trace;
 pub mod viewcache;
 
+pub use citesys_storage::{Changeset, NetChanges};
 #[allow(deprecated)]
 pub use engine::CitationEngine;
 pub use engine::{
     AggregateCitation, CitationMode, CitedAnswer, Coverage, EngineOptions, TupleCitation,
 };
 pub use error::CiteError;
-pub use evolve::{EvolveStats, IncrementalEngine};
+pub use evolve::{EvolveStats, IncrementalEngine, Transaction};
 pub use expr::{CiteAtom, CiteExpr};
 pub use fixity::{cite_at_version, cite_with_service, dereference, verify, FixityToken};
 pub use format::{format_citation, format_citation_with, CitationFormat, FormatOptions};

@@ -15,10 +15,15 @@
 //!   a later process.
 //! * a **view cache**: citation views are materialized once into a shared
 //!   scratch database ([`ViewCache`]) and reused across queries and
-//!   batches; single-tuple data updates are carried into the
-//!   materializations by delta maintenance
-//!   ([`stage_update`](CitationService::stage_update) /
-//!   [`with_database_delta`](CitationService::with_database_delta))
+//!   batches. The cite read path is **lock-free**: materializations live
+//!   behind a published arc-swap snapshot pointer, so readers pay one
+//!   atomic load and only writers pay for publication. Data updates —
+//!   single tuples ([`stage_update`](CitationService::stage_update)) or
+//!   whole mixed insert/delete transactions
+//!   ([`stage_batch`](CitationService::stage_batch) with a
+//!   [`Changeset`]) — are carried into the materializations by delta
+//!   maintenance and land in **one** snapshot swap
+//!   ([`with_database_delta`](CitationService::with_database_delta))
 //!   instead of dropping them.
 //!
 //! **Invalidation contract**: registering a view or declaring a relation
@@ -61,12 +66,12 @@ use std::sync::Arc;
 
 use citesys_cq::{ConjunctiveQuery, Term, Value};
 use citesys_rewrite::{PlanParseError, RewritePlan, RewriteStats};
-use citesys_storage::{Database, Tuple};
+use citesys_storage::{Changeset, Database, Tuple};
 use parking_lot::RwLock;
 
 use crate::engine::{
-    cite_selected, compute_plan, materialize_views_into, needed_views, select_rewritings,
-    CitationMode, CitedAnswer, EngineOptions,
+    cite_selected, compute_plan, needed_views, select_rewritings, CitationMode, CitedAnswer,
+    EngineOptions,
 };
 use crate::error::CiteError;
 use crate::policy::PolicySet;
@@ -200,16 +205,21 @@ impl PlanCache {
 
     /// Creates a cache holding at most `capacity` plans spread over
     /// `shards` lock stripes. The shard count is clamped to
-    /// `1..=capacity`; capacity is divided evenly (rounding up) so the
-    /// total never falls below `capacity`. One shard gives the exact
-    /// single-LRU semantics of the pre-sharded cache.
+    /// `1..=capacity`; capacity is divided evenly per shard, **rounding
+    /// up**, so the requested total never shrinks — which means the
+    /// *effective* capacity is the next multiple of the shard count (e.g.
+    /// capacity 10 over 8 shards yields 8 shards × 2 = 16). The cache
+    /// admits up to that effective total, and [`capacity`](Self::capacity)
+    /// reports it, so `len() <= capacity()` always holds. One shard gives
+    /// the exact single-LRU semantics (and the exact capacity) of the
+    /// pre-sharded cache.
     pub fn with_shards(capacity: usize, shards: usize) -> Self {
         let capacity = capacity.max(1);
         let shards = shards.clamp(1, capacity);
         let per_shard = capacity.div_ceil(shards);
         PlanCache {
             shards: (0..shards).map(|_| Shard::new(per_shard)).collect(),
-            capacity,
+            capacity: per_shard * shards,
         }
     }
 
@@ -261,7 +271,10 @@ impl PlanCache {
     }
 
     /// Number of distinct signatures the cache may hold (across all
-    /// shards).
+    /// shards). This is the **effective** capacity: the requested one
+    /// rounded up to a multiple of the shard count (see
+    /// [`with_shards`](Self::with_shards)), so it is a true upper bound
+    /// on [`len`](Self::len).
     pub fn capacity(&self) -> usize {
         self.capacity
     }
@@ -403,7 +416,12 @@ impl PlanCache {
                 message: message.into(),
             }
         }
-        let mut lines = text.lines();
+        // CRLF tolerance, via the same helper `RewritePlan::from_text`
+        // uses: trim a carriage return from every line so a plans file
+        // saved/edited on Windows neither fails to parse nor smuggles
+        // `\r` into a cached signature (which would silently never match
+        // again).
+        let mut lines = text.lines().map(citesys_rewrite::trim_cr);
         match lines.next() {
             Some("citesys-plan-cache v1") => {}
             other => return Err(err(format!("bad plan-cache header: {other:?}"))),
@@ -745,8 +763,9 @@ impl CitationService {
     /// the registry, never on data). The materialized-view cache is
     /// dropped — it does depend on data, and an arbitrary snapshot swap
     /// gives nothing to delta against. When the new snapshot differs from
-    /// the old by a single tuple, use
-    /// [`stage_update`](Self::stage_update) /
+    /// the old by a known changeset (one tuple or a whole transaction),
+    /// use [`stage_update`](Self::stage_update) /
+    /// [`stage_batch`](Self::stage_batch) +
     /// [`with_database_delta`](Self::with_database_delta) instead to keep
     /// the materializations warm too.
     pub fn with_database(&self, db: impl Into<Arc<Database>>) -> CitationService {
@@ -769,25 +788,49 @@ impl CitationService {
         self.db = Arc::new(Database::new());
     }
 
-    /// Phase one of a delta-maintained snapshot swap: captures the current
-    /// materialized views (and, for deletions, the at-risk view rows,
-    /// which are only computable while the tuple is still present). Call
-    /// **before** mutating the database, then apply the mutation, then
-    /// finish with [`with_database_delta`](Self::with_database_delta).
+    /// Phase one of a delta-maintained snapshot swap for a single-tuple
+    /// update: captures the current materialized views (and, for
+    /// deletions, the at-risk view rows, which are only computable while
+    /// the tuple is still present). Call **before** mutating the
+    /// database, then apply the mutation, then finish with
+    /// [`with_database_delta`](Self::with_database_delta). A convenience
+    /// wrapper over [`stage_batch`](Self::stage_batch) with a
+    /// one-operation changeset.
     ///
     /// Staging clones the materializations, so services handed out
     /// earlier keep citing their own consistent (old snapshot, old views)
     /// pairing while the successor is prepared.
     pub fn stage_update(&self, rel: &str, t: &Tuple, op: DeltaOp) -> PendingViewDelta {
-        self.views.stage(&self.registry, &self.db, rel, t, op)
+        let mut changes = Changeset::new();
+        match op {
+            DeltaOp::Insert => changes.insert(rel, t.clone()),
+            DeltaOp::Delete => changes.delete(rel, t.clone()),
+        };
+        self.stage_batch(&changes)
+    }
+
+    /// Phase one of a delta-maintained snapshot swap for a whole
+    /// transaction: normalizes `changes` against this service's snapshot
+    /// into its **net** effect (in-batch cancellations, re-inserts of
+    /// present tuples and deletes of absent ones cost no delta work) and
+    /// captures everything deletion deltas need from the pre-batch state.
+    /// Call **before** mutating the database, then apply the changeset,
+    /// then finish with [`with_database_delta`](Self::with_database_delta)
+    /// — the whole batch lands in **one** snapshot swap instead of N
+    /// single-tuple swaps.
+    pub fn stage_batch(&self, changes: &Changeset) -> PendingViewDelta {
+        self.views.stage_batch(&self.registry, &self.db, changes)
     }
 
     /// Phase two of a delta-maintained snapshot swap: a service over the
     /// post-update snapshot whose plan cache **and** materialized views
-    /// stay warm — the staged insert/delete delta is applied to every
-    /// affected view, unaffected views are carried over verbatim, and
-    /// only views whose delta application fails are dropped for lazy
-    /// recomputation ([`ViewCacheStats`] counts each case).
+    /// stay warm — the staged net insert/delete delta (one tuple or a
+    /// whole batch) is applied to every affected view against the single
+    /// post-batch database, unaffected views are carried over verbatim,
+    /// and only views whose delta application fails are dropped for lazy
+    /// recomputation ([`ViewCacheStats`] counts each case). However many
+    /// tuples the transaction changed, readers observe exactly **one**
+    /// snapshot swap.
     ///
     /// Applying a delta staged for a mutation that then failed (or
     /// changed nothing) is harmless: the delta rules evaluate against the
@@ -854,7 +897,9 @@ impl CitationService {
         }
         let selected = select_rewritings(&self.db, &self.registry, &self.options, plan);
         let needed = needed_views(&selected);
-        // Fast path: all needed views already materialized.
+        // Fast path: all needed views already published — one lock-free
+        // atomic load, then evaluate against the loaded snapshot (a
+        // concurrent publication cannot change it underneath us).
         {
             let views = self.views.read();
             if needed.iter().all(|n| views.has_relation(n.as_str())) {
@@ -870,18 +915,11 @@ impl CitationService {
                 );
             }
         }
-        // Slow path: materialize the missing views, then evaluate under a
-        // read lock (materialize_views_into skips views that appeared
-        // while waiting for the write lock).
-        {
-            let mut views = self.views.write();
-            let missing = needed
-                .iter()
-                .filter(|n| !views.has_relation(n.as_str()))
-                .count();
-            materialize_views_into(&self.db, &self.registry, &needed, &mut views)?;
-            self.views.note_materialized(missing);
-        }
+        // Slow path: copy-on-write materialization of the missing views,
+        // published as a fresh snapshot (skipped when a racing writer
+        // already published them); readers are never blocked.
+        self.views
+            .materialize_missing(&self.db, &self.registry, &needed)?;
         let views = self.views.read();
         cite_selected(
             &self.db,
@@ -1244,6 +1282,55 @@ mod tests {
         let cache = PlanCache::with_shards(0, 0);
         assert_eq!(cache.shard_count(), 1);
         assert_eq!(cache.capacity(), 1);
+    }
+
+    #[test]
+    fn plan_cache_capacity_reports_effective_total() {
+        // 10 requested over 8 shards rounds up to 2 per shard: the cache
+        // can genuinely hold 16, and capacity() must say so — len() may
+        // never exceed capacity().
+        let cache = PlanCache::with_shards(10, 8);
+        assert_eq!(cache.shard_count(), 8);
+        assert_eq!(cache.capacity(), 16);
+        for i in 0..200 {
+            cache.insert(format!("sig-{i}"), vec![], Arc::new(RewritePlan::empty()));
+            assert!(
+                cache.len() <= cache.capacity(),
+                "len {} exceeded capacity {}",
+                cache.len(),
+                cache.capacity()
+            );
+        }
+        // An evenly divisible request is exact.
+        assert_eq!(PlanCache::with_shards(16, 8).capacity(), 16);
+        // One shard preserves the requested capacity exactly.
+        assert_eq!(PlanCache::with_shards(10, 1).capacity(), 10);
+    }
+
+    #[test]
+    fn plan_cache_text_crlf_round_trip() {
+        // A plans file edited on Windows: CRLF endings (and a lost final
+        // newline) must neither fail to load nor corrupt the stored
+        // signatures — the reloaded cache has to keep serving hits.
+        let svc = service(CitationMode::Formal);
+        svc.cite(&paper::paper_query()).unwrap();
+        let q11 = parse_query("Q(N) :- Family(11, N, D), FamilyIntro(11, T)").unwrap();
+        svc.cite(&q11).unwrap();
+        let crlf = svc.plan_cache().to_text().replace('\n', "\r\n");
+        let crlf = crlf.trim_end_matches('\n').to_string(); // EOF without newline
+
+        let warm = service(CitationMode::Formal);
+        assert_eq!(warm.plan_cache().load_text(&crlf).unwrap(), 2);
+        let cited = warm.cite(&paper::paper_query()).unwrap();
+        assert_eq!(
+            cited.rewrite_stats.plan_cache_hits, 1,
+            "signature survived CRLF round-trip"
+        );
+        assert_eq!(cited.rewrite_stats.search_effort(), 0);
+        // Trailing blank CRLF lines are tolerated too.
+        let trailing = format!("{crlf}\r\n\r\n\r\n");
+        let again = service(CitationMode::Formal);
+        assert_eq!(again.plan_cache().load_text(&trailing).unwrap(), 2);
     }
 
     #[test]

@@ -7,34 +7,54 @@
 //!
 //! * **across queries** — a view is materialized once and reused by every
 //!   later cite/batch that needs it (the service grows the cache on
-//!   demand under a write lock);
+//!   demand; see the publication scheme below);
 //! * **across data updates** — instead of dropping the whole cache on a
-//!   snapshot swap, a single-tuple insert/delete is carried into the
+//!   snapshot swap, an insert/delete **changeset** is carried into the
 //!   materializations by the semi-naive delta rules of
-//!   [`citesys_storage::delta`]. Views whose bodies do not mention the
-//!   updated relation are kept verbatim; affected views get delta rows
+//!   [`citesys_storage::delta`]. Views whose bodies do not mention any
+//!   changed relation are kept verbatim; affected views get delta rows
 //!   applied; only failures (or registry changes, which alter view
 //!   *definitions*) fall back to dropping a view for lazy recomputation.
 //!
+//! **Lock-free reads.** The materializations are a *published snapshot*:
+//! an [`arc_swap::ArcSwap`] pointer to an immutable `Database`. A reader
+//! ([`CitationService::cite`](crate::CitationService::cite) evaluating a
+//! rewriting) performs one atomic pointer load — no lock, no
+//! reference-count traffic — and keeps citing the snapshot it loaded even
+//! if a writer publishes a successor mid-evaluation. Only writers pay:
+//! growing the cache clones the current snapshot, materializes into the
+//! clone, and publishes it (serialized by a writer gate; a publication
+//! that fails mid-materialization is simply not published, so readers
+//! never observe a half-built view).
+//!
 //! Updates are staged in two phases because deletion deltas need the
 //! database **before** the change while insertion deltas need it **after**:
-//! [`CitationService::stage_update`](crate::CitationService::stage_update)
-//! captures the pre-update state as a [`PendingViewDelta`], the caller
-//! mutates the base database, and
+//! [`CitationService::stage_batch`](crate::CitationService::stage_batch)
+//! (or single-tuple
+//! [`stage_update`](crate::CitationService::stage_update)) normalizes the
+//! changeset against the pre-update state into its net effect and captures
+//! the at-risk view rows, the caller mutates the base database, and
 //! [`CitationService::with_database_delta`](crate::CitationService::with_database_delta)
-//! finishes the job. The staged snapshot also gives update isolation:
-//! services handed out before the update keep their own (old) cache, so a
-//! cite racing an update always sees one consistent snapshot pairing.
+//! finishes the job against the single post-batch database — one snapshot
+//! swap for the whole transaction. The staged snapshot also gives update
+//! isolation: services handed out before the update keep their own (old)
+//! cache, so a cite racing an update always sees one consistent snapshot
+//! pairing.
 
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use citesys_storage::{delta, Database, Tuple};
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use arc_swap::ArcSwap;
+use citesys_cq::Symbol;
+use citesys_storage::{delta, Changeset, Database, NetChanges, Tuple};
+use parking_lot::Mutex;
 
+use crate::error::CiteError;
 use crate::registry::CitationRegistry;
 
-/// Which kind of single-tuple data update a staged view delta carries.
+/// Which kind of single-tuple data update a staged view delta carries
+/// (the single-tuple convenience surface over [`Changeset`] staging).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum DeltaOp {
     /// A tuple was inserted into a base relation.
@@ -52,10 +72,12 @@ pub struct ViewCacheStats {
     /// drop).
     pub materializations: u64,
     /// Views carried across a data update by applying insert/delete delta
-    /// rows.
+    /// rows (counted once per view per batch, however many tuples the
+    /// batch changed).
     pub deltas_applied: u64,
     /// Views carried across a data update verbatim — the update could not
-    /// affect them (their bodies do not mention the updated relation).
+    /// affect them (their bodies do not mention any net-changed relation;
+    /// a batch that nets to nothing counts every view here).
     pub untouched: u64,
     /// Views dropped for lazy recomputation because delta maintenance was
     /// not applicable (e.g. a delta evaluation failed).
@@ -78,13 +100,31 @@ struct Counters {
 /// The scratch database of materialized citation views a
 /// [`CitationService`](crate::CitationService) shares across clones.
 ///
-/// Internally synchronized: reads (evaluating rewritings over materialized
-/// views) take a shared lock; growing the cache or applying an update
-/// delta takes an exclusive one.
-#[derive(Debug, Default)]
+/// Readers take **no lock**: the materializations live behind a published
+/// [`ArcSwap`] snapshot pointer, and a read is one atomic load. Growing
+/// the cache copies-on-write and republishes under a writer gate (see
+/// the module docs).
+#[derive(Debug)]
 pub struct ViewCache {
-    db: RwLock<Database>,
+    /// The published snapshot of materialized views. Each publication is
+    /// retained until the cache drops (the arc-swap shim's retire-list),
+    /// which is bounded: a cache republishes at most once per registered
+    /// view, and every data update produces a *successor* cache.
+    published: ArcSwap<Database>,
+    /// Serializes writers so concurrent on-demand materializations cannot
+    /// publish over each other.
+    write_gate: Mutex<()>,
     counters: Arc<Counters>,
+}
+
+impl Default for ViewCache {
+    fn default() -> Self {
+        ViewCache {
+            published: ArcSwap::from_pointee(Database::new()),
+            write_gate: Mutex::new(()),
+            counters: Arc::default(),
+        }
+    }
 }
 
 impl ViewCache {
@@ -99,19 +139,44 @@ impl ViewCache {
     pub(crate) fn fresh_linked(&self) -> ViewCache {
         self.counters.drops.fetch_add(1, Ordering::Relaxed);
         ViewCache {
-            db: RwLock::new(Database::new()),
+            published: ArcSwap::from_pointee(Database::new()),
+            write_gate: Mutex::new(()),
             counters: Arc::clone(&self.counters),
         }
     }
 
-    /// Shared read access to the materialized views.
-    pub(crate) fn read(&self) -> RwLockReadGuard<'_, Database> {
-        self.db.read()
+    /// Lock-free read access to the published materializations: one
+    /// atomic pointer load. The guard keeps observing the snapshot it
+    /// loaded even if a writer republishes concurrently.
+    pub(crate) fn read(&self) -> arc_swap::Guard<'_, Database> {
+        self.published.load()
     }
 
-    /// Exclusive access for on-demand materialization.
-    pub(crate) fn write(&self) -> RwLockWriteGuard<'_, Database> {
-        self.db.write()
+    /// Materializes the views in `needed` that the published snapshot is
+    /// missing, copy-on-write, and publishes the grown snapshot. Readers
+    /// are never blocked and never see a partially materialized view: on
+    /// error nothing is published. Returns how many views were newly
+    /// materialized (0 when a racing writer already provided them).
+    pub(crate) fn materialize_missing(
+        &self,
+        base: &Database,
+        registry: &CitationRegistry,
+        needed: &BTreeSet<&Symbol>,
+    ) -> Result<usize, CiteError> {
+        let _gate = self.write_gate.lock();
+        let current = self.published.load();
+        let missing = needed
+            .iter()
+            .filter(|n| !current.has_relation(n.as_str()))
+            .count();
+        if missing == 0 {
+            return Ok(0);
+        }
+        let mut next = Database::clone(&current);
+        crate::engine::materialize_views_into(base, registry, needed, &mut next)?;
+        self.published.store(Arc::new(next));
+        self.note_materialized(missing);
+        Ok(missing)
     }
 
     /// Records `n` from-scratch view materializations.
@@ -134,21 +199,24 @@ impl ViewCache {
         }
     }
 
-    /// Phase one of a delta-maintained snapshot swap: clones the current
-    /// materializations and — for deletions — computes the at-risk view
-    /// rows over `db_before` (they are unrecoverable once the tuple is
-    /// gone). A view whose candidate computation fails is excluded from
-    /// the clone and will be lazily rematerialized.
-    pub(crate) fn stage(
+    /// Phase one of a delta-maintained snapshot swap for a whole
+    /// changeset: normalizes the ops against `db_before` into their net
+    /// effect, clones the current materializations, and — for net
+    /// deletions — computes the at-risk view rows over `db_before` (they
+    /// are unrecoverable once the tuples are gone). A view whose
+    /// candidate computation fails is excluded from the clone and will be
+    /// lazily rematerialized.
+    pub(crate) fn stage_batch(
         &self,
         registry: &CitationRegistry,
         db_before: &Database,
-        rel: &str,
-        tuple: &Tuple,
-        op: DeltaOp,
+        changes: &Changeset,
     ) -> PendingViewDelta {
-        let mut views = self.db.read().clone();
+        let net = changes.net(db_before);
+        let mut views = Database::clone(&self.read());
         let mut candidates = Vec::new();
+        let deleted_rels: BTreeSet<&str> =
+            net.deletes.iter().map(|(rel, _)| rel.as_str()).collect();
         let names: Vec<String> = views
             .relation_names()
             .iter()
@@ -162,11 +230,15 @@ impl ViewCache {
                 self.counters.recomputes.fetch_add(1, Ordering::Relaxed);
                 continue;
             };
-            let affected = cv.view.body.iter().any(|a| a.predicate.as_str() == rel);
-            if !affected || op != DeltaOp::Delete {
+            let delete_affected = cv
+                .view
+                .body
+                .iter()
+                .any(|a| deleted_rels.contains(a.predicate.as_str()));
+            if !delete_affected {
                 continue;
             }
-            match delta::delete_candidates(db_before, &cv.view, rel, tuple) {
+            match delta::delete_candidates_batch(db_before, &cv.view, &net.deletes) {
                 Ok(rows) => candidates.push((name, rows)),
                 Err(_) => {
                     let _ = views_remove(&mut views, &name);
@@ -175,9 +247,7 @@ impl ViewCache {
             }
         }
         PendingViewDelta {
-            rel: rel.to_string(),
-            tuple: tuple.clone(),
-            op,
+            net,
             views,
             candidates,
             counters: Arc::clone(&self.counters),
@@ -209,25 +279,39 @@ fn views_remove(views: &mut Database, name: &str) -> bool {
     true
 }
 
-/// A staged view-cache update: the pre-update materializations plus
-/// whatever had to be computed before the base database changed. Finish it
-/// with
-/// [`CitationService::with_database_delta`](crate::CitationService::with_database_delta).
+/// A staged view-cache update: the pre-update materializations, the
+/// changeset's net effect, and whatever had to be computed before the
+/// base database changed. Finish it with
+/// [`CitationService::with_database_delta`](crate::CitationService::with_database_delta) —
+/// the whole batch lands in **one** snapshot swap.
 #[derive(Debug)]
 pub struct PendingViewDelta {
-    rel: String,
-    tuple: Tuple,
-    op: DeltaOp,
+    /// The changeset normalized against the pre-batch database.
+    net: NetChanges,
     views: Database,
-    /// For deletions: per-view rows that may have lost support.
+    /// For net deletions: per-view rows that may have lost support.
     candidates: Vec<(String, Vec<Tuple>)>,
     counters: Arc<Counters>,
 }
 
 impl PendingViewDelta {
-    /// Phase two: applies the delta against the post-update database and
-    /// returns the successor cache (sharing the original's counters).
+    /// The net inserted/deleted tuples this staged delta carries (what
+    /// the batch actually changes once in-batch cancellations and no-ops
+    /// are normalized away).
+    pub fn net(&self) -> &NetChanges {
+        &self.net
+    }
+
+    /// Phase two: applies the whole net delta against the single
+    /// post-batch database and returns the successor cache (sharing the
+    /// original's counters).
     pub(crate) fn apply(mut self, registry: &CitationRegistry, db_after: &Database) -> ViewCache {
+        let changed_rels: BTreeSet<String> = self
+            .net
+            .relations()
+            .into_iter()
+            .map(|s| s.to_string())
+            .collect();
         let names: Vec<String> = self
             .views
             .relation_names()
@@ -244,31 +328,18 @@ impl PendingViewDelta {
                 .view
                 .body
                 .iter()
-                .any(|a| a.predicate.as_str() == self.rel);
+                .any(|a| changed_rels.contains(a.predicate.as_str()));
             if !affected {
                 self.counters.untouched.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-            let ok = match self.op {
-                DeltaOp::Insert => apply_insert(
-                    &mut self.views,
-                    db_after,
-                    &cv.view,
-                    &name,
-                    &self.rel,
-                    &self.tuple,
-                ),
-                DeltaOp::Delete => {
-                    let rows = self
-                        .candidates
-                        .iter()
-                        .find(|(n, _)| n == &name)
-                        .map(|(_, rows)| rows.as_slice())
-                        .unwrap_or(&[]);
-                    apply_delete(&mut self.views, db_after, &cv.view, &name, rows)
-                }
-            };
-            if ok {
+            let rows = self
+                .candidates
+                .iter()
+                .find(|(n, _)| n == &name)
+                .map(|(_, rows)| rows.as_slice())
+                .unwrap_or(&[]);
+            if apply_batch(&mut self.views, db_after, &cv.view, &name, &self.net, rows) {
                 self.counters.deltas_applied.fetch_add(1, Ordering::Relaxed);
             } else {
                 views_remove(&mut self.views, &name);
@@ -276,35 +347,23 @@ impl PendingViewDelta {
             }
         }
         ViewCache {
-            db: RwLock::new(self.views),
+            published: ArcSwap::from_pointee(self.views),
+            write_gate: Mutex::new(()),
             counters: self.counters,
         }
     }
 }
 
-/// Inserts the delta rows for one view; false on any evaluation/storage
-/// failure (the caller then drops the view for lazy recomputation).
-fn apply_insert(
+/// Carries one view across the batch: re-checks each at-risk row against
+/// the post-batch database and removes the unsupported ones, then adds
+/// the net-insertion delta rows. False on any evaluation/storage failure
+/// (the caller then drops the view for lazy recomputation).
+fn apply_batch(
     views: &mut Database,
     db_after: &Database,
     view: &citesys_cq::ConjunctiveQuery,
     name: &str,
-    rel: &str,
-    tuple: &Tuple,
-) -> bool {
-    match delta::insert_delta(db_after, view, rel, tuple) {
-        Ok(rows) => rows.into_iter().all(|row| views.insert(name, row).is_ok()),
-        Err(_) => false,
-    }
-}
-
-/// Re-checks each at-risk row and removes the unsupported ones; false on
-/// any evaluation/storage failure.
-fn apply_delete(
-    views: &mut Database,
-    db_after: &Database,
-    view: &citesys_cq::ConjunctiveQuery,
-    name: &str,
+    net: &NetChanges,
     candidates: &[Tuple],
 ) -> bool {
     for row in candidates {
@@ -318,5 +377,8 @@ fn apply_delete(
             Err(_) => return false,
         }
     }
-    true
+    match delta::insert_delta_batch(db_after, view, &net.inserts) {
+        Ok(rows) => rows.into_iter().all(|row| views.insert(name, row).is_ok()),
+        Err(_) => false,
+    }
 }

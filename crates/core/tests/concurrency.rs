@@ -88,6 +88,69 @@ fn cite_racing_update_sees_old_or_new_never_a_mix() {
     });
 }
 
+/// The snapshot-consistency race, transactional edition: the writer
+/// flips a (Family intro, Committee membership) pair in and out with
+/// two-op batches through `IncrementalEngine::apply`, so each publish is
+/// exactly one snapshot swap covering both tuples. Readers on the
+/// lock-free published-snapshot path must still observe only the two
+/// valid states — never a half-applied batch.
+#[test]
+fn cite_racing_batch_updates_sees_whole_transactions() {
+    let mut engine = engine();
+    let q = paper::paper_query();
+    engine.cite(&q).unwrap();
+    let published: Arc<Mutex<CitationService>> = Arc::new(Mutex::new(engine.snapshot_service()));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let published = Arc::clone(&published);
+            let stop = Arc::clone(&stop);
+            let q = q.clone();
+            readers.push(scope.spawn(move || {
+                let mut observed = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let svc = published.lock().unwrap().clone();
+                    let cited = svc.cite(&q).expect("coverable in every snapshot");
+                    assert_eq!(cited.tuples.len(), cited.answer.len());
+                    for t in &cited.tuples {
+                        assert!(!t.atoms.is_empty(), "half-applied batch observed");
+                    }
+                    // With the intro present the answer has 2 tuples, and
+                    // the batch also added Eve to committee 13; without it,
+                    // 1 tuple. Nothing in between is a snapshot state.
+                    assert!(
+                        matches!(cited.answer.len(), 1 | 2),
+                        "impossible answer size {}",
+                        cited.answer.len()
+                    );
+                    observed += 1;
+                }
+                observed
+            }));
+        }
+
+        for i in 0..40 {
+            let mut txn = engine.begin();
+            if i % 2 == 0 {
+                txn.insert("FamilyIntro", citesys_storage::tuple![13, "3rd"]);
+                txn.insert("Committee", citesys_storage::tuple![13, "Eve"]);
+            } else {
+                txn.delete("FamilyIntro", citesys_storage::tuple![13, "3rd"]);
+                txn.delete("Committee", citesys_storage::tuple![13, "Eve"]);
+            }
+            txn.commit().unwrap();
+            *published.lock().unwrap() = engine.snapshot_service();
+            std::thread::yield_now();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().expect("reader panicked") > 0);
+        }
+    });
+}
+
 /// The acceptance assertion for the delta-maintained caches, via
 /// `RewriteStats` and the cache counters: a data update keeps serving
 /// plan-cache hits (`plan_cache_hits` is not zeroed) and does not force

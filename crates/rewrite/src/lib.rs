@@ -47,7 +47,7 @@ pub mod view;
 
 pub use error::RewriteError;
 pub use expand::{expand, view_binding};
-pub use plan::{PlanParseError, RewritePlan};
+pub use plan::{trim_cr, PlanParseError, RewritePlan};
 pub use prune::{classify_view, relevant_views, ViewRelevance};
 pub use stats::RewriteStats;
 pub use view::ViewSet;

@@ -50,6 +50,16 @@ fn err(message: impl Into<String>) -> PlanParseError {
     }
 }
 
+/// Trims one trailing carriage return from a line of a persisted plan
+/// (or plan-cache) file. `str::lines` already splits `\r\n`, but a final
+/// line without a terminating newline (or a file whose `\r` placement an
+/// editor mangled) can still carry one, which would corrupt the field it
+/// ends. Shared with `citesys-core`'s plan-cache parser so both text
+/// formats apply the identical CRLF tolerance.
+pub fn trim_cr(line: &str) -> &str {
+    line.strip_suffix('\r').unwrap_or(line)
+}
+
 impl RewritePlan {
     /// A plan with no rewritings (used as a negative-cache sentinel).
     pub fn empty() -> Self {
@@ -132,8 +142,14 @@ impl RewritePlan {
     }
 
     /// Parses a plan serialized by [`RewritePlan::to_text`].
+    ///
+    /// Tolerant of Windows line endings and trailing blank lines: a
+    /// carriage return left at the end of any line (a plans file saved or
+    /// edited with CRLF endings, including a final line missing its
+    /// newline) is trimmed before parsing, so no `\r` ever leaks into a
+    /// query or stats field.
     pub fn from_text(text: &str) -> Result<RewritePlan, PlanParseError> {
-        let mut lines = text.lines();
+        let mut lines = text.lines().map(trim_cr);
         match lines.next() {
             Some("citesys-rewrite-plan v1") => {}
             other => return Err(err(format!("bad header: {other:?}"))),
@@ -250,6 +266,22 @@ mod tests {
         let back = RewritePlan::from_text(&plan.to_text()).unwrap();
         assert_eq!(plan, back);
         assert!(back.partial);
+    }
+
+    #[test]
+    fn crlf_round_trip() {
+        // A plans file saved on Windows: every line ending becomes \r\n
+        // (including one left dangling at EOF without a final newline)
+        // and editors append trailing blank lines. Parsing must yield the
+        // identical plan — no \r leaking into queries or stats.
+        let plan = sample_plan();
+        let crlf = plan.to_text().replace('\n', "\r\n");
+        assert_eq!(RewritePlan::from_text(&crlf).unwrap(), plan);
+        let trailing = format!("{}\r\n\r\n", crlf.trim_end());
+        assert_eq!(RewritePlan::from_text(&trailing).unwrap(), plan);
+        let no_final_newline = crlf.trim_end_matches('\n').to_string();
+        assert!(no_final_newline.ends_with('\r'));
+        assert_eq!(RewritePlan::from_text(&no_final_newline).unwrap(), plan);
     }
 
     #[test]

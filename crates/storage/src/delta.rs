@@ -18,18 +18,36 @@
 //!   over the pre-deletion database; [`still_derivable`] re-checks each one
 //!   over the post-deletion database, and only unsupported rows are removed.
 //!
+//! **Batch (multi-tuple) updates** generalize both rules: a transaction
+//! mixing inserts and deletes is first *normalized* against the
+//! pre-batch database into its net effect ([`Changeset::net`] — ops that
+//! cancel out, re-insert a present tuple, or delete an absent one
+//! contribute no delta work at all), then
+//!
+//! * [`insert_delta_batch`] binds **each net-inserted tuple once** and
+//!   unions the bound evaluations over the single post-batch database
+//!   (derivations joining two freshly inserted tuples are found because
+//!   both are present in that database), and
+//! * [`delete_candidates_batch`] unions the at-risk rows of each
+//!   net-deleted tuple over the single pre-batch database; the caller
+//!   re-checks every candidate with [`still_derivable`] against the
+//!   single **post-batch** database — not per-tuple intermediates — so a
+//!   row that loses one support but gains another inside the same batch
+//!   is kept.
+//!
 //! The functions are pure with respect to the database they are given; the
 //! caller (the service-layer view cache) decides which snapshot plays the
 //! "before" and "after" role.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
-use citesys_cq::{ConjunctiveQuery, Substitution, Term};
+use citesys_cq::{ConjunctiveQuery, Substitution, Symbol, Term};
 
 use crate::database::Database;
 use crate::error::StorageError;
 use crate::eval::evaluate;
 use crate::tuple::Tuple;
+use crate::versioned::Op;
 
 /// Binds body atom `idx` of `view` to the ground tuple `t`, returning the
 /// specialized query (every variable of the atom replaced by the matching
@@ -59,15 +77,16 @@ pub fn bind_atom(view: &ConjunctiveQuery, idx: usize, t: &Tuple) -> Option<Conju
     Some(view.apply(&subst))
 }
 
-/// Union of the view evaluated with each `rel`-occurrence bound to `t` —
-/// the shared core of [`insert_delta`] and [`delete_candidates`].
-fn bound_rows(
+/// Union of the view evaluated with each `rel`-occurrence bound to `t`,
+/// accumulated into `out` — the shared core of [`insert_delta`],
+/// [`delete_candidates`] and their batch variants.
+fn bound_rows_into(
     db: &Database,
     view: &ConjunctiveQuery,
     rel: &str,
     t: &Tuple,
-) -> Result<Vec<Tuple>, StorageError> {
-    let mut out: BTreeSet<Tuple> = BTreeSet::new();
+    out: &mut BTreeSet<Tuple>,
+) -> Result<(), StorageError> {
     for idx in 0..view.body.len() {
         if view.body[idx].predicate.as_str() != rel {
             continue;
@@ -78,6 +97,18 @@ fn bound_rows(
         let ans = evaluate(db, &bound)?;
         out.extend(ans.rows.into_iter().map(|r| r.tuple));
     }
+    Ok(())
+}
+
+/// [`bound_rows_into`] for a single tuple, returning the sorted rows.
+fn bound_rows(
+    db: &Database,
+    view: &ConjunctiveQuery,
+    rel: &str,
+    t: &Tuple,
+) -> Result<Vec<Tuple>, StorageError> {
+    let mut out: BTreeSet<Tuple> = BTreeSet::new();
+    bound_rows_into(db, view, rel, t, &mut out)?;
     Ok(out.into_iter().collect())
 }
 
@@ -137,6 +168,197 @@ pub fn still_derivable(
     }
     let bound = view.apply(&subst);
     Ok(!evaluate(db, &bound)?.rows.is_empty())
+}
+
+/// Rows added to `view`'s materialization by a batch of insertions.
+/// `db_after` must be the single **post-batch** database; each inserted
+/// tuple is bound once and the bound evaluations are unioned, so a
+/// derivation joining two tuples inserted by the same batch is found
+/// (both are present in `db_after`). Rows already present in the
+/// materialization may be returned; set-semantics insertion makes
+/// re-adding them a no-op.
+pub fn insert_delta_batch(
+    db_after: &Database,
+    view: &ConjunctiveQuery,
+    inserted: &[(Symbol, Tuple)],
+) -> Result<Vec<Tuple>, StorageError> {
+    let mut out: BTreeSet<Tuple> = BTreeSet::new();
+    for (rel, t) in inserted {
+        bound_rows_into(db_after, view, rel.as_str(), t, &mut out)?;
+    }
+    Ok(out.into_iter().collect())
+}
+
+/// Rows of `view`'s materialization that *may* lose support under a
+/// batch of deletions, evaluated over the single **pre-batch** database.
+/// Re-check every candidate with [`still_derivable`] against the single
+/// post-batch database (never per-tuple intermediates): a row whose
+/// support migrates from a deleted tuple to one inserted by the same
+/// batch stays alive.
+pub fn delete_candidates_batch(
+    db_before: &Database,
+    view: &ConjunctiveQuery,
+    deleted: &[(Symbol, Tuple)],
+) -> Result<Vec<Tuple>, StorageError> {
+    let mut out: BTreeSet<Tuple> = BTreeSet::new();
+    for (rel, t) in deleted {
+        bound_rows_into(db_before, view, rel.as_str(), t, &mut out)?;
+    }
+    Ok(out.into_iter().collect())
+}
+
+// ---------------------------------------------------------------------------
+// Changesets: ordered multi-tuple transactions
+// ---------------------------------------------------------------------------
+
+/// An ordered batch of insert/delete operations applied as one
+/// transaction: [`apply`](Changeset::apply) is all-or-nothing (failed
+/// batches are rolled back), and [`net`](Changeset::net) normalizes the
+/// sequence into the net inserted/deleted tuples the delta rules need —
+/// a delete-then-reinsert of the same tuple, an insert of an
+/// already-present tuple, or a delete of an absent one all net to
+/// nothing and cost no delta work.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Changeset {
+    ops: Vec<Op>,
+}
+
+/// The net effect of a [`Changeset`] against a specific pre-batch
+/// database: which tuples end up inserted and which end up deleted once
+/// in-batch cancellations and no-ops are removed.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct NetChanges {
+    /// Tuples present after the batch that were absent before.
+    pub inserts: Vec<(Symbol, Tuple)>,
+    /// Tuples absent after the batch that were present before.
+    pub deletes: Vec<(Symbol, Tuple)>,
+}
+
+impl NetChanges {
+    /// True when the batch leaves the database unchanged.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// The relations actually changed by the batch.
+    pub fn relations(&self) -> BTreeSet<&str> {
+        self.inserts
+            .iter()
+            .chain(self.deletes.iter())
+            .map(|(rel, _)| rel.as_str())
+            .collect()
+    }
+}
+
+impl Changeset {
+    /// An empty changeset.
+    pub fn new() -> Self {
+        Changeset::default()
+    }
+
+    /// A changeset over pre-recorded operations in application order
+    /// (e.g. a versioned store's pending log, replayed as one batch for
+    /// delta maintenance).
+    pub fn from_ops(ops: Vec<Op>) -> Self {
+        Changeset { ops }
+    }
+
+    /// Appends an insertion; ops apply in append order.
+    pub fn insert(&mut self, rel: &str, t: Tuple) -> &mut Self {
+        self.ops.push(Op::Insert(Symbol::new(rel), t));
+        self
+    }
+
+    /// Appends a deletion; ops apply in append order.
+    pub fn delete(&mut self, rel: &str, t: Tuple) -> &mut Self {
+        self.ops.push(Op::Delete(Symbol::new(rel), t));
+        self
+    }
+
+    /// The buffered operations in application order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of buffered operations (not the net change count).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no operations are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Normalizes the op sequence against `db_before` (the database the
+    /// batch will be applied to) into its net effect. Presence is
+    /// simulated per tuple in op order, so sequential semantics hold:
+    /// `delete R(t); insert R(t)` nets to nothing, and only tuples whose
+    /// final presence differs from their initial presence appear in the
+    /// result. Unknown relations are treated as absent (the subsequent
+    /// [`apply`](Changeset::apply) is what validates and fails).
+    pub fn net(&self, db_before: &Database) -> NetChanges {
+        let mut state: BTreeMap<(&Symbol, &Tuple), (bool, bool)> = BTreeMap::new();
+        for op in &self.ops {
+            let (rel, t, inserts) = match op {
+                Op::Insert(rel, t) => (rel, t, true),
+                Op::Delete(rel, t) => (rel, t, false),
+            };
+            let entry = state.entry((rel, t)).or_insert_with(|| {
+                let present = db_before
+                    .relation(rel.as_str())
+                    .map(|r| r.contains(t))
+                    .unwrap_or(false);
+                (present, present)
+            });
+            entry.1 = inserts;
+        }
+        let mut net = NetChanges::default();
+        for ((rel, t), (was, is)) in state {
+            match (was, is) {
+                (false, true) => net.inserts.push((rel.clone(), t.clone())),
+                (true, false) => net.deletes.push((rel.clone(), t.clone())),
+                _ => {}
+            }
+        }
+        net
+    }
+
+    /// Applies the batch to `db` **atomically**: ops run in order, and on
+    /// the first failure (unknown relation, key violation, …) every
+    /// already-applied op is undone in reverse order before the error is
+    /// returned, leaving `db` exactly as it was. Returns the effective
+    /// ops — those that actually changed the database — for the caller's
+    /// log (set-semantics no-ops are skipped, mirroring
+    /// [`VersionedDatabase`](crate::versioned::VersionedDatabase)).
+    pub fn apply(&self, db: &mut Database) -> Result<Vec<Op>, StorageError> {
+        let mut applied: Vec<Op> = Vec::new();
+        for op in &self.ops {
+            let changed = match op {
+                Op::Insert(rel, t) => db.insert(rel.as_str(), t.clone()),
+                Op::Delete(rel, t) => db.delete(rel.as_str(), t),
+            };
+            match changed {
+                Ok(true) => applied.push(op.clone()),
+                Ok(false) => {}
+                Err(e) => {
+                    for undo in applied.iter().rev() {
+                        match undo {
+                            Op::Insert(rel, t) => {
+                                db.delete(rel.as_str(), t).expect("undo of applied insert");
+                            }
+                            Op::Delete(rel, t) => {
+                                db.insert(rel.as_str(), t.clone())
+                                    .expect("undo of applied delete");
+                            }
+                        }
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(applied)
+    }
 }
 
 #[cfg(test)]
@@ -265,5 +487,136 @@ mod tests {
         assert!(insert_delta(&db, &v, "F", &tuple![9, 9])
             .unwrap()
             .is_empty());
+    }
+
+    /// Applies the batch delta rules for `changes` to `mat` the way the
+    /// view cache does: candidates over the pre-batch db, recheck and
+    /// insert delta over the single post-batch db.
+    fn batch_maintain(
+        db: &mut Database,
+        v: &ConjunctiveQuery,
+        mat: &mut BTreeSet<Tuple>,
+        changes: &Changeset,
+    ) {
+        let net = changes.net(db);
+        let candidates = delete_candidates_batch(db, v, &net.deletes).unwrap();
+        changes.apply(db).unwrap();
+        for c in candidates {
+            if !still_derivable(db, v, &c).unwrap() {
+                mat.remove(&c);
+            }
+        }
+        for row in insert_delta_batch(db, v, &net.inserts).unwrap() {
+            mat.insert(row);
+        }
+    }
+
+    #[test]
+    fn batch_mixed_inserts_and_deletes_match_recompute() {
+        let v = parse_query("V(X, Z) :- E(X, Y), E(Y, Z)").unwrap();
+        let mut db = edge_db(&[(1, 2), (2, 3), (3, 4)]);
+        let mut mat = materialize(&db, &v);
+        // One transaction: drop the 2→3 hop, add two new edges that form a
+        // join among themselves (5→6→1) and re-route 2→4.
+        let mut changes = Changeset::new();
+        changes
+            .delete("E", tuple![2, 3])
+            .insert("E", tuple![5, 6])
+            .insert("E", tuple![6, 1])
+            .insert("E", tuple![2, 4]);
+        batch_maintain(&mut db, &v, &mut mat, &changes);
+        assert_eq!(mat, materialize(&db, &v));
+        // (5,1) joins two tuples inserted by the same batch.
+        assert!(mat.contains(&tuple![5, 1]));
+        // (1,3) lost its only support; (1,4) gained one.
+        assert!(!mat.contains(&tuple![1, 3]));
+        assert!(mat.contains(&tuple![1, 4]));
+    }
+
+    #[test]
+    fn batch_support_migration_within_one_batch() {
+        // (1,3) is supported by E(2,3); the batch deletes that support and
+        // inserts E(5,3) + E(1,5), re-deriving (1,3) via the new path. The
+        // recheck against the single post-batch database keeps the row.
+        let v = parse_query("V(X, Z) :- E(X, Y), E(Y, Z)").unwrap();
+        let mut db = edge_db(&[(1, 2), (2, 3)]);
+        let mut mat = materialize(&db, &v);
+        assert!(mat.contains(&tuple![1, 3]));
+        let mut changes = Changeset::new();
+        changes
+            .delete("E", tuple![2, 3])
+            .insert("E", tuple![1, 5])
+            .insert("E", tuple![5, 3]);
+        batch_maintain(&mut db, &v, &mut mat, &changes);
+        assert_eq!(mat, materialize(&db, &v));
+        assert!(mat.contains(&tuple![1, 3]), "support migrated, row kept");
+    }
+
+    #[test]
+    fn net_cancels_delete_then_reinsert() {
+        let db = edge_db(&[(1, 2)]);
+        let mut changes = Changeset::new();
+        changes.delete("E", tuple![1, 2]).insert("E", tuple![1, 2]);
+        let net = changes.net(&db);
+        assert!(net.is_empty(), "delete-then-reinsert nets to nothing");
+        // And the batch-maintained materialization matches recompute.
+        let v = parse_query("V(X) :- E(X, Y)").unwrap();
+        let mut db = db;
+        let mut mat = materialize(&db, &v);
+        batch_maintain(&mut db, &v, &mut mat, &changes);
+        assert_eq!(mat, materialize(&db, &v));
+    }
+
+    #[test]
+    fn net_skips_noop_ops() {
+        let db = edge_db(&[(1, 2)]);
+        let mut changes = Changeset::new();
+        changes
+            .insert("E", tuple![1, 2]) // already present: no-op
+            .delete("E", tuple![9, 9]) // never existed: no-op
+            .insert("E", tuple![3, 4]) // effective
+            .insert("F", tuple![7]); // unknown relation: treated absent
+        let net = changes.net(&db);
+        assert_eq!(net.deletes, vec![]);
+        assert_eq!(
+            net.inserts,
+            vec![
+                (Symbol::new("E"), tuple![3, 4]),
+                (Symbol::new("F"), tuple![7]),
+            ]
+        );
+        assert_eq!(net.relations(), ["E", "F"].into_iter().collect());
+        // insert-then-delete inside the batch also cancels.
+        let mut cancel = Changeset::new();
+        cancel.insert("E", tuple![5, 5]).delete("E", tuple![5, 5]);
+        assert!(cancel.net(&db).is_empty());
+    }
+
+    #[test]
+    fn apply_rolls_back_on_failure() {
+        let mut db = edge_db(&[(1, 2)]);
+        let mut changes = Changeset::new();
+        changes
+            .insert("E", tuple![3, 4])
+            .delete("E", tuple![1, 2])
+            .insert("Nope", tuple![0]); // fails: unknown relation
+        let before: BTreeSet<Tuple> = db.relation("E").unwrap().scan().cloned().collect();
+        assert!(changes.apply(&mut db).is_err());
+        let after: BTreeSet<Tuple> = db.relation("E").unwrap().scan().cloned().collect();
+        assert_eq!(before, after, "failed batch fully rolled back");
+    }
+
+    #[test]
+    fn apply_reports_effective_ops_only() {
+        let mut db = edge_db(&[(1, 2)]);
+        let mut changes = Changeset::new();
+        changes
+            .insert("E", tuple![1, 2]) // duplicate: not effective
+            .insert("E", tuple![3, 4])
+            .delete("E", tuple![9, 9]); // miss: not effective
+        let applied = changes.apply(&mut db).unwrap();
+        assert_eq!(applied, vec![Op::Insert(Symbol::new("E"), tuple![3, 4])]);
+        assert_eq!(changes.len(), 3);
+        assert!(!changes.is_empty());
     }
 }

@@ -49,6 +49,7 @@ pub mod versioned;
 
 pub use csv::{from_csv, load_csv, to_csv};
 pub use database::{Database, SharedDatabase};
+pub use delta::{Changeset, NetChanges};
 pub use error::StorageError;
 pub use eval::{evaluate, explain, AnswerRow, Binding, PlanStep, QueryAnswer};
 pub use fixity::{digest_answer, digest_database, sha256, Digest, Sha256};

@@ -98,6 +98,30 @@ impl VersionedDatabase {
         Ok(changed)
     }
 
+    /// Applies a whole [`Changeset`](crate::delta::Changeset) to the
+    /// working state **atomically**: either every op lands (effective ops
+    /// are logged for the next commit; no-ops are skipped, as with
+    /// [`insert`](Self::insert)/[`delete`](Self::delete)) or, on the
+    /// first failure, the working state is rolled back to exactly what it
+    /// was and nothing is logged. Returns how many ops changed the data.
+    pub fn apply_changeset(
+        &mut self,
+        changes: &crate::delta::Changeset,
+    ) -> Result<usize, StorageError> {
+        let applied = changes.apply(&mut self.current)?;
+        let n = applied.len();
+        self.pending.extend(applied);
+        Ok(n)
+    }
+
+    /// The operations recorded since the last [`commit`](Self::commit),
+    /// in application order — what the next commit will seal into a
+    /// version (and what a delta-maintained service downstream should
+    /// carry into its materializations).
+    pub fn pending_ops(&self) -> &[Op] {
+        &self.pending
+    }
+
     /// Commits pending operations as a new version; returns its number.
     /// Committing with no pending ops still creates a (data-identical)
     /// version, mirroring how curated releases are cut on a schedule.
@@ -287,6 +311,30 @@ mod tests {
         assert_ne!(d1, d2);
         // Digest is reproducible.
         assert_eq!(d1, v.digest_at(1).unwrap());
+    }
+
+    #[test]
+    fn changeset_commit_is_atomic() {
+        let mut v = VersionedDatabase::new(schemas()).unwrap();
+        v.insert("Family", tuple![11, "Calcitonin"]).unwrap();
+        v.commit();
+        // A failing batch leaves no trace: no data change, no pending ops.
+        let mut bad = crate::delta::Changeset::new();
+        bad.insert("Family", tuple![12, "Dopamine"])
+            .insert("Nope", tuple![0]);
+        assert!(v.apply_changeset(&bad).is_err());
+        assert!(!v.has_pending());
+        assert_eq!(v.current().total_tuples(), 1);
+        // A good batch logs only its effective ops and seals as one version.
+        let mut good = crate::delta::Changeset::new();
+        good.insert("Family", tuple![11, "Calcitonin"]) // duplicate: no-op
+            .insert("Family", tuple![12, "Dopamine"])
+            .delete("Family", tuple![11, "Calcitonin"]);
+        assert_eq!(v.apply_changeset(&good).unwrap(), 2);
+        assert_eq!(v.pending_ops().len(), 2);
+        let ver = v.commit();
+        assert_eq!(v.ops_in(ver), Some(2));
+        assert_eq!(v.snapshot(ver).unwrap().total_tuples(), 1);
     }
 
     #[test]

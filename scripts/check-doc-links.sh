@@ -36,6 +36,20 @@ grep -q '](ARCHITECTURE.md)' README.md || { echo "README.md must link ARCHITECTU
 grep -q '](MIGRATION.md)' README.md || { echo "README.md must link MIGRATION.md"; fail=1; }
 grep -q '](README.md)' ARCHITECTURE.md || { echo "ARCHITECTURE.md must link README.md"; fail=1; }
 
+# Content contract for the batch-update / lock-free-read surface: the
+# invalidation table must cover changesets, and both guides must
+# document the lock-free published-snapshot read path.
+grep -q 'stage_batch' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must document the batch/changeset API (stage_batch)"; fail=1; }
+grep -q 'Changeset' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md invalidation table must cover Changeset batches"; fail=1; }
+grep -qi 'lock-free' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must document the lock-free view-cache read path"; fail=1; }
+grep -q 'Changeset' MIGRATION.md \
+    || { echo "MIGRATION.md concurrent-usage must cover the Changeset batch API"; fail=1; }
+grep -q 'arc-swap' MIGRATION.md \
+    || { echo "MIGRATION.md concurrent-usage must cover the arc-swap read path"; fail=1; }
+
 if [ "$fail" -eq 0 ]; then
     echo "doc links ok (${docs[*]})"
 fi

@@ -43,6 +43,8 @@ fn usage() -> String {
      schema Name(attr:type, …) [key(i, …)]\n  \
      insert Name(v, …) / delete Name(v, …)\n  \
      view <rule> | cite <rule> [| static k=v]…\n  \
+     begin          open a transaction: insert/delete lines buffer until\n                 \
+     commit applies them atomically as one changeset (rollback discards)\n  \
      commit\n  \
      cite <query> [| format text|bibtex|ris|xml|json|csl] [| mode formal|pruned] [| policy minsize|union|first] [| partial]\n  \
      verify / tables / dump Name / load Name from '<path>' / trace\n\n\
@@ -104,7 +106,9 @@ fn serve(plan_cache: Option<&str>) -> i32 {
     if let Some(path) = plan_cache {
         // A session that never cited leaves the staged import unconsumed
         // (and its own cache empty): keep the file as it was instead of
-        // truncating the persisted plans.
+        // rewriting it. (`export_plans` would return the staged text
+        // verbatim in this state anyway — skipping the write just avoids
+        // touching the file at all.)
         if interp.has_pending_plan_import() {
             if interactive {
                 eprintln!("no cite ran; leaving plan cache {path} untouched");

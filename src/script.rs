@@ -9,12 +9,23 @@
 //! view λ FID. V1(FID, N, D) :- Family(FID, N, D) | cite λ FID. CV1(FID, P) :- Committee(FID, P) | static database=GtoPdb
 //! commit
 //! cite Q(N) :- Family(F, N, D) | format bibtex | mode formal | policy union
+//! begin                          # buffer a transaction…
+//! insert Family(14, 'Ghrelin', 'G1')
+//! delete Family(11, 'Calcitonin', 'C1')
+//! commit                         # …applied atomically as one changeset
 //! tables
 //! dump Family
 //! ```
 //!
 //! Every `cite` runs against the latest committed version and embeds a
 //! fixity token; `verify <token-digest>` re-checks the last citation.
+//!
+//! `begin` opens a transaction: subsequent `insert`/`delete` lines are
+//! buffered and `commit` applies them **atomically** as one
+//! [`Changeset`] (all-or-nothing; `rollback` discards the buffer). With
+//! or without `begin`, each `commit` carries the committed ops into the
+//! cached service's materialized views by batch delta maintenance — one
+//! snapshot swap per commit, however many tuples changed.
 //!
 //! The interpreter keeps one [`CitationService`] snapshot per committed
 //! version and shares its rewrite-plan caches across `cite` commands, so a
@@ -32,7 +43,7 @@ use citesys_core::{
     FixityToken, PlanCache, PolicySet, RewritePolicy,
 };
 use citesys_cq::{parse_query, Value, ValueType};
-use citesys_storage::{to_csv, RelationSchema, Tuple, VersionedDatabase};
+use citesys_storage::{to_csv, Changeset, RelationSchema, Tuple, VersionedDatabase};
 
 /// What went wrong, at the granularity the CLI's exit codes report.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -88,8 +99,12 @@ pub struct Interpreter {
     /// registry — loading earlier would be dropped by the cache swap each
     /// registration performs).
     pending_plan_import: Option<String>,
-    /// Service over the latest committed snapshot, rebuilt on demand.
+    /// Service over the latest committed snapshot, rebuilt on demand and
+    /// carried across commits by batch delta maintenance.
     service: Option<(u64, bool, CitationService)>,
+    /// An open `begin … commit` transaction: buffered insert/delete ops,
+    /// applied atomically as one changeset at `commit`.
+    txn: Option<Changeset>,
     last_token: Option<FixityToken>,
     trace_next: bool,
     out: String,
@@ -112,6 +127,7 @@ impl Interpreter {
             plans_partial: Arc::new(PlanCache::new(citesys_core::DEFAULT_PLAN_CACHE_CAPACITY)),
             pending_plan_import: None,
             service: None,
+            txn: None,
             last_token: None,
             trace_next: false,
             out: String::new(),
@@ -157,6 +173,8 @@ impl Interpreter {
             "insert" => self.cmd_insert(rest),
             "delete" => self.cmd_delete(rest),
             "view" => self.cmd_view(rest),
+            "begin" => self.cmd_begin(),
+            "rollback" => self.cmd_rollback(),
             "commit" => self.cmd_commit(),
             "cite" => self.cmd_cite(rest),
             "verify" => self.cmd_verify(),
@@ -242,6 +260,11 @@ impl Interpreter {
     // insert Family(11, 'Calcitonin', 'C1')
     fn cmd_insert(&mut self, rest: &str) -> Result<(), CmdError> {
         let (name, tuple) = parse_ground_atom(rest).map_err(parse_err)?;
+        if let Some(txn) = &mut self.txn {
+            // Buffered: validated and applied atomically at `commit`.
+            txn.insert(&name, tuple);
+            return Ok(());
+        }
         let changed = self
             .store_mut()?
             .insert(&name, tuple)
@@ -254,6 +277,10 @@ impl Interpreter {
 
     fn cmd_delete(&mut self, rest: &str) -> Result<(), CmdError> {
         let (name, tuple) = parse_ground_atom(rest).map_err(parse_err)?;
+        if let Some(txn) = &mut self.txn {
+            txn.delete(&name, tuple);
+            return Ok(());
+        }
         let changed = self
             .store_mut()?
             .delete(&name, &tuple)
@@ -262,6 +289,30 @@ impl Interpreter {
             self.say("(no such tuple)");
         }
         Ok(())
+    }
+
+    /// Opens a transaction: subsequent insert/delete lines buffer into
+    /// one changeset until `commit` (atomic) or `rollback` (discard).
+    fn cmd_begin(&mut self) -> Result<(), CmdError> {
+        if self.txn.is_some() {
+            return Err(cite_err(
+                "transaction already open: run 'commit' or 'rollback' first",
+            ));
+        }
+        self.txn = Some(Changeset::new());
+        self.say("transaction open");
+        Ok(())
+    }
+
+    /// Discards an open transaction's buffered ops.
+    fn cmd_rollback(&mut self) -> Result<(), CmdError> {
+        match self.txn.take() {
+            Some(changes) => {
+                self.say(format!("rolled back {} buffered op(s)", changes.len()));
+                Ok(())
+            }
+            None => Err(cite_err("no open transaction")),
+        }
     }
 
     // view <rule> | cite <rule> [| cite <rule>] [| static k=v]...
@@ -308,9 +359,55 @@ impl Interpreter {
     }
 
     fn cmd_commit(&mut self) -> Result<(), CmdError> {
-        let v = self.store_mut()?.commit();
-        self.say(format!("committed version {v}"));
+        let txn = self.txn.take();
+        let txn_ops = txn.as_ref().map(Changeset::len);
+        let (v, changes) = {
+            let store = self.store_mut()?;
+            // Transactional: apply the buffered ops atomically first — a
+            // failing op rolls the whole batch back and nothing is
+            // committed (the buffer is discarded either way).
+            if let Some(changes) = txn {
+                store
+                    .apply_changeset(&changes)
+                    .map_err(|e| cite_err(format!("transaction rolled back: {e}")))?;
+            }
+            // Delta-maintain with EVERYTHING this commit seals: the
+            // pending log covers both non-transactional ops applied
+            // before any `begin` and the effective transaction ops just
+            // applied — using only the transaction buffer would leave
+            // pre-`begin` ops out of the materializations.
+            let changes = Changeset::from_ops(store.pending_ops().to_vec());
+            (store.commit(), changes)
+        };
+        self.refresh_service_after_commit(v, &changes);
+        match txn_ops {
+            Some(n) => self.say(format!(
+                "committed version {v} ({n} op(s) in one transaction)"
+            )),
+            None => self.say(format!("committed version {v}")),
+        }
         Ok(())
+    }
+
+    /// Carries a cached service across a commit by **batch delta
+    /// maintenance**: the committed ops are staged as one changeset
+    /// against the old snapshot and applied to the new one in a single
+    /// snapshot swap, keeping both the plan cache and the materialized
+    /// views warm instead of rebuilding the service cold.
+    fn refresh_service_after_commit(&mut self, v_new: u64, changes: &Changeset) {
+        let Some((v_old, partial, svc)) = self.service.take() else {
+            return;
+        };
+        if v_old + 1 != v_new {
+            return;
+        }
+        let store = self.store.as_ref().expect("commit initialized the store");
+        let Ok(snapshot) = store.snapshot(v_new) else {
+            return;
+        };
+        let pending = svc.stage_batch(changes);
+        let next = svc.with_database_delta(snapshot, pending);
+        self.service = Some((v_new, partial, next));
     }
 
     // cite <rule> [| format f] [| mode m] [| policy p] [| partial]
@@ -364,6 +461,11 @@ impl Interpreter {
                 .load_text(&text)
                 .map_err(|e| cite_err(format!("plan-cache file: {e}")))?;
             self.say(format!("loaded {n} cached plan(s)"));
+        }
+        if self.txn.is_some() {
+            return Err(cite_err(
+                "transaction open: run 'commit' (or 'rollback') before 'cite'",
+            ));
         }
         let store = self.store_mut()?;
         if store.has_pending() {
@@ -508,7 +610,16 @@ impl Interpreter {
     /// text form (the `serve --plan-cache` / `plans export` persistence
     /// format). The partial-fallback cache is session-local and not
     /// persisted.
+    ///
+    /// A staged import that no `cite` has consumed yet is returned
+    /// verbatim instead: the live cache is necessarily empty in that
+    /// state, and a `serve --plan-cache` session that exits without
+    /// citing must save the plans it was handed, not truncate the file
+    /// with an empty cache.
     pub fn export_plans(&self) -> String {
+        if let Some(staged) = &self.pending_plan_import {
+            return staged.clone();
+        }
         self.plans_strict.to_text()
     }
 
@@ -539,6 +650,17 @@ impl Interpreter {
     /// file with its (empty) in-memory cache.
     pub fn has_pending_plan_import(&self) -> bool {
         self.pending_plan_import.is_some()
+    }
+
+    /// Materialized-view cache counters of the session's cached service,
+    /// if one has been built (i.e. after the first `cite`). After a
+    /// `commit`, these show whether the commit was carried by batch delta
+    /// maintenance (views `untouched`/`deltas_applied`) instead of
+    /// re-materialization.
+    pub fn view_cache_stats(&self) -> Option<citesys_core::ViewCacheStats> {
+        self.service
+            .as_ref()
+            .map(|(_, _, svc)| svc.view_cache_stats())
     }
 
     /// The interpreter's registry (for inspection in tests).
@@ -870,6 +992,128 @@ cite Q(B) :- S(B)
     }
 
     #[test]
+    fn transaction_commits_atomically() {
+        let mut interp = Interpreter::new();
+        interp.run(PAPER_SCRIPT).unwrap();
+        let out = interp
+            .run(
+                "begin\n\
+                 insert Family(14, 'Ghrelin', 'G1')\n\
+                 insert FamilyIntro(14, '4th')\n\
+                 delete Family(13, 'Dopamine', 'D1')\n\
+                 commit\n\
+                 tables\n",
+            )
+            .unwrap();
+        assert!(out.contains("transaction open"), "{out}");
+        assert!(
+            out.contains("committed version 2 (3 op(s) in one transaction)"),
+            "{out}"
+        );
+        assert!(out.contains("Family: 3 tuples"), "{out}");
+        assert!(out.contains("FamilyIntro: 3 tuples"), "{out}");
+    }
+
+    #[test]
+    fn failed_transaction_rolls_back_everything() {
+        let mut interp = Interpreter::new();
+        interp.run(PAPER_SCRIPT).unwrap();
+        // The second op violates Family's key(0): the first op must be
+        // rolled back too, and no version committed.
+        let e = interp
+            .run(
+                "begin\n\
+                 insert FamilyIntro(13, '3rd')\n\
+                 insert Family(11, 'Clash', 'X')\n\
+                 commit\n",
+            )
+            .unwrap_err();
+        assert!(e.message.contains("transaction rolled back"), "{e}");
+        let out = interp.run("tables\ncommit\n").unwrap();
+        assert!(out.contains("FamilyIntro: 2 tuples"), "rolled back: {out}");
+        assert!(out.contains("committed version 2"), "v2 still free: {out}");
+    }
+
+    #[test]
+    fn commit_carries_pre_begin_ops_into_the_maintained_views() {
+        // Regression: a commit sealing both non-transactional ops (applied
+        // before `begin`) and a transaction buffer must delta-maintain the
+        // cached service with ALL of them — staging only the buffer would
+        // leave the pre-`begin` tuple out of the materialized views and
+        // silently serve wrong answers.
+        let mut interp = Interpreter::new();
+        interp.run(PAPER_SCRIPT).unwrap(); // cite → service cached at v1
+        let warm = interp.view_cache_stats().unwrap();
+        let out = interp
+            .run(
+                "insert FamilyIntro(13, '3rd')\n\
+                 begin\n\
+                 insert Family(14, 'Ghrelin', 'G1')\n\
+                 insert FamilyIntro(14, '4th')\n\
+                 commit\n\
+                 cite Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)\n",
+            )
+            .unwrap();
+        // All three intros visible: the pre-begin Dopamine intro AND the
+        // transactional Ghrelin family+intro.
+        assert!(out.contains("3 answer tuple(s) at version 2"), "{out}");
+        let s = interp.view_cache_stats().unwrap();
+        assert_eq!(
+            s.materializations, warm.materializations,
+            "carried by delta, not re-materialized: {s:?}"
+        );
+        assert_eq!(s.drops, 0, "{s:?}");
+    }
+
+    #[test]
+    fn cite_rejected_inside_open_transaction() {
+        let mut interp = Interpreter::new();
+        interp.run(PAPER_SCRIPT).unwrap();
+        interp.run_line("begin").unwrap();
+        interp.run_line("insert FamilyIntro(13, '3rd')").unwrap();
+        let e = interp
+            .run_line("cite Q(FName) :- Family(FID, FName, Desc)")
+            .unwrap_err();
+        assert!(e.message.contains("transaction open"), "{e}");
+        // Nested begin is rejected; rollback discards the buffer.
+        assert!(interp.run_line("begin").is_err());
+        let out = interp.run_line("rollback").unwrap();
+        assert!(out.contains("rolled back 1 buffered op(s)"), "{out}");
+        assert!(interp.run_line("rollback").is_err(), "nothing open");
+        // The buffered insert never landed.
+        let out = interp.run_line("tables").unwrap();
+        assert!(out.contains("FamilyIntro: 2 tuples"), "{out}");
+    }
+
+    #[test]
+    fn commit_delta_maintains_the_cached_service() {
+        let mut interp = Interpreter::new();
+        interp.run(PAPER_SCRIPT).unwrap();
+        let warm = interp.view_cache_stats().expect("service built by cite");
+        assert!(warm.materializations > 0);
+        assert_eq!(warm.drops, 0);
+        // A transactional commit: the service is carried by one batch
+        // delta (no view re-materialized, no whole-cache drop), and the
+        // next cite reuses the cached plan.
+        interp
+            .run("begin\ninsert FamilyIntro(13, '3rd')\ncommit\n")
+            .unwrap();
+        let out = interp
+            .run_line("cite Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+            .unwrap();
+        assert!(out.contains("2 answer tuple(s) at version 2"), "{out}");
+        let s = interp.view_cache_stats().unwrap();
+        assert_eq!(
+            s.materializations, warm.materializations,
+            "no re-materialization across the commit: {s:?}"
+        );
+        assert!(s.deltas_applied > 0, "{s:?}");
+        assert_eq!(s.drops, 0, "{s:?}");
+        let stats = interp.plan_cache_stats();
+        assert!(stats.hits >= 1, "plan survived the commit: {stats:?}");
+    }
+
+    #[test]
     fn repeated_cites_reuse_the_plan_cache() {
         let mut interp = Interpreter::new();
         interp.run(PAPER_SCRIPT).unwrap();
@@ -924,6 +1168,30 @@ cite Q(B) :- S(B)
         assert!(out.contains("loaded 1 cached plan(s)"), "{out}");
         let stats = interp.plan_cache_stats();
         assert_eq!((stats.hits, stats.misses), (1, 0), "{stats:?}");
+    }
+
+    #[test]
+    fn export_preserves_staged_plans_when_no_cite_ran() {
+        let mut warm = Interpreter::new();
+        warm.run(PAPER_SCRIPT).unwrap();
+        let exported = warm.export_plans();
+
+        // A serve session that loads a plan file, does some non-cite work
+        // and exits: save-on-exit must write the staged plans back, not
+        // an empty live cache.
+        let mut idle = Interpreter::new();
+        idle.stage_plan_import(exported.clone());
+        idle.run_line("schema R(A:int)").unwrap();
+        idle.run_line("insert R(1)").unwrap();
+        assert!(idle.has_pending_plan_import());
+        assert_eq!(idle.export_plans(), exported, "staged plans preserved");
+
+        // Once a cite consumes the import, export reflects the live cache.
+        let mut cited = Interpreter::new();
+        cited.stage_plan_import(exported.clone());
+        cited.run(PAPER_SCRIPT).unwrap();
+        assert!(!cited.has_pending_plan_import());
+        assert!(cited.export_plans().starts_with("citesys-plan-cache v1"));
     }
 
     #[test]
