@@ -1,0 +1,49 @@
+//! E16 bench: the TCP front end — N-client cite round-trip throughput
+//! and group-commit vs per-transaction-commit transaction latency.
+//!
+//! Each measured closure talks to a warm server spawned outside the
+//! timing loop over loopback TCP, so the numbers include real protocol
+//! framing and socket round-trips. The swap-count comparison (the
+//! group-commit headline) is in the `repro` table (`repro e16`), which
+//! reads the server's counters.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use citesys_bench::e16::{commit_storm, concurrent_net_cites, spawn_loaded};
+
+fn bench(c: &mut Criterion) {
+    let families = 16;
+    let rounds = 10;
+
+    let mut group = c.benchmark_group("e16_net_cites");
+    group.sample_size(10);
+    let (server, addr) = spawn_loaded(Duration::from_millis(2), families);
+    for clients in [1, 2, 4] {
+        group.throughput(Throughput::Elements((clients * rounds) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("cite_rtt", clients),
+            &clients,
+            |b, &clients| b.iter(|| concurrent_net_cites(&addr, clients, rounds, families)),
+        );
+    }
+    server.stop();
+    group.finish();
+
+    let mut group = c.benchmark_group("e16_group_commit");
+    group.sample_size(10);
+    for (label, window) in [
+        ("grouped_5ms", Duration::from_millis(5)),
+        ("windowless", Duration::ZERO),
+    ] {
+        let (server, addr) = spawn_loaded(window, families);
+        group.throughput(Throughput::Elements(8));
+        group.bench_function(label, |b| b.iter(|| commit_storm(&server, &addr, 4, 2)));
+        server.stop();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! `repro` — regenerates every experiment table (E1–E15).
+//! `repro` — regenerates every experiment table (E1–E16).
 //!
 //! Usage:
 //! ```text
@@ -35,6 +35,7 @@ fn main() {
             "e13" => Some(citesys_bench::e13::table(quick)),
             "e14" => Some(citesys_bench::e14::table(quick)),
             "e15" => Some(citesys_bench::e15::table(quick)),
+            "e16" => Some(citesys_bench::e16::table(quick)),
             other => {
                 eprintln!("unknown experiment id: {other}");
                 None

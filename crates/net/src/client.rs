@@ -1,0 +1,113 @@
+//! Client side of the wire protocol: a [`Connection`] for programmatic
+//! use (tests, benches, tools) and [`run_script`] for the
+//! `citesys client` CLI mode.
+
+use std::io::{self, BufReader, Write};
+use std::net::TcpStream;
+
+use crate::protocol::{self, Response, WireErrorKind};
+
+/// One protocol connection: sends command lines, reads framed
+/// responses.
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    banner: String,
+}
+
+impl Connection {
+    /// Connects and validates the server banner.
+    pub fn connect(addr: &str) -> io::Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut banner = String::new();
+        io::BufRead::read_line(&mut reader, &mut banner)?;
+        let banner = banner.trim_end_matches(['\n', '\r']).to_string();
+        if !banner.starts_with("citesys-net") {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("not a citesys-net server (banner: '{banner}')"),
+            ));
+        }
+        Ok(Connection {
+            stream,
+            reader,
+            banner,
+        })
+    }
+
+    /// The banner line the server greeted with.
+    pub fn banner(&self) -> &str {
+        &self.banner
+    }
+
+    /// Sends one command line and reads its framed response.
+    pub fn send(&mut self, line: &str) -> io::Result<Response> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()?;
+        protocol::read_response(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })
+    }
+
+    /// Raw write access (protocol tests use this to split lines across
+    /// TCP segments).
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    /// Reads one framed response without sending anything (pair with
+    /// [`stream`](Self::stream) writes).
+    pub fn read_response(&mut self) -> io::Result<Option<Response>> {
+        protocol::read_response(&mut self.reader)
+    }
+}
+
+/// Exit code when the failure is I/O or protocol level.
+pub const EXIT_IO: i32 = 1;
+/// Exit code for a script parse error reported by the server.
+pub const EXIT_PARSE: i32 = 3;
+/// Exit code for a citation/runtime error reported by the server.
+pub const EXIT_CITE: i32 = 4;
+
+/// Streams `script` to the server at `addr` line by line, writing each
+/// response's payload to `out` and the first error to `err`. Stops at
+/// the first error (script semantics) and returns the process exit
+/// code: 0 on success, 3/4 for server-reported parse/citation errors, 1
+/// for I/O and protocol failures.
+pub fn run_script(addr: &str, script: &str, out: &mut impl Write, err: &mut impl Write) -> i32 {
+    let mut conn = match Connection::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            let _ = writeln!(err, "error connecting to {addr}: {e}");
+            return EXIT_IO;
+        }
+    };
+    for (i, line) in script.lines().enumerate() {
+        match conn.send(line) {
+            Ok(Response::Ok(lines)) => {
+                for l in lines {
+                    let _ = writeln!(out, "{l}");
+                }
+            }
+            Ok(Response::Err { kind, message }) => {
+                let _ = writeln!(err, "error: line {}: {message}", i + 1);
+                return match kind {
+                    WireErrorKind::Parse => EXIT_PARSE,
+                    WireErrorKind::Citation => EXIT_CITE,
+                    WireErrorKind::Proto => EXIT_IO,
+                };
+            }
+            Err(e) => {
+                let _ = writeln!(err, "error: line {}: {e}", i + 1);
+                return EXIT_IO;
+            }
+        }
+    }
+    // Best-effort clean close; the server also handles plain EOF.
+    let _ = conn.send("quit");
+    0
+}

@@ -1,0 +1,201 @@
+//! Periodic plan-cache persistence.
+//!
+//! The pre-network `serve` loop saved the rewrite-plan cache only at
+//! clean end-of-input, so a SIGINT, a crashed terminal or a killed
+//! connection lost the whole warm cache. [`PlanSaver`] fixes that: front
+//! ends call [`maybe_save`](PlanSaver::maybe_save) after every executed
+//! command, and the saver rewrites the file **only when the persistable
+//! plan state actually moved** (tracked by
+//! [`SharedStore::plan_fingerprint`]), so the steady-state cost is one
+//! fingerprint comparison, not a disk write per command.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex as StdMutex;
+
+use parking_lot::Mutex;
+
+use crate::script::{PlanFingerprint, SharedStore};
+
+/// Debounced, crash-resilient plan-cache writer shared by the stdin
+/// REPL and every TCP connection of one server.
+#[derive(Debug)]
+pub struct PlanSaver {
+    path: PathBuf,
+    /// Fingerprint at the last write (std `Mutex`: held only for the
+    /// compare-and-write, and independent of the store lock).
+    last: StdMutex<Option<PlanFingerprint>>,
+}
+
+impl PlanSaver {
+    /// A saver persisting to `path`.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        PlanSaver {
+            path: path.into(),
+            last: StdMutex::new(None),
+        }
+    }
+
+    /// The file this saver writes.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Saves the plan cache if it changed since the last save. Returns
+    /// whether a write happened.
+    ///
+    /// Two guards against clobbering good state: a staged-but-unconsumed
+    /// import is never written (the on-disk file *is* that text already),
+    /// and a completely pristine store (no plans, no searches, no view
+    /// registration, no staged import — a session that never did
+    /// anything plan-relevant) leaves the file untouched. A view
+    /// registration *does* count as a change even with the caches still
+    /// empty: it invalidated whatever the file holds, and writing the
+    /// (empty) post-registration cache truncates those now-unsound
+    /// plans.
+    pub fn maybe_save(&self, shared: &Mutex<SharedStore>) -> io::Result<bool> {
+        let text = {
+            let sh = shared.lock();
+            let fp = sh.plan_fingerprint();
+            if fp == (0, 0, 0, 0, false) || fp.4 {
+                return Ok(false);
+            }
+            let mut last = self.last.lock().expect("saver lock");
+            if *last == Some(fp) {
+                return Ok(false);
+            }
+            // Reserve the fingerprint before dropping the store lock so
+            // concurrent sessions don't race duplicate writes; export
+            // while still under the store lock for a consistent snapshot.
+            *last = Some(fp);
+            sh.export_plans()
+        };
+        std::fs::write(&self.path, text)?;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::Interpreter;
+
+    const SCRIPT: &str = "\
+schema R(A:int)
+insert R(1)
+view V(A) :- R(A) | cite CV(D) :- D = 'x'
+commit
+";
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("citesys-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn saves_once_per_change_and_skips_pristine() {
+        let path = temp_path("periodic.plans");
+        let _ = std::fs::remove_file(&path);
+        let saver = PlanSaver::new(&path);
+        let mut interp = Interpreter::new();
+        interp.run_line("schema R(A:int)").unwrap();
+        interp.run_line("insert R(1)").unwrap();
+        // Schema and data alone touch nothing plan-relevant: untouched.
+        assert!(!saver.maybe_save(interp.shared()).unwrap());
+        assert!(!path.exists());
+        // A view registration changes the rewriting space (generation
+        // bump): persisted, even though the fresh cache is still empty.
+        interp
+            .run_line("view V(A) :- R(A) | cite CV(D) :- D = 'x'")
+            .unwrap();
+        interp.run_line("commit").unwrap();
+        assert!(saver.maybe_save(interp.shared()).unwrap());
+        // A cite populates the cache: the next check writes again…
+        interp.run_line("cite Q(A) :- R(A)").unwrap();
+        assert!(saver.maybe_save(interp.shared()).unwrap());
+        let saved = std::fs::read_to_string(&path).unwrap();
+        assert!(saved.starts_with("citesys-plan-cache v1"));
+        assert!(saved.contains("entry"));
+        // …and an unchanged cache does not rewrite.
+        assert!(!saver.maybe_save(interp.shared()).unwrap());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn interrupted_session_keeps_the_warm_cache() {
+        // The durability regression: a session that cites and is then
+        // killed (no clean end-of-input) must still find its plans on
+        // disk, because maybe_save ran right after the cite.
+        let path = temp_path("interrupted.plans");
+        let _ = std::fs::remove_file(&path);
+        let saver = PlanSaver::new(&path);
+        let mut interp = Interpreter::new();
+        for line in SCRIPT.lines().chain(["cite Q(A) :- R(A)"]) {
+            interp.run_line(line).unwrap();
+            let _ = saver.maybe_save(interp.shared());
+        }
+        // Simulate the kill: drop the interpreter without any exit path.
+        drop(interp);
+        let saved = std::fs::read_to_string(&path).unwrap();
+        // A fresh session imports the survived plans and cites with zero
+        // search work.
+        let mut revived = Interpreter::new();
+        revived.run(SCRIPT).unwrap();
+        assert_eq!(revived.import_plans(&saved).unwrap(), 1);
+        revived.run_line("cite Q(A) :- R(A)").unwrap();
+        let stats = revived.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 0), "{stats:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn view_registration_forces_a_resave() {
+        // The staleness regression: after a save, registering a view
+        // swaps in fresh caches; re-citing the same query then reaches
+        // the SAME counters (1 plan, 1 miss) as before the swap. The
+        // generation component must still force a rewrite — otherwise
+        // the disk keeps plans computed under the smaller registry,
+        // which are unsound for the next session's imports.
+        let path = temp_path("generation.plans");
+        let _ = std::fs::remove_file(&path);
+        let saver = PlanSaver::new(&path);
+        let mut interp = Interpreter::new();
+        interp.run(SCRIPT).unwrap();
+        interp.run_line("cite Q(A) :- R(A)").unwrap();
+        assert!(saver.maybe_save(interp.shared()).unwrap());
+        let stale = std::fs::read_to_string(&path).unwrap();
+        // The rewriting space changes; the empty post-swap cache must
+        // already overwrite the now-invalid plans…
+        interp
+            .run_line("view W(A) :- R(A) | cite CW(D) :- D = 'w'")
+            .unwrap();
+        assert!(saver.maybe_save(interp.shared()).unwrap(), "swap persisted");
+        // …and the re-cite (same counters as before the swap) saves the
+        // new-registry plan.
+        interp.run_line("cite Q(A) :- R(A)").unwrap();
+        assert!(
+            saver.maybe_save(interp.shared()).unwrap(),
+            "re-cite persisted"
+        );
+        let fresh = std::fs::read_to_string(&path).unwrap();
+        assert_ne!(stale, fresh, "old-registry plan replaced on disk");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn staged_import_is_never_clobbered() {
+        let path = temp_path("staged.plans");
+        std::fs::write(&path, "citesys-plan-cache v1\n-- precious --\n").unwrap();
+        let saver = PlanSaver::new(&path);
+        let mut interp = Interpreter::new();
+        interp.stage_plan_import(std::fs::read_to_string(&path).unwrap());
+        interp.run_line("schema R(A:int)").unwrap();
+        assert!(!saver.maybe_save(interp.shared()).unwrap());
+        assert!(
+            std::fs::read_to_string(&path).unwrap().contains("precious"),
+            "file untouched while the import is unconsumed"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

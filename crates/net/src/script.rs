@@ -1,0 +1,1456 @@
+//! The stateful interpreter behind every citesys front end.
+//!
+//! ```text
+//! # comments start with '#'
+//! schema Family(FID:int, FName:text, Desc:text) key(0)
+//! insert Family(11, 'Calcitonin', 'C1')
+//! view λ FID. V1(FID, N, D) :- Family(FID, N, D) | cite λ FID. CV1(FID, P) :- Committee(FID, P) | static database=GtoPdb
+//! commit
+//! cite Q(N) :- Family(F, N, D) | format bibtex | mode formal | policy union
+//! begin                          # buffer a transaction…
+//! insert Family(14, 'Ghrelin', 'G1')
+//! delete Family(11, 'Calcitonin', 'C1')
+//! commit                         # …applied atomically as one changeset
+//! tables
+//! dump Family
+//! ```
+//!
+//! Commands are parsed by the shared [`protocol`]
+//! module — the same grammar the TCP wire protocol speaks — and executed
+//! here. The state splits in two:
+//!
+//! * [`SharedStore`] — the versioned database, registry, plan caches and
+//!   the cached [`CitationService`], behind an `Arc<Mutex<…>>` so many
+//!   sessions (the TCP server's connections) can share one store. A
+//!   solo [`Interpreter`] simply owns a private one.
+//! * [`Interpreter`] — per-session state: the open transaction buffer,
+//!   the last fixity token, the trace flag and accumulated output.
+//!
+//! `begin` opens a transaction: subsequent `insert`/`delete` lines are
+//! buffered and `commit` applies them **atomically** as one
+//! [`Changeset`] (all-or-nothing; `rollback` discards the buffer). With
+//! or without `begin`, each `commit` carries the committed ops into the
+//! cached service's materialized views by batch delta maintenance — one
+//! snapshot swap per commit, however many tuples changed.
+//!
+//! **Session isolation** ([`Interpreter::session`], used by the TCP
+//! server): every mutation buffers in the session until its `commit`,
+//! which submits the buffer to the server's
+//! [group committer](crate::group::GroupCommitter). Racing commits from
+//! different connections coalesce into one merged changeset and one
+//! snapshot swap per commit window; a connection that dies mid-
+//! transaction takes its buffer with it — nothing leaks into the shared
+//! store.
+//!
+//! Every `cite` runs against the latest committed version and embeds a
+//! fixity token; `verify` re-checks the last citation. The interpreter
+//! keeps one [`CitationService`] snapshot per committed version and
+//! shares its rewrite-plan caches across `cite` commands, so a script
+//! (or a long-running `citesys serve` session) that re-cites the same
+//! query shape — even at different λ-parameter constants — pays for the
+//! rewriting search only once. Registering a view invalidates the shared
+//! plan caches (the rewriting space changed).
+
+use std::fmt;
+use std::sync::Arc;
+
+use citesys_core::{
+    cite_with_service, format_citation, verify, CitationRegistry, CitationService, CitationView,
+    Coverage, EngineOptions, FixityToken, PlanCache,
+};
+use citesys_storage::{to_csv, Changeset, RelationSchema, VersionedDatabase};
+use parking_lot::Mutex;
+
+use crate::group::{CommitAck, GroupCommitHandle};
+use crate::protocol::{self, CiteSpec, Command, ViewSpec};
+
+/// What went wrong, at the granularity the CLI's exit codes report.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScriptErrorKind {
+    /// The script itself is malformed (unknown command, bad syntax).
+    Parse,
+    /// The script is well-formed but a data/citation operation failed.
+    Citation,
+}
+
+/// A script-level error, tagged with its 1-based line number and kind.
+#[derive(Debug)]
+pub struct ScriptError {
+    /// Line the error occurred on.
+    pub line: usize,
+    /// Parse vs citation/runtime failure (drives the CLI exit code).
+    pub kind: ScriptErrorKind,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+/// Internal command-level error: a kind plus a message.
+pub(crate) type CmdError = (ScriptErrorKind, String);
+
+pub(crate) fn parse_err(message: impl Into<String>) -> CmdError {
+    (ScriptErrorKind::Parse, message.into())
+}
+
+pub(crate) fn cite_err(message: impl Into<String>) -> CmdError {
+    (ScriptErrorKind::Citation, message.into())
+}
+
+// ---------------------------------------------------------------------------
+// Shared store
+// ---------------------------------------------------------------------------
+
+/// Change-detection fingerprint of a store's persistable plan state:
+/// `(cache generation, cached plans, fresh searches, evictions, staged
+/// import?)` — see [`SharedStore::plan_fingerprint`].
+pub type PlanFingerprint = (u64, usize, u64, u64, bool);
+
+/// Write-path and cache counters of a [`SharedStore`] — the numbers the
+/// `stats` command prints and the E16 group-commit experiment reads.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StoreStats {
+    /// Commit requests acknowledged (one per `commit` command).
+    pub commits: u64,
+    /// Delta-maintained service snapshot publications. Under group
+    /// commit many commits share one swap, so this stays **below**
+    /// `commits` when concurrent transactions coalesce.
+    pub snapshot_swaps: u64,
+    /// Group-commit windows processed by the committer thread.
+    pub group_windows: u64,
+    /// Largest number of transactions merged into one window.
+    pub largest_group: u64,
+    /// Cold service (re)builds — cites that could not reuse the cached
+    /// snapshot service.
+    pub service_builds: u64,
+}
+
+/// The shareable half of an interpreter: schema, versioned store,
+/// citation registry, plan caches, the cached per-version service and
+/// the write-path counters.
+///
+/// A solo [`Interpreter`] owns a private one; the TCP server puts one
+/// behind an `Arc<Mutex<…>>` and hands clones of the `Arc` to every
+/// connection session and to the group committer.
+pub struct SharedStore {
+    store: Option<VersionedDatabase>,
+    schemas: Vec<RelationSchema>,
+    registry: CitationRegistry,
+    /// Shared rewrite-plan caches: one for strict cites, one for cites
+    /// with the `partial` fallback (the two can cache different plans for
+    /// the same query). Cleared when a view is registered.
+    plans_strict: Arc<PlanCache>,
+    plans_partial: Arc<PlanCache>,
+    /// Plan-cache text staged by `serve --plan-cache`, loaded at the
+    /// first `cite` (after the session's `view` commands have settled the
+    /// registry — loading earlier would be dropped by the cache swap each
+    /// registration performs).
+    pending_plan_import: Option<String>,
+    /// Service over the latest committed snapshot, rebuilt on demand and
+    /// carried across commits by batch delta maintenance.
+    service: Option<(u64, bool, CitationService)>,
+    /// Bumped whenever a view registration replaces the plan caches —
+    /// part of [`plan_fingerprint`](Self::plan_fingerprint), so the
+    /// persister notices the rewriting space changed even when the new
+    /// cache's counters coincide with the old one's.
+    plan_generation: u64,
+    stats: StoreStats,
+}
+
+impl Default for SharedStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedStore {
+    /// An empty store with no schema.
+    pub fn new() -> Self {
+        SharedStore {
+            store: None,
+            schemas: Vec::new(),
+            registry: CitationRegistry::new(),
+            plans_strict: Arc::new(PlanCache::new(citesys_core::DEFAULT_PLAN_CACHE_CAPACITY)),
+            plans_partial: Arc::new(PlanCache::new(citesys_core::DEFAULT_PLAN_CACHE_CAPACITY)),
+            pending_plan_import: None,
+            service: None,
+            plan_generation: 0,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// Wraps a fresh store for sharing across sessions.
+    pub fn new_shared() -> Arc<Mutex<SharedStore>> {
+        Arc::new(Mutex::new(SharedStore::new()))
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Mutable counters (crate-internal: the group committer accounts
+    /// its windows and acks here).
+    pub(crate) fn stats_mut(&mut self) -> &mut StoreStats {
+        &mut self.stats
+    }
+
+    /// Counters of the strict (non-partial) plan cache.
+    pub fn plan_cache_stats(&self) -> citesys_core::PlanCacheStats {
+        self.plans_strict.stats()
+    }
+
+    /// Materialized-view cache counters of the cached service, if one
+    /// has been built (i.e. after the first `cite`).
+    pub fn view_cache_stats(&self) -> Option<citesys_core::ViewCacheStats> {
+        self.service
+            .as_ref()
+            .map(|(_, _, svc)| svc.view_cache_stats())
+    }
+
+    /// A clone of the citation-view registry (for inspection).
+    pub fn registry(&self) -> CitationRegistry {
+        self.registry.clone()
+    }
+
+    /// True while staged plan-cache text has not been consumed by a
+    /// `cite` yet (see [`stage_plan_import`](Self::stage_plan_import)).
+    pub fn has_pending_plan_import(&self) -> bool {
+        self.pending_plan_import.is_some()
+    }
+
+    /// Stages plan-cache text to be imported at the next `cite` command —
+    /// i.e. after the session's `view` registrations have settled the
+    /// registry (each registration swaps in fresh caches, so an eager
+    /// import would be dropped). Used by `citesys serve --plan-cache`.
+    pub fn stage_plan_import(&mut self, text: String) {
+        self.pending_plan_import = Some(text);
+    }
+
+    /// Serializes the strict plan cache to the `citesys-plan-cache v1`
+    /// text form. A staged import no `cite` has consumed yet is returned
+    /// verbatim instead: the live cache is necessarily empty in that
+    /// state, and saving must not truncate the file it was loaded from.
+    pub fn export_plans(&self) -> String {
+        if let Some(staged) = &self.pending_plan_import {
+            return staged.clone();
+        }
+        self.plans_strict.to_text()
+    }
+
+    /// Loads plans serialized by [`export_plans`](Self::export_plans)
+    /// into the strict plan cache, returning how many were loaded.
+    pub fn import_plans(&mut self, text: &str) -> Result<usize, String> {
+        self.plans_strict.load_text(text).map_err(|e| e.to_string())
+    }
+
+    /// A cheap change-detection fingerprint of the persistable plan
+    /// state: `(cache generation, cached plans, fresh searches,
+    /// evictions, staged import?)`. The generation bumps every time a
+    /// view registration swaps in fresh caches — without it, a
+    /// post-registration cache that happens to reach the same counters
+    /// would look unchanged and the on-disk file would keep plans
+    /// computed under the old registry (unsound for the new one). The
+    /// [`PlanSaver`](crate::persist::PlanSaver) rewrites the file only
+    /// when this moves.
+    pub fn plan_fingerprint(&self) -> PlanFingerprint {
+        let s = self.plans_strict.stats();
+        (
+            self.plan_generation,
+            self.plans_strict.len(),
+            s.misses,
+            s.evictions,
+            self.pending_plan_import.is_some(),
+        )
+    }
+
+    fn store_mut(&mut self) -> Result<&mut VersionedDatabase, CmdError> {
+        if self.store.is_none() {
+            if self.schemas.is_empty() {
+                return Err(parse_err("no schema declared"));
+            }
+            let store = VersionedDatabase::new(self.schemas.clone())
+                .map_err(|e| cite_err(e.to_string()))?;
+            self.store = Some(store);
+        }
+        Ok(self.store.as_mut().expect("just initialized"))
+    }
+
+    /// Applies one transaction's changeset atomically to the working
+    /// state (all-or-nothing; a failure rolls the whole batch back).
+    pub(crate) fn apply_changes(&mut self, changes: &Changeset) -> Result<usize, CmdError> {
+        self.store_mut()?
+            .apply_changeset(changes)
+            .map_err(|e| cite_err(format!("transaction rolled back: {e}")))
+    }
+
+    /// Seals everything pending as one new version and carries it into
+    /// the cached service by batch delta maintenance — one snapshot swap
+    /// per call, however many transactions were applied since the last
+    /// one. Returns the new version number.
+    pub(crate) fn seal_version(&mut self) -> Result<u64, CmdError> {
+        let (v, changes) = {
+            let store = self.store_mut()?;
+            // Delta-maintain with EVERYTHING this commit seals: the
+            // pending log covers both non-transactional ops applied
+            // before any `begin` and every transaction changeset applied
+            // since the last seal.
+            let changes = Changeset::from_ops(store.pending_ops().to_vec());
+            (store.commit(), changes)
+        };
+        self.refresh_service_after_commit(v, &changes);
+        Ok(v)
+    }
+
+    /// Carries the cached service across a commit by **batch delta
+    /// maintenance**: the committed ops are staged as one changeset
+    /// against the old snapshot and applied to the new one in a single
+    /// snapshot swap, keeping both the plan cache and the materialized
+    /// views warm instead of rebuilding the service cold.
+    fn refresh_service_after_commit(&mut self, v_new: u64, changes: &Changeset) {
+        let Some((v_old, partial, svc)) = self.service.take() else {
+            return;
+        };
+        if v_old + 1 != v_new {
+            return;
+        }
+        let store = self.store.as_ref().expect("commit initialized the store");
+        let Ok(snapshot) = store.snapshot(v_new) else {
+            return;
+        };
+        let pending = svc.stage_batch(changes);
+        let next = svc.with_database_delta(snapshot, pending);
+        self.service = Some((v_new, partial, next));
+        self.stats.snapshot_swaps += 1;
+    }
+
+    /// Returns (building if needed) a service over the snapshot of
+    /// `version` with the given options, reusing the shared plan caches.
+    /// Rebuilt only when the version or the partial flag changes — mode
+    /// and policies do not affect plans, so they are set fresh on every
+    /// call via the builder.
+    fn service_at(
+        &mut self,
+        version: u64,
+        options: EngineOptions,
+    ) -> Result<CitationService, CmdError> {
+        if let Some((v, partial, svc)) = &self.service {
+            if *v == version && *partial == options.allow_partial {
+                // Same snapshot and plan-compatible options: reuse the
+                // service — including its materialized-view cache — with
+                // this cite's mode/policies applied.
+                return svc
+                    .with_options(options)
+                    .map_err(|e| cite_err(e.to_string()));
+            }
+        }
+        let store = self.store.as_ref().expect("caller initialized the store");
+        let snapshot = store
+            .snapshot(version)
+            .map_err(|e| cite_err(e.to_string()))?;
+        let plans = if options.allow_partial {
+            Arc::clone(&self.plans_partial)
+        } else {
+            Arc::clone(&self.plans_strict)
+        };
+        let svc = CitationService::builder()
+            .database(snapshot)
+            .registry(self.registry.clone())
+            .options(options)
+            .shared_plan_cache(plans)
+            .build()
+            .map_err(|e| cite_err(e.to_string()))?;
+        self.service = Some((version, options.allow_partial, svc.clone()));
+        self.stats.service_builds += 1;
+        Ok(svc)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session control
+// ---------------------------------------------------------------------------
+
+/// What an interactive front end should do after a line.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SessionControl {
+    /// Keep reading lines.
+    Continue,
+    /// Close this session (`quit`).
+    Quit,
+    /// Close this session and stop the server (`shutdown`).
+    Shutdown,
+}
+
+/// One executed session line: its output plus the control outcome.
+#[derive(Debug)]
+pub struct SessionReply {
+    /// Accumulated command output (possibly empty).
+    pub output: String,
+    /// Whether the front end should keep going.
+    pub control: SessionControl,
+}
+
+// ---------------------------------------------------------------------------
+// The interpreter
+// ---------------------------------------------------------------------------
+
+/// The stateful interpreter: per-session state over a (possibly shared)
+/// [`SharedStore`].
+pub struct Interpreter {
+    shared: Arc<Mutex<SharedStore>>,
+    /// Commit pipeline of the owning server (network sessions); `None`
+    /// commits inline under the store lock.
+    committer: Option<GroupCommitHandle>,
+    /// Network sessions buffer **every** mutation until `commit`, so a
+    /// dropped connection can never leak half a transaction into the
+    /// shared store.
+    isolated: bool,
+    /// An open `begin … commit` transaction (or, for isolated sessions,
+    /// the implicit buffer of all uncommitted mutations).
+    txn: Option<Changeset>,
+    /// Whether `txn` was opened by an explicit `begin`.
+    explicit_txn: bool,
+    last_token: Option<FixityToken>,
+    trace_next: bool,
+    out: String,
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interpreter {
+    /// A fresh solo interpreter with a private store and no schema.
+    pub fn new() -> Self {
+        Interpreter {
+            shared: SharedStore::new_shared(),
+            committer: None,
+            isolated: false,
+            txn: None,
+            explicit_txn: false,
+            last_token: None,
+            trace_next: false,
+            out: String::new(),
+        }
+    }
+
+    /// An **isolated session** over a shared store: every mutation
+    /// buffers in the session until `commit`, which goes through
+    /// `committer` (or inline when `None`). This is what the TCP server
+    /// creates per connection.
+    pub fn session(shared: Arc<Mutex<SharedStore>>, committer: Option<GroupCommitHandle>) -> Self {
+        Interpreter {
+            shared,
+            committer,
+            isolated: true,
+            txn: None,
+            explicit_txn: false,
+            last_token: None,
+            trace_next: false,
+            out: String::new(),
+        }
+    }
+
+    /// The store this interpreter executes against.
+    pub fn shared(&self) -> &Arc<Mutex<SharedStore>> {
+        &self.shared
+    }
+
+    /// Runs a whole script, returning the accumulated output.
+    pub fn run(&mut self, script: &str) -> Result<String, ScriptError> {
+        for (i, raw) in script.lines().enumerate() {
+            self.run_numbered_line(i + 1, raw)?;
+        }
+        Ok(std::mem::take(&mut self.out))
+    }
+
+    /// Runs a single script line, returning the output it produced.
+    /// State persists across calls. Session-control commands (`quit`,
+    /// `shutdown`) are errors here — interactive front ends use
+    /// [`run_session_line`](Self::run_session_line) instead.
+    pub fn run_line(&mut self, raw: &str) -> Result<String, ScriptError> {
+        self.run_numbered_line(1, raw)?;
+        Ok(std::mem::take(&mut self.out))
+    }
+
+    /// Runs one line for an interactive front end: like
+    /// [`run_line`](Self::run_line), but `quit`/`shutdown` come back as
+    /// [`SessionControl`] outcomes instead of executing (or erroring).
+    pub fn run_session_line(&mut self, raw: &str) -> Result<SessionReply, ScriptError> {
+        let cmd = protocol::parse_command(raw).map_err(|e| ScriptError {
+            line: 1,
+            kind: ScriptErrorKind::Parse,
+            message: e.message,
+        })?;
+        let control = match cmd {
+            Some(Command::Quit) => SessionControl::Quit,
+            Some(Command::Shutdown) => SessionControl::Shutdown,
+            Some(ref cmd) => {
+                self.exec(cmd).map_err(|(kind, message)| ScriptError {
+                    line: 1,
+                    kind,
+                    message,
+                })?;
+                SessionControl::Continue
+            }
+            None => SessionControl::Continue,
+        };
+        Ok(SessionReply {
+            output: std::mem::take(&mut self.out),
+            control,
+        })
+    }
+
+    fn run_numbered_line(&mut self, line_no: usize, raw: &str) -> Result<(), ScriptError> {
+        let cmd = protocol::parse_command(raw).map_err(|e| ScriptError {
+            line: line_no,
+            kind: ScriptErrorKind::Parse,
+            message: e.message,
+        })?;
+        let Some(cmd) = cmd else {
+            return Ok(());
+        };
+        self.exec(&cmd).map_err(|(kind, message)| ScriptError {
+            line: line_no,
+            kind,
+            message,
+        })
+    }
+
+    fn say(&mut self, s: impl AsRef<str>) {
+        self.out.push_str(s.as_ref());
+        self.out.push('\n');
+    }
+
+    fn exec(&mut self, cmd: &Command) -> Result<(), CmdError> {
+        match cmd {
+            Command::Schema { name, attrs, key } => self.cmd_schema(name, attrs, key),
+            Command::Insert { rel, tuple } => self.cmd_insert(rel, tuple.clone()),
+            Command::Delete { rel, tuple } => self.cmd_delete(rel, tuple.clone()),
+            Command::View(spec) => self.cmd_view(spec),
+            Command::Begin => self.cmd_begin(),
+            Command::Rollback => self.cmd_rollback(),
+            Command::Commit => self.cmd_commit(),
+            Command::Cite(spec) => self.cmd_cite(spec),
+            Command::Verify => self.cmd_verify(),
+            Command::Tables => self.cmd_tables(),
+            Command::Dump { rel } => self.cmd_dump(rel),
+            Command::Load { rel, path } => self.cmd_load(rel, path),
+            Command::Trace => {
+                // `trace` arms a derivation trace for the next `cite`.
+                self.trace_next = true;
+                Ok(())
+            }
+            Command::Stats => self.cmd_stats(),
+            Command::Quit | Command::Shutdown => Err(parse_err(
+                "session command: only available in an interactive or network session",
+            )),
+        }
+    }
+
+    fn cmd_schema(
+        &mut self,
+        name: &str,
+        attrs: &[(String, citesys_cq::ValueType)],
+        key: &[usize],
+    ) -> Result<(), CmdError> {
+        {
+            let mut sh = self.shared.lock();
+            if sh.store.is_some() {
+                return Err(parse_err("schema must be declared before any data command"));
+            }
+            let parts: Vec<(&str, citesys_cq::ValueType)> =
+                attrs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+            let schema = RelationSchema::from_parts(name, &parts, key);
+            sh.schemas.push(schema);
+        }
+        self.say(format!("schema {name} ({} attributes)", attrs.len()));
+        Ok(())
+    }
+
+    fn cmd_insert(&mut self, rel: &str, tuple: citesys_storage::Tuple) -> Result<(), CmdError> {
+        if self.isolated || self.txn.is_some() {
+            // Buffered: validated and applied atomically at `commit`.
+            self.txn
+                .get_or_insert_with(Changeset::new)
+                .insert(rel, tuple);
+            return Ok(());
+        }
+        let changed = self
+            .shared
+            .lock()
+            .store_mut()?
+            .insert(rel, tuple)
+            .map_err(|e| cite_err(e.to_string()))?;
+        if !changed {
+            self.say("(duplicate ignored)");
+        }
+        Ok(())
+    }
+
+    fn cmd_delete(&mut self, rel: &str, tuple: citesys_storage::Tuple) -> Result<(), CmdError> {
+        if self.isolated || self.txn.is_some() {
+            self.txn
+                .get_or_insert_with(Changeset::new)
+                .delete(rel, tuple);
+            return Ok(());
+        }
+        let changed = self
+            .shared
+            .lock()
+            .store_mut()?
+            .delete(rel, &tuple)
+            .map_err(|e| cite_err(e.to_string()))?;
+        if !changed {
+            self.say("(no such tuple)");
+        }
+        Ok(())
+    }
+
+    /// Opens a transaction: subsequent insert/delete lines buffer into
+    /// one changeset until `commit` (atomic) or `rollback` (discard).
+    fn cmd_begin(&mut self) -> Result<(), CmdError> {
+        if self.txn.is_some() {
+            return Err(cite_err(
+                "transaction already open: run 'commit' or 'rollback' first",
+            ));
+        }
+        self.txn = Some(Changeset::new());
+        self.explicit_txn = true;
+        self.say("transaction open");
+        Ok(())
+    }
+
+    /// Discards an open transaction's buffered ops.
+    fn cmd_rollback(&mut self) -> Result<(), CmdError> {
+        self.explicit_txn = false;
+        match self.txn.take() {
+            Some(changes) => {
+                self.say(format!("rolled back {} buffered op(s)", changes.len()));
+                Ok(())
+            }
+            None => Err(cite_err("no open transaction")),
+        }
+    }
+
+    fn cmd_view(&mut self, spec: &ViewSpec) -> Result<(), CmdError> {
+        let name = spec.view.name().to_string();
+        let cv = CitationView::new(spec.view.clone(), spec.cites.clone(), spec.function.clone())
+            .map_err(|e| cite_err(e.to_string()))?;
+        {
+            let mut sh = self.shared.lock();
+            sh.registry.add(cv).map_err(|e| cite_err(e.to_string()))?;
+            // The rewriting space changed: drop the service built over the
+            // stale registry and swap in FRESH plan caches (replacing the
+            // `Arc`s, so nothing holding the old caches can leak
+            // old-registry plans back in).
+            sh.plans_strict = Arc::new(PlanCache::new(citesys_core::DEFAULT_PLAN_CACHE_CAPACITY));
+            sh.plans_partial = Arc::new(PlanCache::new(citesys_core::DEFAULT_PLAN_CACHE_CAPACITY));
+            sh.service = None;
+            sh.plan_generation += 1;
+        }
+        self.say(format!("view {name} registered"));
+        Ok(())
+    }
+
+    fn cmd_commit(&mut self) -> Result<(), CmdError> {
+        let txn = self.txn.take();
+        self.explicit_txn = false;
+        if self.isolated {
+            let changes = txn.unwrap_or_default();
+            let ack = match &self.committer {
+                Some(handle) => handle.commit(changes).map_err(cite_err)?,
+                None => {
+                    // No committer wired (tests / single-session use):
+                    // the same path, inline under the store lock.
+                    let mut sh = self.shared.lock();
+                    let applied = sh.apply_changes(&changes)?;
+                    let version = sh.seal_version()?;
+                    sh.stats.commits += 1;
+                    CommitAck {
+                        version,
+                        applied,
+                        group_size: 1,
+                    }
+                }
+            };
+            self.say(format!(
+                "committed version {} ({} op(s), group of {})",
+                ack.version, ack.applied, ack.group_size
+            ));
+            return Ok(());
+        }
+        // Solo path: apply the buffered transaction (if any) atomically,
+        // then seal EVERYTHING pending — including non-transactional ops
+        // applied before any `begin` — as one version.
+        let txn_ops = txn.as_ref().map(Changeset::len);
+        let v = {
+            let mut sh = self.shared.lock();
+            if let Some(changes) = txn {
+                sh.apply_changes(&changes)?;
+            }
+            let v = sh.seal_version()?;
+            sh.stats.commits += 1;
+            v
+        };
+        match txn_ops {
+            Some(n) => self.say(format!(
+                "committed version {v} ({n} op(s) in one transaction)"
+            )),
+            None => self.say(format!("committed version {v}")),
+        }
+        Ok(())
+    }
+
+    fn cmd_cite(&mut self, spec: &CiteSpec) -> Result<(), CmdError> {
+        if self.txn.is_some() {
+            return Err(cite_err(if self.explicit_txn {
+                "transaction open: run 'commit' (or 'rollback') before 'cite'"
+            } else {
+                "uncommitted changes: run 'commit' before 'cite'"
+            }));
+        }
+        let (service, version, loaded) = {
+            let mut sh = self.shared.lock();
+            let mut loaded = None;
+            if let Some(text) = sh.pending_plan_import.take() {
+                let n = sh
+                    .plans_strict
+                    .load_text(&text)
+                    .map_err(|e| cite_err(format!("plan-cache file: {e}")))?;
+                loaded = Some(n);
+            }
+            let store = sh.store_mut()?;
+            if store.has_pending() {
+                return Err(cite_err("uncommitted changes: run 'commit' before 'cite'"));
+            }
+            let version = store.latest_version();
+            let service = sh.service_at(version, spec.options)?;
+            (service, version, loaded)
+        };
+        if let Some(n) = loaded {
+            self.say(format!("loaded {n} cached plan(s)"));
+        }
+        // The expensive part — rewriting search (on a plan-cache miss),
+        // evaluation and annotation — runs on the service clone OUTSIDE
+        // the store lock, so concurrent sessions cite in parallel.
+        let (cited, token) = cite_with_service(&service, version, &spec.query)
+            .map_err(|e| cite_err(e.to_string()))?;
+        self.say(format!(
+            "{} answer tuple(s) at version {version}",
+            cited.answer.len()
+        ));
+        if let Coverage::Partial { uncited } = cited.coverage {
+            self.say(format!("coverage: partial ({uncited} uncited)"));
+        }
+        if let Some(agg) = &cited.aggregate {
+            self.say(format_citation(&agg.snippets, Some(&token), spec.format).trim_end());
+        }
+        if self.trace_next {
+            self.trace_next = false;
+            self.say(citesys_core::trace_answer(&cited).trim_end());
+        }
+        self.last_token = Some(token);
+        Ok(())
+    }
+
+    fn cmd_verify(&mut self) -> Result<(), CmdError> {
+        let token = self
+            .last_token
+            .clone()
+            .ok_or_else(|| cite_err("no citation to verify"))?;
+        {
+            let sh = self.shared.lock();
+            let store = sh.store.as_ref().ok_or_else(|| cite_err("no data"))?;
+            verify(store, &token).map_err(|e| cite_err(e.to_string()))?;
+        }
+        self.say(format!(
+            "fixity verified: v{} {}",
+            token.version, token.digest
+        ));
+        Ok(())
+    }
+
+    fn cmd_tables(&mut self) -> Result<(), CmdError> {
+        let lines: Vec<String> = {
+            let mut sh = self.shared.lock();
+            let store = sh.store_mut()?;
+            store
+                .current()
+                .relations()
+                .map(|(name, rel)| format!("{name}: {} tuples", rel.len()))
+                .collect()
+        };
+        for l in lines {
+            self.say(l);
+        }
+        Ok(())
+    }
+
+    fn cmd_dump(&mut self, rel: &str) -> Result<(), CmdError> {
+        let csv = {
+            let mut sh = self.shared.lock();
+            let store = sh.store_mut()?;
+            let rel = store
+                .current()
+                .relation(rel)
+                .map_err(|e| cite_err(e.to_string()))?;
+            to_csv(rel)
+        };
+        self.say(csv.trim_end());
+        Ok(())
+    }
+
+    // load Family from 'path.csv'  — bulk-loads CSV rows into an existing
+    // relation (the header row's name:type columns must match the schema).
+    fn cmd_load(&mut self, rel: &str, path: &str) -> Result<(), CmdError> {
+        let content = std::fs::read_to_string(path)
+            .map_err(|e| cite_err(format!("cannot read {path}: {e}")))?;
+        let (_, tuples) =
+            citesys_storage::from_csv(rel, &[], &content).map_err(|e| cite_err(e.to_string()))?;
+        if self.isolated {
+            let txn = self.txn.get_or_insert_with(Changeset::new);
+            let mut n = 0usize;
+            for t in tuples {
+                txn.insert(rel, t);
+                n += 1;
+            }
+            self.say(format!(
+                "buffered {n} tuple(s) into {rel} (commit to apply)"
+            ));
+            return Ok(());
+        }
+        let n = {
+            let mut sh = self.shared.lock();
+            let store = sh.store_mut()?;
+            let mut n = 0usize;
+            for t in tuples {
+                if store.insert(rel, t).map_err(|e| cite_err(e.to_string()))? {
+                    n += 1;
+                }
+            }
+            n
+        };
+        self.say(format!("loaded {n} tuple(s) into {rel}"));
+        Ok(())
+    }
+
+    /// `stats`: the shared store's write-path counters plus the strict
+    /// plan cache's hit/miss counters, one `name value` pair per line.
+    fn cmd_stats(&mut self) -> Result<(), CmdError> {
+        let (st, plans) = {
+            let sh = self.shared.lock();
+            (sh.stats, sh.plans_strict.stats())
+        };
+        self.say(format!("commits {}", st.commits));
+        self.say(format!("snapshot_swaps {}", st.snapshot_swaps));
+        self.say(format!("group_windows {}", st.group_windows));
+        self.say(format!("largest_group {}", st.largest_group));
+        self.say(format!("service_builds {}", st.service_builds));
+        self.say(format!("plan_cache_hits {}", plans.hits));
+        self.say(format!("plan_cache_misses {}", plans.misses));
+        Ok(())
+    }
+
+    /// Counters of the strict (non-partial) plan cache — how much
+    /// rewriting-search work the session has amortized.
+    pub fn plan_cache_stats(&self) -> citesys_core::PlanCacheStats {
+        self.shared.lock().plan_cache_stats()
+    }
+
+    /// The shared store's write-path counters (commits, snapshot swaps,
+    /// group-commit windows).
+    pub fn store_stats(&self) -> StoreStats {
+        self.shared.lock().stats()
+    }
+
+    /// Serializes the strict plan cache to the `citesys-plan-cache v1`
+    /// text form (the `serve --plan-cache` / `plans export` persistence
+    /// format). The partial-fallback cache is session-local and not
+    /// persisted.
+    ///
+    /// A staged import that no `cite` has consumed yet is returned
+    /// verbatim instead: the live cache is necessarily empty in that
+    /// state, and a `serve --plan-cache` session that exits without
+    /// citing must save the plans it was handed, not truncate the file
+    /// with an empty cache.
+    pub fn export_plans(&self) -> String {
+        self.shared.lock().export_plans()
+    }
+
+    /// Loads plans serialized by [`export_plans`](Self::export_plans)
+    /// into the strict plan cache, returning how many were loaded.
+    ///
+    /// Plans are only sound for the registry they were computed under;
+    /// registering a view afterwards replaces the cache (dropping the
+    /// imported plans), which keeps a stale import from outliving a
+    /// changed rewriting space within a session. Across sessions the
+    /// operator must pair a plan file with the script that registers the
+    /// same views.
+    pub fn import_plans(&mut self, text: &str) -> Result<usize, String> {
+        self.shared.lock().import_plans(text)
+    }
+
+    /// Stages plan-cache text to be imported at the next `cite` command
+    /// (see [`SharedStore::stage_plan_import`]).
+    pub fn stage_plan_import(&mut self, text: String) {
+        self.shared.lock().stage_plan_import(text);
+    }
+
+    /// True while staged plan-cache text has not been consumed by a
+    /// `cite` yet. `serve --plan-cache` checks this before saving on
+    /// exit: a session that never cited must not overwrite the persisted
+    /// file with its (empty) in-memory cache.
+    pub fn has_pending_plan_import(&self) -> bool {
+        self.shared.lock().has_pending_plan_import()
+    }
+
+    /// Materialized-view cache counters of the session's cached service,
+    /// if one has been built (i.e. after the first `cite`). After a
+    /// `commit`, these show whether the commit was carried by batch delta
+    /// maintenance (views `untouched`/`deltas_applied`) instead of
+    /// re-materialization.
+    pub fn view_cache_stats(&self) -> Option<citesys_core::ViewCacheStats> {
+        self.shared.lock().view_cache_stats()
+    }
+
+    /// A clone of the interpreter's registry (for inspection in tests).
+    pub fn registry(&self) -> CitationRegistry {
+        self.shared.lock().registry()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_SCRIPT: &str = r#"
+# the paper's worked example
+schema Family(FID:int, FName:text, Desc:text) key(0)
+schema Committee(FID:int, PName:text) key(0, 1)
+schema FamilyIntro(FID:int, Text:text) key(0)
+insert Family(11, 'Calcitonin', 'C1')
+insert Family(12, 'Calcitonin', 'C2')
+insert Family(13, 'Dopamine', 'D1')
+insert FamilyIntro(11, '1st')
+insert FamilyIntro(12, '2nd')
+insert Committee(11, 'Alice')
+insert Committee(11, 'Bob')
+insert Committee(12, 'Carol')
+view λ FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc) | cite λ FID. CV1(FID, PName) :- Committee(FID, PName) | static database=GtoPdb
+view V2(FID, FName, Desc) :- Family(FID, FName, Desc) | cite CV2(D) :- D = 'IUPHAR/BPS Guide to PHARMACOLOGY...'
+view V3(FID, Text) :- FamilyIntro(FID, Text) | cite CV3(D) :- D = 'IUPHAR/BPS Guide to PHARMACOLOGY...'
+commit
+cite Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)
+verify
+"#;
+
+    #[test]
+    fn paper_script_end_to_end() {
+        let mut interp = Interpreter::new();
+        let out = interp.run(PAPER_SCRIPT).unwrap();
+        assert!(out.contains("schema Family"));
+        assert!(out.contains("view V1 registered"));
+        assert!(out.contains("committed version 1"));
+        assert!(out.contains("1 answer tuple(s) at version 1"));
+        assert!(out.contains("IUPHAR/BPS Guide to PHARMACOLOGY..."));
+        assert!(out.contains("fixity verified: v1"));
+        assert_eq!(interp.registry().len(), 3);
+    }
+
+    #[test]
+    fn cite_options_parse() {
+        let mut interp = Interpreter::new();
+        let script = format!(
+            "{PAPER_SCRIPT}\ncite Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text) | format bibtex | mode pruned | policy union\n"
+        );
+        let out = interp.run(&script).unwrap();
+        assert!(out.contains("@misc{"));
+    }
+
+    #[test]
+    fn partial_clause() {
+        let mut interp = Interpreter::new();
+        let script = "\
+schema Family(FID:int, FName:text) key(0)
+schema FamilyIntro(FID:int, Text:text) key(0)
+insert Family(1, 'A')
+insert Family(2, 'B')
+insert FamilyIntro(1, 'i')
+view V(FID, N) :- Family(FID, N), FamilyIntro(FID, T) | cite CV(D) :- D = 'db'
+commit
+cite Q(N) :- Family(F, N) | partial
+";
+        let out = interp.run(script).unwrap();
+        assert!(out.contains("coverage: partial (1 uncited)"), "{out}");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let mut interp = Interpreter::new();
+        let e = interp.run("schema R(A:int)\nbogus command\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn uncommitted_cite_rejected() {
+        let mut interp = Interpreter::new();
+        let script = "\
+schema R(A:int)
+insert R(1)
+view V(A) :- R(A) | cite CV(D) :- D = 'x'
+cite Q(A) :- R(A)
+";
+        let e = interp.run(script).unwrap_err();
+        assert!(e.message.contains("uncommitted"));
+    }
+
+    #[test]
+    fn tables_and_dump() {
+        let mut interp = Interpreter::new();
+        let out = interp
+            .run("schema R(A:int, B:text)\ninsert R(1, 'x, y')\ntables\ndump R\n")
+            .unwrap();
+        assert!(out.contains("R: 1 tuples"));
+        assert!(out.contains("\"A:int\",\"B:text\""));
+        assert!(out.contains("1,\"x, y\""));
+    }
+
+    #[test]
+    fn schema_errors() {
+        let mut interp = Interpreter::new();
+        assert!(interp.run("schema R(A:float)\n").is_err());
+        let mut interp = Interpreter::new();
+        assert!(interp.run("schema R(A:int) key(3)\n").is_err());
+        let mut interp = Interpreter::new();
+        assert!(
+            interp
+                .run("schema R(A:int)\ninsert R(1)\nschema S(B:int)\n")
+                .is_err(),
+            "schema after data"
+        );
+    }
+
+    #[test]
+    fn load_from_csv_file() {
+        let dir = std::env::temp_dir().join("citesys-script-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.csv");
+        std::fs::write(&path, "\"A:int\",\"B:text\"\n1,\"x\"\n2,\"y\"\n").unwrap();
+        let mut interp = Interpreter::new();
+        let script = format!(
+            "schema R(A:int, B:text)\nload R from '{}'\ntables\n",
+            path.display()
+        );
+        let out = interp.run(&script).unwrap();
+        assert!(out.contains("loaded 2 tuple(s) into R"));
+        assert!(out.contains("R: 2 tuples"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_command_explains_next_cite() {
+        let mut interp = Interpreter::new();
+        let script = format!(
+            "{PAPER_SCRIPT}\ntrace\ncite Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)\n"
+        );
+        let out = interp.run(&script).unwrap();
+        assert!(out.contains("tuple (Calcitonin)"), "{out}");
+        assert!(out.contains("← chosen by +R"));
+        assert!(out.contains("binding 1: CV1(11)·CV3"));
+    }
+
+    #[test]
+    fn csl_format_clause() {
+        let mut interp = Interpreter::new();
+        let script = format!(
+            "{PAPER_SCRIPT}\ncite Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text) | format csl\n"
+        );
+        let out = interp.run(&script).unwrap();
+        assert!(out.contains("\"type\":\"dataset\""));
+    }
+
+    #[test]
+    fn duplicate_insert_reported() {
+        let mut interp = Interpreter::new();
+        let out = interp
+            .run("schema R(A:int)\ninsert R(1)\ninsert R(1)\n")
+            .unwrap();
+        assert!(out.contains("(duplicate ignored)"));
+    }
+
+    #[test]
+    fn delete_works() {
+        let mut interp = Interpreter::new();
+        let out = interp
+            .run("schema R(A:int)\ninsert R(1)\ndelete R(1)\ndelete R(9)\ntables\n")
+            .unwrap();
+        assert!(out.contains("(no such tuple)"));
+        assert!(out.contains("R: 0 tuples"));
+    }
+
+    #[test]
+    fn hash_inside_quoted_string_is_not_a_comment() {
+        let mut interp = Interpreter::new();
+        let out = interp
+            .run("schema R(A:int, B:text)\ninsert R(1, 'bug #42') # trailing comment\ndump R\n")
+            .unwrap();
+        assert!(out.contains("bug #42"), "{out}");
+    }
+
+    #[test]
+    fn error_kinds_distinguish_parse_from_citation() {
+        // Unknown command: parse error.
+        let e = Interpreter::new().run("bogus\n").unwrap_err();
+        assert_eq!(e.kind, ScriptErrorKind::Parse);
+        // Malformed query: parse error.
+        let e = Interpreter::new()
+            .run("schema R(A:int)\ncite Q( :- R\n")
+            .unwrap_err();
+        assert_eq!(e.kind, ScriptErrorKind::Parse);
+        // Well-formed script, uncoverable query: citation error.
+        let script = "\
+schema R(A:int)
+insert R(1)
+view V(A) :- R(A) | cite CV(D) :- D = 'x'
+commit
+cite Q(B) :- S(B)
+";
+        let e = Interpreter::new().run(script).unwrap_err();
+        assert_eq!(e.kind, ScriptErrorKind::Citation);
+        // Unknown relation on insert: citation (runtime) error.
+        let e = Interpreter::new()
+            .run("schema R(A:int)\ninsert S(1)\n")
+            .unwrap_err();
+        assert_eq!(e.kind, ScriptErrorKind::Citation);
+    }
+
+    #[test]
+    fn run_line_is_incremental() {
+        let mut interp = Interpreter::new();
+        assert_eq!(
+            interp.run_line("schema R(A:int)").unwrap(),
+            "schema R (1 attributes)\n"
+        );
+        interp.run_line("insert R(1)").unwrap();
+        interp
+            .run_line("view V(A) :- R(A) | cite CV(D) :- D = 'x'")
+            .unwrap();
+        interp.run_line("commit").unwrap();
+        let out = interp.run_line("cite Q(A) :- R(A)").unwrap();
+        assert!(out.contains("1 answer tuple(s) at version 1"), "{out}");
+        // Errors do not poison the session.
+        assert!(interp.run_line("bogus").is_err());
+        let out = interp.run_line("tables").unwrap();
+        assert!(out.contains("R: 1 tuples"));
+    }
+
+    #[test]
+    fn transaction_commits_atomically() {
+        let mut interp = Interpreter::new();
+        interp.run(PAPER_SCRIPT).unwrap();
+        let out = interp
+            .run(
+                "begin\n\
+                 insert Family(14, 'Ghrelin', 'G1')\n\
+                 insert FamilyIntro(14, '4th')\n\
+                 delete Family(13, 'Dopamine', 'D1')\n\
+                 commit\n\
+                 tables\n",
+            )
+            .unwrap();
+        assert!(out.contains("transaction open"), "{out}");
+        assert!(
+            out.contains("committed version 2 (3 op(s) in one transaction)"),
+            "{out}"
+        );
+        assert!(out.contains("Family: 3 tuples"), "{out}");
+        assert!(out.contains("FamilyIntro: 3 tuples"), "{out}");
+    }
+
+    #[test]
+    fn failed_transaction_rolls_back_everything() {
+        let mut interp = Interpreter::new();
+        interp.run(PAPER_SCRIPT).unwrap();
+        // The second op violates Family's key(0): the first op must be
+        // rolled back too, and no version committed.
+        let e = interp
+            .run(
+                "begin\n\
+                 insert FamilyIntro(13, '3rd')\n\
+                 insert Family(11, 'Clash', 'X')\n\
+                 commit\n",
+            )
+            .unwrap_err();
+        assert!(e.message.contains("transaction rolled back"), "{e}");
+        let out = interp.run("tables\ncommit\n").unwrap();
+        assert!(out.contains("FamilyIntro: 2 tuples"), "rolled back: {out}");
+        assert!(out.contains("committed version 2"), "v2 still free: {out}");
+    }
+
+    #[test]
+    fn commit_carries_pre_begin_ops_into_the_maintained_views() {
+        // Regression: a commit sealing both non-transactional ops (applied
+        // before `begin`) and a transaction buffer must delta-maintain the
+        // cached service with ALL of them — staging only the buffer would
+        // leave the pre-`begin` tuple out of the materialized views and
+        // silently serve wrong answers.
+        let mut interp = Interpreter::new();
+        interp.run(PAPER_SCRIPT).unwrap(); // cite → service cached at v1
+        let warm = interp.view_cache_stats().unwrap();
+        let out = interp
+            .run(
+                "insert FamilyIntro(13, '3rd')\n\
+                 begin\n\
+                 insert Family(14, 'Ghrelin', 'G1')\n\
+                 insert FamilyIntro(14, '4th')\n\
+                 commit\n\
+                 cite Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)\n",
+            )
+            .unwrap();
+        // All three intros visible: the pre-begin Dopamine intro AND the
+        // transactional Ghrelin family+intro.
+        assert!(out.contains("3 answer tuple(s) at version 2"), "{out}");
+        let s = interp.view_cache_stats().unwrap();
+        assert_eq!(
+            s.materializations, warm.materializations,
+            "carried by delta, not re-materialized: {s:?}"
+        );
+        assert_eq!(s.drops, 0, "{s:?}");
+    }
+
+    #[test]
+    fn cite_rejected_inside_open_transaction() {
+        let mut interp = Interpreter::new();
+        interp.run(PAPER_SCRIPT).unwrap();
+        interp.run_line("begin").unwrap();
+        interp.run_line("insert FamilyIntro(13, '3rd')").unwrap();
+        let e = interp
+            .run_line("cite Q(FName) :- Family(FID, FName, Desc)")
+            .unwrap_err();
+        assert!(e.message.contains("transaction open"), "{e}");
+        // Nested begin is rejected; rollback discards the buffer.
+        assert!(interp.run_line("begin").is_err());
+        let out = interp.run_line("rollback").unwrap();
+        assert!(out.contains("rolled back 1 buffered op(s)"), "{out}");
+        assert!(interp.run_line("rollback").is_err(), "nothing open");
+        // The buffered insert never landed.
+        let out = interp.run_line("tables").unwrap();
+        assert!(out.contains("FamilyIntro: 2 tuples"), "{out}");
+    }
+
+    #[test]
+    fn commit_delta_maintains_the_cached_service() {
+        let mut interp = Interpreter::new();
+        interp.run(PAPER_SCRIPT).unwrap();
+        let warm = interp.view_cache_stats().expect("service built by cite");
+        assert!(warm.materializations > 0);
+        assert_eq!(warm.drops, 0);
+        // A transactional commit: the service is carried by one batch
+        // delta (no view re-materialized, no whole-cache drop), and the
+        // next cite reuses the cached plan.
+        interp
+            .run("begin\ninsert FamilyIntro(13, '3rd')\ncommit\n")
+            .unwrap();
+        let out = interp
+            .run_line("cite Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+            .unwrap();
+        assert!(out.contains("2 answer tuple(s) at version 2"), "{out}");
+        let s = interp.view_cache_stats().unwrap();
+        assert_eq!(
+            s.materializations, warm.materializations,
+            "no re-materialization across the commit: {s:?}"
+        );
+        assert!(s.deltas_applied > 0, "{s:?}");
+        assert_eq!(s.drops, 0, "{s:?}");
+        let stats = interp.plan_cache_stats();
+        assert!(stats.hits >= 1, "plan survived the commit: {stats:?}");
+    }
+
+    #[test]
+    fn repeated_cites_reuse_the_plan_cache() {
+        let mut interp = Interpreter::new();
+        interp.run(PAPER_SCRIPT).unwrap();
+        // Same query shape at different λ-constants, repeatedly.
+        for fid in [11, 12, 11, 13] {
+            interp
+                .run_line(&format!(
+                    "cite Q(FName) :- Family({fid}, FName, Desc), FamilyIntro({fid}, Text)"
+                ))
+                .unwrap();
+        }
+        let stats = interp.plan_cache_stats();
+        assert_eq!(stats.misses, 2, "paper query + the parameterized shape");
+        assert!(stats.hits >= 3, "λ-variants must share one plan: {stats:?}");
+    }
+
+    #[test]
+    fn export_import_plans_round_trip() {
+        let mut warm = Interpreter::new();
+        warm.run(PAPER_SCRIPT).unwrap();
+        let exported = warm.export_plans();
+        assert!(exported.starts_with("citesys-plan-cache v1"));
+
+        // A second session with the same views: imported plans serve the
+        // cite without a fresh search.
+        let setup_only: String = PAPER_SCRIPT
+            .lines()
+            .filter(|l| !l.starts_with("cite ") && !l.starts_with("verify"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let mut cold = Interpreter::new();
+        cold.run(&setup_only).unwrap();
+        let n = cold.import_plans(&exported).unwrap();
+        assert_eq!(n, 1);
+        cold.run_line("cite Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+            .unwrap();
+        let stats = cold.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 0), "served from import");
+    }
+
+    #[test]
+    fn staged_plan_import_survives_view_registration() {
+        let mut warm = Interpreter::new();
+        warm.run(PAPER_SCRIPT).unwrap();
+        let exported = warm.export_plans();
+
+        // Staging before the script runs (the serve --plan-cache shape):
+        // the view commands swap caches, then the first cite imports.
+        let mut interp = Interpreter::new();
+        interp.stage_plan_import(exported);
+        let out = interp.run(PAPER_SCRIPT).unwrap();
+        assert!(out.contains("loaded 1 cached plan(s)"), "{out}");
+        let stats = interp.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 0), "{stats:?}");
+    }
+
+    #[test]
+    fn export_preserves_staged_plans_when_no_cite_ran() {
+        let mut warm = Interpreter::new();
+        warm.run(PAPER_SCRIPT).unwrap();
+        let exported = warm.export_plans();
+
+        // A serve session that loads a plan file, does some non-cite work
+        // and exits: save-on-exit must write the staged plans back, not
+        // an empty live cache.
+        let mut idle = Interpreter::new();
+        idle.stage_plan_import(exported.clone());
+        idle.run_line("schema R(A:int)").unwrap();
+        idle.run_line("insert R(1)").unwrap();
+        assert!(idle.has_pending_plan_import());
+        assert_eq!(idle.export_plans(), exported, "staged plans preserved");
+
+        // Once a cite consumes the import, export reflects the live cache.
+        let mut cited = Interpreter::new();
+        cited.stage_plan_import(exported.clone());
+        cited.run(PAPER_SCRIPT).unwrap();
+        assert!(!cited.has_pending_plan_import());
+        assert!(cited.export_plans().starts_with("citesys-plan-cache v1"));
+    }
+
+    #[test]
+    fn corrupt_plan_import_reports_citation_error() {
+        let mut interp = Interpreter::new();
+        assert!(interp.import_plans("garbage").is_err());
+        interp.stage_plan_import("garbage".to_string());
+        let e = interp.run(PAPER_SCRIPT).unwrap_err();
+        assert_eq!(e.kind, ScriptErrorKind::Citation);
+        assert!(e.message.contains("plan-cache file"), "{e}");
+    }
+
+    #[test]
+    fn view_registration_invalidates_plans() {
+        let mut interp = Interpreter::new();
+        interp
+            .run(
+                "schema R(A:int)\nschema S(A:int)\ninsert R(1)\ninsert S(1)\n\
+                 view VR(A) :- R(A) | cite CVR(D) :- D = 'r'\ncommit\n",
+            )
+            .unwrap();
+        // S is uncoverable; the empty plan gets cached.
+        assert!(interp.run_line("cite Q(A) :- S(A)").is_err());
+        assert!(interp.run_line("cite Q(A) :- S(A)").is_err());
+        // Registering a covering view must clear the cached empty plan.
+        interp
+            .run_line("view VS(A) :- S(A) | cite CVS(D) :- D = 's'")
+            .unwrap();
+        let out = interp.run_line("cite Q(A) :- S(A)").unwrap();
+        assert!(out.contains("1 answer tuple(s)"), "{out}");
+    }
+
+    #[test]
+    fn session_lines_expose_control_flow() {
+        let mut interp = Interpreter::new();
+        let reply = interp.run_session_line("schema R(A:int)").unwrap();
+        assert_eq!(reply.control, SessionControl::Continue);
+        assert!(reply.output.contains("schema R"));
+        let reply = interp.run_session_line("quit").unwrap();
+        assert_eq!(reply.control, SessionControl::Quit);
+        let reply = interp.run_session_line("shutdown").unwrap();
+        assert_eq!(reply.control, SessionControl::Shutdown);
+        // In a script file, the session commands are errors.
+        assert!(Interpreter::new().run("quit\n").is_err());
+    }
+
+    #[test]
+    fn stats_command_reports_counters() {
+        let mut interp = Interpreter::new();
+        interp.run(PAPER_SCRIPT).unwrap();
+        let out = interp.run_line("stats").unwrap();
+        assert!(out.contains("commits 1"), "{out}");
+        assert!(out.contains("plan_cache_misses 1"), "{out}");
+        assert!(out.contains("service_builds 1"), "{out}");
+    }
+
+    #[test]
+    fn isolated_sessions_share_one_store() {
+        // Two sessions over one shared store, no committer: writes from
+        // one are visible to the other only after its commit.
+        let shared = SharedStore::new_shared();
+        let mut a = Interpreter::session(Arc::clone(&shared), None);
+        let mut b = Interpreter::session(Arc::clone(&shared), None);
+        a.run_line("schema R(A:int)").unwrap();
+        a.run_line("insert R(1)").unwrap();
+        // Buffered in a's session: b sees nothing yet.
+        let out = b.run_line("tables").unwrap();
+        assert!(out.contains("R: 0 tuples"), "{out}");
+        let out = a.run_line("commit").unwrap();
+        assert!(
+            out.contains("committed version 1 (1 op(s), group of 1)"),
+            "{out}"
+        );
+        let out = b.run_line("tables").unwrap();
+        assert!(out.contains("R: 1 tuples"), "{out}");
+        // A dropped session takes its uncommitted buffer with it.
+        b.run_line("insert R(2)").unwrap();
+        drop(b);
+        let out = a.run_line("tables").unwrap();
+        assert!(out.contains("R: 1 tuples"), "{out}");
+    }
+
+    #[test]
+    fn isolated_conflict_rolls_back_only_that_transaction() {
+        let shared = SharedStore::new_shared();
+        let mut a = Interpreter::session(Arc::clone(&shared), None);
+        let mut b = Interpreter::session(Arc::clone(&shared), None);
+        a.run_line("schema R(A:int, B:text) key(0)").unwrap();
+        a.run_line("insert R(1, 'a')").unwrap();
+        a.run_line("commit").unwrap();
+        // b's transaction violates the key; a's next one is unaffected.
+        b.run_line("begin").unwrap();
+        b.run_line("insert R(1, 'clash')").unwrap();
+        let e = b.run_line("commit").unwrap_err();
+        assert!(e.message.contains("transaction rolled back"), "{e}");
+        let out = a.run_line("tables").unwrap();
+        assert!(out.contains("R: 1 tuples"), "{out}");
+    }
+}

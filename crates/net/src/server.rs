@@ -1,0 +1,326 @@
+//! The TCP front end: a hermetic, `std::net`-only server exposing the
+//! script command language as a wire protocol.
+//!
+//! Architecture (see ARCHITECTURE.md §"Network front end"):
+//!
+//! * a **bounded worker pool** — `workers` threads each accept and serve
+//!   one connection at a time on a shared non-blocking listener, so at
+//!   most `workers` sessions run concurrently and extra connections wait
+//!   in the OS accept backlog (no unbounded thread spawning);
+//! * **per-connection sessions** — each connection gets an isolated
+//!   [`Interpreter::session`] over the one shared store: mutations buffer
+//!   in the session, cites run on lock-free service clones, and a
+//!   dropped connection discards its open transaction;
+//! * the **group committer** — every session `commit` goes through one
+//!   [`GroupCommitter`] thread that coalesces racing transactions into
+//!   one merged changeset and one snapshot swap per commit window;
+//! * **plan-cache persistence** — with a `--plan-cache` path the server
+//!   stages the file's plans at startup and re-saves after any command
+//!   that changed the cache, so a killed server loses at most the last
+//!   in-flight search (the durability fix the stdin REPL shares).
+//!
+//! Sessions end on `quit`, EOF, an idle timeout, an oversized line, or
+//! server shutdown; the `shutdown` command stops the whole server
+//! gracefully (workers finish their current command, the committer
+//! drains, the plan cache is saved).
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::group::{GroupCommitHandle, GroupCommitter};
+use crate::persist::PlanSaver;
+use crate::protocol::{self, LineRead, LineReader, Response, WireErrorKind};
+use crate::script::{Interpreter, ScriptErrorKind, SessionControl, SharedStore, StoreStats};
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub addr: String,
+    /// Worker threads = maximum concurrent sessions.
+    pub workers: usize,
+    /// Close a session after this much input silence.
+    pub idle_timeout: Duration,
+    /// Group-commit coalescing window (`ZERO` = per-transaction
+    /// commits).
+    pub commit_window: Duration,
+    /// Plan-cache file to stage at startup and keep saved.
+    pub plan_cache: Option<std::path::PathBuf>,
+    /// Per-line byte cap (requests beyond it are protocol errors).
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 8,
+            idle_timeout: Duration::from_secs(300),
+            commit_window: Duration::from_millis(2),
+            plan_cache: None,
+            max_line_bytes: protocol::MAX_LINE_BYTES,
+        }
+    }
+}
+
+/// How often a blocked read wakes up to check idle budget and the
+/// shutdown flag.
+const READ_TICK: Duration = Duration::from_millis(50);
+
+/// A running server. Dropping it (or calling [`stop`](Server::stop))
+/// shuts it down and joins every thread.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Mutex<SharedStore>>,
+    shutdown: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+    committer: Option<GroupCommitter>,
+    saver: Option<Arc<PlanSaver>>,
+}
+
+impl Server {
+    /// Binds and starts serving in background threads; returns
+    /// immediately.
+    pub fn spawn(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = SharedStore::new_shared();
+        let saver = match &config.plan_cache {
+            Some(path) => {
+                match std::fs::read_to_string(path) {
+                    Ok(text) => shared.lock().stage_plan_import(text),
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                }
+                Some(Arc::new(PlanSaver::new(path)))
+            }
+            None => None,
+        };
+        let committer = GroupCommitter::spawn(Arc::clone(&shared), config.commit_window);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let listener = Arc::new(listener);
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let ctx = WorkerCtx {
+                    listener: Arc::clone(&listener),
+                    shared: Arc::clone(&shared),
+                    committer: committer.handle(),
+                    shutdown: Arc::clone(&shutdown),
+                    saver: saver.clone(),
+                    idle_timeout: config.idle_timeout,
+                    max_line_bytes: config.max_line_bytes,
+                };
+                std::thread::Builder::new()
+                    .name(format!("citesys-net-worker-{i}"))
+                    .spawn(move || worker_loop(ctx))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok(Server {
+            addr,
+            shared,
+            shutdown,
+            workers,
+            committer: Some(committer),
+            saver,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port request).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared store (stats inspection, tests).
+    pub fn shared(&self) -> &Arc<Mutex<SharedStore>> {
+        &self.shared
+    }
+
+    /// Write-path counter snapshot.
+    pub fn stats(&self) -> StoreStats {
+        self.shared.lock().stats()
+    }
+
+    /// True once a `shutdown` command (or [`stop`](Self::stop)) was
+    /// issued.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until a client issues `shutdown`, then tears down.
+    pub fn wait(mut self) {
+        while !self.is_shutdown() {
+            std::thread::sleep(READ_TICK);
+        }
+        self.teardown();
+    }
+
+    /// Initiates shutdown and joins every thread.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.teardown();
+    }
+
+    fn teardown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // After the workers: no more commits can arrive.
+        self.committer.take();
+        if let Some(saver) = &self.saver {
+            let _ = saver.maybe_save(&self.shared);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() || self.committer.is_some() {
+            self.teardown();
+        }
+    }
+}
+
+struct WorkerCtx {
+    listener: Arc<TcpListener>,
+    shared: Arc<Mutex<SharedStore>>,
+    committer: GroupCommitHandle,
+    shutdown: Arc<AtomicBool>,
+    saver: Option<Arc<PlanSaver>>,
+    idle_timeout: Duration,
+    max_line_bytes: usize,
+}
+
+fn worker_loop(ctx: WorkerCtx) {
+    while !ctx.shutdown.load(Ordering::SeqCst) {
+        match ctx.listener.accept() {
+            Ok((stream, _peer)) => {
+                // Connection errors end that session only; the worker
+                // moves on to the next accept.
+                let _ = serve_connection(&ctx, stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(READ_TICK);
+            }
+            Err(_) => std::thread::sleep(READ_TICK),
+        }
+    }
+}
+
+fn wire_kind(kind: ScriptErrorKind) -> WireErrorKind {
+    match kind {
+        ScriptErrorKind::Parse => WireErrorKind::Parse,
+        ScriptErrorKind::Citation => WireErrorKind::Citation,
+    }
+}
+
+fn serve_connection(ctx: &WorkerCtx, stream: TcpStream) -> io::Result<()> {
+    // Short read timeouts act as ticks: they bound how long a worker
+    // takes to notice shutdown or an exhausted idle budget, and the
+    // LineReader keeps partial lines across them.
+    stream.set_read_timeout(Some(READ_TICK))?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    writeln!(writer, "{}", protocol::BANNER)?;
+    writer.flush()?;
+    let mut reader = LineReader::new(stream, ctx.max_line_bytes);
+    let mut interp = Interpreter::session(Arc::clone(&ctx.shared), Some(ctx.committer.clone()));
+    // Idle budget is wall time since the last COMPLETED line: the
+    // deadline-aware read enforces it even against a client trickling
+    // bytes that never finish a line (which would evade a plain
+    // silence-based timeout and pin this worker forever).
+    let mut last_line = Instant::now();
+    loop {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            let _ = protocol::write_response(
+                &mut writer,
+                &Response::Err {
+                    kind: WireErrorKind::Proto,
+                    message: "server shutting down".into(),
+                },
+            );
+            return Ok(());
+        }
+        let deadline = last_line + ctx.idle_timeout;
+        let line = match reader.read_line_deadline(Some(deadline)) {
+            Ok(LineRead::Line(l)) => l,
+            Ok(LineRead::Eof) => return Ok(()),
+            Ok(LineRead::Oversized) => {
+                // Reject and close: resyncing would mean buffering the
+                // rest of an unbounded line. The session's open
+                // transaction dies with the connection.
+                let _ = protocol::write_response(
+                    &mut writer,
+                    &Response::Err {
+                        kind: WireErrorKind::Proto,
+                        message: format!("line exceeds {} bytes", ctx.max_line_bytes),
+                    },
+                );
+                return Ok(());
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // WouldBlock = one READ_TICK of full silence; TimedOut =
+                // the reader hit the deadline mid-line. Either way the
+                // wall clock decides.
+                if Instant::now() >= deadline {
+                    let _ = protocol::write_response(
+                        &mut writer,
+                        &Response::Err {
+                            kind: WireErrorKind::Proto,
+                            message: "idle timeout".into(),
+                        },
+                    );
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        last_line = Instant::now();
+        let result = interp.run_session_line(&line);
+        // Persist plan-cache changes BEFORE acking: once the client sees
+        // the response, the warm cache is already on disk (a killed
+        // server loses at most the in-flight command).
+        if let Some(saver) = &ctx.saver {
+            let _ = saver.maybe_save(&ctx.shared);
+        }
+        match result {
+            Ok(reply) => match reply.control {
+                SessionControl::Continue => {
+                    protocol::write_response(&mut writer, &Response::from_output(&reply.output))?;
+                }
+                SessionControl::Quit => {
+                    protocol::write_response(&mut writer, &Response::Ok(vec!["bye".into()]))?;
+                    return Ok(());
+                }
+                SessionControl::Shutdown => {
+                    protocol::write_response(
+                        &mut writer,
+                        &Response::Ok(vec!["shutting down".into()]),
+                    )?;
+                    ctx.shutdown.store(true, Ordering::SeqCst);
+                    return Ok(());
+                }
+            },
+            Err(e) => {
+                protocol::write_response(
+                    &mut writer,
+                    &Response::Err {
+                        kind: wire_kind(e.kind),
+                        message: e.message,
+                    },
+                )?;
+            }
+        }
+    }
+}

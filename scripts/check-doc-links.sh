@@ -50,6 +50,23 @@ grep -q 'Changeset' MIGRATION.md \
 grep -q 'arc-swap' MIGRATION.md \
     || { echo "MIGRATION.md concurrent-usage must cover the arc-swap read path"; fail=1; }
 
+# Content contract for the network front end: the architecture doc must
+# document the serving layer and its group-commit write path, the
+# quickstart must show how to start/drive the server, and the migration
+# guide must point embedders at citesys-net.
+grep -q '## Network front end' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must have a 'Network front end' section"; fail=1; }
+grep -qi 'group commit' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must document the group-commit write path"; fail=1; }
+grep -q 'snapshot_swaps' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must explain the commits-vs-swaps accounting"; fail=1; }
+grep -q 'serve --listen' README.md \
+    || { echo "README.md must quickstart 'citesys serve --listen'"; fail=1; }
+grep -q 'citesys client\|bin citesys -- client' README.md \
+    || { echo "README.md must quickstart the client mode"; fail=1; }
+grep -q 'citesys-net' MIGRATION.md \
+    || { echo "MIGRATION.md must cover the citesys-net front end"; fail=1; }
+
 if [ "$fail" -eq 0 ]; then
     echo "doc links ok (${docs[*]})"
 fi

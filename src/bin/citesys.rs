@@ -5,18 +5,25 @@
 //! $ citesys -                               # read the script from stdin
 //! $ citesys serve                           # interactive loop: one service, many cites
 //! $ citesys serve --plan-cache plans.txt    # …with rewrite plans persisted across runs
+//! $ citesys serve --listen 127.0.0.1:4242   # TCP server: many concurrent sessions
+//! $ citesys client 127.0.0.1:4242 script.cts
 //! $ citesys plans export session.cts plans.txt
 //! $ citesys plans import plans.txt
 //! ```
 //!
-//! See [`citesys::script`] for the command language.
+//! See [`citesys::script`] for the command language and
+//! [`citesys::net`] for the wire protocol.
 //!
 //! Exit codes: `0` success (including `--help`), `1` I/O error, `2` usage
 //! error, `3` script parse error, `4` citation/runtime error.
 
 use std::io::{BufRead, Read, Write};
+use std::time::Duration;
 
-use citesys::script::{Interpreter, ScriptError, ScriptErrorKind};
+use citesys::net::client::run_script;
+use citesys::net::persist::PlanSaver;
+use citesys::net::script::{Interpreter, ScriptError, ScriptErrorKind, SessionControl};
+use citesys::net::server::{Server, ServerConfig};
 
 const EXIT_IO: i32 = 1;
 const EXIT_USAGE: i32 = 2;
@@ -24,16 +31,25 @@ const EXIT_PARSE: i32 = 3;
 const EXIT_CITE: i32 = 4;
 
 fn usage() -> String {
-    "usage: citesys <script-file | - | serve | plans>\n\n\
+    "usage: citesys <script-file | - | serve | client | plans>\n\n\
      modes:\n  \
      <script-file>  run a script file\n  \
      -              read a whole script from stdin\n  \
-     serve [--plan-cache <path>]\n                 \
+     serve [--plan-cache <path>] [--listen <addr>] [--workers <n>]\n        \
+     [--idle-timeout <secs>] [--commit-window-ms <ms>]\n                 \
      interactive: execute each stdin line as it arrives,\n                 \
      reusing one citation service (warm plan cache) per session.\n                 \
      --plan-cache loads cached rewrite plans from <path> at the\n                 \
-     first cite (after the session's view registrations) and saves\n                 \
-     the cache back on exit\n  \
+     first cite (after the session's view registrations) and keeps\n                 \
+     the file saved after every change (a killed session loses at\n                 \
+     most the last in-flight search).\n                 \
+     --listen serves the same command language over TCP instead:\n                 \
+     concurrent sessions share one store, and racing begin…commit\n                 \
+     transactions group-commit into one snapshot swap per window\n                 \
+     (stop it with the 'shutdown' command)\n  \
+     client <addr> [script-file]\n                 \
+     run a script (or stdin) against a serve --listen server and\n                 \
+     print the responses\n  \
      plans export <script-file> <plans-file>\n                 \
      run a script (its cites populate the plan cache), then write\n                 \
      the cache to <plans-file>\n  \
@@ -47,7 +63,9 @@ fn usage() -> String {
      commit applies them atomically as one changeset (rollback discards)\n  \
      commit\n  \
      cite <query> [| format text|bibtex|ris|xml|json|csl] [| mode formal|pruned] [| policy minsize|union|first] [| partial]\n  \
-     verify / tables / dump Name / load Name from '<path>' / trace\n\n\
+     verify / tables / dump Name / load Name from '<path>' / trace\n  \
+     stats          commit/swap/group-window and plan-cache counters\n  \
+     quit / shutdown (interactive and network sessions)\n\n\
      plan files pin the registry they were exported under: pair a plan\n\
      file with the script that registers the same views\n\n\
      exit codes: 0 ok, 1 i/o error, 2 usage, 3 script parse error, 4 citation error"
@@ -61,29 +79,133 @@ fn exit_code_for(e: &ScriptError) -> i32 {
     }
 }
 
-/// The interactive loop: executes each line as it arrives against one
-/// persistent interpreter (and thus one warm plan cache). Errors are
-/// reported but do not end the session. With `plan_cache`, previously
-/// saved rewrite plans are staged for import and the cache is written
-/// back at end of input.
-fn serve(plan_cache: Option<&str>) -> i32 {
-    let stdin = std::io::stdin();
-    let mut interp = Interpreter::new();
-    let interactive = std::env::var_os("CITESYS_SERVE_SILENT").is_none();
-    if let Some(path) = plan_cache {
-        match std::fs::read_to_string(path) {
-            Ok(text) => interp.stage_plan_import(text),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                if interactive {
-                    eprintln!("plan cache {path} not found; starting cold");
-                }
+/// Options accepted by `citesys serve`.
+struct ServeOpts {
+    plan_cache: Option<String>,
+    listen: Option<String>,
+    workers: Option<usize>,
+    idle_timeout: Option<u64>,
+    commit_window_ms: Option<u64>,
+}
+
+fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, String> {
+    let mut opts = ServeOpts {
+        plan_cache: None,
+        listen: None,
+        workers: None,
+        idle_timeout: None,
+        commit_window_ms: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--plan-cache" => opts.plan_cache = Some(take("--plan-cache")?),
+            "--listen" => opts.listen = Some(take("--listen")?),
+            "--workers" => {
+                opts.workers = Some(
+                    take("--workers")?
+                        .parse()
+                        .map_err(|_| "--workers needs a number".to_string())?,
+                )
             }
-            Err(e) => {
-                eprintln!("error reading plan cache {path}: {e}");
-                return EXIT_IO;
+            "--idle-timeout" => {
+                opts.idle_timeout = Some(
+                    take("--idle-timeout")?
+                        .parse()
+                        .map_err(|_| "--idle-timeout needs seconds".to_string())?,
+                )
+            }
+            "--commit-window-ms" => {
+                opts.commit_window_ms = Some(
+                    take("--commit-window-ms")?
+                        .parse()
+                        .map_err(|_| "--commit-window-ms needs milliseconds".to_string())?,
+                )
+            }
+            other => return Err(format!("unknown serve option '{other}'")),
+        }
+    }
+    // The pool/timeout/window knobs configure the TCP server; accepting
+    // them for the stdin REPL would silently ignore them.
+    if opts.listen.is_none() {
+        for (flag, set) in [
+            ("--workers", opts.workers.is_some()),
+            ("--idle-timeout", opts.idle_timeout.is_some()),
+            ("--commit-window-ms", opts.commit_window_ms.is_some()),
+        ] {
+            if set {
+                return Err(format!("{flag} requires --listen <addr>"));
             }
         }
     }
+    Ok(opts)
+}
+
+/// `serve --listen`: the TCP front end. Blocks until a client issues
+/// `shutdown`.
+fn serve_tcp(opts: &ServeOpts) -> i32 {
+    let mut config = ServerConfig {
+        addr: opts.listen.clone().expect("caller checked"),
+        plan_cache: opts.plan_cache.clone().map(Into::into),
+        ..Default::default()
+    };
+    if let Some(w) = opts.workers {
+        config.workers = w;
+    }
+    if let Some(s) = opts.idle_timeout {
+        config.idle_timeout = Duration::from_secs(s);
+    }
+    if let Some(ms) = opts.commit_window_ms {
+        config.commit_window = Duration::from_millis(ms);
+    }
+    let server = match Server::spawn(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error starting server: {e}");
+            return EXIT_IO;
+        }
+    };
+    // Parsed by scripts/CI to discover an ephemeral port.
+    println!("listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    server.wait();
+    eprintln!("server stopped");
+    0
+}
+
+/// The interactive stdin loop: executes each line as it arrives against
+/// one persistent interpreter (and thus one warm plan cache). Errors are
+/// reported but do not end the session. With `plan_cache`, previously
+/// saved rewrite plans are staged for import and the file is re-saved
+/// **after every change** — an interrupted session (SIGINT, killed
+/// terminal) keeps its warm cache on disk.
+fn serve_stdin(plan_cache: Option<&str>) -> i32 {
+    let stdin = std::io::stdin();
+    let mut interp = Interpreter::new();
+    let interactive = std::env::var_os("CITESYS_SERVE_SILENT").is_none();
+    let saver = match plan_cache {
+        Some(path) => {
+            match std::fs::read_to_string(path) {
+                Ok(text) => interp.stage_plan_import(text),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    if interactive {
+                        eprintln!("plan cache {path} not found; starting cold");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error reading plan cache {path}: {e}");
+                    return EXIT_IO;
+                }
+            }
+            Some(PlanSaver::new(path))
+        }
+        None => None,
+    };
     if interactive {
         eprintln!("citesys serve — one command per line, Ctrl-D to exit");
     }
@@ -95,35 +217,82 @@ fn serve(plan_cache: Option<&str>) -> i32 {
                 return EXIT_IO;
             }
         };
-        match interp.run_line(&line) {
-            Ok(out) => {
-                print!("{out}");
+        match interp.run_session_line(&line) {
+            Ok(reply) => {
+                print!("{}", reply.output);
                 let _ = std::io::stdout().flush();
+                if reply.control != SessionControl::Continue {
+                    break;
+                }
             }
             Err(e) => eprintln!("error: {}", e.message),
         }
+        // Durability: persist plan-cache changes as they happen, not
+        // just at clean end-of-input.
+        if let Some(saver) = &saver {
+            if let Err(e) = saver.maybe_save(interp.shared()) {
+                eprintln!("error writing plan cache {}: {e}", saver.path().display());
+            }
+        }
     }
-    if let Some(path) = plan_cache {
-        // A session that never cited leaves the staged import unconsumed
-        // (and its own cache empty): keep the file as it was instead of
-        // rewriting it. (`export_plans` would return the staged text
-        // verbatim in this state anyway — skipping the write just avoids
-        // touching the file at all.)
+    if let Some(saver) = &saver {
         if interp.has_pending_plan_import() {
+            // A session that never cited leaves the staged import
+            // unconsumed (and its own cache empty): keep the file as it
+            // was instead of rewriting it.
             if interactive {
-                eprintln!("no cite ran; leaving plan cache {path} untouched");
+                eprintln!(
+                    "no cite ran; leaving plan cache {} untouched",
+                    saver.path().display()
+                );
             }
             return 0;
         }
-        if let Err(e) = std::fs::write(path, interp.export_plans()) {
-            eprintln!("error writing plan cache {path}: {e}");
-            return EXIT_IO;
-        }
-        if interactive {
-            eprintln!("plan cache saved to {path}");
+        match saver.maybe_save(interp.shared()) {
+            Ok(_) => {
+                if interactive {
+                    eprintln!("plan cache saved to {}", saver.path().display());
+                }
+            }
+            Err(e) => {
+                eprintln!("error writing plan cache {}: {e}", saver.path().display());
+                return EXIT_IO;
+            }
         }
     }
     0
+}
+
+/// `client <addr> [script-file]`.
+fn client(args: &[String]) -> i32 {
+    let Some(addr) = args.first() else {
+        eprintln!("usage: citesys client <addr> [script-file]");
+        return EXIT_USAGE;
+    };
+    if args.len() > 2 {
+        eprintln!("usage: citesys client <addr> [script-file]");
+        return EXIT_USAGE;
+    }
+    let script = match args.get(1) {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error reading {path}: {e}");
+                return EXIT_IO;
+            }
+        },
+        None => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("error reading stdin: {e}");
+                return EXIT_IO;
+            }
+            buf
+        }
+    };
+    let mut out = std::io::stdout();
+    let mut err = std::io::stderr();
+    run_script(addr, &script, &mut out, &mut err)
 }
 
 /// `plans export <script> <out>` / `plans import <file>`.
@@ -197,21 +366,22 @@ fn main() {
             std::process::exit(EXIT_USAGE);
         }
         Some("serve") => {
-            let plan_cache = match args.get(1).map(String::as_str) {
-                Some("--plan-cache") => match args.get(2) {
-                    Some(path) if args.len() == 3 => Some(path.as_str()),
-                    _ => {
-                        eprintln!("usage: citesys serve [--plan-cache <path>]");
-                        std::process::exit(EXIT_USAGE);
-                    }
-                },
-                Some(other) => {
-                    eprintln!("unknown serve option '{other}'\n\n{}", usage());
+            let opts = match parse_serve_opts(&args[1..]) {
+                Ok(opts) => opts,
+                Err(e) => {
+                    eprintln!("{e}\n\n{}", usage());
                     std::process::exit(EXIT_USAGE);
                 }
-                None => None,
             };
-            std::process::exit(serve(plan_cache));
+            let code = if opts.listen.is_some() {
+                serve_tcp(&opts)
+            } else {
+                serve_stdin(opts.plan_cache.as_deref())
+            };
+            std::process::exit(code);
+        }
+        Some("client") => {
+            std::process::exit(client(&args[1..]));
         }
         Some("plans") => {
             std::process::exit(plans(&args[1..]));

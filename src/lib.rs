@@ -55,6 +55,7 @@ pub mod script;
 pub use citesys_core as core;
 pub use citesys_cq as cq;
 pub use citesys_gtopdb as gtopdb;
+pub use citesys_net as net;
 pub use citesys_provenance as provenance;
 pub use citesys_rewrite as rewrite;
 pub use citesys_storage as storage;

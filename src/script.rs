@@ -1,1226 +1,12 @@
-//! A line-oriented script language driving the whole citation stack —
-//! the `citesys` CLI's engine, kept as a library so every behaviour is
-//! unit-testable.
+//! The line-oriented script language driving the whole citation stack.
 //!
-//! ```text
-//! # comments start with '#'
-//! schema Family(FID:int, FName:text, Desc:text) key(0)
-//! insert Family(11, 'Calcitonin', 'C1')
-//! view λ FID. V1(FID, N, D) :- Family(FID, N, D) | cite λ FID. CV1(FID, P) :- Committee(FID, P) | static database=GtoPdb
-//! commit
-//! cite Q(N) :- Family(F, N, D) | format bibtex | mode formal | policy union
-//! begin                          # buffer a transaction…
-//! insert Family(14, 'Ghrelin', 'G1')
-//! delete Family(11, 'Calcitonin', 'C1')
-//! commit                         # …applied atomically as one changeset
-//! tables
-//! dump Family
-//! ```
-//!
-//! Every `cite` runs against the latest committed version and embeds a
-//! fixity token; `verify <token-digest>` re-checks the last citation.
-//!
-//! `begin` opens a transaction: subsequent `insert`/`delete` lines are
-//! buffered and `commit` applies them **atomically** as one
-//! [`Changeset`] (all-or-nothing; `rollback` discards the buffer). With
-//! or without `begin`, each `commit` carries the committed ops into the
-//! cached service's materialized views by batch delta maintenance — one
-//! snapshot swap per commit, however many tuples changed.
-//!
-//! The interpreter keeps one [`CitationService`] snapshot per committed
-//! version and shares its rewrite-plan caches across `cite` commands, so a
-//! script (or a long-running `citesys serve` session) that re-cites the
-//! same query shape — even at different λ-parameter constants — pays for
-//! the rewriting search only once. Registering a view invalidates the
-//! shared plan caches (the rewriting space changed).
+//! The implementation lives in [`citesys_net::script`] (one interpreter
+//! shared by the script runner, the stdin REPL and the TCP server —
+//! commands are parsed by [`citesys_net::protocol`], so the front ends
+//! cannot drift) and is re-exported here for source compatibility:
+//! `citesys::script::Interpreter` keeps working.
 
-use std::fmt;
-use std::sync::Arc;
-
-use citesys_core::{
-    cite_with_service, format_citation, verify, CitationFormat, CitationFunction, CitationMode,
-    CitationQuery, CitationRegistry, CitationService, CitationView, Coverage, EngineOptions,
-    FixityToken, PlanCache, PolicySet, RewritePolicy,
+pub use citesys_net::script::{
+    Interpreter, ScriptError, ScriptErrorKind, SessionControl, SessionReply, SharedStore,
+    StoreStats,
 };
-use citesys_cq::{parse_query, Value, ValueType};
-use citesys_storage::{to_csv, Changeset, RelationSchema, Tuple, VersionedDatabase};
-
-/// What went wrong, at the granularity the CLI's exit codes report.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum ScriptErrorKind {
-    /// The script itself is malformed (unknown command, bad syntax).
-    Parse,
-    /// The script is well-formed but a data/citation operation failed.
-    Citation,
-}
-
-/// A script-level error, tagged with its 1-based line number and kind.
-#[derive(Debug)]
-pub struct ScriptError {
-    /// Line the error occurred on.
-    pub line: usize,
-    /// Parse vs citation/runtime failure (drives the CLI exit code).
-    pub kind: ScriptErrorKind,
-    /// Human-readable message.
-    pub message: String,
-}
-
-impl fmt::Display for ScriptError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
-    }
-}
-
-impl std::error::Error for ScriptError {}
-
-/// Internal command-level error: a kind plus a message.
-type CmdError = (ScriptErrorKind, String);
-
-fn parse_err(message: impl Into<String>) -> CmdError {
-    (ScriptErrorKind::Parse, message.into())
-}
-
-fn cite_err(message: impl Into<String>) -> CmdError {
-    (ScriptErrorKind::Citation, message.into())
-}
-
-/// The stateful interpreter.
-pub struct Interpreter {
-    store: Option<VersionedDatabase>,
-    schemas: Vec<RelationSchema>,
-    registry: CitationRegistry,
-    /// Shared rewrite-plan caches: one for strict cites, one for cites
-    /// with the `partial` fallback (the two can cache different plans for
-    /// the same query). Cleared when a view is registered.
-    plans_strict: Arc<PlanCache>,
-    plans_partial: Arc<PlanCache>,
-    /// Plan-cache text staged by `serve --plan-cache`, loaded at the
-    /// first `cite` (after the session's `view` commands have settled the
-    /// registry — loading earlier would be dropped by the cache swap each
-    /// registration performs).
-    pending_plan_import: Option<String>,
-    /// Service over the latest committed snapshot, rebuilt on demand and
-    /// carried across commits by batch delta maintenance.
-    service: Option<(u64, bool, CitationService)>,
-    /// An open `begin … commit` transaction: buffered insert/delete ops,
-    /// applied atomically as one changeset at `commit`.
-    txn: Option<Changeset>,
-    last_token: Option<FixityToken>,
-    trace_next: bool,
-    out: String,
-}
-
-impl Default for Interpreter {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Interpreter {
-    /// A fresh interpreter with no schema.
-    pub fn new() -> Self {
-        Interpreter {
-            store: None,
-            schemas: Vec::new(),
-            registry: CitationRegistry::new(),
-            plans_strict: Arc::new(PlanCache::new(citesys_core::DEFAULT_PLAN_CACHE_CAPACITY)),
-            plans_partial: Arc::new(PlanCache::new(citesys_core::DEFAULT_PLAN_CACHE_CAPACITY)),
-            pending_plan_import: None,
-            service: None,
-            txn: None,
-            last_token: None,
-            trace_next: false,
-            out: String::new(),
-        }
-    }
-
-    /// Runs a whole script, returning the accumulated output.
-    pub fn run(&mut self, script: &str) -> Result<String, ScriptError> {
-        for (i, raw) in script.lines().enumerate() {
-            self.run_numbered_line(i + 1, raw)?;
-        }
-        Ok(std::mem::take(&mut self.out))
-    }
-
-    /// Runs a single script line (the `serve` loop's entry point),
-    /// returning the output it produced. State persists across calls.
-    pub fn run_line(&mut self, raw: &str) -> Result<String, ScriptError> {
-        self.run_numbered_line(1, raw)?;
-        Ok(std::mem::take(&mut self.out))
-    }
-
-    fn run_numbered_line(&mut self, line_no: usize, raw: &str) -> Result<(), ScriptError> {
-        let line = strip_comment(raw).trim();
-        if line.is_empty() {
-            return Ok(());
-        }
-        self.command(line).map_err(|(kind, message)| ScriptError {
-            line: line_no,
-            kind,
-            message,
-        })
-    }
-
-    fn say(&mut self, s: impl AsRef<str>) {
-        self.out.push_str(s.as_ref());
-        self.out.push('\n');
-    }
-
-    fn command(&mut self, line: &str) -> Result<(), CmdError> {
-        let (head, rest) = line.split_once(' ').unwrap_or((line, ""));
-        match head {
-            "schema" => self.cmd_schema(rest),
-            "insert" => self.cmd_insert(rest),
-            "delete" => self.cmd_delete(rest),
-            "view" => self.cmd_view(rest),
-            "begin" => self.cmd_begin(),
-            "rollback" => self.cmd_rollback(),
-            "commit" => self.cmd_commit(),
-            "cite" => self.cmd_cite(rest),
-            "verify" => self.cmd_verify(),
-            "tables" => self.cmd_tables(),
-            "dump" => self.cmd_dump(rest),
-            "load" => self.cmd_load(rest),
-            "trace" => {
-                // `trace` arms a derivation trace for the next `cite`.
-                self.trace_next = true;
-                Ok(())
-            }
-            other => Err(parse_err(format!("unknown command: {other}"))),
-        }
-    }
-
-    // schema Family(FID:int, FName:text, Desc:text) key(0, 1)
-    fn cmd_schema(&mut self, rest: &str) -> Result<(), CmdError> {
-        if self.store.is_some() {
-            return Err(parse_err("schema must be declared before any data command"));
-        }
-        let (name, after) = rest
-            .split_once('(')
-            .ok_or_else(|| parse_err("expected Name(attr:type, …)"))?;
-        let (attrs_str, tail) = after
-            .split_once(')')
-            .ok_or_else(|| parse_err("missing ')'"))?;
-        let mut attrs = Vec::new();
-        for part in attrs_str.split(',') {
-            let (n, t) = part
-                .trim()
-                .split_once(':')
-                .ok_or_else(|| parse_err(format!("attribute '{part}' lacks ':type'")))?;
-            let ty = match t.trim() {
-                "int" => ValueType::Int,
-                "text" => ValueType::Text,
-                "bool" => ValueType::Bool,
-                other => return Err(parse_err(format!("unknown type '{other}'"))),
-            };
-            attrs.push((n.trim().to_string(), ty));
-        }
-        let mut key = Vec::new();
-        let tail = tail.trim();
-        if let Some(k) = tail.strip_prefix("key(") {
-            let inner = k
-                .strip_suffix(')')
-                .ok_or_else(|| parse_err("missing ')' in key"))?;
-            for idx in inner.split(',') {
-                let i: usize = idx
-                    .trim()
-                    .parse()
-                    .map_err(|_| parse_err(format!("bad key position '{idx}'")))?;
-                if i >= attrs.len() {
-                    return Err(parse_err(format!("key position {i} out of range")));
-                }
-                key.push(i);
-            }
-        } else if !tail.is_empty() {
-            return Err(parse_err(format!("unexpected trailing input: '{tail}'")));
-        }
-        let parts: Vec<(&str, ValueType)> = attrs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
-        let schema = RelationSchema::from_parts(name.trim(), &parts, &key);
-        self.say(format!(
-            "schema {} ({} attributes)",
-            name.trim(),
-            parts.len()
-        ));
-        self.schemas.push(schema);
-        Ok(())
-    }
-
-    fn store_mut(&mut self) -> Result<&mut VersionedDatabase, CmdError> {
-        if self.store.is_none() {
-            if self.schemas.is_empty() {
-                return Err(parse_err("no schema declared"));
-            }
-            let store = VersionedDatabase::new(self.schemas.clone())
-                .map_err(|e| cite_err(e.to_string()))?;
-            self.store = Some(store);
-        }
-        Ok(self.store.as_mut().expect("just initialized"))
-    }
-
-    // insert Family(11, 'Calcitonin', 'C1')
-    fn cmd_insert(&mut self, rest: &str) -> Result<(), CmdError> {
-        let (name, tuple) = parse_ground_atom(rest).map_err(parse_err)?;
-        if let Some(txn) = &mut self.txn {
-            // Buffered: validated and applied atomically at `commit`.
-            txn.insert(&name, tuple);
-            return Ok(());
-        }
-        let changed = self
-            .store_mut()?
-            .insert(&name, tuple)
-            .map_err(|e| cite_err(e.to_string()))?;
-        if !changed {
-            self.say("(duplicate ignored)");
-        }
-        Ok(())
-    }
-
-    fn cmd_delete(&mut self, rest: &str) -> Result<(), CmdError> {
-        let (name, tuple) = parse_ground_atom(rest).map_err(parse_err)?;
-        if let Some(txn) = &mut self.txn {
-            txn.delete(&name, tuple);
-            return Ok(());
-        }
-        let changed = self
-            .store_mut()?
-            .delete(&name, &tuple)
-            .map_err(|e| cite_err(e.to_string()))?;
-        if !changed {
-            self.say("(no such tuple)");
-        }
-        Ok(())
-    }
-
-    /// Opens a transaction: subsequent insert/delete lines buffer into
-    /// one changeset until `commit` (atomic) or `rollback` (discard).
-    fn cmd_begin(&mut self) -> Result<(), CmdError> {
-        if self.txn.is_some() {
-            return Err(cite_err(
-                "transaction already open: run 'commit' or 'rollback' first",
-            ));
-        }
-        self.txn = Some(Changeset::new());
-        self.say("transaction open");
-        Ok(())
-    }
-
-    /// Discards an open transaction's buffered ops.
-    fn cmd_rollback(&mut self) -> Result<(), CmdError> {
-        match self.txn.take() {
-            Some(changes) => {
-                self.say(format!("rolled back {} buffered op(s)", changes.len()));
-                Ok(())
-            }
-            None => Err(cite_err("no open transaction")),
-        }
-    }
-
-    // view <rule> | cite <rule> [| cite <rule>] [| static k=v]...
-    fn cmd_view(&mut self, rest: &str) -> Result<(), CmdError> {
-        let mut parts = rest.split('|').map(str::trim);
-        let view_rule = parts.next().ok_or_else(|| parse_err("missing view rule"))?;
-        let view = parse_query(view_rule).map_err(|e| parse_err(e.to_string()))?;
-        let mut citation_queries = Vec::new();
-        let mut function = CitationFunction::new();
-        for part in parts {
-            if let Some(rule) = part.strip_prefix("cite ") {
-                let q = parse_query(rule.trim()).map_err(|e| parse_err(e.to_string()))?;
-                // Constant single-column citation queries (the paper's CV2
-                // pattern) get the friendlier field name "citation".
-                let cq = if q.is_constant() && q.arity() == 1 {
-                    CitationQuery::with_fields(q, vec!["citation".to_string()])
-                        .expect("arity checked")
-                } else {
-                    CitationQuery::new(q)
-                };
-                citation_queries.push(cq);
-            } else if let Some(kv) = part.strip_prefix("static ") {
-                let (k, v) = kv
-                    .split_once('=')
-                    .ok_or_else(|| parse_err(format!("static '{kv}' lacks '='")))?;
-                function = function.with_static(k.trim(), v.trim());
-            } else {
-                return Err(parse_err(format!("unknown view clause: '{part}'")));
-            }
-        }
-        let name = view.name().to_string();
-        let cv = CitationView::new(view, citation_queries, function)
-            .map_err(|e| cite_err(e.to_string()))?;
-        self.registry.add(cv).map_err(|e| cite_err(e.to_string()))?;
-        // The rewriting space changed: drop the service built over the
-        // stale registry and swap in FRESH plan caches (replacing the
-        // `Arc`s, so nothing holding the old caches can leak old-registry
-        // plans back in).
-        self.plans_strict = Arc::new(PlanCache::new(citesys_core::DEFAULT_PLAN_CACHE_CAPACITY));
-        self.plans_partial = Arc::new(PlanCache::new(citesys_core::DEFAULT_PLAN_CACHE_CAPACITY));
-        self.service = None;
-        self.say(format!("view {name} registered"));
-        Ok(())
-    }
-
-    fn cmd_commit(&mut self) -> Result<(), CmdError> {
-        let txn = self.txn.take();
-        let txn_ops = txn.as_ref().map(Changeset::len);
-        let (v, changes) = {
-            let store = self.store_mut()?;
-            // Transactional: apply the buffered ops atomically first — a
-            // failing op rolls the whole batch back and nothing is
-            // committed (the buffer is discarded either way).
-            if let Some(changes) = txn {
-                store
-                    .apply_changeset(&changes)
-                    .map_err(|e| cite_err(format!("transaction rolled back: {e}")))?;
-            }
-            // Delta-maintain with EVERYTHING this commit seals: the
-            // pending log covers both non-transactional ops applied
-            // before any `begin` and the effective transaction ops just
-            // applied — using only the transaction buffer would leave
-            // pre-`begin` ops out of the materializations.
-            let changes = Changeset::from_ops(store.pending_ops().to_vec());
-            (store.commit(), changes)
-        };
-        self.refresh_service_after_commit(v, &changes);
-        match txn_ops {
-            Some(n) => self.say(format!(
-                "committed version {v} ({n} op(s) in one transaction)"
-            )),
-            None => self.say(format!("committed version {v}")),
-        }
-        Ok(())
-    }
-
-    /// Carries a cached service across a commit by **batch delta
-    /// maintenance**: the committed ops are staged as one changeset
-    /// against the old snapshot and applied to the new one in a single
-    /// snapshot swap, keeping both the plan cache and the materialized
-    /// views warm instead of rebuilding the service cold.
-    fn refresh_service_after_commit(&mut self, v_new: u64, changes: &Changeset) {
-        let Some((v_old, partial, svc)) = self.service.take() else {
-            return;
-        };
-        if v_old + 1 != v_new {
-            return;
-        }
-        let store = self.store.as_ref().expect("commit initialized the store");
-        let Ok(snapshot) = store.snapshot(v_new) else {
-            return;
-        };
-        let pending = svc.stage_batch(changes);
-        let next = svc.with_database_delta(snapshot, pending);
-        self.service = Some((v_new, partial, next));
-    }
-
-    // cite <rule> [| format f] [| mode m] [| policy p] [| partial]
-    fn cmd_cite(&mut self, rest: &str) -> Result<(), CmdError> {
-        let mut parts = rest.split('|').map(str::trim);
-        let rule = parts.next().ok_or_else(|| parse_err("missing query"))?;
-        let q = parse_query(rule).map_err(|e| parse_err(e.to_string()))?;
-        let mut format = CitationFormat::Text;
-        let mut options = EngineOptions {
-            mode: CitationMode::Formal,
-            ..Default::default()
-        };
-        for part in parts {
-            match part.split_once(' ').map(|(a, b)| (a, b.trim())) {
-                Some(("format", f)) => {
-                    format = match f {
-                        "text" => CitationFormat::Text,
-                        "bibtex" => CitationFormat::BibTex,
-                        "ris" => CitationFormat::Ris,
-                        "xml" => CitationFormat::Xml,
-                        "json" => CitationFormat::Json,
-                        "csl" => CitationFormat::CslJson,
-                        other => return Err(parse_err(format!("unknown format '{other}'"))),
-                    }
-                }
-                Some(("mode", m)) => {
-                    options.mode = match m {
-                        "formal" => CitationMode::Formal,
-                        "pruned" => CitationMode::CostPruned,
-                        other => return Err(parse_err(format!("unknown mode '{other}'"))),
-                    }
-                }
-                Some(("policy", p)) => {
-                    options.policies = PolicySet {
-                        rewritings: match p {
-                            "minsize" => RewritePolicy::MinSize,
-                            "union" => RewritePolicy::Union,
-                            "first" => RewritePolicy::First,
-                            other => return Err(parse_err(format!("unknown policy '{other}'"))),
-                        },
-                        ..Default::default()
-                    }
-                }
-                None if part == "partial" => options.allow_partial = true,
-                _ => return Err(parse_err(format!("unknown cite clause: '{part}'"))),
-            }
-        }
-        if let Some(text) = self.pending_plan_import.take() {
-            let n = self
-                .plans_strict
-                .load_text(&text)
-                .map_err(|e| cite_err(format!("plan-cache file: {e}")))?;
-            self.say(format!("loaded {n} cached plan(s)"));
-        }
-        if self.txn.is_some() {
-            return Err(cite_err(
-                "transaction open: run 'commit' (or 'rollback') before 'cite'",
-            ));
-        }
-        let store = self.store_mut()?;
-        if store.has_pending() {
-            return Err(cite_err("uncommitted changes: run 'commit' before 'cite'"));
-        }
-        let version = store.latest_version();
-        let service = self.service_at(version, options)?;
-        let (cited, token) =
-            cite_with_service(&service, version, &q).map_err(|e| cite_err(e.to_string()))?;
-        self.say(format!(
-            "{} answer tuple(s) at version {version}",
-            cited.answer.len()
-        ));
-        if let Coverage::Partial { uncited } = cited.coverage {
-            self.say(format!("coverage: partial ({uncited} uncited)"));
-        }
-        if let Some(agg) = &cited.aggregate {
-            self.say(format_citation(&agg.snippets, Some(&token), format).trim_end());
-        }
-        if self.trace_next {
-            self.trace_next = false;
-            self.say(citesys_core::trace_answer(&cited).trim_end());
-        }
-        self.last_token = Some(token);
-        Ok(())
-    }
-
-    fn cmd_verify(&mut self) -> Result<(), CmdError> {
-        let token = self
-            .last_token
-            .clone()
-            .ok_or_else(|| cite_err("no citation to verify"))?;
-        let store = self.store.as_ref().ok_or_else(|| cite_err("no data"))?;
-        verify(store, &token).map_err(|e| cite_err(e.to_string()))?;
-        self.say(format!(
-            "fixity verified: v{} {}",
-            token.version, token.digest
-        ));
-        Ok(())
-    }
-
-    fn cmd_tables(&mut self) -> Result<(), CmdError> {
-        let lines: Vec<String> = {
-            let store = self.store_mut()?;
-            store
-                .current()
-                .relations()
-                .map(|(name, rel)| format!("{name}: {} tuples", rel.len()))
-                .collect()
-        };
-        for l in lines {
-            self.say(l);
-        }
-        Ok(())
-    }
-
-    fn cmd_dump(&mut self, rest: &str) -> Result<(), CmdError> {
-        let name = rest.trim();
-        let csv = {
-            let store = self.store_mut()?;
-            let rel = store
-                .current()
-                .relation(name)
-                .map_err(|e| cite_err(e.to_string()))?;
-            to_csv(rel)
-        };
-        self.say(csv.trim_end());
-        Ok(())
-    }
-
-    // load Family from 'path.csv'  — bulk-loads CSV rows into an existing
-    // relation (the header row's name:type columns must match the schema).
-    fn cmd_load(&mut self, rest: &str) -> Result<(), CmdError> {
-        let (name, after) = rest
-            .trim()
-            .split_once(" from ")
-            .ok_or_else(|| parse_err("expected: load <Relation> from '<path>'"))?;
-        let path = after.trim().trim_matches('\'');
-        let content = std::fs::read_to_string(path)
-            .map_err(|e| cite_err(format!("cannot read {path}: {e}")))?;
-        let name = name.trim();
-        let (_, tuples) =
-            citesys_storage::from_csv(name, &[], &content).map_err(|e| cite_err(e.to_string()))?;
-        let store = self.store_mut()?;
-        let mut n = 0usize;
-        for t in tuples {
-            if store.insert(name, t).map_err(|e| cite_err(e.to_string()))? {
-                n += 1;
-            }
-        }
-        self.say(format!("loaded {n} tuple(s) into {name}"));
-        Ok(())
-    }
-
-    /// Returns (building if needed) a service over the snapshot of
-    /// `version` with the given options, reusing the interpreter's shared
-    /// plan caches. Rebuilt only when the version or the partial flag
-    /// changes — mode and policies do not affect plans, so they are set
-    /// fresh on every call via the builder.
-    fn service_at(
-        &mut self,
-        version: u64,
-        options: EngineOptions,
-    ) -> Result<CitationService, CmdError> {
-        if let Some((v, partial, svc)) = &self.service {
-            if *v == version && *partial == options.allow_partial {
-                // Same snapshot and plan-compatible options: reuse the
-                // service — including its materialized-view cache — with
-                // this cite's mode/policies applied.
-                return svc
-                    .with_options(options)
-                    .map_err(|e| cite_err(e.to_string()));
-            }
-        }
-        let store = self.store.as_ref().expect("caller initialized the store");
-        let snapshot = store
-            .snapshot(version)
-            .map_err(|e| cite_err(e.to_string()))?;
-        let plans = if options.allow_partial {
-            Arc::clone(&self.plans_partial)
-        } else {
-            Arc::clone(&self.plans_strict)
-        };
-        let svc = CitationService::builder()
-            .database(snapshot)
-            .registry(self.registry.clone())
-            .options(options)
-            .shared_plan_cache(plans)
-            .build()
-            .map_err(|e| cite_err(e.to_string()))?;
-        self.service = Some((version, options.allow_partial, svc.clone()));
-        Ok(svc)
-    }
-
-    /// Counters of the strict (non-partial) plan cache — how much
-    /// rewriting-search work the session has amortized.
-    pub fn plan_cache_stats(&self) -> citesys_core::PlanCacheStats {
-        self.plans_strict.stats()
-    }
-
-    /// Serializes the strict plan cache to the `citesys-plan-cache v1`
-    /// text form (the `serve --plan-cache` / `plans export` persistence
-    /// format). The partial-fallback cache is session-local and not
-    /// persisted.
-    ///
-    /// A staged import that no `cite` has consumed yet is returned
-    /// verbatim instead: the live cache is necessarily empty in that
-    /// state, and a `serve --plan-cache` session that exits without
-    /// citing must save the plans it was handed, not truncate the file
-    /// with an empty cache.
-    pub fn export_plans(&self) -> String {
-        if let Some(staged) = &self.pending_plan_import {
-            return staged.clone();
-        }
-        self.plans_strict.to_text()
-    }
-
-    /// Loads plans serialized by [`export_plans`](Self::export_plans)
-    /// into the strict plan cache, returning how many were loaded.
-    ///
-    /// Plans are only sound for the registry they were computed under;
-    /// registering a view afterwards replaces the cache (dropping the
-    /// imported plans), which keeps a stale import from outliving a
-    /// changed rewriting space within a session. Across sessions the
-    /// operator must pair a plan file with the script that registers the
-    /// same views.
-    pub fn import_plans(&mut self, text: &str) -> Result<usize, String> {
-        self.plans_strict.load_text(text).map_err(|e| e.to_string())
-    }
-
-    /// Stages plan-cache text to be imported at the next `cite` command —
-    /// i.e. after the session's `view` registrations have settled the
-    /// registry (each registration swaps in fresh caches, so an eager
-    /// import would be dropped). Used by `citesys serve --plan-cache`.
-    pub fn stage_plan_import(&mut self, text: String) {
-        self.pending_plan_import = Some(text);
-    }
-
-    /// True while staged plan-cache text has not been consumed by a
-    /// `cite` yet. `serve --plan-cache` checks this before saving on
-    /// exit: a session that never cited must not overwrite the persisted
-    /// file with its (empty) in-memory cache.
-    pub fn has_pending_plan_import(&self) -> bool {
-        self.pending_plan_import.is_some()
-    }
-
-    /// Materialized-view cache counters of the session's cached service,
-    /// if one has been built (i.e. after the first `cite`). After a
-    /// `commit`, these show whether the commit was carried by batch delta
-    /// maintenance (views `untouched`/`deltas_applied`) instead of
-    /// re-materialization.
-    pub fn view_cache_stats(&self) -> Option<citesys_core::ViewCacheStats> {
-        self.service
-            .as_ref()
-            .map(|(_, _, svc)| svc.view_cache_stats())
-    }
-
-    /// The interpreter's registry (for inspection in tests).
-    pub fn registry(&self) -> &CitationRegistry {
-        &self.registry
-    }
-}
-
-/// Strips a `#` comment, ignoring `#` inside single-quoted strings (with
-/// `\'` escapes, matching the value parser) so `insert Note(1, 'bug #42')`
-/// survives intact.
-fn strip_comment(raw: &str) -> &str {
-    let mut in_quote = false;
-    let mut escaped = false;
-    for (i, c) in raw.char_indices() {
-        if escaped {
-            escaped = false;
-            continue;
-        }
-        match c {
-            '\\' if in_quote => escaped = true,
-            '\'' => in_quote = !in_quote,
-            '#' if !in_quote => return &raw[..i],
-            _ => {}
-        }
-    }
-    raw
-}
-
-/// Parses `Name(v1, v2, …)` with int / quoted-text / bool values.
-fn parse_ground_atom(input: &str) -> Result<(String, Tuple), String> {
-    let (name, after) = input
-        .split_once('(')
-        .ok_or_else(|| "expected Name(values…)".to_string())?;
-    let inner = after
-        .trim_end()
-        .strip_suffix(')')
-        .ok_or_else(|| "missing ')'".to_string())?;
-    let mut values = Vec::new();
-    let mut rest = inner.trim();
-    while !rest.is_empty() {
-        let (v, remainder) = parse_value(rest)?;
-        values.push(v);
-        rest = remainder.trim_start();
-        if let Some(r) = rest.strip_prefix(',') {
-            rest = r.trim_start();
-        } else if !rest.is_empty() {
-            return Err(format!("expected ',' before '{rest}'"));
-        }
-    }
-    Ok((name.trim().to_string(), Tuple::new(values)))
-}
-
-fn parse_value(input: &str) -> Result<(Value, &str), String> {
-    let input = input.trim_start();
-    if let Some(rest) = input.strip_prefix('\'') {
-        let mut out = String::new();
-        let mut chars = rest.char_indices();
-        while let Some((i, c)) = chars.next() {
-            match c {
-                '\\' => {
-                    if let Some((_, n)) = chars.next() {
-                        out.push(n);
-                    }
-                }
-                '\'' => return Ok((Value::from(out), &rest[i + 1..])),
-                other => out.push(other),
-            }
-        }
-        Err("unterminated string".into())
-    } else if let Some(rest) = input.strip_prefix("true") {
-        Ok((Value::Bool(true), rest))
-    } else if let Some(rest) = input.strip_prefix("false") {
-        Ok((Value::Bool(false), rest))
-    } else {
-        let end = input
-            .find(|c: char| c == ',' || c.is_whitespace())
-            .unwrap_or(input.len());
-        let n: i64 = input[..end]
-            .parse()
-            .map_err(|_| format!("bad value '{}'", &input[..end]))?;
-        Ok((Value::Int(n), &input[end..]))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    const PAPER_SCRIPT: &str = r#"
-# the paper's worked example
-schema Family(FID:int, FName:text, Desc:text) key(0)
-schema Committee(FID:int, PName:text) key(0, 1)
-schema FamilyIntro(FID:int, Text:text) key(0)
-insert Family(11, 'Calcitonin', 'C1')
-insert Family(12, 'Calcitonin', 'C2')
-insert Family(13, 'Dopamine', 'D1')
-insert FamilyIntro(11, '1st')
-insert FamilyIntro(12, '2nd')
-insert Committee(11, 'Alice')
-insert Committee(11, 'Bob')
-insert Committee(12, 'Carol')
-view λ FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc) | cite λ FID. CV1(FID, PName) :- Committee(FID, PName) | static database=GtoPdb
-view V2(FID, FName, Desc) :- Family(FID, FName, Desc) | cite CV2(D) :- D = 'IUPHAR/BPS Guide to PHARMACOLOGY...'
-view V3(FID, Text) :- FamilyIntro(FID, Text) | cite CV3(D) :- D = 'IUPHAR/BPS Guide to PHARMACOLOGY...'
-commit
-cite Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)
-verify
-"#;
-
-    #[test]
-    fn paper_script_end_to_end() {
-        let mut interp = Interpreter::new();
-        let out = interp.run(PAPER_SCRIPT).unwrap();
-        assert!(out.contains("schema Family"));
-        assert!(out.contains("view V1 registered"));
-        assert!(out.contains("committed version 1"));
-        assert!(out.contains("1 answer tuple(s) at version 1"));
-        assert!(out.contains("IUPHAR/BPS Guide to PHARMACOLOGY..."));
-        assert!(out.contains("fixity verified: v1"));
-        assert_eq!(interp.registry().len(), 3);
-    }
-
-    #[test]
-    fn cite_options_parse() {
-        let mut interp = Interpreter::new();
-        let script = format!(
-            "{PAPER_SCRIPT}\ncite Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text) | format bibtex | mode pruned | policy union\n"
-        );
-        let out = interp.run(&script).unwrap();
-        assert!(out.contains("@misc{"));
-    }
-
-    #[test]
-    fn partial_clause() {
-        let mut interp = Interpreter::new();
-        let script = "\
-schema Family(FID:int, FName:text) key(0)
-schema FamilyIntro(FID:int, Text:text) key(0)
-insert Family(1, 'A')
-insert Family(2, 'B')
-insert FamilyIntro(1, 'i')
-view V(FID, N) :- Family(FID, N), FamilyIntro(FID, T) | cite CV(D) :- D = 'db'
-commit
-cite Q(N) :- Family(F, N) | partial
-";
-        let out = interp.run(script).unwrap();
-        assert!(out.contains("coverage: partial (1 uncited)"), "{out}");
-    }
-
-    #[test]
-    fn errors_carry_line_numbers() {
-        let mut interp = Interpreter::new();
-        let e = interp.run("schema R(A:int)\nbogus command\n").unwrap_err();
-        assert_eq!(e.line, 2);
-        assert!(e.to_string().contains("unknown command"));
-    }
-
-    #[test]
-    fn uncommitted_cite_rejected() {
-        let mut interp = Interpreter::new();
-        let script = "\
-schema R(A:int)
-insert R(1)
-view V(A) :- R(A) | cite CV(D) :- D = 'x'
-cite Q(A) :- R(A)
-";
-        let e = interp.run(script).unwrap_err();
-        assert!(e.message.contains("uncommitted"));
-    }
-
-    #[test]
-    fn tables_and_dump() {
-        let mut interp = Interpreter::new();
-        let out = interp
-            .run("schema R(A:int, B:text)\ninsert R(1, 'x, y')\ntables\ndump R\n")
-            .unwrap();
-        assert!(out.contains("R: 1 tuples"));
-        assert!(out.contains("\"A:int\",\"B:text\""));
-        assert!(out.contains("1,\"x, y\""));
-    }
-
-    #[test]
-    fn ground_atom_parser() {
-        let (name, t) = parse_ground_atom("R(1, 'a\\'b', true, -5)").unwrap();
-        assert_eq!(name, "R");
-        assert_eq!(t.arity(), 4);
-        assert_eq!(t.get(1).unwrap().as_text(), Some("a'b"));
-        assert_eq!(t.get(2).unwrap().as_bool(), Some(true));
-        assert_eq!(t.get(3).unwrap().as_int(), Some(-5));
-        assert!(parse_ground_atom("R(1").is_err());
-        assert!(parse_ground_atom("R(1 2)").is_err());
-        assert!(parse_ground_atom("R('open)").is_err());
-    }
-
-    #[test]
-    fn schema_errors() {
-        let mut interp = Interpreter::new();
-        assert!(interp.run("schema R(A:float)\n").is_err());
-        let mut interp = Interpreter::new();
-        assert!(interp.run("schema R(A:int) key(3)\n").is_err());
-        let mut interp = Interpreter::new();
-        assert!(
-            interp
-                .run("schema R(A:int)\ninsert R(1)\nschema S(B:int)\n")
-                .is_err(),
-            "schema after data"
-        );
-    }
-
-    #[test]
-    fn load_from_csv_file() {
-        let dir = std::env::temp_dir().join("citesys-script-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("r.csv");
-        std::fs::write(&path, "\"A:int\",\"B:text\"\n1,\"x\"\n2,\"y\"\n").unwrap();
-        let mut interp = Interpreter::new();
-        let script = format!(
-            "schema R(A:int, B:text)\nload R from '{}'\ntables\n",
-            path.display()
-        );
-        let out = interp.run(&script).unwrap();
-        assert!(out.contains("loaded 2 tuple(s) into R"));
-        assert!(out.contains("R: 2 tuples"));
-        let _ = std::fs::remove_file(&path);
-    }
-
-    #[test]
-    fn trace_command_explains_next_cite() {
-        let mut interp = Interpreter::new();
-        let script = format!(
-            "{PAPER_SCRIPT}\ntrace\ncite Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)\n"
-        );
-        let out = interp.run(&script).unwrap();
-        assert!(out.contains("tuple (Calcitonin)"), "{out}");
-        assert!(out.contains("← chosen by +R"));
-        assert!(out.contains("binding 1: CV1(11)·CV3"));
-    }
-
-    #[test]
-    fn csl_format_clause() {
-        let mut interp = Interpreter::new();
-        let script = format!(
-            "{PAPER_SCRIPT}\ncite Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text) | format csl\n"
-        );
-        let out = interp.run(&script).unwrap();
-        assert!(out.contains("\"type\":\"dataset\""));
-    }
-
-    #[test]
-    fn duplicate_insert_reported() {
-        let mut interp = Interpreter::new();
-        let out = interp
-            .run("schema R(A:int)\ninsert R(1)\ninsert R(1)\n")
-            .unwrap();
-        assert!(out.contains("(duplicate ignored)"));
-    }
-
-    #[test]
-    fn delete_works() {
-        let mut interp = Interpreter::new();
-        let out = interp
-            .run("schema R(A:int)\ninsert R(1)\ndelete R(1)\ndelete R(9)\ntables\n")
-            .unwrap();
-        assert!(out.contains("(no such tuple)"));
-        assert!(out.contains("R: 0 tuples"));
-    }
-
-    #[test]
-    fn hash_inside_quoted_string_is_not_a_comment() {
-        let mut interp = Interpreter::new();
-        let out = interp
-            .run("schema R(A:int, B:text)\ninsert R(1, 'bug #42') # trailing comment\ndump R\n")
-            .unwrap();
-        assert!(out.contains("bug #42"), "{out}");
-        assert_eq!(
-            strip_comment("insert R('a\\'#b') # c"),
-            "insert R('a\\'#b') "
-        );
-        assert_eq!(strip_comment("# whole line"), "");
-        assert_eq!(strip_comment("no comment"), "no comment");
-    }
-
-    #[test]
-    fn error_kinds_distinguish_parse_from_citation() {
-        // Unknown command: parse error.
-        let e = Interpreter::new().run("bogus\n").unwrap_err();
-        assert_eq!(e.kind, ScriptErrorKind::Parse);
-        // Malformed query: parse error.
-        let e = Interpreter::new()
-            .run("schema R(A:int)\ncite Q( :- R\n")
-            .unwrap_err();
-        assert_eq!(e.kind, ScriptErrorKind::Parse);
-        // Well-formed script, uncoverable query: citation error.
-        let script = "\
-schema R(A:int)
-insert R(1)
-view V(A) :- R(A) | cite CV(D) :- D = 'x'
-commit
-cite Q(B) :- S(B)
-";
-        let e = Interpreter::new().run(script).unwrap_err();
-        assert_eq!(e.kind, ScriptErrorKind::Citation);
-        // Unknown relation on insert: citation (runtime) error.
-        let e = Interpreter::new()
-            .run("schema R(A:int)\ninsert S(1)\n")
-            .unwrap_err();
-        assert_eq!(e.kind, ScriptErrorKind::Citation);
-    }
-
-    #[test]
-    fn run_line_is_incremental() {
-        let mut interp = Interpreter::new();
-        assert_eq!(
-            interp.run_line("schema R(A:int)").unwrap(),
-            "schema R (1 attributes)\n"
-        );
-        interp.run_line("insert R(1)").unwrap();
-        interp
-            .run_line("view V(A) :- R(A) | cite CV(D) :- D = 'x'")
-            .unwrap();
-        interp.run_line("commit").unwrap();
-        let out = interp.run_line("cite Q(A) :- R(A)").unwrap();
-        assert!(out.contains("1 answer tuple(s) at version 1"), "{out}");
-        // Errors do not poison the session.
-        assert!(interp.run_line("bogus").is_err());
-        let out = interp.run_line("tables").unwrap();
-        assert!(out.contains("R: 1 tuples"));
-    }
-
-    #[test]
-    fn transaction_commits_atomically() {
-        let mut interp = Interpreter::new();
-        interp.run(PAPER_SCRIPT).unwrap();
-        let out = interp
-            .run(
-                "begin\n\
-                 insert Family(14, 'Ghrelin', 'G1')\n\
-                 insert FamilyIntro(14, '4th')\n\
-                 delete Family(13, 'Dopamine', 'D1')\n\
-                 commit\n\
-                 tables\n",
-            )
-            .unwrap();
-        assert!(out.contains("transaction open"), "{out}");
-        assert!(
-            out.contains("committed version 2 (3 op(s) in one transaction)"),
-            "{out}"
-        );
-        assert!(out.contains("Family: 3 tuples"), "{out}");
-        assert!(out.contains("FamilyIntro: 3 tuples"), "{out}");
-    }
-
-    #[test]
-    fn failed_transaction_rolls_back_everything() {
-        let mut interp = Interpreter::new();
-        interp.run(PAPER_SCRIPT).unwrap();
-        // The second op violates Family's key(0): the first op must be
-        // rolled back too, and no version committed.
-        let e = interp
-            .run(
-                "begin\n\
-                 insert FamilyIntro(13, '3rd')\n\
-                 insert Family(11, 'Clash', 'X')\n\
-                 commit\n",
-            )
-            .unwrap_err();
-        assert!(e.message.contains("transaction rolled back"), "{e}");
-        let out = interp.run("tables\ncommit\n").unwrap();
-        assert!(out.contains("FamilyIntro: 2 tuples"), "rolled back: {out}");
-        assert!(out.contains("committed version 2"), "v2 still free: {out}");
-    }
-
-    #[test]
-    fn commit_carries_pre_begin_ops_into_the_maintained_views() {
-        // Regression: a commit sealing both non-transactional ops (applied
-        // before `begin`) and a transaction buffer must delta-maintain the
-        // cached service with ALL of them — staging only the buffer would
-        // leave the pre-`begin` tuple out of the materialized views and
-        // silently serve wrong answers.
-        let mut interp = Interpreter::new();
-        interp.run(PAPER_SCRIPT).unwrap(); // cite → service cached at v1
-        let warm = interp.view_cache_stats().unwrap();
-        let out = interp
-            .run(
-                "insert FamilyIntro(13, '3rd')\n\
-                 begin\n\
-                 insert Family(14, 'Ghrelin', 'G1')\n\
-                 insert FamilyIntro(14, '4th')\n\
-                 commit\n\
-                 cite Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)\n",
-            )
-            .unwrap();
-        // All three intros visible: the pre-begin Dopamine intro AND the
-        // transactional Ghrelin family+intro.
-        assert!(out.contains("3 answer tuple(s) at version 2"), "{out}");
-        let s = interp.view_cache_stats().unwrap();
-        assert_eq!(
-            s.materializations, warm.materializations,
-            "carried by delta, not re-materialized: {s:?}"
-        );
-        assert_eq!(s.drops, 0, "{s:?}");
-    }
-
-    #[test]
-    fn cite_rejected_inside_open_transaction() {
-        let mut interp = Interpreter::new();
-        interp.run(PAPER_SCRIPT).unwrap();
-        interp.run_line("begin").unwrap();
-        interp.run_line("insert FamilyIntro(13, '3rd')").unwrap();
-        let e = interp
-            .run_line("cite Q(FName) :- Family(FID, FName, Desc)")
-            .unwrap_err();
-        assert!(e.message.contains("transaction open"), "{e}");
-        // Nested begin is rejected; rollback discards the buffer.
-        assert!(interp.run_line("begin").is_err());
-        let out = interp.run_line("rollback").unwrap();
-        assert!(out.contains("rolled back 1 buffered op(s)"), "{out}");
-        assert!(interp.run_line("rollback").is_err(), "nothing open");
-        // The buffered insert never landed.
-        let out = interp.run_line("tables").unwrap();
-        assert!(out.contains("FamilyIntro: 2 tuples"), "{out}");
-    }
-
-    #[test]
-    fn commit_delta_maintains_the_cached_service() {
-        let mut interp = Interpreter::new();
-        interp.run(PAPER_SCRIPT).unwrap();
-        let warm = interp.view_cache_stats().expect("service built by cite");
-        assert!(warm.materializations > 0);
-        assert_eq!(warm.drops, 0);
-        // A transactional commit: the service is carried by one batch
-        // delta (no view re-materialized, no whole-cache drop), and the
-        // next cite reuses the cached plan.
-        interp
-            .run("begin\ninsert FamilyIntro(13, '3rd')\ncommit\n")
-            .unwrap();
-        let out = interp
-            .run_line("cite Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
-            .unwrap();
-        assert!(out.contains("2 answer tuple(s) at version 2"), "{out}");
-        let s = interp.view_cache_stats().unwrap();
-        assert_eq!(
-            s.materializations, warm.materializations,
-            "no re-materialization across the commit: {s:?}"
-        );
-        assert!(s.deltas_applied > 0, "{s:?}");
-        assert_eq!(s.drops, 0, "{s:?}");
-        let stats = interp.plan_cache_stats();
-        assert!(stats.hits >= 1, "plan survived the commit: {stats:?}");
-    }
-
-    #[test]
-    fn repeated_cites_reuse_the_plan_cache() {
-        let mut interp = Interpreter::new();
-        interp.run(PAPER_SCRIPT).unwrap();
-        // Same query shape at different λ-constants, repeatedly.
-        for fid in [11, 12, 11, 13] {
-            interp
-                .run_line(&format!(
-                    "cite Q(FName) :- Family({fid}, FName, Desc), FamilyIntro({fid}, Text)"
-                ))
-                .unwrap();
-        }
-        let stats = interp.plan_cache_stats();
-        assert_eq!(stats.misses, 2, "paper query + the parameterized shape");
-        assert!(stats.hits >= 3, "λ-variants must share one plan: {stats:?}");
-    }
-
-    #[test]
-    fn export_import_plans_round_trip() {
-        let mut warm = Interpreter::new();
-        warm.run(PAPER_SCRIPT).unwrap();
-        let exported = warm.export_plans();
-        assert!(exported.starts_with("citesys-plan-cache v1"));
-
-        // A second session with the same views: imported plans serve the
-        // cite without a fresh search.
-        let setup_only: String = PAPER_SCRIPT
-            .lines()
-            .filter(|l| !l.starts_with("cite ") && !l.starts_with("verify"))
-            .collect::<Vec<_>>()
-            .join("\n");
-        let mut cold = Interpreter::new();
-        cold.run(&setup_only).unwrap();
-        let n = cold.import_plans(&exported).unwrap();
-        assert_eq!(n, 1);
-        cold.run_line("cite Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
-            .unwrap();
-        let stats = cold.plan_cache_stats();
-        assert_eq!((stats.hits, stats.misses), (1, 0), "served from import");
-    }
-
-    #[test]
-    fn staged_plan_import_survives_view_registration() {
-        let mut warm = Interpreter::new();
-        warm.run(PAPER_SCRIPT).unwrap();
-        let exported = warm.export_plans();
-
-        // Staging before the script runs (the serve --plan-cache shape):
-        // the view commands swap caches, then the first cite imports.
-        let mut interp = Interpreter::new();
-        interp.stage_plan_import(exported);
-        let out = interp.run(PAPER_SCRIPT).unwrap();
-        assert!(out.contains("loaded 1 cached plan(s)"), "{out}");
-        let stats = interp.plan_cache_stats();
-        assert_eq!((stats.hits, stats.misses), (1, 0), "{stats:?}");
-    }
-
-    #[test]
-    fn export_preserves_staged_plans_when_no_cite_ran() {
-        let mut warm = Interpreter::new();
-        warm.run(PAPER_SCRIPT).unwrap();
-        let exported = warm.export_plans();
-
-        // A serve session that loads a plan file, does some non-cite work
-        // and exits: save-on-exit must write the staged plans back, not
-        // an empty live cache.
-        let mut idle = Interpreter::new();
-        idle.stage_plan_import(exported.clone());
-        idle.run_line("schema R(A:int)").unwrap();
-        idle.run_line("insert R(1)").unwrap();
-        assert!(idle.has_pending_plan_import());
-        assert_eq!(idle.export_plans(), exported, "staged plans preserved");
-
-        // Once a cite consumes the import, export reflects the live cache.
-        let mut cited = Interpreter::new();
-        cited.stage_plan_import(exported.clone());
-        cited.run(PAPER_SCRIPT).unwrap();
-        assert!(!cited.has_pending_plan_import());
-        assert!(cited.export_plans().starts_with("citesys-plan-cache v1"));
-    }
-
-    #[test]
-    fn corrupt_plan_import_reports_citation_error() {
-        let mut interp = Interpreter::new();
-        assert!(interp.import_plans("garbage").is_err());
-        interp.stage_plan_import("garbage".to_string());
-        let e = interp.run(PAPER_SCRIPT).unwrap_err();
-        assert_eq!(e.kind, ScriptErrorKind::Citation);
-        assert!(e.message.contains("plan-cache file"), "{e}");
-    }
-
-    #[test]
-    fn view_registration_invalidates_plans() {
-        let mut interp = Interpreter::new();
-        interp
-            .run(
-                "schema R(A:int)\nschema S(A:int)\ninsert R(1)\ninsert S(1)\n\
-                 view VR(A) :- R(A) | cite CVR(D) :- D = 'r'\ncommit\n",
-            )
-            .unwrap();
-        // S is uncoverable; the empty plan gets cached.
-        assert!(interp.run_line("cite Q(A) :- S(A)").is_err());
-        assert!(interp.run_line("cite Q(A) :- S(A)").is_err());
-        // Registering a covering view must clear the cached empty plan.
-        interp
-            .run_line("view VS(A) :- S(A) | cite CVS(D) :- D = 's'")
-            .unwrap();
-        let out = interp.run_line("cite Q(A) :- S(A)").unwrap();
-        assert!(out.contains("1 answer tuple(s)"), "{out}");
-    }
-}
