@@ -1,0 +1,57 @@
+//! E17 bench: the durability layer — WAL-on vs WAL-off commit latency
+//! and cold vs warm restart time-to-first-cite.
+//!
+//! The WAL arm fsyncs every commit before acking, so its numbers are
+//! disk-bound by design; the comparison prices the durability contract.
+//! The restart arms compare replaying the setup script from scratch
+//! against recovering a checkpoint with pre-seeded views and plans.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use citesys_bench::e17::{
+    cold_start, commit_stream, durable_interp, mem_interp, prepare_warm_dir, warm_start,
+};
+
+fn bench(c: &mut Criterion) {
+    let families = 16;
+    let commits = 10;
+
+    let mut group = c.benchmark_group("e17_commit_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(commits as u64));
+    // Each iteration gets a fresh key range: reusing keys would turn
+    // every insert into a set-semantics no-op and every commit into an
+    // empty changeset, and the arms would measure nothing.
+    group.bench_function("wal_off_memory", |b| {
+        let mut interp = mem_interp(families);
+        let mut round = 0;
+        b.iter(|| {
+            round += 1;
+            commit_stream(&mut interp, commits, round)
+        });
+    });
+    group.bench_function("wal_on_fsync", |b| {
+        let (mut interp, dir) = durable_interp(families, "bench-throughput");
+        let mut round = 0;
+        b.iter(|| {
+            round += 1;
+            commit_stream(&mut interp, commits, round)
+        });
+        drop(interp);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("e17_restart");
+    group.sample_size(10);
+    group.bench_function("cold_script_replay", |b| b.iter(|| cold_start(families)));
+    group.bench_function("warm_checkpoint_recovery", |b| {
+        let dir = prepare_warm_dir(families, "bench-warm");
+        b.iter(|| warm_start(&dir));
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! `repro` — regenerates every experiment table (E1–E16).
+//! `repro` — regenerates every experiment table (E1–E17).
 //!
 //! Usage:
 //! ```text
@@ -36,6 +36,7 @@ fn main() {
             "e14" => Some(citesys_bench::e14::table(quick)),
             "e15" => Some(citesys_bench::e15::table(quick)),
             "e16" => Some(citesys_bench::e16::table(quick)),
+            "e17" => Some(citesys_bench::e17::table(quick)),
             other => {
                 eprintln!("unknown experiment id: {other}");
                 None

@@ -22,6 +22,7 @@
 //! | E13 | §3 amortized prepared citation | [`e13`] |
 //! | E14 | §3 concurrent service throughput | [`e14`] |
 //! | E16 | citation as an always-on network service | [`e16`] |
+//! | E17 | durable, restartable citation store | [`e17`] |
 //!
 //! Run `cargo run -p citesys-bench --release --bin repro` to print every
 //! table; Criterion benches under `benches/` time the same operations.
@@ -36,6 +37,7 @@ pub mod e13;
 pub mod e14;
 pub mod e15;
 pub mod e16;
+pub mod e17;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -66,5 +68,6 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e14::table(quick),
         e15::table(quick),
         e16::table(quick),
+        e17::table(quick),
     ]
 }

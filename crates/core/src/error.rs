@@ -42,6 +42,12 @@ pub enum CiteError {
         /// What is missing or inconsistent.
         reason: String,
     },
+    /// The durability layer failed (I/O, corrupt on-disk state, or an
+    /// unsupported format version).
+    Durability {
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for CiteError {
@@ -65,6 +71,9 @@ impl fmt::Display for CiteError {
             CiteError::ServiceConfig { reason } => {
                 write!(f, "service configuration error: {reason}")
             }
+            CiteError::Durability { message } => {
+                write!(f, "durability error: {message}")
+            }
         }
     }
 }
@@ -86,6 +95,14 @@ impl From<StorageError> for CiteError {
 impl From<RewriteError> for CiteError {
     fn from(e: RewriteError) -> Self {
         CiteError::Rewrite(e)
+    }
+}
+
+impl From<citesys_storage::DurabilityError> for CiteError {
+    fn from(e: citesys_storage::DurabilityError) -> Self {
+        CiteError::Durability {
+            message: e.to_string(),
+        }
     }
 }
 

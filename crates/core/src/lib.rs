@@ -62,6 +62,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod durable;
 pub mod engine;
 pub mod error;
 pub mod evolve;
@@ -78,6 +79,10 @@ pub mod trace;
 pub mod viewcache;
 
 pub use citesys_storage::{Changeset, NetChanges};
+pub use durable::{
+    DurableHandle, RecoveredService, SECTION_DATABASE, SECTION_PLANS, SECTION_REGISTRY,
+    SECTION_VIEWS,
+};
 #[allow(deprecated)]
 pub use engine::CitationEngine;
 pub use engine::{

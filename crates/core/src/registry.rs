@@ -126,6 +126,108 @@ impl CitationRegistry {
         ViewSet::new(self.views.iter().map(|v| v.view.clone()).collect())
             .expect("registry enforces unique names")
     }
+
+    /// Serializes the registry to the line-oriented text form
+    /// [`from_text`](Self::from_text) reads back — the checkpoint
+    /// section format of the durability layer. Queries print through
+    /// their canonical `Display` (λ-parameters included), so anything
+    /// the surface parser produced round-trips.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("citesys-registry v1\n");
+        for cv in &self.views {
+            out.push_str(&format!("view {}\n", cv.view));
+            for cq in &cv.citation_queries {
+                out.push_str(&format!("cq {}\n", cq.query));
+                for field in &cq.fields {
+                    out.push_str(&format!("field {field}\n"));
+                }
+            }
+            for (k, v) in &cv.function.static_fields {
+                out.push_str(&format!("static {k} {v}\n"));
+            }
+            out.push_str("end\n");
+        }
+        out
+    }
+
+    /// Parses text produced by [`to_text`](Self::to_text), re-validating
+    /// every view. Tolerant of CRLF line endings and trailing blank
+    /// lines, like the other durable text formats.
+    pub fn from_text(text: &str) -> Result<CitationRegistry, CiteError> {
+        fn err(message: impl Into<String>) -> CiteError {
+            CiteError::Durability {
+                message: message.into(),
+            }
+        }
+        let mut lines = text
+            .lines()
+            .map(|l| l.strip_suffix('\r').unwrap_or(l))
+            .peekable();
+        match lines.next() {
+            Some("citesys-registry v1") => {}
+            other => return Err(err(format!("bad registry header: {other:?}"))),
+        }
+        let mut registry = CitationRegistry::new();
+        while let Some(line) = lines.next() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let view_src = line
+                .strip_prefix("view ")
+                .ok_or_else(|| err(format!("expected 'view …', got '{line}'")))?;
+            let view = citesys_cq::parse_query(view_src)
+                .map_err(|e| err(format!("bad view query '{view_src}': {e}")))?;
+            let mut cites: Vec<CitationQuery> = Vec::new();
+            let mut function = CitationFunction::new();
+            let mut ended = false;
+            for line in lines.by_ref() {
+                if line == "end" {
+                    ended = true;
+                    break;
+                }
+                if let Some(src) = line.strip_prefix("cq ") {
+                    let q = citesys_cq::parse_query(src)
+                        .map_err(|e| err(format!("bad citation query '{src}': {e}")))?;
+                    // Fields follow as `field` lines; start empty and
+                    // fill in (the count is validated against the head
+                    // arity once the view block ends).
+                    cites.push(CitationQuery {
+                        query: q,
+                        fields: Vec::new(),
+                    });
+                } else if let Some(name) = line.strip_prefix("field ") {
+                    let cq = cites
+                        .last_mut()
+                        .ok_or_else(|| err("'field' line before any 'cq' line"))?;
+                    cq.fields.push(name.to_string());
+                } else if let Some(kv) = line.strip_prefix("static ") {
+                    let (k, v) = kv
+                        .split_once(' ')
+                        .ok_or_else(|| err(format!("static line '{kv}' lacks a value")))?;
+                    function = function.with_static(k, v);
+                } else {
+                    return Err(err(format!("unexpected registry line '{line}'")));
+                }
+            }
+            if !ended {
+                return Err(err("unterminated registry view (missing 'end')"));
+            }
+            for cq in &cites {
+                if cq.fields.len() != cq.query.arity() {
+                    return Err(err(format!(
+                        "citation query {} has {} field(s) for arity {}",
+                        cq.query.name(),
+                        cq.fields.len(),
+                        cq.query.arity()
+                    )));
+                }
+            }
+            let cv = CitationView::new(view, cites, function)
+                .map_err(|e| err(format!("invalid checkpointed view: {e}")))?;
+            registry.add(cv)?;
+        }
+        Ok(registry)
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +287,57 @@ mod tests {
         reg.add(v1()).unwrap();
         let e = reg.add(v1()).unwrap_err();
         assert!(matches!(e, CiteError::BadCitationView { .. }));
+    }
+
+    #[test]
+    fn text_round_trip_preserves_views_fields_and_statics() {
+        let mut reg = CitationRegistry::new();
+        reg.add(v1()).unwrap();
+        reg.add(
+            CitationView::new(
+                parse_query("V2(FID, N) :- Family(FID, N, D)").unwrap(),
+                vec![CitationQuery::with_fields(
+                    parse_query("CV2(D) :- D = 'IUPHAR/BPS Guide'").unwrap(),
+                    vec!["citation".to_string()],
+                )
+                .unwrap()],
+                CitationFunction::new()
+                    .with_static("database", "GtoPdb")
+                    .with_static("license", "CC BY-SA 4.0"),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let text = reg.to_text();
+        assert!(text.starts_with("citesys-registry v1\n"));
+        let back = CitationRegistry::from_text(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        let v1b = back.get("V1").unwrap();
+        assert!(v1b.is_parameterized(), "λ-parameters survive");
+        assert_eq!(v1b.view, reg.get("V1").unwrap().view);
+        let v2b = back.get("V2").unwrap();
+        assert_eq!(v2b.citation_queries[0].fields, vec!["citation"]);
+        assert_eq!(
+            v2b.function
+                .static_fields
+                .get("license")
+                .map(String::as_str),
+            Some("CC BY-SA 4.0"),
+            "static values keep their spaces"
+        );
+        // CRLF + trailing blanks tolerated; round-trip is a fixpoint.
+        let crlf = format!("{}\r\n", text.replace('\n', "\r\n"));
+        assert_eq!(CitationRegistry::from_text(&crlf).unwrap().to_text(), text);
+        // Malformed inputs are rejected, not mis-parsed.
+        assert!(CitationRegistry::from_text("bogus\n").is_err());
+        assert!(CitationRegistry::from_text("citesys-registry v1\nview V(X) :- R(X)\n").is_err());
+        assert!(
+            CitationRegistry::from_text(
+                "citesys-registry v1\nview V(X) :- R(X)\ncq CV(D) :- D = 'x'\nend\n"
+            )
+            .is_err(),
+            "field count must match arity"
+        );
     }
 
     #[test]

@@ -557,6 +557,7 @@ pub struct CitationServiceBuilder {
     plan_cache_capacity: usize,
     plan_cache_shards: usize,
     shared_plans: Option<Arc<PlanCache>>,
+    warm_views: Option<Database>,
 }
 
 impl CitationServiceBuilder {
@@ -628,6 +629,16 @@ impl CitationServiceBuilder {
         self
     }
 
+    /// Seeds the materialized-view cache with views materialized by a
+    /// previous process (checkpoint recovery). The caller asserts the
+    /// materializations match the database snapshot and registry being
+    /// built — the durability layer guarantees this by checkpointing
+    /// all of them together under one manifest.
+    pub fn warm_views(mut self, views: Database) -> Self {
+        self.warm_views = Some(views);
+        self
+    }
+
     /// Builds the service, validating that both the database and the
     /// registry were provided.
     pub fn build(self) -> Result<CitationService, CiteError> {
@@ -651,12 +662,16 @@ impl CitationServiceBuilder {
             .shared_plans
             .unwrap_or_else(|| Arc::new(PlanCache::with_shards(capacity, shards)));
         let generalize = !registry_has_view_constants(&registry);
+        let views = match self.warm_views {
+            Some(seed) => ViewCache::with_published(seed),
+            None => ViewCache::new(),
+        };
         Ok(CitationService {
             db,
             registry,
             options: self.options,
             plans,
-            views: Arc::new(ViewCache::new()),
+            views: Arc::new(views),
             generalize_constants: generalize,
         })
     }
@@ -728,6 +743,13 @@ impl CitationService {
     /// or by delta rows versus dropped for recomputation.
     pub fn view_cache_stats(&self) -> ViewCacheStats {
         self.views.stats()
+    }
+
+    /// A copy of the currently published materialized views — what a
+    /// checkpoint persists so the next process starts with them warm
+    /// (see [`CitationServiceBuilder::warm_views`]).
+    pub fn materialized_views(&self) -> Database {
+        Database::clone(&self.views.read())
     }
 
     /// A service with different evaluation options over the same data,

@@ -133,6 +133,18 @@ impl ViewCache {
         ViewCache::default()
     }
 
+    /// A cache pre-seeded with already-materialized views (checkpoint
+    /// recovery): the seeded views are published immediately and count
+    /// as neither materializations nor deltas — the work was paid in a
+    /// previous process.
+    pub(crate) fn with_published(views: Database) -> Self {
+        ViewCache {
+            published: ArcSwap::from_pointee(views),
+            write_gate: Mutex::new(()),
+            counters: Arc::default(),
+        }
+    }
+
     /// An empty cache that keeps accumulating into this cache's counters —
     /// used when a snapshot swap must drop all materializations (non-delta
     /// [`with_database`](crate::CitationService::with_database)).

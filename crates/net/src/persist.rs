@@ -11,6 +11,7 @@
 
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex as StdMutex;
 
 use parking_lot::Mutex;
@@ -19,12 +20,20 @@ use crate::script::{PlanFingerprint, SharedStore};
 
 /// Debounced, crash-resilient plan-cache writer shared by the stdin
 /// REPL and every TCP connection of one server.
+///
+/// Under group commit the saver is invoked once per **commit window**
+/// (by the committer thread, before the window's transactions are
+/// acked), not once per session command — racing commits share one
+/// fingerprint check and at most one file write per window.
 #[derive(Debug)]
 pub struct PlanSaver {
     path: PathBuf,
     /// Fingerprint at the last write (std `Mutex`: held only for the
     /// compare-and-write, and independent of the store lock).
     last: StdMutex<Option<PlanFingerprint>>,
+    /// Actual file writes performed (observable in tests: asserts the
+    /// per-window coalescing really reduces writes).
+    saves: AtomicU64,
 }
 
 impl PlanSaver {
@@ -33,12 +42,18 @@ impl PlanSaver {
         PlanSaver {
             path: path.into(),
             last: StdMutex::new(None),
+            saves: AtomicU64::new(0),
         }
     }
 
     /// The file this saver writes.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Number of file writes this saver has performed.
+    pub fn save_count(&self) -> u64 {
+        self.saves.load(Ordering::Relaxed)
     }
 
     /// Saves the plan cache if it changed since the last save. Returns
@@ -71,6 +86,7 @@ impl PlanSaver {
             sh.export_plans()
         };
         std::fs::write(&self.path, text)?;
+        self.saves.fetch_add(1, Ordering::Relaxed);
         Ok(true)
     }
 }

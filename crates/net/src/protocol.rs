@@ -147,6 +147,9 @@ pub enum Command {
     Trace,
     /// `stats` — print the store's commit/swap and cache counters.
     Stats,
+    /// `checkpoint` — snapshot the durable store (data, registry, views,
+    /// plans) and reset the write-ahead log. Requires `--data-dir`.
+    Checkpoint,
     /// `quit` — end the interactive session.
     Quit,
     /// `shutdown` — end the session AND stop the server it talks to.
@@ -193,6 +196,7 @@ pub fn parse_command(raw: &str) -> Result<Option<Command>, ParseError> {
         }
         "trace" => Command::Trace,
         "stats" => Command::Stats,
+        "checkpoint" => Command::Checkpoint,
         "quit" => Command::Quit,
         "shutdown" => Command::Shutdown,
         other => return Err(perr(format!("unknown command: {other}"))),

@@ -52,13 +52,16 @@
 //! plan caches (the rewriting space changed).
 
 use std::fmt;
+use std::path::Path;
 use std::sync::Arc;
 
+use citesys_core::durable::{SECTION_DATABASE, SECTION_PLANS, SECTION_REGISTRY, SECTION_VIEWS};
 use citesys_core::{
     cite_with_service, format_citation, verify, CitationRegistry, CitationService, CitationView,
-    Coverage, EngineOptions, FixityToken, PlanCache,
+    Coverage, DurableHandle, EngineOptions, FixityToken, PlanCache,
 };
-use citesys_storage::{to_csv, Changeset, RelationSchema, VersionedDatabase};
+use citesys_storage::durability::{database_to_text, versioned_to_text};
+use citesys_storage::{to_csv, Changeset, CheckpointData, RelationSchema, VersionedDatabase};
 use parking_lot::Mutex;
 
 use crate::group::{CommitAck, GroupCommitHandle};
@@ -160,6 +163,12 @@ pub struct SharedStore {
     /// persister notices the rewriting space changed even when the new
     /// cache's counters coincide with the old one's.
     plan_generation: u64,
+    /// Durability backend (`serve --data-dir`): every sealed commit is
+    /// WAL-logged **before** it is acknowledged, and schema/view
+    /// registrations (plus the `checkpoint` command) write a full
+    /// checkpoint — database, registry, materialized views and plan
+    /// cache under one manifest.
+    durability: Option<DurableHandle>,
     stats: StoreStats,
 }
 
@@ -181,6 +190,7 @@ impl SharedStore {
             pending_plan_import: None,
             service: None,
             plan_generation: 0,
+            durability: None,
             stats: StoreStats::default(),
         }
     }
@@ -188,6 +198,108 @@ impl SharedStore {
     /// Wraps a fresh store for sharing across sessions.
     pub fn new_shared() -> Arc<Mutex<SharedStore>> {
         Arc::new(Mutex::new(SharedStore::new()))
+    }
+
+    /// Opens a **durable** store over a data directory: recovers the
+    /// newest checkpoint (schemas, data, registry, materialized views,
+    /// plan cache), replays the write-ahead log to the last acknowledged
+    /// commit through the normal delta-maintenance path, and keeps the
+    /// handle so every future commit is logged before it is acked. A
+    /// fresh directory starts an empty durable store.
+    pub fn open_durable(dir: impl AsRef<Path>) -> Result<SharedStore, String> {
+        let (handle, recovered) = CitationService::open(dir).map_err(|e| e.to_string())?;
+        let mut sh = SharedStore::new();
+        sh.durability = Some(handle);
+        if let Some(rec) = recovered {
+            let version = rec.store.latest_version();
+            sh.schemas = rec.store.schemas().to_vec();
+            sh.registry = rec.service.registry().as_ref().clone();
+            // The recovered service owns the recovered plan cache; the
+            // store's strict cache must be the same object so exports
+            // and fingerprints see it.
+            sh.plans_strict = Arc::clone(rec.service.plan_cache());
+            sh.store = Some(rec.store);
+            sh.service = Some((version, false, rec.service));
+        }
+        Ok(sh)
+    }
+
+    /// [`open_durable`](Self::open_durable), wrapped for sharing across
+    /// sessions (the TCP server's shape).
+    pub fn open_durable_shared(dir: impl AsRef<Path>) -> Result<Arc<Mutex<SharedStore>>, String> {
+        Ok(Arc::new(Mutex::new(SharedStore::open_durable(dir)?)))
+    }
+
+    /// True when this store logs commits to a durable data directory.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Write-ahead-log records accumulated since the last checkpoint
+    /// (0 without `--data-dir`).
+    pub fn wal_records(&self) -> usize {
+        self.durability
+            .as_ref()
+            .map_or(0, DurableHandle::wal_records)
+    }
+
+    /// Checkpoints the durable store: the committed database, the
+    /// registry, the cached service's materialized views and the plan
+    /// cache, atomically under one manifest; then resets the WAL.
+    /// Errors without a durable backend. Pending (uncommitted) ops are
+    /// excluded — they remain in memory and the next commit WAL-logs
+    /// them as usual.
+    pub(crate) fn write_checkpoint(&mut self) -> Result<u64, CmdError> {
+        if self.durability.is_none() {
+            return Err(cite_err(
+                "no durable data directory (start with serve --data-dir <path>)",
+            ));
+        }
+        let (version, database_text) = match &self.store {
+            Some(store) => (
+                store.latest_version(),
+                versioned_to_text(store).map_err(cite_err)?,
+            ),
+            None => {
+                // No data yet: checkpoint the declared schemas at v0 so
+                // a restart can still replay later WAL records.
+                let empty = VersionedDatabase::new(self.schemas.clone())
+                    .map_err(|e| cite_err(e.to_string()))?;
+                (0, versioned_to_text(&empty).map_err(cite_err)?)
+            }
+        };
+        let views = self
+            .service
+            .as_ref()
+            .filter(|(v, partial, _)| *v == version && !*partial)
+            .map(|(_, _, svc)| svc.materialized_views())
+            .unwrap_or_default();
+        let data = CheckpointData {
+            version,
+            sections: vec![
+                (SECTION_DATABASE.to_string(), database_text),
+                (SECTION_REGISTRY.to_string(), self.registry.to_text()),
+                (SECTION_VIEWS.to_string(), database_to_text(&views)),
+                (SECTION_PLANS.to_string(), self.export_plans()),
+            ],
+        };
+        self.durability
+            .as_mut()
+            .expect("checked above")
+            .write_checkpoint(&data)
+            .map_err(|e| cite_err(e.to_string()))?;
+        Ok(version)
+    }
+
+    /// DDL durability: schema declarations and view registrations are
+    /// not changesets, so they cannot ride the WAL — checkpoint instead
+    /// (rare, and the natural point to re-snapshot anyway since a view
+    /// registration invalidates the plan cache).
+    fn checkpoint_after_ddl(&mut self) -> Result<(), CmdError> {
+        if self.durability.is_some() {
+            self.write_checkpoint()?;
+        }
+        Ok(())
     }
 
     /// Counter snapshot.
@@ -294,16 +406,33 @@ impl SharedStore {
     /// the cached service by batch delta maintenance — one snapshot swap
     /// per call, however many transactions were applied since the last
     /// one. Returns the new version number.
+    ///
+    /// With a durable backend, the sealed changeset is appended to the
+    /// write-ahead log (and fsynced) **before** the version is cut —
+    /// and therefore before any caller acknowledges the commit. A crash
+    /// after the ack replays the record; a crash before the append
+    /// loses only an unacknowledged commit.
     pub(crate) fn seal_version(&mut self) -> Result<u64, CmdError> {
-        let (v, changes) = {
+        let (next, changes) = {
             let store = self.store_mut()?;
             // Delta-maintain with EVERYTHING this commit seals: the
             // pending log covers both non-transactional ops applied
             // before any `begin` and every transaction changeset applied
             // since the last seal.
             let changes = Changeset::from_ops(store.pending_ops().to_vec());
-            (store.commit(), changes)
+            (store.latest_version() + 1, changes)
         };
+        if let Some(handle) = &mut self.durability {
+            handle
+                .log_commit(next, &changes)
+                .map_err(|e| cite_err(format!("write-ahead log: {e}")))?;
+        }
+        let v = self
+            .store
+            .as_mut()
+            .expect("store initialized above")
+            .commit();
+        debug_assert_eq!(v, next);
         self.refresh_service_after_commit(v, &changes);
         Ok(v)
     }
@@ -430,8 +559,17 @@ impl Default for Interpreter {
 impl Interpreter {
     /// A fresh solo interpreter with a private store and no schema.
     pub fn new() -> Self {
+        Self::with_store(SharedStore::new_shared())
+    }
+
+    /// A solo (non-isolated) interpreter over an existing store —
+    /// typically one opened with
+    /// [`SharedStore::open_durable_shared`]. Mutations apply directly
+    /// (buffering only inside `begin…commit`), exactly like
+    /// [`new`](Self::new).
+    pub fn with_store(shared: Arc<Mutex<SharedStore>>) -> Self {
         Interpreter {
-            shared: SharedStore::new_shared(),
+            shared,
             committer: None,
             isolated: false,
             txn: None,
@@ -550,6 +688,7 @@ impl Interpreter {
                 Ok(())
             }
             Command::Stats => self.cmd_stats(),
+            Command::Checkpoint => self.cmd_checkpoint(),
             Command::Quit | Command::Shutdown => Err(parse_err(
                 "session command: only available in an interactive or network session",
             )),
@@ -571,6 +710,9 @@ impl Interpreter {
                 attrs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
             let schema = RelationSchema::from_parts(name, &parts, key);
             sh.schemas.push(schema);
+            // DDL cannot ride the WAL: persist the declaration now so a
+            // crash before the first commit still recovers the schema.
+            sh.checkpoint_after_ddl()?;
         }
         self.say(format!("schema {name} ({} attributes)", attrs.len()));
         Ok(())
@@ -656,6 +798,9 @@ impl Interpreter {
             sh.plans_partial = Arc::new(PlanCache::new(citesys_core::DEFAULT_PLAN_CACHE_CAPACITY));
             sh.service = None;
             sh.plan_generation += 1;
+            // Registry changes cannot ride the WAL; checkpoint so the
+            // view (and the invalidated plan cache) survive a crash.
+            sh.checkpoint_after_ddl()?;
         }
         self.say(format!("view {name} registered"));
         Ok(())
@@ -843,12 +988,32 @@ impl Interpreter {
         Ok(())
     }
 
+    /// `checkpoint`: snapshot the durable store and reset the WAL.
+    /// Requires a durable backend (`serve --data-dir`) and no open
+    /// transaction in this session.
+    fn cmd_checkpoint(&mut self) -> Result<(), CmdError> {
+        if self.txn.is_some() {
+            return Err(cite_err(
+                "transaction open: run 'commit' (or 'rollback') before 'checkpoint'",
+            ));
+        }
+        let version = self.shared.lock().write_checkpoint()?;
+        self.say(format!("checkpoint at version {version}"));
+        Ok(())
+    }
+
     /// `stats`: the shared store's write-path counters plus the strict
-    /// plan cache's hit/miss counters, one `name value` pair per line.
+    /// plan cache's hit/miss counters and the cached service's view
+    /// warmth, one `name value` pair per line.
     fn cmd_stats(&mut self) -> Result<(), CmdError> {
-        let (st, plans) = {
+        let (st, plans, views, wal) = {
             let sh = self.shared.lock();
-            (sh.stats, sh.plans_strict.stats())
+            (
+                sh.stats,
+                sh.plans_strict.stats(),
+                sh.view_cache_stats().unwrap_or_default(),
+                sh.wal_records(),
+            )
         };
         self.say(format!("commits {}", st.commits));
         self.say(format!("snapshot_swaps {}", st.snapshot_swaps));
@@ -857,6 +1022,9 @@ impl Interpreter {
         self.say(format!("service_builds {}", st.service_builds));
         self.say(format!("plan_cache_hits {}", plans.hits));
         self.say(format!("plan_cache_misses {}", plans.misses));
+        self.say(format!("view_materializations {}", views.materializations));
+        self.say(format!("view_deltas_applied {}", views.deltas_applied));
+        self.say(format!("wal_records {wal}"));
         Ok(())
     }
 

@@ -50,8 +50,14 @@ pub struct ServerConfig {
     /// Group-commit coalescing window (`ZERO` = per-transaction
     /// commits).
     pub commit_window: Duration,
-    /// Plan-cache file to stage at startup and keep saved.
+    /// Plan-cache file to stage at startup and keep saved (deprecated:
+    /// superseded by `data_dir`, which persists plans *and* everything
+    /// else; see MIGRATION.md).
     pub plan_cache: Option<std::path::PathBuf>,
+    /// Durable data directory: recover checkpoint + WAL at startup,
+    /// WAL-log every commit before acking, serve the `checkpoint`
+    /// command.
+    pub data_dir: Option<std::path::PathBuf>,
     /// Per-line byte cap (requests beyond it are protocol errors).
     pub max_line_bytes: usize,
 }
@@ -64,6 +70,7 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(300),
             commit_window: Duration::from_millis(2),
             plan_cache: None,
+            data_dir: None,
             max_line_bytes: protocol::MAX_LINE_BYTES,
         }
     }
@@ -91,7 +98,13 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let shared = SharedStore::new_shared();
+        let shared = match &config.data_dir {
+            Some(dir) => Arc::new(Mutex::new(
+                SharedStore::open_durable(dir)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+            )),
+            None => SharedStore::new_shared(),
+        };
         let saver = match &config.plan_cache {
             Some(path) => {
                 match std::fs::read_to_string(path) {
@@ -103,7 +116,13 @@ impl Server {
             }
             None => None,
         };
-        let committer = GroupCommitter::spawn(Arc::clone(&shared), config.commit_window);
+        // The committer owns the commit-path save: one per window,
+        // before the acks, instead of one per session command.
+        let committer = GroupCommitter::spawn_with_saver(
+            Arc::clone(&shared),
+            config.commit_window,
+            saver.clone(),
+        );
         let shutdown = Arc::new(AtomicBool::new(false));
         let listener = Arc::new(listener);
         let workers = (0..config.workers.max(1))
@@ -287,12 +306,21 @@ fn serve_connection(ctx: &WorkerCtx, stream: TcpStream) -> io::Result<()> {
             Err(e) => return Err(e),
         };
         last_line = Instant::now();
+        // A bare token check, not a second protocol parse: `commit`
+        // takes no arguments, so this matches exactly the lines
+        // parse_command maps to Command::Commit.
+        let is_commit = protocol::strip_comment(&line).trim() == "commit";
         let result = interp.run_session_line(&line);
         // Persist plan-cache changes BEFORE acking: once the client sees
         // the response, the warm cache is already on disk (a killed
-        // server loses at most the in-flight command).
-        if let Some(saver) = &ctx.saver {
-            let _ = saver.maybe_save(&ctx.shared);
+        // server loses at most the in-flight command). Commits are the
+        // exception — their save already ran on the committer thread,
+        // once per window, so racing sessions don't each pay (or race)
+        // a redundant check here.
+        if !is_commit {
+            if let Some(saver) = &ctx.saver {
+                let _ = saver.maybe_save(&ctx.shared);
+            }
         }
         match result {
             Ok(reply) => match reply.control {

@@ -60,6 +60,15 @@ pub enum StorageError {
         /// The duplicated name.
         name: String,
     },
+    /// A snapshot was requested for a version compacted away by a warm
+    /// restart (checkpoint recovery keeps history only from the
+    /// checkpoint forward).
+    CompactedVersion {
+        /// Requested version.
+        version: u64,
+        /// Oldest version still materializable.
+        oldest: u64,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -100,6 +109,10 @@ impl fmt::Display for StorageError {
             StorageError::DuplicateRelation { name } => {
                 write!(f, "relation already exists: {name}")
             }
+            StorageError::CompactedVersion { version, oldest } => write!(
+                f,
+                "version {version} was compacted by a checkpoint (oldest kept is {oldest})"
+            ),
         }
     }
 }

@@ -39,6 +39,7 @@
 pub mod csv;
 pub mod database;
 pub mod delta;
+pub mod durability;
 pub mod error;
 pub mod eval;
 pub mod fixity;
@@ -50,6 +51,10 @@ pub mod versioned;
 pub use csv::{from_csv, load_csv, to_csv};
 pub use database::{Database, SharedDatabase};
 pub use delta::{Changeset, NetChanges};
+pub use durability::{
+    CheckpointData, DurabilityError, DurableStore, FileStore, MemStore, Recovery, Wal, WalRecord,
+    FORMAT_VERSION,
+};
 pub use error::StorageError;
 pub use eval::{evaluate, explain, AnswerRow, Binding, PlanStep, QueryAnswer};
 pub use fixity::{digest_answer, digest_database, sha256, Digest, Sha256};

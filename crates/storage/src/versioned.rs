@@ -29,19 +29,27 @@ pub enum Op {
     Delete(Symbol, Tuple),
 }
 
-/// A versioned database: current state plus the full history.
+/// A versioned database: current state plus the history since its base
+/// version.
 ///
-/// Version 0 is the empty database (schema only). Each [`commit`]
-/// produces version `n+1`. Snapshots are materialized by replaying the log
-/// from the nearest cached snapshot; the cache is behind a `Mutex` so
-/// snapshotting works through a shared reference.
+/// A fresh store starts at base version 0 (the empty database, schema
+/// only). Each [`commit`] produces version `n+1`. A **warm restart**
+/// ([`restore`]) starts at a non-zero base version — the state a
+/// checkpoint captured — with the history before it compacted away:
+/// snapshots of compacted versions return
+/// [`StorageError::CompactedVersion`]. Snapshots are materialized by
+/// replaying the log from the nearest cached snapshot; the cache is
+/// behind a `Mutex` so snapshotting works through a shared reference.
 ///
 /// [`commit`]: VersionedDatabase::commit
+/// [`restore`]: VersionedDatabase::restore
 #[derive(Debug)]
 pub struct VersionedDatabase {
     schemas: Vec<RelationSchema>,
     current: Database,
-    /// `log[i]` = ops committed in version `i+1`.
+    /// Version the store (re)started from; history before it is gone.
+    base_version: u64,
+    /// `log[i]` = ops committed in version `base_version + i + 1`.
     log: Vec<Vec<Op>>,
     pending: Vec<Op>,
     snapshot_cache: Mutex<BTreeMap<u64, Arc<Database>>>,
@@ -58,15 +66,50 @@ impl VersionedDatabase {
         Ok(VersionedDatabase {
             schemas,
             current: db,
+            base_version: 0,
             log: Vec::new(),
             pending: Vec::new(),
             snapshot_cache: Mutex::new(BTreeMap::new()),
         })
     }
 
+    /// Warm-restarts a store from checkpointed state: `base` **is**
+    /// version `base_version`, and history before it is compacted away
+    /// (snapshots of earlier versions fail with
+    /// [`StorageError::CompactedVersion`]). The recovered state replays
+    /// forward exactly like a store that never restarted: the next
+    /// commit seals `base_version + 1`.
+    pub fn restore(
+        schemas: Vec<RelationSchema>,
+        base: Database,
+        base_version: u64,
+    ) -> Result<Self, StorageError> {
+        // Validate that the base honours the schemas (a checkpoint
+        // written by this crate always does; a hand-edited one may not).
+        for s in &schemas {
+            base.relation(s.name.as_str())?;
+        }
+        let seed = Arc::new(base.clone());
+        Ok(VersionedDatabase {
+            schemas,
+            current: base,
+            base_version,
+            log: Vec::new(),
+            pending: Vec::new(),
+            snapshot_cache: Mutex::new(BTreeMap::from([(base_version, seed)])),
+        })
+    }
+
     /// The latest committed version number.
     pub fn latest_version(&self) -> u64 {
-        self.log.len() as u64
+        self.base_version + self.log.len() as u64
+    }
+
+    /// The version this store (re)started from — 0 for a fresh store,
+    /// the checkpoint version after a [`restore`](Self::restore).
+    /// Versions before it are compacted and cannot be snapshotted.
+    pub fn base_version(&self) -> u64 {
+        self.base_version
     }
 
     /// True if there are uncommitted operations.
@@ -127,7 +170,7 @@ impl VersionedDatabase {
     /// version, mirroring how curated releases are cut on a schedule.
     pub fn commit(&mut self) -> u64 {
         self.log.push(std::mem::take(&mut self.pending));
-        self.log.len() as u64
+        self.latest_version()
     }
 
     /// Materializes the database as of `version`.
@@ -158,12 +201,19 @@ impl VersionedDatabase {
                 latest: self.latest_version(),
             });
         }
+        if version < self.base_version {
+            return Err(StorageError::CompactedVersion {
+                version,
+                oldest: self.base_version,
+            });
+        }
         let mut cache = self.snapshot_cache.lock();
         if let Some(hit) = cache.get(&version) {
             return Ok(Arc::clone(hit));
         }
-        // Start from the nearest earlier cached snapshot (or empty).
-        let (base_version, mut db) = cache
+        // Start from the nearest earlier cached snapshot (or empty; a
+        // restored store always finds its seeded base snapshot here).
+        let (replay_from, mut db) = cache
             .range(..version)
             .next_back()
             .map(|(&v, d)| (v, (**d).clone()))
@@ -174,9 +224,11 @@ impl VersionedDatabase {
                         .create_relation(s.clone())
                         .expect("schemas validated at construction");
                 }
-                (0, fresh)
+                (self.base_version, fresh)
             });
-        for ops in &self.log[base_version as usize..version as usize] {
+        let lo = (replay_from - self.base_version) as usize;
+        let hi = (version - self.base_version) as usize;
+        for ops in &self.log[lo..hi] {
             for op in ops {
                 match op {
                     Op::Insert(rel, t) => {
@@ -199,12 +251,14 @@ impl VersionedDatabase {
         Ok(digest_database(self.snapshot(version)?.as_ref()))
     }
 
-    /// Number of operations committed in `version` (1-based).
+    /// Number of operations committed in `version` (1-based; `None` for
+    /// version 0, unknown versions, and versions compacted away by a
+    /// [`restore`](Self::restore)).
     pub fn ops_in(&self, version: u64) -> Option<usize> {
-        if version == 0 || version > self.latest_version() {
+        if version <= self.base_version || version > self.latest_version() {
             return None;
         }
-        Some(self.log[(version - 1) as usize].len())
+        Some(self.log[(version - self.base_version - 1) as usize].len())
     }
 
     /// The schemas this store was created with.
@@ -345,6 +399,47 @@ mod tests {
         v.delete("Family", &tuple![99, "Nope"]).unwrap(); // miss
         let ver = v.commit();
         assert_eq!(v.ops_in(ver), Some(1));
+    }
+
+    #[test]
+    fn restore_continues_the_version_line() {
+        let mut original = VersionedDatabase::new(schemas()).unwrap();
+        original.insert("Family", tuple![11, "Calcitonin"]).unwrap();
+        original.commit(); // v1
+        original.insert("Family", tuple![12, "Dopamine"]).unwrap();
+        original.commit(); // v2
+
+        // Warm restart at v2 from the materialized state.
+        let base = (*original.snapshot(2).unwrap()).clone();
+        let mut restored = VersionedDatabase::restore(schemas(), base, 2).unwrap();
+        assert_eq!(restored.base_version(), 2);
+        assert_eq!(restored.latest_version(), 2);
+        assert_eq!(
+            restored.digest_at(2).unwrap(),
+            original.digest_at(2).unwrap()
+        );
+        // Compacted history is rejected, not silently wrong.
+        assert!(matches!(
+            restored.snapshot(1),
+            Err(StorageError::CompactedVersion {
+                version: 1,
+                oldest: 2
+            })
+        ));
+        assert_eq!(restored.ops_in(1), None);
+        assert_eq!(restored.ops_in(2), None, "checkpoint seals no op list");
+        // The version line continues exactly where it left off.
+        restored.insert("Family", tuple![13, "Ghrelin"]).unwrap();
+        assert_eq!(restored.commit(), 3);
+        assert_eq!(restored.ops_in(3), Some(1));
+        assert_eq!(restored.snapshot(3).unwrap().total_tuples(), 3);
+        assert_eq!(restored.snapshot(2).unwrap().total_tuples(), 2);
+    }
+
+    #[test]
+    fn restore_rejects_base_missing_schema_relations() {
+        let base = Database::new(); // lacks the Family relation
+        assert!(VersionedDatabase::restore(schemas(), base, 1).is_err());
     }
 
     #[test]

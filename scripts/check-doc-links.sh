@@ -67,6 +67,28 @@ grep -q 'citesys client\|bin citesys -- client' README.md \
 grep -q 'citesys-net' MIGRATION.md \
     || { echo "MIGRATION.md must cover the citesys-net front end"; fail=1; }
 
+# Content contract for the durability layer: the architecture doc must
+# have a Durability section with the WAL/checkpoint/recovery story and
+# the on-disk format-version table, the quickstart must show
+# --data-dir, and the migration guide must record the --plan-cache
+# deprecation.
+grep -q '## Durability' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must have a 'Durability' section"; fail=1; }
+grep -q 'write-ahead log\|WAL' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must document the write-ahead log"; fail=1; }
+grep -qi 'format version' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must include the on-disk format-version table"; fail=1; }
+grep -q 'DurableStore' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must document the DurableStore trait"; fail=1; }
+grep -q 'data-dir' README.md \
+    || { echo "README.md must quickstart 'serve --data-dir'"; fail=1; }
+grep -q 'citesys recover\|bin citesys -- recover' README.md \
+    || { echo "README.md must show the recover subcommand"; fail=1; }
+grep -q 'plan-cache' MIGRATION.md \
+    || { echo "MIGRATION.md must record the --plan-cache deprecation"; fail=1; }
+grep -qi 'deprecat' MIGRATION.md \
+    || { echo "MIGRATION.md must mark --plan-cache as deprecated"; fail=1; }
+
 if [ "$fail" -eq 0 ]; then
     echo "doc links ok (${docs[*]})"
 fi

@@ -100,3 +100,8 @@ wait "$server_pid"
 server_pid=""
 
 echo "net smoke ok ($addr)"
+
+# Crash-recovery phase: SIGKILL the server mid-commit-window (after the
+# ack, before any checkpoint) and assert the reopened store replays the
+# write-ahead log to the acked version with warm caches.
+"$(dirname "$0")/recovery-smoke.sh"

@@ -4,9 +4,12 @@
 //! $ citesys script.cts                      # run a script file
 //! $ citesys -                               # read the script from stdin
 //! $ citesys serve                           # interactive loop: one service, many cites
-//! $ citesys serve --plan-cache plans.txt    # …with rewrite plans persisted across runs
-//! $ citesys serve --listen 127.0.0.1:4242   # TCP server: many concurrent sessions
+//! $ citesys serve --data-dir ./data         # …durable: WAL + checkpoints, warm restart
+//! $ citesys serve --listen 127.0.0.1:4242 --data-dir ./data
 //! $ citesys client 127.0.0.1:4242 script.cts
+//! $ citesys checkpoint ./data               # fold the WAL into a fresh checkpoint
+//! $ citesys recover ./data                  # report what a restart would recover
+//! $ citesys wal dump ./data                 # print the WAL's changesets
 //! $ citesys plans export session.cts plans.txt
 //! $ citesys plans import plans.txt
 //! ```
@@ -22,8 +25,12 @@ use std::time::Duration;
 
 use citesys::net::client::run_script;
 use citesys::net::persist::PlanSaver;
-use citesys::net::script::{Interpreter, ScriptError, ScriptErrorKind, SessionControl};
+use citesys::net::script::{
+    Interpreter, ScriptError, ScriptErrorKind, SessionControl, SharedStore,
+};
 use citesys::net::server::{Server, ServerConfig};
+use citesys_core::CitationService;
+use citesys_storage::Wal;
 
 const EXIT_IO: i32 = 1;
 const EXIT_USAGE: i32 = 2;
@@ -31,18 +38,22 @@ const EXIT_PARSE: i32 = 3;
 const EXIT_CITE: i32 = 4;
 
 fn usage() -> String {
-    "usage: citesys <script-file | - | serve | client | plans>\n\n\
+    "usage: citesys <script-file | - | serve | client | checkpoint | recover | wal | plans>\n\n\
      modes:\n  \
      <script-file>  run a script file\n  \
      -              read a whole script from stdin\n  \
-     serve [--plan-cache <path>] [--listen <addr>] [--workers <n>]\n        \
-     [--idle-timeout <secs>] [--commit-window-ms <ms>]\n                 \
+     serve [--data-dir <path>] [--plan-cache <path>] [--listen <addr>]\n        \
+     [--workers <n>] [--idle-timeout <secs>] [--commit-window-ms <ms>]\n                 \
      interactive: execute each stdin line as it arrives,\n                 \
      reusing one citation service (warm plan cache) per session.\n                 \
-     --plan-cache loads cached rewrite plans from <path> at the\n                 \
-     first cite (after the session's view registrations) and keeps\n                 \
-     the file saved after every change (a killed session loses at\n                 \
-     most the last in-flight search).\n                 \
+     --data-dir makes the store durable: the newest checkpoint is\n                 \
+     recovered at startup (data, views and plans come back warm),\n                 \
+     every commit is write-ahead-logged and fsynced before it is\n                 \
+     acknowledged, and the 'checkpoint' command folds the log into\n                 \
+     a fresh snapshot.\n                 \
+     --plan-cache (deprecated: use --data-dir, which persists plans\n                 \
+     and everything else) loads cached rewrite plans from <path> at\n                 \
+     the first cite and keeps the file saved after every change.\n                 \
      --listen serves the same command language over TCP instead:\n                 \
      concurrent sessions share one store, and racing begin…commit\n                 \
      transactions group-commit into one snapshot swap per window\n                 \
@@ -50,6 +61,14 @@ fn usage() -> String {
      client <addr> [script-file]\n                 \
      run a script (or stdin) against a serve --listen server and\n                 \
      print the responses\n  \
+     checkpoint <data-dir>\n                 \
+     recover the directory, fold the write-ahead log into a fresh\n                 \
+     checkpoint, and reset the log\n  \
+     recover <data-dir>\n                 \
+     recover the directory and report what came back (version,\n                 \
+     tables, views, plans, replayed log records) without serving\n  \
+     wal dump <data-dir>\n                 \
+     print the write-ahead log's records as changeset text\n  \
      plans export <script-file> <plans-file>\n                 \
      run a script (its cites populate the plan cache), then write\n                 \
      the cache to <plans-file>\n  \
@@ -64,7 +83,8 @@ fn usage() -> String {
      commit\n  \
      cite <query> [| format text|bibtex|ris|xml|json|csl] [| mode formal|pruned] [| policy minsize|union|first] [| partial]\n  \
      verify / tables / dump Name / load Name from '<path>' / trace\n  \
-     stats          commit/swap/group-window and plan-cache counters\n  \
+     stats          commit/swap/group-window, plan/view-cache and WAL counters\n  \
+     checkpoint     snapshot the durable store and reset the WAL (--data-dir)\n  \
      quit / shutdown (interactive and network sessions)\n\n\
      plan files pin the registry they were exported under: pair a plan\n\
      file with the script that registers the same views\n\n\
@@ -82,6 +102,7 @@ fn exit_code_for(e: &ScriptError) -> i32 {
 /// Options accepted by `citesys serve`.
 struct ServeOpts {
     plan_cache: Option<String>,
+    data_dir: Option<String>,
     listen: Option<String>,
     workers: Option<usize>,
     idle_timeout: Option<u64>,
@@ -91,6 +112,7 @@ struct ServeOpts {
 fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, String> {
     let mut opts = ServeOpts {
         plan_cache: None,
+        data_dir: None,
         listen: None,
         workers: None,
         idle_timeout: None,
@@ -105,6 +127,7 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, String> {
         };
         match flag.as_str() {
             "--plan-cache" => opts.plan_cache = Some(take("--plan-cache")?),
+            "--data-dir" => opts.data_dir = Some(take("--data-dir")?),
             "--listen" => opts.listen = Some(take("--listen")?),
             "--workers" => {
                 opts.workers = Some(
@@ -143,6 +166,22 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, String> {
             }
         }
     }
+    // --plan-cache is the deprecated plans-only shim; --data-dir
+    // persists plans as part of its checkpoints. Combining them would
+    // write the same plans twice with unclear precedence.
+    if opts.plan_cache.is_some() && opts.data_dir.is_some() {
+        return Err(
+            "--plan-cache is deprecated and superseded by --data-dir (which persists \
+             plans inside its checkpoints); use --data-dir alone"
+                .to_string(),
+        );
+    }
+    if opts.plan_cache.is_some() {
+        eprintln!(
+            "warning: --plan-cache is deprecated; use --data-dir for full durability \
+             (see MIGRATION.md)"
+        );
+    }
     Ok(opts)
 }
 
@@ -152,6 +191,7 @@ fn serve_tcp(opts: &ServeOpts) -> i32 {
     let mut config = ServerConfig {
         addr: opts.listen.clone().expect("caller checked"),
         plan_cache: opts.plan_cache.clone().map(Into::into),
+        data_dir: opts.data_dir.clone().map(Into::into),
         ..Default::default()
     };
     if let Some(w) = opts.workers {
@@ -184,10 +224,28 @@ fn serve_tcp(opts: &ServeOpts) -> i32 {
 /// saved rewrite plans are staged for import and the file is re-saved
 /// **after every change** — an interrupted session (SIGINT, killed
 /// terminal) keeps its warm cache on disk.
-fn serve_stdin(plan_cache: Option<&str>) -> i32 {
+fn serve_stdin(plan_cache: Option<&str>, data_dir: Option<&str>) -> i32 {
     let stdin = std::io::stdin();
-    let mut interp = Interpreter::new();
     let interactive = std::env::var_os("CITESYS_SERVE_SILENT").is_none();
+    let mut interp = match data_dir {
+        Some(dir) => match SharedStore::open_durable_shared(dir) {
+            Ok(shared) => {
+                if interactive {
+                    let sh = shared.lock();
+                    eprintln!(
+                        "durable store at {dir}: {} wal record(s) pending",
+                        sh.wal_records()
+                    );
+                }
+                Interpreter::with_store(shared)
+            }
+            Err(e) => {
+                eprintln!("error opening data dir {dir}: {e}");
+                return EXIT_IO;
+            }
+        },
+        None => Interpreter::new(),
+    };
     let saver = match plan_cache {
         Some(path) => {
             match std::fs::read_to_string(path) {
@@ -295,6 +353,125 @@ fn client(args: &[String]) -> i32 {
     run_script(addr, &script, &mut out, &mut err)
 }
 
+/// `checkpoint <data-dir>`: recover and fold the WAL into a fresh
+/// checkpoint.
+fn checkpoint_cmd(args: &[String]) -> i32 {
+    let [dir] = args else {
+        eprintln!("usage: citesys checkpoint <data-dir>");
+        return EXIT_USAGE;
+    };
+    match CitationService::open(dir) {
+        Ok((mut handle, Some(recovered))) => {
+            let replayed = recovered.replayed;
+            match recovered.service.checkpoint(&recovered.store, &mut handle) {
+                Ok(version) => {
+                    println!(
+                        "{dir}: checkpoint at version {version} ({replayed} wal record(s) folded)"
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("{dir}: {e}");
+                    EXIT_IO
+                }
+            }
+        }
+        Ok((_, None)) => {
+            println!("{dir}: empty data dir, nothing to checkpoint");
+            0
+        }
+        Err(e) => {
+            eprintln!("{dir}: {e}");
+            EXIT_IO
+        }
+    }
+}
+
+/// `recover <data-dir>`: recover and report, without serving.
+fn recover_cmd(args: &[String]) -> i32 {
+    let [dir] = args else {
+        eprintln!("usage: citesys recover <data-dir>");
+        return EXIT_USAGE;
+    };
+    match CitationService::open(dir) {
+        Ok((_, Some(recovered))) => {
+            println!(
+                "{dir}: recovered to version {}",
+                recovered.store.latest_version()
+            );
+            println!(
+                "wal: {} record(s) replayed{}",
+                recovered.replayed,
+                if recovered.wal_truncated {
+                    " (torn final record truncated)"
+                } else {
+                    ""
+                }
+            );
+            let snapshot = recovered
+                .store
+                .snapshot(recovered.store.latest_version())
+                .expect("latest snapshot");
+            for (rel, count) in citesys_storage::durability::summarize_database(&snapshot) {
+                println!("table {rel}: {count} tuple(s)");
+            }
+            println!(
+                "registry: {} view(s); plans: {} cached; materialized views: {} relation(s)",
+                recovered.service.registry().len(),
+                recovered.service.plan_cache().len(),
+                recovered
+                    .service
+                    .materialized_views()
+                    .relation_names()
+                    .len()
+            );
+            0
+        }
+        Ok((_, None)) => {
+            println!("{dir}: empty data dir, nothing to recover");
+            0
+        }
+        Err(e) => {
+            eprintln!("{dir}: {e}");
+            EXIT_IO
+        }
+    }
+}
+
+/// `wal dump <data-dir>`: print the write-ahead log as changeset text.
+fn wal_cmd(args: &[String]) -> i32 {
+    let (Some(sub), Some(dir), None) = (args.first(), args.get(1), args.get(2)) else {
+        eprintln!("usage: citesys wal dump <data-dir>");
+        return EXIT_USAGE;
+    };
+    if sub != "dump" {
+        eprintln!("usage: citesys wal dump <data-dir>");
+        return EXIT_USAGE;
+    }
+    let path = std::path::Path::new(dir).join(citesys_storage::durability::WAL_FILE);
+    // Read-only: a dump must never create or truncate the log — the
+    // server owning this directory may be appending to it right now.
+    match Wal::read(&path) {
+        Ok((records, truncated)) => {
+            if truncated {
+                eprintln!("note: final record is torn (left in place; recovery will truncate it)");
+            }
+            if records.is_empty() {
+                println!("{}: no wal records", path.display());
+            }
+            for r in &records {
+                println!("# version {} ({} op(s))", r.version, r.changes.len());
+                print!("{}", r.changes.to_text());
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("{}: {e}", path.display());
+            EXIT_IO
+        }
+    }
+}
+
 /// `plans export <script> <out>` / `plans import <file>`.
 fn plans(args: &[String]) -> i32 {
     match args.first().map(String::as_str) {
@@ -376,12 +553,21 @@ fn main() {
             let code = if opts.listen.is_some() {
                 serve_tcp(&opts)
             } else {
-                serve_stdin(opts.plan_cache.as_deref())
+                serve_stdin(opts.plan_cache.as_deref(), opts.data_dir.as_deref())
             };
             std::process::exit(code);
         }
         Some("client") => {
             std::process::exit(client(&args[1..]));
+        }
+        Some("checkpoint") => {
+            std::process::exit(checkpoint_cmd(&args[1..]));
+        }
+        Some("recover") => {
+            std::process::exit(recover_cmd(&args[1..]));
+        }
+        Some("wal") => {
+            std::process::exit(wal_cmd(&args[1..]));
         }
         Some("plans") => {
             std::process::exit(plans(&args[1..]));
