@@ -1,0 +1,45 @@
+//! E18 bench: replication read scale-out — the same client pool spread
+//! over a primary plus 0/1/2 WAL-shipping followers, over loopback TCP.
+//!
+//! Servers and followers are spawned (and caught up) outside the timing
+//! loop; each measured closure is pure read traffic. The lag-under-storm
+//! observable is in the `repro` table (`repro e18`), which samples the
+//! follower's counters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use citesys_bench::e18::{aggregate_cites, spawn_primary, spawn_replicas};
+
+fn bench(c: &mut Criterion) {
+    let quick = std::env::var_os("CITESYS_BENCH_QUICK").is_some();
+    let families = 16;
+    let (clients, rounds) = if quick { (2, 5) } else { (4, 10) };
+
+    let mut group = c.benchmark_group("e18_replica_scaling");
+    group.sample_size(10);
+    for replicas in [0usize, 1, 2] {
+        let (primary, paddr) = spawn_primary(families, replicas, clients);
+        let followers = spawn_replicas(&paddr, replicas, clients);
+        let mut addrs = vec![paddr];
+        addrs.extend(followers.iter().map(|(_, a)| a.clone()));
+        group.throughput(Throughput::Elements((clients * rounds) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("aggregate_cites", replicas),
+            &replicas,
+            |b, _| {
+                // aggregate_cites pre-connects before its own clock, but
+                // the bench mean still includes that setup; the repro
+                // table (`repro e18`) reports the pure streaming wall.
+                b.iter(|| aggregate_cites(&addrs, clients, rounds, families))
+            },
+        );
+        for (server, _) in followers {
+            server.stop();
+        }
+        primary.stop();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

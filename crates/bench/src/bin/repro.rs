@@ -1,4 +1,4 @@
-//! `repro` — regenerates every experiment table (E1–E17).
+//! `repro` — regenerates every experiment table (E1–E18).
 //!
 //! Usage:
 //! ```text
@@ -37,6 +37,7 @@ fn main() {
             "e15" => Some(citesys_bench::e15::table(quick)),
             "e16" => Some(citesys_bench::e16::table(quick)),
             "e17" => Some(citesys_bench::e17::table(quick)),
+            "e18" => Some(citesys_bench::e18::table(quick)),
             other => {
                 eprintln!("unknown experiment id: {other}");
                 None

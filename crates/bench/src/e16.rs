@@ -47,11 +47,19 @@ fn send_ok(conn: &mut Connection, line: &str) -> Vec<String> {
 /// of `families` rows through one admin connection, with the paper's V2
 /// and V3 views registered and the service warmed by one cite.
 pub fn spawn_loaded(commit_window: Duration, families: usize) -> (Server, String) {
-    let server = Server::spawn(ServerConfig {
-        commit_window,
-        ..Default::default()
-    })
-    .expect("bind loopback");
+    spawn_loaded_with(
+        ServerConfig {
+            commit_window,
+            ..Default::default()
+        },
+        families,
+    )
+}
+
+/// [`spawn_loaded`] with full control over the server configuration
+/// (E18 sizes the worker pool per experiment point).
+pub fn spawn_loaded_with(config: ServerConfig, families: usize) -> (Server, String) {
+    let server = Server::spawn(config).expect("bind loopback");
     let addr = server.local_addr().to_string();
     let mut admin = Connection::connect(&addr).expect("connect");
     send_ok(
@@ -157,6 +165,7 @@ pub fn commit_storm(
             group_windows: after.group_windows - base.group_windows,
             largest_group: after.largest_group,
             service_builds: after.service_builds - base.service_builds,
+            ..StoreStats::default()
         },
         wall,
     )

@@ -1,0 +1,257 @@
+//! E18 — replication: read scale-out across WAL-shipping replicas and
+//! steady-state lag under a write storm.
+//!
+//! The paper's service framing makes citations a *read* workload over a
+//! repository that keeps evolving; replication is the standard lever
+//! for scaling such reads. E18 measures both halves of the bargain over
+//! real loopback TCP:
+//!
+//! * **read scale-out** — aggregate cite throughput with the same
+//!   client pool spread round-robin over the primary plus 0/1/2/4
+//!   followers. Followers answer from their own snapshots, so
+//!   throughput should grow with the serving set.
+//! * **bounded lag** — one follower attached while the primary absorbs
+//!   a commit storm; the observable is the follower's
+//!   `replica_lag_versions` counter sampled through `stats`: it must
+//!   stay bounded during the storm and drain to zero after it.
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use citesys_net::client::Connection;
+use citesys_net::protocol::Response;
+use citesys_net::server::{Server, ServerConfig};
+
+use crate::table::{ms, timed, Table};
+
+/// Bench sizing: follower-count sweep, client count, cite rounds per
+/// client, storm commits.
+pub fn config(quick: bool) -> (Vec<usize>, usize, usize, usize) {
+    if quick {
+        (vec![0, 1, 2], 4, 10, 12)
+    } else {
+        (vec![0, 1, 2, 4], 8, 60, 60)
+    }
+}
+
+fn send_ok(conn: &mut Connection, line: &str) -> Vec<String> {
+    match conn.send(line).expect("protocol round-trip") {
+        Response::Ok(lines) => lines,
+        Response::Err { message, .. } => panic!("server error on '{line}': {message}"),
+    }
+}
+
+/// Spawns the E18 primary: the standard loaded dataset, with a worker
+/// pool sized for one admin session, one feed per prospective follower,
+/// and the whole client pool (each feed permanently occupies a worker).
+pub fn spawn_primary(families: usize, replicas: usize, clients: usize) -> (Server, String) {
+    crate::e16::spawn_loaded_with(
+        ServerConfig {
+            workers: 1 + replicas + clients,
+            ..Default::default()
+        },
+        families,
+    )
+}
+
+/// Spawns `n` followers of the primary at `addr` and blocks until every
+/// one of them serves the same answer as the primary for the warm cite.
+pub fn spawn_replicas(addr: &str, n: usize, clients: usize) -> Vec<(Server, String)> {
+    let mut primary = Connection::connect(addr).expect("connect primary");
+    let probe = "cite Q(FName) :- Family(0, FName, Desc), FamilyIntro(0, Text)";
+    let expected = send_ok(&mut primary, probe);
+    let replicas: Vec<(Server, String)> = (0..n)
+        .map(|_| {
+            let server = Server::spawn(ServerConfig {
+                follow: Some(addr.to_string()),
+                workers: clients + 1,
+                ..Default::default()
+            })
+            .expect("bind follower");
+            let addr = server.local_addr().to_string();
+            (server, addr)
+        })
+        .collect();
+    for (_, faddr) in &replicas {
+        let mut conn = Connection::connect(faddr).expect("connect follower");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Response::Ok(lines) = conn.send(probe).expect("round-trip") {
+                if lines == expected {
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "follower never caught up");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    replicas
+}
+
+/// Spreads `clients` cite streams round-robin over `addrs` (primary
+/// first, then followers) and returns `(total cites served, streaming
+/// wall time)`. Connections are established *before* the clock starts —
+/// accepts on an idle worker pool cost up to one poll tick, and E18
+/// measures read throughput, not connection setup.
+pub fn aggregate_cites(
+    addrs: &[String],
+    clients: usize,
+    rounds: usize,
+    families: usize,
+) -> (usize, Duration) {
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = &addrs[c % addrs.len()];
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    let mut conn = Connection::connect(addr).expect("connect");
+                    barrier.wait();
+                    let mut done = 0usize;
+                    for r in 0..rounds {
+                        let fid = ((c + 1) * r) % families;
+                        send_ok(
+                            &mut conn,
+                            &format!(
+                                "cite Q(FName) :- Family({fid}, FName, Desc), FamilyIntro({fid}, Text)"
+                            ),
+                        );
+                        done += 1;
+                    }
+                    done
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        let total = handles
+            .into_iter()
+            .map(|h| h.join().expect("no panics"))
+            .sum();
+        (total, start.elapsed())
+    })
+}
+
+/// Reads the follower's `replica_lag_versions` counter over the wire.
+pub fn lag_versions(conn: &mut Connection) -> u64 {
+    send_ok(conn, "stats")
+        .iter()
+        .find_map(|l| l.strip_prefix("replica_lag_versions "))
+        .and_then(|v| v.parse().ok())
+        .expect("replica_lag_versions in stats")
+}
+
+/// Drives `commits` single-insert transactions into the primary while
+/// sampling the follower's version lag; returns `(max lag observed
+/// during the storm, time for the lag to drain to zero afterwards)`.
+pub fn write_storm_lag(primary_addr: &str, follower_addr: &str, commits: usize) -> (u64, Duration) {
+    let mut writer = Connection::connect(primary_addr).expect("connect primary");
+    let mut probe = Connection::connect(follower_addr).expect("connect follower");
+    let mut max_lag = 0u64;
+    for i in 0..commits {
+        let fid = 2_000_000 + i as i64;
+        send_ok(&mut writer, &format!("insert Family({fid}, 'S{fid}', 'D')"));
+        send_ok(&mut writer, "commit");
+        max_lag = max_lag.max(lag_versions(&mut probe));
+    }
+    let (_, drain) = timed(|| {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while lag_versions(&mut probe) > 0 {
+            assert!(Instant::now() < deadline, "lag never drained");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    });
+    (max_lag, drain)
+}
+
+/// Builds the E18 table.
+pub fn table(quick: bool) -> Table {
+    let (sweep, clients, rounds, storm_commits) = config(quick);
+    let families = if quick { 16 } else { 64 };
+    let mut rows = Vec::new();
+
+    // Arm 1: aggregate cite throughput vs follower count. A fresh
+    // primary per point keeps the dataset identical across points.
+    for &replicas in &sweep {
+        let (primary, paddr) = spawn_primary(families, replicas, clients);
+        let followers = spawn_replicas(&paddr, replicas, clients);
+        let mut addrs = vec![paddr];
+        addrs.extend(followers.iter().map(|(_, a)| a.clone()));
+        let (total, wall) = aggregate_cites(&addrs, clients, rounds, families);
+        rows.push(vec![
+            format!("cite × primary + {replicas} follower(s), {clients} clients"),
+            ms(wall),
+            format!("{:.0} cites/s", total as f64 / wall.as_secs_f64().max(1e-9)),
+            "-".into(),
+        ]);
+        for (server, _) in followers {
+            server.stop();
+        }
+        primary.stop();
+    }
+
+    // Arm 2: steady-state lag under a write storm, one follower.
+    let (primary, paddr) = spawn_primary(families, 1, 2);
+    let followers = spawn_replicas(&paddr, 1, 2);
+    let faddr = followers[0].1.clone();
+    let ((max_lag, drain), wall) = timed(|| write_storm_lag(&paddr, &faddr, storm_commits));
+    rows.push(vec![
+        format!("write storm, {storm_commits} commits, 1 follower"),
+        ms(wall),
+        format!("max lag {max_lag} version(s)"),
+        format!("drained in {}", ms(drain)),
+    ]);
+    for (server, _) in followers {
+        server.stop();
+    }
+    primary.stop();
+
+    Table {
+        id: "E18",
+        title: "replication: read scale-out and bounded lag",
+        expectation: "aggregate cite throughput grows with followers when cores \
+                      allow (each follower answers from its own snapshot with its \
+                      own worker pool; on a single-core host the serving set \
+                      shares one CPU and the curve flattens); under a write storm \
+                      the follower's version lag stays bounded and drains to zero",
+        headers: vec![
+            "workload".into(),
+            "wall (ms)".into(),
+            "throughput / lag".into(),
+            "notes".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e18_replicas_serve_reads() {
+        let (primary, paddr) = spawn_primary(8, 1, 2);
+        let followers = spawn_replicas(&paddr, 1, 2);
+        let mut addrs = vec![paddr];
+        addrs.extend(followers.iter().map(|(_, a)| a.clone()));
+        let (total, _) = aggregate_cites(&addrs, 2, 5, 8);
+        assert_eq!(total, 10);
+        for (server, _) in followers {
+            server.stop();
+        }
+        primary.stop();
+    }
+
+    #[test]
+    fn e18_storm_lag_drains() {
+        let (primary, paddr) = spawn_primary(8, 1, 2);
+        let followers = spawn_replicas(&paddr, 1, 2);
+        let (_, drain) = write_storm_lag(&paddr, &followers[0].1, 5);
+        assert!(drain < Duration::from_secs(10));
+        for (server, _) in followers {
+            server.stop();
+        }
+        primary.stop();
+    }
+}

@@ -23,6 +23,7 @@
 //! | E14 | §3 concurrent service throughput | [`e14`] |
 //! | E16 | citation as an always-on network service | [`e16`] |
 //! | E17 | durable, restartable citation store | [`e17`] |
+//! | E18 | replication: read scale-out and bounded lag | [`e18`] |
 //!
 //! Run `cargo run -p citesys-bench --release --bin repro` to print every
 //! table; Criterion benches under `benches/` time the same operations.
@@ -38,6 +39,7 @@ pub mod e14;
 pub mod e15;
 pub mod e16;
 pub mod e17;
+pub mod e18;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -69,5 +71,6 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e15::table(quick),
         e16::table(quick),
         e17::table(quick),
+        e18::table(quick),
     ]
 }

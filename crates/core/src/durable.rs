@@ -98,6 +98,52 @@ impl DurableHandle {
     }
 }
 
+/// Rebuilds a warm `(store, service)` pair from one checkpoint's
+/// sections — the versioned database, the registry, the plan cache and
+/// the pre-materialized views — without touching any backend.
+///
+/// This is the section-decoding half of recovery, shared by
+/// [`CitationService::open_with`] (which then replays the local WAL on
+/// top) and by replication followers (which install a checkpoint
+/// shipped over the wire and then apply streamed changesets).
+pub fn rebuild_from_checkpoint(
+    checkpoint: &CheckpointData,
+) -> Result<(VersionedDatabase, CitationService), CiteError> {
+    let database_text = checkpoint
+        .section(SECTION_DATABASE)
+        .ok_or_else(|| derr("checkpoint lacks its database section"))?;
+    let store = versioned_from_text(database_text).map_err(derr)?;
+    if store.latest_version() != checkpoint.version {
+        return Err(derr(format!(
+            "checkpoint claims version {} but its database section is at {}",
+            checkpoint.version,
+            store.latest_version()
+        )));
+    }
+    let registry = match checkpoint.section(SECTION_REGISTRY) {
+        Some(text) => CitationRegistry::from_text(text)?,
+        None => CitationRegistry::new(),
+    };
+    let plans = Arc::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY));
+    if let Some(text) = checkpoint.section(SECTION_PLANS) {
+        plans
+            .load_text(text)
+            .map_err(|e| derr(format!("checkpointed plan cache: {e}")))?;
+    }
+    let snapshot = store.snapshot(checkpoint.version)?;
+    let mut builder = CitationService::builder()
+        .database(snapshot)
+        .registry(registry)
+        .shared_plan_cache(Arc::clone(&plans));
+    if let Some(text) = checkpoint.section(SECTION_VIEWS) {
+        builder = builder.warm_views(
+            database_from_text(text).map_err(|e| derr(format!("checkpointed views: {e}")))?,
+        );
+    }
+    let service = builder.build()?;
+    Ok((store, service))
+}
+
 /// The outcome of opening a durable directory that held state: the
 /// warm-restarted store and service, plus recovery telemetry.
 #[derive(Debug)]
@@ -140,38 +186,7 @@ impl CitationService {
             }
             return Ok((handle, None));
         };
-        let database_text = checkpoint
-            .section(SECTION_DATABASE)
-            .ok_or_else(|| derr("checkpoint lacks its database section"))?;
-        let mut store = versioned_from_text(database_text).map_err(derr)?;
-        if store.latest_version() != checkpoint.version {
-            return Err(derr(format!(
-                "checkpoint claims version {} but its database section is at {}",
-                checkpoint.version,
-                store.latest_version()
-            )));
-        }
-        let registry = match checkpoint.section(SECTION_REGISTRY) {
-            Some(text) => CitationRegistry::from_text(text)?,
-            None => CitationRegistry::new(),
-        };
-        let plans = Arc::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY));
-        if let Some(text) = checkpoint.section(SECTION_PLANS) {
-            plans
-                .load_text(text)
-                .map_err(|e| derr(format!("checkpointed plan cache: {e}")))?;
-        }
-        let snapshot = store.snapshot(checkpoint.version)?;
-        let mut builder = CitationService::builder()
-            .database(snapshot)
-            .registry(registry)
-            .shared_plan_cache(Arc::clone(&plans));
-        if let Some(text) = checkpoint.section(SECTION_VIEWS) {
-            builder = builder.warm_views(
-                database_from_text(text).map_err(|e| derr(format!("checkpointed views: {e}")))?,
-            );
-        }
-        let mut service = builder.build()?;
+        let (mut store, mut service) = rebuild_from_checkpoint(&checkpoint)?;
         // Replay the WAL through the normal delta-maintenance path: the
         // recovered service crosses every logged commit exactly like the
         // live one did, keeping its materializations warm.

@@ -80,8 +80,8 @@ pub mod viewcache;
 
 pub use citesys_storage::{Changeset, NetChanges};
 pub use durable::{
-    DurableHandle, RecoveredService, SECTION_DATABASE, SECTION_PLANS, SECTION_REGISTRY,
-    SECTION_VIEWS,
+    rebuild_from_checkpoint, DurableHandle, RecoveredService, SECTION_DATABASE, SECTION_PLANS,
+    SECTION_REGISTRY, SECTION_VIEWS,
 };
 #[allow(deprecated)]
 pub use engine::CitationEngine;

@@ -97,7 +97,9 @@ pub fn run_script(addr: &str, script: &str, out: &mut impl Write, err: &mut impl
                 let _ = writeln!(err, "error: line {}: {message}", i + 1);
                 return match kind {
                     WireErrorKind::Parse => EXIT_PARSE,
-                    WireErrorKind::Citation => EXIT_CITE,
+                    // A rejected write on a read-only replica is a
+                    // command-level failure, like a citation error.
+                    WireErrorKind::Citation | WireErrorKind::Readonly => EXIT_CITE,
                     WireErrorKind::Proto => EXIT_IO,
                 };
             }

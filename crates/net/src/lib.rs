@@ -12,6 +12,7 @@
 //! | [`server`] | the TCP [`Server`]: bounded worker pool, per-connection sessions, idle timeouts, graceful shutdown |
 //! | [`client`] | [`Connection`] + the `citesys client` script runner |
 //! | [`persist`] | debounced plan-cache persistence (saves survive SIGINT / killed connections) |
+//! | [`replication`] | WAL-shipping read replicas: primary-side feeds plus the `serve --follow` follower runtime, with bounded-lag accounting |
 //!
 //! ## Quickstart
 //!
@@ -40,6 +41,7 @@ pub mod client;
 pub mod group;
 pub mod persist;
 pub mod protocol;
+pub mod replication;
 pub mod script;
 pub mod server;
 

@@ -18,10 +18,18 @@
 //!
 //! Responses are framed as `ok <n>` followed by exactly `n` payload
 //! lines, or a single `err <kind> <message>` line (`kind` is one of
-//! `parse`, `citation`, `proto`). Requests are single lines terminated
-//! by `\n` (a trailing `\r` is tolerated, so `telnet`/CRLF clients
-//! work). Lines longer than [`MAX_LINE_BYTES`] are rejected with a
-//! `proto` error instead of being buffered without bound.
+//! `parse`, `citation`, `proto`, `readonly`). Requests are single lines
+//! terminated by `\n` (a trailing `\r` is tolerated, so `telnet`/CRLF
+//! clients work). Lines longer than [`MAX_LINE_BYTES`] are rejected
+//! with a `proto` error instead of being buffered without bound.
+//!
+//! A connection can also switch into the **replication sub-protocol**:
+//! a follower's first request line is `replica hello <version>
+//! <setup-digest>`, after which the server streams [`ReplicaFrame`]s
+//! (`ckpt`, `wal`, `ping`) on that connection for its lifetime instead
+//! of command responses. The frames reuse the durable text codecs —
+//! a `wal` frame's payload *is* a [`Changeset`] in its WAL text form,
+//! a `ckpt` frame's sections are the checkpoint section texts.
 
 use std::fmt;
 use std::io::{self, BufRead, Read, Write};
@@ -32,7 +40,7 @@ use citesys_core::{
     RewritePolicy,
 };
 use citesys_cq::{parse_query, ConjunctiveQuery, Value, ValueType};
-use citesys_storage::Tuple;
+use citesys_storage::{Changeset, CheckpointData, Tuple};
 
 /// The banner the server sends on connect; clients verify the prefix.
 pub const BANNER: &str = "citesys-net v1";
@@ -418,7 +426,8 @@ fn parse_value(input: &str) -> Result<(Value, &str), String> {
 // ---------------------------------------------------------------------------
 
 /// Error class carried in an `err` response line. Clients map these to
-/// the CLI's exit codes (`parse` → 3, `citation` → 4, `proto` → 1).
+/// the CLI's exit codes (`parse` → 3, `citation` → 4, `readonly` → 4,
+/// `proto` → 1).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum WireErrorKind {
     /// The request line is malformed (script parse error).
@@ -427,6 +436,9 @@ pub enum WireErrorKind {
     Citation,
     /// A protocol-level failure (oversized line, idle timeout, …).
     Proto,
+    /// The command mutates state but this server is a read-only
+    /// replica; the message names the primary address to write to.
+    Readonly,
 }
 
 impl WireErrorKind {
@@ -436,6 +448,7 @@ impl WireErrorKind {
             WireErrorKind::Parse => "parse",
             WireErrorKind::Citation => "citation",
             WireErrorKind::Proto => "proto",
+            WireErrorKind::Readonly => "readonly",
         }
     }
 
@@ -445,6 +458,7 @@ impl WireErrorKind {
             "parse" => Some(WireErrorKind::Parse),
             "citation" => Some(WireErrorKind::Citation),
             "proto" => Some(WireErrorKind::Proto),
+            "readonly" => Some(WireErrorKind::Readonly),
             _ => None,
         }
     }
@@ -638,6 +652,216 @@ impl<R: Read> LineReader<R> {
         self.line.clear();
         s
     }
+}
+
+// ---------------------------------------------------------------------------
+// Replication sub-protocol framing
+// ---------------------------------------------------------------------------
+
+/// The request-line prefix that switches a connection into the
+/// replication sub-protocol. Full form:
+/// `replica hello <version> <setup-digest>`.
+pub const REPLICA_HELLO: &str = "replica hello";
+
+/// Formats a follower's hello line: its local version and its setup
+/// digest (a hash over schemas + registry; the primary ships a full
+/// `ckpt` frame instead of incremental `wal` frames when it differs).
+pub fn format_replica_hello(version: u64, setup_digest: &str) -> String {
+    format!("{REPLICA_HELLO} {version} {setup_digest}")
+}
+
+/// Parses the arguments of a hello line (everything after
+/// [`REPLICA_HELLO`]). Returns `(version, setup_digest)`.
+pub fn parse_replica_hello(rest: &str) -> Result<(u64, String), String> {
+    let rest = rest.trim();
+    let (version, digest) = rest
+        .split_once(' ')
+        .ok_or_else(|| format!("bad replica hello '{rest}': want '<version> <digest>'"))?;
+    let version: u64 = version
+        .parse()
+        .map_err(|_| format!("bad replica version '{version}'"))?;
+    let digest = digest.trim();
+    if digest.is_empty() || digest.contains(' ') {
+        return Err(format!("bad setup digest '{digest}'"));
+    }
+    Ok((version, digest.to_string()))
+}
+
+/// One frame on a replication feed (primary → follower).
+///
+/// ```text
+/// ckpt <version> <n-sections>          full checkpoint bootstrap
+///   section <name> <n-lines>           … per section, then its text
+///   …
+/// wal <version> <n-lines>              one committed changeset
+///   citesys-changeset v1               (the Changeset text codec)
+///   i Family(12, 'Dopamine', 'D1')
+/// ping <version>                       idle heartbeat: primary's
+///                                      latest version, for lag
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ReplicaFrame {
+    /// Full-state bootstrap: the primary's assembled checkpoint.
+    Ckpt(CheckpointData),
+    /// One committed version's changeset, in commit order.
+    Wal {
+        /// The version this changeset seals.
+        version: u64,
+        /// The ops, reusing the WAL text codec on the wire.
+        changes: Changeset,
+    },
+    /// Heartbeat carrying the primary's latest version (lets an idle
+    /// follower compute its lag without traffic).
+    Ping {
+        /// The primary's latest committed version.
+        version: u64,
+    },
+}
+
+/// Splits a text payload into the lines written on the wire (the text
+/// codecs all emit `\n`-terminated lines; an empty text is 0 lines).
+fn payload_lines(text: &str) -> impl Iterator<Item = &str> {
+    text.lines()
+}
+
+/// Writes one replication frame. Multi-line payloads are written line
+/// by line under a counted header, so the stream stays line-oriented
+/// (and a [`LineReader`] on the far side reassembles frames that TCP
+/// split mid-line).
+pub fn write_replica_frame(w: &mut impl Write, frame: &ReplicaFrame) -> io::Result<()> {
+    match frame {
+        ReplicaFrame::Ping { version } => writeln!(w, "ping {version}")?,
+        ReplicaFrame::Wal { version, changes } => {
+            let text = changes.to_text();
+            writeln!(w, "wal {version} {}", payload_lines(&text).count())?;
+            for line in payload_lines(&text) {
+                writeln!(w, "{line}")?;
+            }
+        }
+        ReplicaFrame::Ckpt(data) => {
+            writeln!(w, "ckpt {} {}", data.version, data.sections.len())?;
+            for (name, text) in &data.sections {
+                writeln!(w, "section {name} {}", payload_lines(text).count())?;
+                for line in payload_lines(text) {
+                    writeln!(w, "{line}")?;
+                }
+            }
+        }
+    }
+    w.flush()
+}
+
+/// Reads the payload of a frame whose header line the caller already
+/// consumed, then returns the whole frame. `header` is the raw header
+/// line; payload lines are pulled from `reader` until complete or
+/// `deadline` passes (transient timeouts before the deadline retry, so
+/// a frame trickling in across many TCP segments still assembles).
+pub fn read_replica_frame<R: Read>(
+    header: &str,
+    reader: &mut LineReader<R>,
+    deadline: Instant,
+) -> io::Result<ReplicaFrame> {
+    fn parse_counts(rest: &str, what: &str) -> io::Result<(u64, usize)> {
+        let (v, n) = rest
+            .split_once(' ')
+            .ok_or_else(|| bad_frame(format!("bad {what} header '{rest}'")))?;
+        let v = v
+            .parse()
+            .map_err(|_| bad_frame(format!("bad {what} version '{v}'")))?;
+        let n = n
+            .trim()
+            .parse()
+            .map_err(|_| bad_frame(format!("bad {what} line count '{n}'")))?;
+        Ok((v, n))
+    }
+    fn read_payload<R: Read>(
+        reader: &mut LineReader<R>,
+        n: usize,
+        deadline: Instant,
+    ) -> io::Result<String> {
+        let mut text = String::new();
+        for _ in 0..n {
+            loop {
+                match reader.read_line_deadline(Some(deadline)) {
+                    Ok(LineRead::Line(l)) => {
+                        text.push_str(&l);
+                        text.push('\n');
+                        break;
+                    }
+                    Ok(LineRead::Eof) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "stream ended mid-frame",
+                        ))
+                    }
+                    Ok(LineRead::Oversized) => {
+                        return Err(bad_frame("oversized frame payload line"))
+                    }
+                    // A socket read timeout before the deadline is a
+                    // trickle, not a failure: keep assembling.
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) && Instant::now() < deadline => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(text)
+    }
+
+    if let Some(rest) = header.strip_prefix("ping ") {
+        let version = rest
+            .trim()
+            .parse()
+            .map_err(|_| bad_frame(format!("bad ping version '{rest}'")))?;
+        return Ok(ReplicaFrame::Ping { version });
+    }
+    if let Some(rest) = header.strip_prefix("wal ") {
+        let (version, n) = parse_counts(rest, "wal")?;
+        let text = read_payload(reader, n, deadline)?;
+        let changes = Changeset::from_text(&text)
+            .map_err(|e| bad_frame(format!("bad wal frame changeset: {e}")))?;
+        return Ok(ReplicaFrame::Wal { version, changes });
+    }
+    if let Some(rest) = header.strip_prefix("ckpt ") {
+        let (version, n_sections) = parse_counts(rest, "ckpt")?;
+        let mut sections = Vec::with_capacity(n_sections);
+        for _ in 0..n_sections {
+            let header = loop {
+                match reader.read_line_deadline(Some(deadline)) {
+                    Ok(LineRead::Line(l)) => break l,
+                    Ok(LineRead::Eof) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "stream ended mid-checkpoint",
+                        ))
+                    }
+                    Ok(LineRead::Oversized) => return Err(bad_frame("oversized section header")),
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) && Instant::now() < deadline => {}
+                    Err(e) => return Err(e),
+                }
+            };
+            let rest = header
+                .strip_prefix("section ")
+                .ok_or_else(|| bad_frame(format!("bad section header '{header}'")))?;
+            let (name, n) = rest
+                .split_once(' ')
+                .ok_or_else(|| bad_frame(format!("bad section header '{header}'")))?;
+            let n: usize = n
+                .trim()
+                .parse()
+                .map_err(|_| bad_frame(format!("bad section line count '{n}'")))?;
+            sections.push((name.to_string(), read_payload(reader, n, deadline)?));
+        }
+        return Ok(ReplicaFrame::Ckpt(CheckpointData { version, sections }));
+    }
+    Err(bad_frame(format!("bad replication frame '{header}'")))
 }
 
 #[cfg(test)]
@@ -882,5 +1106,96 @@ mod tests {
         );
         assert_eq!(strip_comment("# whole line"), "");
         assert_eq!(strip_comment("no comment"), "no comment");
+    }
+
+    #[test]
+    fn replica_hello_round_trips() {
+        let line = format_replica_hello(42, "abcd1234");
+        assert_eq!(line, "replica hello 42 abcd1234");
+        let rest = line.strip_prefix(REPLICA_HELLO).unwrap();
+        assert_eq!(
+            parse_replica_hello(rest).unwrap(),
+            (42, "abcd1234".to_string())
+        );
+        assert!(parse_replica_hello("42").is_err(), "digest required");
+        assert!(parse_replica_hello("x y").is_err(), "numeric version");
+        assert!(parse_replica_hello("1 a b").is_err(), "one digest token");
+    }
+
+    fn frame_fixture() -> Vec<ReplicaFrame> {
+        let mut changes = Changeset::new();
+        changes
+            .insert("Family", citesys_storage::tuple![12, "Dopamine", "D1"])
+            .delete("Family", citesys_storage::tuple![11, "Calcitonin", "C1"]);
+        vec![
+            ReplicaFrame::Ping { version: 7 },
+            ReplicaFrame::Wal {
+                version: 3,
+                changes,
+            },
+            ReplicaFrame::Ckpt(CheckpointData {
+                version: 2,
+                sections: vec![
+                    (
+                        "database".into(),
+                        "citesys-versioned v1\nversion 2\n".into(),
+                    ),
+                    ("registry".into(), String::new()),
+                ],
+            }),
+            // An empty changeset still frames (a version can net to
+            // zero ops — delete-then-reinsert).
+            ReplicaFrame::Wal {
+                version: 4,
+                changes: Changeset::new(),
+            },
+        ]
+    }
+
+    fn read_frames(bytes: &[u8], chunk: usize) -> Vec<ReplicaFrame> {
+        // Trickle `chunk` bytes per read: every frame header and
+        // payload line gets split across many "TCP segments".
+        let r = Trickle {
+            data: bytes,
+            pos: 0,
+            chunk,
+        };
+        let mut lr = LineReader::new(r, MAX_LINE_BYTES);
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        let mut out = Vec::new();
+        loop {
+            match lr.read_line_deadline(Some(deadline)).unwrap() {
+                LineRead::Line(header) => {
+                    out.push(read_replica_frame(&header, &mut lr, deadline).unwrap())
+                }
+                LineRead::Eof => return out,
+                LineRead::Oversized => panic!("oversized"),
+            }
+        }
+    }
+
+    #[test]
+    fn replica_frames_round_trip_across_split_segments() {
+        let frames = frame_fixture();
+        let mut bytes = Vec::new();
+        for f in &frames {
+            write_replica_frame(&mut bytes, f).unwrap();
+        }
+        // Whole-buffer reads and pathological 1-, 2- and 3-byte
+        // segments must all reassemble identical frames.
+        for chunk in [usize::MAX, 1, 2, 3] {
+            assert_eq!(read_frames(&bytes, chunk), frames, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn replica_frame_rejects_garbage() {
+        let mut lr = LineReader::new(io::empty(), MAX_LINE_BYTES);
+        let deadline = Instant::now() + std::time::Duration::from_secs(1);
+        assert!(read_replica_frame("bogus 1 2", &mut lr, deadline).is_err());
+        assert!(read_replica_frame("wal x 2", &mut lr, deadline).is_err());
+        // A wal frame whose payload ends early is UnexpectedEof.
+        let err = read_replica_frame("wal 3 2", &mut lr, deadline).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
     }
 }

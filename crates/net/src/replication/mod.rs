@@ -1,0 +1,47 @@
+//! WAL-shipping replication: read replicas over the wire protocol.
+//!
+//! Topology is one **primary**, many **followers** (`serve --follow`):
+//!
+//! ```text
+//!            replica hello <version> <setup-digest>
+//! follower ────────────────────────────────────────▶ primary
+//!          ◀──────────────────────────────────────── feed (one worker
+//!            ckpt <v> <n-sections>   bootstrap        slot per replica)
+//!            wal <v> <n-lines>       tail, in commit order
+//!            ping <v>                heartbeat / lag
+//! ```
+//!
+//! The **source** side (`source`) runs on the primary: a follower's
+//! `replica hello` line switches its connection into the replication
+//! sub-protocol, and the worker that accepted it becomes that
+//! follower's feed for the connection's lifetime. The feed tails the
+//! in-memory op log ([`VersionedDatabase::ops_of`]) and re-ships each
+//! committed version as the same changeset text that rides the
+//! write-ahead log; when incremental shipping is impossible — setup
+//! (schemas/registry) mismatch at hello, the follower's version
+//! compacted away or unknown, or DDL mid-stream — it falls back to a
+//! full `ckpt` frame assembled from memory.
+//!
+//! The **follower** side (`follower`) runs on a replica server: it
+//! bootstraps from the shipped checkpoint, persists every shipped
+//! record to its own WAL **before** applying (so a restart resumes from
+//! the local version instead of re-bootstrapping), applies changesets
+//! through the normal `stage_batch`/`with_database_delta` path (views
+//! and plans stay warm), publishes each version via the usual snapshot
+//! pointer, and reconnects with exponential backoff when the primary
+//! goes away. Sessions on a follower serve `cite`/read commands from
+//! the published snapshot and reject writes with `err readonly`.
+//!
+//! Lag is tracked follower-side: `replica_lag_versions` is the distance
+//! between the primary's last reported version (`wal`/`ping`) and the
+//! local latest; `replica_lag_records` counts shipped records received
+//! but not yet applied. The primary tracks `replicas_connected` and
+//! per-feed shipped counters. All surface through `stats`.
+//!
+//! [`VersionedDatabase::ops_of`]: citesys_storage::VersionedDatabase::ops_of
+
+mod follower;
+mod source;
+
+pub(crate) use follower::spawn_follower;
+pub(crate) use source::serve_feed;

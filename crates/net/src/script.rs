@@ -74,6 +74,9 @@ pub enum ScriptErrorKind {
     Parse,
     /// The script is well-formed but a data/citation operation failed.
     Citation,
+    /// The command mutates state but this store is a read-only replica
+    /// (`serve --follow`); the message names the primary to write to.
+    Readonly,
 }
 
 /// A script-level error, tagged with its 1-based line number and kind.
@@ -106,6 +109,10 @@ pub(crate) fn cite_err(message: impl Into<String>) -> CmdError {
     (ScriptErrorKind::Citation, message.into())
 }
 
+pub(crate) fn readonly_err(message: impl Into<String>) -> CmdError {
+    (ScriptErrorKind::Readonly, message.into())
+}
+
 // ---------------------------------------------------------------------------
 // Shared store
 // ---------------------------------------------------------------------------
@@ -132,6 +139,20 @@ pub struct StoreStats {
     /// Cold service (re)builds — cites that could not reuse the cached
     /// snapshot service.
     pub service_builds: u64,
+    /// Replication feeds currently attached (primary side).
+    pub replicas_connected: u64,
+    /// WAL-equivalent records shipped to followers, summed over every
+    /// feed this store ever served (primary side).
+    pub replica_records_shipped: u64,
+    /// Versions the primary is known to be ahead of this follower
+    /// (follower side; 0 when caught up or not following).
+    pub replica_lag_versions: u64,
+    /// Shipped records received but not yet applied locally (follower
+    /// side; nonzero only transiently while a record is mid-apply).
+    pub replica_lag_records: u64,
+    /// Times the follower lost its primary and entered backoff
+    /// (follower side).
+    pub replica_reconnects: u64,
 }
 
 /// The shareable half of an interpreter: schema, versioned store,
@@ -170,6 +191,31 @@ pub struct SharedStore {
     /// cache under one manifest.
     durability: Option<DurableHandle>,
     stats: StoreStats,
+    /// Follower role (`serve --follow`): the primary's address plus
+    /// stream progress. `None` on a primary / standalone store.
+    follow: Option<FollowState>,
+    /// Per-feed shipped counters (primary side), keyed by peer address.
+    replicas: Vec<ReplicaPeer>,
+}
+
+/// Follower-side replication progress.
+#[derive(Clone, Debug)]
+struct FollowState {
+    /// Address of the primary this store replicates.
+    primary: String,
+    /// Highest version the primary has reported (via `wal` or `ping`).
+    primary_version: u64,
+    /// Whether the feed connection is currently up.
+    connected: bool,
+}
+
+/// Primary-side per-feed telemetry.
+#[derive(Clone, Debug)]
+struct ReplicaPeer {
+    /// The follower's peer address.
+    peer: String,
+    /// Records shipped on this feed.
+    shipped: u64,
 }
 
 impl Default for SharedStore {
@@ -192,6 +238,8 @@ impl SharedStore {
             plan_generation: 0,
             durability: None,
             stats: StoreStats::default(),
+            follow: None,
+            replicas: Vec::new(),
         }
     }
 
@@ -255,6 +303,23 @@ impl SharedStore {
                 "no durable data directory (start with serve --data-dir <path>)",
             ));
         }
+        let data = self.assemble_checkpoint_data()?;
+        let version = data.version;
+        self.durability
+            .as_mut()
+            .expect("checked above")
+            .write_checkpoint(&data)
+            .map_err(|e| cite_err(e.to_string()))?;
+        Ok(version)
+    }
+
+    /// Assembles the four checkpoint sections — committed database,
+    /// registry, materialized views, plan cache — from the in-memory
+    /// state, without touching any backend. This is the payload both of
+    /// [`write_checkpoint`](Self::write_checkpoint) and of the `ckpt`
+    /// frame a replication feed sends to bootstrap a follower (so a
+    /// primary replicates even without `--data-dir`).
+    pub(crate) fn assemble_checkpoint_data(&self) -> Result<CheckpointData, CmdError> {
         let (version, database_text) = match &self.store {
             Some(store) => (
                 store.latest_version(),
@@ -274,7 +339,7 @@ impl SharedStore {
             .filter(|(v, partial, _)| *v == version && !*partial)
             .map(|(_, _, svc)| svc.materialized_views())
             .unwrap_or_default();
-        let data = CheckpointData {
+        Ok(CheckpointData {
             version,
             sections: vec![
                 (SECTION_DATABASE.to_string(), database_text),
@@ -282,13 +347,7 @@ impl SharedStore {
                 (SECTION_VIEWS.to_string(), database_to_text(&views)),
                 (SECTION_PLANS.to_string(), self.export_plans()),
             ],
-        };
-        self.durability
-            .as_mut()
-            .expect("checked above")
-            .write_checkpoint(&data)
-            .map_err(|e| cite_err(e.to_string()))?;
-        Ok(version)
+        })
     }
 
     /// DDL durability: schema declarations and view registrations are
@@ -300,6 +359,195 @@ impl SharedStore {
             self.write_checkpoint()?;
         }
         Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Replication
+    // -----------------------------------------------------------------
+
+    /// Marks this store as a read-only replica of `primary`. Sessions
+    /// reject every mutating command with a `readonly` error from here
+    /// on; only the replication runtime applies changes.
+    pub fn set_follow(&mut self, primary: String) {
+        self.follow = Some(FollowState {
+            primary,
+            primary_version: 0,
+            connected: false,
+        });
+    }
+
+    /// The primary's address when this store is a follower.
+    pub fn primary_addr(&self) -> Option<&str> {
+        self.follow.as_ref().map(|f| f.primary.as_str())
+    }
+
+    /// Latest committed version (0 before any commit).
+    pub fn latest_version(&self) -> u64 {
+        self.store
+            .as_ref()
+            .map_or(0, VersionedDatabase::latest_version)
+    }
+
+    /// Oldest version boundary of the in-memory op log — versions at or
+    /// below it were compacted by a warm restart and cannot be tailed.
+    pub(crate) fn base_version(&self) -> u64 {
+        self.store
+            .as_ref()
+            .map_or(0, VersionedDatabase::base_version)
+    }
+
+    /// Fingerprint of the replication *setup*: schemas + registry. A
+    /// follower sends this in its hello; the primary answers a mismatch
+    /// with a full `ckpt` bootstrap instead of incremental `wal` frames
+    /// (changesets only make sense against identical schemas/views).
+    pub(crate) fn setup_digest(&self) -> String {
+        let mut text = format!("{:?}", self.schemas);
+        text.push('\x1f');
+        text.push_str(&self.registry.to_text());
+        citesys_storage::sha256(text.as_bytes()).to_hex()
+    }
+
+    /// Bumps whenever DDL changes the replication setup mid-stream
+    /// (schema declared, view registered): feeds compare it between
+    /// batches and re-bootstrap their follower on change.
+    pub(crate) fn replication_generation(&self) -> (u64, usize) {
+        (self.plan_generation, self.schemas.len())
+    }
+
+    /// Re-materializes the changeset committed as `version` from the
+    /// in-memory op log (`None` for version 0, unknown versions, and
+    /// versions compacted by a warm restart).
+    pub(crate) fn changes_in(&self, version: u64) -> Option<Changeset> {
+        let ops = self.store.as_ref()?.ops_of(version)?;
+        Some(Changeset::from_ops(ops.to_vec()))
+    }
+
+    /// Installs a `ckpt` frame shipped by the primary: rebuilds the
+    /// store, registry, plan cache and warm views from its sections,
+    /// publishes the service, and persists the checkpoint to the local
+    /// durable backend (if any) so a restart resumes from it. Refuses a
+    /// checkpoint older than the local version — that means the
+    /// histories diverged, which re-streaming cannot fix.
+    pub(crate) fn install_replica_checkpoint(
+        &mut self,
+        data: &CheckpointData,
+    ) -> Result<u64, CmdError> {
+        let local = self.latest_version();
+        if data.version < local {
+            return Err(cite_err(format!(
+                "primary checkpoint at version {} is behind local version {local}: \
+                 histories diverged",
+                data.version
+            )));
+        }
+        let (store, service) = citesys_core::durable::rebuild_from_checkpoint(data)
+            .map_err(|e| cite_err(e.to_string()))?;
+        let version = store.latest_version();
+        self.schemas = store.schemas().to_vec();
+        self.registry = service.registry().as_ref().clone();
+        self.plans_strict = Arc::clone(service.plan_cache());
+        self.plans_partial = Arc::new(PlanCache::new(citesys_core::DEFAULT_PLAN_CACHE_CAPACITY));
+        self.pending_plan_import = None;
+        self.store = Some(store);
+        self.service = Some((version, false, service));
+        self.plan_generation += 1;
+        self.stats.service_builds += 1;
+        if let Some(handle) = &mut self.durability {
+            handle
+                .write_checkpoint(data)
+                .map_err(|e| cite_err(e.to_string()))?;
+        }
+        self.note_primary_version(version);
+        Ok(version)
+    }
+
+    /// Applies one `wal` frame shipped by the primary, through the same
+    /// path a local commit takes: local WAL append first (so a crash
+    /// mid-apply replays it), then apply + commit, then batch delta
+    /// maintenance publishes the new snapshot with views and plans
+    /// still warm. The stream must be gapless: `version` has to be
+    /// exactly the local latest + 1.
+    pub(crate) fn apply_replica_record(
+        &mut self,
+        version: u64,
+        changes: &Changeset,
+    ) -> Result<u64, CmdError> {
+        let expected = self.latest_version() + 1;
+        if version != expected {
+            return Err(cite_err(format!(
+                "replication stream out of order: got version {version}, expected {expected}"
+            )));
+        }
+        if let Some(handle) = &mut self.durability {
+            handle
+                .log_commit(version, changes)
+                .map_err(|e| cite_err(format!("write-ahead log: {e}")))?;
+        }
+        let store = self.store_mut()?;
+        store
+            .apply_changeset(changes)
+            .map_err(|e| cite_err(e.to_string()))?;
+        let v = store.commit();
+        debug_assert_eq!(v, version);
+        self.stats.commits += 1;
+        self.stats.replica_lag_records = self.stats.replica_lag_records.saturating_sub(1);
+        self.refresh_service_after_commit(v, changes);
+        self.note_primary_version(v);
+        Ok(v)
+    }
+
+    /// Records the primary's latest version (from a `wal` or `ping`
+    /// frame) and recomputes the follower's version lag.
+    pub(crate) fn note_primary_version(&mut self, version: u64) {
+        let latest = self.latest_version();
+        if let Some(f) = &mut self.follow {
+            f.primary_version = f.primary_version.max(version);
+            self.stats.replica_lag_versions = f.primary_version.saturating_sub(latest);
+        }
+    }
+
+    /// Flips the follower's connected flag; counts a reconnect on each
+    /// up→down transition.
+    pub(crate) fn set_follow_connected(&mut self, connected: bool) {
+        if let Some(f) = &mut self.follow {
+            if f.connected && !connected {
+                self.stats.replica_reconnects += 1;
+            }
+            f.connected = connected;
+        }
+    }
+
+    /// Registers a feed for `peer` (primary side).
+    pub(crate) fn register_replica(&mut self, peer: &str) {
+        self.replicas.push(ReplicaPeer {
+            peer: peer.to_string(),
+            shipped: 0,
+        });
+        self.stats.replicas_connected = self.replicas.len() as u64;
+    }
+
+    /// Drops `peer`'s feed registration (primary side).
+    pub(crate) fn unregister_replica(&mut self, peer: &str) {
+        if let Some(i) = self.replicas.iter().position(|r| r.peer == peer) {
+            self.replicas.remove(i);
+        }
+        self.stats.replicas_connected = self.replicas.len() as u64;
+    }
+
+    /// Accounts `n` records shipped to `peer` (primary side).
+    pub(crate) fn note_shipped(&mut self, peer: &str, n: u64) {
+        if let Some(r) = self.replicas.iter_mut().find(|r| r.peer == peer) {
+            r.shipped += n;
+        }
+        self.stats.replica_records_shipped += n;
+    }
+
+    /// `(peer address, records shipped)` for every attached feed.
+    pub fn replica_peers(&self) -> Vec<(String, u64)> {
+        self.replicas
+            .iter()
+            .map(|r| (r.peer.clone(), r.shipped))
+            .collect()
     }
 
     /// Counter snapshot.
@@ -668,7 +916,33 @@ impl Interpreter {
         self.out.push('\n');
     }
 
+    /// Rejects mutating commands on a read-only replica, naming the
+    /// primary to write to. Reads (`cite`, `verify`, `tables`, `dump`,
+    /// `stats`, `trace`) and local operations (`checkpoint`) pass.
+    fn reject_if_follower(&self, what: &str) -> Result<(), CmdError> {
+        if let Some(primary) = self.shared.lock().primary_addr() {
+            return Err(readonly_err(format!(
+                "read-only replica of {primary}: '{what}' must run on the primary"
+            )));
+        }
+        Ok(())
+    }
+
     fn exec(&mut self, cmd: &Command) -> Result<(), CmdError> {
+        let mutating = match cmd {
+            Command::Schema { .. } => Some("schema"),
+            Command::Insert { .. } => Some("insert"),
+            Command::Delete { .. } => Some("delete"),
+            Command::View(_) => Some("view"),
+            Command::Begin => Some("begin"),
+            Command::Rollback => Some("rollback"),
+            Command::Commit => Some("commit"),
+            Command::Load { .. } => Some("load"),
+            _ => None,
+        };
+        if let Some(what) = mutating {
+            self.reject_if_follower(what)?;
+        }
         match cmd {
             Command::Schema { name, attrs, key } => self.cmd_schema(name, attrs, key),
             Command::Insert { rel, tuple } => self.cmd_insert(rel, tuple.clone()),
@@ -1006,13 +1280,15 @@ impl Interpreter {
     /// plan cache's hit/miss counters and the cached service's view
     /// warmth, one `name value` pair per line.
     fn cmd_stats(&mut self) -> Result<(), CmdError> {
-        let (st, plans, views, wal) = {
+        let (st, plans, views, wal, primary, peers) = {
             let sh = self.shared.lock();
             (
                 sh.stats,
                 sh.plans_strict.stats(),
                 sh.view_cache_stats().unwrap_or_default(),
                 sh.wal_records(),
+                sh.primary_addr().map(str::to_string),
+                sh.replica_peers(),
             )
         };
         self.say(format!("commits {}", st.commits));
@@ -1025,6 +1301,20 @@ impl Interpreter {
         self.say(format!("view_materializations {}", views.materializations));
         self.say(format!("view_deltas_applied {}", views.deltas_applied));
         self.say(format!("wal_records {wal}"));
+        self.say(format!("replicas_connected {}", st.replicas_connected));
+        self.say(format!(
+            "replica_records_shipped {}",
+            st.replica_records_shipped
+        ));
+        self.say(format!("replica_lag_versions {}", st.replica_lag_versions));
+        self.say(format!("replica_lag_records {}", st.replica_lag_records));
+        self.say(format!("replica_reconnects {}", st.replica_reconnects));
+        if let Some(primary) = primary {
+            self.say(format!("following {primary}"));
+        }
+        for (peer, shipped) in peers {
+            self.say(format!("replica[{peer}] {shipped}"));
+        }
         Ok(())
     }
 

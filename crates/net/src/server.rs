@@ -60,6 +60,14 @@ pub struct ServerConfig {
     pub data_dir: Option<std::path::PathBuf>,
     /// Per-line byte cap (requests beyond it are protocol errors).
     pub max_line_bytes: usize,
+    /// Follow a primary at this address (`serve --follow`): the server
+    /// becomes a **read-only replica** — it bootstraps from the
+    /// primary's checkpoint, tails its WAL stream, serves reads from
+    /// the replicated snapshots and rejects writes with `err readonly`.
+    /// Combine with `data_dir` so shipped records persist locally and a
+    /// restart resumes from the local version instead of
+    /// re-bootstrapping.
+    pub follow: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +80,7 @@ impl Default for ServerConfig {
             plan_cache: None,
             data_dir: None,
             max_line_bytes: protocol::MAX_LINE_BYTES,
+            follow: None,
         }
     }
 }
@@ -89,6 +98,7 @@ pub struct Server {
     workers: Vec<JoinHandle<()>>,
     committer: Option<GroupCommitter>,
     saver: Option<Arc<PlanSaver>>,
+    follower: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -124,6 +134,17 @@ impl Server {
             saver.clone(),
         );
         let shutdown = Arc::new(AtomicBool::new(false));
+        let follower = match &config.follow {
+            Some(primary) => {
+                shared.lock().set_follow(primary.clone());
+                Some(crate::replication::spawn_follower(
+                    Arc::clone(&shared),
+                    Arc::clone(&shutdown),
+                    primary.clone(),
+                ))
+            }
+            None => None,
+        };
         let listener = Arc::new(listener);
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -149,6 +170,7 @@ impl Server {
             workers,
             committer: Some(committer),
             saver,
+            follower,
         })
     }
 
@@ -191,6 +213,9 @@ impl Server {
         self.shutdown.store(true, Ordering::SeqCst);
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        if let Some(f) = self.follower.take() {
+            let _ = f.join();
         }
         // After the workers: no more commits can arrive.
         self.committer.take();
@@ -238,6 +263,7 @@ fn wire_kind(kind: ScriptErrorKind) -> WireErrorKind {
     match kind {
         ScriptErrorKind::Parse => WireErrorKind::Parse,
         ScriptErrorKind::Citation => WireErrorKind::Citation,
+        ScriptErrorKind::Readonly => WireErrorKind::Readonly,
     }
 }
 
@@ -306,6 +332,13 @@ fn serve_connection(ctx: &WorkerCtx, stream: TcpStream) -> io::Result<()> {
             Err(e) => return Err(e),
         };
         last_line = Instant::now();
+        if let Some(hello) = line.strip_prefix(protocol::REPLICA_HELLO) {
+            // The connection switches into the replication sub-protocol
+            // for its lifetime: this worker becomes the feed thread for
+            // one follower (so each attached replica occupies a worker
+            // slot — size `workers` accordingly).
+            return crate::replication::serve_feed(&ctx.shared, &ctx.shutdown, writer, hello);
+        }
         // A bare token check, not a second protocol parse: `commit`
         // takes no arguments, so this matches exactly the lines
         // parse_command maps to Command::Commit.

