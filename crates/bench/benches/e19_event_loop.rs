@@ -1,0 +1,38 @@
+//! E19 bench: pipelined vs synchronous insert throughput on the
+//! event-driven transport, at the acceptance criterion's depth of 64.
+//!
+//! The server is spawned (and its dataset loaded) outside the timing
+//! loop; each measured closure is pure wire traffic on one connection.
+//! The connection-scale and tail-latency arms live in the `repro`
+//! table (`repro e19`) — they are one-shot observations, not
+//! steady-state timings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use citesys_bench::e19::{insert_throughput, spawn_event_server, PIPELINE_DEPTH};
+
+fn bench(c: &mut Criterion) {
+    let quick = std::env::var_os("CITESYS_BENCH_QUICK").is_some();
+    let rounds = if quick { 2 } else { 6 };
+    let (server, addr) = spawn_event_server(16, 64);
+
+    let mut group = c.benchmark_group("e19_pipeline_depth_64");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((PIPELINE_DEPTH * rounds) as u64));
+    for (label, pipelined, key_base) in
+        [("sync", false, 10_000_000), ("pipelined", true, 20_000_000)]
+    {
+        group.bench_with_input(
+            BenchmarkId::new("inserts", label),
+            &pipelined,
+            |b, &pipelined| {
+                b.iter(|| insert_throughput(&addr, PIPELINE_DEPTH, rounds, pipelined, key_base))
+            },
+        );
+    }
+    group.finish();
+    server.stop();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! `repro` — regenerates every experiment table (E1–E18).
+//! `repro` — regenerates every experiment table (E1–E19).
 //!
 //! Usage:
 //! ```text
@@ -38,6 +38,7 @@ fn main() {
             "e16" => Some(citesys_bench::e16::table(quick)),
             "e17" => Some(citesys_bench::e17::table(quick)),
             "e18" => Some(citesys_bench::e18::table(quick)),
+            "e19" => Some(citesys_bench::e19::table(quick)),
             other => {
                 eprintln!("unknown experiment id: {other}");
                 None

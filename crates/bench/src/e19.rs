@@ -1,0 +1,340 @@
+//! E19 — the event-driven transport: connection scale, tail latency
+//! under an idle-socket storm, and pipelining throughput.
+//!
+//! The blocking transport (E16/E18) parks one worker thread per live
+//! session, so its concurrency ceiling *is* the worker count. The
+//! event transport multiplexes every socket over a fixed worker set;
+//! E19 measures what that buys, over real loopback TCP:
+//!
+//! * **connections held** — how many concurrent clients get a banner
+//!   (i.e. a live, registered session) from a two-worker event server
+//!   versus a blocking pool of the same size. The event arm should
+//!   hold thousands; the blocking arm exactly `workers`.
+//! * **tail latency under storm** — p50/p99 cite latency for a pool of
+//!   active clients while thousands of idle sockets sit registered on
+//!   the same pollers. Idle interest must cost (almost) nothing.
+//! * **pipelined vs sync** — insert throughput at pipeline depth 64
+//!   against one-round-trip-per-command on the same transport. The
+//!   acceptance bar is ≥2× on a 64-deep pipeline.
+
+use std::io::Read;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use citesys_net::client::Connection;
+use citesys_net::protocol::Response;
+use citesys_net::server::ServerConfig;
+
+use crate::e16::spawn_loaded_with;
+use crate::table::{ms, timed, Table};
+
+/// Bench sizing: idle sockets held, active citer clients, cite rounds
+/// per active client, pipelined rounds.
+pub fn config(quick: bool) -> (usize, usize, usize, usize) {
+    if quick {
+        (300, 8, 5, 3)
+    } else {
+        (5000, 200, 5, 10)
+    }
+}
+
+/// Pipeline depth for the throughput arm (the acceptance criterion's
+/// "64-deep pipeline").
+pub const PIPELINE_DEPTH: usize = 64;
+
+fn send_ok(conn: &mut Connection, line: &str) -> Vec<String> {
+    match conn.send(line).expect("protocol round-trip") {
+        Response::Ok(lines) => lines,
+        Response::Err { message, .. } => panic!("server error on '{line}': {message}"),
+    }
+}
+
+/// Spawns the E19 event-transport server with the standard loaded
+/// dataset: two workers, room for `capacity` connections.
+pub fn spawn_event_server(families: usize, capacity: usize) -> (citesys_net::Server, String) {
+    spawn_loaded_with(
+        ServerConfig {
+            event_loop: true,
+            workers: 2,
+            max_connections: capacity,
+            idle_timeout: Duration::from_secs(300),
+            commit_window: Duration::from_millis(2),
+            ..Default::default()
+        },
+        families,
+    )
+}
+
+/// Opens up to `target` connections, counting how many produce a
+/// banner within `timeout` — i.e. how many the server actually holds
+/// as live sessions. Stops at the first connection that gets nothing
+/// (on the blocking transport that is the first one past the worker
+/// pool). The sockets stay open until the count is complete.
+pub fn connections_held(addr: &str, target: usize, timeout: Duration) -> usize {
+    let mut held = Vec::with_capacity(target);
+    for _ in 0..target {
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            break;
+        };
+        stream.set_read_timeout(Some(timeout)).expect("socket opt");
+        let mut buf = [0u8; 64];
+        let mut seen = Vec::new();
+        let got_banner = loop {
+            match stream.read(&mut buf) {
+                Ok(0) => break false,
+                Ok(n) => {
+                    seen.extend_from_slice(&buf[..n]);
+                    if seen.contains(&b'\n') {
+                        break true;
+                    }
+                }
+                Err(_) => break false,
+            }
+        };
+        if !got_banner {
+            break;
+        }
+        held.push(stream);
+    }
+    held.len()
+}
+
+/// Holds `n` idle sockets against the server (banner consumed, then
+/// silence). The returned streams keep the sessions registered.
+pub fn hold_idle(addr: &str, n: usize) -> Vec<TcpStream> {
+    let mut idle = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut stream = TcpStream::connect(addr).expect("connect idle");
+        let mut buf = [0u8; 64];
+        let mut seen = Vec::new();
+        while !seen.contains(&b'\n') {
+            let got = stream.read(&mut buf).expect("banner read");
+            assert!(got > 0, "EOF before banner");
+            seen.extend_from_slice(&buf[..got]);
+        }
+        idle.push(stream);
+    }
+    idle
+}
+
+/// `clients` threads each running `rounds` cites; returns every
+/// per-cite latency, sorted ascending (index for percentiles).
+pub fn cite_latencies(addr: &str, clients: usize, rounds: usize, families: usize) -> Vec<Duration> {
+    let mut all = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut conn = Connection::connect(addr).expect("connect");
+                    let mut samples = Vec::with_capacity(rounds);
+                    for r in 0..rounds {
+                        let fid = ((c + 1) * (r + 1)) % families;
+                        let start = Instant::now();
+                        send_ok(
+                            &mut conn,
+                            &format!(
+                                "cite Q(FName) :- Family({fid}, FName, Desc), FamilyIntro({fid}, Text)"
+                            ),
+                        );
+                        samples.push(start.elapsed());
+                    }
+                    samples
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("no panics"))
+            .collect::<Vec<_>>()
+    });
+    all.sort();
+    all
+}
+
+/// The given percentile (0–100) of an ascending latency sample.
+pub fn percentile(sorted: &[Duration], pct: usize) -> Duration {
+    assert!(!sorted.is_empty());
+    sorted[(sorted.len() * pct / 100).min(sorted.len() - 1)]
+}
+
+/// One round of `depth` inserts on fresh keys, either pipelined (one
+/// batch on the wire, responses read in a single pass) or synchronous
+/// (a round trip per insert). Returns ops/second over `rounds` rounds.
+pub fn insert_throughput(
+    addr: &str,
+    depth: usize,
+    rounds: usize,
+    pipelined: bool,
+    key_base: i64,
+) -> f64 {
+    let mut conn = Connection::connect(addr).expect("connect");
+    let mut key = key_base;
+    let (_, wall) = timed(|| {
+        for _ in 0..rounds {
+            let lines: Vec<String> = (0..depth)
+                .map(|_| {
+                    key += 1;
+                    format!("insert Family({key}, 'P{key}', 'D')")
+                })
+                .collect();
+            if pipelined {
+                let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+                for resp in conn.pipeline(&refs).expect("pipeline") {
+                    if let Response::Err { message, .. } = resp {
+                        panic!("pipelined insert failed: {message}");
+                    }
+                }
+            } else {
+                for line in &lines {
+                    send_ok(&mut conn, line);
+                }
+            }
+            send_ok(&mut conn, "rollback");
+        }
+    });
+    (depth * rounds) as f64 / wall.as_secs_f64().max(1e-9)
+}
+
+#[cfg(target_os = "linux")]
+fn process_threads() -> String {
+    match std::fs::read_dir("/proc/self/task") {
+        Ok(dir) => format!("{} process threads", dir.count()),
+        Err(_) => "-".to_string(),
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn process_threads() -> String {
+    "-".to_string()
+}
+
+/// Builds the E19 table.
+pub fn table(quick: bool) -> Table {
+    let (idle_held, active, cite_rounds, pipe_rounds) = config(quick);
+    let families = if quick { 16 } else { 64 };
+    let mut rows = Vec::new();
+
+    // Arm 1: connections held, event vs blocking, same worker count.
+    let (event, addr) = spawn_event_server(families, idle_held + active + 64);
+    let (got, wall) = timed(|| connections_held(&addr, idle_held, Duration::from_millis(500)));
+    rows.push(vec![
+        format!("connections held, event loop ({idle_held} offered, 2 workers)"),
+        ms(wall),
+        format!("{got} held"),
+        process_threads(),
+    ]);
+    let (blocking, baddr) = spawn_loaded_with(
+        ServerConfig {
+            workers: 2,
+            ..Default::default()
+        },
+        families,
+    );
+    let offered = 2 + 8;
+    let (got, wall) = timed(|| connections_held(&baddr, offered, Duration::from_millis(200)));
+    rows.push(vec![
+        format!("connections held, blocking pool ({offered} offered, 2 workers)"),
+        ms(wall),
+        format!("{got} held"),
+        "ceiling = workers".to_string(),
+    ]);
+    blocking.stop();
+
+    // Arm 2: cite tail latency while `idle_held` idle sockets sit on
+    // the same two pollers. Arm 1's sockets just dropped; wait for the
+    // pollers to reap them so the capacity math stays exact.
+    let drain_deadline = Instant::now() + Duration::from_secs(10);
+    while event.open_connections() > 0 && Instant::now() < drain_deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let idle = hold_idle(&addr, idle_held.saturating_sub(active));
+    let (latencies, wall) = timed(|| cite_latencies(&addr, active, cite_rounds, families));
+    rows.push(vec![
+        format!(
+            "cite storm: {active} active over {} idle sockets",
+            idle.len()
+        ),
+        ms(wall),
+        format!(
+            "p50 {} / p99 {}",
+            ms(percentile(&latencies, 50)),
+            ms(percentile(&latencies, 99))
+        ),
+        format!("{} cites", latencies.len()),
+    ]);
+    drop(idle);
+
+    // Arm 3: pipelined vs sync insert throughput at depth 64.
+    let sync_ops = insert_throughput(&addr, PIPELINE_DEPTH, pipe_rounds, false, 2_000_000);
+    let pipe_ops = insert_throughput(&addr, PIPELINE_DEPTH, pipe_rounds, true, 3_000_000);
+    rows.push(vec![
+        format!("insert throughput, depth-{PIPELINE_DEPTH} pipeline vs sync"),
+        "-".to_string(),
+        format!("{pipe_ops:.0} vs {sync_ops:.0} ops/s"),
+        format!("pipelining ×{:.1}", pipe_ops / sync_ops.max(1e-9)),
+    ]);
+    event.stop();
+
+    Table {
+        id: "E19",
+        title: "event-driven transport: connection scale, tails, pipelining",
+        expectation: "the event arm holds every offered connection on two workers \
+                      while the blocking arm stops at the pool size; p99 cite \
+                      latency stays in single-digit ms over thousands of idle \
+                      sockets; depth-64 pipelining beats sync by well over 2x",
+        headers: vec![
+            "workload".into(),
+            "wall (ms)".into(),
+            "result".into(),
+            "notes".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e19_event_transport_outholds_the_blocking_pool() {
+        let (event, addr) = spawn_event_server(8, 128);
+        let event_held = connections_held(&addr, 48, Duration::from_millis(500));
+        event.stop();
+        let (blocking, addr) = spawn_loaded_with(
+            ServerConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            8,
+        );
+        let blocking_held = connections_held(&addr, 8, Duration::from_millis(150));
+        blocking.stop();
+        assert_eq!(event_held, 48, "event loop holds every offered socket");
+        assert!(
+            blocking_held <= 4,
+            "blocking pool capped near its worker count, held {blocking_held}"
+        );
+    }
+
+    #[test]
+    fn e19_pipelining_beats_sync_inserts() {
+        let (server, addr) = spawn_event_server(8, 64);
+        let sync_ops = insert_throughput(&addr, PIPELINE_DEPTH, 2, false, 2_000_000);
+        let pipe_ops = insert_throughput(&addr, PIPELINE_DEPTH, 2, true, 3_000_000);
+        server.stop();
+        // Acceptance bar is 2x; assert a safety margin below it so a
+        // noisy CI core cannot flake the suite.
+        assert!(
+            pipe_ops >= 1.5 * sync_ops,
+            "pipelining too slow: {pipe_ops:.0} vs {sync_ops:.0} ops/s"
+        );
+    }
+
+    #[test]
+    fn e19_percentiles_index_sanely() {
+        let sorted: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&sorted, 50), Duration::from_millis(51));
+        assert_eq!(percentile(&sorted, 99), Duration::from_millis(100));
+        assert_eq!(percentile(&sorted, 100), Duration::from_millis(100));
+    }
+}

@@ -24,6 +24,7 @@
 //! | E16 | citation as an always-on network service | [`e16`] |
 //! | E17 | durable, restartable citation store | [`e17`] |
 //! | E18 | replication: read scale-out and bounded lag | [`e18`] |
+//! | E19 | event-driven transport: scale, tails, pipelining | [`e19`] |
 //!
 //! Run `cargo run -p citesys-bench --release --bin repro` to print every
 //! table; Criterion benches under `benches/` time the same operations.
@@ -40,6 +41,7 @@ pub mod e15;
 pub mod e16;
 pub mod e17;
 pub mod e18;
+pub mod e19;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -72,5 +74,6 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e16::table(quick),
         e17::table(quick),
         e18::table(quick),
+        e19::table(quick),
     ]
 }

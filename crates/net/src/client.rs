@@ -64,6 +64,53 @@ impl Connection {
     pub fn read_response(&mut self) -> io::Result<Option<Response>> {
         protocol::read_response(&mut self.reader)
     }
+
+    /// Queues one command line **without waiting for the response** —
+    /// the pipelined send half. With `tag`, the line goes out as
+    /// `@<tag> <line>` and the server echoes the tag in the response
+    /// frame. Follow with [`Self::read_tagged_response`] calls, one
+    /// per queued line, in order.
+    pub fn send_nowait(&mut self, tag: Option<&str>, line: &str) -> io::Result<()> {
+        if let Some(t) = tag {
+            self.stream.write_all(b"@")?;
+            self.stream.write_all(t.as_bytes())?;
+            self.stream.write_all(b" ")?;
+        }
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()
+    }
+
+    /// Reads one framed response with its echoed tag (`None` for
+    /// untagged frames); `Ok(None)` at clean EOF.
+    pub fn read_tagged_response(&mut self) -> io::Result<Option<(Option<String>, Response)>> {
+        protocol::read_tagged_response(&mut self.reader)
+    }
+
+    /// Pipelines a whole batch: sends every line (tagged `1`, `2`, …
+    /// by position), then reads every response, verifying the echoed
+    /// tags come back in request order. Returns the responses
+    /// positionally.
+    pub fn pipeline(&mut self, lines: &[&str]) -> io::Result<Vec<Response>> {
+        for (i, line) in lines.iter().enumerate() {
+            self.send_nowait(Some(&(i + 1).to_string()), line)?;
+        }
+        let mut responses = Vec::with_capacity(lines.len());
+        for i in 0..lines.len() {
+            let (tag, resp) = self.read_tagged_response()?.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+            })?;
+            let expect = (i + 1).to_string();
+            if tag.as_deref() != Some(expect.as_str()) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("pipelined response out of order: expected tag @{expect}, got {tag:?}"),
+                ));
+            }
+            responses.push(resp);
+        }
+        Ok(responses)
+    }
 }
 
 /// Exit code when the failure is I/O or protocol level.
@@ -110,6 +157,70 @@ pub fn run_script(addr: &str, script: &str, out: &mut impl Write, err: &mut impl
         }
     }
     // Best-effort clean close; the server also handles plain EOF.
+    let _ = conn.send("quit");
+    0
+}
+
+/// [`run_script`] in **pipelined** mode (`citesys client --pipeline`):
+/// every script line is sent up front, tagged with its line number,
+/// and the responses are read back in one pass — one round trip
+/// instead of one per line. Output and exit codes match [`run_script`]
+/// with one caveat: because the whole script is already on the wire,
+/// lines after a failing one have still executed server-side (the
+/// sync runner stops sending at the first error).
+pub fn run_script_pipelined(
+    addr: &str,
+    script: &str,
+    out: &mut impl Write,
+    err: &mut impl Write,
+) -> i32 {
+    let mut conn = match Connection::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            let _ = writeln!(err, "error connecting to {addr}: {e}");
+            return EXIT_IO;
+        }
+    };
+    let lines: Vec<&str> = script.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        if let Err(e) = conn.send_nowait(Some(&(i + 1).to_string()), line) {
+            let _ = writeln!(err, "error: line {}: {e}", i + 1);
+            return EXIT_IO;
+        }
+    }
+    for i in 0..lines.len() {
+        match conn.read_tagged_response() {
+            Ok(Some((tag, Response::Ok(payload)))) => {
+                if tag.as_deref() != Some((i + 1).to_string().as_str()) {
+                    let _ = writeln!(
+                        err,
+                        "error: line {}: response tag mismatch (got {tag:?})",
+                        i + 1
+                    );
+                    return EXIT_IO;
+                }
+                for l in payload {
+                    let _ = writeln!(out, "{l}");
+                }
+            }
+            Ok(Some((_tag, Response::Err { kind, message }))) => {
+                let _ = writeln!(err, "error: line {}: {message}", i + 1);
+                return match kind {
+                    WireErrorKind::Parse => EXIT_PARSE,
+                    WireErrorKind::Citation | WireErrorKind::Readonly => EXIT_CITE,
+                    WireErrorKind::Proto => EXIT_IO,
+                };
+            }
+            Ok(None) => {
+                let _ = writeln!(err, "error: line {}: server closed the connection", i + 1);
+                return EXIT_IO;
+            }
+            Err(e) => {
+                let _ = writeln!(err, "error: line {}: {e}", i + 1);
+                return EXIT_IO;
+            }
+        }
+    }
     let _ = conn.send("quit");
     0
 }

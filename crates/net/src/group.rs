@@ -59,11 +59,47 @@ impl GroupCommitHandle {
     /// Submits one transaction and blocks until the committer has sealed
     /// (or rejected) it. `Err` carries the conflict message.
     pub fn commit(&self, changes: Changeset) -> Result<CommitAck, String> {
+        self.submit(changes).wait()
+    }
+
+    /// Submits one transaction **without blocking** and returns a
+    /// ticket to poll for the acknowledgement. This is how the
+    /// event-driven transport keeps a worker serving other connections
+    /// while a pipelined commit burst rides one coalescing window; the
+    /// blocking [`commit`](Self::commit) is `submit(..).wait()`.
+    pub fn submit(&self, changes: Changeset) -> CommitTicket {
         let (reply, rx) = mpsc::channel();
-        self.tx
-            .send(Msg::Commit(CommitRequest { changes, reply }))
-            .map_err(|_| "commit pipeline closed".to_string())?;
-        rx.recv()
+        // A failed send drops `reply`, so the ticket's receiver reports
+        // disconnection — the "pipeline closed" path, no special case.
+        let _ = self.tx.send(Msg::Commit(CommitRequest { changes, reply }));
+        CommitTicket { rx }
+    }
+}
+
+/// A pending asynchronous commit handed out by
+/// [`GroupCommitHandle::submit`].
+pub struct CommitTicket {
+    rx: mpsc::Receiver<Result<CommitAck, String>>,
+}
+
+impl CommitTicket {
+    /// Polls for the acknowledgement without blocking: `None` while the
+    /// commit is still in flight, `Some(..)` once the committer sealed
+    /// or rejected it (or the pipeline closed).
+    pub fn try_ack(&self) -> Option<Result<CommitAck, String>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                Some(Err("commit pipeline closed".to_string()))
+            }
+        }
+    }
+
+    /// Blocks until the acknowledgement arrives.
+    pub fn wait(&self) -> Result<CommitAck, String> {
+        self.rx
+            .recv()
             .map_err(|_| "commit pipeline closed".to_string())?
     }
 }
@@ -367,6 +403,37 @@ mod tests {
         assert_eq!(saver.save_count(), 1, "unchanged plans are not rewritten");
         drop(committer);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn submitted_burst_coalesces_without_blocking_the_submitter() {
+        let shared = SharedStore::new_shared();
+        setup(&shared);
+        let committer = GroupCommitter::spawn(Arc::clone(&shared), Duration::from_millis(50));
+        let handle = committer.handle();
+        // One thread fires three commits back-to-back — the pipelined
+        // shape — and only then starts polling for acks.
+        let tickets: Vec<CommitTicket> = (0..3)
+            .map(|i| {
+                let mut changes = Changeset::new();
+                changes.insert("R", citesys_storage::tuple![i as i64, "t"]);
+                handle.submit(changes)
+            })
+            .collect();
+        let acks: Vec<CommitAck> = tickets.iter().map(|t| t.wait().unwrap()).collect();
+        assert!(
+            acks.iter().all(|a| a.version == acks[0].version),
+            "one window seals the whole burst: {acks:?}"
+        );
+        assert!(acks.iter().any(|a| a.group_size >= 2), "{acks:?}");
+        // try_ack on a consumed ticket reports the closed channel
+        // rather than blocking or panicking.
+        drop(committer);
+        let orphan = handle.submit(Changeset::new());
+        assert_eq!(
+            orphan.try_ack(),
+            Some(Err("commit pipeline closed".to_string()))
+        );
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! | [`script`] | the stateful [`Interpreter`]: per-session state over a shareable [`SharedStore`] (versioned database, registry, plan caches, cached service) |
 //! | [`group`] | cross-connection **group commit**: racing transactions coalesce into one merged changeset and one snapshot swap per commit window |
 //! | [`server`] | the TCP [`Server`]: bounded worker pool, per-connection sessions, idle timeouts, graceful shutdown |
-//! | [`client`] | [`Connection`] + the `citesys client` script runner |
+//! | [`event`] | the **event-driven transport** (`ServerConfig { event_loop: true, .. }`): a fixed worker set multiplexes thousands of non-blocking sockets over the hermetic epoll shim, with wire pipelining and `@tag` request tags |
+//! | [`client`] | [`Connection`] + the `citesys client` script runner (sync and pipelined) |
 //! | [`persist`] | debounced plan-cache persistence (saves survive SIGINT / killed connections) |
 //! | [`replication`] | WAL-shipping read replicas: primary-side feeds plus the `serve --follow` follower runtime, with bounded-lag accounting |
 //!
@@ -38,6 +39,7 @@
 #![deny(missing_docs)]
 
 pub mod client;
+pub mod event;
 pub mod group;
 pub mod persist;
 pub mod protocol;
@@ -46,7 +48,7 @@ pub mod script;
 pub mod server;
 
 pub use client::Connection;
-pub use group::{CommitAck, GroupCommitHandle, GroupCommitter};
+pub use group::{CommitAck, CommitTicket, GroupCommitHandle, GroupCommitter};
 pub use persist::PlanSaver;
 pub use protocol::{Command, LineReader, Response, WireErrorKind};
 pub use script::{

@@ -491,9 +491,47 @@ impl Response {
 
 /// Writes one framed response (`ok <n>` + payload, or `err …`).
 pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    write_tagged_response(w, None, resp)
+}
+
+/// Splits an optional request tag off a raw command line.
+///
+/// A tag is `@` followed by one or more non-space characters, separated
+/// from the command by a single space: `@t7 cite Q() :- R(A)` is the
+/// command `cite Q() :- R(A)` tagged `t7`, and its response frame
+/// echoes the tag (`ok @t7 <n>` / `err @t7 <kind> <msg>`). A bare `@`
+/// or `@ …` carries no tag and is handed to the parser unchanged, so
+/// untagged traffic — including any line that could parse today — is
+/// byte-for-byte unaffected.
+pub fn split_tag(line: &str) -> (Option<&str>, &str) {
+    let Some(rest) = line.strip_prefix('@') else {
+        return (None, line);
+    };
+    let (tag, body) = match rest.split_once(' ') {
+        Some((tag, body)) => (tag, body),
+        None => (rest, ""),
+    };
+    if tag.is_empty() || tag.contains(char::is_whitespace) {
+        return (None, line);
+    }
+    (Some(tag), body)
+}
+
+/// Writes one framed response, echoing the request's tag (if any) right
+/// after the `ok`/`err` keyword: `ok @<tag> <n>` / `err @<tag> <kind>
+/// <msg>`. With `tag = None` this is exactly [`write_response`].
+pub fn write_tagged_response(
+    w: &mut impl Write,
+    tag: Option<&str>,
+    resp: &Response,
+) -> io::Result<()> {
+    let tagged = match tag {
+        Some(t) => format!("@{t} "),
+        None => String::new(),
+    };
     match resp {
         Response::Ok(lines) => {
-            writeln!(w, "ok {}", lines.len())?;
+            writeln!(w, "ok {tagged}{}", lines.len())?;
             for l in lines {
                 w.write_all(l.as_bytes())?;
                 w.write_all(b"\n")?;
@@ -501,7 +539,7 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
         }
         Response::Err { kind, message } => {
             let one_line = message.replace(['\n', '\r'], "; ");
-            writeln!(w, "err {} {}", kind.token(), one_line)?;
+            writeln!(w, "err {tagged}{} {}", kind.token(), one_line)?;
         }
     }
     w.flush()
@@ -509,14 +547,25 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
 
 /// Reads one framed response. Returns `None` at clean EOF before a
 /// header; a malformed header or truncated payload is an
-/// `InvalidData` error.
+/// `InvalidData` error. Any echoed tag is accepted and discarded; use
+/// [`read_tagged_response`] to observe it.
 pub fn read_response(r: &mut impl BufRead) -> io::Result<Option<Response>> {
+    Ok(read_tagged_response(r)?.map(|(_tag, resp)| resp))
+}
+
+/// Reads one framed response together with its echoed request tag
+/// (`None` for untagged frames). EOF and error behavior match
+/// [`read_response`].
+pub fn read_tagged_response(
+    r: &mut impl BufRead,
+) -> io::Result<Option<(Option<String>, Response)>> {
     let mut header = String::new();
     if r.read_line(&mut header)? == 0 {
         return Ok(None);
     }
     let header = header.trim_end_matches(['\n', '\r']);
     if let Some(rest) = header.strip_prefix("ok ") {
+        let (tag, rest) = split_response_tag(rest);
         let n: usize = rest
             .trim()
             .parse()
@@ -529,18 +578,36 @@ pub fn read_response(r: &mut impl BufRead) -> io::Result<Option<Response>> {
             }
             lines.push(l.trim_end_matches(['\n', '\r']).to_string());
         }
-        Ok(Some(Response::Ok(lines)))
+        Ok(Some((tag, Response::Ok(lines))))
     } else if let Some(rest) = header.strip_prefix("err ") {
+        let (tag, rest) = split_response_tag(rest);
         let (token, message) = rest.split_once(' ').unwrap_or((rest, ""));
         let kind = WireErrorKind::from_token(token)
             .ok_or_else(|| bad_frame(format!("unknown error kind '{token}'")))?;
-        Ok(Some(Response::Err {
-            kind,
-            message: message.to_string(),
-        }))
+        Ok(Some((
+            tag,
+            Response::Err {
+                kind,
+                message: message.to_string(),
+            },
+        )))
     } else {
         Err(bad_frame(format!("bad response header '{header}'")))
     }
+}
+
+/// Peels an echoed `@tag ` off a response header's remainder. Frames
+/// never start the count or error-kind token with `@`, so the prefix is
+/// unambiguous.
+fn split_response_tag(rest: &str) -> (Option<String>, &str) {
+    if let Some(r) = rest.strip_prefix('@') {
+        if let Some((tag, after)) = r.split_once(' ') {
+            if !tag.is_empty() {
+                return (Some(tag.to_string()), after);
+            }
+        }
+    }
+    (None, rest)
 }
 
 fn bad_frame(message: impl Into<String>) -> io::Error {
@@ -977,6 +1044,75 @@ mod tests {
         assert!(read_response(&mut r).is_err());
         let mut r = io::BufReader::new(&b"ok 2\nonly-one\n"[..]);
         assert!(read_response(&mut r).is_err(), "truncated payload");
+    }
+
+    #[test]
+    fn request_tags_split_off_cleanly() {
+        assert_eq!(
+            split_tag("@t7 cite Q() :- R(A)"),
+            (Some("t7"), "cite Q() :- R(A)")
+        );
+        assert_eq!(split_tag("@1 commit"), (Some("1"), "commit"));
+        assert_eq!(split_tag("@solo"), (Some("solo"), ""));
+        assert_eq!(split_tag("tables"), (None, "tables"));
+        assert_eq!(split_tag(""), (None, ""));
+        assert_eq!(split_tag("@"), (None, "@"), "bare @ is not a tag");
+        assert_eq!(
+            split_tag("@ tables"),
+            (None, "@ tables"),
+            "empty tag rejected"
+        );
+    }
+
+    #[test]
+    fn tagged_responses_round_trip_and_untagged_stay_identical() {
+        let mut wire: Vec<u8> = Vec::new();
+        write_tagged_response(&mut wire, Some("a1"), &Response::Ok(vec!["x".into()])).unwrap();
+        write_tagged_response(
+            &mut wire,
+            Some("a2"),
+            &Response::Err {
+                kind: WireErrorKind::Proto,
+                message: "line\ntoo long".into(),
+            },
+        )
+        .unwrap();
+        write_tagged_response(&mut wire, None, &Response::Ok(vec![])).unwrap();
+        assert_eq!(
+            String::from_utf8_lossy(&wire),
+            "ok @a1 1\nx\nerr @a2 proto line; too long\nok 0\n"
+        );
+        let mut r = io::BufReader::new(&wire[..]);
+        assert_eq!(
+            read_tagged_response(&mut r).unwrap().unwrap(),
+            (Some("a1".into()), Response::Ok(vec!["x".into()]))
+        );
+        assert_eq!(
+            read_tagged_response(&mut r).unwrap().unwrap(),
+            (
+                Some("a2".into()),
+                Response::Err {
+                    kind: WireErrorKind::Proto,
+                    message: "line; too long".into(),
+                }
+            )
+        );
+        assert_eq!(
+            read_tagged_response(&mut r).unwrap().unwrap(),
+            (None, Response::Ok(vec![]))
+        );
+        assert!(read_tagged_response(&mut r).unwrap().is_none());
+
+        // Untagged writes are byte-identical to the pre-tag framing,
+        // and the plain reader tolerates (and discards) echoed tags.
+        let mut plain: Vec<u8> = Vec::new();
+        write_response(&mut plain, &Response::Ok(vec!["y".into()])).unwrap();
+        assert_eq!(String::from_utf8_lossy(&plain), "ok 1\ny\n");
+        let mut r = io::BufReader::new(&b"ok @z 1\ny\n"[..]);
+        assert_eq!(
+            read_response(&mut r).unwrap().unwrap(),
+            Response::Ok(vec!["y".into()])
+        );
     }
 
     /// A reader that hands out its bytes in tiny chunks — a TCP stream

@@ -773,6 +773,17 @@ pub struct SessionReply {
     pub control: SessionControl,
 }
 
+/// The canonical `commit` acknowledgement line for an isolated session.
+/// Both commit paths — the blocking transport's `cmd_commit` and the
+/// event-driven transport's deferred ack — build their output here, so
+/// the two transports stay byte-identical on the wire.
+pub fn commit_ack_message(ack: &CommitAck) -> String {
+    format!(
+        "committed version {} ({} op(s), group of {})",
+        ack.version, ack.applied, ack.group_size
+    )
+}
+
 // ---------------------------------------------------------------------------
 // The interpreter
 // ---------------------------------------------------------------------------
@@ -876,10 +887,22 @@ impl Interpreter {
             kind: ScriptErrorKind::Parse,
             message: e.message,
         })?;
+        self.run_session_command(cmd.as_ref())
+    }
+
+    /// [`run_session_line`](Self::run_session_line) over an
+    /// already-parsed command (`None` for a blank or comment-only
+    /// line). Front ends that parse lines themselves — the event-driven
+    /// transport splits request tags and inspects the command to
+    /// schedule it — use this to avoid a second parse.
+    pub fn run_session_command(
+        &mut self,
+        cmd: Option<&Command>,
+    ) -> Result<SessionReply, ScriptError> {
         let control = match cmd {
             Some(Command::Quit) => SessionControl::Quit,
             Some(Command::Shutdown) => SessionControl::Shutdown,
-            Some(ref cmd) => {
+            Some(cmd) => {
                 self.exec(cmd).map_err(|(kind, message)| ScriptError {
                     line: 1,
                     kind,
@@ -893,6 +916,24 @@ impl Interpreter {
             output: std::mem::take(&mut self.out),
             control,
         })
+    }
+
+    /// Begins an **asynchronous** commit for an isolated session: runs
+    /// the same admission checks as `commit` (read-only replicas are
+    /// rejected) and hands back the buffered transaction for the caller
+    /// to submit via [`GroupCommitHandle::submit`]. The event-driven
+    /// transport uses this so a worker never blocks on a commit window;
+    /// the acknowledgement text is rebuilt with [`commit_ack_message`].
+    pub fn take_commit_changes(&mut self) -> Result<Changeset, ScriptError> {
+        debug_assert!(self.isolated, "async commits are a session-only path");
+        self.reject_if_follower("commit")
+            .map_err(|(kind, message)| ScriptError {
+                line: 1,
+                kind,
+                message,
+            })?;
+        self.explicit_txn = false;
+        Ok(self.txn.take().unwrap_or_default())
     }
 
     fn run_numbered_line(&mut self, line_no: usize, raw: &str) -> Result<(), ScriptError> {
@@ -1101,10 +1142,7 @@ impl Interpreter {
                     }
                 }
             };
-            self.say(format!(
-                "committed version {} ({} op(s), group of {})",
-                ack.version, ack.applied, ack.group_size
-            ));
+            self.say(commit_ack_message(&ack));
             return Ok(());
         }
         // Solo path: apply the buffered transaction (if any) atomically,

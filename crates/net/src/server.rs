@@ -26,7 +26,7 @@
 
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -68,6 +68,16 @@ pub struct ServerConfig {
     /// restart resumes from the local version instead of
     /// re-bootstrapping.
     pub follow: Option<String>,
+    /// Use the event-driven transport (`crate::event`): `workers`
+    /// becomes a fixed set of readiness-loop threads multiplexing every
+    /// connection instead of a one-session-per-thread pool, and the
+    /// wire grows pipelining with optional `@tag` request tags. Linux
+    /// only (the poller shim's sole backend).
+    pub event_loop: bool,
+    /// Connection cap for the event-driven transport; connections over
+    /// it are turned away with `err proto server full…`. Ignored by the
+    /// blocking transport (its cap is `workers`).
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +91,8 @@ impl Default for ServerConfig {
             data_dir: None,
             max_line_bytes: protocol::MAX_LINE_BYTES,
             follow: None,
+            event_loop: false,
+            max_connections: 8192,
         }
     }
 }
@@ -99,6 +111,8 @@ pub struct Server {
     committer: Option<GroupCommitter>,
     saver: Option<Arc<PlanSaver>>,
     follower: Option<JoinHandle<()>>,
+    open_conns: Arc<AtomicUsize>,
+    feed_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl Server {
@@ -146,23 +160,52 @@ impl Server {
             None => None,
         };
         let listener = Arc::new(listener);
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let ctx = WorkerCtx {
-                    listener: Arc::clone(&listener),
-                    shared: Arc::clone(&shared),
-                    committer: committer.handle(),
-                    shutdown: Arc::clone(&shutdown),
-                    saver: saver.clone(),
-                    idle_timeout: config.idle_timeout,
-                    max_line_bytes: config.max_line_bytes,
-                };
-                std::thread::Builder::new()
-                    .name(format!("citesys-net-worker-{i}"))
-                    .spawn(move || worker_loop(ctx))
-                    .expect("spawn worker")
-            })
-            .collect();
+        let open_conns = Arc::new(AtomicUsize::new(0));
+        let feed_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let workers = if config.event_loop {
+            let ctx = crate::event::EventCtx {
+                shared: Arc::clone(&shared),
+                committer: committer.handle(),
+                shutdown: Arc::clone(&shutdown),
+                saver: saver.clone(),
+                idle_timeout: config.idle_timeout,
+                max_line_bytes: config.max_line_bytes,
+                max_connections: config.max_connections.max(1),
+                open_conns: Arc::clone(&open_conns),
+                feed_threads: Arc::clone(&feed_threads),
+            };
+            match crate::event::spawn_workers(Arc::clone(&listener), config.workers.max(1), ctx) {
+                Ok(workers) => workers,
+                Err(e) => {
+                    // Unwind the threads already running (no poller
+                    // backend on this platform, most likely).
+                    shutdown.store(true, Ordering::SeqCst);
+                    if let Some(f) = follower {
+                        let _ = f.join();
+                    }
+                    return Err(e);
+                }
+            }
+        } else {
+            (0..config.workers.max(1))
+                .map(|i| {
+                    let ctx = WorkerCtx {
+                        listener: Arc::clone(&listener),
+                        shared: Arc::clone(&shared),
+                        committer: committer.handle(),
+                        shutdown: Arc::clone(&shutdown),
+                        saver: saver.clone(),
+                        idle_timeout: config.idle_timeout,
+                        max_line_bytes: config.max_line_bytes,
+                        open_conns: Arc::clone(&open_conns),
+                    };
+                    std::thread::Builder::new()
+                        .name(format!("citesys-net-worker-{i}"))
+                        .spawn(move || worker_loop(ctx))
+                        .expect("spawn worker")
+                })
+                .collect()
+        };
         Ok(Server {
             addr,
             shared,
@@ -171,6 +214,8 @@ impl Server {
             committer: Some(committer),
             saver,
             follower,
+            open_conns,
+            feed_threads,
         })
     }
 
@@ -187,6 +232,13 @@ impl Server {
     /// Write-path counter snapshot.
     pub fn stats(&self) -> StoreStats {
         self.shared.lock().stats()
+    }
+
+    /// Connections currently held open by the transport (sessions on
+    /// either transport; replication feeds are counted separately).
+    /// Leak tests poll this back to zero after disconnects.
+    pub fn open_connections(&self) -> usize {
+        self.open_conns.load(Ordering::SeqCst)
     }
 
     /// True once a `shutdown` command (or [`stop`](Self::stop)) was
@@ -213,6 +265,9 @@ impl Server {
         self.shutdown.store(true, Ordering::SeqCst);
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        for f in self.feed_threads.lock().drain(..) {
+            let _ = f.join();
         }
         if let Some(f) = self.follower.take() {
             let _ = f.join();
@@ -241,6 +296,7 @@ struct WorkerCtx {
     saver: Option<Arc<PlanSaver>>,
     idle_timeout: Duration,
     max_line_bytes: usize,
+    open_conns: Arc<AtomicUsize>,
 }
 
 fn worker_loop(ctx: WorkerCtx) {
@@ -249,7 +305,9 @@ fn worker_loop(ctx: WorkerCtx) {
             Ok((stream, _peer)) => {
                 // Connection errors end that session only; the worker
                 // moves on to the next accept.
+                ctx.open_conns.fetch_add(1, Ordering::SeqCst);
                 let _ = serve_connection(&ctx, stream);
+                ctx.open_conns.fetch_sub(1, Ordering::SeqCst);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(READ_TICK);
@@ -259,7 +317,7 @@ fn worker_loop(ctx: WorkerCtx) {
     }
 }
 
-fn wire_kind(kind: ScriptErrorKind) -> WireErrorKind {
+pub(crate) fn wire_kind(kind: ScriptErrorKind) -> WireErrorKind {
     match kind {
         ScriptErrorKind::Parse => WireErrorKind::Parse,
         ScriptErrorKind::Citation => WireErrorKind::Citation,
@@ -339,11 +397,15 @@ fn serve_connection(ctx: &WorkerCtx, stream: TcpStream) -> io::Result<()> {
             // slot — size `workers` accordingly).
             return crate::replication::serve_feed(&ctx.shared, &ctx.shutdown, writer, hello);
         }
+        // Request tags ride both transports: split here so a tagged
+        // command on the blocking path answers with the same tagged
+        // frame the event loop would produce.
+        let (tag, body) = protocol::split_tag(&line);
         // A bare token check, not a second protocol parse: `commit`
         // takes no arguments, so this matches exactly the lines
         // parse_command maps to Command::Commit.
-        let is_commit = protocol::strip_comment(&line).trim() == "commit";
-        let result = interp.run_session_line(&line);
+        let is_commit = protocol::strip_comment(body).trim() == "commit";
+        let result = interp.run_session_line(body);
         // Persist plan-cache changes BEFORE acking: once the client sees
         // the response, the warm cache is already on disk (a killed
         // server loses at most the in-flight command). Commits are the
@@ -358,15 +420,24 @@ fn serve_connection(ctx: &WorkerCtx, stream: TcpStream) -> io::Result<()> {
         match result {
             Ok(reply) => match reply.control {
                 SessionControl::Continue => {
-                    protocol::write_response(&mut writer, &Response::from_output(&reply.output))?;
+                    protocol::write_tagged_response(
+                        &mut writer,
+                        tag,
+                        &Response::from_output(&reply.output),
+                    )?;
                 }
                 SessionControl::Quit => {
-                    protocol::write_response(&mut writer, &Response::Ok(vec!["bye".into()]))?;
+                    protocol::write_tagged_response(
+                        &mut writer,
+                        tag,
+                        &Response::Ok(vec!["bye".into()]),
+                    )?;
                     return Ok(());
                 }
                 SessionControl::Shutdown => {
-                    protocol::write_response(
+                    protocol::write_tagged_response(
                         &mut writer,
+                        tag,
                         &Response::Ok(vec!["shutting down".into()]),
                     )?;
                     ctx.shutdown.store(true, Ordering::SeqCst);
@@ -374,8 +445,9 @@ fn serve_connection(ctx: &WorkerCtx, stream: TcpStream) -> io::Result<()> {
                 }
             },
             Err(e) => {
-                protocol::write_response(
+                protocol::write_tagged_response(
                     &mut writer,
+                    tag,
                     &Response::Err {
                         kind: wire_kind(e.kind),
                         message: e.message,

@@ -23,7 +23,7 @@
 use std::io::{BufRead, Read, Write};
 use std::time::Duration;
 
-use citesys::net::client::run_script;
+use citesys::net::client::{run_script, run_script_pipelined};
 use citesys::net::persist::PlanSaver;
 use citesys::net::script::{
     Interpreter, ScriptError, ScriptErrorKind, SessionControl, SharedStore,
@@ -43,7 +43,8 @@ fn usage() -> String {
      <script-file>  run a script file\n  \
      -              read a whole script from stdin\n  \
      serve [--data-dir <path>] [--plan-cache <path>] [--listen <addr>]\n        \
-     [--follow <addr>] [--workers <n>] [--idle-timeout <secs>] [--commit-window-ms <ms>]\n                 \
+     [--follow <addr>] [--workers <n>] [--idle-timeout <secs>] [--commit-window-ms <ms>]\n        \
+     [--event-loop] [--max-connections <n>]\n                 \
      interactive: execute each stdin line as it arrives,\n                 \
      reusing one citation service (warm plan cache) per session.\n                 \
      --data-dir makes the store durable: the newest checkpoint is\n                 \
@@ -62,10 +63,18 @@ fn usage() -> String {
      <addr>: it bootstraps from a shipped checkpoint, tails the\n                 \
      primary's WAL, serves cite/read commands at its replicated\n                 \
      version and rejects writes with a readonly error (requires\n                 \
-     --listen and --data-dir; a restart resumes from the local WAL)\n  \
-     client <addr> [script-file]\n                 \
+     --listen and --data-dir; a restart resumes from the local WAL)\n                 \
+     --event-loop swaps the worker pool for the event-driven\n                 \
+     transport: the same workers multiplex thousands of sockets\n                 \
+     through an epoll readiness loop, and clients may pipeline\n                 \
+     commands (optionally tagged '@t cmd', tag echoed in the\n                 \
+     response frame); --max-connections caps held sockets (over it,\n                 \
+     connections are refused with 'err proto server full')\n  \
+     client [--pipeline] <addr> [script-file]\n                 \
      run a script (or stdin) against a serve --listen server and\n                 \
-     print the responses\n  \
+     print the responses; --pipeline sends every line up front\n                 \
+     (tagged with its line number) and reads the responses in one\n                 \
+     pass — one round trip instead of one per line\n  \
      checkpoint <data-dir>\n                 \
      recover the directory, fold the write-ahead log into a fresh\n                 \
      checkpoint, and reset the log\n  \
@@ -114,6 +123,8 @@ struct ServeOpts {
     workers: Option<usize>,
     idle_timeout: Option<u64>,
     commit_window_ms: Option<u64>,
+    event_loop: bool,
+    max_connections: Option<usize>,
 }
 
 fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, String> {
@@ -125,6 +136,8 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, String> {
         workers: None,
         idle_timeout: None,
         commit_window_ms: None,
+        event_loop: false,
+        max_connections: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -159,6 +172,14 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, String> {
                         .map_err(|_| "--commit-window-ms needs milliseconds".to_string())?,
                 )
             }
+            "--event-loop" => opts.event_loop = true,
+            "--max-connections" => {
+                opts.max_connections = Some(
+                    take("--max-connections")?
+                        .parse()
+                        .map_err(|_| "--max-connections needs a number".to_string())?,
+                )
+            }
             other => return Err(format!("unknown serve option '{other}'")),
         }
     }
@@ -169,11 +190,22 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, String> {
             ("--workers", opts.workers.is_some()),
             ("--idle-timeout", opts.idle_timeout.is_some()),
             ("--commit-window-ms", opts.commit_window_ms.is_some()),
+            ("--event-loop", opts.event_loop),
+            ("--max-connections", opts.max_connections.is_some()),
         ] {
             if set {
                 return Err(format!("{flag} requires --listen <addr>"));
             }
         }
+    }
+    // The connection cap is an event-loop knob; the blocking pool's cap
+    // is --workers.
+    if opts.max_connections.is_some() && !opts.event_loop {
+        return Err(
+            "--max-connections requires --event-loop (the blocking pool is capped \
+                    by --workers)"
+                .into(),
+        );
     }
     // A follower serves reads over TCP and must be able to resume from
     // its own WAL after a restart, so both --listen and --data-dir are
@@ -228,6 +260,11 @@ fn serve_tcp(opts: &ServeOpts) -> i32 {
     if let Some(ms) = opts.commit_window_ms {
         config.commit_window = Duration::from_millis(ms);
     }
+    config.event_loop = opts.event_loop;
+    if let Some(n) = opts.max_connections {
+        config.max_connections = n;
+    }
+    let max_connections = config.max_connections;
     let server = match Server::spawn(config) {
         Ok(s) => s,
         Err(e) => {
@@ -238,6 +275,10 @@ fn serve_tcp(opts: &ServeOpts) -> i32 {
     if let Some(primary) = &opts.follow {
         // Parsed by scripts/CI to confirm follower mode engaged.
         println!("following {primary}");
+    }
+    if opts.event_loop {
+        // Parsed by scripts/CI to confirm the transport in use.
+        println!("event loop enabled (max {max_connections} connections)");
     }
     // Parsed by scripts/CI to discover an ephemeral port.
     println!("listening on {}", server.local_addr());
@@ -350,14 +391,18 @@ fn serve_stdin(plan_cache: Option<&str>, data_dir: Option<&str>) -> i32 {
     0
 }
 
-/// `client <addr> [script-file]`.
+/// `client [--pipeline] <addr> [script-file]`.
 fn client(args: &[String]) -> i32 {
+    let (pipeline, args) = match args.first().map(String::as_str) {
+        Some("--pipeline") => (true, &args[1..]),
+        _ => (false, args),
+    };
     let Some(addr) = args.first() else {
-        eprintln!("usage: citesys client <addr> [script-file]");
+        eprintln!("usage: citesys client [--pipeline] <addr> [script-file]");
         return EXIT_USAGE;
     };
     if args.len() > 2 {
-        eprintln!("usage: citesys client <addr> [script-file]");
+        eprintln!("usage: citesys client [--pipeline] <addr> [script-file]");
         return EXIT_USAGE;
     }
     let script = match args.get(1) {
@@ -379,7 +424,11 @@ fn client(args: &[String]) -> i32 {
     };
     let mut out = std::io::stdout();
     let mut err = std::io::stderr();
-    run_script(addr, &script, &mut out, &mut err)
+    if pipeline {
+        run_script_pipelined(addr, &script, &mut out, &mut err)
+    } else {
+        run_script(addr, &script, &mut out, &mut err)
+    }
 }
 
 /// `checkpoint <data-dir>`: recover and fold the WAL into a fresh
