@@ -1,0 +1,33 @@
+//! E20 bench: time-travel cite latency by history depth and anchor
+//! spacing.
+//!
+//! Each arm reopens a stormed data dir (so the op log starts at the
+//! recovered checkpoint) and cites `@ version` at a fixed depth: the
+//! latest version is an in-memory snapshot, the oldest resolves through
+//! a retained anchor plus a bounded WAL-segment replay. Tight spacing
+//! should hold the deep-history latency close to the warm path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use citesys_bench::e20::{cite_at, reopen, storm_dir};
+
+fn bench(c: &mut Criterion) {
+    let commits = 16;
+
+    for every in [2u64, 8] {
+        let (dir, latest) = storm_dir(&format!("bench-sweep-{every}"), commits, every);
+        let mut group = c.benchmark_group(format!("e20_at_version_spacing_{every}"));
+        group.sample_size(10);
+        for (label, version) in [("latest", latest), ("oldest", 1)] {
+            group.bench_function(label, |b| {
+                let mut interp = reopen(&dir);
+                b.iter(|| cite_at(&mut interp, version));
+            });
+        }
+        group.finish();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

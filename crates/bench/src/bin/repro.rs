@@ -1,4 +1,4 @@
-//! `repro` — regenerates every experiment table (E1–E19).
+//! `repro` — regenerates every experiment table (E1–E20).
 //!
 //! Usage:
 //! ```text
@@ -39,6 +39,7 @@ fn main() {
             "e17" => Some(citesys_bench::e17::table(quick)),
             "e18" => Some(citesys_bench::e18::table(quick)),
             "e19" => Some(citesys_bench::e19::table(quick)),
+            "e20" => Some(citesys_bench::e20::table(quick)),
             other => {
                 eprintln!("unknown experiment id: {other}");
                 None

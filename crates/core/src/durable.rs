@@ -27,7 +27,7 @@ use citesys_storage::durability::{
     database_from_text, database_to_text, versioned_from_text, versioned_to_text,
 };
 use citesys_storage::{
-    Changeset, CheckpointData, DurableStore, FileStore, Recovery, VersionedDatabase,
+    Changeset, CheckpointData, Database, DurableStore, FileStore, Recovery, VersionedDatabase,
 };
 
 use crate::error::CiteError;
@@ -75,6 +75,17 @@ impl DurableHandle {
         Ok(DurableHandle::new(Box::new(FileStore::open(dir.as_ref())?)))
     }
 
+    /// [`file`](Self::file) with a checkpoint retention policy: each
+    /// checkpoint archives the superseded one (plus the WAL segment it
+    /// anchors) as a **time-travel anchor**, keeping the newest
+    /// `retain` anchors. `retain = 0` keeps none (the historical
+    /// behavior).
+    pub fn file_with_retention(dir: impl AsRef<Path>, retain: usize) -> Result<Self, CiteError> {
+        Ok(DurableHandle::new(Box::new(
+            FileStore::open_with_retention(dir.as_ref(), retain)?,
+        )))
+    }
+
     /// Durably logs one committed changeset. Call **before** the commit
     /// is acknowledged: the backend fsyncs before returning.
     pub fn log_commit(&mut self, version: u64, changes: &Changeset) -> Result<(), CiteError> {
@@ -95,6 +106,77 @@ impl DurableHandle {
     /// [`CitationService::checkpoint`], which assembles the sections).
     pub fn write_checkpoint(&mut self, data: &CheckpointData) -> Result<(), CiteError> {
         Ok(self.backend.checkpoint(data)?)
+    }
+
+    /// The oldest version reconstructible from this backend's retained
+    /// history (`None` before any checkpoint exists).
+    pub fn history_floor(&self) -> Option<u64> {
+        self.backend.history_floor()
+    }
+
+    /// How many checkpoints (live + archived anchors) the backend holds.
+    pub fn checkpoints_retained(&self) -> usize {
+        self.backend.checkpoints_retained()
+    }
+
+    /// Drops retained history below `floor`, keeping the newest anchor
+    /// at or below it as the replay base for `floor` itself. Returns the
+    /// number of anchors removed.
+    pub fn prune_history(&mut self, floor: u64) -> Result<usize, CiteError> {
+        Ok(self.backend.prune_history(floor)?)
+    }
+
+    /// Reconstructs the database **as of** `version` from the nearest
+    /// retained checkpoint at or below it plus WAL replay, together with
+    /// the citation-view registry that governed that version. Returns
+    /// `Ok(None)` when no retained checkpoint covers `version` — the
+    /// point-in-time read path's fallback for versions older than the
+    /// in-memory store's base (e.g. after a restart truncated the
+    /// in-memory log to the latest checkpoint).
+    pub fn database_at(
+        &self,
+        version: u64,
+    ) -> Result<Option<(Arc<Database>, CitationRegistry)>, CiteError> {
+        let Some((checkpoint, tail)) = self.backend.checkpoint_at(version)? else {
+            return Ok(None);
+        };
+        let database_text = checkpoint
+            .section(SECTION_DATABASE)
+            .ok_or_else(|| derr("anchor checkpoint lacks its database section"))?;
+        let mut store = versioned_from_text(database_text).map_err(derr)?;
+        if store.latest_version() != checkpoint.version {
+            return Err(derr(format!(
+                "anchor claims version {} but its database section is at {}",
+                checkpoint.version,
+                store.latest_version()
+            )));
+        }
+        for record in &tail {
+            let expected = store.latest_version() + 1;
+            if record.version != expected {
+                return Err(derr(format!(
+                    "anchor WAL record for version {} but the replay is at {} \
+                     (expected {expected})",
+                    record.version,
+                    store.latest_version()
+                )));
+            }
+            store.apply_changeset(&record.changes)?;
+            store.commit();
+        }
+        if store.latest_version() != version {
+            return Err(derr(format!(
+                "anchor replay reached version {} but {} was requested",
+                store.latest_version(),
+                version
+            )));
+        }
+        let registry = match checkpoint.section(SECTION_REGISTRY) {
+            Some(text) => CitationRegistry::from_text(text)?,
+            None => CitationRegistry::new(),
+        };
+        let snapshot = store.snapshot(version)?;
+        Ok(Some((snapshot, registry)))
     }
 }
 

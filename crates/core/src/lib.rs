@@ -97,8 +97,8 @@ pub use policy::{AggPolicy, AltPolicy, JointPolicy, PolicySet, RewritePolicy, Re
 pub use registry::{CitationRegistry, CitationView};
 pub use select::{covers, exhaustive_select, greedy_select, Selection};
 pub use service::{
-    CitationService, CitationServiceBuilder, PlanCache, PlanCacheStats, PreparedCitation,
-    DEFAULT_PLAN_CACHE_CAPACITY, DEFAULT_PLAN_CACHE_SHARDS,
+    AsOfCache, CitationService, CitationServiceBuilder, PlanCache, PlanCacheStats,
+    PreparedCitation, DEFAULT_PLAN_CACHE_CAPACITY, DEFAULT_PLAN_CACHE_SHARDS,
 };
 pub use snippet::{CitationFunction, CitationQuery, CitationSnippet};
 pub use trace::{trace_answer, trace_tuple};

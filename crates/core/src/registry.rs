@@ -121,6 +121,15 @@ impl CitationRegistry {
         self.views.iter()
     }
 
+    /// A SHA-256 content fingerprint over the registry's canonical text
+    /// form. Two registries fingerprint equal iff they serialize
+    /// identically — the time-travel read path uses this to detect when
+    /// a historical version was governed by a different set of citation
+    /// views than the live one (DDL happened in between).
+    pub fn fingerprint(&self) -> citesys_storage::Digest {
+        citesys_storage::sha256(self.to_text().as_bytes())
+    }
+
     /// The plain view set used by the rewriting layer.
     pub fn view_set(&self) -> ViewSet {
         ViewSet::new(self.views.iter().map(|v| v.view.clone()).collect())

@@ -58,7 +58,7 @@
 //! assert_eq!(first.tuples[0].atoms, second.tuples[0].atoms);
 //! ```
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -66,14 +66,15 @@ use std::sync::Arc;
 
 use citesys_cq::{ConjunctiveQuery, Term, Value};
 use citesys_rewrite::{PlanParseError, RewritePlan, RewriteStats};
-use citesys_storage::{Changeset, Database, Tuple};
-use parking_lot::RwLock;
+use citesys_storage::{Changeset, Database, Tuple, VersionedDatabase};
+use parking_lot::{Mutex, RwLock};
 
 use crate::engine::{
     cite_selected, compute_plan, needed_views, select_rewritings, CitationMode, CitedAnswer,
     EngineOptions,
 };
 use crate::error::CiteError;
+use crate::fixity::{cite_with_service, FixityToken};
 use crate::policy::PolicySet;
 use crate::registry::CitationRegistry;
 use crate::viewcache::{DeltaOp, PendingViewDelta, ViewCache, ViewCacheStats};
@@ -673,7 +674,127 @@ impl CitationServiceBuilder {
             plans,
             views: Arc::new(views),
             generalize_constants: generalize,
+            asof: Arc::new(AsOfCache::new()),
         })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Time travel: the as-of service cache
+// ---------------------------------------------------------------------------
+
+/// How many historical versions keep a warm as-of service at once.
+/// Time-travel reads typically revisit a handful of cited versions (a
+/// reviewer re-deriving a result, a follower verifying fixity), so a
+/// small LRU ring captures the locality without holding old snapshots
+/// alive indefinitely.
+const ASOF_SERVICE_CAPACITY: usize = 4;
+
+/// Cache of services pinned to historical versions, kept **separate**
+/// from the live service's plan/view caches so `cite … @ version`
+/// traffic never evicts or pollutes warm live state (and vice versa).
+///
+/// Plans are still shared *among* as-of services (one cache for strict,
+/// one for partial-citation mode, mirroring how the serving layer splits
+/// them), because plans depend only on the query shape and the registry
+/// — never on which snapshot is being read. Materialized views are
+/// per-version (each cached service owns its own [`ViewCache`]).
+///
+/// The cache is invalidated wholesale when the owning service's registry
+/// pointer changes (DDL replaces the registry `Arc`, which invalidates
+/// every cached plan and materialization for historical reads too).
+pub struct AsOfCache {
+    inner: Mutex<AsOfInner>,
+}
+
+struct AsOfInner {
+    /// `Arc::as_ptr` of the registry the cached state was built for.
+    registry_ptr: usize,
+    /// Shared plan cache for as-of services citing without partial mode.
+    plans_strict: Arc<PlanCache>,
+    /// Shared plan cache for as-of services citing with `allow_partial`.
+    plans_partial: Arc<PlanCache>,
+    /// LRU ring of warm services keyed by `(version, allow_partial)`.
+    services: VecDeque<((u64, bool), CitationService)>,
+}
+
+impl AsOfCache {
+    fn new() -> Self {
+        AsOfCache {
+            inner: Mutex::new(AsOfInner {
+                registry_ptr: 0,
+                plans_strict: Arc::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)),
+                plans_partial: Arc::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)),
+                services: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// The versions currently holding a warm as-of service (diagnostics).
+    pub fn cached_versions(&self) -> Vec<u64> {
+        let mut versions: Vec<u64> = self
+            .inner
+            .lock()
+            .services
+            .iter()
+            .map(|((v, _), _)| *v)
+            .collect();
+        versions.sort_unstable();
+        versions.dedup();
+        versions
+    }
+
+    /// Returns a warm service over `snapshot` at `version` with
+    /// `options`, building (and caching) one on miss. `registry` is the
+    /// owning service's **current** registry: a pointer change clears
+    /// the whole cache, because DDL invalidates historical plans too.
+    fn service_for(
+        &self,
+        version: u64,
+        snapshot: &Arc<Database>,
+        registry: &Arc<CitationRegistry>,
+        options: EngineOptions,
+    ) -> Result<CitationService, CiteError> {
+        let mut inner = self.inner.lock();
+        let registry_ptr = Arc::as_ptr(registry) as usize;
+        if inner.registry_ptr != registry_ptr {
+            inner.registry_ptr = registry_ptr;
+            inner.services.clear();
+            inner.plans_strict = Arc::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY));
+            inner.plans_partial = Arc::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY));
+        }
+        let key = (version, options.allow_partial);
+        if let Some((_, base)) = inner.services.iter().find(|(k, _)| *k == key) {
+            // Mode/policies may differ per cite; rewrite and
+            // allow_partial match by key construction, so the swap is
+            // always accepted and shares the warm caches.
+            return base.with_options(options);
+        }
+        let plans = if options.allow_partial {
+            Arc::clone(&inner.plans_partial)
+        } else {
+            Arc::clone(&inner.plans_strict)
+        };
+        let base = CitationService::builder()
+            .database(Arc::clone(snapshot))
+            .registry(Arc::clone(registry))
+            .options(options)
+            .shared_plan_cache(plans)
+            .build()?;
+        if inner.services.len() >= ASOF_SERVICE_CAPACITY {
+            inner.services.pop_front();
+        }
+        inner.services.push_back((key, base.clone()));
+        Ok(base)
+    }
+}
+
+impl std::fmt::Debug for AsOfCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("AsOfCache")
+            .field("cached", &inner.services.len())
+            .finish()
     }
 }
 
@@ -702,6 +823,11 @@ pub struct CitationService {
     views: Arc<ViewCache>,
     /// Whether plans may be transferred across λ-parameter constants.
     generalize_constants: bool,
+    /// Warm services for historical versions (`cite … @ version`),
+    /// cached apart from the live plan/view caches; shared by all
+    /// clones and carried across delta-maintained snapshot swaps
+    /// (historical versions never change under a data update).
+    asof: Arc<AsOfCache>,
 }
 
 impl CitationService {
@@ -798,6 +924,7 @@ impl CitationService {
             plans: Arc::clone(&self.plans),
             views: Arc::new(self.views.fresh_linked()),
             generalize_constants: self.generalize_constants,
+            asof: Arc::clone(&self.asof),
         }
     }
 
@@ -872,7 +999,86 @@ impl CitationService {
             plans: Arc::clone(&self.plans),
             views,
             generalize_constants: self.generalize_constants,
+            asof: Arc::clone(&self.asof),
         }
+    }
+
+    /// Cites `q` against historical `version` of `history` — the
+    /// time-travel read path — using this service's own options.
+    /// See [`cite_at_with`](Self::cite_at_with).
+    pub fn cite_at(
+        &self,
+        history: &VersionedDatabase,
+        version: u64,
+        q: &ConjunctiveQuery,
+    ) -> Result<(CitedAnswer, FixityToken), CiteError> {
+        self.cite_at_with(history, version, self.options, q)
+    }
+
+    /// Cites `q` against historical `version` of `history` with explicit
+    /// per-call options (mode and policies may differ from this
+    /// service's; `allow_partial` may too — it selects a separate shared
+    /// plan cache; rewrite options must match, as for
+    /// [`with_options`](Self::with_options)).
+    ///
+    /// The snapshot comes from `history` (erroring with
+    /// [`CompactedVersion`](citesys_storage::StorageError::CompactedVersion)
+    /// or [`UnknownVersion`](citesys_storage::StorageError::UnknownVersion)
+    /// when `version` is outside the retained window), and evaluation
+    /// runs on a cached **as-of service** pinned to that version — kept
+    /// apart from the live plan/view caches so time-travel reads never
+    /// pollute warm live state. The returned [`FixityToken`] is stamped
+    /// with `version` and the answer's SHA-256 digest, byte-identical to
+    /// what a live cite at that version produced.
+    pub fn cite_at_with(
+        &self,
+        history: &VersionedDatabase,
+        version: u64,
+        options: EngineOptions,
+        q: &ConjunctiveQuery,
+    ) -> Result<(CitedAnswer, FixityToken), CiteError> {
+        let snapshot = history.snapshot(version)?;
+        self.cite_at_snapshot(version, &snapshot, options, q)
+    }
+
+    /// [`cite_at_with`](Self::cite_at_with) when the caller already
+    /// holds the snapshot of `version` (e.g. the serving layer extracts
+    /// it under its store lock and evaluates outside it). The caller
+    /// asserts `snapshot` **is** the database as of `version` — the
+    /// fixity token is stamped with the pair as given.
+    pub fn cite_at_snapshot(
+        &self,
+        version: u64,
+        snapshot: &Arc<Database>,
+        options: EngineOptions,
+        q: &ConjunctiveQuery,
+    ) -> Result<(CitedAnswer, FixityToken), CiteError> {
+        let same_rewrite = {
+            let a = &self.options.rewrite;
+            let b = &options.rewrite;
+            a.algorithm == b.algorithm
+                && a.goal == b.goal
+                && a.prune == b.prune
+                && a.minimize == b.minimize
+                && a.max_candidates == b.max_candidates
+        };
+        if !same_rewrite {
+            return Err(CiteError::ServiceConfig {
+                reason: "cite_at may not change rewrite options (they invalidate \
+                         cached as-of plans); build a fresh service instead"
+                    .to_string(),
+            });
+        }
+        let service = self
+            .asof
+            .service_for(version, snapshot, &self.registry, options)?;
+        cite_with_service(&service, version, q)
+    }
+
+    /// The shared time-travel cache (diagnostics: which historical
+    /// versions currently hold a warm as-of service).
+    pub fn asof_cache(&self) -> &Arc<AsOfCache> {
+        &self.asof
     }
 
     /// Looks up (or computes and caches) the rewrite plan for `q`.

@@ -93,6 +93,9 @@ pub struct CiteSpec {
     pub format: CitationFormat,
     /// Evaluation options (mode, policies, partial fallback).
     pub options: EngineOptions,
+    /// Historical version to cite against (`cite … @ <version>`);
+    /// `None` cites the latest committed version.
+    pub as_of: Option<u64>,
 }
 
 /// One line of the command language, parsed.
@@ -133,10 +136,22 @@ pub enum Command {
     Rollback,
     /// `commit` — seal pending changes as one version.
     Commit,
-    /// `cite <query> [| format f] [| mode m] [| policy p] [| partial]`
+    /// `cite <query> [@ <version>] [| format f] [| mode m] [| policy p] [| partial]`
     Cite(CiteSpec),
     /// `verify` — re-check the last citation's fixity token.
     Verify,
+    /// `snapshot [@] <version>` — print the fixity digest of the
+    /// database as of a committed version (latest when omitted).
+    Snapshot {
+        /// The version to digest; `None` means the latest commit.
+        version: Option<u64>,
+    },
+    /// `compact [<window>]` — checkpoint, then trim history older than
+    /// the newest `window` versions (server default when omitted).
+    Compact {
+        /// Number of trailing versions to keep queryable.
+        window: Option<u64>,
+    },
     /// `tables` — list relations and row counts.
     Tables,
     /// `dump Name` — print a relation as CSV.
@@ -188,6 +203,12 @@ pub fn parse_command(raw: &str) -> Result<Option<Command>, ParseError> {
         "commit" => Command::Commit,
         "cite" => Command::Cite(parse_cite(rest)?),
         "verify" => Command::Verify,
+        "snapshot" => Command::Snapshot {
+            version: parse_optional_version(rest)?,
+        },
+        "compact" => Command::Compact {
+            window: parse_optional_version(rest)?,
+        },
         "tables" => Command::Tables,
         "dump" => Command::Dump {
             rel: rest.trim().to_string(),
@@ -292,10 +313,40 @@ fn parse_view(rest: &str) -> Result<ViewSpec, ParseError> {
     })
 }
 
-// cite <rule> [| format f] [| mode m] [| policy p] [| partial]
+/// Parses the bare/`@`-prefixed version argument of `snapshot` and
+/// `compact`; empty input means "use the default".
+fn parse_optional_version(rest: &str) -> Result<Option<u64>, ParseError> {
+    let arg = rest.trim().trim_start_matches('@').trim();
+    if arg.is_empty() {
+        return Ok(None);
+    }
+    arg.parse::<u64>()
+        .map(Some)
+        .map_err(|_| perr(format!("expected a version number, got '{arg}'")))
+}
+
+/// Splits a trailing `@ <version>` suffix off a cite rule. Only an
+/// all-digit tail after the **last** `@` counts, so `@` inside quoted
+/// constants (or λ-syntax) can never be mistaken for a version.
+fn split_as_of(rule: &str) -> Result<(&str, Option<u64>), ParseError> {
+    let Some(idx) = rule.rfind('@') else {
+        return Ok((rule, None));
+    };
+    let tail = rule[idx + 1..].trim();
+    if idx == 0 || tail.is_empty() || !tail.bytes().all(|b| b.is_ascii_digit()) {
+        return Ok((rule, None));
+    }
+    let version = tail
+        .parse::<u64>()
+        .map_err(|_| perr(format!("version '{tail}' out of range")))?;
+    Ok((rule[..idx].trim_end(), Some(version)))
+}
+
+// cite <rule> [@ <version>] [| format f] [| mode m] [| policy p] [| partial]
 fn parse_cite(rest: &str) -> Result<CiteSpec, ParseError> {
     let mut parts = rest.split('|').map(str::trim);
     let rule = parts.next().ok_or_else(|| perr("missing query"))?;
+    let (rule, as_of) = split_as_of(rule)?;
     let query = parse_query(rule).map_err(|e| perr(e.to_string()))?;
     let mut format = CitationFormat::Text;
     let mut options = EngineOptions {
@@ -341,6 +392,7 @@ fn parse_cite(rest: &str) -> Result<CiteSpec, ParseError> {
         query,
         format,
         options,
+        as_of,
     })
 }
 

@@ -61,7 +61,10 @@ use citesys_core::{
     Coverage, DurableHandle, EngineOptions, FixityToken, PlanCache,
 };
 use citesys_storage::durability::{database_to_text, versioned_to_text};
-use citesys_storage::{to_csv, Changeset, CheckpointData, RelationSchema, VersionedDatabase};
+use citesys_storage::{
+    digest_database, to_csv, Changeset, CheckpointData, Database, RelationSchema, StorageError,
+    VersionedDatabase,
+};
 use parking_lot::Mutex;
 
 use crate::group::{CommitAck, GroupCommitHandle};
@@ -190,6 +193,11 @@ pub struct SharedStore {
     /// checkpoint — database, registry, materialized views and plan
     /// cache under one manifest.
     durability: Option<DurableHandle>,
+    /// Auto-checkpoint threshold (`serve --checkpoint-every <n>`): after
+    /// a commit or replica apply pushes the WAL to `n` records or more,
+    /// a checkpoint is written — which, under a retention policy,
+    /// archives the superseded checkpoint as a time-travel anchor.
+    checkpoint_every: Option<u64>,
     stats: StoreStats,
     /// Follower role (`serve --follow`): the primary's address plus
     /// stream progress. `None` on a primary / standalone store.
@@ -237,6 +245,7 @@ impl SharedStore {
             service: None,
             plan_generation: 0,
             durability: None,
+            checkpoint_every: None,
             stats: StoreStats::default(),
             follow: None,
             replicas: Vec::new(),
@@ -255,7 +264,19 @@ impl SharedStore {
     /// handle so every future commit is logged before it is acked. A
     /// fresh directory starts an empty durable store.
     pub fn open_durable(dir: impl AsRef<Path>) -> Result<SharedStore, String> {
-        let (handle, recovered) = CitationService::open(dir).map_err(|e| e.to_string())?;
+        Self::open_durable_with_retention(dir, 0)
+    }
+
+    /// [`open_durable`](Self::open_durable) with a checkpoint retention
+    /// policy: each checkpoint archives the superseded one (plus its WAL
+    /// segment) as a time-travel anchor, keeping the newest `retain`
+    /// anchors so `cite … @ <version>` can reach back past restarts.
+    pub fn open_durable_with_retention(
+        dir: impl AsRef<Path>,
+        retain: usize,
+    ) -> Result<SharedStore, String> {
+        let handle = DurableHandle::file_with_retention(dir, retain).map_err(|e| e.to_string())?;
+        let (handle, recovered) = CitationService::open_with(handle).map_err(|e| e.to_string())?;
         let mut sh = SharedStore::new();
         sh.durability = Some(handle);
         if let Some(rec) = recovered {
@@ -278,9 +299,50 @@ impl SharedStore {
         Ok(Arc::new(Mutex::new(SharedStore::open_durable(dir)?)))
     }
 
+    /// [`open_durable_with_retention`](Self::open_durable_with_retention),
+    /// wrapped for sharing across sessions (the TCP server's shape).
+    pub fn open_durable_shared_with_retention(
+        dir: impl AsRef<Path>,
+        retain: usize,
+    ) -> Result<Arc<Mutex<SharedStore>>, String> {
+        Ok(Arc::new(Mutex::new(
+            SharedStore::open_durable_with_retention(dir, retain)?,
+        )))
+    }
+
     /// True when this store logs commits to a durable data directory.
     pub fn is_durable(&self) -> bool {
         self.durability.is_some()
+    }
+
+    /// Arms record-based auto-checkpointing: after any commit (local or
+    /// replicated) leaves `n` or more WAL records, a checkpoint is
+    /// written automatically. `None` disables (the default).
+    pub fn set_checkpoint_every(&mut self, n: Option<u64>) {
+        self.checkpoint_every = n;
+    }
+
+    /// The oldest version `cite … @ <version>` can currently serve:
+    /// the in-memory op-log base, lowered to the durable backend's
+    /// retained-history floor when anchors reach further back.
+    pub fn history_base_version(&self) -> u64 {
+        let mem = self.base_version();
+        match self
+            .durability
+            .as_ref()
+            .and_then(DurableHandle::history_floor)
+        {
+            Some(floor) => floor.min(mem),
+            None => mem,
+        }
+    }
+
+    /// Checkpoints the durable backend holds: the live one plus every
+    /// retained time-travel anchor (0 without `--data-dir`).
+    pub fn checkpoints_retained(&self) -> usize {
+        self.durability
+            .as_ref()
+            .map_or(0, DurableHandle::checkpoints_retained)
     }
 
     /// Write-ahead-log records accumulated since the last checkpoint
@@ -311,6 +373,50 @@ impl SharedStore {
             .write_checkpoint(&data)
             .map_err(|e| cite_err(e.to_string()))?;
         Ok(version)
+    }
+
+    /// Writes a checkpoint when auto-checkpointing is armed and the WAL
+    /// has reached the configured record threshold. Runs after the
+    /// commit is acknowledged-equivalent (WAL fsynced, version cut), so
+    /// a failure here cannot lose the commit — it surfaces as the
+    /// command's error while the data stays replayable from the WAL.
+    fn maybe_auto_checkpoint(&mut self) -> Result<(), CmdError> {
+        let Some(every) = self.checkpoint_every else {
+            return Ok(());
+        };
+        if self.durability.is_some() && self.wal_records() as u64 >= every {
+            self.write_checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Trims queryable history to the newest `window` versions: write a
+    /// checkpoint (folding the WAL, archiving the superseded checkpoint
+    /// as an anchor under the retention policy), drop durable anchors
+    /// below the replay base for the new floor, and compact the
+    /// in-memory op log. Returns `(floor, anchors pruned)`.
+    pub(crate) fn compact_history(&mut self, window: u64) -> Result<(u64, usize), CmdError> {
+        let latest = self.latest_version();
+        let floor = latest.saturating_sub(window);
+        let mut pruned = 0usize;
+        if self.durability.is_some() {
+            // Checkpoint first so coverage stays contiguous: the WAL is
+            // folded into the live checkpoint and the superseded one
+            // becomes an anchor before anything is dropped.
+            self.write_checkpoint()?;
+            pruned = self
+                .durability
+                .as_mut()
+                .expect("checked above")
+                .prune_history(floor)
+                .map_err(|e| cite_err(e.to_string()))?;
+        }
+        if let Some(store) = &mut self.store {
+            store
+                .compact_to(floor)
+                .map_err(|e| cite_err(e.to_string()))?;
+        }
+        Ok((floor, pruned))
     }
 
     /// Assembles the four checkpoint sections — committed database,
@@ -493,6 +599,7 @@ impl SharedStore {
         self.stats.replica_lag_records = self.stats.replica_lag_records.saturating_sub(1);
         self.refresh_service_after_commit(v, changes);
         self.note_primary_version(v);
+        self.maybe_auto_checkpoint()?;
         Ok(v)
     }
 
@@ -682,6 +789,7 @@ impl SharedStore {
             .commit();
         debug_assert_eq!(v, next);
         self.refresh_service_after_commit(v, &changes);
+        self.maybe_auto_checkpoint()?;
         Ok(v)
     }
 
@@ -1003,6 +1111,8 @@ impl Interpreter {
                 Ok(())
             }
             Command::Stats => self.cmd_stats(),
+            Command::Snapshot { version } => self.cmd_snapshot(*version),
+            Command::Compact { window } => self.cmd_compact(*window),
             Command::Checkpoint => self.cmd_checkpoint(),
             Command::Quit | Command::Shutdown => Err(parse_err(
                 "session command: only available in an interactive or network session",
@@ -1175,6 +1285,9 @@ impl Interpreter {
                 "uncommitted changes: run 'commit' before 'cite'"
             }));
         }
+        if let Some(version) = spec.as_of {
+            return self.cmd_cite_at(version, spec);
+        }
         let (service, version, loaded) = {
             let mut sh = self.shared.lock();
             let mut loaded = None;
@@ -1201,22 +1314,110 @@ impl Interpreter {
         // the store lock, so concurrent sessions cite in parallel.
         let (cited, token) = cite_with_service(&service, version, &spec.query)
             .map_err(|e| cite_err(e.to_string()))?;
+        self.report_citation(cited, token, spec.format);
+        Ok(())
+    }
+
+    /// `cite … @ <version>`: the time-travel read path. Versions still
+    /// in the in-memory op log evaluate on the live service's as-of
+    /// cache (kept apart from the warm live caches); versions compacted
+    /// from memory but covered by a retained durable anchor are rebuilt
+    /// cold from the anchor checkpoint plus its WAL segment, under the
+    /// registry that governed that version.
+    fn cmd_cite_at(&mut self, version: u64, spec: &CiteSpec) -> Result<(), CmdError> {
+        enum Source {
+            /// Snapshot served from the in-memory log + the live
+            /// service's as-of cache.
+            Warm(CitationService, Arc<Database>),
+            /// Snapshot reconstructed from a durable anchor, with the
+            /// registry that governed it.
+            Anchor(Arc<Database>, CitationRegistry),
+        }
+        let source = {
+            let mut sh = self.shared.lock();
+            let store = sh.store_mut()?;
+            if store.has_pending() {
+                return Err(cite_err("uncommitted changes: run 'commit' before 'cite'"));
+            }
+            let latest = store.latest_version();
+            match store.snapshot(version) {
+                Ok(snapshot) => {
+                    let service = sh.service_at(latest, spec.options)?;
+                    Source::Warm(service, snapshot)
+                }
+                Err(StorageError::CompactedVersion { .. }) => {
+                    let fallback = sh
+                        .durability
+                        .as_ref()
+                        .map(|d| d.database_at(version))
+                        .transpose()
+                        .map_err(|e| cite_err(e.to_string()))?
+                        .flatten();
+                    match fallback {
+                        Some((snapshot, registry)) => Source::Anchor(snapshot, registry),
+                        // Re-stamp the error with the TRUE floor: after a
+                        // restart the in-memory log starts at the last
+                        // checkpoint, but retained anchors reach further
+                        // back — the client should be told the oldest
+                        // version that actually serves.
+                        None => {
+                            let oldest = sh.history_base_version();
+                            return Err(cite_err(
+                                StorageError::CompactedVersion { version, oldest }.to_string(),
+                            ));
+                        }
+                    }
+                }
+                Err(e) => return Err(cite_err(e.to_string())),
+            }
+        };
+        // Evaluation runs OUTSIDE the store lock, like a live cite.
+        let (cited, token) = match source {
+            Source::Warm(service, snapshot) => service
+                .cite_at_snapshot(version, &snapshot, spec.options, &spec.query)
+                .map_err(|e| cite_err(e.to_string()))?,
+            Source::Anchor(snapshot, registry) => {
+                let service = CitationService::builder()
+                    .database(snapshot)
+                    .registry(registry)
+                    .options(spec.options)
+                    .build()
+                    .map_err(|e| cite_err(e.to_string()))?;
+                cite_with_service(&service, version, &spec.query)
+                    .map_err(|e| cite_err(e.to_string()))?
+            }
+        };
+        self.report_citation(cited, token, spec.format);
+        Ok(())
+    }
+
+    /// Shared output tail of `cite` and `cite … @ <version>`: the answer
+    /// count, coverage, the formatted citation with its fixity token,
+    /// an armed trace, and the token for `verify`. Identical wording on
+    /// both paths — a time-travel cite is byte-identical to what the
+    /// live cite printed at that version.
+    fn report_citation(
+        &mut self,
+        cited: citesys_core::CitedAnswer,
+        token: FixityToken,
+        format: citesys_core::CitationFormat,
+    ) {
         self.say(format!(
-            "{} answer tuple(s) at version {version}",
-            cited.answer.len()
+            "{} answer tuple(s) at version {}",
+            cited.answer.len(),
+            token.version
         ));
         if let Coverage::Partial { uncited } = cited.coverage {
             self.say(format!("coverage: partial ({uncited} uncited)"));
         }
         if let Some(agg) = &cited.aggregate {
-            self.say(format_citation(&agg.snippets, Some(&token), spec.format).trim_end());
+            self.say(format_citation(&agg.snippets, Some(&token), format).trim_end());
         }
         if self.trace_next {
             self.trace_next = false;
             self.say(citesys_core::trace_answer(&cited).trim_end());
         }
         self.last_token = Some(token);
-        Ok(())
     }
 
     fn cmd_verify(&mut self) -> Result<(), CmdError> {
@@ -1300,6 +1501,66 @@ impl Interpreter {
         Ok(())
     }
 
+    /// `snapshot [@] <version>`: prints the fixity digest of the
+    /// database as of a committed version (latest when omitted), so a
+    /// citation's `@ version` claim can be verified out of band.
+    /// Versions compacted from memory are digested from their durable
+    /// anchor when one covers them.
+    fn cmd_snapshot(&mut self, version: Option<u64>) -> Result<(), CmdError> {
+        let (version, digest) = {
+            let mut sh = self.shared.lock();
+            let store = sh.store_mut()?;
+            let v = match version {
+                Some(v) => v,
+                None => store.latest_version(),
+            };
+            match store.digest_at(v) {
+                Ok(d) => (v, d),
+                Err(StorageError::CompactedVersion { .. }) => {
+                    let fallback = sh
+                        .durability
+                        .as_ref()
+                        .map(|d| d.database_at(v))
+                        .transpose()
+                        .map_err(|e| cite_err(e.to_string()))?
+                        .flatten();
+                    match fallback {
+                        Some((snapshot, _)) => (v, digest_database(&snapshot)),
+                        // As in `cite … @`: name the true retained floor,
+                        // not just the in-memory log's base.
+                        None => {
+                            let oldest = sh.history_base_version();
+                            return Err(cite_err(
+                                StorageError::CompactedVersion { version: v, oldest }.to_string(),
+                            ));
+                        }
+                    }
+                }
+                Err(e) => return Err(cite_err(e.to_string())),
+            }
+        };
+        self.say(format!("snapshot v{version} sha256:{digest}"));
+        Ok(())
+    }
+
+    /// `compact [<window>]`: checkpoint, then trim queryable history to
+    /// the newest `window` versions (0 when omitted: only the latest
+    /// stays queryable). In-window versions keep serving `@ version`
+    /// reads; older ones return the compacted-history error.
+    fn cmd_compact(&mut self, window: Option<u64>) -> Result<(), CmdError> {
+        if self.txn.is_some() {
+            return Err(cite_err(
+                "transaction open: run 'commit' (or 'rollback') before 'compact'",
+            ));
+        }
+        let window = window.unwrap_or(0);
+        let (floor, pruned) = self.shared.lock().compact_history(window)?;
+        self.say(format!(
+            "compacted to version {floor} ({pruned} anchor(s) pruned)"
+        ));
+        Ok(())
+    }
+
     /// `checkpoint`: snapshot the durable store and reset the WAL.
     /// Requires a durable backend (`serve --data-dir`) and no open
     /// transaction in this session.
@@ -1318,13 +1579,15 @@ impl Interpreter {
     /// plan cache's hit/miss counters and the cached service's view
     /// warmth, one `name value` pair per line.
     fn cmd_stats(&mut self) -> Result<(), CmdError> {
-        let (st, plans, views, wal, primary, peers) = {
+        let (st, plans, views, wal, base, retained, primary, peers) = {
             let sh = self.shared.lock();
             (
                 sh.stats,
                 sh.plans_strict.stats(),
                 sh.view_cache_stats().unwrap_or_default(),
                 sh.wal_records(),
+                sh.history_base_version(),
+                sh.checkpoints_retained(),
                 sh.primary_addr().map(str::to_string),
                 sh.replica_peers(),
             )
@@ -1339,6 +1602,8 @@ impl Interpreter {
         self.say(format!("view_materializations {}", views.materializations));
         self.say(format!("view_deltas_applied {}", views.deltas_applied));
         self.say(format!("wal_records {wal}"));
+        self.say(format!("history_base_version {base}"));
+        self.say(format!("checkpoints_retained {retained}"));
         self.say(format!("replicas_connected {}", st.replicas_connected));
         self.say(format!(
             "replica_records_shipped {}",

@@ -78,6 +78,13 @@ pub struct ServerConfig {
     /// it are turned away with `err proto server full…`. Ignored by the
     /// blocking transport (its cap is `workers`).
     pub max_connections: usize,
+    /// Auto-checkpoint after this many WAL records (`serve
+    /// --checkpoint-every <n>`). Requires `data_dir`; `None` disables.
+    pub checkpoint_every: Option<u64>,
+    /// How many superseded checkpoints to keep as time-travel anchors
+    /// (`serve --retain-checkpoints <n>`). Requires `data_dir`; 0 keeps
+    /// none (the historical behavior).
+    pub retain_checkpoints: usize,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +100,8 @@ impl Default for ServerConfig {
             follow: None,
             event_loop: false,
             max_connections: 8192,
+            checkpoint_every: None,
+            retain_checkpoints: 0,
         }
     }
 }
@@ -124,11 +133,12 @@ impl Server {
         let addr = listener.local_addr()?;
         let shared = match &config.data_dir {
             Some(dir) => Arc::new(Mutex::new(
-                SharedStore::open_durable(dir)
+                SharedStore::open_durable_with_retention(dir, config.retain_checkpoints)
                     .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
             )),
             None => SharedStore::new_shared(),
         };
+        shared.lock().set_checkpoint_every(config.checkpoint_every);
         let saver = match &config.plan_cache {
             Some(path) => {
                 match std::fs::read_to_string(path) {

@@ -345,6 +345,97 @@ fn follower_restart_resumes_from_local_wal_with_torn_tail() {
     let _ = std::fs::remove_dir_all(&fdir);
 }
 
+/// A follower that was offline while the primary committed AND ran
+/// `compact` comes back with a resume version below the primary's new
+/// history floor. The op log can no longer produce its missing records,
+/// so the primary must ship a fresh checkpoint frame (not wal frames)
+/// and the follower must re-bootstrap from it — and still converge to
+/// byte-identical cite output with a verifiable digest.
+#[test]
+fn follower_rebootstraps_after_live_compaction_on_primary() {
+    let pdir = temp_dir("compact-primary");
+    let fdir = temp_dir("compact-follower");
+    let primary = Server::spawn(ServerConfig {
+        data_dir: Some(pdir.clone()),
+        retain_checkpoints: 4,
+        ..Default::default()
+    })
+    .expect("bind primary");
+    let paddr = primary.local_addr().to_string();
+    let mut pconn = Connection::connect(&paddr).expect("connect primary");
+    run_setup(&mut pconn);
+    let expected = send_ok(&mut pconn, CITE);
+
+    let fconfig = || ServerConfig {
+        data_dir: Some(fdir.clone()),
+        follow: Some(paddr.clone()),
+        ..Default::default()
+    };
+    let follower = Server::spawn(fconfig()).expect("bind follower");
+    let mut fconn = Connection::connect(&follower.local_addr().to_string()).expect("connect");
+    wait_for_cite(&mut fconn, &expected);
+    drop(fconn);
+    follower.stop();
+    wait_for("primary to drop the dead feed", || {
+        send_ok(&mut pconn, "stats")
+            .iter()
+            .any(|l| l == "replicas_connected 0")
+            .then_some(())
+    });
+
+    // While the follower is away: new commits, then a live compaction
+    // with window 0 — only the latest version stays in the op log, so
+    // the follower's resume version (1) is now below the floor.
+    send_ok(&mut pconn, "insert Family(14, 'Ghrelin', 'G1')");
+    send_ok(&mut pconn, "insert FamilyIntro(14, '4th')");
+    send_ok(&mut pconn, "commit");
+    send_ok(&mut pconn, "insert FamilyIntro(13, '3rd')");
+    send_ok(&mut pconn, "commit");
+    let compacted = send_ok(&mut pconn, "compact");
+    assert!(
+        compacted[0].starts_with("compacted to version 3"),
+        "{compacted:?}"
+    );
+    let expected = send_ok(&mut pconn, CITE);
+    let shipped_before = shipped_total(&mut pconn);
+
+    let follower = Server::spawn(fconfig()).expect("rebind follower");
+    let mut fconn = Connection::connect(&follower.local_addr().to_string()).expect("reconnect");
+    wait_for_cite(&mut fconn, &expected);
+    let verify = send_ok(&mut fconn, "verify");
+    assert!(
+        verify.iter().any(|l| l.contains("fixity verified")),
+        "{verify:?}"
+    );
+    // The catch-up came as a checkpoint frame, which never counts as a
+    // shipped wal record: the follower re-bootstrapped instead of
+    // replaying the compacted-away history.
+    assert_eq!(
+        shipped_total(&mut pconn),
+        shipped_before,
+        "checkpoint bootstrap, not incremental wal replay"
+    );
+
+    // From here on, replication is incremental again.
+    send_ok(&mut pconn, "insert Family(15, 'Glucagon', 'G2')");
+    send_ok(&mut pconn, "insert FamilyIntro(15, '5th')");
+    send_ok(&mut pconn, "commit");
+    let expected = send_ok(&mut pconn, CITE);
+    wait_for_cite(&mut fconn, &expected);
+    assert_eq!(
+        shipped_total(&mut pconn) - shipped_before,
+        1,
+        "post-bootstrap commits ship incrementally"
+    );
+
+    drop(fconn);
+    drop(pconn);
+    follower.stop();
+    primary.stop();
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&fdir);
+}
+
 fn shipped_total(conn: &mut Connection) -> u64 {
     send_ok(conn, "stats")
         .iter()

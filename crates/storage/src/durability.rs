@@ -60,6 +60,10 @@ pub const MANIFEST_FILE: &str = "manifest";
 /// Name of the write-ahead log file inside a durable directory.
 pub const WAL_FILE: &str = "wal.log";
 
+/// Name of the directory (inside a durable directory) holding retained
+/// superseded checkpoints — the time-travel anchors.
+pub const ANCHORS_DIR: &str = "anchors";
+
 // ---------------------------------------------------------------------------
 // Errors
 // ---------------------------------------------------------------------------
@@ -552,6 +556,40 @@ pub trait DurableStore {
     /// Number of log records appended since the last checkpoint
     /// (including recovered ones).
     fn wal_records(&self) -> usize;
+
+    /// The oldest version reconstructable from this backend's retained
+    /// checkpoints (anchors plus the live one) — the floor of the
+    /// `@ version` range the durable state can serve. `None` when no
+    /// checkpoint was ever written.
+    fn history_floor(&self) -> Option<u64> {
+        None
+    }
+
+    /// How many checkpoints the backend currently retains (the live one
+    /// plus any superseded anchors kept by the retention policy).
+    fn checkpoints_retained(&self) -> usize {
+        0
+    }
+
+    /// The nearest retained checkpoint at or below `version`, plus the
+    /// logged records needed to roll it forward to exactly `version`
+    /// (records with `checkpoint.version < v <= version`, in commit
+    /// order). `Ok(None)` when no retained checkpoint covers `version`
+    /// — the caller reports the history as compacted.
+    fn checkpoint_at(
+        &self,
+        _version: u64,
+    ) -> Result<Option<(CheckpointData, Vec<WalRecord>)>, DurabilityError> {
+        Ok(None)
+    }
+
+    /// Drops retained anchors no longer needed to serve versions at or
+    /// above `floor` (the greatest anchor at or below `floor` is kept —
+    /// it is the replay base for `floor` itself). Returns how many
+    /// anchors were pruned.
+    fn prune_history(&mut self, _floor: u64) -> Result<usize, DurabilityError> {
+        Ok(0)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -860,12 +898,33 @@ pub struct FileStore {
     dir: PathBuf,
     wal: Wal,
     recovery: Option<Recovery>,
+    /// How many superseded checkpoints to keep as time-travel anchors.
+    retain_anchors: usize,
+    /// Version of the live checkpoint (the manifest), if one exists.
+    ckpt_version: Option<u64>,
+    /// Versions of retained anchors, ascending.
+    anchors: Vec<u64>,
 }
 
 impl FileStore {
     /// Opens (creating if needed) the durable directory, verifying the
-    /// format version and section digests and replaying the WAL.
+    /// format version and section digests and replaying the WAL. No
+    /// superseded checkpoints are retained; see
+    /// [`open_with_retention`](Self::open_with_retention).
     pub fn open(dir: impl Into<PathBuf>) -> Result<FileStore, DurabilityError> {
+        Self::open_with_retention(dir, 0)
+    }
+
+    /// [`open`](Self::open) with a retention policy: each checkpoint
+    /// archives the one it supersedes (manifest, sections, and the WAL
+    /// segment it covered) under `anchors/<version>/`, keeping the
+    /// newest `retain` anchors as time-travel replay bases. Anchors
+    /// already on disk are available regardless of `retain` — the
+    /// policy bounds future growth, it does not trim on open.
+    pub fn open_with_retention(
+        dir: impl Into<PathBuf>,
+        retain: usize,
+    ) -> Result<FileStore, DurabilityError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir).map_err(io_err(&dir))?;
         let checkpoint = Self::read_manifest(&dir)?;
@@ -875,6 +934,8 @@ impl FileStore {
         // reset); drop them from the replay.
         let floor = checkpoint.as_ref().map(|c| c.version).unwrap_or(0);
         let wal_records = records.into_iter().filter(|r| r.version > floor).collect();
+        let ckpt_version = checkpoint.as_ref().map(|c| c.version);
+        let anchors = Self::list_anchors(&dir)?;
         Ok(FileStore {
             dir,
             wal,
@@ -883,12 +944,75 @@ impl FileStore {
                 wal: wal_records,
                 wal_truncated: truncated,
             }),
+            retain_anchors: retain,
+            ckpt_version,
+            anchors,
         })
     }
 
     /// The directory this store persists into.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Anchor versions currently on disk, ascending.
+    fn list_anchors(dir: &Path) -> Result<Vec<u64>, DurabilityError> {
+        let root = dir.join(ANCHORS_DIR);
+        let entries = match std::fs::read_dir(&root) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(io_err(&root)(e)),
+        };
+        let mut versions = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(io_err(&root))?;
+            if let Some(v) = entry.file_name().to_str().and_then(|n| n.parse().ok()) {
+                // A half-written anchor (crash mid-archive) has no
+                // manifest yet; it is unreadable, so don't offer it.
+                if entry.path().join(MANIFEST_FILE).exists() {
+                    versions.push(v);
+                }
+            }
+        }
+        versions.sort_unstable();
+        Ok(versions)
+    }
+
+    /// Archives the live checkpoint (manifest + sections) and the WAL
+    /// segment it anchors — the records between its version and the
+    /// superseding checkpoint's — under `anchors/<version>/`. Called
+    /// before the superseding checkpoint overwrites either.
+    fn archive_anchor(&mut self, old: &CheckpointData) -> Result<(), DurabilityError> {
+        let adir = self.dir.join(ANCHORS_DIR).join(old.version.to_string());
+        std::fs::create_dir_all(&adir).map_err(io_err(&adir))?;
+        let mut manifest = format!(
+            "citesys-durable v{FORMAT_VERSION}\nversion {}\n",
+            old.version
+        );
+        for (name, payload) in &old.sections {
+            let file = format!("{name}.section");
+            write_atomic_in(&adir, &file, payload)?;
+            manifest.push_str(&format!(
+                "section {name} {file} {}\n",
+                sha256(payload.as_bytes()).to_hex()
+            ));
+        }
+        // The live WAL currently holds exactly the records this anchor
+        // needs to roll forward: everything committed after `old`.
+        let wal_text = std::fs::read_to_string(self.wal.path()).map_err(io_err(self.wal.path()))?;
+        write_atomic_in(&adir, WAL_FILE, &wal_text)?;
+        // Manifest last: its presence marks the anchor complete.
+        write_atomic_in(&adir, MANIFEST_FILE, &manifest)?;
+        self.anchors.push(old.version);
+        self.anchors.sort_unstable();
+        Ok(())
+    }
+
+    fn remove_anchor(&mut self, version: u64) -> Result<(), DurabilityError> {
+        let adir = self.dir.join(ANCHORS_DIR).join(version.to_string());
+        std::fs::remove_dir_all(&adir).map_err(io_err(&adir))?;
+        self.anchors.retain(|&v| v != version);
+        Ok(())
     }
 
     fn read_manifest(dir: &Path) -> Result<Option<CheckpointData>, DurabilityError> {
@@ -950,19 +1074,61 @@ impl FileStore {
     }
 
     fn write_atomic(&self, name: &str, content: &str) -> Result<(), DurabilityError> {
-        let tmp = self.dir.join(format!("{name}.tmp"));
-        let path = self.dir.join(name);
-        let mut f = File::create(&tmp).map_err(io_err(&tmp))?;
-        f.write_all(content.as_bytes()).map_err(io_err(&tmp))?;
-        f.sync_data().map_err(io_err(&tmp))?;
-        std::fs::rename(&tmp, &path).map_err(io_err(&path))?;
-        // The rename itself is a directory-entry update: without a
-        // directory fsync, a power cut after checkpoint() returns could
-        // surface the OLD manifest next to an already-reset WAL —
-        // losing acked commits. Sync the directory to order the rename
-        // before anything that follows it.
-        sync_parent_dir(&path)
+        write_atomic_in(&self.dir, name, content)
     }
+}
+
+/// Reads just the `version` line of a durable directory's manifest —
+/// the cheap "how much history did checkpoints fold away?" probe used
+/// by `citesys wal dump --since` to refuse a compacted floor without
+/// loading (or digest-verifying) any section. `Ok(None)` when no
+/// checkpoint was ever written.
+pub fn manifest_version(dir: &Path) -> Result<Option<u64>, DurabilityError> {
+    let path = dir.join(MANIFEST_FILE);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(io_err(&path)(e)),
+    };
+    let mut lines = text.lines().map(trim_cr);
+    match lines.next() {
+        Some(l) if l == format!("citesys-durable v{FORMAT_VERSION}") => {}
+        Some(l) if l.starts_with("citesys-durable v") => {
+            let found: u32 = l
+                .trim_start_matches("citesys-durable v")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return Err(DurabilityError::FormatVersion {
+                found,
+                supported: FORMAT_VERSION,
+            });
+        }
+        other => return Err(corrupt(&path, format!("bad manifest header: {other:?}"))),
+    }
+    let version = lines
+        .next()
+        .and_then(|l| l.strip_prefix("version "))
+        .ok_or_else(|| corrupt(&path, "missing version line"))?
+        .trim()
+        .parse()
+        .map_err(|_| corrupt(&path, "bad version number"))?;
+    Ok(Some(version))
+}
+
+/// Writes `dir/name` atomically: temp file, fsync, rename, directory
+/// fsync. The directory fsync matters — the rename itself is a
+/// directory-entry update: without it, a power cut after `checkpoint()`
+/// returns could surface the OLD manifest next to an already-reset WAL,
+/// losing acked commits.
+fn write_atomic_in(dir: &Path, name: &str, content: &str) -> Result<(), DurabilityError> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    let path = dir.join(name);
+    let mut f = File::create(&tmp).map_err(io_err(&tmp))?;
+    f.write_all(content.as_bytes()).map_err(io_err(&tmp))?;
+    f.sync_data().map_err(io_err(&tmp))?;
+    std::fs::rename(&tmp, &path).map_err(io_err(&path))?;
+    sync_parent_dir(&path)
 }
 
 impl DurableStore for FileStore {
@@ -971,6 +1137,17 @@ impl DurableStore for FileStore {
     }
 
     fn checkpoint(&mut self, data: &CheckpointData) -> Result<(), DurabilityError> {
+        // Retention: archive the checkpoint this one supersedes (and
+        // the WAL segment anchored to it) before anything is
+        // overwritten, then bound the anchor count.
+        if self.retain_anchors > 0 && self.ckpt_version.is_some_and(|v| v < data.version) {
+            if let Some(old) = Self::read_manifest(&self.dir)? {
+                self.archive_anchor(&old)?;
+                while self.anchors.len() > self.retain_anchors {
+                    self.remove_anchor(self.anchors[0])?;
+                }
+            }
+        }
         // Sections first, manifest last: a crash mid-checkpoint leaves
         // the old manifest pointing at the old (still intact) sections.
         let mut manifest = format!(
@@ -986,6 +1163,7 @@ impl DurableStore for FileStore {
             ));
         }
         self.write_atomic(MANIFEST_FILE, &manifest)?;
+        self.ckpt_version = Some(data.version);
         // Only after the manifest is durable: the WAL records it
         // supersedes can go. (A crash before this reset is handled at
         // open by dropping records at or below the manifest version.)
@@ -998,6 +1176,70 @@ impl DurableStore for FileStore {
 
     fn wal_records(&self) -> usize {
         self.wal.records()
+    }
+
+    fn history_floor(&self) -> Option<u64> {
+        self.anchors.first().copied().or(self.ckpt_version)
+    }
+
+    fn checkpoints_retained(&self) -> usize {
+        self.anchors.len() + usize::from(self.ckpt_version.is_some())
+    }
+
+    fn checkpoint_at(
+        &self,
+        version: u64,
+    ) -> Result<Option<(CheckpointData, Vec<WalRecord>)>, DurabilityError> {
+        // The nearest retained replay base at or below `version`: the
+        // live checkpoint if it qualifies (it is always newer than any
+        // anchor), else the greatest qualifying anchor.
+        if self.ckpt_version.is_some_and(|v| v <= version) {
+            let Some(ckpt) = Self::read_manifest(&self.dir)? else {
+                return Ok(None);
+            };
+            let (records, _) = Wal::read(self.wal.path())?;
+            let tail = records
+                .into_iter()
+                .filter(|r| r.version > ckpt.version && r.version <= version)
+                .collect();
+            return Ok(Some((ckpt, tail)));
+        }
+        let Some(&base) = self.anchors.iter().rev().find(|&&v| v <= version) else {
+            return Ok(None);
+        };
+        let adir = self.dir.join(ANCHORS_DIR).join(base.to_string());
+        let Some(ckpt) = Self::read_manifest(&adir)? else {
+            return Ok(None);
+        };
+        let (records, _) = Wal::read(adir.join(WAL_FILE))?;
+        let tail = records
+            .into_iter()
+            .filter(|r| r.version > base && r.version <= version)
+            .collect();
+        Ok(Some((ckpt, tail)))
+    }
+
+    fn prune_history(&mut self, floor: u64) -> Result<usize, DurabilityError> {
+        // Keep the greatest anchor at or below `floor` (the replay base
+        // for `floor` itself) and everything newer.
+        let keep_from = self
+            .anchors
+            .iter()
+            .rev()
+            .find(|&&v| v <= floor)
+            .copied()
+            .unwrap_or(0);
+        let doomed: Vec<u64> = self
+            .anchors
+            .iter()
+            .filter(|&&v| v < keep_from)
+            .copied()
+            .collect();
+        let pruned = doomed.len();
+        for v in doomed {
+            self.remove_anchor(v)?;
+        }
+        Ok(pruned)
     }
 }
 
@@ -1070,6 +1312,33 @@ impl DurableStore for MemStore {
 
     fn wal_records(&self) -> usize {
         self.inner.lock().wal.len()
+    }
+
+    fn history_floor(&self) -> Option<u64> {
+        self.inner.lock().checkpoint.as_ref().map(|c| c.version)
+    }
+
+    fn checkpoints_retained(&self) -> usize {
+        usize::from(self.inner.lock().checkpoint.is_some())
+    }
+
+    fn checkpoint_at(
+        &self,
+        version: u64,
+    ) -> Result<Option<(CheckpointData, Vec<WalRecord>)>, DurabilityError> {
+        let inner = self.inner.lock();
+        match &inner.checkpoint {
+            Some(c) if c.version <= version => {
+                let tail = inner
+                    .wal
+                    .iter()
+                    .filter(|r| r.version > c.version && r.version <= version)
+                    .cloned()
+                    .collect();
+                Ok(Some((c.clone(), tail)))
+            }
+            _ => Ok(None),
+        }
     }
 }
 
@@ -1482,6 +1751,113 @@ mod tests {
             vec![3],
             "records ≤ checkpoint version dropped"
         );
+    }
+
+    /// Drives a retention-enabled store through `n` single-op commits
+    /// with a checkpoint every `every` commits; the checkpoint sections
+    /// are tiny database texts so anchors can be read back.
+    fn storm(store: &mut FileStore, n: u64, every: u64) {
+        for v in 1..=n {
+            let mut c = Changeset::new();
+            c.insert("Family", tuple![v as i64, format!("f{v}")]);
+            store.log_changeset(v, &c).unwrap();
+            if v % every == 0 {
+                store
+                    .checkpoint(&CheckpointData {
+                        version: v,
+                        sections: vec![("database".into(), format!("state at v{v}\n"))],
+                    })
+                    .unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn retention_archives_superseded_checkpoints_as_anchors() {
+        let dir = temp_dir("file-store-anchors");
+        let mut store = FileStore::open_with_retention(&dir, 2).unwrap();
+        assert_eq!(store.history_floor(), None);
+        assert_eq!(store.checkpoints_retained(), 0);
+        storm(&mut store, 12, 3); // checkpoints at 3, 6, 9, 12
+                                  // Retention 2: anchors 6 and 9 retained, 3 pruned; live is 12.
+        assert_eq!(store.checkpoints_retained(), 3);
+        assert_eq!(store.history_floor(), Some(6));
+        // checkpoint_at picks the nearest base and the exact record tail.
+        let (base, tail) = store.checkpoint_at(8).unwrap().expect("anchored");
+        assert_eq!(base.version, 6);
+        assert_eq!(base.section("database"), Some("state at v6\n"));
+        assert_eq!(tail.iter().map(|r| r.version).collect::<Vec<_>>(), [7, 8]);
+        // A version at an anchor needs no tail.
+        let (base, tail) = store.checkpoint_at(9).unwrap().expect("anchored");
+        assert_eq!((base.version, tail.len()), (9, 0));
+        // At or above the live checkpoint: the live manifest + live WAL.
+        let (base, tail) = store.checkpoint_at(12).unwrap().expect("live");
+        assert_eq!((base.version, tail.len()), (12, 0));
+        // Below the oldest anchor: compacted.
+        assert!(store.checkpoint_at(5).unwrap().is_none());
+        // Reopen sees the same anchors (they live on disk).
+        drop(store);
+        let store = FileStore::open_with_retention(&dir, 2).unwrap();
+        assert_eq!(store.history_floor(), Some(6));
+        assert_eq!(store.checkpoints_retained(), 3);
+    }
+
+    #[test]
+    fn checkpoint_at_covers_the_live_wal_tail() {
+        let dir = temp_dir("file-store-live-tail");
+        let mut store = FileStore::open_with_retention(&dir, 4).unwrap();
+        storm(&mut store, 5, 3); // checkpoint at 3; records 4, 5 live
+        let (base, tail) = store.checkpoint_at(4).unwrap().expect("live base");
+        assert_eq!(base.version, 3);
+        assert_eq!(tail.iter().map(|r| r.version).collect::<Vec<_>>(), [4]);
+    }
+
+    #[test]
+    fn prune_history_keeps_the_replay_base_for_the_floor() {
+        let dir = temp_dir("file-store-prune");
+        let mut store = FileStore::open_with_retention(&dir, 10).unwrap();
+        storm(&mut store, 12, 3); // anchors 3, 6, 9; live 12
+        assert_eq!(store.history_floor(), Some(3));
+        // Floor 8: anchor 6 is the replay base for v8 and must survive;
+        // only 3 goes.
+        assert_eq!(store.prune_history(8).unwrap(), 1);
+        assert_eq!(store.history_floor(), Some(6));
+        assert!(store.checkpoint_at(7).unwrap().is_some());
+        assert!(store.checkpoint_at(5).unwrap().is_none());
+        // Pruning is idempotent.
+        assert_eq!(store.prune_history(8).unwrap(), 0);
+        // A floor below every anchor prunes nothing.
+        assert_eq!(store.prune_history(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn zero_retention_keeps_no_anchors() {
+        let dir = temp_dir("file-store-no-anchors");
+        let mut store = FileStore::open(&dir).unwrap();
+        storm(&mut store, 6, 3);
+        assert_eq!(store.checkpoints_retained(), 1, "live checkpoint only");
+        assert_eq!(store.history_floor(), Some(6));
+        assert!(store.checkpoint_at(4).unwrap().is_none());
+        assert!(!dir.join(ANCHORS_DIR).exists());
+    }
+
+    #[test]
+    fn manifest_version_probe() {
+        let dir = temp_dir("manifest-version");
+        assert_eq!(manifest_version(&dir).unwrap(), None);
+        let mut store = FileStore::open(&dir).unwrap();
+        store
+            .checkpoint(&CheckpointData {
+                version: 7,
+                sections: vec![],
+            })
+            .unwrap();
+        assert_eq!(manifest_version(&dir).unwrap(), Some(7));
+        std::fs::write(dir.join(MANIFEST_FILE), "citesys-durable v99\nversion 0\n").unwrap();
+        assert!(matches!(
+            manifest_version(&dir).unwrap_err(),
+            DurabilityError::FormatVersion { found: 99, .. }
+        ));
     }
 
     #[test]

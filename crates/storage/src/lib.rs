@@ -52,8 +52,8 @@ pub use csv::{from_csv, load_csv, to_csv};
 pub use database::{Database, SharedDatabase};
 pub use delta::{Changeset, NetChanges};
 pub use durability::{
-    CheckpointData, DurabilityError, DurableStore, FileStore, MemStore, Recovery, Wal, WalRecord,
-    FORMAT_VERSION,
+    manifest_version, CheckpointData, DurabilityError, DurableStore, FileStore, MemStore, Recovery,
+    Wal, WalRecord, ANCHORS_DIR, FORMAT_VERSION,
 };
 pub use error::StorageError;
 pub use eval::{evaluate, explain, AnswerRow, Binding, PlanStep, QueryAnswer};

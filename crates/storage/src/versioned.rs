@@ -275,6 +275,28 @@ impl VersionedDatabase {
         Some(&self.log[(version - self.base_version - 1) as usize])
     }
 
+    /// Compacts in-memory history up to `floor`: the state at `floor`
+    /// becomes the new base version, the op-log entries it subsumes are
+    /// dropped, and snapshots of versions before `floor` fail with
+    /// [`StorageError::CompactedVersion`] from then on. `floor` is
+    /// clamped to the latest committed version; a floor at or below the
+    /// current base is a no-op. Pending (uncommitted) operations are
+    /// untouched. Returns the new base version.
+    pub fn compact_to(&mut self, floor: u64) -> Result<u64, StorageError> {
+        let floor = floor.min(self.latest_version());
+        if floor <= self.base_version {
+            return Ok(self.base_version);
+        }
+        let base = (*self.snapshot(floor)?).clone();
+        let drop = (floor - self.base_version) as usize;
+        self.log.drain(..drop);
+        self.base_version = floor;
+        let mut cache = self.snapshot_cache.lock();
+        *cache = cache.split_off(&floor);
+        cache.insert(floor, Arc::new(base));
+        Ok(floor)
+    }
+
     /// The schemas this store was created with.
     pub fn schemas(&self) -> &[RelationSchema] {
         &self.schemas
@@ -448,6 +470,54 @@ mod tests {
         assert_eq!(restored.ops_in(3), Some(1));
         assert_eq!(restored.snapshot(3).unwrap().total_tuples(), 3);
         assert_eq!(restored.snapshot(2).unwrap().total_tuples(), 2);
+    }
+
+    #[test]
+    fn compact_to_trims_history_and_preserves_the_window() {
+        let mut v = VersionedDatabase::new(schemas()).unwrap();
+        for i in 0..10 {
+            v.insert("Family", tuple![i, format!("F{i}")]).unwrap();
+            v.commit();
+        }
+        let d7 = v.digest_at(7).unwrap();
+        let d10 = v.digest_at(10).unwrap();
+        assert_eq!(v.compact_to(7).unwrap(), 7);
+        assert_eq!(v.base_version(), 7);
+        assert_eq!(v.latest_version(), 10);
+        // Window [7, 10] still serves, byte-identical digests.
+        assert_eq!(v.digest_at(7).unwrap(), d7);
+        assert_eq!(v.digest_at(10).unwrap(), d10);
+        assert_eq!(v.snapshot(8).unwrap().total_tuples(), 8);
+        // Pre-floor history is a compaction error, not silently wrong.
+        assert!(matches!(
+            v.snapshot(6),
+            Err(StorageError::CompactedVersion {
+                version: 6,
+                oldest: 7
+            })
+        ));
+        assert_eq!(v.ops_in(7), None, "the new base seals no op list");
+        assert_eq!(v.ops_in(8), Some(1));
+        // Floors at/below base and above latest are clamped no-ops.
+        assert_eq!(v.compact_to(3).unwrap(), 7);
+        assert_eq!(v.compact_to(99).unwrap(), 10);
+        assert_eq!(v.latest_version(), 10);
+        // The version line continues.
+        v.insert("Family", tuple![100, "New"]).unwrap();
+        assert_eq!(v.commit(), 11);
+        assert_eq!(v.snapshot(11).unwrap().total_tuples(), 11);
+    }
+
+    #[test]
+    fn compact_to_keeps_pending_ops() {
+        let mut v = VersionedDatabase::new(schemas()).unwrap();
+        v.insert("Family", tuple![1, "A"]).unwrap();
+        v.commit();
+        v.insert("Family", tuple![2, "B"]).unwrap(); // pending
+        v.compact_to(1).unwrap();
+        assert!(v.has_pending());
+        assert_eq!(v.commit(), 2);
+        assert_eq!(v.snapshot(2).unwrap().total_tuples(), 2);
     }
 
     #[test]

@@ -122,6 +122,32 @@ grep -q -- '--event-loop' README.md \
 grep -q 'client --pipeline' README.md \
     || { echo "README.md must show the pipelined client mode"; fail=1; }
 
+# Content contract for time travel & history lifecycle: the
+# architecture doc must document the anchor/retention/compaction
+# story and the @ version semantics, the quickstart must show
+# `cite … @ <version>` with the lifecycle flags, and the migration
+# guide must record the compacted-history error surface.
+grep -q '## Time travel & history lifecycle' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must have a 'Time travel & history lifecycle' section"; fail=1; }
+grep -q 'anchors/' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must document the anchors/ layout"; fail=1; }
+grep -q 'history_base_version' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must document the history_base_version counter"; fail=1; }
+grep -q 'CompactedVersion' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must document the CompactedVersion error"; fail=1; }
+grep -q '@ <version>\|@ .version' README.md \
+    || { echo "README.md must quickstart 'cite … @ <version>'"; fail=1; }
+grep -q -- '--checkpoint-every' README.md \
+    || { echo "README.md must show serve --checkpoint-every"; fail=1; }
+grep -q -- '--retain-checkpoints' README.md \
+    || { echo "README.md must show serve --retain-checkpoints"; fail=1; }
+grep -q 'history_base_version' README.md \
+    || { echo "README.md must mention the history_base_version observable"; fail=1; }
+grep -q 'CompactedVersion\|compacted by a checkpoint' MIGRATION.md \
+    || { echo "MIGRATION.md must record the compacted-history error"; fail=1; }
+grep -q -- '--retain-checkpoints' MIGRATION.md \
+    || { echo "MIGRATION.md must cover the --retain-checkpoints behaviour change"; fail=1; }
+
 if [ "$fail" -eq 0 ]; then
     echo "doc links ok (${docs[*]})"
 fi

@@ -9,7 +9,9 @@
 //! $ citesys client 127.0.0.1:4242 script.cts
 //! $ citesys checkpoint ./data               # fold the WAL into a fresh checkpoint
 //! $ citesys recover ./data                  # report what a restart would recover
+//! $ citesys compact ./data --keep 16        # trim time-travel history to a window
 //! $ citesys wal dump ./data                 # print the WAL's changesets
+//! $ citesys wal compact ./data --keep 16    # alias for 'compact'
 //! $ citesys plans export session.cts plans.txt
 //! $ citesys plans import plans.txt
 //! ```
@@ -18,7 +20,8 @@
 //! [`citesys::net`] for the wire protocol.
 //!
 //! Exit codes: `0` success (including `--help`), `1` I/O error, `2` usage
-//! error, `3` script parse error, `4` citation/runtime error.
+//! error, `3` script parse error, `4` citation/runtime error, `5` the
+//! requested history was compacted away.
 
 use std::io::{BufRead, Read, Write};
 use std::time::Duration;
@@ -36,15 +39,20 @@ const EXIT_IO: i32 = 1;
 const EXIT_USAGE: i32 = 2;
 const EXIT_PARSE: i32 = 3;
 const EXIT_CITE: i32 = 4;
+/// The requested versions were compacted into a checkpoint and are no
+/// longer individually reconstructable (distinct from a plain I/O error
+/// so scripts can tell "gone by policy" from "broken").
+const EXIT_COMPACTED: i32 = 5;
 
 fn usage() -> String {
-    "usage: citesys <script-file | - | serve | client | checkpoint | recover | wal | plans>\n\n\
+    "usage: citesys <script-file | - | serve | client | checkpoint | recover | compact | wal | plans>\n\n\
      modes:\n  \
      <script-file>  run a script file\n  \
      -              read a whole script from stdin\n  \
      serve [--data-dir <path>] [--plan-cache <path>] [--listen <addr>]\n        \
      [--follow <addr>] [--workers <n>] [--idle-timeout <secs>] [--commit-window-ms <ms>]\n        \
-     [--event-loop] [--max-connections <n>]\n                 \
+     [--event-loop] [--max-connections <n>]\n        \
+     [--checkpoint-every <records>] [--retain-checkpoints <n>]\n                 \
      interactive: execute each stdin line as it arrives,\n                 \
      reusing one citation service (warm plan cache) per session.\n                 \
      --data-dir makes the store durable: the newest checkpoint is\n                 \
@@ -69,7 +77,11 @@ fn usage() -> String {
      through an epoll readiness loop, and clients may pipeline\n                 \
      commands (optionally tagged '@t cmd', tag echoed in the\n                 \
      response frame); --max-connections caps held sockets (over it,\n                 \
-     connections are refused with 'err proto server full')\n  \
+     connections are refused with 'err proto server full')\n                 \
+     --checkpoint-every writes a checkpoint automatically once the WAL\n                 \
+     holds that many records; --retain-checkpoints keeps the newest <n>\n                 \
+     superseded checkpoints as time-travel anchors so 'cite … @ <version>'\n                 \
+     reaches back past checkpoints (both require --data-dir)\n  \
      client [--pipeline] <addr> [script-file]\n                 \
      run a script (or stdin) against a serve --listen server and\n                 \
      print the responses; --pipeline sends every line up front\n                 \
@@ -81,9 +93,16 @@ fn usage() -> String {
      recover <data-dir>\n                 \
      recover the directory and report what came back (version,\n                 \
      tables, views, plans, replayed log records) without serving\n  \
+     compact <data-dir> [--keep <versions>]\n                 \
+     fold the WAL into a fresh checkpoint and prune time-travel\n                 \
+     anchors below the newest <versions> versions (default 0: only\n                 \
+     the latest version stays reconstructable)\n  \
      wal dump <data-dir> [--since <version>]\n                 \
      print the write-ahead log's records as changeset text\n                 \
-     (--since skips records at or below <version>)\n  \
+     (--since skips records at or below <version>; asking below the\n                 \
+     last checkpoint exits 5 and names the oldest retained version)\n  \
+     wal compact <data-dir> [--keep <versions>]\n                 \
+     alias for 'compact'\n  \
      plans export <script-file> <plans-file>\n                 \
      run a script (its cites populate the plan cache), then write\n                 \
      the cache to <plans-file>\n  \
@@ -96,14 +115,20 @@ fn usage() -> String {
      begin          open a transaction: insert/delete lines buffer until\n                 \
      commit applies them atomically as one changeset (rollback discards)\n  \
      commit\n  \
-     cite <query> [| format text|bibtex|ris|xml|json|csl] [| mode formal|pruned] [| policy minsize|union|first] [| partial]\n  \
+     cite <query> [@ <version>] [| format text|bibtex|ris|xml|json|csl] [| mode formal|pruned] [| policy minsize|union|first] [| partial]\n                 \
+     '@ <version>' cites against the committed snapshot at that\n                 \
+     version (time travel); the citation is stamped with it\n  \
      verify / tables / dump Name / load Name from '<path>' / trace\n  \
-     stats          commit/swap/group-window, plan/view-cache and WAL counters\n  \
+     stats          commit/swap/group-window, plan/view-cache, WAL and\n                 \
+     history counters (history_base_version, checkpoints_retained)\n  \
      checkpoint     snapshot the durable store and reset the WAL (--data-dir)\n  \
+     snapshot [@ <version>]   print the sha256 fixity digest of a version\n  \
+     compact [<window>]       trim history to the newest <window> versions\n  \
      quit / shutdown (interactive and network sessions)\n\n\
      plan files pin the registry they were exported under: pair a plan\n\
      file with the script that registers the same views\n\n\
-     exit codes: 0 ok, 1 i/o error, 2 usage, 3 script parse error, 4 citation error"
+     exit codes: 0 ok, 1 i/o error, 2 usage, 3 script parse error, 4 citation error,\n\
+     5 requested history was compacted away"
         .to_string()
 }
 
@@ -125,6 +150,8 @@ struct ServeOpts {
     commit_window_ms: Option<u64>,
     event_loop: bool,
     max_connections: Option<usize>,
+    checkpoint_every: Option<u64>,
+    retain_checkpoints: Option<usize>,
 }
 
 fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, String> {
@@ -138,6 +165,8 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, String> {
         commit_window_ms: None,
         event_loop: false,
         max_connections: None,
+        checkpoint_every: None,
+        retain_checkpoints: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -173,6 +202,22 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, String> {
                 )
             }
             "--event-loop" => opts.event_loop = true,
+            "--checkpoint-every" => {
+                let every: u64 = take("--checkpoint-every")?
+                    .parse()
+                    .map_err(|_| "--checkpoint-every needs a record count".to_string())?;
+                if every == 0 {
+                    return Err("--checkpoint-every must be at least 1".into());
+                }
+                opts.checkpoint_every = Some(every);
+            }
+            "--retain-checkpoints" => {
+                opts.retain_checkpoints = Some(
+                    take("--retain-checkpoints")?
+                        .parse()
+                        .map_err(|_| "--retain-checkpoints needs a number".to_string())?,
+                )
+            }
             "--max-connections" => {
                 opts.max_connections = Some(
                     take("--max-connections")?
@@ -206,6 +251,19 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, String> {
                     by --workers)"
                 .into(),
         );
+    }
+    // Checkpoint cadence and anchor retention are durability knobs:
+    // without a data dir there is no WAL to measure or checkpoint to
+    // archive, so accepting them would silently do nothing.
+    if opts.data_dir.is_none() {
+        for (flag, set) in [
+            ("--checkpoint-every", opts.checkpoint_every.is_some()),
+            ("--retain-checkpoints", opts.retain_checkpoints.is_some()),
+        ] {
+            if set {
+                return Err(format!("{flag} requires --data-dir <path>"));
+            }
+        }
     }
     // A follower serves reads over TCP and must be able to resume from
     // its own WAL after a restart, so both --listen and --data-dir are
@@ -264,6 +322,10 @@ fn serve_tcp(opts: &ServeOpts) -> i32 {
     if let Some(n) = opts.max_connections {
         config.max_connections = n;
     }
+    config.checkpoint_every = opts.checkpoint_every;
+    if let Some(n) = opts.retain_checkpoints {
+        config.retain_checkpoints = n;
+    }
     let max_connections = config.max_connections;
     let server = match Server::spawn(config) {
         Ok(s) => s,
@@ -294,18 +356,25 @@ fn serve_tcp(opts: &ServeOpts) -> i32 {
 /// saved rewrite plans are staged for import and the file is re-saved
 /// **after every change** — an interrupted session (SIGINT, killed
 /// terminal) keeps its warm cache on disk.
-fn serve_stdin(plan_cache: Option<&str>, data_dir: Option<&str>) -> i32 {
+fn serve_stdin(opts: &ServeOpts) -> i32 {
+    let (plan_cache, data_dir) = (opts.plan_cache.as_deref(), opts.data_dir.as_deref());
     let stdin = std::io::stdin();
     let interactive = std::env::var_os("CITESYS_SERVE_SILENT").is_none();
     let mut interp = match data_dir {
-        Some(dir) => match SharedStore::open_durable_shared(dir) {
+        Some(dir) => match SharedStore::open_durable_shared_with_retention(
+            dir,
+            opts.retain_checkpoints.unwrap_or(0),
+        ) {
             Ok(shared) => {
-                if interactive {
-                    let sh = shared.lock();
-                    eprintln!(
-                        "durable store at {dir}: {} wal record(s) pending",
-                        sh.wal_records()
-                    );
+                {
+                    let mut sh = shared.lock();
+                    sh.set_checkpoint_every(opts.checkpoint_every);
+                    if interactive {
+                        eprintln!(
+                            "durable store at {dir}: {} wal record(s) pending",
+                            sh.wal_records()
+                        );
+                    }
                 }
                 Interpreter::with_store(shared)
             }
@@ -516,36 +585,92 @@ fn recover_cmd(args: &[String]) -> i32 {
     }
 }
 
+/// `wal <dump|compact> <data-dir> …`: inspect or trim the write-ahead
+/// log.
+fn wal_cmd(args: &[String]) -> i32 {
+    const WAL_USAGE: &str = "usage: citesys wal dump <data-dir> [--since <version>]\n       \
+         citesys wal compact <data-dir> [--keep <versions>]";
+    match args.first().map(String::as_str) {
+        Some("dump") => wal_dump(&args[1..]),
+        // `wal compact` is the discoverable spelling; the work — fold
+        // the WAL, prune anchors — is exactly `citesys compact`.
+        Some("compact") => compact_cmd(&args[1..]),
+        _ => {
+            eprintln!("{WAL_USAGE}");
+            EXIT_USAGE
+        }
+    }
+}
+
+/// The oldest version still reconstructable from `dir`: the oldest
+/// retained time-travel anchor when any exist, else the live
+/// checkpoint's version.
+fn oldest_retained_version(dir: &std::path::Path, checkpoint: u64) -> u64 {
+    let mut oldest = checkpoint;
+    if let Ok(entries) = std::fs::read_dir(dir.join(citesys_storage::ANCHORS_DIR)) {
+        for entry in entries.flatten() {
+            if let Some(v) = entry
+                .file_name()
+                .to_str()
+                .and_then(|name| name.parse::<u64>().ok())
+            {
+                oldest = oldest.min(v);
+            }
+        }
+    }
+    oldest
+}
+
 /// `wal dump <data-dir> [--since <version>]`: print the write-ahead log
 /// as changeset text, optionally only the records after a version.
-fn wal_cmd(args: &[String]) -> i32 {
-    const WAL_USAGE: &str = "usage: citesys wal dump <data-dir> [--since <version>]";
-    let (Some(sub), Some(dir)) = (args.first(), args.get(1)) else {
-        eprintln!("{WAL_USAGE}");
+fn wal_dump(args: &[String]) -> i32 {
+    const DUMP_USAGE: &str = "usage: citesys wal dump <data-dir> [--since <version>]";
+    let Some(dir) = args.first() else {
+        eprintln!("{DUMP_USAGE}");
         return EXIT_USAGE;
     };
-    let since = match &args[2..] {
-        [] => 0,
+    let since = match &args[1..] {
+        [] => None,
         [flag, v] if flag == "--since" => match v.parse::<u64>() {
-            Ok(v) => v,
+            Ok(v) => Some(v),
             Err(_) => {
-                eprintln!("--since needs a version number\n{WAL_USAGE}");
+                eprintln!("--since needs a version number\n{DUMP_USAGE}");
                 return EXIT_USAGE;
             }
         },
         _ => {
-            eprintln!("{WAL_USAGE}");
+            eprintln!("{DUMP_USAGE}");
             return EXIT_USAGE;
         }
     };
-    if sub != "dump" {
-        eprintln!("{WAL_USAGE}");
-        return EXIT_USAGE;
+    let dir = std::path::Path::new(dir);
+    // An explicit --since below the last checkpoint asks for records
+    // that were folded away: printing the (empty or partial) tail
+    // would silently misrepresent history, so fail distinctly instead.
+    if let Some(since) = since {
+        match citesys_storage::manifest_version(dir) {
+            Ok(Some(checkpoint)) if since < checkpoint => {
+                let oldest = oldest_retained_version(dir, checkpoint);
+                eprintln!(
+                    "{}: wal records at or below version {checkpoint} were compacted \
+                     into a checkpoint; the oldest retained version is {oldest} \
+                     (use 'cite … @ <version>' from {oldest} on, or raise --since to \
+                     at least {checkpoint})",
+                    dir.display()
+                );
+                return EXIT_COMPACTED;
+            }
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("{}: {e}", dir.display());
+                return EXIT_IO;
+            }
+        }
     }
-    let path = std::path::Path::new(dir).join(citesys_storage::durability::WAL_FILE);
+    let path = dir.join(citesys_storage::durability::WAL_FILE);
     // Read-only: a dump must never create or truncate the log — the
     // server owning this directory may be appending to it right now.
-    match Wal::read_from(&path, since) {
+    match Wal::read_from(&path, since.unwrap_or(0)) {
         Ok((records, truncated)) => {
             if truncated {
                 eprintln!("note: final record is torn (left in place; recovery will truncate it)");
@@ -561,6 +686,52 @@ fn wal_cmd(args: &[String]) -> i32 {
         }
         Err(e) => {
             eprintln!("{}: {e}", path.display());
+            EXIT_IO
+        }
+    }
+}
+
+/// `compact <data-dir> [--keep <versions>]`: offline history trim —
+/// fold the WAL into a fresh checkpoint, then prune time-travel anchors
+/// below the newest `--keep` versions.
+fn compact_cmd(args: &[String]) -> i32 {
+    const COMPACT_USAGE: &str = "usage: citesys compact <data-dir> [--keep <versions>]";
+    let Some(dir) = args.first() else {
+        eprintln!("{COMPACT_USAGE}");
+        return EXIT_USAGE;
+    };
+    let keep = match &args[1..] {
+        [] => 0u64,
+        [flag, v] if flag == "--keep" => match v.parse::<u64>() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("--keep needs a version count\n{COMPACT_USAGE}");
+                return EXIT_USAGE;
+            }
+        },
+        _ => {
+            eprintln!("{COMPACT_USAGE}");
+            return EXIT_USAGE;
+        }
+    };
+    // Open with unbounded retention: offline compaction must not throw
+    // away anchors as a side effect of its own checkpoint — only the
+    // explicit prune below the window removes history.
+    let shared = match SharedStore::open_durable_shared_with_retention(dir, usize::MAX) {
+        Ok(shared) => shared,
+        Err(e) => {
+            eprintln!("{dir}: {e}");
+            return EXIT_IO;
+        }
+    };
+    let mut interp = Interpreter::with_store(shared);
+    match interp.run_session_line(&format!("compact {keep}")) {
+        Ok(reply) => {
+            print!("{}", reply.output);
+            0
+        }
+        Err(e) => {
+            eprintln!("{dir}: {}", e.message);
             EXIT_IO
         }
     }
@@ -647,7 +818,7 @@ fn main() {
             let code = if opts.listen.is_some() {
                 serve_tcp(&opts)
             } else {
-                serve_stdin(opts.plan_cache.as_deref(), opts.data_dir.as_deref())
+                serve_stdin(&opts)
             };
             std::process::exit(code);
         }
@@ -659,6 +830,9 @@ fn main() {
         }
         Some("recover") => {
             std::process::exit(recover_cmd(&args[1..]));
+        }
+        Some("compact") => {
+            std::process::exit(compact_cmd(&args[1..]));
         }
         Some("wal") => {
             std::process::exit(wal_cmd(&args[1..]));
