@@ -1,0 +1,30 @@
+//! E21 bench: observability overhead on the warm-plan-cache cite path.
+//!
+//! Three arms of the identical workload: latency timings off (the
+//! always-on lock-free counters are the only cost), timings on (each
+//! cite takes `Instant::now` readings per stage and feeds fixed-bucket
+//! histograms), and timings on with the slow-cite log armed at a
+//! threshold that never fires. The acceptance criterion is ≤5% p99
+//! overhead for the timings-on arm over the timings-off baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use citesys_bench::e21::{cite_once, setup_interp};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e21_cite_observability");
+    for (label, timings, slow) in [
+        ("timings_off", false, false),
+        ("timings_on", true, false),
+        ("timings_on_slow_cite_armed", true, true),
+    ] {
+        group.bench_function(label, |b| {
+            let mut interp = setup_interp(timings, slow);
+            b.iter(|| cite_once(&mut interp));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! `repro` — regenerates every experiment table (E1–E20).
+//! `repro` — regenerates every experiment table (E1–E21).
 //!
 //! Usage:
 //! ```text
@@ -40,6 +40,7 @@ fn main() {
             "e18" => Some(citesys_bench::e18::table(quick)),
             "e19" => Some(citesys_bench::e19::table(quick)),
             "e20" => Some(citesys_bench::e20::table(quick)),
+            "e21" => Some(citesys_bench::e21::table(quick)),
             other => {
                 eprintln!("unknown experiment id: {other}");
                 None

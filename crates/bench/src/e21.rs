@@ -1,0 +1,178 @@
+//! E21 — observability overhead: what the metrics registry and tracing
+//! spans cost on the cite hot path.
+//!
+//! The observability layer is built to be safe to leave on: counters
+//! and gauges are lock-free atomics that always run, while latency
+//! *timings* (histograms plus the `Instant::now` reads that feed them)
+//! are gated behind a flag that `serve --metrics` flips on. E21 prices
+//! that gate: the same warm plan-cache cite workload with timings off,
+//! timings on, and timings on with the slow-cite log armed (at a
+//! threshold that never fires, so only the comparison is paid). The
+//! acceptance criterion is a p99 overhead of **≤ 5%** for the
+//! timings-on arm.
+
+use std::time::Duration;
+
+use citesys_net::script::Interpreter;
+
+use crate::table::{timed, us, Table};
+
+/// Bench sizing: cite iterations per arm (after warmup).
+pub fn config(quick: bool) -> usize {
+    if quick {
+        400
+    } else {
+        4000
+    }
+}
+
+/// The paper's two-table worked example with citation views — the same
+/// setup E13/E16 use, so overhead numbers compare across experiments.
+fn setup_script() -> String {
+    "schema Family(FID:int, FName:text, Desc:text) key(0)\n\
+     schema FamilyIntro(FID:int, Text:text) key(0)\n\
+     insert Family(0, 'Calcitonin', 'D0')\n\
+     insert FamilyIntro(0, 'intro 0')\n\
+     view V2(FID, FName, Desc) :- Family(FID, FName, Desc) | cite CV2(D) :- D = 'GtoPdb'\n\
+     view V3(FID, Text) :- FamilyIntro(FID, Text) | cite CV3(D) :- D = 'GtoPdb'\n\
+     commit\n"
+        .to_string()
+}
+
+const CITE: &str = "cite Q(FName) :- Family(0, FName, Desc), FamilyIntro(0, Text)";
+
+/// A slow-cite threshold (in ms) that a microsecond-scale cite can
+/// never reach: the per-cite comparison runs, the log never fires.
+pub const NEVER_FIRES_MS: u64 = 3_600_000;
+
+/// An interpreter warmed through setup, with the observability arms
+/// configured: `timings` flips latency histograms on, `slow_cite` arms
+/// the slow-cite log at [`NEVER_FIRES_MS`].
+pub fn setup_interp(timings: bool, slow_cite: bool) -> Interpreter {
+    let interp = Interpreter::new();
+    {
+        let sh = interp.shared().lock();
+        sh.obs().set_timings_enabled(timings);
+    }
+    let mut interp = interp;
+    interp.run(&setup_script()).expect("setup");
+    if slow_cite {
+        interp
+            .shared()
+            .lock()
+            .set_slow_cite_ms(Some(NEVER_FIRES_MS));
+    }
+    // Warm the plan cache so measured cites take the hit path.
+    interp.run_line(CITE).expect("warmup cite");
+    interp
+}
+
+/// One cite round-trip; returns its wall time.
+pub fn cite_once(interp: &mut Interpreter) -> Duration {
+    let (out, wall) = timed(|| interp.run_line(CITE).expect("cite"));
+    assert!(out.contains("answer tuple(s)"), "{out}");
+    wall
+}
+
+/// The `q`-quantile (0..=1) of a sample set, nearest-rank.
+fn quantile(sorted: &[Duration], q: f64) -> Duration {
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Runs one arm: `iters` cites, returning (p50, p95, p99).
+fn run_arm(interp: &mut Interpreter, iters: usize) -> (Duration, Duration, Duration) {
+    let mut samples: Vec<Duration> = (0..iters).map(|_| cite_once(interp)).collect();
+    samples.sort();
+    (
+        quantile(&samples, 0.50),
+        quantile(&samples, 0.95),
+        quantile(&samples, 0.99),
+    )
+}
+
+fn pct_over(base: Duration, arm: Duration) -> String {
+    if base.is_zero() {
+        return "-".into();
+    }
+    let delta = arm.as_secs_f64() / base.as_secs_f64() - 1.0;
+    format!("{:+.1}%", delta * 100.0)
+}
+
+/// Builds the E21 table.
+pub fn table(quick: bool) -> Table {
+    let iters = config(quick);
+    let arms: [(&str, bool, bool); 3] = [
+        ("timings off (counters only)", false, false),
+        ("timings on (histograms + spans)", true, false),
+        ("timings on + slow-cite armed", true, true),
+    ];
+    let mut rows = Vec::new();
+    let mut base_p99 = Duration::ZERO;
+    for (label, timings, slow) in arms {
+        let mut interp = setup_interp(timings, slow);
+        let (p50, p95, p99) = run_arm(&mut interp, iters);
+        if timings {
+            // Sanity: the enabled arm really recorded its spans.
+            let text = interp.shared().lock().render_metrics();
+            assert!(
+                text.contains("citesys_cite_seconds_count"),
+                "metrics text lost the cite histogram"
+            );
+        }
+        let overhead = if base_p99.is_zero() {
+            base_p99 = p99;
+            "baseline".to_string()
+        } else {
+            pct_over(base_p99, p99)
+        };
+        rows.push(vec![label.to_string(), us(p50), us(p95), us(p99), overhead]);
+    }
+    Table {
+        id: "E21",
+        title: "observability overhead on the cite hot path",
+        expectation: "enabling latency timings (histograms + per-stage spans) costs \
+                      ≤5% at p99 over the counters-only baseline; arming the \
+                      slow-cite log adds only a threshold comparison on top",
+        headers: vec![
+            "arm".into(),
+            "p50 µs".into(),
+            "p95 µs".into(),
+            "p99 µs".into(),
+            "p99 overhead".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_arms_cite_and_the_enabled_arm_records_spans() {
+        for (timings, slow) in [(false, false), (true, false), (true, true)] {
+            let mut interp = setup_interp(timings, slow);
+            cite_once(&mut interp);
+            let text = interp.shared().lock().render_metrics();
+            // Counters are always on; only histograms are gated.
+            let count_line = text
+                .lines()
+                .find(|l| l.starts_with("citesys_cite_seconds_count"))
+                .expect("cite histogram present in exposition");
+            let expected = if timings { "2" } else { "0" };
+            assert!(
+                count_line.ends_with(expected),
+                "timings={timings}: {count_line}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        assert_eq!(quantile(&samples, 0.50), Duration::from_micros(50));
+        assert_eq!(quantile(&samples, 0.99), Duration::from_micros(99));
+        assert_eq!(quantile(&samples, 1.0), Duration::from_micros(100));
+    }
+}

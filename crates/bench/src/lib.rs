@@ -26,6 +26,7 @@
 //! | E18 | replication: read scale-out and bounded lag | [`e18`] |
 //! | E19 | event-driven transport: scale, tails, pipelining | [`e19`] |
 //! | E20 | time travel: @ version latency, compaction savings | [`e20`] |
+//! | E21 | observability overhead on the cite hot path | [`e21`] |
 //!
 //! Run `cargo run -p citesys-bench --release --bin repro` to print every
 //! table; Criterion benches under `benches/` time the same operations.
@@ -45,6 +46,7 @@ pub mod e18;
 pub mod e19;
 pub mod e2;
 pub mod e20;
+pub mod e21;
 pub mod e3;
 pub mod e4;
 pub mod e5;
@@ -78,5 +80,6 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e18::table(quick),
         e19::table(quick),
         e20::table(quick),
+        e21::table(quick),
     ]
 }

@@ -8,6 +8,7 @@
 //! [`verify`] checks the digest.
 
 use citesys_cq::{parse_query, ConjunctiveQuery};
+use citesys_obs::{SpanSet, SpanTimer};
 use citesys_storage::{digest_answer, evaluate, Digest, QueryAnswer, VersionedDatabase};
 
 use crate::engine::{CitedAnswer, EngineOptions};
@@ -68,12 +69,28 @@ pub fn cite_with_service(
     version: u64,
     q: &ConjunctiveQuery,
 ) -> Result<(CitedAnswer, FixityToken), CiteError> {
-    let cited = service.cite(q)?;
+    cite_with_service_spanned(service, version, q, &mut SpanSet::disabled())
+}
+
+/// [`cite_with_service`] with per-stage tracing spans: the service
+/// records `plan_lookup`/`rewrite`/`eval` (see
+/// [`CitationService::cite_spanned`]) and the answer digest is recorded
+/// as `digest`. The serving layer feeds these into its stage histograms
+/// and the slow-cite log.
+pub fn cite_with_service_spanned(
+    service: &CitationService,
+    version: u64,
+    q: &ConjunctiveQuery,
+    spans: &mut SpanSet,
+) -> Result<(CitedAnswer, FixityToken), CiteError> {
+    let cited = service.cite_spanned(q, spans)?;
+    let digest = SpanTimer::start(spans.enabled());
     let token = FixityToken {
         version,
         query: q.to_string(),
         digest: digest_answer(&cited.answer),
     };
+    spans.record_micros("digest", digest.elapsed_micros());
     Ok((cited, token))
 }
 

@@ -91,7 +91,9 @@ pub use engine::{
 pub use error::CiteError;
 pub use evolve::{EvolveStats, IncrementalEngine, Transaction};
 pub use expr::{CiteAtom, CiteExpr};
-pub use fixity::{cite_at_version, cite_with_service, dereference, verify, FixityToken};
+pub use fixity::{
+    cite_at_version, cite_with_service, cite_with_service_spanned, dereference, verify, FixityToken,
+};
 pub use format::{format_citation, format_citation_with, CitationFormat, FormatOptions};
 pub use policy::{AggPolicy, AltPolicy, JointPolicy, PolicySet, RewritePolicy, RewritingChoice};
 pub use registry::{CitationRegistry, CitationView};

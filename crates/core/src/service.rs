@@ -65,6 +65,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use citesys_cq::{ConjunctiveQuery, Term, Value};
+use citesys_obs::{SpanSet, SpanTimer};
 use citesys_rewrite::{PlanParseError, RewritePlan, RewriteStats};
 use citesys_storage::{Changeset, Database, Tuple, VersionedDatabase};
 use parking_lot::{Mutex, RwLock};
@@ -1085,16 +1086,33 @@ impl CitationService {
     /// Returns the plan, whether it was served from the cache, and the
     /// shard that served (or stored) it.
     fn plan_for(&self, q: &ConjunctiveQuery) -> Result<(Arc<RewritePlan>, bool, usize), CiteError> {
+        self.plan_for_spanned(q, &mut SpanSet::disabled())
+    }
+
+    /// [`plan_for`](Self::plan_for) with pipeline spans: records the
+    /// cache probe as `plan_lookup` and, on a miss, the fresh search as
+    /// `rewrite` (absent on a hit — that absence is how callers tell a
+    /// hit from a miss without re-deriving the signature).
+    fn plan_for_spanned(
+        &self,
+        q: &ConjunctiveQuery,
+        spans: &mut SpanSet,
+    ) -> Result<(Arc<RewritePlan>, bool, usize), CiteError> {
+        let lookup = SpanTimer::start(spans.enabled());
         let (signature, constants) = plan_signature(q, self.generalize_constants);
         // One signature hash per cite: the shard index is reused for the
         // lookup, the miss-insert, and stats reporting.
         let shard = self.plans.shard_of(&signature);
         if let Some(plan) = self.plans.get_in(shard, &signature, &constants) {
+            spans.record_micros("plan_lookup", lookup.elapsed_micros());
             return Ok((plan, true, shard));
         }
+        spans.record_micros("plan_lookup", lookup.elapsed_micros());
+        let search = SpanTimer::start(spans.enabled());
         let plan = Arc::new(compute_plan(&self.registry, &self.options, q)?);
         self.plans
             .insert_in(shard, signature, constants, Arc::clone(&plan));
+        spans.record_micros("rewrite", search.elapsed_micros());
         Ok((plan, false, shard))
     }
 
@@ -1165,7 +1183,20 @@ impl CitationService {
     /// matches the query's signature (exactly, or modulo λ-parameter
     /// constants when the registry permits).
     pub fn cite(&self, q: &ConjunctiveQuery) -> Result<CitedAnswer, CiteError> {
-        let (plan, hit, shard) = self.plan_for(q)?;
+        self.cite_spanned(q, &mut SpanSet::disabled())
+    }
+
+    /// [`cite`](Self::cite) with per-stage tracing spans: records
+    /// `plan_lookup`, `rewrite` (on a plan-cache miss only) and `eval`
+    /// into `spans`. With a disabled span set this **is** `cite` — the
+    /// timers skip their clock reads, so the un-instrumented path pays
+    /// only a branch.
+    pub fn cite_spanned(
+        &self,
+        q: &ConjunctiveQuery,
+        spans: &mut SpanSet,
+    ) -> Result<CitedAnswer, CiteError> {
+        let (plan, hit, shard) = self.plan_for_spanned(q, spans)?;
         let stats = if hit {
             Self::cached_stats(&plan, shard)
         } else {
@@ -1174,7 +1205,10 @@ impl CitationService {
                 ..plan.stats
             }
         };
-        self.cite_with_plan(q, &plan, stats)
+        let eval = SpanTimer::start(spans.enabled());
+        let cited = self.cite_with_plan(q, &plan, stats);
+        spans.record_micros("eval", eval.elapsed_micros());
+        cited
     }
 
     /// Runs the rewriting search for `q` once (or reuses a cached plan)

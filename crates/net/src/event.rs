@@ -103,6 +103,9 @@ pub(crate) struct EventCtx {
     /// Replication feed threads spawned off handed-over connections,
     /// joined at server teardown.
     pub(crate) feed_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// Shared instrument bundle: parse spans and disconnect counters
+    /// record here without touching the store lock.
+    pub(crate) obs: crate::obs::StoreObs,
 }
 
 /// Spawns `workers` event workers over the shared listener. Fails fast
@@ -263,6 +266,7 @@ fn worker_loop(poller: Poller, listener: Arc<TcpListener>, ctx: Arc<EventCtx>) {
                 && conn.replica_hello.is_none()
                 && now >= conn.last_line + ctx.idle_timeout
             {
+                ctx.obs.disconnects_idle.inc();
                 push_err(conn, None, WireErrorKind::Proto, "idle timeout");
                 conn.closing = true;
                 conn.read_done = true;
@@ -371,7 +375,7 @@ fn accept_new(
 /// One full turn of a connection's state machine: read → execute →
 /// render → flush → decide.
 fn pump(ctx: &EventCtx, conn: &mut Conn) -> Outcome {
-    read_lines(conn);
+    read_lines(ctx, conn);
     exec_pending(ctx, conn);
     fill_out(conn);
     if flush(conn).is_err() || conn.abort {
@@ -396,7 +400,7 @@ fn pump(ctx: &EventCtx, conn: &mut Conn) -> Outcome {
 
 /// Drains complete lines off the socket into the pending queue,
 /// stopping at backpressure limits or the first would-block.
-fn read_lines(conn: &mut Conn) {
+fn read_lines(ctx: &EventCtx, conn: &mut Conn) {
     while !conn.read_done
         && conn.pending.len() < MAX_PENDING_LINES
         && conn.out.len() - conn.written < OUT_HIGH_WATER
@@ -411,7 +415,10 @@ fn read_lines(conn: &mut Conn) {
                 }
                 let (tag, body) = protocol::split_tag(&line);
                 let tag = tag.map(str::to_string);
-                let item = match protocol::parse_command(body) {
+                let parse = citesys_obs::SpanTimer::start(ctx.obs.timings_enabled());
+                let parsed = protocol::parse_command(body);
+                ctx.obs.observe_stage("parse", parse.elapsed_micros());
+                let item = match parsed {
                     Ok(cmd) => PendingItem::Cmd { tag, cmd },
                     Err(e) => PendingItem::ParseErr {
                         tag,
@@ -482,6 +489,7 @@ fn exec_pending(ctx: &EventCtx, conn: &mut Conn) {
                 saver_tick(ctx);
             }
             PendingItem::Oversized => {
+                ctx.obs.disconnects_oversized.inc();
                 push_err(
                     conn,
                     None,

@@ -193,9 +193,10 @@ impl GroupCommitter {
     ) {
         let group_size = batch.len();
         let mut sh = shared.lock();
-        let st = sh.stats_mut();
-        st.group_windows += 1;
-        st.largest_group = st.largest_group.max(group_size as u64);
+        let obs = sh.obs().clone();
+        let window = citesys_obs::SpanTimer::start(obs.timings_enabled());
+        obs.group_windows.inc();
+        obs.largest_group.set_max(group_size as u64);
         let outcomes: Vec<Result<usize, String>> = batch
             .iter()
             .map(|req| sh.apply_changes(&req.changes).map_err(|(_, m)| m))
@@ -216,16 +217,17 @@ impl GroupCommitter {
             None
         };
         // One plan-cache save per window, before any ack — durability
-        // first, and the whole window shares the write.
+        // first, and the whole window shares the write. The acks below
+        // only touch the lock-free instruments, so the store lock is
+        // released for good here.
+        drop(sh);
         if let Some(saver) = saver {
-            drop(sh);
             let _ = saver.maybe_save(shared);
-            sh = shared.lock();
         }
         for (req, outcome) in batch.into_iter().zip(outcomes) {
             let reply = match (outcome, version) {
                 (Ok(applied), Some(version)) => {
-                    sh.stats_mut().commits += 1;
+                    obs.commits.inc();
                     Ok(CommitAck {
                         version,
                         applied,
@@ -239,6 +241,8 @@ impl GroupCommitter {
             // its transaction still committed with the window.
             let _ = req.reply.send(reply);
         }
+        obs.group_window_seconds
+            .observe_micros(window.elapsed_micros());
     }
 }
 

@@ -14,6 +14,7 @@
 //! | [`client`] | [`Connection`] + the `citesys client` script runner (sync and pipelined) |
 //! | [`persist`] | debounced plan-cache persistence (saves survive SIGINT / killed connections) |
 //! | [`replication`] | WAL-shipping read replicas: primary-side feeds plus the `serve --follow` follower runtime, with bounded-lag accounting |
+//! | [`obs`] | observability: the registry-backed [`obs::StoreObs`] instrument bundle (commit/replication counters, per-stage cite histograms, durability timings), the `serve --metrics` scrape responder, and the `--slow-cite-ms` log line |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@
 pub mod client;
 pub mod event;
 pub mod group;
+pub mod obs;
 pub mod persist;
 pub mod protocol;
 pub mod replication;
@@ -49,6 +51,7 @@ pub mod server;
 
 pub use client::Connection;
 pub use group::{CommitAck, CommitTicket, GroupCommitHandle, GroupCommitter};
+pub use obs::{spawn_metrics_server, StoreObs};
 pub use persist::PlanSaver;
 pub use protocol::{Command, LineReader, Response, WireErrorKind};
 pub use script::{

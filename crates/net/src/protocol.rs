@@ -170,6 +170,9 @@ pub enum Command {
     Trace,
     /// `stats` — print the store's commit/swap and cache counters.
     Stats,
+    /// `metrics` — print the full metrics registry in Prometheus text
+    /// exposition format (the `serve --metrics` scrape payload).
+    Metrics,
     /// `checkpoint` — snapshot the durable store (data, registry, views,
     /// plans) and reset the write-ahead log. Requires `--data-dir`.
     Checkpoint,
@@ -225,6 +228,7 @@ pub fn parse_command(raw: &str) -> Result<Option<Command>, ParseError> {
         }
         "trace" => Command::Trace,
         "stats" => Command::Stats,
+        "metrics" => Command::Metrics,
         "checkpoint" => Command::Checkpoint,
         "quit" => Command::Quit,
         "shutdown" => Command::Shutdown,
@@ -1011,6 +1015,10 @@ mod tests {
         assert!(matches!(
             parse_command("stats").unwrap().unwrap(),
             Command::Stats
+        ));
+        assert!(matches!(
+            parse_command("metrics").unwrap().unwrap(),
+            Command::Metrics
         ));
         assert!(matches!(
             parse_command("quit").unwrap().unwrap(),

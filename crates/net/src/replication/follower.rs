@@ -144,7 +144,7 @@ fn stream_once(
             }
             ReplicaFrame::Wal { version, changes } => {
                 let mut sh = shared.lock();
-                sh.stats_mut().replica_lag_records += 1;
+                sh.obs().replica_lag_records.inc();
                 sh.note_primary_version(version);
                 // Applies through the normal delta-maintenance path
                 // (local WAL append first); decrements lag_records.

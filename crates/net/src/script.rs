@@ -57,9 +57,10 @@ use std::sync::Arc;
 
 use citesys_core::durable::{SECTION_DATABASE, SECTION_PLANS, SECTION_REGISTRY, SECTION_VIEWS};
 use citesys_core::{
-    cite_with_service, format_citation, verify, CitationRegistry, CitationService, CitationView,
-    Coverage, DurableHandle, EngineOptions, FixityToken, PlanCache,
+    cite_with_service, cite_with_service_spanned, format_citation, verify, CitationRegistry,
+    CitationService, CitationView, Coverage, DurableHandle, EngineOptions, FixityToken, PlanCache,
 };
+use citesys_obs::{SpanSet, SpanTimer};
 use citesys_storage::durability::{database_to_text, versioned_to_text};
 use citesys_storage::{
     digest_database, to_csv, Changeset, CheckpointData, Database, RelationSchema, StorageError,
@@ -68,6 +69,7 @@ use citesys_storage::{
 use parking_lot::Mutex;
 
 use crate::group::{CommitAck, GroupCommitHandle};
+use crate::obs::{slow_cite_line, StoreObs};
 use crate::protocol::{self, CiteSpec, Command, ViewSpec};
 
 /// What went wrong, at the granularity the CLI's exit codes report.
@@ -127,6 +129,12 @@ pub type PlanFingerprint = (u64, usize, u64, u64, bool);
 
 /// Write-path and cache counters of a [`SharedStore`] — the numbers the
 /// `stats` command prints and the E16 group-commit experiment reads.
+///
+/// Since the observability migration this is a **snapshot assembled
+/// from the registry-backed [`StoreObs`] instruments** (see
+/// [`SharedStore::stats`]): the counters live in the metrics registry
+/// and this struct only reads them out, so `stats` and `metrics`
+/// cannot disagree.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct StoreStats {
     /// Commit requests acknowledged (one per `commit` command).
@@ -198,7 +206,13 @@ pub struct SharedStore {
     /// a checkpoint is written — which, under a retention policy,
     /// archives the superseded checkpoint as a time-travel anchor.
     checkpoint_every: Option<u64>,
-    stats: StoreStats,
+    /// Registry-backed instruments: the `stats` counters' single source
+    /// of truth plus the latency histograms and the scrape registry.
+    obs: StoreObs,
+    /// Slow-cite threshold (`serve --slow-cite-ms <n>`): cites at or
+    /// over `n` milliseconds end-to-end log one `slow-cite` line to
+    /// stderr with their per-stage span breakdown. `None` disables.
+    slow_cite_ms: Option<u64>,
     /// Follower role (`serve --follow`): the primary's address plus
     /// stream progress. `None` on a primary / standalone store.
     follow: Option<FollowState>,
@@ -246,7 +260,8 @@ impl SharedStore {
             plan_generation: 0,
             durability: None,
             checkpoint_every: None,
-            stats: StoreStats::default(),
+            obs: StoreObs::new(),
+            slow_cite_ms: None,
             follow: None,
             replicas: Vec::new(),
         }
@@ -365,6 +380,7 @@ impl SharedStore {
                 "no durable data directory (start with serve --data-dir <path>)",
             ));
         }
+        let ckpt = SpanTimer::start(self.obs.timings_enabled());
         let data = self.assemble_checkpoint_data()?;
         let version = data.version;
         self.durability
@@ -372,6 +388,9 @@ impl SharedStore {
             .expect("checked above")
             .write_checkpoint(&data)
             .map_err(|e| cite_err(e.to_string()))?;
+        self.obs
+            .checkpoint_seconds
+            .observe_micros(ckpt.elapsed_micros());
         Ok(version)
     }
 
@@ -557,7 +576,7 @@ impl SharedStore {
         self.store = Some(store);
         self.service = Some((version, false, service));
         self.plan_generation += 1;
-        self.stats.service_builds += 1;
+        self.obs.service_builds.inc();
         if let Some(handle) = &mut self.durability {
             handle
                 .write_checkpoint(data)
@@ -585,9 +604,13 @@ impl SharedStore {
             )));
         }
         if let Some(handle) = &mut self.durability {
+            let fsync = SpanTimer::start(self.obs.timings_enabled());
             handle
                 .log_commit(version, changes)
                 .map_err(|e| cite_err(format!("write-ahead log: {e}")))?;
+            self.obs
+                .wal_fsync_seconds
+                .observe_micros(fsync.elapsed_micros());
         }
         let store = self.store_mut()?;
         store
@@ -595,8 +618,8 @@ impl SharedStore {
             .map_err(|e| cite_err(e.to_string()))?;
         let v = store.commit();
         debug_assert_eq!(v, version);
-        self.stats.commits += 1;
-        self.stats.replica_lag_records = self.stats.replica_lag_records.saturating_sub(1);
+        self.obs.commits.inc();
+        self.obs.replica_lag_records.dec_sat();
         self.refresh_service_after_commit(v, changes);
         self.note_primary_version(v);
         self.maybe_auto_checkpoint()?;
@@ -609,7 +632,9 @@ impl SharedStore {
         let latest = self.latest_version();
         if let Some(f) = &mut self.follow {
             f.primary_version = f.primary_version.max(version);
-            self.stats.replica_lag_versions = f.primary_version.saturating_sub(latest);
+            self.obs
+                .replica_lag_versions
+                .set(f.primary_version.saturating_sub(latest));
         }
     }
 
@@ -618,7 +643,7 @@ impl SharedStore {
     pub(crate) fn set_follow_connected(&mut self, connected: bool) {
         if let Some(f) = &mut self.follow {
             if f.connected && !connected {
-                self.stats.replica_reconnects += 1;
+                self.obs.replica_reconnects.inc();
             }
             f.connected = connected;
         }
@@ -630,7 +655,7 @@ impl SharedStore {
             peer: peer.to_string(),
             shipped: 0,
         });
-        self.stats.replicas_connected = self.replicas.len() as u64;
+        self.obs.replicas_connected.set(self.replicas.len() as u64);
     }
 
     /// Drops `peer`'s feed registration (primary side).
@@ -638,7 +663,7 @@ impl SharedStore {
         if let Some(i) = self.replicas.iter().position(|r| r.peer == peer) {
             self.replicas.remove(i);
         }
-        self.stats.replicas_connected = self.replicas.len() as u64;
+        self.obs.replicas_connected.set(self.replicas.len() as u64);
     }
 
     /// Accounts `n` records shipped to `peer` (primary side).
@@ -646,7 +671,7 @@ impl SharedStore {
         if let Some(r) = self.replicas.iter_mut().find(|r| r.peer == peer) {
             r.shipped += n;
         }
-        self.stats.replica_records_shipped += n;
+        self.obs.replica_records_shipped.add(n);
     }
 
     /// `(peer address, records shipped)` for every attached feed.
@@ -657,15 +682,60 @@ impl SharedStore {
             .collect()
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot, assembled from the registry-backed
+    /// instruments — the `stats` command and the `metrics` exposition
+    /// read the same atomics, so they cannot disagree.
     pub fn stats(&self) -> StoreStats {
-        self.stats
+        StoreStats {
+            commits: self.obs.commits.get(),
+            snapshot_swaps: self.obs.snapshot_swaps.get(),
+            group_windows: self.obs.group_windows.get(),
+            largest_group: self.obs.largest_group.get(),
+            service_builds: self.obs.service_builds.get(),
+            replicas_connected: self.obs.replicas_connected.get(),
+            replica_records_shipped: self.obs.replica_records_shipped.get(),
+            replica_lag_versions: self.obs.replica_lag_versions.get(),
+            replica_lag_records: self.obs.replica_lag_records.get(),
+            replica_reconnects: self.obs.replica_reconnects.get(),
+        }
     }
 
-    /// Mutable counters (crate-internal: the group committer accounts
-    /// its windows and acks here).
-    pub(crate) fn stats_mut(&mut self) -> &mut StoreStats {
-        &mut self.stats
+    /// The store's observability instruments. The group committer, the
+    /// transports and the replication runtime record through clones of
+    /// this bundle without holding the store lock; embedders use it to
+    /// toggle latency timings ([`StoreObs::set_timings_enabled`]).
+    pub fn obs(&self) -> &StoreObs {
+        &self.obs
+    }
+
+    /// Arms the slow-cite log: cites taking `ms` milliseconds or more
+    /// end-to-end log one `slow-cite` line to stderr with their
+    /// per-stage span breakdown. `None` disables (the default).
+    pub fn set_slow_cite_ms(&mut self, ms: Option<u64>) {
+        self.slow_cite_ms = ms;
+    }
+
+    /// Renders the full metrics registry in Prometheus text exposition
+    /// format, first refreshing the scrape-time mirrors whose source of
+    /// truth lives outside the registry (plan cache, view cache, WAL
+    /// and history gauges).
+    pub fn render_metrics(&mut self) -> String {
+        let plans = self.plans_strict.stats();
+        self.obs.plan_cache_hits.set(plans.hits);
+        self.obs.plan_cache_misses.set(plans.misses);
+        self.obs.plan_cache_evictions.set(plans.evictions);
+        let views = self.view_cache_stats().unwrap_or_default();
+        self.obs.view_materializations.set(views.materializations);
+        self.obs.view_deltas_applied.set(views.deltas_applied);
+        self.obs.wal_records.set(self.wal_records() as u64);
+        self.obs
+            .history_base_version
+            .set(self.history_base_version());
+        self.obs
+            .checkpoints_retained
+            .set(self.checkpoints_retained() as u64);
+        self.obs.latest_version.set(self.latest_version());
+        self.obs.render()
     }
 
     /// Counters of the strict (non-partial) plan cache.
@@ -768,6 +838,7 @@ impl SharedStore {
     /// after the ack replays the record; a crash before the append
     /// loses only an unacknowledged commit.
     pub(crate) fn seal_version(&mut self) -> Result<u64, CmdError> {
+        let commit_timer = SpanTimer::start(self.obs.timings_enabled());
         let (next, changes) = {
             let store = self.store_mut()?;
             // Delta-maintain with EVERYTHING this commit seals: the
@@ -778,9 +849,13 @@ impl SharedStore {
             (store.latest_version() + 1, changes)
         };
         if let Some(handle) = &mut self.durability {
+            let fsync = SpanTimer::start(self.obs.timings_enabled());
             handle
                 .log_commit(next, &changes)
                 .map_err(|e| cite_err(format!("write-ahead log: {e}")))?;
+            self.obs
+                .wal_fsync_seconds
+                .observe_micros(fsync.elapsed_micros());
         }
         let v = self
             .store
@@ -790,6 +865,9 @@ impl SharedStore {
         debug_assert_eq!(v, next);
         self.refresh_service_after_commit(v, &changes);
         self.maybe_auto_checkpoint()?;
+        self.obs
+            .commit_seconds
+            .observe_micros(commit_timer.elapsed_micros());
         Ok(v)
     }
 
@@ -809,10 +887,14 @@ impl SharedStore {
         let Ok(snapshot) = store.snapshot(v_new) else {
             return;
         };
+        let swap = SpanTimer::start(self.obs.timings_enabled());
         let pending = svc.stage_batch(changes);
         let next = svc.with_database_delta(snapshot, pending);
         self.service = Some((v_new, partial, next));
-        self.stats.snapshot_swaps += 1;
+        self.obs.snapshot_swaps.inc();
+        self.obs
+            .snapshot_swap_seconds
+            .observe_micros(swap.elapsed_micros());
     }
 
     /// Returns (building if needed) a service over the snapshot of
@@ -852,7 +934,7 @@ impl SharedStore {
             .build()
             .map_err(|e| cite_err(e.to_string()))?;
         self.service = Some((version, options.allow_partial, svc.clone()));
-        self.stats.service_builds += 1;
+        self.obs.service_builds.inc();
         Ok(svc)
     }
 }
@@ -900,6 +982,10 @@ pub fn commit_ack_message(ack: &CommitAck) -> String {
 /// [`SharedStore`].
 pub struct Interpreter {
     shared: Arc<Mutex<SharedStore>>,
+    /// Clone of the store's instrument bundle, cached at construction
+    /// so hot-path recording (the `parse` span) never takes the store
+    /// lock.
+    obs: StoreObs,
     /// Commit pipeline of the owning server (network sessions); `None`
     /// commits inline under the store lock.
     committer: Option<GroupCommitHandle>,
@@ -935,8 +1021,10 @@ impl Interpreter {
     /// (buffering only inside `begin…commit`), exactly like
     /// [`new`](Self::new).
     pub fn with_store(shared: Arc<Mutex<SharedStore>>) -> Self {
+        let obs = shared.lock().obs().clone();
         Interpreter {
             shared,
+            obs,
             committer: None,
             isolated: false,
             txn: None,
@@ -952,8 +1040,10 @@ impl Interpreter {
     /// `committer` (or inline when `None`). This is what the TCP server
     /// creates per connection.
     pub fn session(shared: Arc<Mutex<SharedStore>>, committer: Option<GroupCommitHandle>) -> Self {
+        let obs = shared.lock().obs().clone();
         Interpreter {
             shared,
+            obs,
             committer,
             isolated: true,
             txn: None,
@@ -990,11 +1080,13 @@ impl Interpreter {
     /// [`run_line`](Self::run_line), but `quit`/`shutdown` come back as
     /// [`SessionControl`] outcomes instead of executing (or erroring).
     pub fn run_session_line(&mut self, raw: &str) -> Result<SessionReply, ScriptError> {
+        let parse = SpanTimer::start(self.obs.timings_enabled());
         let cmd = protocol::parse_command(raw).map_err(|e| ScriptError {
             line: 1,
             kind: ScriptErrorKind::Parse,
             message: e.message,
         })?;
+        self.obs.observe_stage("parse", parse.elapsed_micros());
         self.run_session_command(cmd.as_ref())
     }
 
@@ -1045,11 +1137,13 @@ impl Interpreter {
     }
 
     fn run_numbered_line(&mut self, line_no: usize, raw: &str) -> Result<(), ScriptError> {
+        let parse = SpanTimer::start(self.obs.timings_enabled());
         let cmd = protocol::parse_command(raw).map_err(|e| ScriptError {
             line: line_no,
             kind: ScriptErrorKind::Parse,
             message: e.message,
         })?;
+        self.obs.observe_stage("parse", parse.elapsed_micros());
         let Some(cmd) = cmd else {
             return Ok(());
         };
@@ -1111,6 +1205,7 @@ impl Interpreter {
                 Ok(())
             }
             Command::Stats => self.cmd_stats(),
+            Command::Metrics => self.cmd_metrics(),
             Command::Snapshot { version } => self.cmd_snapshot(*version),
             Command::Compact { window } => self.cmd_compact(*window),
             Command::Checkpoint => self.cmd_checkpoint(),
@@ -1244,7 +1339,7 @@ impl Interpreter {
                     let mut sh = self.shared.lock();
                     let applied = sh.apply_changes(&changes)?;
                     let version = sh.seal_version()?;
-                    sh.stats.commits += 1;
+                    sh.obs.commits.inc();
                     CommitAck {
                         version,
                         applied,
@@ -1265,7 +1360,7 @@ impl Interpreter {
                 sh.apply_changes(&changes)?;
             }
             let v = sh.seal_version()?;
-            sh.stats.commits += 1;
+            sh.obs.commits.inc();
             v
         };
         match txn_ops {
@@ -1288,7 +1383,7 @@ impl Interpreter {
         if let Some(version) = spec.as_of {
             return self.cmd_cite_at(version, spec);
         }
-        let (service, version, loaded) = {
+        let (service, version, loaded, slow_ms) = {
             let mut sh = self.shared.lock();
             let mut loaded = None;
             if let Some(text) = sh.pending_plan_import.take() {
@@ -1304,17 +1399,36 @@ impl Interpreter {
             }
             let version = store.latest_version();
             let service = sh.service_at(version, spec.options)?;
-            (service, version, loaded)
+            (service, version, loaded, sh.slow_cite_ms)
         };
         if let Some(n) = loaded {
             self.say(format!("loaded {n} cached plan(s)"));
         }
+        // Spans are collected when histogram timings are on OR the
+        // slow-cite log is armed; with both off the tracing cost is a
+        // branch per stage (no clock reads).
+        let timed = self.obs.timings_enabled() || slow_ms.is_some();
+        let mut spans = SpanSet::new(timed);
+        let total = SpanTimer::start(timed);
         // The expensive part — rewriting search (on a plan-cache miss),
         // evaluation and annotation — runs on the service clone OUTSIDE
         // the store lock, so concurrent sessions cite in parallel.
-        let (cited, token) = cite_with_service(&service, version, &spec.query)
+        let (cited, token) = cite_with_service_spanned(&service, version, &spec.query, &mut spans)
             .map_err(|e| cite_err(e.to_string()))?;
+        let render = SpanTimer::start(timed);
         self.report_citation(cited, token, spec.format);
+        spans.record_micros("render", render.elapsed_micros());
+        let total_us = total.elapsed_micros();
+        self.obs.observe_cite(total_us, &spans);
+        if let Some(ms) = slow_ms {
+            if total_us >= ms.saturating_mul(1000) {
+                self.obs.slow_cites.inc();
+                eprintln!(
+                    "{}",
+                    slow_cite_line(total_us, &spans, version, &spec.query.to_string())
+                );
+            }
+        }
         Ok(())
     }
 
@@ -1577,12 +1691,16 @@ impl Interpreter {
 
     /// `stats`: the shared store's write-path counters plus the strict
     /// plan cache's hit/miss counters and the cached service's view
-    /// warmth, one `name value` pair per line.
+    /// warmth, one `name value` pair per line, **sorted by name** so
+    /// the output is deterministic (the per-replica `replica[<peer>]`
+    /// lines sort with everything else).
     fn cmd_stats(&mut self) -> Result<(), CmdError> {
-        let (st, plans, views, wal, base, retained, primary, peers) = {
+        let (st, disc_idle, disc_over, plans, views, wal, base, retained, primary, peers) = {
             let sh = self.shared.lock();
             (
-                sh.stats,
+                sh.stats(),
+                sh.obs.disconnects_idle.get(),
+                sh.obs.disconnects_oversized.get(),
                 sh.plans_strict.stats(),
                 sh.view_cache_stats().unwrap_or_default(),
                 sh.wal_records(),
@@ -1592,32 +1710,45 @@ impl Interpreter {
                 sh.replica_peers(),
             )
         };
-        self.say(format!("commits {}", st.commits));
-        self.say(format!("snapshot_swaps {}", st.snapshot_swaps));
-        self.say(format!("group_windows {}", st.group_windows));
-        self.say(format!("largest_group {}", st.largest_group));
-        self.say(format!("service_builds {}", st.service_builds));
-        self.say(format!("plan_cache_hits {}", plans.hits));
-        self.say(format!("plan_cache_misses {}", plans.misses));
-        self.say(format!("view_materializations {}", views.materializations));
-        self.say(format!("view_deltas_applied {}", views.deltas_applied));
-        self.say(format!("wal_records {wal}"));
-        self.say(format!("history_base_version {base}"));
-        self.say(format!("checkpoints_retained {retained}"));
-        self.say(format!("replicas_connected {}", st.replicas_connected));
-        self.say(format!(
-            "replica_records_shipped {}",
-            st.replica_records_shipped
-        ));
-        self.say(format!("replica_lag_versions {}", st.replica_lag_versions));
-        self.say(format!("replica_lag_records {}", st.replica_lag_records));
-        self.say(format!("replica_reconnects {}", st.replica_reconnects));
+        let mut lines = vec![
+            format!("commits {}", st.commits),
+            format!("snapshot_swaps {}", st.snapshot_swaps),
+            format!("group_windows {}", st.group_windows),
+            format!("largest_group {}", st.largest_group),
+            format!("service_builds {}", st.service_builds),
+            format!("disconnects_idle {disc_idle}"),
+            format!("disconnects_oversized {disc_over}"),
+            format!("plan_cache_hits {}", plans.hits),
+            format!("plan_cache_misses {}", plans.misses),
+            format!("view_materializations {}", views.materializations),
+            format!("view_deltas_applied {}", views.deltas_applied),
+            format!("wal_records {wal}"),
+            format!("history_base_version {base}"),
+            format!("checkpoints_retained {retained}"),
+            format!("replicas_connected {}", st.replicas_connected),
+            format!("replica_records_shipped {}", st.replica_records_shipped),
+            format!("replica_lag_versions {}", st.replica_lag_versions),
+            format!("replica_lag_records {}", st.replica_lag_records),
+            format!("replica_reconnects {}", st.replica_reconnects),
+        ];
         if let Some(primary) = primary {
-            self.say(format!("following {primary}"));
+            lines.push(format!("following {primary}"));
         }
         for (peer, shipped) in peers {
-            self.say(format!("replica[{peer}] {shipped}"));
+            lines.push(format!("replica[{peer}] {shipped}"));
         }
+        lines.sort();
+        for l in lines {
+            self.say(l);
+        }
+        Ok(())
+    }
+
+    /// `metrics`: the full registry in Prometheus text exposition
+    /// format — the same payload `serve --metrics` serves over HTTP.
+    fn cmd_metrics(&mut self) -> Result<(), CmdError> {
+        let text = self.shared.lock().render_metrics();
+        self.say(text.trim_end());
         Ok(())
     }
 

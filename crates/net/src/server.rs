@@ -85,6 +85,15 @@ pub struct ServerConfig {
     /// (`serve --retain-checkpoints <n>`). Requires `data_dir`; 0 keeps
     /// none (the historical behavior).
     pub retain_checkpoints: usize,
+    /// Serve the Prometheus scrape endpoint on this address (`serve
+    /// --metrics <addr>`): `GET /metrics` answers with the same text
+    /// exposition the `metrics` wire command prints. Enabling the
+    /// endpoint also turns latency timings on. `None` disables.
+    pub metrics: Option<String>,
+    /// Slow-cite log threshold in milliseconds (`serve --slow-cite-ms
+    /// <n>`): cites at or over it log one `slow-cite` line to stderr
+    /// with their per-stage span breakdown. `None` disables.
+    pub slow_cite_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +111,8 @@ impl Default for ServerConfig {
             max_connections: 8192,
             checkpoint_every: None,
             retain_checkpoints: 0,
+            metrics: None,
+            slow_cite_ms: None,
         }
     }
 }
@@ -122,6 +133,8 @@ pub struct Server {
     follower: Option<JoinHandle<()>>,
     open_conns: Arc<AtomicUsize>,
     feed_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    metrics_addr: Option<SocketAddr>,
+    metrics_thread: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -139,6 +152,13 @@ impl Server {
             None => SharedStore::new_shared(),
         };
         shared.lock().set_checkpoint_every(config.checkpoint_every);
+        shared.lock().set_slow_cite_ms(config.slow_cite_ms);
+        // A scrape endpoint without timings would expose empty
+        // histograms, so --metrics implies timings on. (Counters and
+        // gauges are always on regardless — `stats` depends on them.)
+        if config.metrics.is_some() {
+            shared.lock().obs().set_timings_enabled(true);
+        }
         let saver = match &config.plan_cache {
             Some(path) => {
                 match std::fs::read_to_string(path) {
@@ -169,6 +189,18 @@ impl Server {
             }
             None => None,
         };
+        let (metrics_addr, metrics_thread) = match &config.metrics {
+            Some(addr) => {
+                let (bound, handle) = crate::obs::spawn_metrics_server(
+                    addr,
+                    Arc::clone(&shared),
+                    Arc::clone(&shutdown),
+                )?;
+                (Some(bound), Some(handle))
+            }
+            None => (None, None),
+        };
+        let obs = shared.lock().obs().clone();
         let listener = Arc::new(listener);
         let open_conns = Arc::new(AtomicUsize::new(0));
         let feed_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -183,6 +215,7 @@ impl Server {
                 max_connections: config.max_connections.max(1),
                 open_conns: Arc::clone(&open_conns),
                 feed_threads: Arc::clone(&feed_threads),
+                obs: obs.clone(),
             };
             match crate::event::spawn_workers(Arc::clone(&listener), config.workers.max(1), ctx) {
                 Ok(workers) => workers,
@@ -208,6 +241,7 @@ impl Server {
                         idle_timeout: config.idle_timeout,
                         max_line_bytes: config.max_line_bytes,
                         open_conns: Arc::clone(&open_conns),
+                        obs: obs.clone(),
                     };
                     std::thread::Builder::new()
                         .name(format!("citesys-net-worker-{i}"))
@@ -226,7 +260,14 @@ impl Server {
             follower,
             open_conns,
             feed_threads,
+            metrics_addr,
+            metrics_thread,
         })
+    }
+
+    /// The bound scrape-endpoint address when `--metrics` is on.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// The bound address (useful with an ephemeral port request).
@@ -282,6 +323,9 @@ impl Server {
         if let Some(f) = self.follower.take() {
             let _ = f.join();
         }
+        if let Some(m) = self.metrics_thread.take() {
+            let _ = m.join();
+        }
         // After the workers: no more commits can arrive.
         self.committer.take();
         if let Some(saver) = &self.saver {
@@ -307,6 +351,7 @@ struct WorkerCtx {
     idle_timeout: Duration,
     max_line_bytes: usize,
     open_conns: Arc<AtomicUsize>,
+    obs: crate::obs::StoreObs,
 }
 
 fn worker_loop(ctx: WorkerCtx) {
@@ -370,6 +415,7 @@ fn serve_connection(ctx: &WorkerCtx, stream: TcpStream) -> io::Result<()> {
                 // Reject and close: resyncing would mean buffering the
                 // rest of an unbounded line. The session's open
                 // transaction dies with the connection.
+                ctx.obs.disconnects_oversized.inc();
                 let _ = protocol::write_response(
                     &mut writer,
                     &Response::Err {
@@ -386,6 +432,7 @@ fn serve_connection(ctx: &WorkerCtx, stream: TcpStream) -> io::Result<()> {
                 // the reader hit the deadline mid-line. Either way the
                 // wall clock decides.
                 if Instant::now() >= deadline {
+                    ctx.obs.disconnects_idle.inc();
                     let _ = protocol::write_response(
                         &mut writer,
                         &Response::Err {

@@ -148,6 +148,34 @@ grep -q 'CompactedVersion\|compacted by a checkpoint' MIGRATION.md \
 grep -q -- '--retain-checkpoints' MIGRATION.md \
     || { echo "MIGRATION.md must cover the --retain-checkpoints behaviour change"; fail=1; }
 
+# Content contract for the observability layer: the architecture doc
+# must document the span taxonomy, the metric naming table and the
+# scrape endpoint contract, the quickstart must show --metrics and the
+# slow-cite log, and the migration guide must record the
+# registry-backed stats change.
+grep -q '## Observability' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must have an 'Observability' section"; fail=1; }
+grep -q '### Span taxonomy' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must document the span taxonomy"; fail=1; }
+grep -q 'plan_lookup' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md span taxonomy must name the cite stages"; fail=1; }
+grep -q 'citesys_cite_stage_seconds' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must include the metric naming table"; fail=1; }
+grep -q '### Scrape endpoint contract' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must document the scrape endpoint contract"; fail=1; }
+grep -q 'text/plain; version=0.0.4' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must pin the exposition content type"; fail=1; }
+grep -q -- '--metrics' README.md \
+    || { echo "README.md must quickstart 'serve --metrics'"; fail=1; }
+grep -q -- '--slow-cite-ms' README.md \
+    || { echo "README.md must quickstart --slow-cite-ms"; fail=1; }
+grep -q '^slow-cite total=' README.md \
+    || { echo "README.md must show a slow-cite log line"; fail=1; }
+grep -q 'registry' MIGRATION.md \
+    || { echo "MIGRATION.md must record the registry-backed stats migration"; fail=1; }
+grep -q 'sorted by name' MIGRATION.md \
+    || { echo "MIGRATION.md must record the sorted stats output"; fail=1; }
+
 if [ "$fail" -eq 0 ]; then
     echo "doc links ok (${docs[*]})"
 fi

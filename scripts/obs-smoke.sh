@@ -1,0 +1,188 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the observability surface: start `citesys
+# serve --listen --metrics --slow-cite-ms 0`, drive a commit storm
+# through the client while scraping the HTTP /metrics endpoint, assert
+# the Prometheus text exposition parses and reconciles with the storm,
+# assert the slow-cite log fired for every cite at threshold 0, then
+# restart at a high threshold and assert the log stays silent. CI runs
+# this after the release build; it needs only loopback networking.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/citesys
+if [ ! -x "$BIN" ]; then
+    cargo build --release --bin citesys
+fi
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill "$server_pid" 2>/dev/null || true
+        wait "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# ---- phase 1: storm + scrape + slow-cite at threshold 0 -------------
+
+start_server() { # $1 = --slow-cite-ms value
+    "$BIN" serve --listen 127.0.0.1:0 --metrics 127.0.0.1:0 \
+        --slow-cite-ms "$1" \
+        > "$workdir/server.out" 2> "$workdir/server.err" &
+    server_pid=$!
+    addr="" maddr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^listening on //p' "$workdir/server.out")
+        maddr=$(sed -n 's/^metrics on //p' "$workdir/server.out")
+        [ -n "$addr" ] && [ -n "$maddr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$addr" ] || [ -z "$maddr" ]; then
+        echo "server did not report its addresses"
+        cat "$workdir/server.err"
+        exit 1
+    fi
+}
+
+stop_server() {
+    echo "shutdown" | "$BIN" client "$addr" > /dev/null
+    wait "$server_pid"
+    server_pid=""
+}
+
+scrape() { # one HTTP GET of the exposition, body to stdout
+    exec 3<>"/dev/tcp/${maddr%:*}/${maddr#*:}"
+    printf 'GET /metrics HTTP/1.1\r\nHost: smoke\r\n\r\n' >&3
+    local body=0 status=""
+    while IFS= read -r line <&3; do
+        line=${line%$'\r'}
+        if [ -z "$status" ]; then
+            status="$line"
+            case "$status" in
+                "HTTP/1.1 200 OK") ;;
+                *) echo "FAIL: scrape status '$status'"; exit 1 ;;
+            esac
+            continue
+        fi
+        if [ "$body" -eq 1 ]; then
+            printf '%s\n' "$line"
+        elif [ -z "$line" ]; then
+            body=1
+        fi
+    done
+    exec 3<&- 3>&-
+}
+
+start_server 0
+
+cat > "$workdir/setup.cts" <<'EOF'
+schema Family(FID:int, FName:text) key(0)
+insert Family(0, 'Calcitonin')
+view V(FID, FName) :- Family(FID, FName) | cite CV(D) :- D = 'GtoPdb'
+commit
+EOF
+"$BIN" client "$addr" "$workdir/setup.cts" > /dev/null
+
+# The storm: 20 commit transactions with a cite after each, pipelined,
+# scraping the endpoint while commits are in flight.
+storm() {
+    for i in $(seq 1 20); do
+        echo "begin"
+        echo "insert Family($i, 'F$i')"
+        echo "commit"
+        echo "cite Q(FName) :- Family(FID, FName)"
+    done
+}
+storm > "$workdir/storm.cts"
+"$BIN" client --pipeline "$addr" "$workdir/storm.cts" > "$workdir/storm.out" &
+storm_pid=$!
+scrape > "$workdir/mid.metrics"   # mid-storm scrape must not wedge anything
+wait "$storm_pid"
+if grep -q "^err" "$workdir/storm.out"; then
+    echo "FAIL: storm had errors"
+    head "$workdir/storm.out"
+    exit 1
+fi
+
+scrape > "$workdir/final.metrics"
+
+# The exposition must parse: every non-comment line is
+# `name[{labels}] value` with a numeric value, and HELP/TYPE pairs
+# precede their samples.
+check_exposition() {
+    awk '
+        /^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* / { help[$3] = 1; next }
+        /^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$/ { type[$3] = 1; next }
+        /^#/ { print "bad comment: " $0; exit 1 }
+        /^$/ { next }
+        {
+            if ($0 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9][0-9.e+-]*$/) {
+                print "unparseable sample: " $0; exit 1
+            }
+            base = $1; sub(/\{.*/, "", base)
+            fam = base
+            sub(/_(bucket|sum|count)$/, "", fam)
+            if (!((fam in type && fam in help) || (base in type && base in help))) {
+                print "sample without metadata: " $0; exit 1
+            }
+            samples++
+        }
+        END { if (samples == 0) { print "empty exposition"; exit 1 } }
+    ' "$1" || { echo "FAIL: exposition $1 invalid"; exit 1; }
+}
+check_exposition "$workdir/mid.metrics"
+check_exposition "$workdir/final.metrics"
+
+# Reconcile the final scrape with the storm: 21 commits (setup + 20),
+# 21 timed cites, and the cite histogram's count agrees.
+metric() { # $1 file, $2 series
+    awk -v s="$2" '$1 == s { print $2 }' "$1"
+}
+commits=$(metric "$workdir/final.metrics" "citesys_commits_total")
+cites=$(metric "$workdir/final.metrics" "citesys_cite_seconds_count")
+slow=$(metric "$workdir/final.metrics" "citesys_slow_cites_total")
+if [ "$commits" != "21" ]; then
+    echo "FAIL: citesys_commits_total=$commits (want 21)"
+    exit 1
+fi
+if [ "$cites" != "20" ]; then
+    echo "FAIL: citesys_cite_seconds_count=$cites (want 20)"
+    exit 1
+fi
+if [ "$slow" != "20" ]; then
+    echo "FAIL: citesys_slow_cites_total=$slow (want 20 at threshold 0)"
+    exit 1
+fi
+
+stop_server
+
+# Every cite crossed threshold 0, so every cite logged one slow-cite
+# line with its span breakdown and plan-cache verdict.
+slow_lines=$(grep -c "^slow-cite total=" "$workdir/server.err" || true)
+if [ "$slow_lines" -ne 20 ]; then
+    echo "FAIL: $slow_lines slow-cite lines at threshold 0 (want 20)"
+    cat "$workdir/server.err"
+    exit 1
+fi
+if ! grep -q "plan_cache=miss" "$workdir/server.err" ||
+    ! grep -q "plan_cache=hit" "$workdir/server.err"; then
+    echo "FAIL: slow-cite log lacks plan-cache verdicts"
+    cat "$workdir/server.err"
+    exit 1
+fi
+
+# ---- phase 2: a sane threshold stays silent -------------------------
+
+start_server 60000
+"$BIN" client "$addr" "$workdir/setup.cts" > /dev/null
+echo "cite Q(FName) :- Family(FID, FName)" | "$BIN" client "$addr" > /dev/null
+stop_server
+if grep -q "^slow-cite" "$workdir/server.err"; then
+    echo "FAIL: slow-cite log fired below a 60s threshold"
+    cat "$workdir/server.err"
+    exit 1
+fi
+
+echo "obs smoke ok ($addr, scrape $maddr)"

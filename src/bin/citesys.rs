@@ -52,7 +52,8 @@ fn usage() -> String {
      serve [--data-dir <path>] [--plan-cache <path>] [--listen <addr>]\n        \
      [--follow <addr>] [--workers <n>] [--idle-timeout <secs>] [--commit-window-ms <ms>]\n        \
      [--event-loop] [--max-connections <n>]\n        \
-     [--checkpoint-every <records>] [--retain-checkpoints <n>]\n                 \
+     [--checkpoint-every <records>] [--retain-checkpoints <n>]\n        \
+     [--metrics <addr>] [--slow-cite-ms <n>]\n                 \
      interactive: execute each stdin line as it arrives,\n                 \
      reusing one citation service (warm plan cache) per session.\n                 \
      --data-dir makes the store durable: the newest checkpoint is\n                 \
@@ -81,7 +82,13 @@ fn usage() -> String {
      --checkpoint-every writes a checkpoint automatically once the WAL\n                 \
      holds that many records; --retain-checkpoints keeps the newest <n>\n                 \
      superseded checkpoints as time-travel anchors so 'cite … @ <version>'\n                 \
-     reaches back past checkpoints (both require --data-dir)\n  \
+     reaches back past checkpoints (both require --data-dir)\n                 \
+     --metrics serves Prometheus text exposition at\n                 \
+     http://<addr>/metrics (cite-stage latency histograms, WAL/commit\n                 \
+     timings, replication lag gauges) and turns latency timings on;\n                 \
+     --slow-cite-ms logs every cite at or over <n> ms to stderr as one\n                 \
+     'slow-cite' line with its per-stage span breakdown and\n                 \
+     plan-cache hit/miss\n  \
      client [--pipeline] <addr> [script-file]\n                 \
      run a script (or stdin) against a serve --listen server and\n                 \
      print the responses; --pipeline sends every line up front\n                 \
@@ -120,7 +127,10 @@ fn usage() -> String {
      version (time travel); the citation is stamped with it\n  \
      verify / tables / dump Name / load Name from '<path>' / trace\n  \
      stats          commit/swap/group-window, plan/view-cache, WAL and\n                 \
-     history counters (history_base_version, checkpoints_retained)\n  \
+     history counters (history_base_version, checkpoints_retained),\n                 \
+     sorted by name\n  \
+     metrics        the full metrics registry in Prometheus text\n                 \
+     exposition format (the serve --metrics scrape payload)\n  \
      checkpoint     snapshot the durable store and reset the WAL (--data-dir)\n  \
      snapshot [@ <version>]   print the sha256 fixity digest of a version\n  \
      compact [<window>]       trim history to the newest <window> versions\n  \
@@ -152,6 +162,8 @@ struct ServeOpts {
     max_connections: Option<usize>,
     checkpoint_every: Option<u64>,
     retain_checkpoints: Option<usize>,
+    metrics: Option<String>,
+    slow_cite_ms: Option<u64>,
 }
 
 fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, String> {
@@ -167,6 +179,8 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, String> {
         max_connections: None,
         checkpoint_every: None,
         retain_checkpoints: None,
+        metrics: None,
+        slow_cite_ms: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -223,6 +237,14 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, String> {
                     take("--max-connections")?
                         .parse()
                         .map_err(|_| "--max-connections needs a number".to_string())?,
+                )
+            }
+            "--metrics" => opts.metrics = Some(take("--metrics")?),
+            "--slow-cite-ms" => {
+                opts.slow_cite_ms = Some(
+                    take("--slow-cite-ms")?
+                        .parse()
+                        .map_err(|_| "--slow-cite-ms needs milliseconds".to_string())?,
                 )
             }
             other => return Err(format!("unknown serve option '{other}'")),
@@ -326,6 +348,8 @@ fn serve_tcp(opts: &ServeOpts) -> i32 {
     if let Some(n) = opts.retain_checkpoints {
         config.retain_checkpoints = n;
     }
+    config.metrics = opts.metrics.clone();
+    config.slow_cite_ms = opts.slow_cite_ms;
     let max_connections = config.max_connections;
     let server = match Server::spawn(config) {
         Ok(s) => s,
@@ -341,6 +365,10 @@ fn serve_tcp(opts: &ServeOpts) -> i32 {
     if opts.event_loop {
         // Parsed by scripts/CI to confirm the transport in use.
         println!("event loop enabled (max {max_connections} connections)");
+    }
+    if let Some(addr) = server.metrics_addr() {
+        // Parsed by scripts/CI to discover the scrape endpoint.
+        println!("metrics on {addr}");
     }
     // Parsed by scripts/CI to discover an ephemeral port.
     println!("listening on {}", server.local_addr());
@@ -384,6 +412,31 @@ fn serve_stdin(opts: &ServeOpts) -> i32 {
             }
         },
         None => Interpreter::new(),
+    };
+    interp.shared().lock().set_slow_cite_ms(opts.slow_cite_ms);
+    let metrics_shutdown = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let metrics_thread = match &opts.metrics {
+        Some(addr) => {
+            // Scraping without timings would expose empty histograms.
+            interp.shared().lock().obs().set_timings_enabled(true);
+            match citesys::net::spawn_metrics_server(
+                addr,
+                std::sync::Arc::clone(interp.shared()),
+                std::sync::Arc::clone(&metrics_shutdown),
+            ) {
+                Ok((bound, handle)) => {
+                    if interactive {
+                        eprintln!("metrics on {bound}");
+                    }
+                    Some(handle)
+                }
+                Err(e) => {
+                    eprintln!("error starting metrics endpoint on {addr}: {e}");
+                    return EXIT_IO;
+                }
+            }
+        }
+        None => None,
     };
     let saver = match plan_cache {
         Some(path) => {
@@ -431,6 +484,10 @@ fn serve_stdin(opts: &ServeOpts) -> i32 {
                 eprintln!("error writing plan cache {}: {e}", saver.path().display());
             }
         }
+    }
+    metrics_shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    if let Some(handle) = metrics_thread {
+        let _ = handle.join();
     }
     if let Some(saver) = &saver {
         if interp.has_pending_plan_import() {
