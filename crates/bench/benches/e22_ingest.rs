@@ -1,0 +1,29 @@
+//! E22 bench: streaming bulk-ingest throughput vs batch size.
+//!
+//! Each arm ingests the same emitted GtoPdb CSV dump into a fresh
+//! in-memory store with a different tuples-per-commit batch size. Small
+//! batches pay the commit path per handful of tuples; large batches
+//! amortize it against a bigger in-flight buffer (the memory side of
+//! the trade is reported by the repro table's peak-buffered column).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use citesys_bench::e22::{config, emit_dump, ingest_once};
+
+fn bench(c: &mut Criterion) {
+    let quick = std::env::var_os("CITESYS_BENCH_QUICK").is_some();
+    let (scale, batches) = config(quick);
+    let (dump, _records) = emit_dump(scale);
+    let mut group = c.benchmark_group("e22_ingest_throughput");
+    group.sample_size(10);
+    for batch in batches {
+        group.bench_function(format!("batch_{batch}"), |b| {
+            b.iter(|| ingest_once(&dump, batch));
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dump);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! `repro` — regenerates every experiment table (E1–E21).
+//! `repro` — regenerates every experiment table (E1–E22).
 //!
 //! Usage:
 //! ```text
@@ -41,6 +41,7 @@ fn main() {
             "e19" => Some(citesys_bench::e19::table(quick)),
             "e20" => Some(citesys_bench::e20::table(quick)),
             "e21" => Some(citesys_bench::e21::table(quick)),
+            "e22" => Some(citesys_bench::e22::table(quick)),
             other => {
                 eprintln!("unknown experiment id: {other}");
                 None

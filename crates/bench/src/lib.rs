@@ -27,6 +27,7 @@
 //! | E19 | event-driven transport: scale, tails, pipelining | [`e19`] |
 //! | E20 | time travel: @ version latency, compaction savings | [`e20`] |
 //! | E21 | observability overhead on the cite hot path | [`e21`] |
+//! | E22 | streaming bulk ingestion: batch size vs throughput/memory | [`e22`] |
 //!
 //! Run `cargo run -p citesys-bench --release --bin repro` to print every
 //! table; Criterion benches under `benches/` time the same operations.
@@ -47,6 +48,7 @@ pub mod e19;
 pub mod e2;
 pub mod e20;
 pub mod e21;
+pub mod e22;
 pub mod e3;
 pub mod e4;
 pub mod e5;
@@ -81,5 +83,6 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e19::table(quick),
         e20::table(quick),
         e21::table(quick),
+        e22::table(quick),
     ]
 }

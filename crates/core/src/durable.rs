@@ -97,6 +97,12 @@ impl DurableHandle {
         self.backend.wal_records()
     }
 
+    /// The backend's on-disk data directory (`None` for in-memory
+    /// backends) — where sibling files like the dataset manifest live.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.backend.data_dir()
+    }
+
     /// The backend's recovery state (consumed once at open).
     pub fn take_recovery(&mut self) -> Recovery {
         self.backend.take_recovery()

@@ -1,0 +1,161 @@
+//! `emit` mode: write a synthetic GtoPdb instance as per-relation CSV
+//! dump files — multi-million-tuple inputs for the ingestion smoke test
+//! and benches, produced without ever materializing the database.
+//!
+//! Rows stream straight from the generator to buffered per-relation
+//! writers, so emitting a 2M-tuple dump holds only file buffers in
+//! memory. Output is deterministic in the seed and byte-stable: the
+//! same `GtopdbConfig` always emits identical files (the manifest
+//! digests in the ingestion registry rely on this).
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use citesys_storage::{csv_header, render_csv_value, Tuple};
+
+use crate::generator::{populate, GtopdbConfig, TupleSink};
+use crate::schema::gtopdb_schemas;
+
+/// Summary of one emitted dump.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EmitStats {
+    /// `(file name, records written)` per relation, in name order.
+    pub files: Vec<(String, u64)>,
+    /// Total records across all files.
+    pub records: u64,
+}
+
+/// Streaming CSV sink: one `<Relation>.csv` per gtopdb relation.
+pub(crate) struct CsvEmit {
+    writers: BTreeMap<String, (PathBuf, BufWriter<File>, u64)>,
+    error: Option<io::Error>,
+}
+
+impl CsvEmit {
+    fn create(dir: &Path) -> io::Result<CsvEmit> {
+        std::fs::create_dir_all(dir)?;
+        let mut writers = BTreeMap::new();
+        for schema in gtopdb_schemas() {
+            let path = dir.join(format!("{}.csv", schema.name));
+            let mut w = BufWriter::new(File::create(&path)?);
+            w.write_all(csv_header(&schema).as_bytes())?;
+            w.write_all(b"\n")?;
+            writers.insert(schema.name.to_string(), (path, w, 0));
+        }
+        Ok(CsvEmit {
+            writers,
+            error: None,
+        })
+    }
+
+    fn finish(mut self) -> io::Result<EmitStats> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        let mut files = Vec::new();
+        let mut records = 0;
+        for (rel, (path, mut w, n)) in self.writers {
+            w.flush()?;
+            w.into_inner()
+                .map_err(|e| io::Error::other(e.to_string()))?
+                .sync_all()?;
+            let _ = path;
+            files.push((format!("{rel}.csv"), n));
+            records += n;
+        }
+        Ok(EmitStats { files, records })
+    }
+}
+
+impl TupleSink for CsvEmit {
+    fn insert(&mut self, rel: &str, t: Tuple) {
+        if self.error.is_some() {
+            return;
+        }
+        let (_, w, n) = self
+            .writers
+            .get_mut(rel)
+            .expect("generator only emits gtopdb relations");
+        let mut line = String::new();
+        for (i, v) in t.values().iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&render_csv_value(v));
+        }
+        line.push('\n');
+        if let Err(e) = w.write_all(line.as_bytes()) {
+            self.error = Some(e);
+            return;
+        }
+        *n += 1;
+    }
+}
+
+/// Emits the configured instance as CSV dump files under `dir`
+/// (creating it), returning per-file record counts.
+pub fn emit_csv(dir: &Path, cfg: &GtopdbConfig) -> io::Result<EmitStats> {
+    let mut sink = CsvEmit::create(dir)?;
+    populate(&mut sink, cfg);
+    sink.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+    use citesys_storage::{digest_database, load_csv, Database};
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("citesys-emit-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn emitted_dump_matches_in_memory_generation() {
+        let dir = tmp("match");
+        let cfg = GtopdbConfig::default();
+        let stats = emit_csv(&dir, &cfg).unwrap();
+        assert_eq!(stats.files.len(), 8);
+        let mut db = Database::new();
+        for (file, _) in &stats.files {
+            let rel = file.strip_suffix(".csv").unwrap();
+            let text = std::fs::read_to_string(dir.join(file)).unwrap();
+            // Keys in the dump header match the canonical schemas.
+            let schema = gtopdb_schemas()
+                .into_iter()
+                .find(|s| s.name == rel)
+                .unwrap();
+            let n = load_csv(&mut db, rel, &schema.key, &text).unwrap();
+            assert_eq!(
+                n as u64,
+                stats.files.iter().find(|(f, _)| f == file).unwrap().1
+            );
+        }
+        assert_eq!(digest_database(&db), digest_database(&generate(&cfg)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn emission_is_byte_deterministic() {
+        let d1 = tmp("det1");
+        let d2 = tmp("det2");
+        let cfg = GtopdbConfig {
+            scale: 2,
+            ..Default::default()
+        };
+        emit_csv(&d1, &cfg).unwrap();
+        emit_csv(&d2, &cfg).unwrap();
+        for schema in gtopdb_schemas() {
+            let f = format!("{}.csv", schema.name);
+            assert_eq!(
+                std::fs::read(d1.join(&f)).unwrap(),
+                std::fs::read(d2.join(&f)).unwrap(),
+                "{f}"
+            );
+        }
+        std::fs::remove_dir_all(&d1).unwrap();
+        std::fs::remove_dir_all(&d2).unwrap();
+    }
+}

@@ -100,7 +100,7 @@ pub fn generate(cfg: &GtopdbConfig) -> Database {
     for s in gtopdb_schemas() {
         db.create_relation(s).expect("fresh database");
     }
-    populate(&mut Sink::Plain(&mut db), cfg);
+    populate(&mut db, cfg);
     db
 }
 
@@ -108,31 +108,30 @@ pub fn generate(cfg: &GtopdbConfig) -> Database {
 /// initial load (version 1).
 pub fn generate_versioned(cfg: &GtopdbConfig) -> VersionedDatabase {
     let mut vdb = VersionedDatabase::new(gtopdb_schemas()).expect("fresh store");
-    populate(&mut Sink::Versioned(&mut vdb), cfg);
+    populate(&mut vdb, cfg);
     vdb.commit();
     vdb
 }
 
-/// Insert target used by [`populate`] (plain or versioned).
-enum Sink<'a> {
-    Plain(&'a mut Database),
-    Versioned(&'a mut VersionedDatabase),
+/// Insert target used by [`populate`]: a plain database, a versioned
+/// store, or the streaming CSV emitter ([`crate::emit::CsvEmit`]).
+pub(crate) trait TupleSink {
+    fn insert(&mut self, rel: &str, t: Tuple);
 }
 
-impl Sink<'_> {
+impl TupleSink for Database {
     fn insert(&mut self, rel: &str, t: Tuple) {
-        match self {
-            Sink::Plain(db) => {
-                db.insert(rel, t).expect("generated tuple is schema-valid");
-            }
-            Sink::Versioned(vdb) => {
-                vdb.insert(rel, t).expect("generated tuple is schema-valid");
-            }
-        }
+        Database::insert(self, rel, t).expect("generated tuple is schema-valid");
     }
 }
 
-fn populate(sink: &mut Sink<'_>, cfg: &GtopdbConfig) {
+impl TupleSink for VersionedDatabase {
+    fn insert(&mut self, rel: &str, t: Tuple) {
+        VersionedDatabase::insert(self, rel, t).expect("generated tuple is schema-valid");
+    }
+}
+
+pub(crate) fn populate(sink: &mut dyn TupleSink, cfg: &GtopdbConfig) {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let n_fam = cfg.families();
     let n_contrib = cfg.contributors();

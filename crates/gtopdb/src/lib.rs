@@ -17,12 +17,16 @@
 //! * [`eaglei`]: an RDF-style triple store with per-class citation views
 //!   (§3 *Other models*);
 //! * [`workload`]: standard query workloads and candidate view pools for
-//!   the view-selection experiment.
+//!   the view-selection experiment;
+//! * [`emit`]: streams a generated instance to per-relation CSV dump
+//!   files on disk (the `citesys-gtopdb emit` binary mode) — realistic
+//!   multi-million-tuple inputs for `citesys ingest`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod eaglei;
+pub mod emit;
 pub mod generator;
 pub mod reactome;
 pub mod schema;
@@ -30,6 +34,7 @@ pub mod synthetic;
 pub mod views;
 pub mod workload;
 
+pub use emit::{emit_csv, EmitStats};
 pub use generator::{generate, generate_versioned, GtopdbConfig};
 pub use schema::gtopdb_schemas;
 pub use views::{family_views, full_registry, DB_CITATION};

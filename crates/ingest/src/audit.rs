@@ -1,0 +1,173 @@
+//! Append-only audit log: who loaded what, when.
+//!
+//! Unlike the manifest (a rewritable registry of the *current* pins),
+//! the audit log only grows — re-ingesting a dataset appends a new line
+//! rather than replacing history. Format:
+//!
+//! ```text
+//! citesys-audit v1
+//! <unix-seconds> <user> loaded <dataset> files <n> records <n> versions <a> <b>
+//! ```
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::Path;
+
+use crate::error::{io_err, IngestError};
+use crate::manifest::sync_parent_dir;
+
+/// Header line gating the audit log format version.
+pub const AUDIT_HEADER: &str = "citesys-audit v1";
+
+/// Default audit log file name inside a data directory.
+pub const AUDIT_FILE: &str = "datasets.audit";
+
+/// One audit event: a completed dataset load.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AuditRecord {
+    /// Unix seconds when the load committed.
+    pub at: u64,
+    /// Who ran the load (the `USER` env var, or `unknown`).
+    pub by: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Source files loaded.
+    pub files: u64,
+    /// Data records loaded.
+    pub records: u64,
+    /// First commit version of the load.
+    pub first_version: u64,
+    /// Last commit version of the load.
+    pub last_version: u64,
+}
+
+impl AuditRecord {
+    fn to_line(&self) -> String {
+        format!(
+            "{} {} loaded {} files {} records {} versions {} {}",
+            self.at,
+            self.by,
+            self.dataset,
+            self.files,
+            self.records,
+            self.first_version,
+            self.last_version
+        )
+    }
+
+    fn from_line(line: &str) -> Result<AuditRecord, String> {
+        let parts: Vec<&str> = line.split(' ').collect();
+        if parts.len() != 11
+            || parts[2] != "loaded"
+            || parts[4] != "files"
+            || parts[6] != "records"
+            || parts[8] != "versions"
+        {
+            return Err(format!("bad audit line '{line}'"));
+        }
+        let num = |s: &str| s.parse::<u64>().map_err(|_| format!("bad number '{s}'"));
+        Ok(AuditRecord {
+            at: num(parts[0])?,
+            by: parts[1].to_string(),
+            dataset: parts[3].to_string(),
+            files: num(parts[5])?,
+            records: num(parts[7])?,
+            first_version: num(parts[9])?,
+            last_version: num(parts[10])?,
+        })
+    }
+}
+
+/// Appends one record (creating the log with its header on first use)
+/// and fsyncs, so the audit trail survives a crash right after a load.
+pub fn append_audit(path: &Path, record: &AuditRecord) -> Result<(), IngestError> {
+    let fresh = !path.exists();
+    let mut f = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(io_err(path))?;
+    let mut out = String::new();
+    if fresh {
+        out.push_str(AUDIT_HEADER);
+        out.push('\n');
+    }
+    out.push_str(&record.to_line());
+    out.push('\n');
+    f.write_all(out.as_bytes()).map_err(io_err(path))?;
+    f.sync_all().map_err(io_err(path))?;
+    if fresh {
+        sync_parent_dir(path)?;
+    }
+    Ok(())
+}
+
+/// Reads the whole audit log; `Ok(vec![])` when the file does not exist.
+pub fn read_audit(path: &Path) -> Result<Vec<AuditRecord>, IngestError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(io_err(path)(e)),
+    };
+    let corrupt = |message: String| IngestError::Corrupt {
+        path: path.to_path_buf(),
+        message,
+    };
+    let mut lines = text.lines().map(|l| l.strip_suffix('\r').unwrap_or(l));
+    match lines.next() {
+        Some(AUDIT_HEADER) => {}
+        Some(other) => return Err(corrupt(format!("unsupported audit header '{other}'"))),
+        None => return Ok(Vec::new()),
+    }
+    let mut records = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        records.push(AuditRecord::from_line(line).map_err(corrupt)?);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at: u64, dataset: &str) -> AuditRecord {
+        AuditRecord {
+            at,
+            by: "curator".into(),
+            dataset: dataset.into(),
+            files: 8,
+            records: 2_000_000,
+            first_version: 3,
+            last_version: 203,
+        }
+    }
+
+    #[test]
+    fn append_only_round_trip() {
+        let dir = std::env::temp_dir().join(format!("citesys-audit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(AUDIT_FILE);
+        assert!(read_audit(&path).unwrap().is_empty());
+        append_audit(&path, &rec(100, "gtopdb")).unwrap();
+        append_audit(&path, &rec(200, "gtopdb")).unwrap();
+        let all = read_audit(&path).unwrap();
+        assert_eq!(all.len(), 2, "re-loads append, never replace");
+        assert_eq!(all[0].at, 100);
+        assert_eq!(all[1].at, 200);
+        assert_eq!(all[1].records, 2_000_000);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn header_gate() {
+        let dir = std::env::temp_dir().join(format!("citesys-audit-hg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(AUDIT_FILE);
+        std::fs::write(&path, "citesys-audit v9\n").unwrap();
+        assert!(read_audit(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for the ingestion subsystem.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use citesys_storage::StorageError;
+
+/// Errors produced while streaming a dump or handling the registry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum IngestError {
+    /// An I/O failure on a source file, manifest or audit log.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying error rendered as text.
+        message: String,
+    },
+    /// A record or header failed typed parsing (carries the 1-based
+    /// record number via [`StorageError::CsvRecord`]).
+    Parse(StorageError),
+    /// A manifest or audit file is malformed.
+    Corrupt {
+        /// The file involved.
+        path: PathBuf,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io { path, message } => {
+                write!(f, "io error on {}: {message}", path.display())
+            }
+            IngestError::Parse(e) => write!(f, "{e}"),
+            IngestError::Corrupt { path, message } => {
+                write!(f, "corrupt {}: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<StorageError> for IngestError {
+    fn from(e: StorageError) -> Self {
+        IngestError::Parse(e)
+    }
+}
+
+pub(crate) fn io_err(path: &std::path::Path) -> impl Fn(std::io::Error) -> IngestError + '_ {
+    move |e| IngestError::Io {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    }
+}

@@ -66,6 +66,10 @@ pub struct StoreObs {
     pub(crate) disconnects_oversized: Arc<Counter>,
     // Slow-cite log.
     pub(crate) slow_cites: Arc<Counter>,
+    // Streaming bulk ingestion.
+    pub(crate) ingest_records: Arc<Counter>,
+    pub(crate) ingest_batches: Arc<Counter>,
+    pub(crate) ingest_batch_seconds: Arc<Histogram>,
     // Latency histograms.
     pub(crate) cite_seconds: Arc<Histogram>,
     stage_parse: Arc<Histogram>,
@@ -162,6 +166,18 @@ impl StoreObs {
             slow_cites: r.counter(
                 "citesys_slow_cites_total",
                 "Cites over the --slow-cite-ms threshold",
+            ),
+            ingest_records: r.counter(
+                "citesys_ingest_records_total",
+                "Records committed by streaming bulk ingestion",
+            ),
+            ingest_batches: r.counter(
+                "citesys_ingest_batches_total",
+                "Batches committed by streaming bulk ingestion",
+            ),
+            ingest_batch_seconds: r.histogram(
+                "citesys_ingest_batch_seconds",
+                "Per-batch ingest latency: parse through commit acknowledgement",
             ),
             cite_seconds: r.histogram("citesys_cite_seconds", "End-to-end cite latency"),
             stage_parse: stage("parse"),

@@ -159,12 +159,36 @@ pub enum Command {
         /// Relation name.
         rel: String,
     },
-    /// `load Name from '<path>'` — bulk-load CSV rows.
+    /// `load Name from '<path>' [key(i, …)]` — bulk-load CSV rows.
     Load {
         /// Relation name.
         rel: String,
         /// CSV file path.
         path: String,
+        /// Key attribute positions; `None` infers header order when the
+        /// load declares the relation.
+        key: Option<Vec<usize>>,
+    },
+    /// `ingest '<dir>' [as <name>] [manifest '<path>'] [batch <n>]` —
+    /// stream a directory of CSV/JSONL dumps into the store in
+    /// changeset-sized batches and pin the load in the dataset registry.
+    Ingest {
+        /// Directory holding `<Relation>.csv` / `<Relation>.jsonl` dumps.
+        dir: String,
+        /// Dataset name (defaults to the directory's base name).
+        dataset: Option<String>,
+        /// Manifest path override (defaults to `<data-dir>/datasets.lock`).
+        manifest: Option<String>,
+        /// Records per committed batch (defaults to the ingest default).
+        batch: Option<usize>,
+    },
+    /// `datasets` — list the registered dataset loads.
+    Datasets,
+    /// `dataset verify ['<manifest>']` — re-hash pinned sources and
+    /// re-digest the store at each load's last version.
+    DatasetVerify {
+        /// Manifest path override (defaults to `<data-dir>/datasets.lock`).
+        manifest: Option<String>,
     },
     /// `trace` — arm a derivation trace for the next `cite`.
     Trace,
@@ -216,14 +240,22 @@ pub fn parse_command(raw: &str) -> Result<Option<Command>, ParseError> {
         "dump" => Command::Dump {
             rel: rest.trim().to_string(),
         },
-        "load" => {
-            let (name, after) = rest
-                .trim()
-                .split_once(" from ")
-                .ok_or_else(|| perr("expected: load <Relation> from '<path>'"))?;
-            Command::Load {
-                rel: name.trim().to_string(),
-                path: after.trim().trim_matches('\'').to_string(),
+        "load" => parse_load(rest)?,
+        "ingest" => parse_ingest(rest)?,
+        "datasets" => {
+            if !rest.trim().is_empty() {
+                return Err(perr("expected: datasets"));
+            }
+            Command::Datasets
+        }
+        "dataset" => {
+            let rest = rest.trim();
+            let tail = rest
+                .strip_prefix("verify")
+                .ok_or_else(|| perr("expected: dataset verify ['<manifest>']"))?
+                .trim();
+            Command::DatasetVerify {
+                manifest: parse_optional_quoted(tail, "dataset verify ['<manifest>']")?,
             }
         }
         "trace" => Command::Trace,
@@ -281,6 +313,110 @@ fn parse_schema(rest: &str) -> Result<Command, ParseError> {
         attrs,
         key,
     })
+}
+
+// load Family from '/dumps/Family.csv' key(0)
+fn parse_load(rest: &str) -> Result<Command, ParseError> {
+    let (name, after) = rest
+        .trim()
+        .split_once(" from ")
+        .ok_or_else(|| perr("expected: load <Relation> from '<path>' [key(i, …)]"))?;
+    let after = after.trim();
+    let (path_part, key) = match after.rfind(" key(") {
+        Some(idx) => (
+            after[..idx].trim(),
+            Some(parse_key_positions(after[idx + 1..].trim())?),
+        ),
+        None => (after, None),
+    };
+    Ok(Command::Load {
+        rel: name.trim().to_string(),
+        path: path_part.trim_matches('\'').to_string(),
+        key,
+    })
+}
+
+// key(0, 1) — positions only; range checking happens against the header.
+fn parse_key_positions(spec: &str) -> Result<Vec<usize>, ParseError> {
+    let inner = spec
+        .strip_prefix("key(")
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| perr("expected key(i, …)"))?;
+    let mut key = Vec::new();
+    for idx in inner.split(',') {
+        key.push(
+            idx.trim()
+                .parse::<usize>()
+                .map_err(|_| perr(format!("bad key position '{idx}'")))?,
+        );
+    }
+    Ok(key)
+}
+
+// ingest '/dumps/gtopdb' as gtopdb manifest '/data/datasets.lock' batch 50000
+fn parse_ingest(rest: &str) -> Result<Command, ParseError> {
+    let rest = rest.trim();
+    let usage = "expected: ingest '<dir>' [as <name>] [manifest '<path>'] [batch <n>]";
+    let (dir, mut tail) = take_quoted(rest).ok_or_else(|| perr(usage))?;
+    let mut dataset = None;
+    let mut manifest = None;
+    let mut batch = None;
+    while !tail.is_empty() {
+        let (word, after) = tail.split_once(' ').unwrap_or((tail, ""));
+        match word {
+            "as" => {
+                let (name, more) = after.trim().split_once(' ').unwrap_or((after.trim(), ""));
+                if name.is_empty() {
+                    return Err(perr("'as' needs a dataset name"));
+                }
+                dataset = Some(name.to_string());
+                tail = more.trim();
+            }
+            "manifest" => {
+                let (p, more) =
+                    take_quoted(after.trim()).ok_or_else(|| perr("'manifest' needs a '<path>'"))?;
+                manifest = Some(p);
+                tail = more;
+            }
+            "batch" => {
+                let (n, more) = after.trim().split_once(' ').unwrap_or((after.trim(), ""));
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| perr(format!("bad batch size '{n}'")))?;
+                if n == 0 {
+                    return Err(perr("batch size must be positive"));
+                }
+                batch = Some(n);
+                tail = more.trim();
+            }
+            other => return Err(perr(format!("unknown ingest clause '{other}'; {usage}"))),
+        }
+    }
+    Ok(Command::Ingest {
+        dir,
+        dataset,
+        manifest,
+        batch,
+    })
+}
+
+/// Takes a leading `'…'`-quoted string, returning it and the trimmed
+/// remainder.
+fn take_quoted(s: &str) -> Option<(String, &str)> {
+    let rest = s.strip_prefix('\'')?;
+    let end = rest.find('\'')?;
+    Some((rest[..end].to_string(), rest[end + 1..].trim()))
+}
+
+/// An optional single `'…'`-quoted argument (whole-input form).
+fn parse_optional_quoted(s: &str, usage: &str) -> Result<Option<String>, ParseError> {
+    if s.is_empty() {
+        return Ok(None);
+    }
+    match take_quoted(s) {
+        Some((q, "")) => Ok(Some(q)),
+        _ => Err(perr(format!("expected: {usage}"))),
+    }
 }
 
 // view <rule> | cite <rule> [| cite <rule>] [| static k=v]...
@@ -1031,6 +1167,87 @@ mod tests {
         assert!(parse_command("   # just a comment").unwrap().is_none());
         assert!(parse_command("").unwrap().is_none());
         assert!(parse_command("bogus").is_err());
+    }
+
+    #[test]
+    fn load_parses_optional_key() {
+        match parse_command("load Family from '/tmp/Family.csv'")
+            .unwrap()
+            .unwrap()
+        {
+            Command::Load { rel, path, key } => {
+                assert_eq!(rel, "Family");
+                assert_eq!(path, "/tmp/Family.csv");
+                assert_eq!(key, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_command("load Family from '/tmp/Family.csv' key(0, 2)")
+            .unwrap()
+            .unwrap()
+        {
+            Command::Load { key, .. } => assert_eq!(key, Some(vec![0, 2])),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_command("load Family '/x.csv'").is_err());
+        assert!(parse_command("load Family from '/x.csv' key(a)").is_err());
+    }
+
+    #[test]
+    fn ingest_and_dataset_commands_parse() {
+        match parse_command("ingest '/dumps/gtopdb'").unwrap().unwrap() {
+            Command::Ingest {
+                dir,
+                dataset,
+                manifest,
+                batch,
+            } => {
+                assert_eq!(dir, "/dumps/gtopdb");
+                assert_eq!(dataset, None);
+                assert_eq!(manifest, None);
+                assert_eq!(batch, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_command("ingest '/d' as gtopdb manifest '/data/datasets.lock' batch 50000")
+            .unwrap()
+            .unwrap()
+        {
+            Command::Ingest {
+                dir,
+                dataset,
+                manifest,
+                batch,
+            } => {
+                assert_eq!(dir, "/d");
+                assert_eq!(dataset.as_deref(), Some("gtopdb"));
+                assert_eq!(manifest.as_deref(), Some("/data/datasets.lock"));
+                assert_eq!(batch, Some(50_000));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_command("ingest /unquoted").is_err());
+        assert!(parse_command("ingest '/d' batch 0").is_err());
+        assert!(parse_command("ingest '/d' bogus").is_err());
+        assert!(matches!(
+            parse_command("datasets").unwrap().unwrap(),
+            Command::Datasets
+        ));
+        assert!(parse_command("datasets extra").is_err());
+        match parse_command("dataset verify").unwrap().unwrap() {
+            Command::DatasetVerify { manifest } => assert_eq!(manifest, None),
+            other => panic!("{other:?}"),
+        }
+        match parse_command("dataset verify '/data/datasets.lock'")
+            .unwrap()
+            .unwrap()
+        {
+            Command::DatasetVerify { manifest } => {
+                assert_eq!(manifest.as_deref(), Some("/data/datasets.lock"))
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_command("dataset drop x").is_err());
     }
 
     #[test]

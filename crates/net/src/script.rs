@@ -52,7 +52,9 @@
 //! plan caches (the rewriting space changed).
 
 use std::fmt;
-use std::path::Path;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use citesys_core::durable::{SECTION_DATABASE, SECTION_PLANS, SECTION_REGISTRY, SECTION_VIEWS};
@@ -60,11 +62,15 @@ use citesys_core::{
     cite_with_service, cite_with_service_spanned, format_citation, verify, CitationRegistry,
     CitationService, CitationView, Coverage, DurableHandle, EngineOptions, FixityToken, PlanCache,
 };
+use citesys_ingest::{
+    append_audit, verify_sources, AuditRecord, CsvReader, DatasetEntry, DatasetManifest,
+    HashCountRead, IngestConfig, JsonlReader, SourceFile, VerifyIssue, AUDIT_FILE, MANIFEST_FILE,
+};
 use citesys_obs::{SpanSet, SpanTimer};
 use citesys_storage::durability::{database_to_text, versioned_to_text};
 use citesys_storage::{
-    digest_database, to_csv, Changeset, CheckpointData, Database, RelationSchema, StorageError,
-    VersionedDatabase,
+    digest_database, to_csv, Changeset, CheckpointData, Database, Digest, RelationSchema,
+    StorageError, Tuple, VersionedDatabase,
 };
 use parking_lot::Mutex;
 
@@ -484,6 +490,49 @@ impl SharedStore {
             self.write_checkpoint()?;
         }
         Ok(())
+    }
+
+    /// The durable backend's on-disk data directory (`None` without
+    /// `--data-dir` or for in-memory backends) — where the dataset
+    /// manifest and audit log live by default.
+    pub fn data_dir(&self) -> Option<PathBuf> {
+        self.durability
+            .as_ref()
+            .and_then(|h| h.data_dir().map(Path::to_path_buf))
+    }
+
+    /// Admits a header-declared relation for a bulk load: matches it
+    /// against the declared (or live) schema, declaring it — with the
+    /// DDL checkpoint — when the store has not been initialized yet,
+    /// the same window `schema` itself has. A live store cannot grow
+    /// relations: older snapshots replay from the schema set, so a late
+    /// declaration would drift their fixity digests.
+    pub(crate) fn ensure_relation(&mut self, schema: &RelationSchema) -> Result<(), CmdError> {
+        let name = schema.name.as_str();
+        let live = self.store.is_some();
+        let existing = match &self.store {
+            Some(store) => store.schemas().iter().find(|s| s.name == schema.name),
+            None => self.schemas.iter().find(|s| s.name == schema.name),
+        };
+        match existing {
+            Some(ex) => {
+                if ex.attributes != schema.attributes {
+                    return Err(cite_err(format!(
+                        "relation {name}: header columns do not match the declared schema"
+                    )));
+                }
+                Ok(())
+            }
+            None if live => Err(cite_err(format!(
+                "relation {name} is not declared and the store already holds data: \
+                 declare schemas before any data command"
+            ))),
+            None => {
+                self.schemas.push(schema.clone());
+                self.checkpoint_after_ddl()?;
+                Ok(())
+            }
+        }
     }
 
     // -----------------------------------------------------------------
@@ -1181,6 +1230,7 @@ impl Interpreter {
             Command::Rollback => Some("rollback"),
             Command::Commit => Some("commit"),
             Command::Load { .. } => Some("load"),
+            Command::Ingest { .. } => Some("ingest"),
             _ => None,
         };
         if let Some(what) = mutating {
@@ -1198,7 +1248,15 @@ impl Interpreter {
             Command::Verify => self.cmd_verify(),
             Command::Tables => self.cmd_tables(),
             Command::Dump { rel } => self.cmd_dump(rel),
-            Command::Load { rel, path } => self.cmd_load(rel, path),
+            Command::Load { rel, path, key } => self.cmd_load(rel, path, key.as_deref()),
+            Command::Ingest {
+                dir,
+                dataset,
+                manifest,
+                batch,
+            } => self.cmd_ingest(dir, dataset.as_deref(), manifest.as_deref(), *batch),
+            Command::Datasets => self.cmd_datasets(),
+            Command::DatasetVerify { manifest } => self.cmd_dataset_verify(manifest.as_deref()),
             Command::Trace => {
                 // `trace` arms a derivation trace for the next `cite`.
                 self.trace_next = true;
@@ -1581,13 +1639,31 @@ impl Interpreter {
         Ok(())
     }
 
-    // load Family from 'path.csv'  — bulk-loads CSV rows into an existing
-    // relation (the header row's name:type columns must match the schema).
-    fn cmd_load(&mut self, rel: &str, path: &str) -> Result<(), CmdError> {
+    // load Family from 'path.csv' key(0) — bulk-loads CSV rows. The
+    // header row's name:type columns must match the declared schema; when
+    // the relation is not declared yet (and no data command initialized
+    // the store), the header declares it — `key(i, …)` picks the key
+    // attributes, defaulting to all columns in header order.
+    fn cmd_load(&mut self, rel: &str, path: &str, key: Option<&[usize]>) -> Result<(), CmdError> {
         let content = std::fs::read_to_string(path)
             .map_err(|e| cite_err(format!("cannot read {path}: {e}")))?;
-        let (_, tuples) =
+        let (header, tuples) =
             citesys_storage::from_csv(rel, &[], &content).map_err(|e| cite_err(e.to_string()))?;
+        let arity = header.arity();
+        let key: Vec<usize> = match key {
+            Some(k) => {
+                if let Some(&bad) = k.iter().find(|&&i| i >= arity) {
+                    return Err(parse_err(format!(
+                        "key position {bad} out of range (header has {arity} column(s))"
+                    )));
+                }
+                k.to_vec()
+            }
+            // Header-order inference: every column, in order.
+            None => (0..arity).collect(),
+        };
+        let schema = RelationSchema::new(rel, header.attributes, key);
+        self.shared.lock().ensure_relation(&schema)?;
         if self.isolated {
             let txn = self.txn.get_or_insert_with(Changeset::new);
             let mut n = 0usize;
@@ -1613,6 +1689,285 @@ impl Interpreter {
         };
         self.say(format!("loaded {n} tuple(s) into {rel}"));
         Ok(())
+    }
+
+    /// Commits one ingest batch through the normal write path: the
+    /// group committer when this session has one (network sessions),
+    /// otherwise inline under the store lock — exactly like `commit`.
+    fn commit_ingest_batch(&mut self, changes: Changeset) -> Result<u64, CmdError> {
+        if let Some(handle) = &self.committer {
+            return Ok(handle.commit(changes).map_err(cite_err)?.version);
+        }
+        let mut sh = self.shared.lock();
+        sh.apply_changes(&changes)?;
+        let v = sh.seal_version()?;
+        sh.obs.commits.inc();
+        Ok(v)
+    }
+
+    /// `ingest '<dir>'`: stream every `<Relation>.csv` / `<Relation>.jsonl`
+    /// dump under `dir` into the store in changeset-sized batches. Each
+    /// batch commits through the normal WAL + delta-maintenance path, so
+    /// the load looks like ordinary commits to every layer above — views
+    /// stay warm, replicas follow, recovery replays it. The load is then
+    /// pinned in the dataset registry (`datasets.lock`) and recorded in
+    /// the append-only audit log.
+    fn cmd_ingest(
+        &mut self,
+        dir: &str,
+        dataset: Option<&str>,
+        manifest: Option<&str>,
+        batch: Option<usize>,
+    ) -> Result<(), CmdError> {
+        if self.txn.is_some() {
+            return Err(cite_err(
+                "transaction open: run 'commit' (or 'rollback') before 'ingest'",
+            ));
+        }
+        let dir_path = Path::new(dir);
+        let files = list_dump_files(dir_path)?;
+        if files.is_empty() {
+            return Err(cite_err(format!("no .csv or .jsonl dumps in {dir}")));
+        }
+        let cfg = IngestConfig {
+            batch_size: batch.unwrap_or_else(|| IngestConfig::default().batch_size),
+        };
+        let dataset_name = dataset.map(str::to_string).unwrap_or_else(|| {
+            dir_path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "dataset".to_string())
+        });
+        // Pre-pass: admit every header before any data moves — a schema
+        // mismatch on the sixth file must not leave the first five
+        // committed. Declaring relations here also folds all DDL into
+        // one checkpoint instead of one per file.
+        for f in &files {
+            let r = DumpReader::open(&dir_path.join(&f.file), &f.relation, f.jsonl, &cfg)?;
+            self.shared.lock().ensure_relation(r.schema())?;
+        }
+        let mut first_version = 0u64;
+        let mut last_version = 0u64;
+        let mut sources = Vec::new();
+        let mut total = 0u64;
+        for f in &files {
+            let mut reader = DumpReader::open(&dir_path.join(&f.file), &f.relation, f.jsonl, &cfg)?;
+            loop {
+                let timer = SpanTimer::start(self.obs.timings_enabled());
+                let Some(batch) = reader.next_batch()? else {
+                    break;
+                };
+                let n = batch.len() as u64;
+                let mut changes = Changeset::new();
+                for t in batch {
+                    changes.insert(&f.relation, t);
+                }
+                let version = self.commit_ingest_batch(changes)?;
+                if first_version == 0 {
+                    first_version = version;
+                }
+                last_version = version;
+                self.obs.ingest_records.add(n);
+                self.obs.ingest_batches.inc();
+                self.obs
+                    .ingest_batch_seconds
+                    .observe_micros(timer.elapsed_micros());
+            }
+            let (records, batches) = (reader.records(), reader.batches());
+            let (sha256, bytes) = reader.finish()?;
+            total += records;
+            self.say(format!(
+                "  {}: {} record(s) into {} ({} batch(es))",
+                f.file, records, f.relation, batches
+            ));
+            sources.push(SourceFile {
+                file: f.file.clone(),
+                relation: f.relation.clone(),
+                sha256,
+                bytes,
+                records,
+            });
+        }
+        let fixity = {
+            let mut sh = self.shared.lock();
+            let store = sh.store_mut()?;
+            if last_version == 0 {
+                // All dump files were empty: pin against the store's
+                // current version.
+                last_version = store.latest_version();
+                first_version = last_version;
+            }
+            store
+                .digest_at(last_version)
+                .map_err(|e| cite_err(e.to_string()))?
+        };
+        self.say(format!(
+            "ingested {total} record(s) from {} file(s) as dataset {dataset_name} \
+             (versions {first_version}..{last_version})",
+            files.len()
+        ));
+        let manifest_file: Option<PathBuf> = match manifest {
+            Some(p) => Some(PathBuf::from(p)),
+            None => self.shared.lock().data_dir().map(|d| d.join(MANIFEST_FILE)),
+        };
+        let Some(path) = manifest_file else {
+            self.say(
+                "no manifest written (in-memory store: pass manifest '<path>' or serve --data-dir)",
+            );
+            return Ok(());
+        };
+        let mut m = DatasetManifest::load(&path)
+            .map_err(|e| cite_err(e.to_string()))?
+            .unwrap_or_default();
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let by = std::env::var("USER").unwrap_or_else(|_| "local".to_string());
+        let recorded_dir = dir_path
+            .canonicalize()
+            .unwrap_or_else(|_| dir_path.to_path_buf());
+        m.register(DatasetEntry {
+            name: dataset_name.clone(),
+            dir: recorded_dir.display().to_string(),
+            loaded_by: by.clone(),
+            loaded_at: now,
+            first_version,
+            last_version,
+            fixity,
+            sources,
+        });
+        m.write_atomic(&path).map_err(|e| cite_err(e.to_string()))?;
+        let audit_path = path
+            .parent()
+            .unwrap_or_else(|| Path::new("."))
+            .join(AUDIT_FILE);
+        append_audit(
+            &audit_path,
+            &AuditRecord {
+                at: now,
+                by,
+                dataset: dataset_name,
+                files: files.len() as u64,
+                records: total,
+                first_version,
+                last_version,
+            },
+        )
+        .map_err(|e| cite_err(e.to_string()))?;
+        self.say(format!(
+            "manifest {} (fixity sha256:{})",
+            path.display(),
+            fixity.to_hex()
+        ));
+        Ok(())
+    }
+
+    /// `datasets`: list the loads registered in the store's manifest.
+    fn cmd_datasets(&mut self) -> Result<(), CmdError> {
+        let Some(dir) = self.shared.lock().data_dir() else {
+            return Err(cite_err(
+                "no durable data directory (datasets are registered in <data-dir>/datasets.lock)",
+            ));
+        };
+        let m =
+            DatasetManifest::load(&dir.join(MANIFEST_FILE)).map_err(|e| cite_err(e.to_string()))?;
+        let Some(m) = m.filter(|m| !m.datasets.is_empty()) else {
+            self.say("no datasets registered");
+            return Ok(());
+        };
+        for d in &m.datasets {
+            let records: u64 = d.sources.iter().map(|s| s.records).sum();
+            self.say(format!(
+                "dataset {}: {} file(s), {} record(s), versions {}..{}, fixity sha256:{}",
+                d.name,
+                d.sources.len(),
+                records,
+                d.first_version,
+                d.last_version,
+                d.fixity.to_hex(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// `dataset verify`: re-hash every pinned source file in a
+    /// streaming pass (tamper check) and re-digest the store at each
+    /// load's recorded last version (fixity-drift check; versions
+    /// compacted from memory are reached through a retained durable
+    /// anchor when one covers them). Any issue is a citation-kind error
+    /// naming every failure.
+    fn cmd_dataset_verify(&mut self, manifest: Option<&str>) -> Result<(), CmdError> {
+        let path = match manifest {
+            Some(p) => PathBuf::from(p),
+            None => match self.shared.lock().data_dir() {
+                Some(d) => d.join(MANIFEST_FILE),
+                None => {
+                    return Err(parse_err(
+                        "no durable data directory: pass dataset verify '<manifest>'",
+                    ))
+                }
+            },
+        };
+        let m = DatasetManifest::load(&path)
+            .map_err(|e| cite_err(e.to_string()))?
+            .ok_or_else(|| parse_err(format!("no manifest at {}", path.display())))?;
+        let mut issues = verify_sources(&m, None).map_err(|e| cite_err(e.to_string()))?;
+        let mut notes = Vec::new();
+        {
+            let mut sh = self.shared.lock();
+            for d in &m.datasets {
+                let got = match sh.store_mut()?.digest_at(d.last_version) {
+                    Ok(g) => Some(g),
+                    Err(StorageError::CompactedVersion { .. }) => {
+                        let fallback = sh
+                            .durability
+                            .as_ref()
+                            .map(|h| h.database_at(d.last_version))
+                            .transpose()
+                            .map_err(|e| cite_err(e.to_string()))?
+                            .flatten();
+                        match fallback {
+                            Some((snapshot, _)) => Some(digest_database(&snapshot)),
+                            None => {
+                                notes.push(format!(
+                                    "dataset {}: fixity unverifiable (version {} compacted)",
+                                    d.name, d.last_version
+                                ));
+                                None
+                            }
+                        }
+                    }
+                    Err(e) => return Err(cite_err(e.to_string())),
+                };
+                if let Some(got) = got {
+                    if got != d.fixity {
+                        issues.push(VerifyIssue::FixityDrift {
+                            dataset: d.name.clone(),
+                            expected: d.fixity,
+                            got,
+                        });
+                    }
+                }
+            }
+        }
+        for n in notes {
+            self.say(n);
+        }
+        if issues.is_empty() {
+            let sources: usize = m.datasets.iter().map(|d| d.sources.len()).sum();
+            self.say(format!(
+                "datasets verified: {} dataset(s), {} source file(s) ok",
+                m.datasets.len(),
+                sources
+            ));
+            return Ok(());
+        }
+        let msgs: Vec<String> = issues.iter().map(VerifyIssue::to_string).collect();
+        Err(cite_err(format!(
+            "dataset verification failed: {}",
+            msgs.join("; ")
+        )))
     }
 
     /// `snapshot [@] <version>`: prints the fixity digest of the
@@ -1817,6 +2172,108 @@ impl Interpreter {
     /// A clone of the interpreter's registry (for inspection in tests).
     pub fn registry(&self) -> CitationRegistry {
         self.shared.lock().registry()
+    }
+}
+
+/// One ingestible dump file discovered under an `ingest` directory.
+struct DumpFile {
+    /// File name relative to the ingest directory.
+    file: String,
+    /// Target relation — the file stem.
+    relation: String,
+    /// `true` for `.jsonl`, `false` for `.csv`.
+    jsonl: bool,
+}
+
+/// Lists the `.csv` / `.jsonl` dumps directly under `dir`, sorted by
+/// file name so a load is deterministic regardless of directory order.
+fn list_dump_files(dir: &Path) -> Result<Vec<DumpFile>, CmdError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| cite_err(format!("cannot read {}: {e}", dir.display())))?;
+    let mut files = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| cite_err(format!("cannot read {}: {e}", dir.display())))?;
+        if !entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let (relation, jsonl) = if let Some(stem) = name.strip_suffix(".csv") {
+            (stem.to_string(), false)
+        } else if let Some(stem) = name.strip_suffix(".jsonl") {
+            (stem.to_string(), true)
+        } else {
+            continue;
+        };
+        files.push(DumpFile {
+            file: name,
+            relation,
+            jsonl,
+        });
+    }
+    files.sort_by(|a, b| a.file.cmp(&b.file));
+    Ok(files)
+}
+
+/// Format-dispatching wrapper over the two streaming dump readers, so
+/// `cmd_ingest` drives CSV and JSONL dumps through one loop.
+enum DumpReader {
+    Csv(CsvReader<BufReader<HashCountRead<File>>>),
+    Jsonl(JsonlReader<BufReader<HashCountRead<File>>>),
+}
+
+impl DumpReader {
+    fn open(
+        path: &Path,
+        relation: &str,
+        jsonl: bool,
+        cfg: &IngestConfig,
+    ) -> Result<Self, CmdError> {
+        if jsonl {
+            JsonlReader::open_path(path, relation, None, cfg)
+                .map(DumpReader::Jsonl)
+                .map_err(|e| cite_err(e.to_string()))
+        } else {
+            CsvReader::open_path(path, relation, None, cfg)
+                .map(DumpReader::Csv)
+                .map_err(|e| cite_err(e.to_string()))
+        }
+    }
+
+    fn schema(&self) -> &RelationSchema {
+        match self {
+            DumpReader::Csv(r) => r.schema(),
+            DumpReader::Jsonl(r) => r.schema(),
+        }
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tuple>>, CmdError> {
+        match self {
+            DumpReader::Csv(r) => r.next_batch(),
+            DumpReader::Jsonl(r) => r.next_batch(),
+        }
+        .map_err(|e| cite_err(e.to_string()))
+    }
+
+    fn records(&self) -> u64 {
+        match self {
+            DumpReader::Csv(r) => r.records(),
+            DumpReader::Jsonl(r) => r.records(),
+        }
+    }
+
+    fn batches(&self) -> u64 {
+        match self {
+            DumpReader::Csv(r) => r.batches(),
+            DumpReader::Jsonl(r) => r.batches(),
+        }
+    }
+
+    fn finish(self) -> Result<(Digest, u64), CmdError> {
+        match self {
+            DumpReader::Csv(r) => r.finish(),
+            DumpReader::Jsonl(r) => r.finish(),
+        }
+        .map_err(|e| cite_err(e.to_string()))
     }
 }
 

@@ -16,49 +16,47 @@ use crate::tuple::Tuple;
 /// Serializes a relation to CSV (header row of `name:type`, then data).
 pub fn to_csv(rel: &Relation) -> String {
     let mut out = String::new();
-    let header: Vec<String> = rel
-        .schema()
-        .attributes
-        .iter()
-        .map(|a| quote(&format!("{}:{}", a.name, a.ty)))
-        .collect();
-    out.push_str(&header.join(","));
+    out.push_str(&csv_header(rel.schema()));
     out.push('\n');
     let mut rows: Vec<&Tuple> = rel.scan().collect();
     rows.sort();
     for t in rows {
-        let cells: Vec<String> = t.values().iter().map(render_value).collect();
+        let cells: Vec<String> = t.values().iter().map(render_csv_value).collect();
         out.push_str(&cells.join(","));
         out.push('\n');
     }
     out
 }
 
-fn render_value(v: &Value) -> String {
+/// Renders one value as a CSV cell (text is quoted, scalars are bare).
+pub fn render_csv_value(v: &Value) -> String {
     match v {
         Value::Int(i) => i.to_string(),
         Value::Bool(b) => b.to_string(),
-        Value::Text(s) => quote(s.as_str()),
+        Value::Text(s) => csv_quote(s.as_str()),
     }
 }
 
-fn quote(s: &str) -> String {
+/// Quotes a string as a CSV cell (`"` doubled, surrounding quotes added).
+pub fn csv_quote(s: &str) -> String {
     format!("\"{}\"", s.replace('"', "\"\""))
 }
 
-/// Parses a CSV document into `(schema, tuples)`; `name` becomes the
-/// relation name, `key` the key positions.
-pub fn from_csv(
-    name: &str,
-    key: &[usize],
-    input: &str,
-) -> Result<(RelationSchema, Vec<Tuple>), StorageError> {
-    let mut lines = split_records(input).into_iter();
-    let header = lines.next().ok_or_else(|| StorageError::UnknownRelation {
-        name: format!("{name}: empty csv"),
-    })?;
-    let mut attrs = Vec::new();
-    for cell in &header {
+/// Renders the `name:type` header row for a schema.
+pub fn csv_header(schema: &RelationSchema) -> String {
+    let cells: Vec<String> = schema
+        .attributes
+        .iter()
+        .map(|a| csv_quote(&format!("{}:{}", a.name, a.ty)))
+        .collect();
+    cells.join(",")
+}
+
+/// Parses the header record (`name:type` cells) into attributes,
+/// rejecting duplicate column names.
+pub fn parse_csv_header(name: &str, header: &[String]) -> Result<Vec<Attribute>, StorageError> {
+    let mut attrs: Vec<Attribute> = Vec::new();
+    for cell in header {
         let (attr_name, ty) =
             cell.rsplit_once(':')
                 .ok_or_else(|| StorageError::UnknownRelation {
@@ -74,41 +72,69 @@ pub fn from_csv(
                 })
             }
         };
-        attrs.push(Attribute::new(attr_name, ty));
-    }
-    let schema = RelationSchema::new(name, attrs, key.to_vec());
-    let mut tuples = Vec::new();
-    for record in lines {
-        if record.len() != schema.arity() {
-            return Err(StorageError::ArityMismatch {
+        if attrs.iter().any(|a| a.name.as_str() == attr_name) {
+            return Err(StorageError::DuplicateColumn {
                 relation: name.to_string(),
-                expected: schema.arity(),
-                got: record.len(),
+                attribute: attr_name.to_string(),
             });
         }
-        let values: Result<Vec<Value>, StorageError> = record
-            .iter()
-            .zip(&schema.attributes)
-            .map(|(cell, attr)| parse_value(cell, attr.ty, name, attr))
-            .collect();
-        tuples.push(Tuple::new(values?));
+        attrs.push(Attribute::new(attr_name, ty));
+    }
+    Ok(attrs)
+}
+
+/// Parses one data record against a schema. `record_no` is the 1-based
+/// data record number (header excluded) used in error messages.
+pub fn parse_csv_record(
+    schema: &RelationSchema,
+    record: &[String],
+    record_no: usize,
+) -> Result<Tuple, StorageError> {
+    let fail = |message: String| StorageError::CsvRecord {
+        relation: schema.name.to_string(),
+        record: record_no,
+        message,
+    };
+    if record.len() != schema.arity() {
+        return Err(fail(format!(
+            "expected {} values, got {}",
+            schema.arity(),
+            record.len()
+        )));
+    }
+    let mut values = Vec::with_capacity(record.len());
+    for (cell, attr) in record.iter().zip(&schema.attributes) {
+        values.push(parse_value(cell, attr).map_err(fail)?);
+    }
+    Ok(Tuple::new(values))
+}
+
+/// Parses a CSV document into `(schema, tuples)`; `name` becomes the
+/// relation name, `key` the key positions.
+pub fn from_csv(
+    name: &str,
+    key: &[usize],
+    input: &str,
+) -> Result<(RelationSchema, Vec<Tuple>), StorageError> {
+    let mut lines = split_records(input).into_iter();
+    let header = lines.next().ok_or_else(|| StorageError::UnknownRelation {
+        name: format!("{name}: empty csv"),
+    })?;
+    let attrs = parse_csv_header(name, &header)?;
+    let schema = RelationSchema::new(name, attrs, key.to_vec());
+    let mut tuples = Vec::new();
+    for (idx, record) in lines.enumerate() {
+        tuples.push(parse_csv_record(&schema, &record, idx + 1)?);
     }
     Ok((schema, tuples))
 }
 
-fn parse_value(
-    cell: &str,
-    ty: ValueType,
-    rel: &str,
-    attr: &Attribute,
-) -> Result<Value, StorageError> {
-    let mismatch = || StorageError::TypeMismatch {
-        relation: rel.to_string(),
-        attribute: attr.name.to_string(),
-        expected: ty,
-        got: ValueType::Text,
+fn parse_value(cell: &str, attr: &Attribute) -> Result<Value, String> {
+    let mismatch = || {
+        let shown: String = cell.chars().take(40).collect();
+        format!("{}: expected {}, got '{shown}'", attr.name, attr.ty)
     };
-    match ty {
+    match attr.ty {
         ValueType::Int => cell.parse::<i64>().map(Value::Int).map_err(|_| mismatch()),
         ValueType::Bool => cell
             .parse::<bool>()
@@ -230,9 +256,37 @@ mod tests {
     #[test]
     fn arity_and_type_errors() {
         let e = from_csv("R", &[], "\"A:int\",\"B:int\"\n1\n").unwrap_err();
-        assert!(matches!(e, StorageError::ArityMismatch { .. }));
+        assert!(matches!(e, StorageError::CsvRecord { record: 1, .. }));
         let e = from_csv("R", &[], "\"A:int\"\n\"x\"\n").unwrap_err();
-        assert!(matches!(e, StorageError::TypeMismatch { .. }));
+        assert!(matches!(e, StorageError::CsvRecord { record: 1, .. }));
+    }
+
+    #[test]
+    fn duplicate_header_column_rejected() {
+        let e = from_csv("R", &[], "\"A:int\",\"A:text\"\n1,\"x\"\n").unwrap_err();
+        assert!(
+            matches!(e, StorageError::DuplicateColumn { ref attribute, .. } if attribute == "A"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn type_error_reports_one_based_record_number() {
+        let e = from_csv("R", &[], "\"A:int\"\n1\n2\n\"boom\"\n4\n").unwrap_err();
+        match e {
+            StorageError::CsvRecord {
+                record, message, ..
+            } => {
+                assert_eq!(record, 3);
+                assert!(message.contains("expected int"), "{message}");
+                assert!(message.contains("boom"), "{message}");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        assert!(from_csv("R", &[], "\"A:int\"\n1\n2\n\"boom\"\n4\n")
+            .unwrap_err()
+            .to_string()
+            .contains("csv record 3"));
     }
 
     #[test]

@@ -590,6 +590,13 @@ pub trait DurableStore {
     fn prune_history(&mut self, _floor: u64) -> Result<usize, DurabilityError> {
         Ok(0)
     }
+
+    /// The on-disk directory this backend persists into, when it has
+    /// one — the anchor for sibling files like the dataset manifest.
+    /// `None` for purely in-memory backends.
+    fn data_dir(&self) -> Option<&Path> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1240,6 +1247,10 @@ impl DurableStore for FileStore {
             self.remove_anchor(v)?;
         }
         Ok(pruned)
+    }
+
+    fn data_dir(&self) -> Option<&Path> {
+        Some(&self.dir)
     }
 }
 

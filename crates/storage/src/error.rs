@@ -69,6 +69,24 @@ pub enum StorageError {
         /// Oldest version still materializable.
         oldest: u64,
     },
+    /// A CSV header declared the same column name twice.
+    DuplicateColumn {
+        /// Relation being loaded.
+        relation: String,
+        /// The duplicated column name.
+        attribute: String,
+    },
+    /// A CSV data record failed to parse; `record` is the 1-based data
+    /// record number (header excluded) so the failure is findable in a
+    /// million-row dump.
+    CsvRecord {
+        /// Relation being loaded.
+        relation: String,
+        /// 1-based data record number.
+        record: usize,
+        /// What went wrong in that record.
+        message: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -113,6 +131,15 @@ impl fmt::Display for StorageError {
                 f,
                 "version {version} was compacted by a checkpoint (oldest kept is {oldest})"
             ),
+            StorageError::DuplicateColumn {
+                relation,
+                attribute,
+            } => write!(f, "relation {relation}: duplicate csv column '{attribute}'"),
+            StorageError::CsvRecord {
+                relation,
+                record,
+                message,
+            } => write!(f, "relation {relation}, csv record {record}: {message}"),
         }
     }
 }

@@ -48,7 +48,10 @@ pub mod schema;
 pub mod tuple;
 pub mod versioned;
 
-pub use csv::{from_csv, load_csv, to_csv};
+pub use csv::{
+    csv_header, csv_quote, from_csv, load_csv, parse_csv_header, parse_csv_record,
+    render_csv_value, to_csv,
+};
 pub use database::{Database, SharedDatabase};
 pub use delta::{Changeset, NetChanges};
 pub use durability::{

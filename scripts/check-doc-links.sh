@@ -176,6 +176,34 @@ grep -q 'registry' MIGRATION.md \
 grep -q 'sorted by name' MIGRATION.md \
     || { echo "MIGRATION.md must record the sorted stats output"; fail=1; }
 
+# Content contract for the ingestion vertical: the architecture doc
+# must document the dataset registry, the manifest codec and the
+# tamper exit code, the quickstart must show the ingest CLI and
+# dataset verify, and the migration guide must record the load/ingest
+# behaviour change and the new exit code.
+grep -q '## Dataset registry & ingestion' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must have a 'Dataset registry & ingestion' section"; fail=1; }
+grep -q 'citesys-datasets v1' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must pin the datasets.lock format version"; fail=1; }
+grep -q 'datasets.lock' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must document the datasets.lock manifest"; fail=1; }
+grep -q 'datasets.audit' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must document the append-only audit log"; fail=1; }
+grep -q 'peak_buffered_bytes' ARCHITECTURE.md \
+    || { echo "ARCHITECTURE.md must document the bounded-memory reader contract"; fail=1; }
+grep -q 'citesys ingest\|bin citesys -- ingest' README.md \
+    || { echo "README.md must quickstart 'citesys ingest'"; fail=1; }
+grep -q 'dataset verify' README.md \
+    || { echo "README.md must quickstart 'dataset verify'"; fail=1; }
+grep -q 'exit 6' README.md \
+    || { echo "README.md must show the tamper exit code 6"; fail=1; }
+grep -q 'datasets.lock' README.md \
+    || { echo "README.md must mention the datasets.lock manifest"; fail=1; }
+grep -q 'key(i' MIGRATION.md \
+    || { echo "MIGRATION.md must record the load key-clause change"; fail=1; }
+grep -q 'exit code 6' MIGRATION.md \
+    || { echo "MIGRATION.md must record the dataset-verify exit code"; fail=1; }
+
 if [ "$fail" -eq 0 ]; then
     echo "doc links ok (${docs[*]})"
 fi

@@ -7,6 +7,8 @@
 //! $ citesys serve --data-dir ./data         # …durable: WAL + checkpoints, warm restart
 //! $ citesys serve --listen 127.0.0.1:4242 --data-dir ./data
 //! $ citesys client 127.0.0.1:4242 script.cts
+//! $ citesys ingest ./data ./dumps           # bulk-load CSV/JSONL dumps, pin datasets.lock
+//! $ citesys dataset verify ./data           # re-hash pinned sources + re-digest fixity
 //! $ citesys checkpoint ./data               # fold the WAL into a fresh checkpoint
 //! $ citesys recover ./data                  # report what a restart would recover
 //! $ citesys compact ./data --keep 16        # trim time-travel history to a window
@@ -21,7 +23,8 @@
 //!
 //! Exit codes: `0` success (including `--help`), `1` I/O error, `2` usage
 //! error, `3` script parse error, `4` citation/runtime error, `5` the
-//! requested history was compacted away.
+//! requested history was compacted away, `6` dataset verification failed
+//! (a pinned source or fixity digest no longer matches).
 
 use std::io::{BufRead, Read, Write};
 use std::time::Duration;
@@ -43,9 +46,14 @@ const EXIT_CITE: i32 = 4;
 /// longer individually reconstructable (distinct from a plain I/O error
 /// so scripts can tell "gone by policy" from "broken").
 const EXIT_COMPACTED: i32 = 5;
+/// Dataset verification failed: a pinned source file is missing or was
+/// modified, or the store's fixity digest drifted from the manifest.
+/// Distinct from a citation error so pipelines can alert on tamper
+/// specifically.
+const EXIT_TAMPER: i32 = 6;
 
 fn usage() -> String {
-    "usage: citesys <script-file | - | serve | client | checkpoint | recover | compact | wal | plans>\n\n\
+    "usage: citesys <script-file | - | serve | client | ingest | dataset | checkpoint | recover | compact | wal | plans>\n\n\
      modes:\n  \
      <script-file>  run a script file\n  \
      -              read a whole script from stdin\n  \
@@ -94,6 +102,19 @@ fn usage() -> String {
      print the responses; --pipeline sends every line up front\n                 \
      (tagged with its line number) and reads the responses in one\n                 \
      pass — one round trip instead of one per line\n  \
+     ingest <data-dir> <dump-dir> [--as <dataset>] [--manifest <file>] [--batch <records>]\n                 \
+     stream every <Relation>.csv / <Relation>.jsonl dump under\n                 \
+     <dump-dir> into the durable store in batch-sized commits (each\n                 \
+     WAL-logged and fsynced like any other commit), then pin the\n                 \
+     load in <data-dir>/datasets.lock: per-source sha256, relation\n                 \
+     fixity digest and the commit version range, with a line in the\n                 \
+     append-only datasets.audit log. --as names the dataset\n                 \
+     (default: the dump directory's name); --batch sets the tuples\n                 \
+     per commit (default 10000, bounds peak memory)\n  \
+     dataset verify <data-dir> [--manifest <file>]\n                 \
+     re-hash every pinned source file and re-digest the store at\n                 \
+     each dataset's recorded version; any mismatch (tampered or\n                 \
+     missing source, fixity drift) exits 6 and names the failure\n  \
      checkpoint <data-dir>\n                 \
      recover the directory, fold the write-ahead log into a fresh\n                 \
      checkpoint, and reset the log\n  \
@@ -125,7 +146,12 @@ fn usage() -> String {
      cite <query> [@ <version>] [| format text|bibtex|ris|xml|json|csl] [| mode formal|pruned] [| policy minsize|union|first] [| partial]\n                 \
      '@ <version>' cites against the committed snapshot at that\n                 \
      version (time travel); the citation is stamped with it\n  \
-     verify / tables / dump Name / load Name from '<path>' / trace\n  \
+     verify / tables / dump Name / load Name from '<path>' [key(i, …)] / trace\n  \
+     ingest '<dir>' [as <dataset>] [manifest '<file>'] [batch <n>]\n                 \
+     stream the directory's CSV/JSONL dumps into the store in\n                 \
+     batch-sized commits and pin the load in the dataset registry\n  \
+     datasets       list the loads registered in the store's datasets.lock\n  \
+     dataset verify ['<manifest>']   re-hash pinned sources and re-check fixity\n  \
      stats          commit/swap/group-window, plan/view-cache, WAL and\n                 \
      history counters (history_base_version, checkpoints_retained),\n                 \
      sorted by name\n  \
@@ -138,7 +164,7 @@ fn usage() -> String {
      plan files pin the registry they were exported under: pair a plan\n\
      file with the script that registers the same views\n\n\
      exit codes: 0 ok, 1 i/o error, 2 usage, 3 script parse error, 4 citation error,\n\
-     5 requested history was compacted away"
+     5 requested history was compacted away, 6 dataset verification failed"
         .to_string()
 }
 
@@ -794,6 +820,142 @@ fn compact_cmd(args: &[String]) -> i32 {
     }
 }
 
+/// `ingest <data-dir> <dump-dir> [--as <dataset>] [--manifest <file>]
+/// [--batch <records>]`: stream the directory's dumps into the durable
+/// store and pin the load in the dataset registry.
+fn ingest_cmd(args: &[String]) -> i32 {
+    const INGEST_USAGE: &str = "usage: citesys ingest <data-dir> <dump-dir> \
+         [--as <dataset>] [--manifest <file>] [--batch <records>]";
+    let [data_dir, dump_dir, rest @ ..] = args else {
+        eprintln!("{INGEST_USAGE}");
+        return EXIT_USAGE;
+    };
+    let mut dataset = None;
+    let mut manifest = None;
+    let mut batch: Option<usize> = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parsed = match flag.as_str() {
+            "--as" => take("--as").map(|v| dataset = Some(v)),
+            "--manifest" => take("--manifest").map(|v| manifest = Some(v)),
+            "--batch" => take("--batch").and_then(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| "--batch needs a record count".to_string())
+                    .and_then(|n| {
+                        if n == 0 {
+                            Err("--batch must be at least 1".to_string())
+                        } else {
+                            batch = Some(n);
+                            Ok(())
+                        }
+                    })
+            }),
+            other => Err(format!("unknown ingest option '{other}'")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}\n{INGEST_USAGE}");
+            return EXIT_USAGE;
+        }
+    }
+    // The script grammar quotes paths with single quotes; a path
+    // containing one cannot round-trip through the command line.
+    for (what, value) in [
+        ("dump directory", Some(dump_dir)),
+        ("manifest", manifest.as_ref()),
+    ] {
+        if value.is_some_and(|v| v.contains('\'')) {
+            eprintln!("{what} path must not contain a single quote\n{INGEST_USAGE}");
+            return EXIT_USAGE;
+        }
+    }
+    let shared = match SharedStore::open_durable_shared_with_retention(data_dir, 0) {
+        Ok(shared) => shared,
+        Err(e) => {
+            eprintln!("{data_dir}: {e}");
+            return EXIT_IO;
+        }
+    };
+    let mut interp = Interpreter::with_store(shared);
+    let mut line = format!("ingest '{dump_dir}'");
+    if let Some(name) = &dataset {
+        line.push_str(&format!(" as {name}"));
+    }
+    if let Some(m) = &manifest {
+        line.push_str(&format!(" manifest '{m}'"));
+    }
+    if let Some(n) = batch {
+        line.push_str(&format!(" batch {n}"));
+    }
+    match interp.run_session_line(&line) {
+        Ok(reply) => {
+            print!("{}", reply.output);
+            0
+        }
+        Err(e) => {
+            eprintln!("{data_dir}: {}", e.message);
+            exit_code_for(&e)
+        }
+    }
+}
+
+/// `dataset verify <data-dir> [--manifest <file>]`: re-hash every pinned
+/// source and re-digest the store's fixity; mismatches exit
+/// [`EXIT_TAMPER`].
+fn dataset_cmd(args: &[String]) -> i32 {
+    const DATASET_USAGE: &str = "usage: citesys dataset verify <data-dir> [--manifest <file>]";
+    let Some("verify") = args.first().map(String::as_str) else {
+        eprintln!("{DATASET_USAGE}");
+        return EXIT_USAGE;
+    };
+    let (dir, manifest) = match &args[1..] {
+        [dir] => (dir, None),
+        [dir, flag, m] if flag == "--manifest" => (dir, Some(m.as_str())),
+        _ => {
+            eprintln!("{DATASET_USAGE}");
+            return EXIT_USAGE;
+        }
+    };
+    if manifest.is_some_and(|m| m.contains('\'')) {
+        eprintln!("manifest path must not contain a single quote\n{DATASET_USAGE}");
+        return EXIT_USAGE;
+    }
+    // Unbounded retention: verification must not discard time-travel
+    // anchors its fixity re-digest may need to reach a pinned version.
+    let shared = match SharedStore::open_durable_shared_with_retention(dir, usize::MAX) {
+        Ok(shared) => shared,
+        Err(e) => {
+            eprintln!("{dir}: {e}");
+            return EXIT_IO;
+        }
+    };
+    let mut interp = Interpreter::with_store(shared);
+    let line = match manifest {
+        Some(m) => format!("dataset verify '{m}'"),
+        None => "dataset verify".to_string(),
+    };
+    match interp.run_session_line(&line) {
+        Ok(reply) => {
+            print!("{}", reply.output);
+            0
+        }
+        Err(e) => {
+            eprintln!("{dir}: {}", e.message);
+            if e.kind == ScriptErrorKind::Citation
+                && e.message.starts_with("dataset verification failed")
+            {
+                EXIT_TAMPER
+            } else {
+                exit_code_for(&e)
+            }
+        }
+    }
+}
+
 /// `plans export <script> <out>` / `plans import <file>`.
 fn plans(args: &[String]) -> i32 {
     match args.first().map(String::as_str) {
@@ -881,6 +1043,12 @@ fn main() {
         }
         Some("client") => {
             std::process::exit(client(&args[1..]));
+        }
+        Some("ingest") => {
+            std::process::exit(ingest_cmd(&args[1..]));
+        }
+        Some("dataset") => {
+            std::process::exit(dataset_cmd(&args[1..]));
         }
         Some("checkpoint") => {
             std::process::exit(checkpoint_cmd(&args[1..]));
